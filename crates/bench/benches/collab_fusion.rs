@@ -1,0 +1,66 @@
+//! Ablation: collaborative-localization fusion accuracy and cost vs the
+//! number of observers — the design question behind the paper's choice of
+//! two assisting UAVs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sesame_collab_loc::fusion::fuse_estimates;
+use sesame_collab_loc::geometry::{estimate_from_observation, PositionEstimate};
+use sesame_types::geo::GeoPoint;
+use sesame_vision::drone_detect::DroneObservation;
+
+fn estimates(n: usize) -> Vec<PositionEstimate> {
+    let anchor = GeoPoint::new(35.0, 33.0, 0.0);
+    (0..n)
+        .map(|i| {
+            let observer = anchor
+                .destination(i as f64 * 360.0 / n as f64, 25.0)
+                .with_alt(35.0);
+            estimate_from_observation(
+                &observer,
+                &DroneObservation {
+                    bearing_deg: (180.0 + i as f64 * 360.0 / n as f64) % 360.0,
+                    elevation_deg: -10.0,
+                    range_m: 27.0,
+                    range_sigma_m: 2.0,
+                    angle_sigma_deg: 1.5,
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collab/fusion_observers");
+    for n in [1usize, 2, 3, 5, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let ests = estimates(n);
+            b.iter(|| black_box(fuse_estimates(&ests)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    c.bench_function("collab/sighting_to_estimate", |b| {
+        let observer = GeoPoint::new(35.0, 33.0, 35.0);
+        let obs = DroneObservation {
+            bearing_deg: 123.0,
+            elevation_deg: -7.0,
+            range_m: 42.0,
+            range_sigma_m: 2.5,
+            angle_sigma_deg: 1.5,
+        };
+        b.iter(|| black_box(estimate_from_observation(&observer, &obs)));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fusion, bench_geometry
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fig. 1 bench: ConSert network construction and evaluation latency —
+//! the certificate re-evaluation runs on every platform tick, so it must
+//! be cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sesame_conserts::catalog::{self, UavEvidence};
+use sesame_conserts::engine::ConsertNetwork;
+use sesame_conserts::model::{Consert, Guarantee, Tree};
+
+fn bench_catalog(c: &mut Criterion) {
+    c.bench_function("conserts/build_uav_network", |b| {
+        b.iter(|| black_box(catalog::uav_consert_network("uav1")));
+    });
+    c.bench_function("conserts/evaluate_uav_network", |b| {
+        let network = catalog::uav_consert_network("uav1");
+        let evidence = UavEvidence::nominal();
+        b.iter(|| black_box(catalog::evaluate_uav(&network, "uav1", &evidence)));
+    });
+}
+
+/// Scaling ablation: evaluation latency vs certificate-chain depth.
+fn bench_chain_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conserts/chain_depth");
+    for depth in [4usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            let mut conserts = vec![Consert::new(
+                "c0",
+                vec![Guarantee::new("g", Tree::evidence("e"))],
+            )];
+            for i in 1..depth {
+                conserts.push(Consert::new(
+                    format!("c{i}"),
+                    vec![Guarantee::new(
+                        "g",
+                        Tree::demand(format!("c{}", i - 1), "g"),
+                    )],
+                ));
+            }
+            let net = ConsertNetwork::new(conserts).unwrap();
+            let evidence = sesame_conserts::engine::evidence_from(["e"]);
+            b.iter(|| black_box(net.evaluate(&evidence)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_catalog, bench_chain_depth
+}
+criterion_main!(benches);

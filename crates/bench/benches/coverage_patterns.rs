@@ -1,0 +1,56 @@
+//! Ablation: coverage-pattern choice — boustrophedon sweep vs inward
+//! spiral. Generation cost and resulting path length per strip geometry.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_sar::area::split_strips;
+use sesame_sar::coverage::{boustrophedon_path, path_length_m, spiral_path};
+use sesame_types::geo::GeoPoint;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let origin = GeoPoint::new(35.0, 33.0, 0.0);
+    let mut group = c.benchmark_group("coverage/generate");
+    for (w, h) in [(200.0, 150.0), (600.0, 400.0), (1200.0, 800.0)] {
+        let strip = split_strips(3)[1];
+        group.bench_with_input(
+            BenchmarkId::new("boustrophedon", format!("{w}x{h}")),
+            &(w, h),
+            |b, &(w, h)| {
+                b.iter(|| black_box(boustrophedon_path(&origin, w, h, &strip, 30.0, 25.0)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("spiral", format!("{w}x{h}")),
+            &(w, h),
+            |b, &(w, h)| b.iter(|| black_box(spiral_path(&origin, w, h, &strip, 30.0, 25.0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_path_length(c: &mut Criterion) {
+    // Not a timing ablation: report the length ratio as a bench so it
+    // lands in bench_output.txt next to the costs.
+    let origin = GeoPoint::new(35.0, 33.0, 0.0);
+    let strip = split_strips(3)[1];
+    let b_len = path_length_m(&boustrophedon_path(&origin, 600.0, 400.0, &strip, 30.0, 25.0));
+    let s_len = path_length_m(&spiral_path(&origin, 600.0, 400.0, &strip, 30.0, 25.0));
+    println!(
+        "coverage/length: boustrophedon {b_len:.0} m, spiral {s_len:.0} m (ratio {:.2})",
+        s_len / b_len
+    );
+    c.bench_function("coverage/length_eval", |bch| {
+        let path = boustrophedon_path(&origin, 600.0, 400.0, &strip, 30.0, 25.0);
+        bch.iter(|| black_box(path_length_m(&path)));
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_generation, bench_path_length
+}
+criterion_main!(benches);

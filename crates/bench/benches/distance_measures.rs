@@ -1,0 +1,56 @@
+//! Ablation: statistical distance measures vs window size — the SafeML
+//! design choice called out in DESIGN.md. KS and Kuiper are O(n log n);
+//! the integral measures pay more per point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_safeml::distance::DistanceMeasure;
+
+fn sample(n: usize, shift: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.random::<f64>() + shift).collect()
+}
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance/measure_x_window");
+    for window in [50usize, 200, 1000] {
+        let a = sample(window, 0.0, 1);
+        let b = sample(window, 0.3, 2);
+        for m in DistanceMeasure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(m.name(), window),
+                &(&a, &b),
+                |bench, (a, b)| bench.iter(|| black_box(m.compute(a, b))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_permutation_test(c: &mut Criterion) {
+    c.bench_function("distance/permutation_test_ks_100x50", |b| {
+        let a = sample(50, 0.0, 3);
+        let y = sample(50, 0.5, 4);
+        b.iter(|| {
+            black_box(sesame_safeml::bootstrap::permutation_test(
+                DistanceMeasure::KolmogorovSmirnov,
+                &a,
+                &y,
+                100,
+                7,
+            ))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_measures, bench_permutation_test
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Fig. 5 bench: the SafeDrones reliability pipeline under the §V-A
+//! battery fault — per-tick monitor cost and the full scenario kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sesame_safedrones::monitor::{SafeDronesConfig, SafeDronesMonitor};
+use sesame_types::geo::GeoPoint;
+use sesame_types::ids::UavId;
+use sesame_types::telemetry::UavTelemetry;
+use sesame_types::time::{SimDuration, SimTime};
+
+fn telemetry(t: u64, soc: f64, temp: f64) -> UavTelemetry {
+    let mut tel = UavTelemetry::nominal(
+        UavId::new(1),
+        SimTime::from_secs(t),
+        GeoPoint::new(35.0, 33.0, 30.0),
+    );
+    tel.battery_soc = soc;
+    tel.battery_temp_c = temp;
+    tel
+}
+
+fn bench_monitor_tick(c: &mut Criterion) {
+    c.bench_function("fig5/safedrones_tick_nominal", |b| {
+        let mut mon = SafeDronesMonitor::new(SafeDronesConfig::default());
+        mon.set_remaining_mission(SimDuration::from_secs(300));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            mon.ingest(&telemetry(t, 0.9, 25.0));
+            mon.advance(SimDuration::from_millis(100));
+            black_box(mon.probability_of_failure())
+        });
+    });
+    c.bench_function("fig5/safedrones_tick_faulted", |b| {
+        let mut cfg = SafeDronesConfig::default();
+        cfg.battery.activation_energy_ev = 1.0;
+        let mut mon = SafeDronesMonitor::new(cfg);
+        mon.set_remaining_mission(SimDuration::from_secs(300));
+        mon.ingest(&telemetry(0, 0.8, 25.0));
+        mon.ingest(&telemetry(1, 0.4, 60.0)); // the §V-A fault
+        let mut t = 1u64;
+        b.iter(|| {
+            t += 1;
+            mon.ingest(&telemetry(t, 0.4, 60.0));
+            mon.advance(SimDuration::from_millis(100));
+            black_box(mon.estimate())
+        });
+    });
+}
+
+fn bench_fault_to_threshold(c: &mut Criterion) {
+    // The §V-A kernel: from the fault to the 0.9 threshold, at 1 Hz.
+    c.bench_function("fig5/fault_to_threshold_sweep", |b| {
+        b.iter(|| {
+            let mut cfg = SafeDronesConfig::default();
+            cfg.battery.activation_energy_ev = 1.0;
+            cfg.battery.lambda_base = 3.0e-6;
+            let mut mon = SafeDronesMonitor::new(cfg);
+            mon.ingest(&telemetry(0, 0.8, 25.0));
+            mon.ingest(&telemetry(1, 0.4, 60.0));
+            let mut t = 1u64;
+            while mon.probability_of_failure() < 0.9 && t < 2000 {
+                t += 1;
+                mon.ingest(&telemetry(t, 0.4, 62.0));
+                mon.advance(SimDuration::from_secs(1));
+            }
+            black_box(t)
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_monitor_tick, bench_fault_to_threshold
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Fig. 6 bench: the spoofing-detection path — IDS inspection throughput
+//! on clean vs forged traffic, and the innovation-gate spoof detector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sesame_middleware::auth::{AuthKey, MessageAuth};
+use sesame_middleware::message::{Message, Payload};
+use sesame_security::ids::{Ids, IdsConfig};
+use sesame_security::spoof::SpoofDetector;
+use sesame_types::geo::{GeoPoint, Vec3};
+use sesame_types::ids::UavId;
+use sesame_types::time::SimTime;
+
+fn signed_waypoint(auth: &MessageAuth, seq: u64) -> Message {
+    let mut m = Message::new(
+        "/uav1/cmd/waypoint",
+        "node:gcs",
+        seq,
+        SimTime::from_millis(seq * 100),
+        Payload::WaypointCommand {
+            uav: UavId::new(1),
+            waypoint: GeoPoint::new(35.0, 33.0, 30.0),
+        },
+    );
+    auth.sign(&mut m);
+    m
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let auth = MessageAuth::new(AuthKey::new(5));
+    c.bench_function("fig6/ids_inspect_clean", |b| {
+        let mut ids = Ids::new(IdsConfig::default(), Some(auth));
+        ids.register_plan(UavId::new(1), vec![GeoPoint::new(35.0, 33.0, 30.0)]);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            let m = signed_waypoint(&auth, seq);
+            black_box(ids.inspect(&m, SimTime::from_millis(seq * 100)))
+        });
+    });
+    c.bench_function("fig6/ids_inspect_forged", |b| {
+        let mut ids = Ids::new(IdsConfig::default(), Some(auth));
+        ids.register_plan(UavId::new(1), vec![GeoPoint::new(35.0, 33.0, 30.0)]);
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            // Unsigned, off-plan: trips two rules per message.
+            let m = Message::new(
+                "/uav1/cmd/waypoint",
+                "node:gcs",
+                seq,
+                SimTime::from_millis(seq * 100),
+                Payload::WaypointCommand {
+                    uav: UavId::new(1),
+                    waypoint: GeoPoint::new(35.02, 33.0, 30.0),
+                },
+            );
+            black_box(ids.inspect(&m, SimTime::from_millis(seq * 100)))
+        });
+    });
+}
+
+fn bench_spoof_detector(c: &mut Criterion) {
+    c.bench_function("fig6/spoof_detector_check", |b| {
+        let start = GeoPoint::new(35.0, 33.0, 40.0);
+        let mut det = SpoofDetector::new(start, 20.0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            let fix = start.destination(90.0, 5.0 * t as f64);
+            black_box(det.check(&fix, Vec3::new(5.0, 0.0, 0.0), SimTime::from_secs(t)))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_ids, bench_spoof_detector
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Fig. 7 bench: one collaborative-localization round (two observers →
+//! sighting geometry → fusion → Kalman smoothing) and the guidance law.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use sesame_collab_loc::agent::CollaborativeAgent;
+use sesame_collab_loc::session::{CollabSession, LandingGuidance};
+use sesame_types::geo::GeoPoint;
+use sesame_types::time::SimTime;
+
+fn bench_cl_round(c: &mut Criterion) {
+    c.bench_function("fig7/cl_session_round", |b| {
+        let anchor = GeoPoint::new(35.0, 33.0, 0.0);
+        let mut session = CollabSession::new(
+            vec![
+                CollaborativeAgent::new("a", 1),
+                CollaborativeAgent::new("b", 2),
+            ],
+            anchor,
+        );
+        let observers = [
+            anchor.destination(0.0, 25.0).with_alt(35.0),
+            anchor.destination(90.0, 25.0).with_alt(35.0),
+        ];
+        let target = anchor.destination(45.0, 35.0).with_alt(30.0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(session.step(SimTime::from_millis(t * 100), &observers, &target))
+        });
+    });
+}
+
+fn bench_guidance(c: &mut Criterion) {
+    c.bench_function("fig7/landing_guidance_command", |b| {
+        let pad = GeoPoint::new(35.0, 33.0, 0.0);
+        let guidance = LandingGuidance::new(pad);
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let est = pad
+                .destination((step % 360) as f64, 30.0)
+                .with_alt(20.0);
+            black_box(guidance.velocity_command(&est))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_cl_round, bench_guidance
+}
+criterion_main!(benches);

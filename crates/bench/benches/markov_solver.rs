@@ -1,0 +1,64 @@
+//! Ablation: CTMC transient-solver cost vs chain size and step length —
+//! the SafeDrones design choice of advancing beliefs piecewise per tick
+//! versus solving longer horizons at once.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sesame_safedrones::markov::{Ctmc, CtmcProcess};
+
+fn chain(n: usize, rate: f64) -> Ctmc {
+    let mut c = Ctmc::new(n);
+    for i in 0..n - 1 {
+        c.set_rate(i, i + 1, rate);
+        if i > 0 {
+            c.set_rate(i, i - 1, rate * 0.3);
+        }
+    }
+    c
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov/transient_size");
+    for n in [2usize, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let chain = chain(n, 0.01);
+            let mut p0 = vec![0.0; n];
+            p0[0] = 1.0;
+            b.iter(|| black_box(chain.transient(&p0, 60.0)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_step_size(c: &mut Criterion) {
+    // 600 simulated seconds advanced in ticks of various lengths: the
+    // accuracy is identical (Markov property); the cost is not.
+    let mut group = c.benchmark_group("markov/step_size_600s");
+    for step in [0.1f64, 1.0, 10.0, 60.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{step}s")),
+            &step,
+            |b, &step| {
+                b.iter(|| {
+                    let mut proc = CtmcProcess::new(chain(4, 0.01), 0);
+                    let steps = (600.0 / step) as usize;
+                    for _ in 0..steps {
+                        proc.advance(step);
+                    }
+                    black_box(proc.mass_in(&[3]))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_transient, bench_step_size
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation: bus throughput — publish/step/drain cycles with and without
+//! the attack plane's taps and tampers, plus a crossbeam harness that
+//! exercises the Send bounds by preparing messages on worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use crossbeam::channel;
+use sesame_middleware::bus::MessageBus;
+use sesame_middleware::message::{Message, Payload};
+use sesame_types::time::SimTime;
+
+fn bench_bus_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus/publish_step_drain");
+    for tampered in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if tampered { "tampered" } else { "clean" }),
+            &tampered,
+            |b, &tampered| {
+                let mut bus = MessageBus::seeded(1);
+                let sub = bus.subscribe("#");
+                if tampered {
+                    bus.install_tamper(
+                        "#",
+                        Box::new(|m| {
+                            if let Payload::Text(t) = &mut m.payload {
+                                t.push('!');
+                                true
+                            } else {
+                                false
+                            }
+                        }),
+                    );
+                }
+                let mut t = 0u64;
+                b.iter(|| {
+                    t += 1;
+                    let now = SimTime::from_millis(t * 100);
+                    for i in 0..32 {
+                        bus.publish(now, "n", format!("/t/{i}"), Payload::Text("x".into()));
+                    }
+                    bus.step(now + sesame_types::time::SimDuration::from_millis(100));
+                    black_box(bus.drain(sub).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_threaded_producers(c: &mut Criterion) {
+    // Messages are Send: build them on four worker threads, deliver on the
+    // bus thread — the deployment shape of a multi-process ROS graph.
+    c.bench_function("bus/threaded_producers_4x64", |b| {
+        b.iter(|| {
+            let (tx, rx) = channel::unbounded::<Message>();
+            crossbeam::scope(|scope| {
+                for w in 0..4 {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        for i in 0..64u64 {
+                            let m = Message::new(
+                                format!("/w{w}/t"),
+                                format!("worker{w}"),
+                                i,
+                                SimTime::from_millis(i),
+                                Payload::Text("payload".into()),
+                            );
+                            tx.send(m).expect("receiver alive");
+                        }
+                    });
+                }
+                drop(tx);
+                let mut bus = MessageBus::seeded(2);
+                let sub = bus.subscribe("#");
+                for m in rx.iter() {
+                    bus.publish_message(m);
+                }
+                bus.step(SimTime::from_secs(1));
+                black_box(bus.drain(sub).len())
+            })
+            .expect("no worker panics");
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_bus_cycle, bench_threaded_producers
+}
+criterion_main!(benches);

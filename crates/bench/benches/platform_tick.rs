@@ -1,0 +1,65 @@
+//! The integrated platform loop: cost of one 100 ms tick with the full
+//! SESAME stack versus the bare baseline — the runtime-overhead question
+//! behind "UAVs are highly constrained devices … requiring the use of
+//! lightweight technologies" (paper abstract).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_core::orchestrator::{Platform, PlatformConfig};
+use std::hint::black_box;
+
+fn platform(sesame: bool) -> Platform {
+    let mut p = Platform::new(PlatformConfig {
+        sesame_enabled: sesame,
+        area_width_m: 300.0,
+        area_height_m: 200.0,
+        person_count: 4,
+        seed: 7,
+        ..PlatformConfig::default()
+    });
+    p.launch();
+    // Warm up: reach cruise and upload routes.
+    for _ in 0..200 {
+        p.step();
+    }
+    p
+}
+
+fn bench_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform/tick");
+    group.sample_size(20);
+    for sesame in [false, true] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(if sesame { "sesame" } else { "baseline" }),
+            &sesame,
+            |b, &sesame| {
+                let mut p = platform(sesame);
+                b.iter(|| black_box(p.step()));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("platform/construct");
+    group.sample_size(10);
+    group.bench_function("with_sesame", |b| {
+        b.iter(|| {
+            black_box(Platform::new(PlatformConfig {
+                seed: 7,
+                ..PlatformConfig::default()
+            }))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_tick, bench_construction
+}
+criterion_main!(benches);

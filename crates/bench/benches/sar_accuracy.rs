@@ -1,0 +1,73 @@
+//! §V-B bench: the perception-uncertainty pipeline (feature extraction →
+//! SafeML window → DeepKnowledge trace → SINADRA inference) at the two
+//! operating altitudes, plus the altitude-policy decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sesame_deepknowledge::nn::{Activation, Mlp};
+use sesame_deepknowledge::transfer::TransferAnalyzer;
+use sesame_deepknowledge::uncertainty::UncertaintyMonitor;
+use sesame_safeml::monitor::{SafeMlConfig, SafeMlMonitor};
+use sesame_sar::accuracy::AltitudePolicy;
+use sesame_sinadra::risk::{SarRiskModel, SituationInputs};
+use sesame_vision::features::{FeatureExtractor, SceneCondition};
+
+fn bench_uncertainty_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sar_accuracy/uncertainty_tick");
+    for altitude in [25.0, 60.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{altitude}m")),
+            &altitude,
+            |b, &altitude| {
+                let mut fx = FeatureExtractor::new(8, 1);
+                let reference = fx.reference_set(200);
+                let mut safeml =
+                    SafeMlMonitor::new(reference.clone(), SafeMlConfig::default()).unwrap();
+                let model = Mlp::new(&[8, 12, 1], Activation::Tanh, 2);
+                let analyzer = TransferAnalyzer::analyze(&model, &reference, &reference, 0.5);
+                let mut dk = UncertaintyMonitor::new(analyzer, 40);
+                let sinadra = SarRiskModel::new();
+                let scene = SceneCondition {
+                    altitude_m: altitude,
+                    visibility: 1.0,
+                };
+                b.iter(|| {
+                    let frame = fx.extract(&scene);
+                    safeml.push_sample(&frame).unwrap();
+                    let u_ml = safeml.dissimilarity();
+                    let u_dk = dk.assess(&model, &frame);
+                    let risk = sinadra.assess(&SituationInputs {
+                        detection_uncertainty: u_ml.max(u_dk),
+                        altitude_high: altitude > 40.0,
+                        visibility_poor: false,
+                        person_likely: true,
+                        time_pressure_high: true,
+                    });
+                    black_box(risk)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_policy(c: &mut Criterion) {
+    c.bench_function("sar_accuracy/altitude_policy_decide", |b| {
+        let policy = AltitudePolicy::paper_defaults();
+        let mut u = 0.0;
+        b.iter(|| {
+            u = (u + 0.013) % 1.0;
+            black_box(policy.decide(60.0, u))
+        });
+    });
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_uncertainty_pipeline, bench_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Ablation: Bayesian-network inference cost — the SAR risk model query
+//! that runs per tick, and variable elimination vs network size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sesame_sinadra::bn::BayesianNetwork;
+use sesame_sinadra::inference::{query, Evidence};
+use sesame_sinadra::risk::{SarRiskModel, SituationInputs};
+
+fn bench_risk_model(c: &mut Criterion) {
+    c.bench_function("sinadra/sar_risk_assess", |b| {
+        let model = SarRiskModel::new();
+        let mut u = 0.0;
+        b.iter(|| {
+            u = (u + 0.017) % 1.0;
+            black_box(model.assess(&SituationInputs {
+                detection_uncertainty: u,
+                altitude_high: u > 0.5,
+                visibility_poor: false,
+                person_likely: true,
+                time_pressure_high: true,
+            }))
+        });
+    });
+}
+
+/// A binary chain A1 -> A2 -> ... -> An; query the last node given soft
+/// evidence on the first.
+fn chain_network(n: usize) -> BayesianNetwork {
+    let mut bn = BayesianNetwork::new();
+    for i in 0..n {
+        bn.add_variable(&format!("x{i}"), &["f", "t"]).unwrap();
+    }
+    bn.set_prior("x0", &[0.7, 0.3]).unwrap();
+    for i in 1..n {
+        bn.set_cpt(
+            &format!("x{i}"),
+            &[&format!("x{}", i - 1)],
+            &[0.9, 0.1, 0.2, 0.8],
+        )
+        .unwrap();
+    }
+    bn.validate().unwrap()
+}
+
+fn bench_chain_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinadra/chain_inference");
+    for n in [4usize, 8, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let bn = chain_network(n);
+            let last = bn.variable_id(&format!("x{}", n - 1)).unwrap();
+            let ev = Evidence::new().likelihood(0, vec![0.2, 0.8]);
+            b.iter(|| black_box(query(&bn, last, &ev).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!{
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_risk_model, bench_chain_inference
+}
+criterion_main!(benches);

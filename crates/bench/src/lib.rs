@@ -1,0 +1,60 @@
+//! Shared helpers for the experiment harness and the Criterion benches.
+//!
+//! The real content of this crate lives in `src/bin/experiments.rs` (the
+//! binary that regenerates every §V figure/row of the paper) and in
+//! `benches/` (one Criterion bench per figure plus the ablations listed
+//! in DESIGN.md).
+
+/// Formats a float series as compact `t:v` pairs for terminal plots.
+pub fn format_series(series: &[(f64, f64)], every: usize) -> String {
+    series
+        .iter()
+        .step_by(every.max(1))
+        .map(|(t, v)| format!("{t:.0}s:{v:.3}"))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Renders a crude ASCII sparkline of a series (for terminal figures).
+pub fn sparkline(series: &[(f64, f64)], width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let min = series.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+    let max = series.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let step = (series.len() as f64 / width as f64).max(1.0);
+    let mut out = String::with_capacity(width);
+    let mut i = 0.0;
+    while (i as usize) < series.len() && out.chars().count() < width {
+        let v = series[i as usize].1;
+        let idx = (((v - min) / span) * 7.0).round() as usize;
+        out.push(GLYPHS[idx.min(7)]);
+        i += step;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_formatting() {
+        let s = vec![(0.0, 0.1), (1.0, 0.2), (2.0, 0.3)];
+        assert_eq!(format_series(&s, 2), "0s:0.100  2s:0.300");
+        assert_eq!(format_series(&[], 1), "");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, i as f64)).collect();
+        let line = sparkline(&s, 10);
+        assert_eq!(line.chars().count(), 10);
+        assert!(line.starts_with('▁'));
+        // The last rendered sample is near (not exactly at) the maximum.
+        assert!(line.ends_with('▇') || line.ends_with('█'), "{line}");
+        assert_eq!(sparkline(&[], 10), "");
+    }
+}

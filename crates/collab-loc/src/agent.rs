@@ -1,0 +1,91 @@
+//! A collaborative agent: camera + geometry.
+//!
+//! Each assisting UAV of Fig. 2 runs "Detection & Tracking" and the
+//! "Collaborative Algorithm" on its onboard processing unit: sight the
+//! affected UAV with the drone detector, convert the sighting to a
+//! position estimate, publish it to the session.
+
+use crate::geometry::{estimate_from_observation, PositionEstimate};
+use sesame_types::geo::GeoPoint;
+use sesame_vision::drone_detect::DroneDetector;
+
+/// One assisting UAV in a CL session.
+#[derive(Debug)]
+pub struct CollaborativeAgent {
+    name: String,
+    detector: DroneDetector,
+    observations_made: u64,
+    detections: u64,
+}
+
+impl CollaborativeAgent {
+    /// Creates an agent with a seeded detector.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        CollaborativeAgent {
+            name: name.into(),
+            detector: DroneDetector::new(seed),
+            observations_made: 0,
+            detections: 0,
+        }
+    }
+
+    /// The agent's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Attempts to sight the affected UAV from the agent's current
+    /// position; returns a position estimate when the detector fires.
+    pub fn observe(
+        &mut self,
+        own_position: &GeoPoint,
+        affected_true_position: &GeoPoint,
+    ) -> Option<PositionEstimate> {
+        self.observations_made += 1;
+        let obs = self.detector.observe(own_position, affected_true_position)?;
+        self.detections += 1;
+        Some(estimate_from_observation(own_position, &obs))
+    }
+
+    /// Detection rate so far (detections / attempts).
+    pub fn detection_rate(&self) -> f64 {
+        if self.observations_made == 0 {
+            0.0
+        } else {
+            self.detections as f64 / self.observations_made as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_target_is_usually_sighted() {
+        let mut agent = CollaborativeAgent::new("collab1", 3);
+        let me = GeoPoint::new(35.0, 33.0, 30.0);
+        let target = me.destination(45.0, 30.0).with_alt(35.0);
+        let mut errors = Vec::new();
+        for _ in 0..500 {
+            if let Some(est) = agent.observe(&me, &target) {
+                errors.push(est.position.distance_3d_m(&target));
+            }
+        }
+        assert!(agent.detection_rate() > 0.5, "rate {}", agent.detection_rate());
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean_err < 5.0, "mean error {mean_err}");
+    }
+
+    #[test]
+    fn far_target_is_never_sighted() {
+        let mut agent = CollaborativeAgent::new("collab1", 3);
+        let me = GeoPoint::new(35.0, 33.0, 30.0);
+        let target = me.destination(45.0, 3000.0);
+        for _ in 0..100 {
+            assert!(agent.observe(&me, &target).is_none());
+        }
+        assert_eq!(agent.detection_rate(), 0.0);
+        assert_eq!(agent.name(), "collab1");
+    }
+}

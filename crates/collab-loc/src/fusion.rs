@@ -1,0 +1,95 @@
+//! Inverse-variance fusion of simultaneous position estimates.
+
+use crate::geometry::PositionEstimate;
+use sesame_types::geo::{Enu, GeoPoint};
+
+/// Fuses simultaneous estimates by inverse-variance weighting in a local
+/// ENU frame anchored at the first estimate. Returns `None` for an empty
+/// slice.
+///
+/// The fused σ follows the standard combination
+/// `1/σ² = Σ 1/σᵢ²` — two observers are strictly better than one.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_collab_loc::fusion::fuse_estimates;
+/// use sesame_collab_loc::geometry::PositionEstimate;
+/// use sesame_types::geo::GeoPoint;
+///
+/// let a = PositionEstimate { position: GeoPoint::new(35.0, 33.0, 30.0), sigma_m: 2.0 };
+/// let b = PositionEstimate { position: GeoPoint::new(35.0, 33.0, 32.0), sigma_m: 2.0 };
+/// let fused = fuse_estimates(&[a, b]).unwrap();
+/// assert!((fused.position.alt_m - 31.0).abs() < 1e-9);
+/// assert!(fused.sigma_m < 2.0);
+/// ```
+pub fn fuse_estimates(estimates: &[PositionEstimate]) -> Option<PositionEstimate> {
+    let first = estimates.first()?;
+    let anchor = first.position;
+    let mut weight_sum = 0.0;
+    let (mut east, mut north, mut up) = (0.0, 0.0, 0.0);
+    for e in estimates {
+        let w = 1.0 / (e.sigma_m * e.sigma_m).max(1e-9);
+        let enu = e.position.to_enu(&anchor);
+        east += w * enu.east_m;
+        north += w * enu.north_m;
+        up += w * enu.up_m;
+        weight_sum += w;
+    }
+    let fused_enu = Enu::new(east / weight_sum, north / weight_sum, up / weight_sum);
+    Some(PositionEstimate {
+        position: GeoPoint::from_enu(&anchor, fused_enu),
+        sigma_m: (1.0 / weight_sum).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(p: GeoPoint, sigma: f64) -> PositionEstimate {
+        PositionEstimate {
+            position: p,
+            sigma_m: sigma,
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_none() {
+        assert!(fuse_estimates(&[]).is_none());
+    }
+
+    #[test]
+    fn single_estimate_passes_through() {
+        let p = GeoPoint::new(35.0, 33.0, 40.0);
+        let fused = fuse_estimates(&[est(p, 3.0)]).unwrap();
+        assert!(fused.position.distance_3d_m(&p) < 1e-9);
+        assert!((fused.sigma_m - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let a = GeoPoint::new(35.0, 33.0, 30.0);
+        let b = a.destination(90.0, 10.0);
+        let fused = fuse_estimates(&[est(a, 2.0), est(b, 2.0)]).unwrap();
+        assert!((a.haversine_distance_m(&fused.position) - 5.0).abs() < 0.01);
+        assert!((fused.sigma_m - 2.0 / 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_estimate_dominates() {
+        let a = GeoPoint::new(35.0, 33.0, 30.0);
+        let b = a.destination(90.0, 10.0);
+        let fused = fuse_estimates(&[est(a, 1.0), est(b, 10.0)]).unwrap();
+        // Weighting 100:1 pulls the fix to within ~0.1 m of a.
+        assert!(a.haversine_distance_m(&fused.position) < 0.2);
+    }
+
+    #[test]
+    fn more_observers_tighten_sigma() {
+        let p = GeoPoint::new(35.0, 33.0, 30.0);
+        let two = fuse_estimates(&[est(p, 3.0), est(p, 3.0)]).unwrap().sigma_m;
+        let four = fuse_estimates(&[est(p, 3.0); 4]).unwrap().sigma_m;
+        assert!(four < two);
+    }
+}

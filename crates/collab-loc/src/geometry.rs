@@ -1,0 +1,123 @@
+//! Sighting geometry: bearing / elevation / range → position.
+
+use sesame_types::geo::GeoPoint;
+use sesame_vision::drone_detect::DroneObservation;
+
+/// A position estimate with an isotropic 1-σ accuracy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PositionEstimate {
+    /// Estimated position of the target.
+    pub position: GeoPoint,
+    /// 1-σ accuracy in metres.
+    pub sigma_m: f64,
+}
+
+/// Converts one sighting from `observer` into a position estimate: the
+/// horizontal distance is `range·cos(elevation)`, the target lies at that
+/// distance along the measured bearing (haversine destination), and the
+/// altitude offset is `range·sin(elevation)`.
+///
+/// The reported σ combines the range noise with the cross-range error
+/// `range·σ_angle`.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::geo::GeoPoint;
+/// use sesame_vision::drone_detect::DroneObservation;
+/// use sesame_collab_loc::geometry::estimate_from_observation;
+///
+/// let me = GeoPoint::new(35.0, 33.0, 30.0);
+/// let obs = DroneObservation {
+///     bearing_deg: 90.0,
+///     elevation_deg: 0.0,
+///     range_m: 50.0,
+///     range_sigma_m: 3.0,
+///     angle_sigma_deg: 1.5,
+/// };
+/// let est = estimate_from_observation(&me, &obs);
+/// assert!((est.position.alt_m - 30.0).abs() < 1e-9);
+/// assert!((me.haversine_distance_m(&est.position) - 50.0).abs() < 1e-6);
+/// ```
+pub fn estimate_from_observation(
+    observer: &GeoPoint,
+    obs: &DroneObservation,
+) -> PositionEstimate {
+    let elev = obs.elevation_deg.to_radians();
+    let horizontal = obs.range_m * elev.cos();
+    let vertical = obs.range_m * elev.sin();
+    let position = observer
+        .destination(obs.bearing_deg, horizontal)
+        .with_alt(observer.alt_m + vertical);
+    let cross_range = obs.range_m * obs.angle_sigma_deg.to_radians();
+    let sigma = (obs.range_sigma_m * obs.range_sigma_m + cross_range * cross_range).sqrt();
+    PositionEstimate {
+        position,
+        sigma_m: sigma.max(0.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observer() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 30.0)
+    }
+
+    fn obs(bearing: f64, elevation: f64, range: f64) -> DroneObservation {
+        DroneObservation {
+            bearing_deg: bearing,
+            elevation_deg: elevation,
+            range_m: range,
+            range_sigma_m: 2.0,
+            angle_sigma_deg: 1.5,
+        }
+    }
+
+    #[test]
+    fn level_sighting_preserves_altitude() {
+        let est = estimate_from_observation(&observer(), &obs(0.0, 0.0, 40.0));
+        assert!((est.position.alt_m - 30.0).abs() < 1e-9);
+        assert!((observer().haversine_distance_m(&est.position) - 40.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn elevated_sighting_raises_target() {
+        let est = estimate_from_observation(&observer(), &obs(0.0, 30.0, 40.0));
+        let expected_up = 40.0 * 30f64.to_radians().sin();
+        let expected_horiz = 40.0 * 30f64.to_radians().cos();
+        assert!((est.position.alt_m - (30.0 + expected_up)).abs() < 1e-9);
+        assert!(
+            (observer().haversine_distance_m(&est.position) - expected_horiz).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn depressed_sighting_lowers_target() {
+        let est = estimate_from_observation(&observer(), &obs(180.0, -45.0, 20.0));
+        assert!(est.position.alt_m < 30.0);
+    }
+
+    #[test]
+    fn round_trip_against_true_geometry() {
+        // Build a true target, compute the exact observation, reconstruct.
+        let target = observer().destination(73.0, 60.0).with_alt(45.0);
+        let horiz = observer().haversine_distance_m(&target);
+        let elev = ((target.alt_m - observer().alt_m) / horiz).atan().to_degrees();
+        let range = observer().distance_3d_m(&target);
+        let est = estimate_from_observation(&observer(), &obs(73.0, elev, range));
+        assert!(
+            est.position.distance_3d_m(&target) < 0.1,
+            "reconstruction error {}",
+            est.position.distance_3d_m(&target)
+        );
+    }
+
+    #[test]
+    fn sigma_grows_with_range() {
+        let near = estimate_from_observation(&observer(), &obs(0.0, 0.0, 10.0));
+        let far = estimate_from_observation(&observer(), &obs(0.0, 0.0, 100.0));
+        assert!(far.sigma_m > near.sigma_m);
+    }
+}

@@ -1,0 +1,32 @@
+//! Collaborative Localization (CL) for GPS-denied UAVs.
+//!
+//! Reproduces §III-C of the paper: "Collaborative Localization enables
+//! multi-UAVs to collaboratively determine and enhance their position and
+//! navigation, particularly in scenarios involving GPS signal loss or
+//! sensor inaccuracies due to security attacks. … Nearby UAVs equipped
+//! with Jetson onboard devices and RGB cameras detect and calculate
+//! distances to affected UAVs in real-time using tinyYOLOv4 and monocular
+//! depth estimation. The final position is refined through trigonometric
+//! calculations and the Haversine formula."
+//!
+//! * [`geometry`] — one sighting (bearing/elevation/range) → a position
+//!   estimate with covariance, via exactly those trigonometric +
+//!   haversine-destination calculations;
+//! * [`fusion`] — inverse-variance fusion of simultaneous estimates from
+//!   multiple collaborators;
+//! * [`agent`] — a collaborative agent (vision detector + geometry);
+//! * [`session`] — the CL session: ≥2 collaborators tracking the affected
+//!   UAV with a Kalman smoother and a synchronized fix database, plus the
+//!   guide-to-safe-landing controller of Fig. 7.
+
+pub mod agent;
+pub mod fusion;
+pub mod geometry;
+pub mod rssi;
+pub mod session;
+
+pub use agent::CollaborativeAgent;
+pub use fusion::fuse_estimates;
+pub use geometry::PositionEstimate;
+pub use rssi::{trilaterate, RangeMeasurement, RssiRanging};
+pub use session::{CollabSession, LandingGuidance};

@@ -1,0 +1,291 @@
+//! Communication-based localization: RSSI ranging + trilateration.
+//!
+//! Fig. 1 of the paper includes a **Communication-based Localization
+//! ConSert** alongside the vision-based one: nearby UAVs estimate their
+//! mutual ranges from radio signal strength and trilaterate the affected
+//! UAV. This module provides:
+//!
+//! * [`RssiRanging`] — a log-distance path-loss model that converts RSSI
+//!   to a (noisy) range estimate;
+//! * [`trilaterate`] — Gauss–Newton least squares over ≥3 range
+//!   measurements in the local ENU frame.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_types::geo::{Enu, GeoPoint};
+
+/// Log-distance path-loss RSSI model: `RSSI(d) = P₀ − 10·n·log₁₀(d/d₀)`
+/// plus shadowing noise, invertible to a range estimate.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_collab_loc::rssi::RssiRanging;
+///
+/// let mut radio = RssiRanging::new(1);
+/// let rssi = radio.rssi_at(50.0);
+/// let range = radio.range_from_rssi(rssi);
+/// assert!((range - 50.0).abs() < 40.0);
+/// ```
+#[derive(Debug)]
+pub struct RssiRanging {
+    rng: StdRng,
+    /// RSSI at the reference distance, dBm.
+    pub p0_dbm: f64,
+    /// Reference distance, metres.
+    pub d0_m: f64,
+    /// Path-loss exponent (2 = free space; 2.2 fits open-air UAV links).
+    pub exponent: f64,
+    /// Log-normal shadowing σ, dB.
+    pub shadowing_db: f64,
+}
+
+impl RssiRanging {
+    /// An open-air UAV-to-UAV link model.
+    pub fn new(seed: u64) -> Self {
+        RssiRanging {
+            rng: StdRng::seed_from_u64(seed),
+            p0_dbm: -40.0,
+            d0_m: 1.0,
+            exponent: 2.2,
+            shadowing_db: 2.0,
+        }
+    }
+
+    /// Draws a noisy RSSI observation for a link of true length `d_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d_m` is not positive.
+    pub fn rssi_at(&mut self, d_m: f64) -> f64 {
+        assert!(d_m > 0.0, "distance must be positive");
+        let mean = self.p0_dbm - 10.0 * self.exponent * (d_m / self.d0_m).log10();
+        mean + self.shadowing_db * self.gaussian()
+    }
+
+    /// Inverts the path-loss model: the range estimate for an observed
+    /// RSSI.
+    pub fn range_from_rssi(&self, rssi_dbm: f64) -> f64 {
+        self.d0_m * 10f64.powf((self.p0_dbm - rssi_dbm) / (10.0 * self.exponent))
+    }
+
+    /// One ranging measurement: observe RSSI at the true distance and
+    /// invert it.
+    pub fn measure_range(&mut self, true_d_m: f64) -> f64 {
+        let rssi = self.rssi_at(true_d_m);
+        self.range_from_rssi(rssi)
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+/// One range measurement from a known anchor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeMeasurement {
+    /// The anchor (a collaborating UAV at a known position).
+    pub anchor: GeoPoint,
+    /// Measured range, metres.
+    pub range_m: f64,
+}
+
+/// Trilateration by Gauss–Newton least squares in the ENU frame of the
+/// first anchor. Needs at least three measurements; returns `None` when
+/// under-determined or when the iteration fails to produce a finite
+/// solution.
+///
+/// `initial_alt_m` seeds the vertical coordinate (RSSI geometry is weak in
+/// altitude; a barometric prior helps).
+///
+/// # Examples
+///
+/// ```
+/// use sesame_collab_loc::rssi::{trilaterate, RangeMeasurement};
+/// use sesame_types::geo::GeoPoint;
+///
+/// let origin = GeoPoint::new(35.0, 33.0, 30.0);
+/// let target = origin.destination(40.0, 35.0).with_alt(28.0);
+/// let anchors = [0.0, 120.0, 240.0].map(|b| origin.destination(b, 60.0).with_alt(32.0));
+/// let measurements: Vec<RangeMeasurement> = anchors
+///     .iter()
+///     .map(|a| RangeMeasurement { anchor: *a, range_m: a.distance_3d_m(&target) })
+///     .collect();
+/// let fix = trilaterate(&measurements, 30.0).expect("well-posed geometry");
+/// assert!(fix.distance_3d_m(&target) < 1.0);
+/// ```
+pub fn trilaterate(measurements: &[RangeMeasurement], initial_alt_m: f64) -> Option<GeoPoint> {
+    if measurements.len() < 3 {
+        return None;
+    }
+    let origin = measurements[0].anchor;
+    let anchors: Vec<Enu> = measurements
+        .iter()
+        .map(|m| m.anchor.to_enu(&origin))
+        .collect();
+    // Initial guess: centroid of anchors at the altitude prior.
+    let mut x = anchors.iter().map(|a| a.east_m).sum::<f64>() / anchors.len() as f64;
+    let mut y = anchors.iter().map(|a| a.north_m).sum::<f64>() / anchors.len() as f64;
+    let mut z = initial_alt_m - origin.alt_m;
+
+    for _ in 0..50 {
+        // Residuals r_i = |p - a_i| - range_i and the normal equations of
+        // the linearized system (3×3, solved in closed form).
+        let mut jt_j = [[0.0f64; 3]; 3];
+        let mut jt_r = [0.0f64; 3];
+        for (a, m) in anchors.iter().zip(measurements.iter()) {
+            let dx = x - a.east_m;
+            let dy = y - a.north_m;
+            let dz = z - a.up_m;
+            let dist = (dx * dx + dy * dy + dz * dz).sqrt().max(1e-6);
+            let r = dist - m.range_m;
+            let g = [dx / dist, dy / dist, dz / dist];
+            for i in 0..3 {
+                for j in 0..3 {
+                    jt_j[i][j] += g[i] * g[j];
+                }
+                jt_r[i] += g[i] * r;
+            }
+        }
+        // Levenberg damping keeps the vertical axis well-conditioned.
+        for (i, row) in jt_j.iter_mut().enumerate() {
+            row[i] += 1e-3;
+        }
+        let step = solve3(jt_j, jt_r)?;
+        x -= step[0];
+        y -= step[1];
+        z -= step[2];
+        if step.iter().map(|s| s.abs()).fold(0.0, f64::max) < 1e-6 {
+            break;
+        }
+    }
+    if !(x.is_finite() && y.is_finite() && z.is_finite()) {
+        return None;
+    }
+    Some(GeoPoint::from_enu(&origin, Enu::new(x, y, z)))
+}
+
+/// Solves a 3×3 linear system by Cramer's rule; `None` for a (near-)
+/// singular matrix.
+fn solve3(a: [[f64; 3]; 3], b: [f64; 3]) -> Option<[f64; 3]> {
+    let det = |m: [[f64; 3]; 3]| -> f64 {
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    };
+    let d = det(a);
+    if d.abs() < 1e-12 {
+        return None;
+    }
+    let mut out = [0.0; 3];
+    for k in 0..3 {
+        let mut m = a;
+        for row in 0..3 {
+            m[row][k] = b[row];
+        }
+        out[k] = det(m) / d;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 30.0)
+    }
+
+    #[test]
+    fn rssi_model_inverts_exactly_without_noise() {
+        let mut radio = RssiRanging::new(1);
+        radio.shadowing_db = 0.0;
+        for d in [1.0, 10.0, 50.0, 120.0] {
+            let est = radio.measure_range(d);
+            assert!((est - d).abs() < 1e-9, "{d} -> {est}");
+        }
+    }
+
+    #[test]
+    fn rssi_decreases_with_distance() {
+        let mut radio = RssiRanging::new(2);
+        radio.shadowing_db = 0.0;
+        assert!(radio.rssi_at(10.0) > radio.rssi_at(100.0));
+    }
+
+    #[test]
+    fn ranging_is_unbiased_in_log_domain() {
+        let mut radio = RssiRanging::new(3);
+        let n = 4000;
+        let mean_log: f64 = (0..n)
+            .map(|_| radio.measure_range(60.0).ln())
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean_log - 60.0f64.ln()).abs() < 0.02, "{mean_log}");
+    }
+
+    #[test]
+    fn exact_ranges_trilaterate_exactly() {
+        let target = origin().destination(70.0, 45.0).with_alt(26.0);
+        let anchors = [10.0, 130.0, 250.0, 60.0]
+            .map(|b| origin().destination(b, 70.0).with_alt(33.0));
+        let ms: Vec<RangeMeasurement> = anchors
+            .iter()
+            .map(|a| RangeMeasurement {
+                anchor: *a,
+                range_m: a.distance_3d_m(&target),
+            })
+            .collect();
+        let fix = trilaterate(&ms, 30.0).unwrap();
+        assert!(fix.distance_3d_m(&target) < 0.5, "err {}", fix.distance_3d_m(&target));
+    }
+
+    #[test]
+    fn noisy_rssi_ranges_localize_within_meters() {
+        let mut radio = RssiRanging::new(7);
+        let target = origin().destination(45.0, 40.0).with_alt(30.0);
+        let anchors = [0.0, 90.0, 180.0, 270.0]
+            .map(|b| origin().destination(b, 60.0).with_alt(32.0));
+        // Average several RSSI rounds to tame the shadowing.
+        let mut errors = Vec::new();
+        for _ in 0..50 {
+            let ms: Vec<RangeMeasurement> = anchors
+                .iter()
+                .map(|a| {
+                    let true_d = a.distance_3d_m(&target);
+                    let avg: f64 =
+                        (0..8).map(|_| radio.measure_range(true_d)).sum::<f64>() / 8.0;
+                    RangeMeasurement {
+                        anchor: *a,
+                        range_m: avg,
+                    }
+                })
+                .collect();
+            if let Some(fix) = trilaterate(&ms, 30.0) {
+                errors.push(fix.haversine_distance_m(&target));
+            }
+        }
+        assert!(errors.len() > 40);
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        assert!(mean < 8.0, "mean horizontal error {mean} m");
+    }
+
+    #[test]
+    fn under_determined_returns_none() {
+        let m = RangeMeasurement {
+            anchor: origin(),
+            range_m: 10.0,
+        };
+        assert!(trilaterate(&[m], 30.0).is_none());
+        assert!(trilaterate(&[m, m], 30.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_panics() {
+        let mut radio = RssiRanging::new(1);
+        let _ = radio.rssi_at(0.0);
+    }
+}

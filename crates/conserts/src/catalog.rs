@@ -1,0 +1,539 @@
+//! The paper's Fig. 1 certificate hierarchy.
+//!
+//! One network per UAV (certificate names are prefixed with the UAV name),
+//! plus the mission-level decider that folds per-UAV outputs into a fleet
+//! decision ("Σ over UAVs").
+//!
+//! Runtime-evidence vocabulary (fed by the EDDI monitors in
+//! `sesame-core`):
+//!
+//! | Evidence id            | Producer                                  |
+//! |------------------------|-------------------------------------------|
+//! | `gps_usable`           | GPS quality factors (fix, sats, HDOP)     |
+//! | `no_attack`            | Security EDDI (no active attack-tree root) |
+//! | `vision_healthy`       | vision sensor health monitor              |
+//! | `safeml_ok`            | SafeML verdict ≠ Reject                   |
+//! | `comm_ok`              | link quality supports collaboration       |
+//! | `neighbors_available`  | ≥ 2 collaborators in range                |
+//! | `assistant_available`  | a dedicated assistant UAV is on station   |
+//! | `rel_high` / `rel_med` / `rel_low` | SafeDrones reliability level  |
+
+use crate::engine::{evidence_from, ConsertNetwork, Evidence};
+use crate::model::{Consert, Dimension, Guarantee, Tree};
+
+/// The per-UAV output vocabulary of the UAV ConSert (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UavAction {
+    /// Continue the mission and accept additional tasks.
+    ContinueCanTakeMore,
+    /// Continue the mission at current load.
+    ContinueMission,
+    /// Hold position until the critical situation resolves.
+    HoldPosition,
+    /// Return to base / land normally.
+    ReturnToBase,
+    /// Immediate emergency landing (the default guarantee).
+    EmergencyLand,
+}
+
+impl UavAction {
+    fn from_guarantee(name: &str) -> Option<UavAction> {
+        Some(match name {
+            "continue_can_take_more" => UavAction::ContinueCanTakeMore,
+            "continue_mission" => UavAction::ContinueMission,
+            "hold_position" => UavAction::HoldPosition,
+            "return_to_base" => UavAction::ReturnToBase,
+            "emergency_land" => UavAction::EmergencyLand,
+            _ => return None,
+        })
+    }
+
+    /// Whether the UAV keeps working on mission tasks under this action.
+    pub fn is_mission_capable(&self) -> bool {
+        matches!(
+            self,
+            UavAction::ContinueCanTakeMore | UavAction::ContinueMission
+        )
+    }
+}
+
+impl std::fmt::Display for UavAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            UavAction::ContinueCanTakeMore => "continue (can take more tasks)",
+            UavAction::ContinueMission => "continue mission",
+            UavAction::HoldPosition => "hold position",
+            UavAction::ReturnToBase => "return to base / land",
+            UavAction::EmergencyLand => "emergency land",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Mission-level decision (the Σ-decider of Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MissionDecision {
+    /// Every UAV continues: the mission completes as planned.
+    CompleteAsPlanned,
+    /// Some UAV dropped out but remaining capacity covers its tasks.
+    RedistributeTasks,
+    /// The fleet cannot fully complete the mission.
+    CannotComplete,
+}
+
+impl std::fmt::Display for MissionDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MissionDecision::CompleteAsPlanned => "mission to be completed as planned",
+            MissionDecision::RedistributeTasks => "task redistribution needed",
+            MissionDecision::CannotComplete => "mission cannot be fully completed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Boolean evidence snapshot for one UAV, converted to the evidence set the
+/// network consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UavEvidence {
+    /// GPS fix usable (quality factors in range).
+    pub gps_usable: bool,
+    /// No active security attack detected.
+    pub no_attack: bool,
+    /// Vision sensor healthy.
+    pub vision_healthy: bool,
+    /// SafeML does not reject the perception stream.
+    pub safeml_ok: bool,
+    /// Comm links healthy.
+    pub comm_ok: bool,
+    /// At least two collaborators in range.
+    pub neighbors_available: bool,
+    /// A dedicated assistant UAV is available.
+    pub assistant_available: bool,
+    /// SafeDrones reliability = High.
+    pub rel_high: bool,
+    /// SafeDrones reliability = Medium.
+    pub rel_med: bool,
+    /// SafeDrones reliability = Low.
+    pub rel_low: bool,
+}
+
+impl UavEvidence {
+    /// Everything healthy: GPS, security, vision, comms, high reliability.
+    pub fn nominal() -> Self {
+        UavEvidence {
+            gps_usable: true,
+            no_attack: true,
+            vision_healthy: true,
+            safeml_ok: true,
+            comm_ok: true,
+            neighbors_available: true,
+            assistant_available: false,
+            rel_high: true,
+            rel_med: false,
+            rel_low: false,
+        }
+    }
+
+    /// Converts to the engine's evidence set.
+    pub fn to_evidence(self) -> Evidence {
+        let mut ids: Vec<&str> = Vec::new();
+        if self.gps_usable {
+            ids.push("gps_usable");
+        }
+        if self.no_attack {
+            ids.push("no_attack");
+        }
+        if self.vision_healthy {
+            ids.push("vision_healthy");
+        }
+        if self.safeml_ok {
+            ids.push("safeml_ok");
+        }
+        if self.comm_ok {
+            ids.push("comm_ok");
+        }
+        if self.neighbors_available {
+            ids.push("neighbors_available");
+        }
+        if self.assistant_available {
+            ids.push("assistant_available");
+        }
+        if self.rel_high {
+            ids.push("rel_high");
+        }
+        if self.rel_med {
+            ids.push("rel_med");
+        }
+        if self.rel_low {
+            ids.push("rel_low");
+        }
+        evidence_from(ids)
+    }
+}
+
+fn scoped(uav: &str, name: &str) -> String {
+    format!("{uav}/{name}")
+}
+
+/// Builds the full Fig. 1 certificate network for one UAV. Certificate
+/// names are `"<uav>/<component>"`.
+pub fn uav_consert_network(uav: &str) -> ConsertNetwork {
+    let security = Consert::new(
+        scoped(uav, "security_eddi"),
+        vec![Guarantee::new("no_attack", Tree::evidence("no_attack"))],
+    );
+    let vision_health = Consert::new(
+        scoped(uav, "vision_sensor_health"),
+        vec![Guarantee::new(
+            "sensor_ok",
+            Tree::evidence("vision_healthy"),
+        )],
+    );
+    let gps_loc = Consert::new(
+        scoped(uav, "gps_localization"),
+        vec![Guarantee::new(
+            "acc_0_5m",
+            Tree::And(vec![
+                Tree::evidence("gps_usable"),
+                Tree::demand(scoped(uav, "security_eddi"), "no_attack"),
+            ]),
+        )],
+    );
+    let vision_loc = Consert::new(
+        scoped(uav, "vision_localization"),
+        vec![Guarantee::new(
+            "acc_1m",
+            Tree::And(vec![
+                Tree::demand(scoped(uav, "vision_sensor_health"), "sensor_ok"),
+                Tree::evidence("safeml_ok"),
+            ]),
+        )],
+    );
+    let comm_loc = Consert::new(
+        scoped(uav, "comm_localization"),
+        vec![Guarantee::new(
+            "acc_0_75m",
+            Tree::And(vec![
+                Tree::evidence("comm_ok"),
+                Tree::evidence("neighbors_available"),
+            ]),
+        )],
+    );
+    let safety = Consert::new(
+        scoped(uav, "safety_eddi"),
+        vec![
+            Guarantee::new("rel_high", Tree::evidence("rel_high")),
+            Guarantee::new("rel_med", Tree::evidence("rel_med")),
+            Guarantee::new("rel_low", Tree::evidence("rel_low")),
+        ],
+    );
+    // Navigation levels, best first (accuracy bands of Fig. 1).
+    let navigation = Consert::new(
+        scoped(uav, "navigation"),
+        vec![
+            Guarantee::new(
+                "high_performance_0_5m",
+                Tree::demand(scoped(uav, "gps_localization"), "acc_0_5m"),
+            )
+            .with_dimension(Dimension::NavigationAccuracyM(0.5)),
+            Guarantee::new(
+                "collaborative_0_75m",
+                Tree::demand(scoped(uav, "comm_localization"), "acc_0_75m"),
+            )
+            .with_dimension(Dimension::NavigationAccuracyM(0.75)),
+            Guarantee::new(
+                "vision_1m",
+                Tree::demand(scoped(uav, "vision_localization"), "acc_1m"),
+            )
+            .with_dimension(Dimension::NavigationAccuracyM(1.0)),
+            Guarantee::new("assistant_1m", Tree::evidence("assistant_available"))
+                .with_dimension(Dimension::NavigationAccuracyM(1.0)),
+            Guarantee::new("default_emergency", Tree::Always),
+        ],
+    );
+    let nav = |g: &str| Tree::demand(scoped(uav, "navigation"), g);
+    let rel = |g: &str| Tree::demand(scoped(uav, "safety_eddi"), g);
+    let any_nav = || {
+        Tree::Or(vec![
+            nav("high_performance_0_5m"),
+            nav("collaborative_0_75m"),
+            nav("vision_1m"),
+            nav("assistant_1m"),
+        ])
+    };
+    let uav_consert = Consert::new(
+        scoped(uav, "uav"),
+        vec![
+            Guarantee::new(
+                "continue_can_take_more",
+                Tree::And(vec![nav("high_performance_0_5m"), rel("rel_high")]),
+            ),
+            Guarantee::new(
+                "continue_mission",
+                Tree::And(vec![
+                    Tree::Or(vec![nav("high_performance_0_5m"), nav("collaborative_0_75m")]),
+                    Tree::Or(vec![rel("rel_high"), rel("rel_med")]),
+                ]),
+            ),
+            Guarantee::new(
+                "hold_position",
+                Tree::And(vec![
+                    Tree::Or(vec![nav("vision_1m"), nav("assistant_1m")]),
+                    Tree::Or(vec![rel("rel_high"), rel("rel_med")]),
+                ]),
+            ),
+            Guarantee::new(
+                "return_to_base",
+                Tree::And(vec![any_nav(), rel("rel_low")]),
+            ),
+            Guarantee::new("emergency_land", Tree::Always),
+        ],
+    );
+    ConsertNetwork::new(vec![
+        security,
+        vision_health,
+        gps_loc,
+        vision_loc,
+        comm_loc,
+        safety,
+        navigation,
+        uav_consert,
+    ])
+    .expect("catalog network is statically well-formed")
+}
+
+/// Evaluates the network for `uav` under `evidence` and returns the UAV
+/// ConSert's action.
+///
+/// Returns `None` if the network lacks the UAV certificate (wrong name).
+pub fn evaluate_uav(
+    network: &ConsertNetwork,
+    uav: &str,
+    evidence: &UavEvidence,
+) -> Option<UavAction> {
+    let results = network.evaluate(&evidence.to_evidence());
+    let r = results.get(&scoped(uav, "uav"))?;
+    r.top.as_deref().and_then(UavAction::from_guarantee)
+}
+
+/// Looks up the certified navigation accuracy for `uav` under `evidence`:
+/// the [`Dimension`] of the navigation certificate's top guarantee
+/// (`None` when only the default/emergency level holds).
+pub fn certified_navigation_accuracy_m(
+    network: &ConsertNetwork,
+    uav: &str,
+    evidence: &UavEvidence,
+) -> Option<f64> {
+    let results = network.evaluate(&evidence.to_evidence());
+    let nav_name = scoped(uav, "navigation");
+    let top = results.get(&nav_name)?.top.clone()?;
+    let consert = network.conserts().iter().find(|c| c.name == nav_name)?;
+    match consert.guarantee(&top)?.dimension {
+        Some(Dimension::NavigationAccuracyM(m)) => Some(m),
+        _ => None,
+    }
+}
+
+/// The Σ-decider at mission level: folds per-UAV actions into a fleet
+/// decision. `redistribution_capacity` is true when at least one
+/// continuing UAV reported `ContinueCanTakeMore`.
+pub fn decide_mission(actions: &[UavAction]) -> MissionDecision {
+    if actions.is_empty() {
+        return MissionDecision::CannotComplete;
+    }
+    let aborted = actions
+        .iter()
+        .filter(|a| matches!(a, UavAction::ReturnToBase | UavAction::EmergencyLand))
+        .count();
+    if aborted == 0 {
+        return MissionDecision::CompleteAsPlanned;
+    }
+    let spare_capacity = actions.contains(&UavAction::ContinueCanTakeMore);
+    if spare_capacity {
+        MissionDecision::RedistributeTasks
+    } else {
+        MissionDecision::CannotComplete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn act(e: &UavEvidence) -> UavAction {
+        let net = uav_consert_network("uav1");
+        evaluate_uav(&net, "uav1", e).expect("uav certificate present")
+    }
+
+    #[test]
+    fn nominal_fleet_takes_more_tasks() {
+        assert_eq!(act(&UavEvidence::nominal()), UavAction::ContinueCanTakeMore);
+    }
+
+    #[test]
+    fn medium_reliability_still_continues() {
+        let e = UavEvidence {
+            rel_high: false,
+            rel_med: true,
+            ..UavEvidence::nominal()
+        };
+        assert_eq!(act(&e), UavAction::ContinueMission);
+    }
+
+    #[test]
+    fn gps_loss_falls_back_to_collaborative_navigation() {
+        let e = UavEvidence {
+            gps_usable: false,
+            ..UavEvidence::nominal()
+        };
+        // Collaborative nav (<0.75 m) still supports continuing.
+        assert_eq!(act(&e), UavAction::ContinueMission);
+    }
+
+    #[test]
+    fn attack_invalidates_gps_navigation() {
+        // Under attack the GPS localization certificate fails even with a
+        // good fix (the spoofed fix cannot be trusted) — Fig. 1's
+        // Security-EDDI → GPS-localization dependency.
+        let e = UavEvidence {
+            no_attack: false,
+            comm_ok: false,
+            neighbors_available: false,
+            ..UavEvidence::nominal()
+        };
+        // Vision nav remains → hold position.
+        assert_eq!(act(&e), UavAction::HoldPosition);
+    }
+
+    #[test]
+    fn attack_with_collaborators_continues_collaboratively() {
+        let e = UavEvidence {
+            no_attack: false,
+            ..UavEvidence::nominal()
+        };
+        assert_eq!(act(&e), UavAction::ContinueMission);
+    }
+
+    #[test]
+    fn low_reliability_returns_to_base() {
+        let e = UavEvidence {
+            rel_high: false,
+            rel_low: true,
+            ..UavEvidence::nominal()
+        };
+        assert_eq!(act(&e), UavAction::ReturnToBase);
+    }
+
+    #[test]
+    fn everything_lost_emergency_lands() {
+        let e = UavEvidence {
+            gps_usable: false,
+            no_attack: false,
+            vision_healthy: false,
+            safeml_ok: false,
+            comm_ok: false,
+            neighbors_available: false,
+            assistant_available: false,
+            rel_high: false,
+            rel_med: false,
+            rel_low: true,
+        };
+        assert_eq!(act(&e), UavAction::EmergencyLand);
+    }
+
+    #[test]
+    fn vision_only_holds_position() {
+        let e = UavEvidence {
+            gps_usable: false,
+            comm_ok: false,
+            neighbors_available: false,
+            ..UavEvidence::nominal()
+        };
+        assert_eq!(act(&e), UavAction::HoldPosition);
+    }
+
+    #[test]
+    fn mission_decider_matches_figure() {
+        use UavAction::*;
+        assert_eq!(
+            decide_mission(&[ContinueCanTakeMore, ContinueMission, ContinueMission]),
+            MissionDecision::CompleteAsPlanned
+        );
+        assert_eq!(
+            decide_mission(&[ContinueCanTakeMore, ContinueMission, EmergencyLand]),
+            MissionDecision::RedistributeTasks
+        );
+        assert_eq!(
+            decide_mission(&[ContinueMission, ContinueMission, ReturnToBase]),
+            MissionDecision::CannotComplete
+        );
+        assert_eq!(
+            decide_mission(&[HoldPosition, HoldPosition, HoldPosition]),
+            MissionDecision::CompleteAsPlanned,
+            "holding is not aborting"
+        );
+        assert_eq!(decide_mission(&[]), MissionDecision::CannotComplete);
+    }
+
+    #[test]
+    fn action_display_and_capability() {
+        assert!(UavAction::ContinueMission.is_mission_capable());
+        assert!(!UavAction::HoldPosition.is_mission_capable());
+        assert_eq!(
+            MissionDecision::RedistributeTasks.to_string(),
+            "task redistribution needed"
+        );
+        assert_eq!(UavAction::EmergencyLand.to_string(), "emergency land");
+    }
+
+    #[test]
+    fn navigation_accuracy_degrades_with_evidence() {
+        let net = uav_consert_network("uav1");
+        let nominal = certified_navigation_accuracy_m(&net, "uav1", &UavEvidence::nominal());
+        assert_eq!(nominal, Some(0.5), "Fig. 1 high-performance bound");
+        let no_gps = certified_navigation_accuracy_m(
+            &net,
+            "uav1",
+            &UavEvidence {
+                gps_usable: false,
+                ..UavEvidence::nominal()
+            },
+        );
+        assert_eq!(no_gps, Some(0.75), "collaborative bound");
+        let vision_only = certified_navigation_accuracy_m(
+            &net,
+            "uav1",
+            &UavEvidence {
+                gps_usable: false,
+                comm_ok: false,
+                neighbors_available: false,
+                ..UavEvidence::nominal()
+            },
+        );
+        assert_eq!(vision_only, Some(1.0), "vision bound");
+        let nothing = certified_navigation_accuracy_m(
+            &net,
+            "uav1",
+            &UavEvidence {
+                gps_usable: false,
+                comm_ok: false,
+                neighbors_available: false,
+                vision_healthy: false,
+                safeml_ok: false,
+                ..UavEvidence::nominal()
+            },
+        );
+        assert_eq!(nothing, None, "only the default level remains");
+    }
+
+    #[test]
+    fn two_uavs_have_independent_networks() {
+        let n1 = uav_consert_network("uav1");
+        let n2 = uav_consert_network("uav2");
+        let e = UavEvidence::nominal();
+        assert!(evaluate_uav(&n1, "uav1", &e).is_some());
+        assert!(evaluate_uav(&n1, "uav2", &e).is_none());
+        assert!(evaluate_uav(&n2, "uav2", &e).is_some());
+    }
+}

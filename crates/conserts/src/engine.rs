@@ -1,0 +1,343 @@
+//! The ConSert network evaluator.
+//!
+//! A [`ConsertNetwork`] owns a set of certificates. Evaluation resolves
+//! demand links in dependency order (cycles are rejected), computes every
+//! guarantee's truth value from the supplied evidence, and reports each
+//! certificate's fulfilled set plus its *top* (most preferred fulfilled)
+//! guarantee. Evaluation is pure: same evidence, same result.
+
+use crate::model::{Consert, GuaranteeRef, RteId, Tree};
+use std::collections::{HashMap, HashSet};
+
+/// Evidence assignment: which runtime-evidence propositions currently hold.
+pub type Evidence = HashSet<RteId>;
+
+/// Errors detected when building or evaluating a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// Two certificates share a name.
+    DuplicateConsert(String),
+    /// A demand references a certificate that is not in the network.
+    UnknownConsert(String),
+    /// A demand references a guarantee its provider does not declare.
+    UnknownGuarantee(GuaranteeRef),
+    /// Demand links form a cycle through these certificates.
+    DemandCycle(Vec<String>),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::DuplicateConsert(c) => write!(f, "duplicate certificate `{c}`"),
+            EvalError::UnknownConsert(c) => write!(f, "demand references unknown certificate `{c}`"),
+            EvalError::UnknownGuarantee(g) => write!(f, "demand references unknown guarantee `{g}`"),
+            EvalError::DemandCycle(cs) => write!(f, "demand cycle through {cs:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation output for one certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalResult {
+    /// All fulfilled guarantee names.
+    pub fulfilled: Vec<String>,
+    /// The most preferred fulfilled guarantee, if any.
+    pub top: Option<String>,
+}
+
+/// A validated network of certificates.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_conserts::engine::ConsertNetwork;
+/// use sesame_conserts::model::{Consert, Guarantee, Tree};
+/// use std::collections::HashSet;
+///
+/// let net = ConsertNetwork::new(vec![
+///     Consert::new("sensor", vec![Guarantee::new("ok", Tree::evidence("healthy"))]),
+///     Consert::new(
+///         "nav",
+///         vec![
+///             Guarantee::new("precise", Tree::demand("sensor", "ok")),
+///             Guarantee::new("fallback", Tree::Always),
+///         ],
+///     ),
+/// ])?;
+/// let mut evidence = HashSet::new();
+/// evidence.insert("healthy".into());
+/// let results = net.evaluate(&evidence);
+/// assert_eq!(results["nav"].top.as_deref(), Some("precise"));
+/// # Ok::<(), sesame_conserts::engine::EvalError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConsertNetwork {
+    conserts: Vec<Consert>,
+    /// Evaluation order (indices into `conserts`), providers first.
+    order: Vec<usize>,
+}
+
+impl ConsertNetwork {
+    /// Builds and validates a network.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`] for the rejected structures.
+    pub fn new(conserts: Vec<Consert>) -> Result<Self, EvalError> {
+        let mut index: HashMap<&str, usize> = HashMap::new();
+        for (i, c) in conserts.iter().enumerate() {
+            if index.insert(c.name.as_str(), i).is_some() {
+                return Err(EvalError::DuplicateConsert(c.name.clone()));
+            }
+        }
+        // Validate demands and build the dependency graph (consumer -> providers).
+        let mut deps: Vec<HashSet<usize>> = vec![HashSet::new(); conserts.len()];
+        for (i, c) in conserts.iter().enumerate() {
+            for g in &c.guarantees {
+                for d in g.tree.demands() {
+                    let Some(&p) = index.get(d.consert.as_str()) else {
+                        return Err(EvalError::UnknownConsert(d.consert.clone()));
+                    };
+                    if conserts[p].guarantee(&d.guarantee).is_none() {
+                        return Err(EvalError::UnknownGuarantee(d.clone()));
+                    }
+                    if p != i {
+                        deps[i].insert(p);
+                    }
+                }
+            }
+        }
+        // Kahn topological order, providers first.
+        let n = conserts.len();
+        let mut remaining: Vec<usize> = (0..n).map(|i| deps[i].len()).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<usize> = (0..n).filter(|&i| remaining[i] == 0).collect();
+        ready.sort_unstable();
+        while let Some(next) = ready.pop() {
+            order.push(next);
+            for i in 0..n {
+                if deps[i].contains(&next) {
+                    remaining[i] -= 1;
+                    if remaining[i] == 0 {
+                        ready.push(i);
+                    }
+                }
+            }
+        }
+        if order.len() != n {
+            let cyclic: Vec<String> = (0..n)
+                .filter(|&i| remaining[i] > 0)
+                .map(|i| conserts[i].name.clone())
+                .collect();
+            return Err(EvalError::DemandCycle(cyclic));
+        }
+        Ok(ConsertNetwork { conserts, order })
+    }
+
+    /// The certificates in the network.
+    pub fn conserts(&self) -> &[Consert] {
+        &self.conserts
+    }
+
+    /// Evaluates the whole network under `evidence`, returning per-
+    /// certificate results keyed by certificate name.
+    pub fn evaluate(&self, evidence: &Evidence) -> HashMap<String, EvalResult> {
+        // fulfilled[(consert, guarantee)] = bool, filled in provider order.
+        let mut fulfilled: HashMap<(String, String), bool> = HashMap::new();
+        let mut results = HashMap::with_capacity(self.conserts.len());
+        for &i in &self.order {
+            let c = &self.conserts[i];
+            let mut names = Vec::new();
+            for g in &c.guarantees {
+                let ok = Self::eval_tree(&g.tree, evidence, &fulfilled);
+                fulfilled.insert((c.name.clone(), g.name.clone()), ok);
+                if ok {
+                    names.push(g.name.clone());
+                }
+            }
+            let top = names.first().cloned();
+            results.insert(c.name.clone(), EvalResult {
+                fulfilled: names,
+                top,
+            });
+        }
+        results
+    }
+
+    fn eval_tree(
+        tree: &Tree,
+        evidence: &Evidence,
+        fulfilled: &HashMap<(String, String), bool>,
+    ) -> bool {
+        match tree {
+            Tree::Always => true,
+            Tree::Evidence(id) => evidence.contains(id),
+            Tree::Demand(d) => *fulfilled
+                .get(&(d.consert.clone(), d.guarantee.clone()))
+                .unwrap_or(&false),
+            Tree::And(children) => children
+                .iter()
+                .all(|c| Self::eval_tree(c, evidence, fulfilled)),
+            Tree::Or(children) => children
+                .iter()
+                .any(|c| Self::eval_tree(c, evidence, fulfilled)),
+        }
+    }
+}
+
+/// Builds an [`Evidence`] set from string ids.
+pub fn evidence_from<I, S>(ids: I) -> Evidence
+where
+    I: IntoIterator<Item = S>,
+    S: Into<String>,
+{
+    ids.into_iter().map(|s| RteId::new(s.into())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Guarantee;
+
+    fn simple_network() -> ConsertNetwork {
+        ConsertNetwork::new(vec![
+            Consert::new(
+                "sensor",
+                vec![Guarantee::new("ok", Tree::evidence("healthy"))],
+            ),
+            Consert::new(
+                "nav",
+                vec![
+                    Guarantee::new(
+                        "precise",
+                        Tree::And(vec![
+                            Tree::demand("sensor", "ok"),
+                            Tree::evidence("gps_usable"),
+                        ]),
+                    ),
+                    Guarantee::new("coarse", Tree::demand("sensor", "ok")),
+                    Guarantee::new("fallback", Tree::Always),
+                ],
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn top_guarantee_follows_preference_order() {
+        let net = simple_network();
+        let full = net.evaluate(&evidence_from(["healthy", "gps_usable"]));
+        assert_eq!(full["nav"].top.as_deref(), Some("precise"));
+        assert_eq!(full["nav"].fulfilled.len(), 3);
+
+        let degraded = net.evaluate(&evidence_from(["healthy"]));
+        assert_eq!(degraded["nav"].top.as_deref(), Some("coarse"));
+
+        let bare = net.evaluate(&evidence_from::<_, String>([]));
+        assert_eq!(bare["nav"].top.as_deref(), Some("fallback"));
+        assert_eq!(bare["sensor"].top, None);
+    }
+
+    #[test]
+    fn evaluation_is_pure() {
+        let net = simple_network();
+        let e = evidence_from(["healthy"]);
+        assert_eq!(net.evaluate(&e), net.evaluate(&e));
+    }
+
+    #[test]
+    fn unknown_consert_rejected() {
+        let err = ConsertNetwork::new(vec![Consert::new(
+            "nav",
+            vec![Guarantee::new("x", Tree::demand("ghost", "ok"))],
+        )])
+        .unwrap_err();
+        assert_eq!(err, EvalError::UnknownConsert("ghost".into()));
+    }
+
+    #[test]
+    fn unknown_guarantee_rejected() {
+        let err = ConsertNetwork::new(vec![
+            Consert::new("sensor", vec![Guarantee::new("ok", Tree::Always)]),
+            Consert::new(
+                "nav",
+                vec![Guarantee::new("x", Tree::demand("sensor", "missing"))],
+            ),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EvalError::UnknownGuarantee(_)));
+    }
+
+    #[test]
+    fn duplicate_consert_rejected() {
+        let err = ConsertNetwork::new(vec![
+            Consert::new("a", vec![Guarantee::new("x", Tree::Always)]),
+            Consert::new("a", vec![Guarantee::new("y", Tree::Always)]),
+        ])
+        .unwrap_err();
+        assert_eq!(err, EvalError::DuplicateConsert("a".into()));
+    }
+
+    #[test]
+    fn demand_cycle_rejected() {
+        let err = ConsertNetwork::new(vec![
+            Consert::new("a", vec![Guarantee::new("x", Tree::demand("b", "y"))]),
+            Consert::new("b", vec![Guarantee::new("y", Tree::demand("a", "x"))]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, EvalError::DemandCycle(_)));
+    }
+
+    #[test]
+    fn self_demand_within_consert_allowed() {
+        // A guarantee may reference a sibling guarantee (evaluated in
+        // declaration order).
+        let net = ConsertNetwork::new(vec![Consert::new(
+            "c",
+            vec![
+                Guarantee::new("base", Tree::evidence("e")),
+                Guarantee::new("derived", Tree::demand("c", "base")),
+            ],
+        )])
+        .unwrap();
+        let r = net.evaluate(&evidence_from(["e"]));
+        assert_eq!(r["c"].fulfilled, vec!["base", "derived"]);
+    }
+
+    #[test]
+    fn three_level_chain_propagates() {
+        let net = ConsertNetwork::new(vec![
+            Consert::new("gps", vec![Guarantee::new("fix", Tree::evidence("sats"))]),
+            Consert::new(
+                "loc",
+                vec![Guarantee::new("acc", Tree::demand("gps", "fix"))],
+            ),
+            Consert::new(
+                "nav",
+                vec![Guarantee::new("go", Tree::demand("loc", "acc"))],
+            ),
+        ])
+        .unwrap();
+        let ok = net.evaluate(&evidence_from(["sats"]));
+        assert_eq!(ok["nav"].top.as_deref(), Some("go"));
+        let lost = net.evaluate(&evidence_from::<_, String>([]));
+        assert_eq!(lost["nav"].top, None);
+    }
+
+    #[test]
+    fn or_gate_takes_either_branch() {
+        let net = ConsertNetwork::new(vec![Consert::new(
+            "c",
+            vec![Guarantee::new(
+                "g",
+                Tree::Or(vec![Tree::evidence("a"), Tree::evidence("b")]),
+            )],
+        )])
+        .unwrap();
+        assert!(net.evaluate(&evidence_from(["a"]))["c"].top.is_some());
+        assert!(net.evaluate(&evidence_from(["b"]))["c"].top.is_some());
+        assert!(net.evaluate(&evidence_from(["z"]))["c"].top.is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Graphviz export of ConSert networks.
+//!
+//! Renders a [`ConsertNetwork`] like the paper's Fig. 1: one cluster per
+//! certificate, guarantees as boxes, runtime evidence as ellipses, demand
+//! links as dashed edges between clusters. When an evaluation result is
+//! supplied, fulfilled guarantees are filled green.
+
+use crate::engine::{ConsertNetwork, EvalResult};
+use crate::model::Tree;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Renders the network as a Graphviz `digraph` with one subgraph cluster
+/// per certificate. Pass an evaluation result to highlight fulfilled
+/// guarantees, or `None` for the bare structure.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_conserts::catalog;
+/// use sesame_conserts::export::to_dot;
+///
+/// let network = catalog::uav_consert_network("uav1");
+/// let dot = to_dot(&network, None);
+/// assert!(dot.contains("cluster"));
+/// assert!(dot.contains("navigation"));
+/// ```
+pub fn to_dot(network: &ConsertNetwork, results: Option<&HashMap<String, EvalResult>>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph conserts {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  compound=true;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+
+    // Stable node ids: guarantee -> gN, evidence leaves get eN per use.
+    let mut guarantee_ids: HashMap<(String, String), String> = HashMap::new();
+    for (ci, c) in network.conserts().iter().enumerate() {
+        for (gi, g) in c.guarantees.iter().enumerate() {
+            guarantee_ids.insert((c.name.clone(), g.name.clone()), format!("g{ci}_{gi}"));
+        }
+    }
+    let mut evidence_counter = 0usize;
+    let mut demand_edges: Vec<(String, String)> = Vec::new();
+
+    for (ci, c) in network.conserts().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_{ci} {{");
+        let _ = writeln!(out, "    label=\"{}\";", escape(&c.name));
+        for g in &c.guarantees {
+            let gid = guarantee_ids[&(c.name.clone(), g.name.clone())].clone();
+            let fulfilled = results
+                .and_then(|r| r.get(&c.name))
+                .map(|r| r.fulfilled.contains(&g.name))
+                .unwrap_or(false);
+            let style = if fulfilled {
+                ", style=filled, fillcolor=\"#b3ffb3\""
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "    {gid} [shape=box{style}, label=\"{}\"];",
+                escape(&g.name)
+            );
+            collect_tree(
+                &g.tree,
+                &gid,
+                &mut out,
+                &mut evidence_counter,
+                &guarantee_ids,
+                &mut demand_edges,
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (from, to) in demand_edges {
+        let _ = writeln!(out, "  {from} -> {to} [style=dashed, color=blue];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn collect_tree(
+    tree: &Tree,
+    parent: &str,
+    out: &mut String,
+    evidence_counter: &mut usize,
+    guarantee_ids: &HashMap<(String, String), String>,
+    demand_edges: &mut Vec<(String, String)>,
+) {
+    match tree {
+        Tree::Always => {}
+        Tree::Evidence(id) => {
+            let eid = format!("e{}", *evidence_counter);
+            *evidence_counter += 1;
+            let _ = writeln!(
+                out,
+                "    {eid} [shape=ellipse, fontsize=10, label=\"{}\"];",
+                escape(id.as_str())
+            );
+            let _ = writeln!(out, "    {eid} -> {parent};");
+        }
+        Tree::Demand(d) => {
+            if let Some(provider) = guarantee_ids.get(&(d.consert.clone(), d.guarantee.clone())) {
+                demand_edges.push((provider.clone(), parent.to_string()));
+            }
+        }
+        Tree::And(children) | Tree::Or(children) => {
+            for c in children {
+                collect_tree(c, parent, out, evidence_counter, guarantee_ids, demand_edges);
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{self, UavEvidence};
+
+    #[test]
+    fn structure_export_contains_all_certificates() {
+        let network = catalog::uav_consert_network("uav1");
+        let dot = to_dot(&network, None);
+        for c in [
+            "security_eddi",
+            "vision_sensor_health",
+            "gps_localization",
+            "vision_localization",
+            "comm_localization",
+            "safety_eddi",
+            "navigation",
+            "uav1/uav",
+        ] {
+            assert!(dot.contains(c), "missing {c}");
+        }
+        assert!(!dot.contains("fillcolor"), "no highlights without results");
+        assert!(dot.contains("style=dashed"), "demand links present");
+    }
+
+    #[test]
+    fn evaluated_export_highlights_fulfilled() {
+        let network = catalog::uav_consert_network("uav1");
+        let results = network.evaluate(&UavEvidence::nominal().to_evidence());
+        let dot = to_dot(&network, Some(&results));
+        assert!(dot.matches("fillcolor").count() > 5);
+        // The default guarantee is always fulfilled.
+        assert!(dot.contains("default_emergency"));
+    }
+
+    #[test]
+    fn demand_edges_count_matches_model() {
+        let network = catalog::uav_consert_network("uav1");
+        let dot = to_dot(&network, None);
+        let demands: usize = network
+            .conserts()
+            .iter()
+            .flat_map(|c| c.guarantees.iter())
+            .map(|g| g.tree.demands().len())
+            .sum();
+        assert_eq!(dot.matches("style=dashed").count(), demands);
+    }
+}

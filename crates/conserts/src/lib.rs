@@ -1,0 +1,39 @@
+//! ConSerts — Conditional Safety Certificates with runtime evaluation.
+//!
+//! Reproduces the ConSerts approach of the paper (§II-B, \[23\]): each
+//! component carries a certificate whose **guarantees** are conditional on
+//! **runtime evidence** (boolean propositions fed by monitors) and on
+//! **demands** that must be matched by guarantees of other certificates.
+//! At runtime the network of certificates is re-evaluated whenever
+//! evidence changes; the best fulfilled guarantee of each certificate is
+//! its current output, and the mission-level decider folds the per-UAV
+//! outputs into a fleet decision.
+//!
+//! * [`model`] — certificates, guarantees, demands and gate trees;
+//! * [`engine`] — the network evaluator (topological over demand links,
+//!   cycle-checked);
+//! * [`catalog`] — the paper's Fig. 1 hierarchy: GPS / vision / comm
+//!   localization ConSerts, vision sensor health, Security EDDI, Safety
+//!   EDDI reliability levels, the navigation ConSert (accuracy levels
+//!   <0.5 m, <0.75 m, <1 m, default), the UAV ConSert (continue / hold /
+//!   return / emergency land) and the mission decider.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_conserts::catalog::{self, UavEvidence};
+//!
+//! let network = catalog::uav_consert_network("uav1");
+//! let nominal = UavEvidence::nominal();
+//! let action = catalog::evaluate_uav(&network, "uav1", &nominal).unwrap();
+//! assert_eq!(action, catalog::UavAction::ContinueCanTakeMore);
+//! ```
+
+pub mod export;
+pub mod catalog;
+pub mod engine;
+pub mod model;
+
+pub use catalog::{MissionDecision, UavAction, UavEvidence};
+pub use engine::{ConsertNetwork, EvalError, EvalResult};
+pub use model::{Consert, Dimension, Guarantee, GuaranteeRef, RteId, Tree};

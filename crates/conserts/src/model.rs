@@ -1,0 +1,231 @@
+//! The ConSert model: guarantees, demands, evidence and gate trees.
+
+use std::fmt;
+
+/// Identifier of a runtime-evidence proposition (e.g. `"gps_usable"`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RteId(String);
+
+impl RteId {
+    /// Creates an evidence id.
+    pub fn new(s: impl Into<String>) -> Self {
+        RteId(s.into())
+    }
+
+    /// The id as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for RteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for RteId {
+    fn from(s: &str) -> Self {
+        RteId::new(s)
+    }
+}
+
+/// Reference to a guarantee of another (or the same) ConSert.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GuaranteeRef {
+    /// Name of the providing certificate.
+    pub consert: String,
+    /// Name of the guarantee demanded of it.
+    pub guarantee: String,
+}
+
+impl GuaranteeRef {
+    /// Creates a reference.
+    pub fn new(consert: impl Into<String>, guarantee: impl Into<String>) -> Self {
+        GuaranteeRef {
+            consert: consert.into(),
+            guarantee: guarantee.into(),
+        }
+    }
+}
+
+impl fmt::Display for GuaranteeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}", self.consert, self.guarantee)
+    }
+}
+
+/// The boolean gate tree under a guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tree {
+    /// Always fulfilled — the "default" guarantee of a certificate.
+    Always,
+    /// A runtime-evidence proposition must currently hold.
+    Evidence(RteId),
+    /// A demand: the referenced guarantee must currently be fulfilled.
+    Demand(GuaranteeRef),
+    /// All children must hold.
+    And(Vec<Tree>),
+    /// At least one child must hold.
+    Or(Vec<Tree>),
+}
+
+impl Tree {
+    /// Convenience: evidence leaf.
+    pub fn evidence(id: impl Into<String>) -> Tree {
+        Tree::Evidence(RteId::new(id))
+    }
+
+    /// Convenience: demand leaf.
+    pub fn demand(consert: impl Into<String>, guarantee: impl Into<String>) -> Tree {
+        Tree::Demand(GuaranteeRef::new(consert, guarantee))
+    }
+
+    /// Every demand reference in the tree.
+    pub fn demands(&self) -> Vec<&GuaranteeRef> {
+        match self {
+            Tree::Always | Tree::Evidence(_) => Vec::new(),
+            Tree::Demand(d) => vec![d],
+            Tree::And(children) | Tree::Or(children) => {
+                children.iter().flat_map(|c| c.demands()).collect()
+            }
+        }
+    }
+}
+
+/// A quantified property a guarantee certifies — the `<0.5 m`, `<0.75 m`
+/// and `<1 m` accuracy bounds annotating the navigation levels in Fig. 1
+/// of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dimension {
+    /// Navigation/localization accuracy bound, metres (1-σ).
+    NavigationAccuracyM(f64),
+    /// Reliability band as a maximum probability of failure.
+    MaxProbabilityOfFailure(f64),
+}
+
+impl fmt::Display for Dimension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dimension::NavigationAccuracyM(m) => write!(f, "accuracy < {m} m"),
+            Dimension::MaxProbabilityOfFailure(p) => write!(f, "PoF ≤ {p}"),
+        }
+    }
+}
+
+/// One guarantee of a certificate, with its gate tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Guarantee {
+    /// Guarantee name (unique within the certificate).
+    pub name: String,
+    /// The condition for the guarantee to be fulfilled.
+    pub tree: Tree,
+    /// Optional quantified property the guarantee certifies.
+    pub dimension: Option<Dimension>,
+}
+
+impl Guarantee {
+    /// Creates a guarantee with no quantified dimension.
+    pub fn new(name: impl Into<String>, tree: Tree) -> Self {
+        Guarantee {
+            name: name.into(),
+            tree,
+            dimension: None,
+        }
+    }
+
+    /// Builder-style quantified dimension.
+    pub fn with_dimension(mut self, dimension: Dimension) -> Self {
+        self.dimension = Some(dimension);
+        self
+    }
+}
+
+/// A conditional safety certificate: an ordered list of guarantees, best
+/// first. Its runtime output is the first fulfilled guarantee.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Consert {
+    /// Certificate name (unique within a network).
+    pub name: String,
+    /// Guarantees in preference order (best first).
+    pub guarantees: Vec<Guarantee>,
+}
+
+impl Consert {
+    /// Creates a certificate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two guarantees share a name.
+    pub fn new(name: impl Into<String>, guarantees: Vec<Guarantee>) -> Self {
+        let mut names: Vec<&str> = guarantees.iter().map(|g| g.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(
+            names.len(),
+            guarantees.len(),
+            "guarantee names must be unique within a certificate"
+        );
+        Consert {
+            name: name.into(),
+            guarantees,
+        }
+    }
+
+    /// Looks up a guarantee by name.
+    pub fn guarantee(&self, name: &str) -> Option<&Guarantee> {
+        self.guarantees.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_collects_demands() {
+        let t = Tree::And(vec![
+            Tree::evidence("a"),
+            Tree::Or(vec![
+                Tree::demand("gps", "acc"),
+                Tree::demand("vision", "ok"),
+            ]),
+        ]);
+        let ds = t.demands();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0], &GuaranteeRef::new("gps", "acc"));
+        assert_eq!(ds[0].to_string(), "gps::acc");
+    }
+
+    #[test]
+    fn consert_lookup() {
+        let c = Consert::new(
+            "nav",
+            vec![
+                Guarantee::new("best", Tree::evidence("x")),
+                Guarantee::new("fallback", Tree::Always),
+            ],
+        );
+        assert!(c.guarantee("best").is_some());
+        assert!(c.guarantee("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_guarantee_names_panic() {
+        let _ = Consert::new(
+            "nav",
+            vec![
+                Guarantee::new("same", Tree::Always),
+                Guarantee::new("same", Tree::Always),
+            ],
+        );
+    }
+
+    #[test]
+    fn rte_id_display_and_from() {
+        let id: RteId = "gps_usable".into();
+        assert_eq!(id.to_string(), "gps_usable");
+        assert_eq!(id.as_str(), "gps_usable");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests of the ConSert evaluation engine.
+
+use proptest::prelude::*;
+use sesame_conserts::engine::{evidence_from, ConsertNetwork};
+use sesame_conserts::model::{Consert, Guarantee, Tree};
+
+/// Builds a random negation-free tree over evidence ids e0..e3 and demands
+/// on provider `p`'s guarantee `g`.
+fn tree(depth: u32) -> BoxedStrategy<Tree> {
+    let leaf = prop_oneof![
+        Just(Tree::Always),
+        (0u8..4).prop_map(|i| Tree::evidence(format!("e{i}"))),
+        Just(Tree::demand("p", "g")),
+    ];
+    leaf.prop_recursive(depth, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(Tree::And),
+            proptest::collection::vec(inner, 1..4).prop_map(Tree::Or),
+        ]
+    })
+    .boxed()
+}
+
+fn network(t: Tree) -> ConsertNetwork {
+    ConsertNetwork::new(vec![
+        Consert::new("p", vec![Guarantee::new("g", Tree::evidence("e0"))]),
+        Consert::new(
+            "c",
+            vec![
+                Guarantee::new("main", t),
+                Guarantee::new("fallback", Tree::Always),
+            ],
+        ),
+    ])
+    .expect("negation-free trees over known providers are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Evaluation is pure: identical evidence gives identical results.
+    #[test]
+    fn evaluation_is_deterministic(t in tree(3), bits in 0u8..16) {
+        let net = network(t);
+        let ids: Vec<String> = (0..4)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(|i| format!("e{i}"))
+            .collect();
+        let ev = evidence_from(ids);
+        prop_assert_eq!(net.evaluate(&ev), net.evaluate(&ev));
+    }
+
+    /// Monotonicity: adding evidence never defeats a fulfilled guarantee
+    /// (the trees have no negation).
+    #[test]
+    fn evaluation_is_monotone(t in tree(3), bits in 0u8..16, extra in 0u8..4) {
+        let net = network(t);
+        let small: Vec<String> = (0..4)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(|i| format!("e{i}"))
+            .collect();
+        let mut big = small.clone();
+        big.push(format!("e{extra}"));
+        let r_small = net.evaluate(&evidence_from(small));
+        let r_big = net.evaluate(&evidence_from(big));
+        for (name, res) in &r_small {
+            for g in &res.fulfilled {
+                prop_assert!(r_big[name].fulfilled.contains(g));
+            }
+        }
+    }
+
+    /// The fallback guarantee (Always) is fulfilled under any evidence, so
+    /// the certificate always has a top guarantee.
+    #[test]
+    fn always_guarantee_never_fails(t in tree(3), bits in 0u8..16) {
+        let net = network(t);
+        let ids: Vec<String> = (0..4)
+            .filter(|i| bits & (1 << i) != 0)
+            .map(|i| format!("e{i}"))
+            .collect();
+        let results = net.evaluate(&evidence_from(ids));
+        prop_assert!(results["c"].top.is_some());
+        prop_assert!(results["c"].fulfilled.contains(&"fallback".to_string()));
+    }
+
+    /// With full evidence, every guarantee whose tree lacks demands on
+    /// unfulfilled providers is fulfilled.
+    #[test]
+    fn full_evidence_fulfills_main(t in tree(3)) {
+        let net = network(t);
+        let all = evidence_from(["e0", "e1", "e2", "e3"]);
+        let results = net.evaluate(&all);
+        // Provider has e0, so its guarantee holds; with every leaf true,
+        // any negation-free tree evaluates true.
+        prop_assert!(results["c"].fulfilled.contains(&"main".to_string()));
+    }
+}

@@ -1,0 +1,246 @@
+//! Safety–security co-engineering.
+//!
+//! The paper notes that "to help ensure compatibility and interaction of
+//! Safety EDDI and Security EDDIs … a runtime Safety-Security
+//! Co-Engineering concept has been proposed in \[36\] … a combined
+//! methodology and workflow designed to harmonize the development of the
+//! EDDIs and capture system dependability information in a holistic
+//! manner." This module is that holistic view at runtime: it folds the
+//! Safety EDDI's reliability estimate and the Security EDDI's attack-tree
+//! states into one per-UAV [`DependabilityReport`] with a combined verdict
+//! and the interaction effects between the two domains made explicit
+//! (e.g. an active attack *invalidates* otherwise-healthy sensor
+//! evidence; low reliability *amplifies* the urgency of a security
+//! response).
+
+use sesame_safedrones::monitor::ReliabilityEstimate;
+use sesame_safedrones::ReliabilityLevel;
+use sesame_security::attack_tree::TreeStatus;
+use sesame_security::eddi::SecurityStatus;
+use sesame_types::ids::UavId;
+use sesame_types::time::SimTime;
+
+/// The combined dependability verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DependabilityVerdict {
+    /// Safe and secure: full mission capability.
+    Dependable,
+    /// One domain degraded (medium reliability, or attack steps observed
+    /// without the goal being reached): continue with heightened caution.
+    Degraded,
+    /// The security domain is compromised (attack goal reached) while the
+    /// platform is otherwise flyable: execute the security mitigation.
+    Compromised,
+    /// Both domains bad, or safety alone demands abort: the mitigation
+    /// must be the most conservative available (immediate landing).
+    Unsafe,
+}
+
+impl std::fmt::Display for DependabilityVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DependabilityVerdict::Dependable => "dependable",
+            DependabilityVerdict::Degraded => "degraded",
+            DependabilityVerdict::Compromised => "compromised",
+            DependabilityVerdict::Unsafe => "unsafe",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The per-UAV holistic report.
+#[derive(Debug, Clone)]
+pub struct DependabilityReport {
+    /// Which UAV.
+    pub uav: UavId,
+    /// When the report was assembled.
+    pub time: SimTime,
+    /// The Safety EDDI's reliability estimate.
+    pub safety: ReliabilityEstimate,
+    /// The Security EDDI statuses (one per monitored attack tree).
+    pub security: Vec<SecurityStatus>,
+    /// The combined verdict.
+    pub verdict: DependabilityVerdict,
+    /// Cross-domain interaction notes (why the verdict is what it is).
+    pub interactions: Vec<String>,
+}
+
+impl DependabilityReport {
+    /// Fuses one safety estimate with the security statuses for a UAV.
+    pub fn assemble(
+        uav: UavId,
+        time: SimTime,
+        safety: ReliabilityEstimate,
+        security: Vec<SecurityStatus>,
+    ) -> Self {
+        let attack_reached = security
+            .iter()
+            .any(|s| s.status == TreeStatus::RootReached);
+        let attack_in_progress = security
+            .iter()
+            .any(|s| s.status == TreeStatus::InProgress);
+        let mut interactions = Vec::new();
+        let verdict = match (safety.level, attack_reached) {
+            (ReliabilityLevel::Low, true) => {
+                interactions.push(
+                    "active attack with low reliability: the secure mitigation \
+                     (collaborative landing) must not assume healthy propulsion"
+                        .into(),
+                );
+                DependabilityVerdict::Unsafe
+            }
+            (ReliabilityLevel::Low, false) => {
+                interactions
+                    .push("reliability alone demands abort; no security interaction".into());
+                DependabilityVerdict::Unsafe
+            }
+            (_, true) => {
+                interactions.push(
+                    "attack goal reached: position/command evidence is untrusted even \
+                     though the sensors report healthy"
+                        .into(),
+                );
+                DependabilityVerdict::Compromised
+            }
+            (ReliabilityLevel::Medium, false) => {
+                if attack_in_progress {
+                    interactions.push(
+                        "attack steps observed while reliability is already degraded: \
+                         tighten monitoring thresholds"
+                            .into(),
+                    );
+                }
+                DependabilityVerdict::Degraded
+            }
+            (ReliabilityLevel::High, false) => {
+                if attack_in_progress {
+                    interactions.push(
+                        "attack steps observed: degrade trust in networked evidence"
+                            .into(),
+                    );
+                    DependabilityVerdict::Degraded
+                } else {
+                    DependabilityVerdict::Dependable
+                }
+            }
+        };
+        DependabilityReport {
+            uav,
+            time,
+            safety,
+            security,
+            verdict,
+            interactions,
+        }
+    }
+
+    /// Renders the report as operator-facing text.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "[{}] {} dependability: {} (PoF {:.3}, reliability {})\n",
+            self.time, self.uav, self.verdict, self.safety.pof, self.safety.level
+        );
+        for s in &self.security {
+            out.push_str(&format!("  security `{}`: {:?}\n", s.tree, s.status));
+            if !s.attack_path.is_empty() {
+                out.push_str(&format!("    path: {}\n", s.attack_path.join(" -> ")));
+            }
+        }
+        for i in &self.interactions {
+            out.push_str(&format!("  note: {i}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesame_safedrones::monitor::ReliabilityAction;
+
+    fn estimate(pof: f64, level: ReliabilityLevel) -> ReliabilityEstimate {
+        ReliabilityEstimate {
+            time: SimTime::from_secs(10),
+            pof,
+            level,
+            action: ReliabilityAction::Continue,
+            pof_propulsion: 0.0,
+            pof_battery: pof,
+            pof_energy: 0.0,
+            pof_processor: 0.0,
+            pof_comms: 0.0,
+        }
+    }
+
+    fn security(status: TreeStatus) -> SecurityStatus {
+        SecurityStatus {
+            uav: UavId::new(1),
+            tree: "ros message spoofing".into(),
+            status,
+            attack_path: if status == TreeStatus::RootReached {
+                vec!["forge".into(), "goal".into()]
+            } else {
+                vec![]
+            },
+            detected_at: None,
+        }
+    }
+
+    fn report(level: ReliabilityLevel, status: TreeStatus) -> DependabilityReport {
+        DependabilityReport::assemble(
+            UavId::new(1),
+            SimTime::from_secs(10),
+            estimate(0.05, level),
+            vec![security(status)],
+        )
+    }
+
+    #[test]
+    fn verdict_matrix() {
+        use DependabilityVerdict::*;
+        assert_eq!(report(ReliabilityLevel::High, TreeStatus::Quiet).verdict, Dependable);
+        assert_eq!(report(ReliabilityLevel::High, TreeStatus::InProgress).verdict, Degraded);
+        assert_eq!(report(ReliabilityLevel::Medium, TreeStatus::Quiet).verdict, Degraded);
+        assert_eq!(report(ReliabilityLevel::High, TreeStatus::RootReached).verdict, Compromised);
+        assert_eq!(report(ReliabilityLevel::Low, TreeStatus::Quiet).verdict, Unsafe);
+        assert_eq!(report(ReliabilityLevel::Low, TreeStatus::RootReached).verdict, Unsafe);
+    }
+
+    #[test]
+    fn verdicts_are_ordered_best_first() {
+        use DependabilityVerdict::*;
+        assert!(Dependable < Degraded && Degraded < Compromised && Compromised < Unsafe);
+    }
+
+    #[test]
+    fn interactions_explain_cross_domain_effects() {
+        let r = report(ReliabilityLevel::Low, TreeStatus::RootReached);
+        assert!(r.interactions[0].contains("must not assume healthy propulsion"));
+        let r2 = report(ReliabilityLevel::High, TreeStatus::RootReached);
+        assert!(r2.interactions[0].contains("untrusted"));
+        let calm = report(ReliabilityLevel::High, TreeStatus::Quiet);
+        assert!(calm.interactions.is_empty());
+    }
+
+    #[test]
+    fn render_carries_path_and_notes() {
+        let text = report(ReliabilityLevel::High, TreeStatus::RootReached).render();
+        assert!(text.contains("compromised"));
+        assert!(text.contains("forge -> goal"));
+        assert!(text.contains("note:"));
+        let quiet = report(ReliabilityLevel::High, TreeStatus::Quiet).render();
+        assert!(quiet.contains("dependable"));
+        assert!(!quiet.contains("path:"));
+    }
+
+    #[test]
+    fn multiple_trees_worst_wins() {
+        let r = DependabilityReport::assemble(
+            UavId::new(2),
+            SimTime::from_secs(1),
+            estimate(0.01, ReliabilityLevel::High),
+            vec![security(TreeStatus::Quiet), security(TreeStatus::RootReached)],
+        );
+        assert_eq!(r.verdict, DependabilityVerdict::Compromised);
+    }
+}

@@ -1,0 +1,453 @@
+//! Experiment runners regenerating every §V result.
+//!
+//! Each function returns structured data that the `sesame-bench`
+//! `experiments` binary prints as the paper's rows/series and that
+//! EXPERIMENTS.md records as paper-vs-measured. Absolute numbers depend on
+//! the simulated substrate; the *shapes* (who wins, by what factor, where
+//! thresholds are crossed) are the reproduction target — see DESIGN.md.
+
+use crate::orchestrator::Sample;
+use crate::scenario::{fig5_like_config, ScenarioBuilder, ScenarioOutcome, SpoofAttack};
+use sesame_types::events::SystemEvent;
+use sesame_types::geo::Vec3;
+use sesame_types::time::SimTime;
+use sesame_vision::detector::PersonDetector;
+
+/// Summary of one §V-A run.
+#[derive(Debug, Clone)]
+pub struct Fig5Run {
+    /// Seconds at which the coverage completed (None = never).
+    pub completion_secs: Option<f64>,
+    /// Availability of the affected UAV (productive fraction).
+    pub affected_availability: f64,
+    /// Fleet-mean availability.
+    pub mean_availability: f64,
+    /// Coverage fraction achieved.
+    pub completed_fraction: f64,
+}
+
+/// The §V-A (Fig. 5) result: probability of failure under a battery fault,
+/// with and without SESAME.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The SESAME run.
+    pub with_sesame: Fig5Run,
+    /// The baseline run.
+    pub baseline: Fig5Run,
+    /// PoF(t) of the affected UAV in the SESAME run (per second).
+    pub pof_series: Vec<Sample<f64>>,
+    /// Seconds at which PoF first crossed the 0.9 threshold.
+    pub threshold_crossed_secs: Option<f64>,
+    /// Availability gain of SESAME over the baseline (percentage points).
+    pub availability_gain: f64,
+    /// Relative completion-time improvement of SESAME (fraction).
+    pub completion_time_improvement: Option<f64>,
+}
+
+/// Runs the Fig. 5 experiment: battery of UAV 1 faults at t = 250 s
+/// (SoC −40 points, thermal runaway); the mission nominally ends ≈510 s.
+pub fn fig5(seed: u64) -> Fig5Result {
+    let sesame_outcome = fig5_like_config(seed, true).build().run();
+    let baseline_outcome = fig5_like_config(seed, false).build().run();
+
+    let summarize = |o: &ScenarioOutcome| Fig5Run {
+        completion_secs: o.metrics.mission_complete_secs,
+        affected_availability: o.metrics.availability[0],
+        mean_availability: o.metrics.mean_availability,
+        completed_fraction: o.metrics.mission_completed_fraction,
+    };
+    let with_sesame = summarize(&sesame_outcome);
+    let baseline = summarize(&baseline_outcome);
+
+    let threshold_crossed_secs = sesame_outcome
+        .pof_series
+        .iter()
+        .find(|(_, p)| *p >= 0.9)
+        .map(|(t, _)| *t);
+    let availability_gain = with_sesame.affected_availability - baseline.affected_availability;
+    let completion_time_improvement = match (with_sesame.completion_secs, baseline.completion_secs)
+    {
+        (Some(s), Some(b)) if b > 0.0 => Some((b - s) / b),
+        _ => None,
+    };
+    Fig5Result {
+        with_sesame,
+        baseline,
+        pof_series: sesame_outcome.pof_series,
+        threshold_crossed_secs,
+        availability_gain,
+        completion_time_improvement,
+    }
+}
+
+/// The §V-B result: uncertainty-driven altitude adaptation.
+#[derive(Debug, Clone)]
+pub struct SarAccuracyResult {
+    /// Peak combined uncertainty while scanning high (must exceed 0.9).
+    pub high_altitude_uncertainty: f64,
+    /// Settled combined uncertainty after descending (paper: ≈0.75).
+    pub low_altitude_uncertainty: f64,
+    /// Seconds at which the descent was commanded.
+    pub descent_commanded_secs: Option<f64>,
+    /// Model detection accuracy at the low altitude (paper: 0.998).
+    pub accuracy_low: f64,
+    /// Model detection accuracy at the high altitude (the no-SESAME
+    /// operating point).
+    pub accuracy_high: f64,
+    /// Empirical fleet detection accuracy measured in the adaptive run.
+    pub measured_accuracy: f64,
+    /// Empirical fleet detection accuracy without adaptation.
+    pub baseline_accuracy: f64,
+    /// Uncertainty samples of UAV 1 over the adaptive run.
+    pub uncertainty_series: Vec<Sample<f64>>,
+}
+
+/// Runs the §V-B experiment: the fleet starts scanning from 60 m; SafeML /
+/// DeepKnowledge / SINADRA push the uncertainty over the 90 % threshold;
+/// the policy descends to 25 m.
+pub fn sar_accuracy(seed: u64) -> SarAccuracyResult {
+    let build = |adapt: bool| {
+        let mut b = ScenarioBuilder::new(seed)
+            .sesame(true)
+            .altitude_adaptation(adapt)
+            .deadline(SimTime::from_secs(900));
+        b.config_mut().scan_altitude_m = 60.0;
+        b.config_mut().area_width_m = 360.0;
+        b.config_mut().area_height_m = 240.0;
+        b.config_mut().person_count = 10;
+        b
+    };
+    let adaptive = build(true).build().run();
+    let fixed = build(false).build().run();
+
+    let descent_commanded_secs = adaptive
+        .events
+        .iter()
+        .find(|e| {
+            matches!(&e.event, SystemEvent::MonitorFinding { monitor, detail, .. }
+                if monitor == "sinadra" && detail.contains("altitude adaptation -> 25"))
+        })
+        .map(|e| e.time.as_secs_f64());
+
+    // Peak uncertainty before the descent; settled uncertainty well after.
+    let split = descent_commanded_secs.unwrap_or(f64::MAX);
+    let high_altitude_uncertainty = adaptive
+        .uncertainty_series
+        .iter()
+        .filter(|(t, _)| *t <= split)
+        .map(|(_, u)| *u)
+        .fold(0.0, f64::max);
+    let low_altitude_uncertainty = {
+        // Average over the settled low-altitude scan: after the descent
+        // completes and before the post-mission return home.
+        let end = adaptive
+            .metrics
+            .mission_complete_secs
+            .unwrap_or(f64::MAX);
+        let late: Vec<f64> = adaptive
+            .uncertainty_series
+            .iter()
+            .filter(|(t, _)| *t >= split + 30.0 && *t < end)
+            .map(|(_, u)| *u)
+            .collect();
+        if late.is_empty() {
+            f64::NAN
+        } else {
+            late.iter().sum::<f64>() / late.len() as f64
+        }
+    };
+
+    let model = PersonDetector::new(seed);
+    SarAccuracyResult {
+        high_altitude_uncertainty,
+        low_altitude_uncertainty,
+        descent_commanded_secs,
+        accuracy_low: model.accuracy(25.0, 1.0),
+        accuracy_high: model.accuracy(60.0, 1.0),
+        measured_accuracy: adaptive.metrics.detection_accuracy,
+        baseline_accuracy: fixed.metrics.detection_accuracy,
+        uncertainty_series: adaptive.uncertainty_series,
+    }
+}
+
+/// The §V-C / Fig. 6 result: area-mapping trajectories with and without
+/// the spoofing attack.
+#[derive(Debug, Clone)]
+pub struct Fig6Result {
+    /// Per-second deviation (metres) between the attacked and clean
+    /// trajectories of the targeted UAV (baseline, attack undetected).
+    pub deviation_series: Vec<Sample<f64>>,
+    /// Maximum deviation reached in the unprotected run.
+    pub max_deviation_m: f64,
+    /// Seconds between attack start and Security EDDI detection in the
+    /// SESAME run.
+    pub detection_latency_secs: Option<f64>,
+    /// Deviation at the moment of detection in the SESAME run.
+    pub deviation_at_detection_m: f64,
+    /// The attack start time, seconds.
+    pub attack_start_secs: f64,
+    /// Clean trajectory of the targeted UAV.
+    pub clean_trajectory: Vec<Sample<sesame_types::geo::GeoPoint>>,
+    /// Attacked (unprotected) trajectory of the targeted UAV.
+    pub attacked_trajectory: Vec<Sample<sesame_types::geo::GeoPoint>>,
+}
+
+fn fig6_builder(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
+    let mut b = ScenarioBuilder::new(seed)
+        .sesame(sesame)
+        .deadline(SimTime::from_secs(700));
+    b.config_mut().area_width_m = 420.0;
+    b.config_mut().area_height_m = 300.0;
+    b.config_mut().person_count = 5;
+    if attack {
+        b = b.spoof_attack(SpoofAttack {
+            start: SimTime::from_secs(120),
+            uav_index: 0,
+            gps_drift: Vec3::new(0.0, 4.0, 0.0),
+            forge_waypoints: true,
+        });
+    }
+    b
+}
+
+/// Runs the Fig. 6 experiment: clean vs attacked mapping runs.
+pub fn fig6(seed: u64) -> Fig6Result {
+    let attack_start = 120.0;
+    let clean = fig6_builder(seed, false, false).build().run();
+    let attacked = fig6_builder(seed, false, true).build().run();
+    let protected = fig6_builder(seed, true, true).build().run();
+
+    // Deviation between the two unprotected runs, matched per second.
+    let mut deviation_series = Vec::new();
+    for (t, p_clean) in &clean.trajectories[0] {
+        if let Some((_, p_atk)) = attacked.trajectories[0]
+            .iter()
+            .find(|(ta, _)| (ta - t).abs() < 0.5)
+        {
+            deviation_series.push((*t, p_clean.haversine_distance_m(p_atk)));
+        }
+    }
+    let max_deviation_m = deviation_series
+        .iter()
+        .map(|(_, d)| *d)
+        .fold(0.0, f64::max);
+    let detection_latency_secs = protected
+        .metrics
+        .attack_detected_secs
+        .map(|t| t - attack_start);
+    // Deviation of the protected run at detection time (true vs clean).
+    let deviation_at_detection_m = protected
+        .metrics
+        .attack_detected_secs
+        .and_then(|td| {
+            let p = protected.trajectories[0]
+                .iter()
+                .find(|(t, _)| (*t - td).abs() < 1.0)?;
+            let c = clean.trajectories[0]
+                .iter()
+                .find(|(t, _)| (*t - td).abs() < 1.0)?;
+            Some(p.1.haversine_distance_m(&c.1))
+        })
+        .unwrap_or(f64::NAN);
+    Fig6Result {
+        deviation_series,
+        max_deviation_m,
+        detection_latency_secs,
+        deviation_at_detection_m,
+        attack_start_secs: attack_start,
+        clean_trajectory: clean.trajectories[0].clone(),
+        attacked_trajectory: attacked.trajectories[0].clone(),
+    }
+}
+
+/// The Fig. 7 result: the CL-guided, GPS-denied safe landing of the
+/// spoofed UAV.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// Seconds at which the attack was detected.
+    pub detected_secs: Option<f64>,
+    /// Seconds at which the spoofed UAV touched down.
+    pub landed_secs: Option<f64>,
+    /// Distance between the chosen pad and the true touchdown, metres.
+    pub landing_miss_m: Option<f64>,
+    /// Per-fix CL position error over the landing, metres.
+    pub cl_error_series: Vec<Sample<f64>>,
+    /// Mean CL error over the landing.
+    pub mean_cl_error_m: f64,
+    /// Whether the spoofed UAV was GPS-denied during the landing.
+    pub gps_denied: bool,
+}
+
+/// Runs the Fig. 7 experiment (the SESAME leg of the Fig. 6 scenario,
+/// inspected for the collaborative landing).
+pub fn fig7(seed: u64) -> Fig7Result {
+    let protected = fig6_builder(seed, true, true).build().run();
+    let cl_error_series: Vec<Sample<f64>> = protected
+        .events
+        .iter()
+        .filter_map(|e| match &e.event {
+            SystemEvent::CollabFix { error_m, .. } => Some((e.time.as_secs_f64(), *error_m)),
+            _ => None,
+        })
+        .collect();
+    let mean_cl_error_m = if cl_error_series.is_empty() {
+        f64::NAN
+    } else {
+        cl_error_series.iter().map(|(_, e)| *e).sum::<f64>() / cl_error_series.len() as f64
+    };
+    let gps_denied = protected.events.iter().any(|e| {
+        matches!(&e.event, SystemEvent::FaultInjected { fault, .. } if fault == "gps_loss")
+    });
+    Fig7Result {
+        detected_secs: protected.metrics.attack_detected_secs,
+        landed_secs: protected.metrics.cl_landing.map(|o| o.at.as_secs_f64()),
+        landing_miss_m: protected.metrics.cl_landing.map(|o| o.miss_m),
+        cl_error_series,
+        mean_cl_error_m,
+        gps_denied,
+    }
+}
+
+/// Multi-seed robustness summary of the Fig. 5 shape.
+#[derive(Debug, Clone)]
+pub struct RobustnessResult {
+    /// Seeds exercised.
+    pub seeds: Vec<u64>,
+    /// Per-seed completion-time improvement of SESAME over baseline.
+    pub improvements: Vec<f64>,
+    /// Per-seed availability gain (percentage points) on the affected UAV.
+    pub availability_gains: Vec<f64>,
+    /// Seeds where both runs completed and SESAME won on both metrics.
+    pub shape_holds_count: usize,
+}
+
+/// Repeats the Fig. 5 experiment across seeds to check the headline shape
+/// is not a single-seed artefact. Expensive: one full pair of scenario
+/// runs per seed.
+pub fn fig5_robustness(seeds: &[u64]) -> RobustnessResult {
+    let mut improvements = Vec::new();
+    let mut availability_gains = Vec::new();
+    let mut shape_holds_count = 0;
+    for &seed in seeds {
+        let r = fig5(seed);
+        let improvement = r.completion_time_improvement.unwrap_or(f64::NAN);
+        improvements.push(improvement);
+        availability_gains.push(r.availability_gain);
+        if improvement > 0.0 && r.availability_gain > 0.0 {
+            shape_holds_count += 1;
+        }
+    }
+    RobustnessResult {
+        seeds: seeds.to_vec(),
+        improvements,
+        availability_gains,
+        shape_holds_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These are the headline reproduction checks; they run full scenarios
+    // and are therefore the slowest tests in the workspace.
+
+    #[test]
+    fn fig5_shape_holds() {
+        let r = fig5(42);
+        // SESAME completes; the PoF threshold is approached near mission
+        // end; the baseline loses availability to the battery swap.
+        assert!(r.with_sesame.completed_fraction > 0.99, "{:?}", r.with_sesame);
+        assert!(r.baseline.completed_fraction > 0.99, "{:?}", r.baseline);
+        assert!(
+            r.availability_gain > 0.03,
+            "SESAME must be more available: gain = {}",
+            r.availability_gain
+        );
+        let improvement = r.completion_time_improvement.expect("both complete");
+        assert!(
+            improvement > 0.05,
+            "SESAME must finish meaningfully earlier: {improvement}"
+        );
+        // The PoF must rise sharply only after the 250 s fault.
+        let before: f64 = r
+            .pof_series
+            .iter()
+            .filter(|(t, _)| *t < 245.0)
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max);
+        let after = r
+            .pof_series
+            .iter()
+            .filter(|(t, _)| *t > 400.0)
+            .map(|(_, p)| *p)
+            .fold(0.0, f64::max);
+        assert!(before < 0.1, "pre-fault PoF {before}");
+        assert!(after > 0.5, "post-fault PoF {after}");
+    }
+
+    #[test]
+    fn sar_accuracy_shape_holds() {
+        let r = sar_accuracy(42);
+        assert!(
+            r.high_altitude_uncertainty > 0.9,
+            "high-altitude uncertainty {}",
+            r.high_altitude_uncertainty
+        );
+        assert!(
+            r.descent_commanded_secs.is_some(),
+            "the policy must command a descent"
+        );
+        assert!(
+            (0.5..0.9).contains(&r.low_altitude_uncertainty),
+            "post-descent uncertainty {}",
+            r.low_altitude_uncertainty
+        );
+        assert!((r.accuracy_low - 0.998).abs() < 1e-9);
+        assert!(r.accuracy_low > r.accuracy_high);
+        assert!(
+            r.measured_accuracy > r.baseline_accuracy,
+            "adaptation must raise empirical accuracy: {} vs {}",
+            r.measured_accuracy,
+            r.baseline_accuracy
+        );
+    }
+
+    #[test]
+    fn fig6_shape_holds() {
+        let r = fig6(42);
+        // Before the attack the trajectories coincide (same seed).
+        let pre: f64 = r
+            .deviation_series
+            .iter()
+            .filter(|(t, _)| *t < r.attack_start_secs)
+            .map(|(_, d)| *d)
+            .fold(0.0, f64::max);
+        assert!(pre < 5.0, "pre-attack deviation {pre}");
+        assert!(
+            r.max_deviation_m > 50.0,
+            "unprotected deviation {} must be large",
+            r.max_deviation_m
+        );
+        let latency = r.detection_latency_secs.expect("SESAME must detect");
+        assert!(
+            latency < 30.0,
+            "detection latency {latency}s (paper: immediate)"
+        );
+    }
+
+    #[test]
+    fn fig7_shape_holds() {
+        let r = fig7(42);
+        assert!(r.detected_secs.is_some());
+        assert!(r.gps_denied, "the spoofed UAV must land GPS-denied");
+        let miss = r.landing_miss_m.expect("the landing must complete");
+        assert!(miss < 10.0, "landing miss {miss} m");
+        assert!(!r.cl_error_series.is_empty());
+        assert!(
+            r.mean_cl_error_m < 8.0,
+            "mean CL error {} m",
+            r.mean_cl_error_m
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! SESAME integration layer — the multi-UAV control platform with the
+//! EDDI runtime.
+//!
+//! This crate assembles every technology of the paper into the running
+//! system of §IV: the simulated fleet (`sesame-uav-sim`), the ROS-like bus
+//! and MQTT-like broker (`sesame-middleware`), the Safety EDDI
+//! (SafeDrones + SafeML + DeepKnowledge + SINADRA), the Security EDDI
+//! (IDS + attack trees), collaborative localization, the SAR mission
+//! layer, and the ConSert network that folds all runtime evidence into
+//! per-UAV and mission-level decisions.
+//!
+//! * [`eddi`] — the per-UAV executable EDDI runtime;
+//! * [`platform`] — UAV manager, task manager, database manager, ground
+//!   control station (the five-layer architecture of §IV-A, with the GUIs
+//!   replaced by headless snapshots — see DESIGN.md);
+//! * [`orchestrator`] — the closed loop: simulate → sense → publish →
+//!   monitor → certify → decide → actuate;
+//! * [`scenario`] — declarative scenario construction (SESAME on/off,
+//!   fault and attack schedules);
+//! * [`experiments`] — the runners that regenerate every §V result
+//!   (Fig. 5, the SAR-accuracy numbers, Fig. 6, Fig. 7).
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_core::scenario::ScenarioBuilder;
+//!
+//! let outcome = ScenarioBuilder::new(42).build().run();
+//! assert!(outcome.metrics.mission_completed_fraction > 0.9);
+//! ```
+
+pub mod coengineering;
+pub mod eddi;
+pub mod experiments;
+pub mod orchestrator;
+pub mod platform;
+pub mod scenario;
+
+pub use eddi::{EddiOutputs, UavEddiRuntime};
+pub use orchestrator::{Platform, PlatformConfig};
+pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};

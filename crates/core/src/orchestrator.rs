@@ -1,0 +1,1227 @@
+// Index-based loops are used throughout the tick: they read `telemetries`
+// while mutating disjoint `self` fields, which iterator adaptors cannot
+// express without splitting borrows.
+#![allow(clippy::needless_range_loop)]
+
+//! The platform orchestrator: simulate → sense → publish → monitor →
+//! certify → decide → actuate.
+//!
+//! [`Platform`] wires the simulated fleet to the bus, the IDS/broker
+//! pipeline, the per-UAV EDDI runtimes, the ConSert networks and the
+//! task manager, and closes the loop every 100 ms tick. With
+//! `sesame_enabled = false` it degrades to the paper's baseline: no
+//! monitors, no certificates, no IDS — faults are handled by the naive
+//! "abort on first symptom" policy of §V-A and attacks are not handled at
+//! all.
+
+use crate::eddi::UavEddiRuntime;
+use crate::platform::database::DatabaseManager;
+use crate::platform::gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
+use crate::platform::task_manager::TaskManager;
+use crate::platform::uav_manager::UavManager;
+use sesame_collab_loc::agent::CollaborativeAgent;
+use sesame_collab_loc::session::{CollabSession, LandingGuidance};
+use sesame_conserts::catalog::{
+    certified_navigation_accuracy_m, decide_mission, evaluate_uav, uav_consert_network,
+    MissionDecision, UavAction,
+};
+use sesame_conserts::engine::ConsertNetwork;
+use sesame_middleware::auth::{AuthKey, MessageAuth};
+use sesame_middleware::broker::AlertBroker;
+use sesame_middleware::bus::{MessageBus, Subscription};
+use sesame_middleware::message::{Message, Payload};
+use sesame_safedrones::monitor::SafeDronesConfig;
+use sesame_sar::accuracy::{AltitudeDecision, AltitudePolicy};
+use sesame_sinadra::risk::{SeparationInputs, SeparationRiskModel};
+use sesame_security::catalog as attack_catalog;
+use sesame_security::eddi::SecurityEddi;
+use sesame_security::ids::{Ids, IdsConfig};
+use sesame_types::events::{EventLog, Severity, SystemEvent};
+use sesame_types::geo::GeoPoint;
+use sesame_types::ids::UavId;
+use sesame_types::telemetry::{FlightMode, UavTelemetry};
+use sesame_types::time::{SimDuration, SimTime};
+use sesame_uav_sim::autopilot::FlightCommand;
+use sesame_uav_sim::geofence::{FenceStatus, Geofence, GeofenceMonitor};
+use sesame_uav_sim::sim::{Simulator, UavConfig, UavHandle};
+use sesame_uav_sim::world::World;
+use sesame_vision::detector::PersonDetector;
+use sesame_vision::features::SceneCondition;
+use std::collections::HashMap;
+
+/// Platform configuration.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Whether the SESAME technologies run (monitors, ConSerts, IDS,
+    /// signing, CL). `false` = the paper's baseline.
+    pub sesame_enabled: bool,
+    /// Fleet size (the paper demonstrates three).
+    pub uav_count: usize,
+    /// Initial scan altitude, metres.
+    pub scan_altitude_m: f64,
+    /// Whether the §V-B altitude-adaptation policy is active.
+    pub altitude_adaptation: bool,
+    /// SafeDrones configuration.
+    pub safedrones: SafeDronesConfig,
+    /// Search-area extent east, metres.
+    pub area_width_m: f64,
+    /// Search-area extent north, metres.
+    pub area_height_m: f64,
+    /// Ground-truth persons in the area.
+    pub person_count: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Baseline battery-swap duration at base (§V-A: 60 s).
+    pub battery_swap: SimDuration,
+    /// Battery hover drain per second (scenario calibration knob).
+    pub battery_hover_drain: f64,
+    /// World visibility in [0, 1] (1 = clear day).
+    pub visibility: f64,
+    /// Motors per airframe (4, 6 or 8).
+    pub motor_count: usize,
+    /// Motor losses each airframe tolerates through reconfiguration.
+    pub tolerated_motor_failures: usize,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            sesame_enabled: true,
+            uav_count: 3,
+            scan_altitude_m: 30.0,
+            altitude_adaptation: false,
+            safedrones: SafeDronesConfig::default(),
+            area_width_m: 400.0,
+            area_height_m: 250.0,
+            person_count: 6,
+            seed: 42,
+            battery_swap: SimDuration::from_secs(60),
+            battery_hover_drain: 0.001,
+            visibility: 1.0,
+            motor_count: 4,
+            tolerated_motor_failures: 0,
+        }
+    }
+}
+
+/// The outcome of a CL-guided safe landing (Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClLandingOutcome {
+    /// Which UAV was landed.
+    pub uav: UavId,
+    /// Distance between the pad and the true touchdown, metres.
+    pub miss_m: f64,
+    /// When touchdown happened.
+    pub at: SimTime,
+}
+
+struct UavRt {
+    handle: UavHandle,
+    eddi: Option<UavEddiRuntime>,
+    network: Option<ConsertNetwork>,
+    detector: PersonDetector,
+    route_uploaded: bool,
+    attack_detected: bool,
+    spoof_alerted: bool,
+    cl_landing: bool,
+    /// Baseline state machine: time at which the swap completes.
+    swap_until: Option<SimTime>,
+    baseline_resumed: bool,
+    last_nav_accuracy: Option<f64>,
+    productive_ticks: u64,
+    detection_attempts: u64,
+    detection_hits: u64,
+    false_positives: u64,
+}
+
+struct ClState {
+    affected: usize,
+    session: CollabSession,
+    guidance: Option<LandingGuidance>,
+    collaborators: Vec<usize>,
+}
+
+/// One sampled point of a PoF or trajectory series.
+pub type Sample<T> = (f64, T);
+
+/// The platform. Construct with [`Platform::new`], drive with
+/// [`Platform::step`] or [`Platform::run_until_complete`].
+pub struct Platform {
+    config: PlatformConfig,
+    sim: Simulator,
+    bus: MessageBus,
+    broker: AlertBroker,
+    auth: Option<MessageAuth>,
+    ids: Option<Ids>,
+    ids_tap: Subscription,
+    cmd_subs: Vec<Subscription>,
+    security_eddis: Vec<SecurityEddi>,
+    uavs: Vec<UavRt>,
+    tasks: TaskManager,
+    manager: UavManager,
+    db: DatabaseManager,
+    gcs: GroundControlStation,
+    events: EventLog,
+    seq: HashMap<String, u64>,
+    altitude_policy: AltitudePolicy,
+    cl: Option<ClState>,
+    cl_outcome: Option<ClLandingOutcome>,
+    mission_complete_at: Option<SimTime>,
+    total_ticks: u64,
+    ticks_at_completion: Option<u64>,
+    productive_at_completion: Vec<u64>,
+    pof_series: Vec<Sample<f64>>,
+    uncertainty_series: Vec<Sample<f64>>,
+    trajectories: Vec<Vec<Sample<GeoPoint>>>,
+    attack_detected_at: Option<SimTime>,
+    current_scan_alt: f64,
+    geofences: Vec<GeofenceMonitor>,
+    separation: SeparationRiskModel,
+    separation_hot: Vec<bool>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("sesame", &self.config.sesame_enabled)
+            .field("uavs", &self.uavs.len())
+            .field("now", &self.sim.now())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Builds a platform: world, fleet, mission plan, bus wiring, and —
+    /// when SESAME is on — the EDDI runtimes, ConSert networks, IDS and
+    /// Security EDDI scripts.
+    pub fn new(config: PlatformConfig) -> Self {
+        let origin = GeoPoint::new(35.05, 33.20, 0.0);
+        let world = World::rectangle(
+            origin,
+            config.area_width_m,
+            config.area_height_m,
+            config.person_count,
+        );
+        let mut sim = Simulator::new(world, config.seed);
+        sim.world_mut().set_visibility(config.visibility);
+        let mut manager = UavManager::new();
+        let mut uavs = Vec::with_capacity(config.uav_count);
+        let mut cmd_subs = Vec::with_capacity(config.uav_count);
+
+        let mut bus = MessageBus::seeded(config.seed ^ 0xB05);
+        let ids_tap = bus.subscribe("#");
+        let auth = config
+            .sesame_enabled
+            .then(|| MessageAuth::new(AuthKey::new(0x5E5A_4E5E_C0DEu64 ^ config.seed)));
+        let mut broker = AlertBroker::new();
+        let mut ids = config
+            .sesame_enabled
+            .then(|| Ids::new(IdsConfig::default(), auth));
+        let security_eddis = if config.sesame_enabled {
+            attack_catalog::all_trees()
+                .into_iter()
+                .map(|t| SecurityEddi::attach(t, &mut broker))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        for i in 0..config.uav_count {
+            let handle = sim.add_uav(UavConfig {
+                hover_drain_per_sec: config.battery_hover_drain,
+                motor_count: config.motor_count,
+                tolerated_motor_failures: config.tolerated_motor_failures,
+                ..UavConfig::default()
+            });
+            let id = handle.id();
+            manager.register(id, handle, "matrice300-sim", &["rgb-camera", "jetson-nx"]);
+            cmd_subs.push(bus.subscribe(format!("/{id}/cmd/#")));
+            let eddi = config.sesame_enabled.then(|| {
+                UavEddiRuntime::new(
+                    config.seed ^ ((i as u64 + 1) << 16),
+                    config.safedrones.clone(),
+                    origin,
+                )
+            });
+            let network = config.sesame_enabled.then(|| uav_consert_network(&id.to_string()));
+            uavs.push(UavRt {
+                handle,
+                eddi,
+                network,
+                detector: PersonDetector::new(config.seed ^ ((i as u64 + 1) << 24)),
+                route_uploaded: false,
+                attack_detected: false,
+                spoof_alerted: false,
+                cl_landing: false,
+                swap_until: None,
+                baseline_resumed: false,
+                last_nav_accuracy: None,
+                productive_ticks: 0,
+                detection_attempts: 0,
+                detection_hits: 0,
+                false_positives: 0,
+            });
+        }
+
+        // Plan the mission: one strip per UAV.
+        let footprint_half = config.scan_altitude_m; // 90° FOV: half-width = alt
+        let ids_list: Vec<UavId> = uavs.iter().map(|u| u.handle.id()).collect();
+        let tasks = TaskManager::plan(
+            &origin,
+            config.area_width_m,
+            config.area_height_m,
+            &ids_list,
+            config.scan_altitude_m,
+            footprint_half,
+        );
+        if let Some(ids_engine) = ids.as_mut() {
+            for id in &ids_list {
+                let mut plan = tasks.remaining_route(*id);
+                plan.push(origin.with_alt(config.scan_altitude_m));
+                ids_engine.register_plan(*id, plan);
+            }
+        }
+
+        let trajectories = vec![Vec::new(); config.uav_count];
+        let current_scan_alt = config.scan_altitude_m;
+        let geofences = (0..config.uav_count)
+            .map(|_| GeofenceMonitor::new(Geofence::around(sim.world(), 40.0, 150.0)))
+            .collect();
+        let separation_hot = vec![false; config.uav_count];
+        Platform {
+            config,
+            sim,
+            bus,
+            broker,
+            auth,
+            ids,
+            ids_tap,
+            cmd_subs,
+            security_eddis,
+            uavs,
+            tasks,
+            manager,
+            db: DatabaseManager::new(),
+            gcs: GroundControlStation::new(),
+            events: EventLog::new(),
+            seq: HashMap::new(),
+            altitude_policy: AltitudePolicy::paper_defaults(),
+            cl: None,
+            cl_outcome: None,
+            mission_complete_at: None,
+            total_ticks: 0,
+            ticks_at_completion: None,
+            productive_at_completion: Vec::new(),
+            pof_series: Vec::new(),
+            uncertainty_series: Vec::new(),
+            trajectories,
+            attack_detected_at: None,
+            current_scan_alt,
+            geofences,
+            separation: SeparationRiskModel::new(),
+            separation_hot,
+        }
+    }
+
+    /// The simulator (fault injection, environment).
+    pub fn sim_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// The simulator, read-only.
+    pub fn sim(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// The bus (the attack plane arms itself here).
+    pub fn bus_mut(&mut self) -> &mut MessageBus {
+        &mut self.bus
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The ground control station log.
+    pub fn gcs(&self) -> &GroundControlStation {
+        &self.gcs
+    }
+
+    /// The task manager.
+    pub fn tasks(&self) -> &TaskManager {
+        &self.tasks
+    }
+
+    /// The database manager.
+    pub fn database_mut(&mut self) -> &mut DatabaseManager {
+        &mut self.db
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// When the coverage mission completed, if it has.
+    pub fn mission_complete_at(&self) -> Option<SimTime> {
+        self.mission_complete_at
+    }
+
+    /// PoF samples of UAV 1 (one per second).
+    pub fn pof_series(&self) -> &[Sample<f64>] {
+        &self.pof_series
+    }
+
+    /// Combined-uncertainty samples of UAV 1 (one per second).
+    pub fn uncertainty_series(&self) -> &[Sample<f64>] {
+        &self.uncertainty_series
+    }
+
+    /// True-position samples per UAV (one per second).
+    pub fn trajectory(&self, uav_index: usize) -> &[Sample<GeoPoint>] {
+        &self.trajectories[uav_index]
+    }
+
+    /// When the Security EDDI first reached an attack-tree root.
+    pub fn attack_detected_at(&self) -> Option<SimTime> {
+        self.attack_detected_at
+    }
+
+    /// The CL landing outcome, when one happened.
+    pub fn cl_outcome(&self) -> Option<ClLandingOutcome> {
+        self.cl_outcome
+    }
+
+    /// Commands the whole fleet to take off and begin the survey.
+    pub fn launch(&mut self) {
+        for i in 0..self.uavs.len() {
+            let h = self.uavs[i].handle;
+            self.sim.command_takeoff(h, self.config.scan_altitude_m);
+        }
+    }
+
+    fn publish(&mut self, sender: &str, topic: String, payload: Payload) {
+        let seq = {
+            let c = self.seq.entry(sender.to_string()).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let mut msg = Message::new(topic, sender, seq, self.sim.now(), payload);
+        if let Some(auth) = &self.auth {
+            auth.sign(&mut msg);
+        }
+        self.bus.publish_message(msg);
+    }
+
+    /// Uploads a route to a UAV over the (attackable) command channel.
+    fn upload_route(&mut self, index: usize, route: Vec<GeoPoint>) {
+        let id = self.uavs[index].handle.id();
+        for wp in route {
+            self.publish(
+                "node:gcs",
+                format!("/{id}/cmd/waypoint"),
+                Payload::WaypointCommand { uav: id, waypoint: wp },
+            );
+        }
+    }
+
+    /// One closed-loop tick. Returns the new time.
+    pub fn step(&mut self) -> SimTime {
+        let now = self.sim.step();
+        self.total_ticks += 1;
+        let second_boundary = now.as_millis().is_multiple_of(1000);
+        let visibility = self.sim.world().visibility();
+
+        // ---- Per-UAV sensing, mission logic and EDDI ticks ----
+        let n = self.uavs.len();
+        let mut telemetries: Vec<UavTelemetry> = Vec::with_capacity(n);
+        for i in 0..n {
+            let handle = self.uavs[i].handle;
+            let tel = self.sim.telemetry(handle);
+            telemetries.push(tel);
+        }
+        for i in 0..n {
+            let tel = telemetries[i].clone();
+            let id = tel.uav;
+
+            // Telemetry onto the bus and into the database.
+            self.publish(
+                &format!("node:{id}"),
+                format!("/{id}/telemetry"),
+                Payload::Telemetry(tel.clone()),
+            );
+            self.db
+                .store_location(id, now, tel.gps.position, tel.battery_soc);
+            self.manager.update_battery(id, tel.battery_soc);
+
+            // Route upload once cruising altitude is reached.
+            if !self.uavs[i].route_uploaded
+                && tel.mode == FlightMode::Mission
+                && tel.true_position.alt_m > self.config.scan_altitude_m * 0.9
+            {
+                self.uavs[i].route_uploaded = true;
+                let route = self.tasks.remaining_route(id);
+                self.upload_route(i, route);
+            }
+
+            // Task progress uses the *reported* position — spoofing
+            // corrupts it, which is the point of Fig. 6.
+            if tel.mode == FlightMode::Mission {
+                self.tasks.record_position(id, &tel.gps.position, 12.0);
+            }
+
+            // Person detection while surveying.
+            if tel.mode == FlightMode::Mission && tel.true_position.alt_m > 5.0 {
+                let people = self.sim.visible_persons(handle_of(&self.uavs, i));
+                self.uavs[i].detection_attempts += people.len() as u64;
+                let dets = self.uavs[i].detector.detect_frame(
+                    &tel.true_position,
+                    visibility,
+                    &people,
+                );
+                for det in dets {
+                    if det.true_positive {
+                        self.uavs[i].detection_hits += 1;
+                    } else {
+                        self.uavs[i].false_positives += 1;
+                    }
+                    let new = self.tasks.mission_mut().report_person(
+                        det.position,
+                        id,
+                        det.confidence,
+                        now,
+                    );
+                    if new {
+                        self.events.push(
+                            now,
+                            SystemEvent::PersonDetected {
+                                uav: id,
+                                confidence: det.confidence,
+                                true_positive: det.true_positive,
+                            },
+                        );
+                    }
+                }
+            }
+
+            // Availability accounting.
+            if tel.mode.is_productive() && !self.sim.is_crashed(handle_of(&self.uavs, i)) {
+                self.uavs[i].productive_ticks += 1;
+            }
+
+            // EDDI tick (SESAME only).
+            if self.uavs[i].eddi.is_some() {
+                let scene = SceneCondition {
+                    altitude_m: tel.true_position.alt_m,
+                    visibility,
+                };
+                let remaining = self.estimated_remaining_mission(id);
+                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
+                eddi.set_remaining_mission(remaining);
+                let out = eddi.tick(&tel, &scene);
+                // The EDDI-side spoofing detector acts as the "additional
+                // sensor" of §III-B: its finding feeds the GPS-spoofing
+                // attack tree through the alert broker.
+                if out.spoof.spoofed && !self.uavs[i].spoof_alerted {
+                    self.uavs[i].spoof_alerted = true;
+                    for rule in ["gps_anomaly", "position_jump"] {
+                        self.broker.publish(
+                            now,
+                            "eddi",
+                            format!("ids/alerts/{id}"),
+                            Payload::Alert {
+                                rule: rule.into(),
+                                subject: id,
+                                detail: format!(
+                                    "innovation {:.1} m exceeds gate {:.1} m",
+                                    out.spoof.innovation_m, out.spoof.gate_m
+                                ),
+                            },
+                        );
+                    }
+                    self.events.push(
+                        now,
+                        SystemEvent::SecurityAlert {
+                            uav: id,
+                            rule: "gps_spoofing_suspected".into(),
+                            severity: Severity::Critical,
+                        },
+                    );
+                }
+                if i == 0 && second_boundary {
+                    self.pof_series.push((now.as_secs_f64(), out.reliability.pof));
+                    self.uncertainty_series
+                        .push((now.as_secs_f64(), out.combined_uncertainty));
+                }
+                // §V-B altitude adaptation.
+                if self.config.altitude_adaptation
+                    && tel.mode == FlightMode::Mission
+                    && !self.uavs[i].cl_landing
+                    // Only adapt from a steady scan at the commanded
+                    // altitude — transients during climb/descent would
+                    // trigger the policy on mixed-altitude windows.
+                    && (tel.true_position.alt_m - self.current_scan_alt).abs() < 5.0
+                {
+                    match self
+                        .altitude_policy
+                        .decide(tel.true_position.alt_m, out.combined_uncertainty)
+                    {
+                        AltitudeDecision::DescendTo(alt) | AltitudeDecision::ClimbTo(alt) => {
+                            if (alt - self.current_scan_alt).abs() > 1.0 {
+                                self.current_scan_alt = alt;
+                                self.events.push(
+                                    now,
+                                    SystemEvent::MonitorFinding {
+                                        uav: id,
+                                        monitor: "sinadra".into(),
+                                        severity: Severity::Warning,
+                                        detail: format!("altitude adaptation -> {alt} m"),
+                                    },
+                                );
+                            }
+                            self.sim.command(
+                                handle_of(&self.uavs, i),
+                                FlightCommand::SetMissionAltitude(alt),
+                            );
+                        }
+                        AltitudeDecision::Maintain => {}
+                    }
+                }
+            }
+
+            // Trajectory sampling.
+            if second_boundary {
+                self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
+            }
+        }
+
+        // ---- Airspace monitors: geofence and separation risk ----
+        for i in 0..n {
+            let tel = &telemetries[i];
+            if let Some(status) = self.geofences[i].update(&tel.true_position) {
+                let severity = match status {
+                    FenceStatus::Inside => Severity::Info,
+                    FenceStatus::Margin => Severity::Warning,
+                    FenceStatus::Breach => Severity::Critical,
+                };
+                self.events.push(
+                    now,
+                    SystemEvent::MonitorFinding {
+                        uav: tel.uav,
+                        monitor: "geofence".into(),
+                        severity,
+                        detail: format!("fence status -> {status:?}"),
+                    },
+                );
+            }
+            if self.config.sesame_enabled && tel.mode == FlightMode::Mission {
+                // Nearest airborne teammate and closing geometry.
+                let mut nearest = f64::INFINITY;
+                let mut converging = false;
+                for j in 0..n {
+                    if j == i || !telemetries[j].mode.is_airborne() {
+                        continue;
+                    }
+                    let d = tel
+                        .true_position
+                        .distance_3d_m(&telemetries[j].true_position);
+                    if d < nearest {
+                        nearest = d;
+                        // Converging when the relative velocity points at
+                        // the teammate.
+                        let rel = telemetries[j].true_position.to_enu(&tel.true_position);
+                        let rel_v = tel.velocity - telemetries[j].velocity;
+                        converging = rel_v.dot(&rel.into()) > 0.0;
+                    }
+                }
+                if nearest.is_finite() {
+                    let assessment = self.separation.assess(&SeparationInputs {
+                        nearest_range_m: nearest,
+                        converging,
+                        detection_confidence: 0.9,
+                    });
+                    if assessment.hold_advised && !self.separation_hot[i] {
+                        self.separation_hot[i] = true;
+                        self.events.push(
+                            now,
+                            SystemEvent::MonitorFinding {
+                                uav: tel.uav,
+                                monitor: "separation".into(),
+                                severity: Severity::Warning,
+                                detail: format!(
+                                    "conflict probability {:.2} at {nearest:.0} m",
+                                    assessment.conflict_prob
+                                ),
+                            },
+                        );
+                    } else if !assessment.hold_advised {
+                        self.separation_hot[i] = false;
+                    }
+                }
+            }
+        }
+
+        // ---- Bus delivery, IDS, command application ----
+        self.bus.step(now);
+        let tapped = self.bus.drain(self.ids_tap);
+        if let Some(ids_engine) = self.ids.as_mut() {
+            let mut alerts = Vec::new();
+            for msg in &tapped {
+                alerts.extend(ids_engine.inspect(msg, now));
+            }
+            for a in alerts {
+                self.broker.publish(
+                    now,
+                    "ids",
+                    format!("ids/alerts/{}", a.subject),
+                    Payload::Alert {
+                        rule: a.rule.clone(),
+                        subject: a.subject,
+                        detail: a.detail.clone(),
+                    },
+                );
+                self.events.push(
+                    now,
+                    SystemEvent::SecurityAlert {
+                        uav: a.subject,
+                        rule: a.rule,
+                        severity: a.severity,
+                    },
+                );
+            }
+        }
+
+        // UAV-side command application: verify signatures when SESAME
+        // signs; a stock deployment applies everything (the §V-C hole).
+        for i in 0..n {
+            let msgs = self.bus.drain(self.cmd_subs[i]);
+            let handle = self.uavs[i].handle;
+            for msg in msgs {
+                if let Some(auth) = &self.auth {
+                    if !auth.verify(&msg) {
+                        continue; // reject unauthenticated commands
+                    }
+                }
+                match msg.payload {
+                    Payload::WaypointCommand { waypoint, .. } => {
+                        self.sim.command(handle, FlightCommand::PushWaypoint(waypoint));
+                    }
+                    Payload::ModeCommand { ref mode, .. } => {
+                        let cmd = match mode.as_str() {
+                            "hold" => Some(FlightCommand::Hold),
+                            "resume" => Some(FlightCommand::Resume),
+                            "rtb" => Some(FlightCommand::ReturnToBase),
+                            "land" => Some(FlightCommand::Land),
+                            "emergency_land" => Some(FlightCommand::EmergencyLand),
+                            _ => None,
+                        };
+                        if let Some(cmd) = cmd {
+                            self.sim.command(handle, cmd);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // ---- Security EDDI scripts ----
+        let mut newly_attacked: Vec<UavId> = Vec::new();
+        for eddi in self.security_eddis.iter_mut() {
+            for status in eddi.poll(&mut self.broker, now) {
+                self.events.push(
+                    now,
+                    SystemEvent::AttackGoalDetected {
+                        uav: status.uav,
+                        tree: status.tree.clone(),
+                    },
+                );
+                newly_attacked.push(status.uav);
+            }
+        }
+        for id in newly_attacked {
+            if self.attack_detected_at.is_none() {
+                self.attack_detected_at = Some(now);
+            }
+            if let Some(idx) = self.uavs.iter().position(|u| u.handle.id() == id) {
+                if !self.uavs[idx].attack_detected {
+                    self.uavs[idx].attack_detected = true;
+                    if self.config.sesame_enabled {
+                        self.start_cl_landing(idx, now);
+                    }
+                }
+            }
+        }
+
+        // ---- CL-guided landing (Fig. 7) ----
+        self.step_cl(now);
+
+        // ---- Decisions ----
+        if self.config.sesame_enabled {
+            self.step_conserts(&telemetries, now);
+        } else {
+            self.step_baseline(&telemetries, now);
+        }
+
+        // ---- Mission bookkeeping ----
+        if self.mission_complete_at.is_none() && self.tasks.is_complete() {
+            self.mission_complete_at = Some(now);
+            self.ticks_at_completion = Some(self.total_ticks);
+            self.productive_at_completion =
+                self.uavs.iter().map(|u| u.productive_ticks).collect();
+            self.events.push(
+                now,
+                SystemEvent::MissionComplete {
+                    completed_fraction: 1.0,
+                },
+            );
+            // Send everyone home.
+            for i in 0..n {
+                if !self.uavs[i].cl_landing {
+                    let h = self.uavs[i].handle;
+                    if self.sim.mode(h).is_airborne() {
+                        self.sim.command(h, FlightCommand::ReturnToBase);
+                    }
+                }
+            }
+        }
+
+        // GCS snapshot every 5 s.
+        if now.as_millis().is_multiple_of(5000) {
+            let snap = self.snapshot(&telemetries, now);
+            self.gcs.record(snap);
+        }
+        now
+    }
+
+    fn estimated_remaining_mission(&self, uav: UavId) -> SimDuration {
+        // This UAV's remaining route at cruise speed, floor 30 s.
+        let route = self.tasks.remaining_route(uav);
+        let remaining_m = sesame_sar::coverage::path_length_m(&route);
+        let secs = (remaining_m / 8.0).max(30.0);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    fn start_cl_landing(&mut self, affected: usize, now: SimTime) {
+        if self.cl.is_some() || self.uavs[affected].cl_landing {
+            return;
+        }
+        self.uavs[affected].cl_landing = true;
+        let affected_handle = self.uavs[affected].handle;
+        // The paper's mitigation flies the UAV GPS-denied: the operator
+        // discards the captured receiver.
+        self.sim
+            .faults_mut()
+            .add(now + SimDuration::from_millis(100), affected_handle.id(), sesame_uav_sim::faults::FaultKind::GpsLoss);
+        self.sim.command(affected_handle, FlightCommand::Hold);
+        // Collaborators: the other airborne UAVs approach the affected one.
+        let affected_pos = self.sim.true_position(affected_handle);
+        let mut collaborators = Vec::new();
+        for (j, u) in self.uavs.iter().enumerate() {
+            if j != affected && self.sim.mode(u.handle).is_airborne() {
+                collaborators.push(j);
+            }
+        }
+        for (k, &j) in collaborators.iter().enumerate() {
+            let h = self.uavs[j].handle;
+            let stand_off = affected_pos
+                .destination(90.0 + 180.0 * k as f64, 30.0)
+                .with_alt(affected_pos.alt_m + 5.0);
+            self.sim.command(h, FlightCommand::SetMission(vec![stand_off]));
+        }
+        let agents: Vec<CollaborativeAgent> = collaborators
+            .iter()
+            .map(|j| {
+                CollaborativeAgent::new(
+                    format!("collab-{}", self.uavs[*j].handle.id()),
+                    self.config.seed ^ ((*j as u64 + 7) << 32),
+                )
+            })
+            .collect();
+        if agents.is_empty() {
+            return; // nobody can assist; the UAV holds position
+        }
+        self.cl = Some(ClState {
+            affected,
+            session: CollabSession::new(agents, affected_pos.with_alt(0.0)),
+            guidance: None,
+            collaborators,
+        });
+    }
+
+    fn step_cl(&mut self, now: SimTime) {
+        let Some(cl) = self.cl.as_mut() else { return };
+        let affected_handle = self.uavs[cl.affected].handle;
+        if self.sim.mode(affected_handle) == FlightMode::Grounded {
+            // Touched down: score the landing.
+            if self.cl_outcome.is_none() {
+                let pad = cl
+                    .guidance
+                    .as_ref()
+                    .map(|g| g.target())
+                    .unwrap_or_else(|| self.sim.true_position(affected_handle));
+                let miss = self
+                    .sim
+                    .true_position(affected_handle)
+                    .haversine_distance_m(&pad);
+                let outcome = ClLandingOutcome {
+                    uav: affected_handle.id(),
+                    miss_m: miss,
+                    at: now,
+                };
+                self.cl_outcome = Some(outcome);
+                self.events.push(
+                    now,
+                    SystemEvent::Landed(affected_handle.id(), "cl_safe_landing".into()),
+                );
+            }
+            self.cl = None;
+            return;
+        }
+        let affected_true = self.sim.true_position(affected_handle);
+        let observer_positions: Vec<GeoPoint> = cl
+            .collaborators
+            .iter()
+            .map(|j| self.sim.true_position(self.uavs[*j].handle))
+            .collect();
+        if let Some(fix) = cl.session.step(now, &observer_positions, &affected_true) {
+            self.events.push(
+                now,
+                SystemEvent::CollabFix {
+                    uav: affected_handle.id(),
+                    error_m: fix.position.distance_3d_m(&affected_true),
+                },
+            );
+            let guidance = cl.guidance.get_or_insert_with(|| {
+                // First fix: land directly below the estimated position.
+                LandingGuidance::new(fix.position.with_alt(0.0))
+            });
+            let v = guidance.velocity_command(&fix.position);
+            self.sim.command_velocity(affected_handle, Some(v));
+        }
+    }
+
+    fn step_conserts(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        let n = self.uavs.len();
+        let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
+        let mut actions = Vec::with_capacity(n);
+        for i in 0..n {
+            let tel = &telemetries[i];
+            let id = tel.uav;
+            if self.uavs[i].cl_landing {
+                actions.push(UavAction::EmergencyLand); // under CL control
+                continue;
+            }
+            let neighbors_available = airborne >= 3 && tel.link_quality > 0.4;
+            let (Some(eddi), Some(network)) = (&self.uavs[i].eddi, &self.uavs[i].network) else {
+                actions.push(UavAction::ContinueMission);
+                continue;
+            };
+            let evidence = eddi.evidence(tel, self.uavs[i].attack_detected, neighbors_available);
+            let action = evaluate_uav(network, &id.to_string(), &evidence)
+                .unwrap_or(UavAction::EmergencyLand);
+            self.uavs[i].last_nav_accuracy =
+                certified_navigation_accuracy_m(network, &id.to_string(), &evidence);
+            actions.push(action);
+            let prev = self.manager.last_action(id);
+            if let Some(cmd) = self.manager.translate_action(id, action) {
+                self.sim.command(self.uavs[i].handle, cmd);
+            }
+            if prev != Some(action) {
+                self.events.push(
+                    now,
+                    SystemEvent::ConsertDecision {
+                        uav: id,
+                        guarantee: action.to_string(),
+                    },
+                );
+            }
+        }
+        // Mission-level decider.
+        let decision = decide_mission(&actions);
+        if decision == MissionDecision::RedistributeTasks {
+            // Redistribute the tasks of every aborting UAV once.
+            for i in 0..n {
+                let id = self.uavs[i].handle.id();
+                if matches!(
+                    actions[i],
+                    UavAction::ReturnToBase | UavAction::EmergencyLand
+                ) {
+                    let capable: Vec<UavId> = (0..n)
+                        .filter(|j| actions[*j].is_mission_capable())
+                        .map(|j| self.uavs[j].handle.id())
+                        .collect();
+                    let moves = self.tasks.redistribute(id, &capable);
+                    for (task, from, to) in moves {
+                        self.events
+                            .push(now, SystemEvent::TaskReallocated { task, from, to });
+                        // Upload the inherited route to the new owner.
+                        if let Some(j) = self.uavs.iter().position(|u| u.handle.id() == to) {
+                            let route = self.tasks.remaining_route(to);
+                            self.upload_route(j, route);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The baseline policy of §V-A: at the first battery symptom (sharp
+    /// SoC drop), abort immediately, swap the battery at base
+    /// (`battery_swap` long), then resume the remaining mission.
+    fn step_baseline(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        for i in 0..self.uavs.len() {
+            let tel = &telemetries[i];
+            let handle = self.uavs[i].handle;
+            // Symptom: battery temperature ≥ 45 °C or a drop below 50 %
+            // while flying — the stock firmware aborts.
+            let symptomatic = tel.battery_temp_c >= 45.0 || tel.battery_soc < 0.45;
+            if symptomatic
+                && tel.mode == FlightMode::Mission
+                && self.uavs[i].swap_until.is_none()
+            {
+                self.sim.command(handle, FlightCommand::ReturnToBase);
+                self.events.push(
+                    now,
+                    SystemEvent::Note(format!(
+                        "{}: baseline abort on battery symptom",
+                        tel.uav
+                    )),
+                );
+            }
+            // Grounded at base with a symptom history: swap.
+            if tel.mode == FlightMode::Grounded && !self.uavs[i].baseline_resumed {
+                match self.uavs[i].swap_until {
+                    None => {
+                        if tel.battery_temp_c >= 40.0 || tel.battery_soc < 0.45 {
+                            self.uavs[i].swap_until = Some(now + self.config.battery_swap);
+                        }
+                    }
+                    Some(t) if now >= t => {
+                        self.sim.swap_battery(handle);
+                        self.uavs[i].baseline_resumed = true;
+                        self.uavs[i].swap_until = None;
+                        // Relaunch and re-upload the remaining route.
+                        self.sim
+                            .command_takeoff(handle, self.config.scan_altitude_m);
+                        self.uavs[i].route_uploaded = false;
+                        self.events.push(
+                            now,
+                            SystemEvent::Note(format!("{}: battery swapped, resuming", tel.uav)),
+                        );
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+
+    fn snapshot(&self, telemetries: &[UavTelemetry], now: SimTime) -> StatusSnapshot {
+        let uavs = telemetries
+            .iter()
+            .enumerate()
+            .map(|(i, tel)| UavStatusLine {
+                uav: tel.uav,
+                position: tel.true_position,
+                battery_soc: tel.battery_soc,
+                mode: tel.mode,
+                consert_action: self.manager.last_action(tel.uav),
+                pof: self.uavs[i]
+                    .eddi
+                    .as_ref()
+                    .and_then(|e| e.last_outputs().map(|o| o.reliability.pof)),
+            })
+            .collect();
+        StatusSnapshot {
+            time: now,
+            uavs,
+            mission_decision: None,
+            completion: self.tasks.completion(),
+            persons_found: self.tasks.mission().findings().len(),
+        }
+    }
+
+    /// Runs until the coverage completes and every UAV is grounded, or
+    /// `deadline` passes.
+    pub fn run_until_complete(&mut self, deadline: SimTime) {
+        while self.now() < deadline {
+            self.step();
+            if self.mission_complete_at.is_some() {
+                let all_down = self
+                    .uavs
+                    .iter()
+                    .all(|u| !self.sim.mode(u.handle).is_airborne());
+                if all_down {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Availability of one UAV: productive ticks over the mission window
+    /// (up to coverage completion; the whole run if coverage never
+    /// completed).
+    pub fn availability(&self, index: usize) -> f64 {
+        let (productive, window) = match self.ticks_at_completion {
+            Some(ticks) => (self.productive_at_completion[index], ticks),
+            None => (self.uavs[index].productive_ticks, self.total_ticks),
+        };
+        if window == 0 {
+            return 0.0;
+        }
+        productive as f64 / window as f64
+    }
+
+    /// The certified navigation accuracy (metres) of one UAV from the
+    /// latest ConSert evaluation; `None` before the first evaluation, when
+    /// SESAME is off, or when only the emergency level holds.
+    pub fn certified_nav_accuracy_m(&self, index: usize) -> Option<f64> {
+        self.uavs[index].last_nav_accuracy
+    }
+
+    /// Detection statistics of one UAV: `(attempts, hits, false_positives)`.
+    pub fn detection_stats(&self, index: usize) -> (u64, u64, u64) {
+        let u = &self.uavs[index];
+        (u.detection_attempts, u.detection_hits, u.false_positives)
+    }
+
+    /// Mission completion fraction.
+    pub fn completion(&self) -> f64 {
+        self.tasks.completion()
+    }
+
+    /// Assembles the holistic safety–security co-engineering report for
+    /// one UAV (see [`crate::coengineering`]). Returns `None` when SESAME
+    /// is disabled (there are no EDDIs to fuse).
+    pub fn dependability_report(
+        &self,
+        index: usize,
+    ) -> Option<crate::coengineering::DependabilityReport> {
+        let eddi = self.uavs[index].eddi.as_ref()?;
+        let id = self.uavs[index].handle.id();
+        let security = self
+            .security_eddis
+            .iter()
+            .map(|e| e.status_for(id))
+            .collect();
+        Some(crate::coengineering::DependabilityReport::assemble(
+            id,
+            self.sim.now(),
+            eddi.safedrones().estimate(),
+            security,
+        ))
+    }
+
+    /// Number of UAVs.
+    pub fn uav_count(&self) -> usize {
+        self.uavs.len()
+    }
+
+    /// The handle of UAV `index`.
+    pub fn handle(&self, index: usize) -> UavHandle {
+        self.uavs[index].handle
+    }
+}
+
+fn handle_of(uavs: &[UavRt], i: usize) -> UavHandle {
+    uavs[i].handle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> PlatformConfig {
+        PlatformConfig {
+            area_width_m: 150.0,
+            area_height_m: 100.0,
+            person_count: 3,
+            ..PlatformConfig::default()
+        }
+    }
+
+    #[test]
+    fn nominal_mission_completes_with_sesame() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        p.run_until_complete(SimTime::from_secs(600));
+        assert!(p.mission_complete_at().is_some(), "completion by 600 s");
+        assert!(p.completion() >= 1.0 - 1e-9);
+        assert!(p.availability(0) > 0.5);
+        assert!(!p.gcs().log().is_empty());
+        assert!(p.attack_detected_at().is_none());
+    }
+
+    #[test]
+    fn nominal_mission_completes_without_sesame() {
+        let mut cfg = quick_config();
+        cfg.sesame_enabled = false;
+        let mut p = Platform::new(cfg);
+        p.launch();
+        p.run_until_complete(SimTime::from_secs(600));
+        assert!(p.mission_complete_at().is_some());
+        // No SESAME artefacts in the baseline run.
+        assert!(p.pof_series().is_empty());
+        assert!(p
+            .events()
+            .iter()
+            .all(|e| !matches!(e.event, SystemEvent::ConsertDecision { .. })));
+    }
+
+    #[test]
+    fn persons_are_found_during_survey() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        p.run_until_complete(SimTime::from_secs(600));
+        assert!(
+            !p.tasks().mission().findings().is_empty(),
+            "3 persons in a small area must be seen"
+        );
+        let (attempts, hits, _) = p.detection_stats(0);
+        let _ = (attempts, hits);
+    }
+
+    #[test]
+    fn pof_series_is_sampled_per_second() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..100 {
+            p.step();
+        }
+        assert_eq!(p.pof_series().len(), 10);
+        assert_eq!(p.trajectory(0).len(), 10);
+    }
+
+    #[test]
+    fn dependability_report_reflects_live_state() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..100 {
+            p.step();
+        }
+        let report = p.dependability_report(0).expect("SESAME is on");
+        assert_eq!(
+            report.verdict,
+            crate::coengineering::DependabilityVerdict::Dependable
+        );
+        assert!(report.render().contains("dependable"));
+        // Baseline has no EDDIs to fuse.
+        let mut cfg = quick_config();
+        cfg.sesame_enabled = false;
+        let baseline = Platform::new(cfg);
+        assert!(baseline.dependability_report(0).is_none());
+    }
+
+    #[test]
+    fn database_collects_fleet_history() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..50 {
+            p.step();
+        }
+        let id = p.handle(0).id();
+        let history = p.database_mut().history("net:gcs", id).unwrap();
+        assert_eq!(history.len(), 50);
+    }
+}

@@ -1,0 +1,174 @@
+//! The database manager.
+//!
+//! "Provides an API for database access, allowing UAVs and software
+//! clients to make asynchronous data requests. It verifies that requests
+//! come from within the network to prevent external access. For instance,
+//! UAVs report their location data to the database manager, which
+//! processes and saves it" (§IV-A).
+
+use sesame_types::geo::GeoPoint;
+use sesame_types::ids::UavId;
+use sesame_types::time::SimTime;
+use std::collections::HashMap;
+
+/// One stored location report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DbRecord {
+    /// Report time.
+    pub time: SimTime,
+    /// Reported position.
+    pub position: GeoPoint,
+    /// Battery state of charge at report time.
+    pub battery_soc: f64,
+}
+
+/// Errors from database requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The request origin is not an in-network client.
+    ExternalOrigin(String),
+    /// No data stored for the UAV.
+    NoData(UavId),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::ExternalOrigin(o) => write!(f, "request from outside the network: `{o}`"),
+            DbError::NoData(u) => write!(f, "no records for {u}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// In-memory store with the paper's network-origin check: only clients
+/// whose origin starts with `"net:"` may read.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_core::platform::database::DatabaseManager;
+/// use sesame_types::geo::GeoPoint;
+/// use sesame_types::ids::UavId;
+/// use sesame_types::time::SimTime;
+///
+/// let mut db = DatabaseManager::new();
+/// db.store_location(UavId::new(1), SimTime::ZERO, GeoPoint::default(), 0.9);
+/// assert!(db.latest("net:gcs", UavId::new(1)).is_ok());
+/// assert!(db.latest("wan:attacker", UavId::new(1)).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseManager {
+    locations: HashMap<UavId, Vec<DbRecord>>,
+    writes: u64,
+    rejected: u64,
+}
+
+impl DatabaseManager {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a location report (writes come from the UAV link and are
+    /// always in-network).
+    pub fn store_location(&mut self, uav: UavId, time: SimTime, position: GeoPoint, soc: f64) {
+        self.writes += 1;
+        self.locations.entry(uav).or_default().push(DbRecord {
+            time,
+            position,
+            battery_soc: soc,
+        });
+    }
+
+    fn check_origin(&mut self, origin: &str) -> Result<(), DbError> {
+        if origin.starts_with("net:") {
+            Ok(())
+        } else {
+            self.rejected += 1;
+            Err(DbError::ExternalOrigin(origin.to_string()))
+        }
+    }
+
+    /// The latest record of a UAV.
+    ///
+    /// # Errors
+    ///
+    /// Rejects external origins and unknown UAVs.
+    pub fn latest(&mut self, origin: &str, uav: UavId) -> Result<DbRecord, DbError> {
+        self.check_origin(origin)?;
+        self.locations
+            .get(&uav)
+            .and_then(|v| v.last())
+            .copied()
+            .ok_or(DbError::NoData(uav))
+    }
+
+    /// Full history of a UAV.
+    ///
+    /// # Errors
+    ///
+    /// Rejects external origins and unknown UAVs.
+    pub fn history(&mut self, origin: &str, uav: UavId) -> Result<Vec<DbRecord>, DbError> {
+        self.check_origin(origin)?;
+        self.locations
+            .get(&uav)
+            .cloned()
+            .ok_or(DbError::NoData(uav))
+    }
+
+    /// Total accepted writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Total rejected external requests.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(db: &mut DatabaseManager, uav: u32, t: u64) {
+        db.store_location(
+            UavId::new(uav),
+            SimTime::from_secs(t),
+            GeoPoint::new(35.0, 33.0, 30.0),
+            0.8,
+        );
+    }
+
+    #[test]
+    fn stores_and_returns_latest() {
+        let mut db = DatabaseManager::new();
+        record(&mut db, 1, 1);
+        record(&mut db, 1, 2);
+        let latest = db.latest("net:gcs", UavId::new(1)).unwrap();
+        assert_eq!(latest.time, SimTime::from_secs(2));
+        assert_eq!(db.history("net:gcs", UavId::new(1)).unwrap().len(), 2);
+        assert_eq!(db.writes(), 2);
+    }
+
+    #[test]
+    fn external_origin_rejected() {
+        let mut db = DatabaseManager::new();
+        record(&mut db, 1, 1);
+        let err = db.latest("wan:attacker", UavId::new(1)).unwrap_err();
+        assert!(matches!(err, DbError::ExternalOrigin(_)));
+        assert_eq!(db.rejected(), 1);
+        assert!(err.to_string().contains("attacker"));
+    }
+
+    #[test]
+    fn unknown_uav_reports_no_data() {
+        let mut db = DatabaseManager::new();
+        assert_eq!(
+            db.latest("net:gcs", UavId::new(9)).unwrap_err(),
+            DbError::NoData(UavId::new(9))
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! ASCII map rendering — the headless stand-in for the Fig. 4 map pane.
+//!
+//! Renders the search area with the UAVs' coverage tracks (one glyph per
+//! UAV, matching the paper's red / light-red / green lanes), the
+//! ground-truth persons (`o`) and confirmed findings (`*`).
+
+use sesame_types::geo::GeoPoint;
+
+/// Inputs for one rendered frame.
+#[derive(Debug, Clone, Default)]
+pub struct MapScene {
+    /// South-west corner of the area.
+    pub origin: GeoPoint,
+    /// East extent, metres.
+    pub width_m: f64,
+    /// North extent, metres.
+    pub height_m: f64,
+    /// Per-UAV flown tracks (position samples).
+    pub tracks: Vec<Vec<GeoPoint>>,
+    /// Ground-truth persons.
+    pub persons: Vec<GeoPoint>,
+    /// Confirmed findings.
+    pub findings: Vec<GeoPoint>,
+}
+
+/// Renders the scene onto a `cols × rows` character grid. UAV tracks use
+/// `1`, `2`, `3`, … (last writer wins per cell); persons are `o`,
+/// findings `*`, empty area `·`. The top row is the north edge.
+///
+/// # Panics
+///
+/// Panics if `cols`/`rows` are zero or the extents are not positive.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_core::platform::map_view::{render_map, MapScene};
+/// use sesame_types::geo::GeoPoint;
+///
+/// let origin = GeoPoint::new(35.0, 33.0, 0.0);
+/// let scene = MapScene {
+///     origin,
+///     width_m: 100.0,
+///     height_m: 100.0,
+///     tracks: vec![vec![origin.destination(45.0, 30.0)]],
+///     persons: vec![origin.destination(45.0, 70.0)],
+///     findings: vec![],
+/// };
+/// let map = render_map(&scene, 20, 10);
+/// assert!(map.contains('1'));
+/// assert!(map.contains('o'));
+/// ```
+pub fn render_map(scene: &MapScene, cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0, "grid must be non-empty");
+    assert!(
+        scene.width_m > 0.0 && scene.height_m > 0.0,
+        "area extents must be positive"
+    );
+    let mut grid = vec![vec!['·'; cols]; rows];
+    let plot = |p: &GeoPoint, glyph: char, grid: &mut Vec<Vec<char>>| {
+        let enu = p.to_enu(&scene.origin);
+        // Small tolerance: a great-circle leg along the area edge dips a
+        // fraction of a metre outside the rectangle.
+        const TOL: f64 = 0.005;
+        let fx = (enu.east_m / scene.width_m).clamp(-TOL, 1.0 + TOL);
+        let fy = (enu.north_m / scene.height_m).clamp(-TOL, 1.0 + TOL);
+        if !(-TOL..=1.0 + TOL).contains(&(enu.east_m / scene.width_m))
+            || !(-TOL..=1.0 + TOL).contains(&(enu.north_m / scene.height_m))
+        {
+            return;
+        }
+        let fx = fx.clamp(0.0, 1.0);
+        let fy = fy.clamp(0.0, 1.0);
+        let col = ((fx * (cols - 1) as f64).round() as usize).min(cols - 1);
+        // Row 0 is the north edge.
+        let row = rows - 1 - ((fy * (rows - 1) as f64).round() as usize).min(rows - 1);
+        grid[row][col] = glyph;
+    };
+    for (i, track) in scene.tracks.iter().enumerate() {
+        let glyph = char::from_digit((i as u32 + 1) % 10, 10).unwrap_or('?');
+        for p in track {
+            plot(p, glyph, &mut grid);
+        }
+    }
+    for p in &scene.persons {
+        plot(p, 'o', &mut grid);
+    }
+    for p in &scene.findings {
+        plot(p, '*', &mut grid);
+    }
+    let mut out = String::with_capacity(rows * (cols + 1));
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 0.0)
+    }
+
+    fn scene() -> MapScene {
+        MapScene {
+            origin: origin(),
+            width_m: 200.0,
+            height_m: 100.0,
+            tracks: vec![
+                vec![origin().destination(90.0, 10.0)],
+                vec![origin().destination(90.0, 100.0)],
+            ],
+            persons: vec![origin().destination(45.0, 60.0)],
+            findings: vec![origin().destination(45.0, 60.0)],
+        }
+    }
+
+    #[test]
+    fn grid_shape_and_glyphs() {
+        let map = render_map(&scene(), 40, 10);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 40));
+        assert!(map.contains('1'));
+        assert!(map.contains('2'));
+        // The finding overwrote the person at the same cell.
+        assert!(map.contains('*'));
+    }
+
+    #[test]
+    fn south_west_track_lands_bottom_left() {
+        let mut s = scene();
+        s.tracks = vec![vec![origin()]];
+        s.persons.clear();
+        s.findings.clear();
+        let map = render_map(&s, 20, 5);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines[4].chars().next(), Some('1'), "{map}");
+    }
+
+    #[test]
+    fn north_edge_is_top_row() {
+        let mut s = scene();
+        s.tracks = vec![vec![origin().destination(0.0, 100.0)]];
+        s.persons.clear();
+        s.findings.clear();
+        let map = render_map(&s, 20, 5);
+        assert_eq!(map.lines().next().unwrap().chars().next(), Some('1'));
+    }
+
+    #[test]
+    fn out_of_area_points_are_dropped() {
+        let mut s = scene();
+        s.tracks = vec![vec![origin().destination(270.0, 500.0)]];
+        s.persons.clear();
+        s.findings.clear();
+        let map = render_map(&s, 20, 5);
+        assert!(!map.contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid")]
+    fn empty_grid_panics() {
+        let _ = render_map(&scene(), 0, 5);
+    }
+}

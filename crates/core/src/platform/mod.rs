@@ -1,0 +1,18 @@
+//! The multi-UAV control platform layers (§IV-A).
+//!
+//! The paper's architecture has five layers: two GUIs (web + control),
+//! the UAV ground control stations, the database manager, the UAV manager
+//! and the task manager. The GUIs are presentation-only and are replaced
+//! here by the headless [`gcs::StatusSnapshot`]; the other layers are
+//! implemented directly.
+
+pub mod database;
+pub mod map_view;
+pub mod gcs;
+pub mod task_manager;
+pub mod uav_manager;
+
+pub use database::{DatabaseManager, DbError, DbRecord};
+pub use gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
+pub use task_manager::TaskManager;
+pub use uav_manager::{UavManager, UavRegistration};

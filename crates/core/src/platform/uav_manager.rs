@@ -1,0 +1,185 @@
+//! The UAV manager.
+//!
+//! "Manages connections to UAVs, identifying each by type, ID, equipment,
+//! and battery level. It handles UAV operations, translating user
+//! commands into UAV-compatible instructions" (§IV-A). Here the
+//! translation target is the simulator's
+//! [`sesame_uav_sim::autopilot::FlightCommand`], and the key runtime
+//! translation is from the UAV ConSert's [`UavAction`] to the commands
+//! that implement it.
+
+use sesame_conserts::catalog::UavAction;
+use sesame_types::ids::UavId;
+use sesame_uav_sim::autopilot::FlightCommand;
+use sesame_uav_sim::sim::UavHandle;
+use std::collections::HashMap;
+
+/// Registration entry for one connected UAV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UavRegistration {
+    /// Platform-wide id.
+    pub id: UavId,
+    /// Simulator handle.
+    pub handle: UavHandle,
+    /// Airframe type string (e.g. "matrice300-sim").
+    pub uav_type: String,
+    /// Equipment list.
+    pub equipment: Vec<String>,
+    /// Last reported battery level.
+    pub battery_soc: f64,
+}
+
+/// The connection registry + command translator.
+#[derive(Debug, Clone, Default)]
+pub struct UavManager {
+    uavs: HashMap<UavId, UavRegistration>,
+    last_action: HashMap<UavId, UavAction>,
+}
+
+impl UavManager {
+    /// An empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a UAV connection.
+    pub fn register(&mut self, id: UavId, handle: UavHandle, uav_type: &str, equipment: &[&str]) {
+        self.uavs.insert(
+            id,
+            UavRegistration {
+                id,
+                handle,
+                uav_type: uav_type.to_string(),
+                equipment: equipment.iter().map(|s| s.to_string()).collect(),
+                battery_soc: 1.0,
+            },
+        );
+    }
+
+    /// Updates the cached battery level.
+    pub fn update_battery(&mut self, id: UavId, soc: f64) {
+        if let Some(r) = self.uavs.get_mut(&id) {
+            r.battery_soc = soc;
+        }
+    }
+
+    /// A registration by id.
+    pub fn registration(&self, id: UavId) -> Option<&UavRegistration> {
+        self.uavs.get(&id)
+    }
+
+    /// All registered ids, sorted.
+    pub fn ids(&self) -> Vec<UavId> {
+        let mut v: Vec<UavId> = self.uavs.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of connected UAVs.
+    pub fn len(&self) -> usize {
+        self.uavs.len()
+    }
+
+    /// Whether no UAVs are connected.
+    pub fn is_empty(&self) -> bool {
+        self.uavs.is_empty()
+    }
+
+    /// Translates a ConSert action into the flight command that implements
+    /// it — only when the action *changed* since the last tick (sending
+    /// `Hold` every tick would keep resetting the autopilot). `Continue*`
+    /// after a hold translates to `Resume`; steady `Continue*` needs no
+    /// command.
+    pub fn translate_action(&mut self, id: UavId, action: UavAction) -> Option<FlightCommand> {
+        let prev = self.last_action.insert(id, action);
+        if prev == Some(action) {
+            return None;
+        }
+        match action {
+            UavAction::ContinueCanTakeMore | UavAction::ContinueMission => match prev {
+                Some(UavAction::HoldPosition) => Some(FlightCommand::Resume),
+                _ => None,
+            },
+            UavAction::HoldPosition => Some(FlightCommand::Hold),
+            UavAction::ReturnToBase => Some(FlightCommand::ReturnToBase),
+            UavAction::EmergencyLand => Some(FlightCommand::EmergencyLand),
+        }
+    }
+
+    /// The last action seen for a UAV.
+    pub fn last_action(&self, id: UavId) -> Option<UavAction> {
+        self.last_action.get(&id).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager_with_one() -> (UavManager, UavId) {
+        let mut m = UavManager::new();
+        let id = UavId::new(1);
+        // A handle cannot be constructed outside the simulator; build one
+        // through a real sim.
+        let world = sesame_uav_sim::world::World::rectangle(
+            sesame_types::geo::GeoPoint::new(35.0, 33.0, 0.0),
+            100.0,
+            100.0,
+            0,
+        );
+        let mut sim = sesame_uav_sim::sim::Simulator::new(world, 1);
+        let h = sim.add_uav(sesame_uav_sim::sim::UavConfig::default());
+        m.register(id, h, "matrice300-sim", &["rgb-camera", "jetson-nx"]);
+        (m, id)
+    }
+
+    #[test]
+    fn registration_round_trip() {
+        let (mut m, id) = manager_with_one();
+        assert_eq!(m.len(), 1);
+        assert!(!m.is_empty());
+        assert_eq!(m.ids(), vec![id]);
+        m.update_battery(id, 0.7);
+        let r = m.registration(id).unwrap();
+        assert_eq!(r.battery_soc, 0.7);
+        assert_eq!(r.uav_type, "matrice300-sim");
+        assert_eq!(r.equipment.len(), 2);
+    }
+
+    #[test]
+    fn steady_continue_needs_no_command() {
+        let (mut m, id) = manager_with_one();
+        assert_eq!(m.translate_action(id, UavAction::ContinueMission), None);
+        assert_eq!(m.translate_action(id, UavAction::ContinueMission), None);
+    }
+
+    #[test]
+    fn transitions_translate_once() {
+        let (mut m, id) = manager_with_one();
+        let _ = m.translate_action(id, UavAction::ContinueMission);
+        assert_eq!(
+            m.translate_action(id, UavAction::HoldPosition),
+            Some(FlightCommand::Hold)
+        );
+        assert_eq!(m.translate_action(id, UavAction::HoldPosition), None);
+        assert_eq!(
+            m.translate_action(id, UavAction::ContinueMission),
+            Some(FlightCommand::Resume),
+            "continue after hold resumes"
+        );
+        assert_eq!(
+            m.translate_action(id, UavAction::EmergencyLand),
+            Some(FlightCommand::EmergencyLand)
+        );
+        assert_eq!(m.last_action(id), Some(UavAction::EmergencyLand));
+    }
+
+    #[test]
+    fn rtb_translates() {
+        let (mut m, id) = manager_with_one();
+        assert_eq!(
+            m.translate_action(id, UavAction::ReturnToBase),
+            Some(FlightCommand::ReturnToBase)
+        );
+    }
+}

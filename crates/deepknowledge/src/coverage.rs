@@ -1,0 +1,145 @@
+//! TK-coverage: the adequacy score of a test set.
+//!
+//! DeepKnowledge "provides a coverage score that captures model behaviour"
+//! (§III-A3). For each transfer-knowledge neuron, its in-domain activation
+//! interval is divided into `k` bins; a test set *covers* a bin when some
+//! test input drives the neuron's activation into it. The coverage score
+//! is the covered fraction over all TK neurons — a test set that never
+//! exercises the knowledge-carrying regions scores low, however large it
+//! is.
+
+use crate::nn::Mlp;
+use crate::transfer::TransferAnalyzer;
+
+/// The result of a coverage evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Covered bins / total bins, in `[0, 1]`.
+    pub score: f64,
+    /// Per-TK-neuron covered-bin counts.
+    pub per_neuron_covered: Vec<usize>,
+    /// Bins per neuron used for the evaluation.
+    pub bins: usize,
+}
+
+/// Computes the TK-coverage of `test_set` on `model` under a prior
+/// [`TransferAnalyzer`] run.
+///
+/// # Panics
+///
+/// Panics if `bins == 0` or the test set is empty.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_deepknowledge::coverage::tk_coverage;
+/// use sesame_deepknowledge::nn::{Activation, Mlp};
+/// use sesame_deepknowledge::transfer::TransferAnalyzer;
+///
+/// let model = Mlp::new(&[2, 6, 1], Activation::Tanh, 2);
+/// let data: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 * 0.1).sin(), 0.3]).collect();
+/// let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+/// let report = tk_coverage(&model, &analyzer, &data, 10);
+/// assert!(report.score > 0.2);
+/// ```
+pub fn tk_coverage(
+    model: &Mlp,
+    analyzer: &TransferAnalyzer,
+    test_set: &[Vec<f64>],
+    bins: usize,
+) -> CoverageReport {
+    assert!(bins > 0, "need at least one bin");
+    assert!(!test_set.is_empty(), "test set must not be empty");
+    let tk = analyzer.tk_neurons();
+    let intervals = analyzer.reference_intervals();
+    let mut covered = vec![vec![false; bins]; tk.len()];
+    for input in test_set {
+        let (_, trace) = model.forward_traced(input);
+        for (t, (id, (lo, hi))) in tk.iter().zip(intervals.iter()).enumerate() {
+            let a = trace[id.0];
+            let width = (hi - lo).max(1e-12);
+            let pos = (a - lo) / width;
+            if (0.0..=1.0).contains(&pos) {
+                let bin = ((pos * bins as f64) as usize).min(bins - 1);
+                covered[t][bin] = true;
+            }
+        }
+    }
+    let per_neuron_covered: Vec<usize> = covered
+        .iter()
+        .map(|c| c.iter().filter(|b| **b).count())
+        .collect();
+    let total = bins * tk.len();
+    let score = per_neuron_covered.iter().sum::<usize>() as f64 / total as f64;
+    CoverageReport {
+        score,
+        per_neuron_covered,
+        bins,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::Activation;
+
+    fn setup() -> (Mlp, TransferAnalyzer, Vec<Vec<f64>>) {
+        let model = Mlp::new(&[2, 8, 1], Activation::Tanh, 4);
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i as f64 * 0.17).sin(), (i as f64 * 0.07).cos()])
+            .collect();
+        let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+        (model, analyzer, data)
+    }
+
+    #[test]
+    fn full_training_set_covers_well() {
+        let (model, analyzer, data) = setup();
+        let r = tk_coverage(&model, &analyzer, &data, 8);
+        assert!(r.score > 0.5, "score = {}", r.score);
+        assert_eq!(r.bins, 8);
+        assert_eq!(r.per_neuron_covered.len(), analyzer.tk_neurons().len());
+    }
+
+    #[test]
+    fn single_input_covers_little() {
+        let (model, analyzer, data) = setup();
+        let one = vec![data[0].clone()];
+        let r = tk_coverage(&model, &analyzer, &one, 8);
+        // One input hits at most one bin per neuron.
+        assert!(r.score <= 1.0 / 8.0 + 1e-12);
+        assert!(r.per_neuron_covered.iter().all(|c| *c <= 1));
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_test_set() {
+        let (model, analyzer, data) = setup();
+        let small = tk_coverage(&model, &analyzer, &data[..5], 8).score;
+        let large = tk_coverage(&model, &analyzer, &data, 8).score;
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn out_of_interval_activations_do_not_count() {
+        let (model, analyzer, _) = setup();
+        // Inputs far outside the training manifold saturate tanh neurons
+        // outside their reference intervals.
+        let wild: Vec<Vec<f64>> = (0..20).map(|i| vec![100.0 + i as f64, -100.0]).collect();
+        let r = tk_coverage(&model, &analyzer, &wild, 8);
+        assert!(r.score < 0.3, "score = {}", r.score);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let (model, analyzer, data) = setup();
+        let _ = tk_coverage(&model, &analyzer, &data, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test set")]
+    fn empty_test_set_panics() {
+        let (model, analyzer, _) = setup();
+        let _ = tk_coverage(&model, &analyzer, &[], 4);
+    }
+}

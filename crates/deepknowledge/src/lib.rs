@@ -1,0 +1,50 @@
+//! DeepKnowledge — generalisation-driven DNN testing and runtime
+//! uncertainty.
+//!
+//! Reproduces the DeepKnowledge technology of the paper (§III-A3, \[33\]):
+//! "whereas SafeML evaluates the difference between ML input and training
+//! reference data, DeepKnowledge assesses the internal neuron behaviours of
+//! the given ML model". The pipeline:
+//!
+//! 1. [`nn::Mlp`] — a real, from-scratch multilayer perceptron (forward
+//!    pass with activation capture, SGD backprop training) standing in for
+//!    tiny YOLOv4's backbone;
+//! 2. [`activation`] — per-neuron activation statistics over datasets;
+//! 3. [`transfer::TransferAnalyzer`] — the design-time phase: identify
+//!    *transfer-knowledge (TK) neurons* whose activation behaviour is
+//!    stable under domain shift (they carry generalizable semantics);
+//! 4. [`coverage`] — the TK-coverage adequacy score for a test set;
+//! 5. [`uncertainty::UncertaintyMonitor`] — the runtime phase: per-input
+//!    uncertainty from how far the TK neurons' activations leave their
+//!    reference intervals.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_deepknowledge::nn::{Activation, Mlp};
+//!
+//! let mut mlp = Mlp::new(&[2, 8, 1], Activation::Relu, 42);
+//! // Learn XOR.
+//! let xs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+//! let ys = [[0.0], [1.0], [1.0], [0.0]];
+//! for _ in 0..4000 {
+//!     for (x, y) in xs.iter().zip(ys.iter()) {
+//!         mlp.train_step(x, y, 0.1);
+//!     }
+//! }
+//! assert!(mlp.forward(&[1.0, 0.0])[0] > 0.5);
+//! assert!(mlp.forward(&[1.0, 1.0])[0] < 0.5);
+//! ```
+
+pub mod activation;
+pub mod coverage;
+pub mod nn;
+pub mod transfer;
+pub mod uncertainty;
+pub mod tester;
+
+pub use activation::ActivationStats;
+pub use coverage::CoverageReport;
+pub use nn::{Activation, Mlp};
+pub use transfer::{NeuronId, TransferAnalyzer};
+pub use uncertainty::UncertaintyMonitor;

@@ -1,0 +1,181 @@
+//! Generalisation-driven test selection (design-time phase).
+//!
+//! DeepKnowledge "enables systematic testing for computer vision
+//! components" (§III-A3): beyond scoring a test set's adequacy, it guides
+//! *which* inputs are worth adding. [`select_tests`] greedily picks, from
+//! a candidate pool, the inputs that open the most previously-unexercised
+//! TK-neuron bins — a small selected suite reaches the coverage a much
+//! larger random suite would.
+
+use crate::nn::Mlp;
+use crate::transfer::TransferAnalyzer;
+use std::collections::HashSet;
+
+/// The outcome of a greedy selection round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionReport {
+    /// Indices into the candidate pool, in pick order.
+    pub selected: Vec<usize>,
+    /// Coverage score after each pick.
+    pub coverage_trajectory: Vec<f64>,
+}
+
+/// Computes the set of (TK-neuron, bin) cells an input exercises.
+fn cells_of(
+    model: &Mlp,
+    analyzer: &TransferAnalyzer,
+    input: &[f64],
+    bins: usize,
+) -> HashSet<(usize, usize)> {
+    let (_, trace) = model.forward_traced(input);
+    let mut cells = HashSet::new();
+    for (t, (id, (lo, hi))) in analyzer
+        .tk_neurons()
+        .iter()
+        .zip(analyzer.reference_intervals().iter())
+        .enumerate()
+    {
+        let a = trace[id.0];
+        let width = (hi - lo).max(1e-12);
+        let pos = (a - lo) / width;
+        if (0.0..=1.0).contains(&pos) {
+            let bin = ((pos * bins as f64) as usize).min(bins - 1);
+            cells.insert((t, bin));
+        }
+    }
+    cells
+}
+
+/// Greedily selects up to `budget` candidates maximizing TK coverage.
+///
+/// Selection stops early when no remaining candidate opens a new cell.
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_deepknowledge::nn::{Activation, Mlp};
+/// use sesame_deepknowledge::tester::select_tests;
+/// use sesame_deepknowledge::transfer::TransferAnalyzer;
+///
+/// let model = Mlp::new(&[2, 6, 1], Activation::Tanh, 2);
+/// let data: Vec<Vec<f64>> = (0..80).map(|i| vec![(i as f64 * 0.1).sin(), 0.3]).collect();
+/// let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+/// let report = select_tests(&model, &analyzer, &data, 8, 5);
+/// assert!(report.selected.len() <= 5);
+/// ```
+pub fn select_tests(
+    model: &Mlp,
+    analyzer: &TransferAnalyzer,
+    candidates: &[Vec<f64>],
+    bins: usize,
+    budget: usize,
+) -> SelectionReport {
+    assert!(bins > 0, "need at least one bin");
+    let total_cells = (bins * analyzer.tk_neurons().len()).max(1);
+    let candidate_cells: Vec<HashSet<(usize, usize)>> = candidates
+        .iter()
+        .map(|c| cells_of(model, analyzer, c, bins))
+        .collect();
+    let mut covered: HashSet<(usize, usize)> = HashSet::new();
+    let mut remaining: Vec<usize> = (0..candidates.len()).collect();
+    let mut selected = Vec::new();
+    let mut coverage_trajectory = Vec::new();
+    while selected.len() < budget {
+        let best = remaining
+            .iter()
+            .copied()
+            .max_by_key(|&i| candidate_cells[i].difference(&covered).count());
+        let Some(best) = best else { break };
+        let gain = candidate_cells[best].difference(&covered).count();
+        if gain == 0 {
+            break;
+        }
+        covered.extend(candidate_cells[best].iter().copied());
+        remaining.retain(|&i| i != best);
+        selected.push(best);
+        coverage_trajectory.push(covered.len() as f64 / total_cells as f64);
+    }
+    SelectionReport {
+        selected,
+        coverage_trajectory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coverage::tk_coverage;
+    use crate::nn::Activation;
+
+    fn setup() -> (Mlp, TransferAnalyzer, Vec<Vec<f64>>) {
+        let model = Mlp::new(&[2, 10, 1], Activation::Tanh, 8);
+        let data: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![(i as f64 * 0.11).sin() * 2.0, (i as f64 * 0.07).cos() * 2.0])
+            .collect();
+        let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+        (model, analyzer, data)
+    }
+
+    #[test]
+    fn selection_respects_budget_and_is_distinct() {
+        let (model, analyzer, data) = setup();
+        let report = select_tests(&model, &analyzer, &data, 8, 10);
+        assert!(report.selected.len() <= 10);
+        let mut distinct = report.selected.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), report.selected.len());
+        assert_eq!(
+            report.coverage_trajectory.len(),
+            report.selected.len()
+        );
+    }
+
+    #[test]
+    fn coverage_trajectory_is_strictly_increasing() {
+        let (model, analyzer, data) = setup();
+        let report = select_tests(&model, &analyzer, &data, 8, 20);
+        for w in report.coverage_trajectory.windows(2) {
+            assert!(w[1] > w[0], "every pick must open a new cell");
+        }
+    }
+
+    #[test]
+    fn selected_suite_beats_random_prefix_of_same_size() {
+        let (model, analyzer, data) = setup();
+        let k = 8;
+        let report = select_tests(&model, &analyzer, &data, 8, k);
+        let selected_set: Vec<Vec<f64>> = report
+            .selected
+            .iter()
+            .map(|&i| data[i].clone())
+            .collect();
+        let random_prefix: Vec<Vec<f64>> = data[..k].to_vec();
+        let sel_cov = tk_coverage(&model, &analyzer, &selected_set, 8).score;
+        let rand_cov = tk_coverage(&model, &analyzer, &random_prefix, 8).score;
+        assert!(
+            sel_cov >= rand_cov,
+            "greedy {sel_cov} must not lose to the prefix {rand_cov}"
+        );
+    }
+
+    #[test]
+    fn duplicate_candidates_add_nothing() {
+        let (model, analyzer, data) = setup();
+        let dup: Vec<Vec<f64>> = vec![data[0].clone(); 30];
+        let report = select_tests(&model, &analyzer, &dup, 8, 10);
+        assert_eq!(report.selected.len(), 1, "one copy exhausts the gain");
+    }
+
+    #[test]
+    fn empty_pool_selects_nothing() {
+        let (model, analyzer, _) = setup();
+        let report = select_tests(&model, &analyzer, &[], 8, 5);
+        assert!(report.selected.is_empty());
+        assert!(report.coverage_trajectory.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Runtime uncertainty from TK-neuron activation traces.
+//!
+//! The runtime phase of DeepKnowledge: for each incoming input, check how
+//! many transfer-knowledge neurons are activated *outside* their in-domain
+//! reference interval. The farther the trace strays from known behaviour,
+//! the less the model's prediction should be trusted. The per-input score
+//! is smoothed over a sliding window so the ConSert layer sees a stable
+//! signal.
+
+use crate::nn::Mlp;
+use crate::transfer::TransferAnalyzer;
+use std::collections::VecDeque;
+
+/// The runtime uncertainty monitor.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_deepknowledge::nn::{Activation, Mlp};
+/// use sesame_deepknowledge::transfer::TransferAnalyzer;
+/// use sesame_deepknowledge::uncertainty::UncertaintyMonitor;
+///
+/// let model = Mlp::new(&[2, 6, 1], Activation::Tanh, 2);
+/// let data: Vec<Vec<f64>> = (0..60).map(|i| vec![(i as f64 * 0.1).sin(), 0.2]).collect();
+/// let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+/// let mut mon = UncertaintyMonitor::new(analyzer, 10);
+/// let u = mon.assess(&model, &data[0]);
+/// assert!((0.0..=1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UncertaintyMonitor {
+    analyzer: TransferAnalyzer,
+    window: VecDeque<f64>,
+    window_len: usize,
+}
+
+impl UncertaintyMonitor {
+    /// Creates a monitor smoothing over `window_len` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`.
+    pub fn new(analyzer: TransferAnalyzer, window_len: usize) -> Self {
+        assert!(window_len > 0, "window must hold at least one sample");
+        UncertaintyMonitor {
+            analyzer,
+            window: VecDeque::new(),
+            window_len,
+        }
+    }
+
+    /// Scores one input and folds it into the window; returns the smoothed
+    /// uncertainty in `[0, 1]`.
+    pub fn assess(&mut self, model: &Mlp, input: &[f64]) -> f64 {
+        let raw = self.raw_uncertainty(model, input);
+        if self.window.len() == self.window_len {
+            self.window.pop_front();
+        }
+        self.window.push_back(raw);
+        self.uncertainty()
+    }
+
+    /// The instantaneous (unsmoothed) uncertainty of one input: the
+    /// fraction of TK neurons activated outside their reference interval,
+    /// with a soft margin of 10 % of the interval width.
+    pub fn raw_uncertainty(&self, model: &Mlp, input: &[f64]) -> f64 {
+        let (_, trace) = model.forward_traced(input);
+        let tk = self.analyzer.tk_neurons();
+        let intervals = self.analyzer.reference_intervals();
+        let mut outside = 0.0;
+        for (id, (lo, hi)) in tk.iter().zip(intervals.iter()) {
+            let a = trace[id.0];
+            let margin = 0.1 * (hi - lo).max(1e-9);
+            if a < lo - margin || a > hi + margin {
+                outside += 1.0;
+            }
+        }
+        outside / tk.len() as f64
+    }
+
+    /// The current smoothed uncertainty (0 before any input).
+    pub fn uncertainty(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        self.window.iter().sum::<f64>() / self.window.len() as f64
+    }
+
+    /// The design-time generalization score carried over from analysis.
+    pub fn generalization_score(&self) -> f64 {
+        self.analyzer.generalization_score()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use crate::nn::Activation;
+
+    fn setup() -> (Mlp, UncertaintyMonitor, Vec<Vec<f64>>) {
+        let model = Mlp::new(&[2, 10, 1], Activation::Tanh, 6);
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i as f64 * 0.13).sin(), (i as f64 * 0.19).cos()])
+            .collect();
+        let analyzer = TransferAnalyzer::analyze(&model, &data, &data, 0.5);
+        let mon = UncertaintyMonitor::new(analyzer, 20);
+        (model, mon, data)
+    }
+
+    #[test]
+    fn in_domain_inputs_are_low_uncertainty() {
+        let (model, mut mon, data) = setup();
+        for input in &data {
+            mon.assess(&model, input);
+        }
+        assert!(mon.uncertainty() < 0.25, "u = {}", mon.uncertainty());
+    }
+
+    #[test]
+    fn out_of_domain_inputs_raise_uncertainty() {
+        let (model, mut mon, data) = setup();
+        for input in &data {
+            mon.assess(&model, input);
+        }
+        let low = mon.uncertainty();
+        for i in 0..40 {
+            mon.assess(&model, &[50.0 + i as f64, -40.0]);
+        }
+        let high = mon.uncertainty();
+        assert!(high > low + 0.3, "{low} -> {high}");
+    }
+
+    #[test]
+    fn window_recovers_after_shift_ends() {
+        let (model, mut mon, data) = setup();
+        for i in 0..30 {
+            mon.assess(&model, &[50.0 + i as f64, -40.0]);
+        }
+        let bad = mon.uncertainty();
+        for input in &data {
+            mon.assess(&model, input);
+        }
+        assert!(mon.uncertainty() < bad);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let (_, mon, _) = setup();
+        assert_eq!(mon.uncertainty(), 0.0);
+        assert!(mon.generalization_score() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_panics() {
+        let (_, mon, _) = setup();
+        let _ = UncertaintyMonitor::new(mon.analyzer, 0);
+    }
+}

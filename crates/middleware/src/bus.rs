@@ -1,0 +1,500 @@
+//! The deterministic ROS-like message bus.
+//!
+//! Topics are slash-separated paths; subscriptions may use MQTT-style
+//! wildcards (`+` for one segment, `#` for the rest), which is how the IDS
+//! taps the whole bus with a single `"#"` subscription. Delivery is
+//! two-phase: [`MessageBus::publish`] enqueues the message with a modelled
+//! latency, and [`MessageBus::step`] moves everything whose delivery time
+//! has arrived into subscriber queues — in publish order, so the whole bus
+//! is deterministic under a fixed seed.
+
+use crate::broker::topic_matches;
+use crate::message::{Message, Payload};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_types::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Handle to a subscriber queue, returned by [`MessageBus::subscribe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Subscription(usize);
+
+/// Handle to an installed man-in-the-middle tamper hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TamperId(usize);
+
+/// Counters the bus keeps about its own traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Messages accepted by `publish`.
+    pub published: u64,
+    /// Message deliveries into subscriber queues (one message delivered to
+    /// three subscribers counts three).
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Messages modified in flight by a tamper hook.
+    pub tampered: u64,
+    /// Deliveries discarded because a subscriber queue was full.
+    pub overflowed: u64,
+}
+
+/// A man-in-the-middle hook: may mutate the message; returns `true` if it
+/// did (counted in [`BusStats::tampered`]).
+pub type TamperFn = Box<dyn FnMut(&mut Message) -> bool + Send>;
+
+struct SubState {
+    pattern: String,
+    queue: VecDeque<Message>,
+    depth: usize,
+    active: bool,
+}
+
+struct InFlight {
+    deliver_at: SimTime,
+    msg: Message,
+}
+
+/// The bus. See the crate docs for an end-to-end example.
+pub struct MessageBus {
+    subs: Vec<SubState>,
+    in_flight: VecDeque<InFlight>,
+    seq: HashMap<String, u64>,
+    tampers: Vec<(String, Option<TamperFn>)>,
+    loss: Vec<(String, f64)>,
+    latency: SimDuration,
+    topic_latency: Vec<(String, SimDuration)>,
+    rng: StdRng,
+    stats: BusStats,
+}
+
+impl fmt::Debug for MessageBus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MessageBus")
+            .field("subscribers", &self.subs.len())
+            .field("in_flight", &self.in_flight.len())
+            .field("tampers", &self.tampers.iter().filter(|t| t.1.is_some()).count())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for MessageBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MessageBus {
+    /// A bus with seed 0 and the default 20 ms latency.
+    pub fn new() -> Self {
+        Self::seeded(0)
+    }
+
+    /// A bus whose loss model draws from a deterministic RNG seeded with
+    /// `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        MessageBus {
+            subs: Vec::new(),
+            in_flight: VecDeque::new(),
+            seq: HashMap::new(),
+            tampers: Vec::new(),
+            loss: Vec::new(),
+            latency: SimDuration::from_millis(20),
+            topic_latency: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Sets the uniform publish→deliver latency.
+    pub fn set_latency(&mut self, latency: SimDuration) {
+        self.latency = latency;
+    }
+
+    /// Overrides the latency for topics matching `pattern` (MQTT
+    /// wildcards allowed; the last matching rule wins) — the hook a
+    /// [`crate::network::NetworkModel`] uses to model long radio links.
+    pub fn set_topic_latency(&mut self, pattern: impl Into<String>, latency: SimDuration) {
+        self.topic_latency.push((pattern.into(), latency));
+    }
+
+    /// Sets a packet-loss probability for every topic matching `pattern`
+    /// (MQTT wildcards allowed). Later rules take precedence.
+    pub fn set_loss(&mut self, pattern: impl Into<String>, probability: f64) {
+        self.loss.push((pattern.into(), probability.clamp(0.0, 1.0)));
+    }
+
+    /// Subscribes to `pattern` (exact topic or MQTT wildcard pattern) with
+    /// the default queue depth of 1024.
+    pub fn subscribe(&mut self, pattern: impl Into<String>) -> Subscription {
+        self.subscribe_with_depth(pattern, 1024)
+    }
+
+    /// Subscribes with an explicit queue depth; the oldest overflowing
+    /// deliveries are discarded (counted in [`BusStats::overflowed`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn subscribe_with_depth(
+        &mut self,
+        pattern: impl Into<String>,
+        depth: usize,
+    ) -> Subscription {
+        assert!(depth > 0, "queue depth must be positive");
+        self.subs.push(SubState {
+            pattern: pattern.into(),
+            queue: VecDeque::new(),
+            depth,
+            active: true,
+        });
+        Subscription(self.subs.len() - 1)
+    }
+
+    /// Cancels a subscription; its queue is dropped.
+    pub fn unsubscribe(&mut self, sub: Subscription) {
+        if let Some(s) = self.subs.get_mut(sub.0) {
+            s.active = false;
+            s.queue.clear();
+        }
+    }
+
+    /// Publishes an unsigned message from `sender` on `topic`; the sequence
+    /// number is assigned per sender. Returns the enqueued message.
+    pub fn publish(
+        &mut self,
+        now: SimTime,
+        sender: impl Into<String>,
+        topic: impl Into<String>,
+        payload: Payload,
+    ) -> Message {
+        let sender = sender.into();
+        let seq = {
+            let c = self.seq.entry(sender.clone()).or_insert(0);
+            let s = *c;
+            *c += 1;
+            s
+        };
+        let msg = Message::new(topic.into(), sender, seq, now, payload);
+        self.publish_message(msg.clone());
+        msg
+    }
+
+    /// Publishes a pre-built message verbatim — used by the attack plane to
+    /// inject spoofed or replayed envelopes without touching the legitimate
+    /// sequence counters.
+    pub fn publish_message(&mut self, msg: Message) {
+        self.stats.published += 1;
+        let latency = self
+            .topic_latency
+            .iter()
+            .rev()
+            .find(|(p, _)| topic_matches(p, &msg.topic))
+            .map(|(_, l)| *l)
+            .unwrap_or(self.latency);
+        let deliver_at = msg.sent_at + latency;
+        self.in_flight.push_back(InFlight { deliver_at, msg });
+    }
+
+    /// Installs a man-in-the-middle tamper hook on topics matching
+    /// `pattern`; hooks run at delivery time in installation order.
+    pub fn install_tamper(&mut self, pattern: impl Into<String>, f: TamperFn) -> TamperId {
+        self.tampers.push((pattern.into(), Some(f)));
+        TamperId(self.tampers.len() - 1)
+    }
+
+    /// Removes a previously installed tamper hook.
+    pub fn remove_tamper(&mut self, id: TamperId) {
+        if let Some(slot) = self.tampers.get_mut(id.0) {
+            slot.1 = None;
+        }
+    }
+
+    /// Delivers every in-flight message whose delivery time is `<= now`
+    /// into matching subscriber queues, applying loss and tamper hooks.
+    /// Returns the number of deliveries made.
+    pub fn step(&mut self, now: SimTime) -> usize {
+        let mut delivered = 0;
+        let mut remaining = VecDeque::with_capacity(self.in_flight.len());
+        while let Some(inf) = self.in_flight.pop_front() {
+            if inf.deliver_at > now {
+                remaining.push_back(inf);
+                continue;
+            }
+            let mut msg = inf.msg;
+            // Loss model: last matching rule wins.
+            let loss = self
+                .loss
+                .iter()
+                .rev()
+                .find(|(p, _)| topic_matches(p, &msg.topic))
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0);
+            if loss > 0.0 && self.rng.random::<f64>() < loss {
+                self.stats.dropped += 1;
+                continue;
+            }
+            // MITM hooks.
+            for (pattern, hook) in self.tampers.iter_mut() {
+                if let Some(f) = hook {
+                    if topic_matches(pattern, &msg.topic) && f(&mut msg) {
+                        self.stats.tampered += 1;
+                    }
+                }
+            }
+            for sub in self.subs.iter_mut().filter(|s| s.active) {
+                if topic_matches(&sub.pattern, &msg.topic) {
+                    if sub.queue.len() >= sub.depth {
+                        sub.queue.pop_front();
+                        self.stats.overflowed += 1;
+                    }
+                    sub.queue.push_back(msg.clone());
+                    self.stats.delivered += 1;
+                    delivered += 1;
+                }
+            }
+        }
+        self.in_flight = remaining;
+        delivered
+    }
+
+    /// Removes and returns every queued message for `sub`, oldest first.
+    pub fn drain(&mut self, sub: Subscription) -> Vec<Message> {
+        match self.subs.get_mut(sub.0) {
+            Some(s) => s.queue.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of messages currently queued for `sub`.
+    pub fn queued(&self, sub: Subscription) -> usize {
+        self.subs.get(sub.0).map_or(0, |s| s.queue.len())
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Messages accepted but not yet delivered.
+    pub fn in_flight_len(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text(s: &str) -> Payload {
+        Payload::Text(s.into())
+    }
+
+    #[test]
+    fn publish_deliver_drain() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/a/b");
+        bus.publish(SimTime::ZERO, "n1", "/a/b", text("x"));
+        assert_eq!(bus.queued(sub), 0, "not delivered before step");
+        assert_eq!(bus.step(SimTime::from_millis(100)), 1);
+        let msgs = bus.drain(sub);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].payload, text("x"));
+        assert_eq!(bus.queued(sub), 0);
+    }
+
+    #[test]
+    fn latency_delays_delivery() {
+        let mut bus = MessageBus::new();
+        bus.set_latency(SimDuration::from_millis(500));
+        let sub = bus.subscribe("/t");
+        bus.publish(SimTime::ZERO, "n", "/t", text("x"));
+        assert_eq!(bus.step(SimTime::from_millis(400)), 0);
+        assert_eq!(bus.in_flight_len(), 1);
+        assert_eq!(bus.step(SimTime::from_millis(500)), 1);
+        assert_eq!(bus.drain(sub).len(), 1);
+    }
+
+    #[test]
+    fn per_topic_latency_overrides_default() {
+        let mut bus = MessageBus::new();
+        bus.set_latency(SimDuration::from_millis(10));
+        bus.set_topic_latency("/far/#", SimDuration::from_millis(300));
+        let near = bus.subscribe("/near");
+        let far = bus.subscribe("/far/x");
+        bus.publish(SimTime::ZERO, "n", "/near", text("a"));
+        bus.publish(SimTime::ZERO, "n", "/far/x", text("b"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(near).len(), 1);
+        assert_eq!(bus.drain(far).len(), 0, "long link still in flight");
+        bus.step(SimTime::from_millis(300));
+        assert_eq!(bus.drain(far).len(), 1);
+    }
+
+    #[test]
+    fn later_fast_message_overtakes_earlier_slow_one() {
+        let mut bus = MessageBus::new();
+        bus.set_topic_latency("/slow", SimDuration::from_millis(500));
+        bus.set_topic_latency("/fast", SimDuration::from_millis(10));
+        let sub = bus.subscribe("#");
+        bus.publish(SimTime::ZERO, "n", "/slow", text("1st published"));
+        bus.publish(SimTime::ZERO, "n", "/fast", text("2nd published"));
+        bus.step(SimTime::from_millis(50));
+        let got = bus.drain(sub);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].topic, "/fast");
+    }
+
+    #[test]
+    fn wildcard_subscription_sees_all_topics() {
+        let mut bus = MessageBus::new();
+        let all = bus.subscribe("#");
+        let one = bus.subscribe("/uav1/+");
+        bus.publish(SimTime::ZERO, "n", "/uav1/telemetry", text("a"));
+        bus.publish(SimTime::ZERO, "n", "/uav2/telemetry", text("b"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(all).len(), 2);
+        let m = bus.drain(one);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].topic, "/uav1/telemetry");
+    }
+
+    #[test]
+    fn per_sender_sequence_numbers_are_monotone() {
+        let mut bus = MessageBus::new();
+        let m0 = bus.publish(SimTime::ZERO, "a", "/t", text("1"));
+        let m1 = bus.publish(SimTime::ZERO, "a", "/t", text("2"));
+        let other = bus.publish(SimTime::ZERO, "b", "/t", text("3"));
+        assert_eq!((m0.seq, m1.seq, other.seq), (0, 1, 0));
+    }
+
+    #[test]
+    fn loss_drops_messages_deterministically() {
+        let mut bus = MessageBus::seeded(7);
+        bus.set_loss("/lossy/#", 1.0);
+        let sub = bus.subscribe("#");
+        bus.publish(SimTime::ZERO, "n", "/lossy/x", text("a"));
+        bus.publish(SimTime::ZERO, "n", "/fine", text("b"));
+        bus.step(SimTime::from_millis(100));
+        let msgs = bus.drain(sub);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].topic, "/fine");
+        assert_eq!(bus.stats().dropped, 1);
+    }
+
+    #[test]
+    fn partial_loss_is_reproducible_across_seeds() {
+        let run = |seed| {
+            let mut bus = MessageBus::seeded(seed);
+            bus.set_loss("#", 0.5);
+            let sub = bus.subscribe("#");
+            for i in 0..100 {
+                bus.publish(SimTime::ZERO, "n", format!("/t{i}"), text("x"));
+            }
+            bus.step(SimTime::from_millis(100));
+            bus.drain(sub)
+                .into_iter()
+                .map(|m| m.topic)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3), "same seed, same losses");
+        assert_ne!(run(3), run(4), "different seed, different losses");
+    }
+
+    #[test]
+    fn tamper_hook_modifies_in_flight() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/cmd");
+        bus.install_tamper(
+            "/cmd",
+            Box::new(|m| {
+                m.payload = Payload::Text("evil".into());
+                true
+            }),
+        );
+        bus.publish(SimTime::ZERO, "gcs", "/cmd", text("good"));
+        bus.step(SimTime::from_millis(100));
+        let msgs = bus.drain(sub);
+        assert_eq!(msgs[0].payload, text("evil"));
+        assert_eq!(bus.stats().tampered, 1);
+    }
+
+    #[test]
+    fn removed_tamper_stops_firing() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/cmd");
+        let id = bus.install_tamper(
+            "/cmd",
+            Box::new(|m| {
+                m.payload = Payload::Text("evil".into());
+                true
+            }),
+        );
+        bus.remove_tamper(id);
+        bus.publish(SimTime::ZERO, "gcs", "/cmd", text("good"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(sub)[0].payload, text("good"));
+        assert_eq!(bus.stats().tampered, 0);
+    }
+
+    #[test]
+    fn queue_depth_overflow_discards_oldest() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe_with_depth("/t", 2);
+        for i in 0..5 {
+            bus.publish(SimTime::ZERO, "n", "/t", text(&i.to_string()));
+        }
+        bus.step(SimTime::from_millis(100));
+        let msgs = bus.drain(sub);
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].payload, text("3"));
+        assert_eq!(msgs[1].payload, text("4"));
+        assert_eq!(bus.stats().overflowed, 3);
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/t");
+        bus.unsubscribe(sub);
+        bus.publish(SimTime::ZERO, "n", "/t", text("x"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(sub).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be positive")]
+    fn zero_depth_panics() {
+        let mut bus = MessageBus::new();
+        let _ = bus.subscribe_with_depth("/t", 0);
+    }
+
+    #[test]
+    fn injected_message_preserves_forged_fields() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/cmd");
+        // Adversary forges sender and seq directly.
+        let forged = Message::new("/cmd", "node:gcs", 999, SimTime::ZERO, text("spoof"));
+        bus.publish_message(forged.clone());
+        bus.step(SimTime::from_millis(100));
+        let got = bus.drain(sub);
+        assert_eq!(got[0].sender, "node:gcs");
+        assert_eq!(got[0].seq, 999);
+        assert!(!got[0].is_signed());
+    }
+
+    #[test]
+    fn stats_track_published_and_delivered() {
+        let mut bus = MessageBus::new();
+        let _a = bus.subscribe("#");
+        let _b = bus.subscribe("/t");
+        bus.publish(SimTime::ZERO, "n", "/t", text("x"));
+        bus.step(SimTime::from_millis(100));
+        let s = bus.stats();
+        assert_eq!(s.published, 1);
+        assert_eq!(s.delivered, 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! ROS-like publish/subscribe middleware with an attack-injection plane.
+//!
+//! The paper's multi-UAV platform uses ROS for command and control and notes
+//! that ROS's publish/subscribe architecture "brings certain security
+//! vulnerabilities, such as the risk of eavesdropping, man-in-the-middle
+//! attacks, and data injection" (§I). This crate reproduces exactly that
+//! surface:
+//!
+//! * [`bus::MessageBus`] — deterministic topic-based pub/sub with per-topic
+//!   QoS, modelled latency and loss, and sequence numbering;
+//! * [`auth`] — lightweight message authentication so that *protected*
+//!   topics can be distinguished from the unauthenticated ones an adversary
+//!   can inject into;
+//! * [`attack`] — the adversary: spoofed publishers, man-in-the-middle
+//!   tampering, replay, and eavesdropping taps;
+//! * [`broker::AlertBroker`] — the MQTT-style broker (with `+`/`#` topic
+//!   filters) that carries IDS alerts to the Security EDDI scripts
+//!   (§III-B).
+//!
+//! The bus is single-threaded and deterministic: delivery happens when the
+//! platform calls [`bus::MessageBus::step`], which makes every experiment in
+//! the repository bit-reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_middleware::bus::MessageBus;
+//! use sesame_middleware::message::Payload;
+//! use sesame_types::time::SimTime;
+//!
+//! let mut bus = MessageBus::new();
+//! let sub = bus.subscribe("/uav1/telemetry");
+//! bus.publish(
+//!     SimTime::ZERO,
+//!     "node:gcs",
+//!     "/uav1/telemetry",
+//!     Payload::Text("hello".into()),
+//! );
+//! bus.step(SimTime::from_millis(100));
+//! let got = bus.drain(sub);
+//! assert_eq!(got.len(), 1);
+//! ```
+
+pub mod attack;
+pub mod auth;
+pub mod broker;
+pub mod bus;
+pub mod message;
+pub mod network;
+
+pub use attack::{AttackInjector, AttackKind};
+pub use auth::{AuthKey, MessageAuth};
+pub use broker::{AlertBroker, BrokerSubscription};
+pub use bus::{BusStats, MessageBus, Subscription};
+pub use message::{Message, Payload};
+pub use network::{LinkQuality, NetworkModel};

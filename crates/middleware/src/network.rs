@@ -1,0 +1,128 @@
+//! Network quality model.
+//!
+//! Links between platform nodes (UAV ↔ UAV, UAV ↔ ground station) have a
+//! latency and a loss probability derived from range, plus an RSSI-like
+//! [`LinkQuality`] signal that the communication-based localization ConSert
+//! monitors ("internal signal and connection states to other nearby UAVs",
+//! §II-B).
+
+use sesame_types::time::SimDuration;
+
+/// Scalar link quality in `[0, 1]`, where 1 is a perfect short-range link.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LinkQuality(f64);
+
+impl LinkQuality {
+    /// Creates a link quality, clamping into `[0, 1]`.
+    pub fn new(q: f64) -> Self {
+        LinkQuality(q.clamp(0.0, 1.0))
+    }
+
+    /// The raw value.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether the link is good enough for collaborative localization data
+    /// sharing (threshold used by the comm-localization ConSert).
+    pub fn supports_collaboration(&self) -> bool {
+        self.0 >= 0.4
+    }
+}
+
+/// Distance-driven link model: quality decays smoothly with range, latency
+/// and loss grow with range.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_middleware::network::NetworkModel;
+///
+/// let net = NetworkModel::default();
+/// assert!(net.link_quality(50.0).value() > net.link_quality(2000.0).value());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Range at which quality halves, metres.
+    pub half_range_m: f64,
+    /// Base one-way latency.
+    pub base_latency: SimDuration,
+    /// Additional latency per kilometre of range.
+    pub latency_per_km: SimDuration,
+    /// Loss probability at the half range (grows toward 1 beyond it).
+    pub loss_at_half_range: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            half_range_m: 1500.0,
+            base_latency: SimDuration::from_millis(20),
+            latency_per_km: SimDuration::from_millis(5),
+            loss_at_half_range: 0.05,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// Link quality for a link of length `range_m`.
+    pub fn link_quality(&self, range_m: f64) -> LinkQuality {
+        let r = (range_m.max(0.0)) / self.half_range_m;
+        // Smooth logistic-ish falloff: 1 at r=0, 0.5 at r=1.
+        LinkQuality::new(1.0 / (1.0 + r * r))
+    }
+
+    /// One-way latency for a link of length `range_m`.
+    pub fn latency(&self, range_m: f64) -> SimDuration {
+        let extra_ms =
+            (self.latency_per_km.as_millis() as f64 * (range_m.max(0.0) / 1000.0)).round() as u64;
+        SimDuration::from_millis(self.base_latency.as_millis() + extra_ms)
+    }
+
+    /// Packet loss probability for a link of length `range_m`.
+    pub fn loss_probability(&self, range_m: f64) -> f64 {
+        let r = (range_m.max(0.0)) / self.half_range_m;
+        (self.loss_at_half_range * r * r).clamp(0.0, 0.95)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_monotone_decreasing_with_range() {
+        let net = NetworkModel::default();
+        let q: Vec<f64> = [0.0, 100.0, 500.0, 1500.0, 5000.0]
+            .iter()
+            .map(|r| net.link_quality(*r).value())
+            .collect();
+        for w in q.windows(2) {
+            assert!(w[0] >= w[1], "quality must not increase with range: {q:?}");
+        }
+        assert!((q[0] - 1.0).abs() < 1e-12);
+        assert!((q[3] - 0.5).abs() < 1e-12, "half range gives 0.5");
+    }
+
+    #[test]
+    fn latency_grows_with_range() {
+        let net = NetworkModel::default();
+        assert_eq!(net.latency(0.0).as_millis(), 20);
+        assert_eq!(net.latency(2000.0).as_millis(), 30);
+    }
+
+    #[test]
+    fn loss_clamped() {
+        let net = NetworkModel::default();
+        assert!(net.loss_probability(0.0) < 1e-12);
+        assert!(net.loss_probability(1e9) <= 0.95);
+    }
+
+    #[test]
+    fn collaboration_threshold() {
+        assert!(LinkQuality::new(0.5).supports_collaboration());
+        assert!(!LinkQuality::new(0.3).supports_collaboration());
+        assert_eq!(LinkQuality::new(7.0).value(), 1.0);
+        assert_eq!(LinkQuality::new(-1.0).value(), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property tests of MQTT-style topic matching and bus delivery.
+
+use proptest::prelude::*;
+use sesame_middleware::broker::topic_matches;
+use sesame_middleware::bus::MessageBus;
+use sesame_middleware::message::Payload;
+use sesame_types::time::SimTime;
+
+fn segment() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| s)
+}
+
+fn topic() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(segment(), 1..5)
+}
+
+fn join(segs: &[String]) -> String {
+    segs.join("/")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A topic always matches itself, and `#` matches everything.
+    #[test]
+    fn reflexivity_and_hash(segs in topic()) {
+        let t = join(&segs);
+        prop_assert!(topic_matches(&t, &t));
+        prop_assert!(topic_matches("#", &t));
+        let slashed = format!("/{t}");
+        prop_assert!(topic_matches(&t, &slashed), "leading slash is ignored");
+    }
+
+    /// Replacing any single segment of a topic with `+` still matches.
+    #[test]
+    fn plus_generalizes_each_segment(segs in topic(), idx in 0usize..5) {
+        let t = join(&segs);
+        let i = idx % segs.len();
+        let mut pat = segs.clone();
+        pat[i] = "+".into();
+        prop_assert!(topic_matches(&join(&pat), &t));
+    }
+
+    /// Truncating a pattern and appending `#` still matches.
+    #[test]
+    fn hash_suffix_generalizes(segs in topic(), cut in 0usize..5) {
+        let t = join(&segs);
+        let keep = cut % segs.len();
+        let mut pat: Vec<String> = segs[..keep].to_vec();
+        pat.push("#".into());
+        prop_assert!(topic_matches(&join(&pat), &t));
+    }
+
+    /// A pattern with more specific segments than the topic never matches.
+    #[test]
+    fn longer_exact_pattern_never_matches(segs in topic(), extra in segment()) {
+        let t = join(&segs);
+        let mut pat = segs.clone();
+        pat.push(extra);
+        prop_assert!(!topic_matches(&join(&pat), &t));
+    }
+
+    /// Bus delivery respects subscriptions: an exact subscriber sees
+    /// exactly the messages on its topic, a `#` subscriber sees all.
+    #[test]
+    fn bus_delivery_counts(topics in proptest::collection::vec(topic(), 1..8)) {
+        let mut bus = MessageBus::new();
+        let all = bus.subscribe("#");
+        let first = join(&topics[0]);
+        let exact = bus.subscribe(first.clone());
+        for t in &topics {
+            bus.publish(SimTime::ZERO, "n", join(t), Payload::Text("x".into()));
+        }
+        bus.step(SimTime::from_millis(100));
+        prop_assert_eq!(bus.drain(all).len(), topics.len());
+        let expected = topics.iter().filter(|t| join(t) == first).count();
+        prop_assert_eq!(bus.drain(exact).len(), expected);
+    }
+}

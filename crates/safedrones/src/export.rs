@@ -1,0 +1,116 @@
+//! Graphviz export of fault trees.
+//!
+//! DDIs are exchanged between tools as design-time artefacts (the paper
+//! cites the Open Dependability Exchange metamodel \[26\]); this module
+//! provides the inspection half of that story: render any
+//! [`FaultTree`] as DOT for review alongside the
+//! runtime models it drives.
+
+use crate::fta::{FaultTree, Gate, Node};
+use std::fmt::Write as _;
+
+/// Renders the tree as a Graphviz `digraph`.
+///
+/// Gates are boxes labelled with their kind, basic events are ellipses;
+/// edges point from gates to their children (top event at the top).
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safedrones::export::to_dot;
+/// use sesame_safedrones::fta::{FaultTree, Node};
+///
+/// let tree = FaultTree::new(Node::or(vec![
+///     Node::basic("battery"),
+///     Node::basic("motor"),
+/// ]))?;
+/// let dot = to_dot(&tree, "uav_loss");
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("battery"));
+/// # Ok::<(), sesame_safedrones::fta::FtaError>(())
+/// ```
+pub fn to_dot(tree: &FaultTree, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    let mut counter = 0usize;
+    walk(tree.top(), &mut out, &mut counter);
+    out.push_str("}\n");
+    out
+}
+
+fn walk(node: &Node, out: &mut String, counter: &mut usize) -> String {
+    let id = format!("n{}", *counter);
+    *counter += 1;
+    match node {
+        Node::Basic(b) => {
+            let _ = writeln!(
+                out,
+                "  {id} [shape=ellipse, label=\"{}\"];",
+                escape(b.as_str())
+            );
+        }
+        Node::Gate { kind, children } => {
+            let label = match kind {
+                Gate::And => "AND".to_string(),
+                Gate::Or => "OR".to_string(),
+                Gate::AtLeast(k) => format!("≥{k}"),
+            };
+            let _ = writeln!(out, "  {id} [shape=box, label=\"{label}\"];");
+            for c in children {
+                let child_id = walk(c, out, counter);
+                let _ = writeln!(out, "  {id} -> {child_id};");
+            }
+        }
+    }
+    id
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fta::{FaultTree, Node};
+
+    fn tree() -> FaultTree {
+        FaultTree::new(Node::or(vec![
+            Node::basic("battery"),
+            Node::and(vec![Node::basic("link_a"), Node::basic("link_b")]),
+            Node::at_least(2, vec![Node::basic("m1"), Node::basic("m2"), Node::basic("m3")]),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_leaf_and_gate() {
+        let dot = to_dot(&tree(), "uav");
+        for leaf in ["battery", "link_a", "link_b", "m1", "m2", "m3"] {
+            assert!(dot.contains(leaf), "missing {leaf}\n{dot}");
+        }
+        assert!(dot.contains("OR"));
+        assert!(dot.contains("AND"));
+        assert!(dot.contains("≥2"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn edges_match_structure() {
+        let dot = to_dot(&tree(), "uav");
+        // Root OR has 3 children; AND has 2; voter has 3 => 8 edges.
+        let edges = dot.matches("->").count();
+        assert_eq!(edges, 8);
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let t = FaultTree::new(Node::basic("evil\"label")).unwrap();
+        let dot = to_dot(&t, "x\"y");
+        assert!(dot.contains("evil\\\"label"));
+        assert!(dot.contains("x\\\"y"));
+    }
+}

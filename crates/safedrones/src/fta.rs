@@ -1,0 +1,426 @@
+//! Fault tree analysis with complex basic events.
+//!
+//! SafeDrones extends classical FTA with *complex basic events* — leaves
+//! whose probability comes from a live Markov model instead of a fixed
+//! failure rate (\[29\] in the paper). Here a [`FaultTree`] is a DAG of
+//! AND / OR / k-out-of-N gates over named [`BasicEventId`] leaves, and
+//! evaluation takes the current leaf probabilities as input, so any leaf
+//! can be "complex": the caller feeds it from a
+//! [`crate::markov::CtmcProcess`] each tick.
+//!
+//! Evaluation assumes statistically independent leaves (the standard FTA
+//! assumption, stated in DESIGN.md).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Name of a basic event (leaf) in a fault tree.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BasicEventId(String);
+
+impl BasicEventId {
+    /// Creates a basic-event id.
+    pub fn new(name: impl Into<String>) -> Self {
+        BasicEventId(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for BasicEventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for BasicEventId {
+    fn from(s: &str) -> Self {
+        BasicEventId::new(s)
+    }
+}
+
+/// Gate kinds supported by the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Output fails iff **all** children fail.
+    And,
+    /// Output fails iff **any** child fails.
+    Or,
+    /// Output fails iff **at least `k`** children fail (a voter gate; the
+    /// paper's propulsion reconfiguration maps naturally onto this).
+    AtLeast(usize),
+}
+
+/// One node of the tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A (possibly complex) basic event.
+    Basic(BasicEventId),
+    /// A gate over child nodes.
+    Gate {
+        /// The combinator.
+        kind: Gate,
+        /// Child subtrees.
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// Convenience constructor for a basic-event leaf.
+    pub fn basic(name: impl Into<String>) -> Node {
+        Node::Basic(BasicEventId::new(name))
+    }
+
+    /// Convenience constructor for an AND gate.
+    pub fn and(children: Vec<Node>) -> Node {
+        Node::Gate {
+            kind: Gate::And,
+            children,
+        }
+    }
+
+    /// Convenience constructor for an OR gate.
+    pub fn or(children: Vec<Node>) -> Node {
+        Node::Gate {
+            kind: Gate::Or,
+            children,
+        }
+    }
+
+    /// Convenience constructor for a k-out-of-N gate.
+    pub fn at_least(k: usize, children: Vec<Node>) -> Node {
+        Node::Gate {
+            kind: Gate::AtLeast(k),
+            children,
+        }
+    }
+}
+
+/// Errors from building or evaluating a fault tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FtaError {
+    /// A gate has no children.
+    EmptyGate,
+    /// An `AtLeast(k)` gate has fewer than `k` children.
+    InfeasibleVote {
+        /// Required failures.
+        k: usize,
+        /// Available children.
+        n: usize,
+    },
+    /// Evaluation was asked for a leaf with no supplied probability.
+    MissingProbability(BasicEventId),
+    /// A supplied probability was outside `[0, 1]`.
+    InvalidProbability(BasicEventId, f64),
+}
+
+impl fmt::Display for FtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FtaError::EmptyGate => write!(f, "gate with no children"),
+            FtaError::InfeasibleVote { k, n } => {
+                write!(f, "at-least-{k} gate with only {n} children")
+            }
+            FtaError::MissingProbability(id) => {
+                write!(f, "no probability supplied for basic event `{id}`")
+            }
+            FtaError::InvalidProbability(id, p) => {
+                write!(f, "probability {p} for `{id}` outside [0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FtaError {}
+
+/// A validated fault tree with a single top event.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safedrones::fta::{FaultTree, Node};
+/// use std::collections::HashMap;
+///
+/// // Top fails if the battery fails OR both redundant comm links fail.
+/// let tree = FaultTree::new(Node::or(vec![
+///     Node::basic("battery"),
+///     Node::and(vec![Node::basic("link_a"), Node::basic("link_b")]),
+/// ]))?;
+///
+/// let mut p = HashMap::new();
+/// p.insert("battery".into(), 0.1);
+/// p.insert("link_a".into(), 0.2);
+/// p.insert("link_b".into(), 0.3);
+/// let top = tree.evaluate(&p)?;
+/// assert!((top - (1.0 - 0.9 * (1.0 - 0.06))).abs() < 1e-12);
+/// # Ok::<(), sesame_safedrones::fta::FtaError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTree {
+    top: Node,
+    leaves: Vec<BasicEventId>,
+}
+
+impl FaultTree {
+    /// Builds a tree, validating gate arities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::EmptyGate`] or [`FtaError::InfeasibleVote`] if
+    /// the structure is malformed.
+    pub fn new(top: Node) -> Result<Self, FtaError> {
+        let mut leaves = Vec::new();
+        Self::validate(&top, &mut leaves)?;
+        leaves.sort();
+        leaves.dedup();
+        Ok(FaultTree { top, leaves })
+    }
+
+    fn validate(node: &Node, leaves: &mut Vec<BasicEventId>) -> Result<(), FtaError> {
+        match node {
+            Node::Basic(id) => {
+                leaves.push(id.clone());
+                Ok(())
+            }
+            Node::Gate { kind, children } => {
+                if children.is_empty() {
+                    return Err(FtaError::EmptyGate);
+                }
+                if let Gate::AtLeast(k) = kind {
+                    if *k == 0 || *k > children.len() {
+                        return Err(FtaError::InfeasibleVote {
+                            k: *k,
+                            n: children.len(),
+                        });
+                    }
+                }
+                for c in children {
+                    Self::validate(c, leaves)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The distinct basic events referenced by the tree, sorted by name.
+    pub fn basic_events(&self) -> &[BasicEventId] {
+        &self.leaves
+    }
+
+    /// The top node.
+    pub fn top(&self) -> &Node {
+        &self.top
+    }
+
+    /// Evaluates the top-event probability given independent leaf
+    /// probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::MissingProbability`] if a leaf has no entry and
+    /// [`FtaError::InvalidProbability`] if an entry is outside `[0, 1]`.
+    pub fn evaluate(&self, probs: &HashMap<BasicEventId, f64>) -> Result<f64, FtaError> {
+        Self::eval_node(&self.top, probs)
+    }
+
+    fn eval_node(node: &Node, probs: &HashMap<BasicEventId, f64>) -> Result<f64, FtaError> {
+        match node {
+            Node::Basic(id) => {
+                let p = *probs
+                    .get(id)
+                    .ok_or_else(|| FtaError::MissingProbability(id.clone()))?;
+                if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+                    return Err(FtaError::InvalidProbability(id.clone(), p));
+                }
+                Ok(p)
+            }
+            Node::Gate { kind, children } => {
+                let ps: Result<Vec<f64>, FtaError> = children
+                    .iter()
+                    .map(|c| Self::eval_node(c, probs))
+                    .collect();
+                let ps = ps?;
+                Ok(match kind {
+                    Gate::And => ps.iter().product(),
+                    Gate::Or => 1.0 - ps.iter().map(|p| 1.0 - p).product::<f64>(),
+                    Gate::AtLeast(k) => at_least_k(&ps, *k),
+                })
+            }
+        }
+    }
+}
+
+/// Probability that at least `k` of the independent events with
+/// probabilities `ps` occur, by the standard Poisson-binomial DP.
+fn at_least_k(ps: &[f64], k: usize) -> f64 {
+    // dp[j] = P(exactly j occurred) over the prefix processed so far.
+    let mut dp = vec![0.0; ps.len() + 1];
+    dp[0] = 1.0;
+    for (i, &p) in ps.iter().enumerate() {
+        for j in (0..=i + 1).rev() {
+            let stay = dp[j] * (1.0 - p);
+            let come = if j > 0 { dp[j - 1] * p } else { 0.0 };
+            dp[j] = stay + come;
+        }
+    }
+    dp[k..].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(pairs: &[(&str, f64)]) -> HashMap<BasicEventId, f64> {
+        pairs
+            .iter()
+            .map(|(n, p)| (BasicEventId::new(*n), *p))
+            .collect()
+    }
+
+    #[test]
+    fn single_leaf_passthrough() {
+        let t = FaultTree::new(Node::basic("x")).unwrap();
+        assert_eq!(t.evaluate(&probs(&[("x", 0.42)])).unwrap(), 0.42);
+        assert_eq!(t.basic_events(), &[BasicEventId::new("x")]);
+    }
+
+    #[test]
+    fn and_gate_multiplies() {
+        let t = FaultTree::new(Node::and(vec![Node::basic("a"), Node::basic("b")])).unwrap();
+        let p = t.evaluate(&probs(&[("a", 0.5), ("b", 0.4)])).unwrap();
+        assert!((p - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    fn or_gate_complements() {
+        let t = FaultTree::new(Node::or(vec![Node::basic("a"), Node::basic("b")])).unwrap();
+        let p = t.evaluate(&probs(&[("a", 0.5), ("b", 0.4)])).unwrap();
+        assert!((p - 0.7).abs() < 1e-15);
+    }
+
+    #[test]
+    fn two_out_of_three_voter() {
+        let t = FaultTree::new(Node::at_least(
+            2,
+            vec![Node::basic("a"), Node::basic("b"), Node::basic("c")],
+        ))
+        .unwrap();
+        // Equal p: P(>=2 of 3) = 3p²(1-p) + p³.
+        let p = 0.3;
+        let expect = 3.0 * p * p * (1.0 - p) + p * p * p;
+        let got = t
+            .evaluate(&probs(&[("a", p), ("b", p), ("c", p)]))
+            .unwrap();
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_one_equals_or() {
+        let leaves = vec![Node::basic("a"), Node::basic("b"), Node::basic("c")];
+        let voter = FaultTree::new(Node::at_least(1, leaves.clone())).unwrap();
+        let or = FaultTree::new(Node::or(leaves)).unwrap();
+        let p = probs(&[("a", 0.1), ("b", 0.2), ("c", 0.3)]);
+        assert!((voter.evaluate(&p).unwrap() - or.evaluate(&p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_least_n_equals_and() {
+        let leaves = vec![Node::basic("a"), Node::basic("b")];
+        let voter = FaultTree::new(Node::at_least(2, leaves.clone())).unwrap();
+        let and = FaultTree::new(Node::and(leaves)).unwrap();
+        let p = probs(&[("a", 0.7), ("b", 0.2)]);
+        assert!((voter.evaluate(&p).unwrap() - and.evaluate(&p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nested_tree_matches_hand_computation() {
+        // OR(battery, AND(link_a, link_b), AtLeast(2, m1..m4))
+        let t = FaultTree::new(Node::or(vec![
+            Node::basic("battery"),
+            Node::and(vec![Node::basic("link_a"), Node::basic("link_b")]),
+            Node::at_least(
+                2,
+                vec![
+                    Node::basic("m1"),
+                    Node::basic("m2"),
+                    Node::basic("m3"),
+                    Node::basic("m4"),
+                ],
+            ),
+        ]))
+        .unwrap();
+        let pm = 0.1;
+        let p = probs(&[
+            ("battery", 0.05),
+            ("link_a", 0.2),
+            ("link_b", 0.3),
+            ("m1", pm),
+            ("m2", pm),
+            ("m3", pm),
+            ("m4", pm),
+        ]);
+        let p_vote = {
+            // P(>=2 of 4) with equal p.
+            let q: f64 = 1.0 - pm;
+            1.0 - (q.powi(4) + 4.0 * pm * q.powi(3))
+        };
+        let expect = 1.0 - (1.0 - 0.05) * (1.0 - 0.06) * (1.0 - p_vote);
+        assert!((t.evaluate(&p).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_probability_errors() {
+        let t = FaultTree::new(Node::basic("x")).unwrap();
+        let err = t.evaluate(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, FtaError::MissingProbability(_)));
+        assert!(err.to_string().contains('x'));
+    }
+
+    #[test]
+    fn invalid_probability_errors() {
+        let t = FaultTree::new(Node::basic("x")).unwrap();
+        let err = t.evaluate(&probs(&[("x", 1.5)])).unwrap_err();
+        assert!(matches!(err, FtaError::InvalidProbability(_, _)));
+    }
+
+    #[test]
+    fn empty_gate_rejected() {
+        assert_eq!(
+            FaultTree::new(Node::or(vec![])).unwrap_err(),
+            FtaError::EmptyGate
+        );
+    }
+
+    #[test]
+    fn infeasible_vote_rejected() {
+        let err = FaultTree::new(Node::at_least(3, vec![Node::basic("a")])).unwrap_err();
+        assert_eq!(err, FtaError::InfeasibleVote { k: 3, n: 1 });
+        let err0 = FaultTree::new(Node::at_least(0, vec![Node::basic("a")])).unwrap_err();
+        assert!(matches!(err0, FtaError::InfeasibleVote { .. }));
+    }
+
+    #[test]
+    fn duplicate_leaves_listed_once() {
+        let t = FaultTree::new(Node::or(vec![Node::basic("a"), Node::basic("a")])).unwrap();
+        assert_eq!(t.basic_events().len(), 1);
+    }
+
+    #[test]
+    fn monotone_in_leaf_probability() {
+        let t = FaultTree::new(Node::or(vec![
+            Node::basic("a"),
+            Node::and(vec![Node::basic("b"), Node::basic("c")]),
+        ]))
+        .unwrap();
+        let lo = t
+            .evaluate(&probs(&[("a", 0.1), ("b", 0.5), ("c", 0.5)]))
+            .unwrap();
+        let hi = t
+            .evaluate(&probs(&[("a", 0.2), ("b", 0.5), ("c", 0.5)]))
+            .unwrap();
+        assert!(hi > lo);
+    }
+}

@@ -1,0 +1,370 @@
+//! Continuous-time Markov chains with a uniformization transient solver.
+//!
+//! SafeDrones models each UAV subsystem as a small CTMC whose failure
+//! states are absorbing. The monitor needs the *transient* distribution —
+//! "what is the probability the propulsion system has failed by time t,
+//! given the rates observed so far" — which [`Ctmc::transient`] computes by
+//! uniformization (Jensen's method): with `Λ ≥ max|q_ii|` and
+//! `P = I + Q/Λ`,
+//!
+//! ```text
+//! p(t) = Σ_k  e^{-Λt} (Λt)^k / k!  ·  p(0) P^k
+//! ```
+//!
+//! truncated when the accumulated Poisson mass exceeds `1 − tol`. Rates may
+//! change between ticks (temperature jumps, motor failures); the monitor
+//! simply advances the distribution piecewise with the current generator.
+
+/// A continuous-time Markov chain over states `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safedrones::markov::Ctmc;
+///
+/// // Two states: 0 = working, 1 = failed (absorbing), rate 0.1 /s.
+/// let mut c = Ctmc::new(2);
+/// c.set_rate(0, 1, 0.1);
+/// let p = c.transient(&[1.0, 0.0], 10.0);
+/// // P(failed by 10 s) = 1 - e^{-1}
+/// assert!((p[1] - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ctmc {
+    n: usize,
+    /// Row-major rate matrix; `rates[i*n + j]` is the transition rate
+    /// i → j for i ≠ j. Diagonals are derived.
+    rates: Vec<f64>,
+}
+
+impl Ctmc {
+    /// Creates a chain with `n` states and no transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "chain needs at least one state");
+        Ctmc {
+            n,
+            rates: vec![0.0; n * n],
+        }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the chain has no states (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the transition rate `from → to` (per second).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from == to`, if either index is out of range, or if the
+    /// rate is negative or non-finite.
+    pub fn set_rate(&mut self, from: usize, to: usize, rate: f64) {
+        assert!(from < self.n && to < self.n, "state out of range");
+        assert!(from != to, "self-transitions are implicit");
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be ≥ 0");
+        self.rates[from * self.n + to] = rate;
+    }
+
+    /// The transition rate `from → to`.
+    pub fn rate(&self, from: usize, to: usize) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.rates[from * self.n + to]
+        }
+    }
+
+    /// Total exit rate of state `i` (the negated diagonal of the
+    /// generator).
+    pub fn exit_rate(&self, i: usize) -> f64 {
+        (0..self.n).map(|j| self.rate(i, j)).sum()
+    }
+
+    /// Whether state `i` is absorbing (no outgoing transitions).
+    pub fn is_absorbing(&self, i: usize) -> bool {
+        self.exit_rate(i) == 0.0
+    }
+
+    /// Transient distribution after `t` seconds starting from `p0`,
+    /// computed by uniformization with truncation tolerance `1e-12`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p0.len() != self.len()`, if `t` is negative/non-finite,
+    /// or if `p0` is not (approximately) a probability vector.
+    pub fn transient(&self, p0: &[f64], t: f64) -> Vec<f64> {
+        self.transient_with_tol(p0, t, 1e-12)
+    }
+
+    /// [`Ctmc::transient`] with an explicit truncation tolerance.
+    pub fn transient_with_tol(&self, p0: &[f64], t: f64, tol: f64) -> Vec<f64> {
+        assert_eq!(p0.len(), self.n, "initial distribution size mismatch");
+        assert!(t.is_finite() && t >= 0.0, "time must be ≥ 0");
+        let sum: f64 = p0.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6 && p0.iter().all(|p| *p >= -1e-12),
+            "p0 must be a probability vector (sums to {sum})"
+        );
+        if t == 0.0 {
+            return p0.to_vec();
+        }
+        let lambda = (0..self.n)
+            .map(|i| self.exit_rate(i))
+            .fold(0.0_f64, f64::max);
+        if lambda == 0.0 {
+            return p0.to_vec(); // no transitions anywhere
+        }
+        // Slight inflation improves numerical behaviour.
+        let lambda = lambda * 1.02;
+        let lt = lambda * t;
+
+        // DTMC P = I + Q/Λ applied iteratively: v_{k+1} = v_k P.
+        let step = |v: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; self.n];
+            for i in 0..self.n {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let exit = self.exit_rate(i);
+                out[i] += vi * (1.0 - exit / lambda);
+                for (j, slot) in out.iter_mut().enumerate() {
+                    if i != j {
+                        let r = self.rate(i, j);
+                        if r > 0.0 {
+                            *slot += vi * r / lambda;
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        // Poisson weights e^{-lt} lt^k / k!, computed iteratively in log
+        // space via scaling to avoid under/overflow for large lt.
+        let mut result = vec![0.0; self.n];
+        let mut v = p0.to_vec();
+        let mut log_w = -lt; // log weight of k = 0
+        let mut acc = 0.0;
+        let k_max = ((lt + 8.0 * lt.sqrt() + 20.0).ceil()) as usize;
+        for k in 0..=k_max {
+            if k > 0 {
+                log_w += (lt).ln() - (k as f64).ln();
+                v = step(&v);
+            }
+            let w = log_w.exp();
+            if w > 0.0 {
+                for i in 0..self.n {
+                    result[i] += w * v[i];
+                }
+                acc += w;
+            }
+            if 1.0 - acc < tol {
+                break;
+            }
+        }
+        // Renormalize the tiny truncation remainder.
+        let s: f64 = result.iter().sum();
+        if s > 0.0 {
+            for r in result.iter_mut() {
+                *r /= s;
+            }
+        }
+        result
+    }
+}
+
+/// A CTMC paired with a live state distribution, advanced tick by tick.
+/// This is the "complex basic event" carrier: rates can be swapped at any
+/// tick and the distribution keeps integrating forward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtmcProcess {
+    chain: Ctmc,
+    dist: Vec<f64>,
+}
+
+impl CtmcProcess {
+    /// Starts the process in state `initial` with certainty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range.
+    pub fn new(chain: Ctmc, initial: usize) -> Self {
+        assert!(initial < chain.len(), "initial state out of range");
+        let mut dist = vec![0.0; chain.len()];
+        dist[initial] = 1.0;
+        CtmcProcess { chain, dist }
+    }
+
+    /// The live distribution.
+    pub fn distribution(&self) -> &[f64] {
+        &self.dist
+    }
+
+    /// Mutable access to the chain, for runtime rate updates.
+    pub fn chain_mut(&mut self) -> &mut Ctmc {
+        &mut self.chain
+    }
+
+    /// The chain.
+    pub fn chain(&self) -> &Ctmc {
+        &self.chain
+    }
+
+    /// Advances the distribution by `dt_secs` with the current rates.
+    pub fn advance(&mut self, dt_secs: f64) {
+        self.dist = self.chain.transient(&self.dist, dt_secs);
+    }
+
+    /// Probability mass currently in the given states (e.g. the absorbing
+    /// failure states).
+    pub fn mass_in(&self, states: &[usize]) -> f64 {
+        states.iter().map(|&s| self.dist[s]).sum()
+    }
+
+    /// Collapses the distribution back to certainty in `state` — used when
+    /// a failure is *observed* (diagnosis replaces belief).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn observe_state(&mut self, state: usize) {
+        assert!(state < self.chain.len(), "state out of range");
+        self.dist.iter_mut().for_each(|p| *p = 0.0);
+        self.dist[state] = 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state(rate: f64) -> Ctmc {
+        let mut c = Ctmc::new(2);
+        c.set_rate(0, 1, rate);
+        c
+    }
+
+    #[test]
+    fn exponential_failure_matches_closed_form() {
+        let c = two_state(0.05);
+        for t in [0.0, 1.0, 10.0, 50.0, 200.0] {
+            let p = c.transient(&[1.0, 0.0], t);
+            let expect = 1.0 - (-0.05 * t).exp();
+            assert!(
+                (p[1] - expect).abs() < 1e-9,
+                "t={t}: got {} want {expect}",
+                p[1]
+            );
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn absorbing_state_retains_mass() {
+        let c = two_state(1.0);
+        let p = c.transient(&[0.0, 1.0], 100.0);
+        assert!((p[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn birth_death_chain_conserves_probability() {
+        // 0 -> 1 -> 2 (absorbing), plus repair 1 -> 0.
+        let mut c = Ctmc::new(3);
+        c.set_rate(0, 1, 0.3);
+        c.set_rate(1, 0, 0.5);
+        c.set_rate(1, 2, 0.2);
+        let p = c.transient(&[1.0, 0.0, 0.0], 25.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p[2] > 0.5, "most mass should be absorbed eventually");
+        assert!(c.is_absorbing(2));
+        assert!(!c.is_absorbing(0));
+    }
+
+    #[test]
+    fn repairable_system_approaches_steady_state() {
+        // Working <-> failed with repair; steady state p_fail = λ/(λ+μ).
+        let mut c = Ctmc::new(2);
+        c.set_rate(0, 1, 0.1);
+        c.set_rate(1, 0, 0.4);
+        let p = c.transient(&[1.0, 0.0], 500.0);
+        assert!((p[1] - 0.2).abs() < 1e-6, "p_fail = {}", p[1]);
+    }
+
+    #[test]
+    fn large_lambda_t_is_stable() {
+        // Fast rates over long horizons stress the Poisson truncation.
+        let mut c = Ctmc::new(2);
+        c.set_rate(0, 1, 50.0);
+        c.set_rate(1, 0, 50.0);
+        let p = c.transient(&[1.0, 0.0], 10.0);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_returns_initial() {
+        let c = two_state(0.1);
+        assert_eq!(c.transient(&[0.3, 0.7], 0.0), vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn piecewise_advancement_equals_single_solve() {
+        let c = two_state(0.02);
+        let mut proc = CtmcProcess::new(c.clone(), 0);
+        for _ in 0..100 {
+            proc.advance(1.0);
+        }
+        let direct = c.transient(&[1.0, 0.0], 100.0);
+        assert!((proc.distribution()[1] - direct[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rate_swap_mid_flight() {
+        let mut proc = CtmcProcess::new(two_state(0.0), 0);
+        proc.advance(100.0);
+        assert!(proc.mass_in(&[1]) < 1e-12, "no failures at zero rate");
+        proc.chain_mut().set_rate(0, 1, 0.1);
+        proc.advance(10.0);
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((proc.mass_in(&[1]) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observe_state_collapses_belief() {
+        let mut proc = CtmcProcess::new(two_state(0.5), 0);
+        proc.advance(5.0);
+        proc.observe_state(0);
+        assert_eq!(proc.distribution(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be ≥ 0")]
+    fn negative_rate_panics() {
+        let mut c = Ctmc::new(2);
+        c.set_rate(0, 1, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability vector")]
+    fn bad_initial_distribution_panics() {
+        let c = two_state(0.1);
+        let _ = c.transient(&[0.5, 0.1], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-transitions")]
+    fn self_transition_panics() {
+        let mut c = Ctmc::new(2);
+        c.set_rate(1, 1, 0.1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Time-dependent basic-event models.
+//!
+//! Classical FTA leaves carry lifetime distributions rather than fixed
+//! probabilities; SafeDrones' *complex* basic events extend this with
+//! Markov models (\[29\]). This module provides the classical leaf models —
+//! exponential, Weibull, constant — plus an evaluation helper that binds a
+//! model per leaf and evaluates the whole tree at mission time `t`,
+//! bridging the design-time view (rates from handbooks) and the runtime
+//! view (probabilities from monitors).
+
+use crate::fta::{BasicEventId, FaultTree, FtaError};
+use std::collections::HashMap;
+
+/// A lifetime model for one basic event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BasicEventModel {
+    /// Constant failure rate λ (per second): `F(t) = 1 − e^{−λt}`.
+    Exponential {
+        /// Failure rate per second.
+        lambda: f64,
+    },
+    /// Weibull lifetime with shape `k` and scale `eta` (seconds):
+    /// `F(t) = 1 − e^{−(t/η)^k}`. `k > 1` models wear-out, `k < 1` infant
+    /// mortality.
+    Weibull {
+        /// Shape parameter.
+        shape: f64,
+        /// Scale parameter, seconds.
+        scale: f64,
+    },
+    /// A fixed probability independent of time (e.g. an on-demand check).
+    Constant {
+        /// The probability.
+        p: f64,
+    },
+}
+
+impl BasicEventModel {
+    /// The failure probability at mission time `t` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative `t` or invalid parameters (non-finite, negative
+    /// rate/scale, `p` outside `[0, 1]`).
+    pub fn probability_at(&self, t: f64) -> f64 {
+        assert!(t.is_finite() && t >= 0.0, "time must be ≥ 0");
+        match self {
+            BasicEventModel::Exponential { lambda } => {
+                assert!(lambda.is_finite() && *lambda >= 0.0, "rate must be ≥ 0");
+                1.0 - (-lambda * t).exp()
+            }
+            BasicEventModel::Weibull { shape, scale } => {
+                assert!(
+                    shape.is_finite() && *shape > 0.0 && scale.is_finite() && *scale > 0.0,
+                    "Weibull parameters must be positive"
+                );
+                1.0 - (-(t / scale).powf(*shape)).exp()
+            }
+            BasicEventModel::Constant { p } => {
+                assert!((0.0..=1.0).contains(p), "probability must be in [0, 1]");
+                *p
+            }
+        }
+    }
+}
+
+/// A fault tree bound to per-leaf lifetime models.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safedrones::fta::{FaultTree, Node};
+/// use sesame_safedrones::models::{BasicEventModel, TimedFaultTree};
+///
+/// let tree = FaultTree::new(Node::or(vec![
+///     Node::basic("battery"),
+///     Node::basic("motor"),
+/// ]))?;
+/// let timed = TimedFaultTree::new(tree)
+///     .with_model("battery", BasicEventModel::Exponential { lambda: 1e-5 })
+///     .with_model("motor", BasicEventModel::Weibull { shape: 2.0, scale: 1e5 });
+/// let early = timed.probability_at(600.0)?;
+/// let late = timed.probability_at(6_000.0)?;
+/// assert!(late > early);
+/// # Ok::<(), sesame_safedrones::fta::FtaError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedFaultTree {
+    tree: FaultTree,
+    models: HashMap<BasicEventId, BasicEventModel>,
+}
+
+impl TimedFaultTree {
+    /// Wraps a tree with an empty model binding.
+    pub fn new(tree: FaultTree) -> Self {
+        TimedFaultTree {
+            tree,
+            models: HashMap::new(),
+        }
+    }
+
+    /// Binds a model to a leaf (builder style).
+    pub fn with_model(mut self, leaf: impl Into<String>, model: BasicEventModel) -> Self {
+        self.models.insert(BasicEventId::new(leaf), model);
+        self
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &FaultTree {
+        &self.tree
+    }
+
+    /// Evaluates the top event at mission time `t` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::MissingProbability`] for leaves without a bound
+    /// model.
+    pub fn probability_at(&self, t: f64) -> Result<f64, FtaError> {
+        let probs: HashMap<BasicEventId, f64> = self
+            .models
+            .iter()
+            .map(|(id, m)| (id.clone(), m.probability_at(t)))
+            .collect();
+        self.tree.evaluate(&probs)
+    }
+
+    /// Evaluates the top event over a uniform time grid, returning
+    /// `(t, probability)` pairs — the PoF(t) curve of Fig. 5 for a purely
+    /// design-time model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation errors from any grid point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0` or `horizon` is not positive.
+    pub fn curve(&self, horizon: f64, steps: usize) -> Result<Vec<(f64, f64)>, FtaError> {
+        assert!(steps > 0, "need at least one step");
+        assert!(horizon > 0.0, "horizon must be positive");
+        (0..=steps)
+            .map(|i| {
+                let t = horizon * i as f64 / steps as f64;
+                Ok((t, self.probability_at(t)?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fta::Node;
+
+    #[test]
+    fn exponential_matches_closed_form() {
+        let m = BasicEventModel::Exponential { lambda: 1e-4 };
+        assert_eq!(m.probability_at(0.0), 0.0);
+        let p = m.probability_at(1e4);
+        assert!((p - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weibull_shape_controls_wearout() {
+        let wearout = BasicEventModel::Weibull {
+            shape: 3.0,
+            scale: 1000.0,
+        };
+        let infant = BasicEventModel::Weibull {
+            shape: 0.5,
+            scale: 1000.0,
+        };
+        // Early on, infant mortality dominates; at the scale both are
+        // 1 - 1/e; far out wear-out dominates.
+        assert!(infant.probability_at(10.0) > wearout.probability_at(10.0));
+        let at_scale = 1.0 - (-1.0f64).exp();
+        assert!((wearout.probability_at(1000.0) - at_scale).abs() < 1e-12);
+        assert!((infant.probability_at(1000.0) - at_scale).abs() < 1e-12);
+        assert!(wearout.probability_at(3000.0) > infant.probability_at(3000.0));
+    }
+
+    #[test]
+    fn constant_ignores_time() {
+        let m = BasicEventModel::Constant { p: 0.25 };
+        assert_eq!(m.probability_at(0.0), 0.25);
+        assert_eq!(m.probability_at(1e9), 0.25);
+    }
+
+    #[test]
+    fn timed_tree_curve_is_monotone_without_constant_leaves() {
+        let tree = FaultTree::new(Node::or(vec![
+            Node::basic("a"),
+            Node::and(vec![Node::basic("b"), Node::basic("c")]),
+        ]))
+        .unwrap();
+        let timed = TimedFaultTree::new(tree)
+            .with_model("a", BasicEventModel::Exponential { lambda: 1e-5 })
+            .with_model("b", BasicEventModel::Weibull { shape: 2.0, scale: 5e4 })
+            .with_model("c", BasicEventModel::Exponential { lambda: 5e-5 });
+        let curve = timed.curve(1e5, 50).unwrap();
+        assert_eq!(curve.len(), 51);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12, "curve must be monotone");
+        }
+        assert!(curve[0].1 < 1e-9);
+        assert!(curve.last().unwrap().1 > 0.5);
+    }
+
+    #[test]
+    fn missing_model_is_reported() {
+        let tree = FaultTree::new(Node::basic("x")).unwrap();
+        let timed = TimedFaultTree::new(tree);
+        assert!(matches!(
+            timed.probability_at(1.0),
+            Err(FtaError::MissingProbability(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "Weibull parameters")]
+    fn invalid_weibull_panics() {
+        let m = BasicEventModel::Weibull {
+            shape: -1.0,
+            scale: 100.0,
+        };
+        let _ = m.probability_at(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time must be ≥ 0")]
+    fn negative_time_panics() {
+        let m = BasicEventModel::Constant { p: 0.5 };
+        let _ = m.probability_at(-1.0);
+    }
+}

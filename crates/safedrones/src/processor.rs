@@ -1,0 +1,152 @@
+//! Processor (companion computer) reliability.
+//!
+//! SafeDrones "includes the estimation of the probability of failure,
+//! taking into account various components such as the battery, processor
+//! \[31\], and UAV rotors" (§III-A1). The processor model follows the
+//! soft-error-rate view of \[31\]: an exponential failure law whose rate is
+//! the sum of a permanent-fault rate and an SER contribution scaled by
+//! utilization (busier silicon flips more architecturally-visible bits).
+
+/// Processor reliability model.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safedrones::processor::ProcessorModel;
+///
+/// let mut p = ProcessorModel::new(1e-7, 5e-7);
+/// p.set_utilization(0.8);
+/// p.advance(3600.0);
+/// assert!(p.probability_of_failure() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessorModel {
+    lambda_permanent: f64,
+    lambda_ser: f64,
+    utilization: f64,
+    /// Accumulated hazard ∫λ dt.
+    hazard: f64,
+}
+
+impl ProcessorModel {
+    /// Creates a model with a permanent-fault rate and a full-utilization
+    /// soft-error rate, both per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is negative or non-finite.
+    pub fn new(lambda_permanent: f64, lambda_ser: f64) -> Self {
+        assert!(
+            lambda_permanent.is_finite() && lambda_permanent >= 0.0,
+            "permanent rate must be ≥ 0"
+        );
+        assert!(
+            lambda_ser.is_finite() && lambda_ser >= 0.0,
+            "SER rate must be ≥ 0"
+        );
+        ProcessorModel {
+            lambda_permanent,
+            lambda_ser,
+            utilization: 0.5,
+            hazard: 0.0,
+        }
+    }
+
+    /// Sets the current utilization in `[0, 1]` (clamped).
+    pub fn set_utilization(&mut self, u: f64) {
+        self.utilization = u.clamp(0.0, 1.0);
+    }
+
+    /// Current utilization.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// The effective failure rate right now.
+    pub fn effective_rate(&self) -> f64 {
+        self.lambda_permanent + self.lambda_ser * self.utilization
+    }
+
+    /// Accumulates `dt_secs` of operation at the current utilization.
+    pub fn advance(&mut self, dt_secs: f64) {
+        self.hazard += self.effective_rate() * dt_secs.max(0.0);
+    }
+
+    /// Probability the processor has failed by now.
+    pub fn probability_of_failure(&self) -> f64 {
+        1.0 - (-self.hazard).exp()
+    }
+
+    /// Probability of failure within a further `horizon_secs` at the
+    /// current utilization, conditional on having survived so far.
+    pub fn pof_within(&self, horizon_secs: f64) -> f64 {
+        1.0 - (-self.effective_rate() * horizon_secs.max(0.0)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exponential_closed_form() {
+        let mut p = ProcessorModel::new(1e-6, 0.0);
+        p.advance(1e5);
+        let expect = 1.0 - (-0.1f64).exp();
+        assert!((p.probability_of_failure() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_scales_ser() {
+        let mut idle = ProcessorModel::new(0.0, 1e-6);
+        idle.set_utilization(0.0);
+        let mut busy = ProcessorModel::new(0.0, 1e-6);
+        busy.set_utilization(1.0);
+        idle.advance(1e5);
+        busy.advance(1e5);
+        assert_eq!(idle.probability_of_failure(), 0.0);
+        assert!(busy.probability_of_failure() > 0.0);
+        assert!((busy.effective_rate() - 1e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn utilization_clamps() {
+        let mut p = ProcessorModel::new(0.0, 1e-6);
+        p.set_utilization(3.0);
+        assert_eq!(p.utilization(), 1.0);
+        p.set_utilization(-1.0);
+        assert_eq!(p.utilization(), 0.0);
+    }
+
+    #[test]
+    fn piecewise_utilization_accumulates_hazard() {
+        let mut p = ProcessorModel::new(0.0, 1e-6);
+        p.set_utilization(1.0);
+        p.advance(1000.0);
+        p.set_utilization(0.0);
+        p.advance(1e9); // idle forever adds nothing
+        let expect = 1.0 - (-1e-3f64).exp();
+        assert!((p.probability_of_failure() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prognosis_uses_current_rate() {
+        let mut p = ProcessorModel::new(1e-6, 1e-6);
+        p.set_utilization(0.5);
+        let want = 1.0 - (-(1e-6 + 5e-7) * 100.0f64).exp();
+        assert!((p.pof_within(100.0) - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_dt_ignored() {
+        let mut p = ProcessorModel::new(1e-6, 0.0);
+        p.advance(-100.0);
+        assert_eq!(p.probability_of_failure(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 0")]
+    fn negative_rate_panics() {
+        let _ = ProcessorModel::new(-1.0, 0.0);
+    }
+}

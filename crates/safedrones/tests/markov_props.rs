@@ -1,0 +1,110 @@
+//! Property tests of the CTMC solver and the fault-tree evaluator.
+
+use proptest::prelude::*;
+use sesame_safedrones::fta::{BasicEventId, FaultTree, Node};
+use sesame_safedrones::markov::{Ctmc, CtmcProcess};
+use std::collections::HashMap;
+
+fn random_chain() -> impl Strategy<Value = Ctmc> {
+    (2usize..6).prop_flat_map(|n| {
+        proptest::collection::vec(0.0..0.5f64, n * n).prop_map(move |rates| {
+            let mut c = Ctmc::new(n);
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        c.set_rate(i, j, rates[i * n + j]);
+                    }
+                }
+            }
+            c
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The transient distribution stays a probability vector for any
+    /// generator and horizon.
+    #[test]
+    fn transient_is_a_distribution(chain in random_chain(), t in 0.0..200.0f64) {
+        let n = chain.len();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let p = chain.transient(&p0, t);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|x| *x >= -1e-12));
+    }
+
+    /// Chapman–Kolmogorov: advancing t then s equals advancing t + s.
+    #[test]
+    fn chapman_kolmogorov(chain in random_chain(), t in 0.0..50.0f64, s in 0.0..50.0f64) {
+        let n = chain.len();
+        let mut p0 = vec![0.0; n];
+        p0[0] = 1.0;
+        let two_step = chain.transient(&chain.transient(&p0, t), s);
+        let one_step = chain.transient(&p0, t + s);
+        for (a, b) in two_step.iter().zip(one_step.iter()) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    /// Absorption probability is monotone in time for chains whose last
+    /// state is absorbing.
+    #[test]
+    fn absorption_monotone(rates in proptest::collection::vec(0.001..0.2f64, 3)) {
+        let mut chain = Ctmc::new(4);
+        for (i, r) in rates.iter().enumerate() {
+            chain.set_rate(i, i + 1, *r);
+        }
+        let mut proc = CtmcProcess::new(chain, 0);
+        let mut last = 0.0;
+        for _ in 0..20 {
+            proc.advance(5.0);
+            let p = proc.mass_in(&[3]);
+            prop_assert!(p >= last - 1e-12, "absorption decreased: {last} -> {p}");
+            last = p;
+        }
+    }
+
+    /// De Morgan-ish duality: OR over leaves equals 1 - AND over
+    /// complements.
+    #[test]
+    fn or_and_duality(ps in proptest::collection::vec(0.0..1.0f64, 2..6)) {
+        let leaves: Vec<Node> = (0..ps.len()).map(|i| Node::basic(format!("e{i}"))).collect();
+        let or_tree = FaultTree::new(Node::or(leaves.clone())).unwrap();
+        let and_tree = FaultTree::new(Node::and(leaves)).unwrap();
+        let direct: HashMap<BasicEventId, f64> = ps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (BasicEventId::new(format!("e{i}")), *p))
+            .collect();
+        let complement: HashMap<BasicEventId, f64> = ps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (BasicEventId::new(format!("e{i}")), 1.0 - *p))
+            .collect();
+        let or_p = or_tree.evaluate(&direct).unwrap();
+        let and_q = and_tree.evaluate(&complement).unwrap();
+        prop_assert!((or_p - (1.0 - and_q)).abs() < 1e-12);
+    }
+
+    /// A k-out-of-n voter is monotone in k (more required failures, lower
+    /// probability).
+    #[test]
+    fn voter_monotone_in_k(ps in proptest::collection::vec(0.0..1.0f64, 4..7)) {
+        let leaves: Vec<Node> = (0..ps.len()).map(|i| Node::basic(format!("e{i}"))).collect();
+        let probs: HashMap<BasicEventId, f64> = ps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (BasicEventId::new(format!("e{i}")), *p))
+            .collect();
+        let mut prev = 1.0 + 1e-12;
+        for k in 1..=ps.len() {
+            let t = FaultTree::new(Node::at_least(k, leaves.clone())).unwrap();
+            let p = t.evaluate(&probs).unwrap();
+            prop_assert!(p <= prev + 1e-12, "k={k}: {p} > {prev}");
+            prev = p;
+        }
+    }
+}

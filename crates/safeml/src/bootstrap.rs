@@ -1,0 +1,121 @@
+//! Permutation p-values for distance statistics.
+//!
+//! SafeML pairs each distance with a significance estimate: under the null
+//! "both windows come from the same distribution", relabelling the pooled
+//! sample at random must produce distances at least as large as the
+//! observed one with probability `p`. A small `p` means the shift is real.
+
+use crate::distance::DistanceMeasure;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Result of a permutation test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PermutationTest {
+    /// The observed statistic.
+    pub statistic: f64,
+    /// Estimated p-value (with the +1 small-sample correction).
+    pub p_value: f64,
+    /// Number of permutations drawn.
+    pub permutations: usize,
+}
+
+/// Runs a permutation test of `measure` between `a` and `b` with
+/// `permutations` random relabellings from a deterministic `seed`.
+///
+/// The returned p-value uses the standard `(k + 1) / (n + 1)` correction so
+/// it is never exactly zero.
+///
+/// # Panics
+///
+/// Panics if either sample is empty, contains non-finite values, or if
+/// `permutations == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safeml::bootstrap::permutation_test;
+/// use sesame_safeml::distance::DistanceMeasure;
+///
+/// let a: Vec<f64> = (0..40).map(|i| i as f64 * 0.1).collect();
+/// let b: Vec<f64> = (0..40).map(|i| i as f64 * 0.1 + 10.0).collect();
+/// let t = permutation_test(DistanceMeasure::KolmogorovSmirnov, &a, &b, 200, 7);
+/// assert!(t.p_value < 0.05, "a 10-sigma shift must be significant");
+/// ```
+pub fn permutation_test(
+    measure: DistanceMeasure,
+    a: &[f64],
+    b: &[f64],
+    permutations: usize,
+    seed: u64,
+) -> PermutationTest {
+    assert!(permutations > 0, "need at least one permutation");
+    let statistic = measure.compute(a, b);
+    let mut pooled: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at_least = 0usize;
+    for _ in 0..permutations {
+        pooled.shuffle(&mut rng);
+        let (pa, pb) = pooled.split_at(a.len());
+        if measure.compute(pa, pb) >= statistic - 1e-15 {
+            at_least += 1;
+        }
+    }
+    PermutationTest {
+        statistic,
+        p_value: (at_least + 1) as f64 / (permutations + 1) as f64,
+        permutations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize, offset: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * 0.1 + offset).collect()
+    }
+
+    #[test]
+    fn same_distribution_gives_large_p() {
+        let a = ramp(30, 0.0);
+        let b = ramp(30, 0.05); // interleaved, essentially same distribution
+        let t = permutation_test(DistanceMeasure::KolmogorovSmirnov, &a, &b, 300, 1);
+        assert!(t.p_value > 0.2, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_gives_small_p() {
+        let a = ramp(30, 0.0);
+        let b = ramp(30, 50.0);
+        let t = permutation_test(DistanceMeasure::Wasserstein, &a, &b, 300, 1);
+        assert!(t.p_value < 0.02, "p = {}", t.p_value);
+        assert!((t.statistic - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn p_value_never_zero_or_above_one() {
+        let a = ramp(10, 0.0);
+        let b = ramp(10, 1000.0);
+        let t = permutation_test(DistanceMeasure::KolmogorovSmirnov, &a, &b, 50, 3);
+        assert!(t.p_value > 0.0 && t.p_value <= 1.0);
+        assert_eq!(t.permutations, 50);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = ramp(20, 0.0);
+        let b = ramp(20, 0.7);
+        let t1 = permutation_test(DistanceMeasure::Energy, &a, &b, 100, 9);
+        let t2 = permutation_test(DistanceMeasure::Energy, &a, &b, 100, 9);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one permutation")]
+    fn zero_permutations_panics() {
+        let a = ramp(5, 0.0);
+        let _ = permutation_test(DistanceMeasure::KolmogorovSmirnov, &a, &a, 0, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF built from a finite sample.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safeml::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(&[3.0, 1.0, 2.0]).expect("non-empty");
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert!((e.eval(1.5) - 1.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(e.eval(3.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+/// Error returned when constructing an [`Ecdf`] from bad data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EcdfError {
+    /// The sample was empty.
+    Empty,
+    /// The sample contained NaN or infinite values.
+    NonFinite,
+}
+
+impl std::fmt::Display for EcdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EcdfError::Empty => write!(f, "empty sample"),
+            EcdfError::NonFinite => write!(f, "sample contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for EcdfError {}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (need not be sorted).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EcdfError::Empty`] for an empty sample and
+    /// [`EcdfError::NonFinite`] if any value is NaN or infinite.
+    pub fn new(sample: &[f64]) -> Result<Self, EcdfError> {
+        if sample.is_empty() {
+            return Err(EcdfError::Empty);
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(EcdfError::NonFinite);
+        }
+        let mut sorted = sample.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// F(x): the fraction of the sample `≤ x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let idx = self.sorted.partition_point(|v| *v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile (`q ∈ [0, 1]`, clamped) by the inverse-ECDF
+    /// (type-1) definition.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_a_step_function() {
+        let e = Ecdf::new(&[1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(e.eval(0.0), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.9), 0.75);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(1e9), 1.0);
+    }
+
+    #[test]
+    fn quantiles_pick_order_statistics() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+        assert_eq!(e.quantile(2.0), 40.0, "clamped");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(Ecdf::new(&[]).unwrap_err(), EcdfError::Empty);
+        assert_eq!(Ecdf::new(&[1.0, f64::NAN]).unwrap_err(), EcdfError::NonFinite);
+        assert_eq!(
+            Ecdf::new(&[f64::INFINITY]).unwrap_err(),
+            EcdfError::NonFinite
+        );
+    }
+
+    #[test]
+    fn mean_and_len() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(e.len(), 3);
+        assert!(!e.is_empty());
+        assert!((e.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(e.values(), &[1.0, 2.0, 3.0]);
+    }
+}

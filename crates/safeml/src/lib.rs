@@ -1,0 +1,39 @@
+//! SafeML — safety monitoring of ML components through statistical
+//! distance measures.
+//!
+//! Reproduces the SafeML technology of the paper (§III-A2, \[32\]): at
+//! runtime, a sliding window of the features seen by the ML component is
+//! compared against a reference set drawn from the training data using
+//! empirical-CDF distance measures. "The greater the dissimilarity between
+//! the input and the reference images, the lower the confidence in the ML
+//! model's outcome."
+//!
+//! * [`ecdf::Ecdf`] — empirical distribution functions;
+//! * [`distance`] — the measures from the SafeML paper: Kolmogorov–Smirnov,
+//!   Kuiper, Anderson–Darling, Cramér–von Mises, Wasserstein-1 and the
+//!   energy distance;
+//! * [`bootstrap`] — permutation p-values for any measure;
+//! * [`monitor::SafeMlMonitor`] — the sliding-window runtime monitor that
+//!   maps aggregated dissimilarity to a confidence level and a verdict
+//!   (accept / caution / reject), which ConSerts turns into mitigations.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_safeml::distance::{DistanceMeasure};
+//!
+//! let reference = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+//! let shifted = [5.0, 5.1, 5.2, 5.3, 5.4, 5.5];
+//! let d = DistanceMeasure::KolmogorovSmirnov.compute(&reference, &shifted);
+//! assert!((d - 1.0).abs() < 1e-12, "disjoint supports give KS = 1");
+//! ```
+
+pub mod bootstrap;
+pub mod distance;
+pub mod ecdf;
+pub mod monitor;
+pub mod power;
+
+pub use distance::DistanceMeasure;
+pub use ecdf::Ecdf;
+pub use monitor::{SafeMlConfig, SafeMlMonitor, SafeMlVerdict};

@@ -1,0 +1,386 @@
+//! The sliding-window SafeML runtime monitor.
+//!
+//! "SafeML assesses a sliding window of images captured by UAV cameras
+//! against a reference set derived from the model's training images"
+//! (§III-A2). Here each "image" is a feature vector (produced by
+//! `sesame-vision`'s synthetic extractor or any other source); the monitor
+//! keeps one reference sample per feature, maintains the runtime window,
+//! and aggregates per-feature distances into:
+//!
+//! * a **dissimilarity** score in `[0, 1]` (bounded measures are used
+//!   as-is; unbounded ones are squashed),
+//! * a **confidence** `= 1 − dissimilarity` in the ML outcome,
+//! * a three-way [`SafeMlVerdict`] against configurable thresholds.
+
+use crate::distance::DistanceMeasure;
+use std::collections::VecDeque;
+
+/// Verdict levels the ConSert layer maps to mitigations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SafeMlVerdict {
+    /// Runtime data statistically matches the training data.
+    Accept,
+    /// Noticeable shift: treat ML outputs with caution (e.g. descend to a
+    /// more favourable altitude, as in §V-B).
+    Caution,
+    /// Strong shift: ML outputs should not be trusted.
+    Reject,
+}
+
+/// Configuration of the monitor.
+#[derive(Debug, Clone)]
+pub struct SafeMlConfig {
+    /// Sliding window length (number of runtime samples).
+    pub window: usize,
+    /// Distance measure to use.
+    pub measure: DistanceMeasure,
+    /// Dissimilarity at or above which the verdict is `Caution`.
+    pub caution_threshold: f64,
+    /// Dissimilarity at or above which the verdict is `Reject`.
+    pub reject_threshold: f64,
+    /// Scale used to squash unbounded measures: `d ↦ d / (d + scale)`.
+    pub squash_scale: f64,
+}
+
+impl Default for SafeMlConfig {
+    fn default() -> Self {
+        SafeMlConfig {
+            window: 50,
+            measure: DistanceMeasure::KolmogorovSmirnov,
+            caution_threshold: 0.5,
+            reject_threshold: 0.9,
+            squash_scale: 1.0,
+        }
+    }
+}
+
+/// The runtime monitor. Feed it samples with [`SafeMlMonitor::push_sample`]
+/// and read [`SafeMlMonitor::dissimilarity`] / [`SafeMlMonitor::verdict`].
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safeml::monitor::{SafeMlConfig, SafeMlMonitor, SafeMlVerdict};
+///
+/// // Reference: two features, values near 0.
+/// let reference: Vec<Vec<f64>> = (0..100)
+///     .map(|i| vec![(i % 10) as f64 * 0.01, (i % 7) as f64 * 0.01])
+///     .collect();
+/// let mut mon = SafeMlMonitor::new(reference, SafeMlConfig::default())?;
+/// // Runtime data shifted far away.
+/// for i in 0..50 {
+///     mon.push_sample(&[5.0 + (i % 10) as f64 * 0.01, 5.0]);
+/// }
+/// assert_eq!(mon.verdict(), SafeMlVerdict::Reject);
+/// # Ok::<(), sesame_safeml::monitor::SafeMlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SafeMlMonitor {
+    config: SafeMlConfig,
+    /// Column-major reference: one Vec per feature.
+    reference: Vec<Vec<f64>>,
+    /// Sliding window of runtime samples (row-major).
+    window: VecDeque<Vec<f64>>,
+    samples_seen: u64,
+}
+
+/// Errors from monitor construction and feeding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SafeMlError {
+    /// Reference set was empty.
+    EmptyReference,
+    /// Reference rows disagree on feature count.
+    RaggedReference,
+    /// A runtime sample had the wrong number of features.
+    FeatureCountMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Received feature count.
+        got: usize,
+    },
+    /// Reference or sample contained non-finite values.
+    NonFinite,
+    /// Config thresholds out of order (`caution >= reject`).
+    BadThresholds,
+}
+
+impl std::fmt::Display for SafeMlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafeMlError::EmptyReference => write!(f, "empty reference set"),
+            SafeMlError::RaggedReference => write!(f, "reference rows have differing widths"),
+            SafeMlError::FeatureCountMismatch { expected, got } => {
+                write!(f, "sample has {got} features, reference has {expected}")
+            }
+            SafeMlError::NonFinite => write!(f, "non-finite feature value"),
+            SafeMlError::BadThresholds => {
+                write!(f, "caution threshold must be below reject threshold")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SafeMlError {}
+
+impl SafeMlMonitor {
+    /// Builds a monitor from row-major reference samples.
+    ///
+    /// # Errors
+    ///
+    /// See [`SafeMlError`] for the rejected shapes.
+    pub fn new(reference_rows: Vec<Vec<f64>>, config: SafeMlConfig) -> Result<Self, SafeMlError> {
+        if reference_rows.is_empty() {
+            return Err(SafeMlError::EmptyReference);
+        }
+        if config.caution_threshold >= config.reject_threshold {
+            return Err(SafeMlError::BadThresholds);
+        }
+        let width = reference_rows[0].len();
+        if width == 0 {
+            return Err(SafeMlError::EmptyReference);
+        }
+        let mut reference = vec![Vec::with_capacity(reference_rows.len()); width];
+        for row in &reference_rows {
+            if row.len() != width {
+                return Err(SafeMlError::RaggedReference);
+            }
+            for (c, v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(SafeMlError::NonFinite);
+                }
+                reference[c].push(*v);
+            }
+        }
+        Ok(SafeMlMonitor {
+            config,
+            reference,
+            window: VecDeque::new(),
+            samples_seen: 0,
+        })
+    }
+
+    /// Number of features per sample.
+    pub fn feature_count(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Pushes one runtime sample into the sliding window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SafeMlError::FeatureCountMismatch`] or
+    /// [`SafeMlError::NonFinite`] on malformed samples.
+    pub fn push_sample(&mut self, features: &[f64]) -> Result<(), SafeMlError> {
+        if features.len() != self.reference.len() {
+            return Err(SafeMlError::FeatureCountMismatch {
+                expected: self.reference.len(),
+                got: features.len(),
+            });
+        }
+        if features.iter().any(|v| !v.is_finite()) {
+            return Err(SafeMlError::NonFinite);
+        }
+        if self.window.len() == self.config.window {
+            self.window.pop_front();
+        }
+        self.window.push_back(features.to_vec());
+        self.samples_seen += 1;
+        Ok(())
+    }
+
+    /// Whether the window holds enough samples to judge (at least half the
+    /// configured length).
+    pub fn is_warmed_up(&self) -> bool {
+        self.window.len() * 2 >= self.config.window
+    }
+
+    /// Aggregated dissimilarity in `[0, 1]`: the mean per-feature distance,
+    /// squashed for unbounded measures. Returns 0 before any samples
+    /// arrive.
+    pub fn dissimilarity(&self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (c, ref_col) in self.reference.iter().enumerate() {
+            let col: Vec<f64> = self.window.iter().map(|row| row[c]).collect();
+            let d = self.config.measure.compute(ref_col, &col);
+            acc += self.squash(d);
+        }
+        acc / self.reference.len() as f64
+    }
+
+    fn squash(&self, d: f64) -> f64 {
+        match self.config.measure {
+            DistanceMeasure::KolmogorovSmirnov => d,
+            DistanceMeasure::Kuiper => d / 2.0,
+            DistanceMeasure::CramerVonMises => d.min(1.0),
+            // AD, Wasserstein and energy are unbounded: squash smoothly.
+            _ => d / (d + self.config.squash_scale),
+        }
+    }
+
+    /// Confidence in the ML component's outcome: `1 − dissimilarity`.
+    pub fn confidence(&self) -> f64 {
+        1.0 - self.dissimilarity()
+    }
+
+    /// The three-way verdict against the configured thresholds.
+    pub fn verdict(&self) -> SafeMlVerdict {
+        let d = self.dissimilarity();
+        if d >= self.config.reject_threshold {
+            SafeMlVerdict::Reject
+        } else if d >= self.config.caution_threshold {
+            SafeMlVerdict::Caution
+        } else {
+            SafeMlVerdict::Accept
+        }
+    }
+
+    /// Total samples ever pushed.
+    pub fn samples_seen(&self) -> u64 {
+        self.samples_seen
+    }
+
+    /// Current window occupancy.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    fn reference() -> Vec<Vec<f64>> {
+        (0..200)
+            .map(|i| {
+                vec![
+                    (i % 20) as f64 * 0.05,       // uniform-ish 0..1
+                    ((i * 7) % 13) as f64 * 0.1,  // uniform-ish 0..1.3
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_distribution_data_accepts() {
+        let mut mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        for i in 0..50 {
+            mon.push_sample(&[(i % 20) as f64 * 0.05, ((i * 7) % 13) as f64 * 0.1])
+                .unwrap();
+        }
+        assert!(mon.is_warmed_up());
+        assert!(mon.dissimilarity() < 0.3, "d = {}", mon.dissimilarity());
+        assert_eq!(mon.verdict(), SafeMlVerdict::Accept);
+        assert!(mon.confidence() > 0.7);
+    }
+
+    #[test]
+    fn shifted_data_rejects() {
+        let mut mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        for _ in 0..50 {
+            mon.push_sample(&[10.0, -5.0]).unwrap();
+        }
+        assert_eq!(mon.verdict(), SafeMlVerdict::Reject);
+        assert!(mon.confidence() < 0.15);
+    }
+
+    #[test]
+    fn partial_shift_cautions() {
+        // One feature in-distribution, the other fully out: mean KS ≈ 0.5+.
+        let mut cfg = SafeMlConfig::default();
+        cfg.caution_threshold = 0.4;
+        cfg.reject_threshold = 0.8;
+        let mut mon = SafeMlMonitor::new(reference(), cfg).unwrap();
+        for i in 0..50 {
+            mon.push_sample(&[(i % 20) as f64 * 0.05, 99.0]).unwrap();
+        }
+        assert_eq!(mon.verdict(), SafeMlVerdict::Caution);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        // Fill with shifted data, then flush with in-distribution data.
+        for _ in 0..50 {
+            mon.push_sample(&[10.0, 10.0]).unwrap();
+        }
+        let bad = mon.dissimilarity();
+        for i in 0..50 {
+            mon.push_sample(&[(i % 20) as f64 * 0.05, ((i * 7) % 13) as f64 * 0.1])
+                .unwrap();
+        }
+        let good = mon.dissimilarity();
+        assert!(good < bad, "window must forget old shift: {bad} -> {good}");
+        assert_eq!(mon.window_len(), 50);
+        assert_eq!(mon.samples_seen(), 100);
+    }
+
+    #[test]
+    fn empty_window_is_neutral() {
+        let mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        assert_eq!(mon.dissimilarity(), 0.0);
+        assert_eq!(mon.verdict(), SafeMlVerdict::Accept);
+        assert!(!mon.is_warmed_up());
+    }
+
+    #[test]
+    fn construction_rejects_bad_shapes() {
+        assert_eq!(
+            SafeMlMonitor::new(vec![], SafeMlConfig::default()).unwrap_err(),
+            SafeMlError::EmptyReference
+        );
+        assert_eq!(
+            SafeMlMonitor::new(vec![vec![]], SafeMlConfig::default()).unwrap_err(),
+            SafeMlError::EmptyReference
+        );
+        assert_eq!(
+            SafeMlMonitor::new(vec![vec![1.0], vec![1.0, 2.0]], SafeMlConfig::default())
+                .unwrap_err(),
+            SafeMlError::RaggedReference
+        );
+        assert_eq!(
+            SafeMlMonitor::new(vec![vec![f64::NAN]], SafeMlConfig::default()).unwrap_err(),
+            SafeMlError::NonFinite
+        );
+        let mut cfg = SafeMlConfig::default();
+        cfg.caution_threshold = 0.9;
+        cfg.reject_threshold = 0.5;
+        assert_eq!(
+            SafeMlMonitor::new(vec![vec![1.0]], cfg).unwrap_err(),
+            SafeMlError::BadThresholds
+        );
+    }
+
+    #[test]
+    fn sample_shape_checked() {
+        let mut mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        assert_eq!(
+            mon.push_sample(&[1.0]).unwrap_err(),
+            SafeMlError::FeatureCountMismatch {
+                expected: 2,
+                got: 1
+            }
+        );
+        assert_eq!(
+            mon.push_sample(&[1.0, f64::INFINITY]).unwrap_err(),
+            SafeMlError::NonFinite
+        );
+        assert_eq!(mon.feature_count(), 2);
+    }
+
+    #[test]
+    fn unbounded_measure_squashes_into_unit_interval() {
+        let mut cfg = SafeMlConfig::default();
+        cfg.measure = DistanceMeasure::Wasserstein;
+        let mut mon = SafeMlMonitor::new(reference(), cfg).unwrap();
+        for _ in 0..50 {
+            mon.push_sample(&[1e6, 1e6]).unwrap();
+        }
+        let d = mon.dissimilarity();
+        assert!((0.0..=1.0).contains(&d));
+        assert!(d > 0.99);
+    }
+}

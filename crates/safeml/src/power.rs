@@ -1,0 +1,220 @@
+//! Statistical power and window sizing.
+//!
+//! SafeML deployments must pick a sliding-window length: long enough that
+//! a genuine distribution shift is detected reliably, short enough that
+//! detection is fast and the window stays fresh. This module estimates,
+//! by Monte-Carlo simulation on Gaussian surrogates, the detection power
+//! of a measure/threshold pair at a given shift size — and searches for
+//! the smallest window achieving a target power.
+
+use crate::distance::DistanceMeasure;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Result of a power estimation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerEstimate {
+    /// Window length used.
+    pub window: usize,
+    /// Fraction of trials where the shifted window exceeded the threshold
+    /// (true-positive rate).
+    pub power: f64,
+    /// Fraction of trials where an unshifted window exceeded the threshold
+    /// (false-alarm rate).
+    pub false_alarm: f64,
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Estimates detection power for windows of `window` samples against a
+/// reference of `reference` samples, for a location shift of
+/// `shift_sigmas` standard deviations, judged as `measure ≥ threshold`.
+///
+/// # Panics
+///
+/// Panics if `window`, `reference` or `trials` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safeml::distance::DistanceMeasure;
+/// use sesame_safeml::power::estimate_power;
+///
+/// let e = estimate_power(DistanceMeasure::KolmogorovSmirnov, 50, 200, 2.0, 0.5, 100, 7);
+/// assert!(e.power > 0.9, "a 2σ shift is easy at n = 50");
+/// ```
+pub fn estimate_power(
+    measure: DistanceMeasure,
+    window: usize,
+    reference: usize,
+    shift_sigmas: f64,
+    threshold: f64,
+    trials: usize,
+    seed: u64,
+) -> PowerEstimate {
+    assert!(window > 0 && reference > 0 && trials > 0, "sizes must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut hits = 0usize;
+    let mut false_alarms = 0usize;
+    for _ in 0..trials {
+        let base: Vec<f64> = (0..reference).map(|_| gaussian(&mut rng)).collect();
+        let shifted: Vec<f64> = (0..window)
+            .map(|_| gaussian(&mut rng) + shift_sigmas)
+            .collect();
+        let clean: Vec<f64> = (0..window).map(|_| gaussian(&mut rng)).collect();
+        if measure.compute(&base, &shifted) >= threshold {
+            hits += 1;
+        }
+        if measure.compute(&base, &clean) >= threshold {
+            false_alarms += 1;
+        }
+    }
+    PowerEstimate {
+        window,
+        power: hits as f64 / trials as f64,
+        false_alarm: false_alarms as f64 / trials as f64,
+    }
+}
+
+/// Finds the smallest window in `candidates` reaching `target_power`
+/// while keeping the false-alarm rate at or below `max_false_alarm`.
+/// Returns `None` when no candidate qualifies.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_safeml::distance::DistanceMeasure;
+/// use sesame_safeml::power::smallest_adequate_window;
+///
+/// let w = smallest_adequate_window(
+///     DistanceMeasure::KolmogorovSmirnov,
+///     &[10, 25, 50, 100],
+///     2.0, 0.5, 0.9, 0.05, 100, 7,
+/// );
+/// assert!(w.is_some());
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn smallest_adequate_window(
+    measure: DistanceMeasure,
+    candidates: &[usize],
+    shift_sigmas: f64,
+    threshold: f64,
+    target_power: f64,
+    max_false_alarm: f64,
+    trials: usize,
+    seed: u64,
+) -> Option<PowerEstimate> {
+    let mut sorted = candidates.to_vec();
+    sorted.sort_unstable();
+    for (i, w) in sorted.into_iter().enumerate() {
+        let e = estimate_power(
+            measure,
+            w,
+            200,
+            shift_sigmas,
+            threshold,
+            trials,
+            seed ^ (i as u64) << 8,
+        );
+        if e.power >= target_power && e.false_alarm <= max_false_alarm {
+            return Some(e);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_grows_with_window() {
+        // The threshold must sit below the shift's asymptotic KS (≈0.38
+        // for a 1σ location shift) for larger windows to help; above it
+        // the statistic concentrates *below* the threshold instead.
+        let small = estimate_power(DistanceMeasure::KolmogorovSmirnov, 5, 200, 1.0, 0.3, 200, 3);
+        let large = estimate_power(DistanceMeasure::KolmogorovSmirnov, 80, 200, 1.0, 0.3, 200, 3);
+        assert!(
+            large.power > small.power,
+            "window 80 ({}) must beat window 5 ({})",
+            large.power,
+            small.power
+        );
+        assert!(large.power > 0.9);
+    }
+
+    #[test]
+    fn threshold_above_asymptote_inverts_window_benefit() {
+        // The complementary fact: with the threshold above the asymptotic
+        // statistic, growing the window *reduces* (spurious) detections.
+        let small = estimate_power(DistanceMeasure::KolmogorovSmirnov, 5, 200, 1.0, 0.5, 200, 3);
+        let large = estimate_power(DistanceMeasure::KolmogorovSmirnov, 80, 200, 1.0, 0.5, 200, 3);
+        assert!(large.power < small.power);
+    }
+
+    #[test]
+    fn power_grows_with_shift() {
+        let weak = estimate_power(DistanceMeasure::KolmogorovSmirnov, 30, 200, 0.3, 0.5, 200, 5);
+        let strong = estimate_power(DistanceMeasure::KolmogorovSmirnov, 30, 200, 3.0, 0.5, 200, 5);
+        assert!(strong.power > weak.power);
+        assert!(strong.power > 0.95);
+    }
+
+    #[test]
+    fn false_alarm_low_for_sensible_threshold() {
+        let e = estimate_power(DistanceMeasure::KolmogorovSmirnov, 50, 200, 2.0, 0.5, 200, 9);
+        assert!(e.false_alarm < 0.1, "false alarms {}", e.false_alarm);
+        assert_eq!(e.window, 50);
+    }
+
+    #[test]
+    fn window_search_returns_smallest_adequate() {
+        let found = smallest_adequate_window(
+            DistanceMeasure::KolmogorovSmirnov,
+            &[100, 10, 50, 25],
+            2.0,
+            0.5,
+            0.9,
+            0.1,
+            100,
+            7,
+        )
+        .expect("a 2σ shift is detectable");
+        assert!(found.window <= 50, "found window {}", found.window);
+        assert!(found.power >= 0.9);
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        // A negligible shift cannot reach 99% power at tiny windows with a
+        // high threshold.
+        let none = smallest_adequate_window(
+            DistanceMeasure::KolmogorovSmirnov,
+            &[5, 10],
+            0.05,
+            0.9,
+            0.99,
+            0.05,
+            50,
+            7,
+        );
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = estimate_power(DistanceMeasure::Wasserstein, 20, 100, 1.0, 0.8, 50, 11);
+        let b = estimate_power(DistanceMeasure::Wasserstein, 20, 100, 1.0, 0.8, 50, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes must be positive")]
+    fn zero_trials_panics() {
+        let _ = estimate_power(DistanceMeasure::KolmogorovSmirnov, 10, 10, 1.0, 0.5, 0, 1);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests of the statistical distance measures and the ECDF.
+
+use proptest::prelude::*;
+use sesame_safeml::distance::{kolmogorov_smirnov, wasserstein_1, DistanceMeasure};
+use sesame_safeml::ecdf::Ecdf;
+
+fn sample() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-50.0..50.0f64, 3..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// KS is bounded by 1 and invariant under any strictly increasing
+    /// affine transform.
+    #[test]
+    fn ks_bounds_and_affine_invariance(a in sample(), b in sample(), scale in 0.1..10.0f64, shift in -5.0..5.0f64) {
+        let d = kolmogorov_smirnov(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        let ta: Vec<f64> = a.iter().map(|x| x * scale + shift).collect();
+        let tb: Vec<f64> = b.iter().map(|x| x * scale + shift).collect();
+        prop_assert!((kolmogorov_smirnov(&ta, &tb) - d).abs() < 1e-9);
+    }
+
+    /// Wasserstein-1 scales linearly with the data and obeys the triangle
+    /// inequality on equal-size samples.
+    #[test]
+    fn wasserstein_scaling_and_triangle(a in sample(), shift1 in -10.0..10.0f64, shift2 in -10.0..10.0f64) {
+        let b: Vec<f64> = a.iter().map(|x| x + shift1).collect();
+        let c: Vec<f64> = a.iter().map(|x| x + shift2).collect();
+        let ab = wasserstein_1(&a, &b);
+        prop_assert!((ab - shift1.abs()).abs() < 1e-6, "pure shift: {ab} vs {}", shift1.abs());
+        let bc = wasserstein_1(&b, &c);
+        let ac = wasserstein_1(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle: {ac} > {ab} + {bc}");
+    }
+
+    /// ECDF is a monotone step function from 0 to 1.
+    #[test]
+    fn ecdf_monotone(a in sample(), probes in proptest::collection::vec(-60.0..60.0f64, 2..20)) {
+        let e = Ecdf::new(&a).unwrap();
+        let mut sorted = probes.clone();
+        sorted.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let mut last = 0.0;
+        for p in sorted {
+            let v = e.eval(p);
+            prop_assert!((0.0..=1.0).contains(&v));
+            prop_assert!(v >= last - 1e-12);
+            last = v;
+        }
+        prop_assert_eq!(e.eval(f64::MAX), 1.0);
+        prop_assert_eq!(e.eval(-f64::MAX), 0.0);
+    }
+
+    /// Every measure grows (weakly) with a pure location shift's size.
+    #[test]
+    fn measures_weakly_monotone_in_shift(a in sample(), s in 0.1..5.0f64) {
+        for m in DistanceMeasure::ALL {
+            let near: Vec<f64> = a.iter().map(|x| x + s).collect();
+            let far: Vec<f64> = a.iter().map(|x| x + s * 10.0).collect();
+            let dn = m.compute(&a, &near);
+            let df = m.compute(&a, &far);
+            prop_assert!(df >= dn - 1e-9, "{m}: far {df} < near {dn}");
+        }
+    }
+
+    /// Pooling a sample with itself leaves the KS distance to any other
+    /// sample unchanged (ECDF invariance under duplication).
+    #[test]
+    fn ks_duplication_invariance(a in sample(), b in sample()) {
+        let doubled: Vec<f64> = a.iter().chain(a.iter()).copied().collect();
+        let d1 = kolmogorov_smirnov(&a, &b);
+        let d2 = kolmogorov_smirnov(&doubled, &b);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Uncertainty-driven altitude adaptation (§V-B).
+//!
+//! "An uncertainty threshold of 90 % is assumed. When the UAV operates at
+//! a higher altitude, the uncertainty levels from the output of SafeML,
+//! DeepKnowledge, and SINADRA exceed 90 %. Consequently, it is determined
+//! that the UAV should descend to a lower altitude to increase SAR
+//! accuracy." The policy below encodes exactly that rule, with hysteresis
+//! so the fleet does not oscillate between altitudes.
+
+/// The policy's recommendation for the current tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AltitudeDecision {
+    /// Keep the current scan altitude.
+    Maintain,
+    /// Descend to the embedded target altitude (metres).
+    DescendTo(f64),
+    /// Uncertainty is fine and the UAV may climb back for wider coverage.
+    ClimbTo(f64),
+}
+
+/// The §V-B adaptation policy.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_sar::accuracy::{AltitudeDecision, AltitudePolicy};
+///
+/// let policy = AltitudePolicy::paper_defaults();
+/// // Flying high with 93 % uncertainty: descend to the low scan altitude.
+/// assert_eq!(
+///     policy.decide(60.0, 0.93),
+///     AltitudeDecision::DescendTo(25.0)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AltitudePolicy {
+    /// Uncertainty at or above which the UAV must descend (paper: 0.9).
+    pub descend_threshold: f64,
+    /// Uncertainty below which the UAV may climb back (hysteresis band).
+    pub climb_threshold: f64,
+    /// The low scan altitude, metres (paper operating point: 25 m).
+    pub low_altitude_m: f64,
+    /// The high scan altitude, metres (wide coverage, 60 m).
+    pub high_altitude_m: f64,
+}
+
+impl AltitudePolicy {
+    /// The thresholds of the §V-B evaluation: descend at ≥90 %
+    /// uncertainty, low altitude 25 m, high altitude 60 m; climbing back
+    /// requires the uncertainty to fall below 40 %.
+    pub fn paper_defaults() -> Self {
+        AltitudePolicy {
+            descend_threshold: 0.9,
+            climb_threshold: 0.4,
+            low_altitude_m: 25.0,
+            high_altitude_m: 60.0,
+        }
+    }
+
+    /// Decides the action for a UAV at `current_alt_m` with the combined
+    /// uncertainty `uncertainty ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy is inconsistent (`climb >= descend`).
+    pub fn decide(&self, current_alt_m: f64, uncertainty: f64) -> AltitudeDecision {
+        assert!(
+            self.climb_threshold < self.descend_threshold,
+            "hysteresis band must be ordered"
+        );
+        let u = uncertainty.clamp(0.0, 1.0);
+        let mid = (self.low_altitude_m + self.high_altitude_m) / 2.0;
+        if u >= self.descend_threshold && current_alt_m > self.low_altitude_m + 1.0 {
+            AltitudeDecision::DescendTo(self.low_altitude_m)
+        } else if u < self.climb_threshold && current_alt_m < mid {
+            AltitudeDecision::ClimbTo(self.high_altitude_m)
+        } else {
+            AltitudeDecision::Maintain
+        }
+    }
+}
+
+impl Default for AltitudePolicy {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scenario_descends() {
+        let p = AltitudePolicy::paper_defaults();
+        assert_eq!(p.decide(60.0, 0.93), AltitudeDecision::DescendTo(25.0));
+    }
+
+    #[test]
+    fn already_low_maintains_despite_uncertainty() {
+        let p = AltitudePolicy::paper_defaults();
+        // At 25 m with 75 % uncertainty (the paper's post-descent state):
+        // keep scanning.
+        assert_eq!(p.decide(25.0, 0.75), AltitudeDecision::Maintain);
+        // Even at 95 % there is no lower altitude to go to.
+        assert_eq!(p.decide(25.0, 0.95), AltitudeDecision::Maintain);
+    }
+
+    #[test]
+    fn hysteresis_prevents_oscillation() {
+        let p = AltitudePolicy::paper_defaults();
+        // Low altitude, uncertainty between the thresholds: stay.
+        assert_eq!(p.decide(25.0, 0.6), AltitudeDecision::Maintain);
+        // Only genuinely low uncertainty allows climbing back.
+        assert_eq!(p.decide(25.0, 0.2), AltitudeDecision::ClimbTo(60.0));
+    }
+
+    #[test]
+    fn high_and_confident_maintains() {
+        let p = AltitudePolicy::paper_defaults();
+        assert_eq!(p.decide(60.0, 0.3), AltitudeDecision::Maintain);
+    }
+
+    #[test]
+    fn uncertainty_clamped() {
+        let p = AltitudePolicy::paper_defaults();
+        assert_eq!(p.decide(60.0, 7.0), AltitudeDecision::DescendTo(25.0));
+        assert_eq!(p.decide(25.0, -1.0), AltitudeDecision::ClimbTo(60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn inconsistent_policy_panics() {
+        let p = AltitudePolicy {
+            descend_threshold: 0.3,
+            climb_threshold: 0.5,
+            low_altitude_m: 25.0,
+            high_altitude_m: 60.0,
+        };
+        let _ = p.decide(30.0, 0.5);
+    }
+}

@@ -1,0 +1,101 @@
+//! Area decomposition into per-UAV strips.
+
+use sesame_types::geo::GeoPoint;
+
+/// One vertical strip of the area of interest, in fractional AOI
+/// coordinates (`x` east, `y` north, both in `[0, 1]`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Strip {
+    /// West edge, fractional.
+    pub x_min: f64,
+    /// East edge, fractional.
+    pub x_max: f64,
+}
+
+impl Strip {
+    /// Fractional width of the strip.
+    pub fn width(&self) -> f64 {
+        self.x_max - self.x_min
+    }
+
+    /// Fractional centre of the strip.
+    pub fn center_x(&self) -> f64 {
+        (self.x_min + self.x_max) / 2.0
+    }
+}
+
+/// Splits the AOI into `n` equal vertical strips, one per UAV — the
+/// parallel-lane pattern of Fig. 4.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_sar::area::split_strips;
+///
+/// let strips = split_strips(3);
+/// assert_eq!(strips.len(), 3);
+/// assert!((strips[1].x_min - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn split_strips(n: usize) -> Vec<Strip> {
+    assert!(n > 0, "need at least one strip");
+    (0..n)
+        .map(|i| Strip {
+            x_min: i as f64 / n as f64,
+            x_max: (i + 1) as f64 / n as f64,
+        })
+        .collect()
+}
+
+/// Converts a fractional AOI coordinate to a world position at `alt_m`,
+/// given the AOI's south-west `origin` and extents.
+pub fn to_world(origin: &GeoPoint, width_m: f64, height_m: f64, fx: f64, fy: f64, alt_m: f64) -> GeoPoint {
+    origin
+        .destination(90.0, fx.clamp(0.0, 1.0) * width_m)
+        .destination(0.0, fy.clamp(0.0, 1.0) * height_m)
+        .with_alt(alt_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_partition_unit_interval() {
+        let strips = split_strips(4);
+        assert_eq!(strips[0].x_min, 0.0);
+        assert_eq!(strips[3].x_max, 1.0);
+        for w in strips.windows(2) {
+            assert!((w[0].x_max - w[1].x_min).abs() < 1e-12, "no gaps");
+        }
+        let total: f64 = strips.iter().map(|s| s.width()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_strip_covers_everything() {
+        let strips = split_strips(1);
+        assert_eq!(strips.len(), 1);
+        assert_eq!(strips[0].width(), 1.0);
+        assert_eq!(strips[0].center_x(), 0.5);
+    }
+
+    #[test]
+    fn to_world_is_metric() {
+        let origin = GeoPoint::new(35.0, 33.0, 0.0);
+        let p = to_world(&origin, 300.0, 200.0, 0.5, 1.0, 30.0);
+        let enu = p.to_enu(&origin);
+        assert!((enu.east_m - 150.0).abs() < 0.5);
+        assert!((enu.north_m - 200.0).abs() < 0.5);
+        assert_eq!(p.alt_m, 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one strip")]
+    fn zero_strips_panics() {
+        let _ = split_strips(0);
+    }
+}

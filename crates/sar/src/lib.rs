@@ -1,0 +1,31 @@
+//! Search-and-rescue algorithms: coverage planning, task allocation,
+//! mission tracking, accuracy adaptation.
+//!
+//! The paper's use case (§IV) flies three UAVs over a designated area in
+//! parallel strips ("the red, light red, and green lines" of Fig. 4),
+//! detecting persons and reallocating strips when a UAV drops out. This
+//! crate provides:
+//!
+//! * [`area`] — decomposition of the rectangular area of interest into
+//!   per-UAV strips;
+//! * [`coverage`] — boustrophedon (lawnmower) waypoint generation with
+//!   line spacing derived from the camera footprint;
+//! * [`allocation`] — strip assignment and the greedy redistribution that
+//!   implements the mission decider's "redistribute task among remaining
+//!   capable UAVs";
+//! * [`mission`] — the SAR mission state machine: per-task progress,
+//!   person findings with de-duplication, completion fraction;
+//! * [`accuracy`] — the §V-B uncertainty-driven altitude adaptation
+//!   policy (descend when uncertainty exceeds the threshold).
+
+pub mod accuracy;
+pub mod allocation;
+pub mod area;
+pub mod coverage;
+pub mod mission;
+
+pub use accuracy::{AltitudePolicy, AltitudeDecision};
+pub use allocation::Allocation;
+pub use area::Strip;
+pub use coverage::boustrophedon_path;
+pub use mission::{Finding, SarMission, TaskState};

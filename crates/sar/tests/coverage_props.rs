@@ -1,0 +1,91 @@
+//! Property tests of the coverage planner and allocation.
+
+use proptest::prelude::*;
+use sesame_sar::allocation::Allocation;
+use sesame_sar::area::split_strips;
+use sesame_sar::coverage::{boustrophedon_path, path_length_m};
+use sesame_types::geo::GeoPoint;
+use sesame_types::ids::{TaskId, UavId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Strips always partition [0, 1] without gaps or overlaps.
+    #[test]
+    fn strips_partition(n in 1usize..12) {
+        let strips = split_strips(n);
+        prop_assert_eq!(strips.len(), n);
+        prop_assert!((strips[0].x_min).abs() < 1e-12);
+        prop_assert!((strips[n - 1].x_max - 1.0).abs() < 1e-12);
+        for w in strips.windows(2) {
+            prop_assert!((w[0].x_max - w[1].x_min).abs() < 1e-12);
+        }
+    }
+
+    /// Every lane of a boustrophedon path lies inside its strip, and
+    /// consecutive-lane spacing never exceeds the coverage diameter.
+    #[test]
+    fn lanes_inside_strip_and_covering(
+        width in 60.0..800.0f64,
+        height in 60.0..800.0f64,
+        n in 1usize..5,
+        footprint in 10.0..60.0f64,
+    ) {
+        let origin = GeoPoint::new(35.0, 33.0, 0.0);
+        for strip in split_strips(n) {
+            let path = boustrophedon_path(&origin, width, height, &strip, 30.0, footprint);
+            prop_assert!(path.len() >= 2);
+            let lanes: Vec<f64> = path
+                .iter()
+                .step_by(2)
+                .map(|p| p.to_enu(&origin).east_m)
+                .collect();
+            for lane in &lanes {
+                prop_assert!(
+                    *lane >= strip.x_min * width - footprint - 1.0
+                        && *lane <= strip.x_max * width + 1.0,
+                    "lane {lane} outside strip [{}, {}]",
+                    strip.x_min * width,
+                    strip.x_max * width
+                );
+            }
+            for w in lanes.windows(2) {
+                prop_assert!(w[1] - w[0] <= 2.0 * footprint + 1e-6, "gap {}", w[1] - w[0]);
+            }
+        }
+    }
+
+    /// Path length is monotone in area height for a fixed strip.
+    #[test]
+    fn path_length_monotone_in_height(h1 in 60.0..400.0f64, extra in 10.0..400.0f64) {
+        let origin = GeoPoint::new(35.0, 33.0, 0.0);
+        let strip = split_strips(1)[0];
+        let short = boustrophedon_path(&origin, 200.0, h1, &strip, 30.0, 25.0);
+        let tall = boustrophedon_path(&origin, 200.0, h1 + extra, &strip, 30.0, 25.0);
+        prop_assert!(path_length_m(&tall) > path_length_m(&short));
+    }
+
+    /// Redistribution conserves total remaining work.
+    #[test]
+    fn redistribution_conserves_work(
+        works in proptest::collection::vec(10.0..500.0f64, 3..6),
+        progress in proptest::collection::vec(0.0..1.0f64, 3..6),
+    ) {
+        let n = works.len().min(progress.len());
+        let mut alloc = Allocation::new();
+        for i in 0..n {
+            alloc.assign(TaskId::new(i as u32), UavId::new(i as u32 + 1), works[i]);
+            alloc.record_progress(TaskId::new(i as u32), works[i] * progress[i]);
+        }
+        let before: f64 = (0..n).map(|i| alloc.remaining(TaskId::new(i as u32))).sum();
+        let capable: Vec<UavId> = (1..n).map(|i| UavId::new(i as u32 + 1)).collect();
+        let _ = alloc.redistribute_from(UavId::new(1), &capable);
+        let after: f64 = (0..n).map(|i| alloc.remaining(TaskId::new(i as u32))).sum();
+        prop_assert!((before - after).abs() < 1e-9);
+        if !capable.is_empty() {
+            prop_assert!(alloc.tasks_of(UavId::new(1))
+                .iter()
+                .all(|t| alloc.remaining(*t) == 0.0));
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Attack trees with CAPEC metadata and leaf-to-root tracing.
+
+use sesame_types::events::Severity;
+use std::collections::HashSet;
+
+/// A leaf attack step, carrying the metadata fields the paper lists for
+/// each attack scenario: "capecId, title, description, severity,
+/// likelihood, and mitigation".
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackLeaf {
+    /// Stable id the IDS rule mapping uses.
+    pub id: String,
+    /// CAPEC catalogue id (e.g. "CAPEC-148" for content spoofing).
+    pub capec_id: String,
+    /// Short title.
+    pub title: String,
+    /// Longer description.
+    pub description: String,
+    /// Severity if this step succeeds.
+    pub severity: Severity,
+    /// Qualitative likelihood in `[0, 1]`.
+    pub likelihood: f64,
+    /// Recommended mitigation.
+    pub mitigation: String,
+}
+
+impl AttackLeaf {
+    /// Creates a leaf with the given id/CAPEC/title and defaults for the
+    /// prose fields.
+    pub fn new(id: impl Into<String>, capec_id: impl Into<String>, title: impl Into<String>) -> Self {
+        AttackLeaf {
+            id: id.into(),
+            capec_id: capec_id.into(),
+            title: title.into(),
+            description: String::new(),
+            severity: Severity::Critical,
+            likelihood: 0.5,
+            mitigation: String::new(),
+        }
+    }
+
+    /// Builder-style severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Builder-style likelihood (clamped to `[0, 1]`).
+    pub fn with_likelihood(mut self, likelihood: f64) -> Self {
+        self.likelihood = likelihood.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder-style mitigation text.
+    pub fn with_mitigation(mut self, mitigation: impl Into<String>) -> Self {
+        self.mitigation = mitigation.into();
+        self
+    }
+
+    /// Builder-style description text.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+}
+
+/// A node of the attack tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackNode {
+    /// An atomic attack step.
+    Leaf(AttackLeaf),
+    /// All children must succeed.
+    And {
+        /// Gate label.
+        title: String,
+        /// Sub-goals.
+        children: Vec<AttackNode>,
+    },
+    /// Any child suffices.
+    Or {
+        /// Gate label.
+        title: String,
+        /// Sub-goals.
+        children: Vec<AttackNode>,
+    },
+}
+
+impl AttackNode {
+    /// All leaf ids below this node.
+    pub fn leaf_ids(&self) -> Vec<&str> {
+        match self {
+            AttackNode::Leaf(l) => vec![l.id.as_str()],
+            AttackNode::And { children, .. } | AttackNode::Or { children, .. } => {
+                children.iter().flat_map(|c| c.leaf_ids()).collect()
+            }
+        }
+    }
+}
+
+/// The dynamic status of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeStatus {
+    /// No triggered leaves.
+    Quiet,
+    /// Some leaves triggered but the root goal is not yet reached.
+    InProgress,
+    /// The adversary's end goal is achieved — a critical security event.
+    RootReached,
+}
+
+/// An attack tree plus its runtime trigger state.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_security::attack_tree::{AttackLeaf, AttackNode, AttackTree};
+///
+/// let tree = AttackTree::new(
+///     "demo",
+///     AttackNode::And {
+///         title: "goal".into(),
+///         children: vec![
+///             AttackNode::Leaf(AttackLeaf::new("a", "CAPEC-1", "step a")),
+///             AttackNode::Leaf(AttackLeaf::new("b", "CAPEC-2", "step b")),
+///         ],
+///     },
+/// );
+/// let mut state = tree.fresh_state();
+/// state.trigger("a");
+/// assert!(!state.root_reached());
+/// state.trigger("b");
+/// assert!(state.root_reached());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackTree {
+    /// Tree name (the adversary goal).
+    pub name: String,
+    /// Root node.
+    pub root: AttackNode,
+}
+
+impl AttackTree {
+    /// Creates a tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two leaves share an id.
+    pub fn new(name: impl Into<String>, root: AttackNode) -> Self {
+        let tree = AttackTree {
+            name: name.into(),
+            root,
+        };
+        let mut ids = tree.root.leaf_ids();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "leaf ids must be unique");
+        tree
+    }
+
+    /// Creates an empty trigger state for this tree.
+    pub fn fresh_state(&self) -> TreeState<'_> {
+        TreeState {
+            tree: self,
+            triggered: HashSet::new(),
+        }
+    }
+
+    /// Finds a leaf by id.
+    pub fn leaf(&self, id: &str) -> Option<&AttackLeaf> {
+        fn walk<'a>(node: &'a AttackNode, id: &str) -> Option<&'a AttackLeaf> {
+            match node {
+                AttackNode::Leaf(l) => (l.id == id).then_some(l),
+                AttackNode::And { children, .. } | AttackNode::Or { children, .. } => {
+                    children.iter().find_map(|c| walk(c, id))
+                }
+            }
+        }
+        walk(&self.root, id)
+    }
+}
+
+/// Runtime trigger state over a borrowed tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeState<'t> {
+    tree: &'t AttackTree,
+    triggered: HashSet<String>,
+}
+
+impl<'t> TreeState<'t> {
+    /// Marks the leaf `id` as observed. Unknown ids are ignored (an alert
+    /// may belong to another tree) and reported as `false`.
+    pub fn trigger(&mut self, id: &str) -> bool {
+        if self.tree.leaf(id).is_some() {
+            self.triggered.insert(id.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The triggered leaf ids.
+    pub fn triggered(&self) -> impl Iterator<Item = &str> {
+        self.triggered.iter().map(|s| s.as_str())
+    }
+
+    /// Whether the root goal is currently satisfied.
+    pub fn root_reached(&self) -> bool {
+        self.satisfied(&self.tree.root)
+    }
+
+    /// Current status classification.
+    pub fn status(&self) -> TreeStatus {
+        if self.root_reached() {
+            TreeStatus::RootReached
+        } else if self.triggered.is_empty() {
+            TreeStatus::Quiet
+        } else {
+            TreeStatus::InProgress
+        }
+    }
+
+    fn satisfied(&self, node: &AttackNode) -> bool {
+        match node {
+            AttackNode::Leaf(l) => self.triggered.contains(&l.id),
+            AttackNode::And { children, .. } => children.iter().all(|c| self.satisfied(c)),
+            AttackNode::Or { children, .. } => children.iter().any(|c| self.satisfied(c)),
+        }
+    }
+
+    /// Traces the satisfied path from leaves to root: the titles of every
+    /// satisfied node, leaves first, ending in the tree name. Empty when
+    /// the root is not reached.
+    pub fn attack_path(&self) -> Vec<String> {
+        if !self.root_reached() {
+            return Vec::new();
+        }
+        let mut path = Vec::new();
+        self.collect_path(&self.tree.root, &mut path);
+        path.push(self.tree.name.clone());
+        path
+    }
+
+    fn collect_path(&self, node: &AttackNode, out: &mut Vec<String>) {
+        match node {
+            AttackNode::Leaf(l) => {
+                if self.triggered.contains(&l.id) {
+                    out.push(l.title.clone());
+                }
+            }
+            AttackNode::And { title, children } => {
+                for c in children {
+                    self.collect_path(c, out);
+                }
+                out.push(title.clone());
+            }
+            AttackNode::Or { title, children } => {
+                // Only the satisfied branch contributes.
+                for c in children {
+                    if self.satisfied(c) {
+                        self.collect_path(c, out);
+                        break;
+                    }
+                }
+                out.push(title.clone());
+            }
+        }
+    }
+
+    /// Clears all triggers (e.g. after mitigation).
+    pub fn reset(&mut self) {
+        self.triggered.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn or_of_and() -> AttackTree {
+        AttackTree::new(
+            "take over uav",
+            AttackNode::Or {
+                title: "entry".into(),
+                children: vec![
+                    AttackNode::And {
+                        title: "network path".into(),
+                        children: vec![
+                            AttackNode::Leaf(AttackLeaf::new("scan", "CAPEC-169", "scan network")),
+                            AttackNode::Leaf(AttackLeaf::new("inject", "CAPEC-148", "inject msgs")),
+                        ],
+                    },
+                    AttackNode::Leaf(AttackLeaf::new("physical", "CAPEC-390", "physical access")),
+                ],
+            },
+        )
+    }
+
+    #[test]
+    fn status_progression() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        assert_eq!(st.status(), TreeStatus::Quiet);
+        assert!(st.trigger("scan"));
+        assert_eq!(st.status(), TreeStatus::InProgress);
+        assert!(st.trigger("inject"));
+        assert_eq!(st.status(), TreeStatus::RootReached);
+    }
+
+    #[test]
+    fn or_branch_alone_reaches_root() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        st.trigger("physical");
+        assert!(st.root_reached());
+        let path = st.attack_path();
+        assert_eq!(path, vec!["physical access", "entry", "take over uav"]);
+    }
+
+    #[test]
+    fn and_requires_all_children() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        st.trigger("inject");
+        assert!(!st.root_reached());
+        assert!(st.attack_path().is_empty());
+    }
+
+    #[test]
+    fn unknown_leaf_ignored() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        assert!(!st.trigger("nonexistent"));
+        assert_eq!(st.status(), TreeStatus::Quiet);
+    }
+
+    #[test]
+    fn path_through_and_lists_both_leaves() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        st.trigger("scan");
+        st.trigger("inject");
+        let path = st.attack_path();
+        assert_eq!(
+            path,
+            vec!["scan network", "inject msgs", "network path", "entry", "take over uav"]
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let tree = or_of_and();
+        let mut st = tree.fresh_state();
+        st.trigger("physical");
+        st.reset();
+        assert_eq!(st.status(), TreeStatus::Quiet);
+        assert_eq!(st.triggered().count(), 0);
+    }
+
+    #[test]
+    fn leaf_metadata_builder() {
+        let l = AttackLeaf::new("x", "CAPEC-1", "t")
+            .with_severity(Severity::Emergency)
+            .with_likelihood(2.0)
+            .with_mitigation("sign messages")
+            .with_description("d");
+        assert_eq!(l.severity, Severity::Emergency);
+        assert_eq!(l.likelihood, 1.0);
+        assert_eq!(l.mitigation, "sign messages");
+        assert_eq!(l.description, "d");
+    }
+
+    #[test]
+    fn leaf_lookup() {
+        let tree = or_of_and();
+        assert_eq!(tree.leaf("scan").unwrap().capec_id, "CAPEC-169");
+        assert!(tree.leaf("zzz").is_none());
+        assert_eq!(tree.root.leaf_ids().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_leaf_ids_panic() {
+        let _ = AttackTree::new(
+            "bad",
+            AttackNode::Or {
+                title: "o".into(),
+                children: vec![
+                    AttackNode::Leaf(AttackLeaf::new("a", "c", "t1")),
+                    AttackNode::Leaf(AttackLeaf::new("a", "c", "t2")),
+                ],
+            },
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! The attack-tree library for the multi-UAV platform.
+//!
+//! One tree per adversary goal the paper's threat model names (§I, §III-B,
+//! §V-C): ROS message spoofing, GPS spoofing, man-in-the-middle on the
+//! command channel, and a replay/flooding denial of service. Leaf ids
+//! double as the IDS rule names that trigger them (see
+//! [`crate::ids`]).
+
+use crate::attack_tree::{AttackLeaf, AttackNode, AttackTree};
+use sesame_types::events::Severity;
+
+/// The ROS message spoofing tree — the §V-C evaluation scenario: falsified
+/// data injected "to manipulate the UAVs area mapping system".
+pub fn ros_message_spoofing() -> AttackTree {
+    AttackTree::new(
+        "ros message spoofing",
+        AttackNode::And {
+            title: "inject falsified mapping commands".into(),
+            children: vec![
+                AttackNode::Or {
+                    title: "gain bus access".into(),
+                    children: vec![
+                        AttackNode::Leaf(
+                            AttackLeaf::new("rate_flood", "CAPEC-125", "probe/flood the bus")
+                                .with_severity(Severity::Warning)
+                                .with_likelihood(0.6)
+                                .with_mitigation("rate-limit unauthenticated publishers"),
+                        ),
+                        AttackNode::Leaf(
+                            AttackLeaf::new("unsigned_publisher", "CAPEC-148", "publish without authentication")
+                                .with_severity(Severity::Critical)
+                                .with_likelihood(0.8)
+                                .with_description(
+                                    "stock ROS topics accept any publisher; the adversary \
+                                     registers as a command source",
+                                )
+                                .with_mitigation("require signed messages on command topics"),
+                        ),
+                    ],
+                },
+                AttackNode::Leaf(
+                    AttackLeaf::new("waypoint_deviation", "CAPEC-151", "forge waypoint stream")
+                        .with_severity(Severity::Emergency)
+                        .with_likelihood(0.7)
+                        .with_description("forged waypoints bend the area-mapping trajectory")
+                        .with_mitigation("cross-check commanded waypoints against mission plan"),
+                ),
+            ],
+        },
+    )
+}
+
+/// The GPS spoofing tree: falsified satellite signals move the UAV's
+/// position solution.
+pub fn gps_spoofing() -> AttackTree {
+    AttackTree::new(
+        "gps spoofing",
+        AttackNode::And {
+            title: "capture position solution".into(),
+            children: vec![
+                AttackNode::Leaf(
+                    AttackLeaf::new("gps_anomaly", "CAPEC-627", "broadcast counterfeit GNSS")
+                        .with_severity(Severity::Critical)
+                        .with_likelihood(0.4)
+                        .with_mitigation("monitor C/N0 and constellation consistency"),
+                ),
+                AttackNode::Leaf(
+                    AttackLeaf::new("position_jump", "CAPEC-607", "drag position estimate")
+                        .with_severity(Severity::Emergency)
+                        .with_likelihood(0.5)
+                        .with_description("the solution diverges from inertial dead reckoning")
+                        .with_mitigation("innovation gating against dead reckoning; collaborative localization"),
+                ),
+            ],
+        },
+    )
+}
+
+/// Man-in-the-middle on the command channel.
+pub fn mitm_command_channel() -> AttackTree {
+    AttackTree::new(
+        "mitm command channel",
+        AttackNode::And {
+            title: "alter commands in flight".into(),
+            children: vec![
+                AttackNode::Leaf(
+                    AttackLeaf::new("bad_signature", "CAPEC-94", "tamper signed traffic")
+                        .with_severity(Severity::Critical)
+                        .with_likelihood(0.3)
+                        .with_mitigation("reject messages failing authentication"),
+                ),
+                AttackNode::Leaf(
+                    AttackLeaf::new("waypoint_deviation_mitm", "CAPEC-151", "shift waypoints")
+                        .with_severity(Severity::Emergency)
+                        .with_likelihood(0.5)
+                        .with_mitigation("plan cross-check"),
+                ),
+            ],
+        },
+    )
+}
+
+/// Replay / flooding denial of service.
+pub fn replay_dos() -> AttackTree {
+    AttackTree::new(
+        "replay denial of service",
+        AttackNode::Or {
+            title: "disrupt command delivery".into(),
+            children: vec![
+                AttackNode::Leaf(
+                    AttackLeaf::new("replay", "CAPEC-94", "replay stale commands")
+                        .with_severity(Severity::Critical)
+                        .with_likelihood(0.6)
+                        .with_mitigation("sequence-number freshness checks"),
+                ),
+                AttackNode::Leaf(
+                    AttackLeaf::new("rate_flood_dos", "CAPEC-125", "flood command topics")
+                        .with_severity(Severity::Warning)
+                        .with_likelihood(0.7)
+                        .with_mitigation("per-sender rate limiting"),
+                ),
+            ],
+        },
+    )
+}
+
+/// Every catalogued tree.
+pub fn all_trees() -> Vec<AttackTree> {
+    vec![
+        ros_message_spoofing(),
+        gps_spoofing(),
+        mitm_command_channel(),
+        replay_dos(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_builds_and_names_are_unique() {
+        let trees = all_trees();
+        assert_eq!(trees.len(), 4);
+        let mut names: Vec<&str> = trees.iter().map(|t| t.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn leaf_ids_are_globally_unique_across_catalog() {
+        let trees = all_trees();
+        let mut ids: Vec<String> = trees
+            .iter()
+            .flat_map(|t| t.root.leaf_ids().into_iter().map(String::from))
+            .collect();
+        let before = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "ids must not collide between trees");
+    }
+
+    #[test]
+    fn spoofing_tree_requires_access_and_forgery() {
+        let tree = ros_message_spoofing();
+        let mut st = tree.fresh_state();
+        st.trigger("unsigned_publisher");
+        assert!(!st.root_reached(), "access alone is not the goal");
+        st.trigger("waypoint_deviation");
+        assert!(st.root_reached());
+    }
+
+    #[test]
+    fn every_leaf_has_capec_and_mitigation() {
+        for tree in all_trees() {
+            for id in tree.root.leaf_ids() {
+                let leaf = tree.leaf(id).unwrap();
+                assert!(leaf.capec_id.starts_with("CAPEC-"), "{id}");
+                assert!(!leaf.mitigation.is_empty(), "{id} lacks mitigation");
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Graphviz export of attack trees.
+//!
+//! The Security EDDI workflow generates attack trees at design time
+//! (§III-B); this renders them for review, with leaves carrying their
+//! CAPEC id and severity, and — when a `TreeState`'s triggered set is
+//! supplied — highlighting the live attack path.
+
+use crate::attack_tree::{AttackNode, AttackTree};
+use sesame_types::events::Severity;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Renders the tree as a Graphviz `digraph`. Leaves in `triggered` are
+/// filled red; gates whose condition is satisfied by `triggered` are
+/// outlined red.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_security::catalog;
+/// use sesame_security::export::to_dot;
+/// use std::collections::HashSet;
+///
+/// let tree = catalog::ros_message_spoofing();
+/// let dot = to_dot(&tree, &HashSet::new());
+/// assert!(dot.contains("CAPEC-148"));
+/// ```
+pub fn to_dot(tree: &AttackTree, triggered: &HashSet<String>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&tree.name));
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [fontname=\"Helvetica\"];");
+    let mut counter = 0usize;
+    walk(&tree.root, triggered, &mut out, &mut counter);
+    out.push_str("}\n");
+    out
+}
+
+fn satisfied(node: &AttackNode, triggered: &HashSet<String>) -> bool {
+    match node {
+        AttackNode::Leaf(l) => triggered.contains(&l.id),
+        AttackNode::And { children, .. } => children.iter().all(|c| satisfied(c, triggered)),
+        AttackNode::Or { children, .. } => children.iter().any(|c| satisfied(c, triggered)),
+    }
+}
+
+fn walk(
+    node: &AttackNode,
+    triggered: &HashSet<String>,
+    out: &mut String,
+    counter: &mut usize,
+) -> String {
+    let id = format!("a{}", *counter);
+    *counter += 1;
+    match node {
+        AttackNode::Leaf(l) => {
+            let fill = if triggered.contains(&l.id) {
+                ", style=filled, fillcolor=\"#ffb3b3\""
+            } else {
+                ""
+            };
+            let sev = match l.severity {
+                Severity::Info => "info",
+                Severity::Warning => "warning",
+                Severity::Critical => "critical",
+                Severity::Emergency => "emergency",
+            };
+            let _ = writeln!(
+                out,
+                "  {id} [shape=ellipse{fill}, label=\"{}\\n{} / {sev}\"];",
+                escape(&l.title),
+                escape(&l.capec_id)
+            );
+        }
+        AttackNode::And { title, children } | AttackNode::Or { title, children } => {
+            let gate = if matches!(node, AttackNode::And { .. }) {
+                "AND"
+            } else {
+                "OR"
+            };
+            let outline = if satisfied(node, triggered) {
+                ", color=red, penwidth=2"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {id} [shape=box{outline}, label=\"{gate}: {}\"];",
+                escape(title)
+            );
+            for c in children {
+                let child = walk(c, triggered, out, counter);
+                let _ = writeln!(out, "  {child} -> {id};");
+            }
+        }
+    }
+    id
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn quiet_tree_has_no_highlights() {
+        let dot = to_dot(&catalog::gps_spoofing(), &HashSet::new());
+        assert!(!dot.contains("fillcolor"));
+        assert!(!dot.contains("penwidth"));
+        assert!(dot.contains("CAPEC-627"));
+        assert!(dot.contains("emergency") || dot.contains("critical"));
+    }
+
+    #[test]
+    fn triggered_leaves_and_satisfied_gates_highlight() {
+        let tree = catalog::ros_message_spoofing();
+        let mut triggered = HashSet::new();
+        triggered.insert("unsigned_publisher".to_string());
+        triggered.insert("waypoint_deviation".to_string());
+        let dot = to_dot(&tree, &triggered);
+        assert_eq!(dot.matches("fillcolor").count(), 2);
+        // Both the OR entry gate and the AND root are satisfied.
+        assert_eq!(dot.matches("penwidth").count(), 2);
+    }
+
+    #[test]
+    fn edge_direction_is_leaf_to_root() {
+        // rankdir=BT with child -> parent edges: leaves at the bottom.
+        let dot = to_dot(&catalog::replay_dos(), &HashSet::new());
+        assert!(dot.contains("rankdir=BT"));
+        assert!(dot.matches("->").count() >= 2);
+    }
+}

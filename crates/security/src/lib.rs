@@ -1,0 +1,34 @@
+//! Security EDDI — attack trees, intrusion detection, spoofing detection.
+//!
+//! Reproduces the Security EDDI framework of the paper (§III-B): attack
+//! trees "outline all possible attack scenarios based on identified cyber
+//! and physical vulnerabilities", each scenario carrying CAPEC-style
+//! metadata; an IDS "inspects network traffic and publishes alerts upon
+//! detecting suspicious activity" to an MQTT topic; per-tree EDDI scripts
+//! subscribe, trace alerts "from the leaf nodes toward the root", and
+//! reaching the root "implies the adversary's end goal is achieved".
+//!
+//! * [`attack_tree`] — the tree model with AND/OR gates and CAPEC leaf
+//!   metadata, plus leaf-to-root path tracing;
+//! * [`catalog`] — trees for the attacks the paper names: ROS message
+//!   spoofing (§V-C), GPS spoofing, man-in-the-middle, replay/DoS;
+//! * [`ids`] — rule-based traffic inspection over the
+//!   `sesame-middleware` bus (signature, replay, rate, position-innovation
+//!   checks);
+//! * [`eddi`] — the per-tree Security EDDI script: broker subscription,
+//!   leaf triggering, root detection;
+//! * [`spoof`] — the GPS/position spoofing detector (dead-reckoning
+//!   innovation + collaborative cross-check) that feeds the §V-C
+//!   mitigation.
+
+pub mod export;
+pub mod attack_tree;
+pub mod catalog;
+pub mod eddi;
+pub mod ids;
+pub mod spoof;
+
+pub use attack_tree::{AttackLeaf, AttackNode, AttackTree, TreeStatus};
+pub use eddi::{SecurityEddi, SecurityStatus};
+pub use ids::{Ids, IdsConfig, IdsRule};
+pub use spoof::{SpoofDetector, SpoofVerdict};

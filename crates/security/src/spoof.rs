@@ -1,0 +1,232 @@
+//! GPS / position spoofing detection.
+//!
+//! The §V-C scenario: falsified position data drag a UAV's area-mapping
+//! trajectory. The detector cross-checks each reported GPS fix against a
+//! dead-reckoned prediction from the last trusted position and the
+//! commanded velocity; an innovation larger than physics allows (plus
+//! noise margin) marks the fix as spoofed. A second, collaborative check
+//! compares the fix with an externally supplied position estimate (from
+//! collaborative localization), which also works when the receiver is
+//! fully captured.
+
+use sesame_types::geo::GeoPoint;
+use sesame_types::geo::Vec3;
+use sesame_types::time::SimTime;
+
+/// One verdict for a reported fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpoofVerdict {
+    /// Whether the fix is judged spoofed.
+    pub spoofed: bool,
+    /// Innovation against dead reckoning, metres.
+    pub innovation_m: f64,
+    /// The gate the innovation was compared to, metres.
+    pub gate_m: f64,
+}
+
+/// The spoofing detector for one UAV.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_security::spoof::SpoofDetector;
+/// use sesame_types::geo::{GeoPoint, Vec3};
+/// use sesame_types::time::SimTime;
+///
+/// let start = GeoPoint::new(35.0, 33.0, 40.0);
+/// let mut det = SpoofDetector::new(start, 20.0);
+/// // A plausible next fix 1 s later, 5 m east while flying east at 5 m/s.
+/// let fix = start.destination(90.0, 5.0);
+/// let v = det.check(&fix, Vec3::new(5.0, 0.0, 0.0), SimTime::from_secs(1));
+/// assert!(!v.spoofed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpoofDetector {
+    last_trusted: GeoPoint,
+    last_time: SimTime,
+    /// Long-horizon dead-reckoning anchor (advanced only by commanded
+    /// velocity; catches slow drags that stay under the per-step gate).
+    dr_anchor: GeoPoint,
+    dr_elapsed: f64,
+    /// Maximum plausible speed of the airframe, m/s.
+    pub max_speed_mps: f64,
+    /// Base noise margin of the gate, metres.
+    pub noise_margin_m: f64,
+    consecutive_hits: u32,
+    cumulative_hits: u32,
+    /// Consecutive gated fixes required before declaring spoofing.
+    pub confirm_count: u32,
+    /// Seconds between re-anchoring the long-horizon check when the track
+    /// is consistent.
+    pub reanchor_secs: f64,
+}
+
+impl SpoofDetector {
+    /// Creates a detector anchored at the launch position.
+    pub fn new(initial: GeoPoint, max_speed_mps: f64) -> Self {
+        SpoofDetector {
+            last_trusted: initial,
+            last_time: SimTime::ZERO,
+            dr_anchor: initial,
+            dr_elapsed: 0.0,
+            max_speed_mps,
+            noise_margin_m: 8.0,
+            consecutive_hits: 0,
+            cumulative_hits: 0,
+            confirm_count: 3,
+            reanchor_secs: 10.0,
+        }
+    }
+
+    /// Checks a reported fix against dead reckoning from the last trusted
+    /// position with the current commanded `velocity`. Two gates run in
+    /// parallel: a per-step innovation gate (catches jumps) and a
+    /// long-horizon cumulative gate against a pure dead-reckoning anchor
+    /// (catches slow meaconing drags that stay under the per-step gate).
+    /// Both require [`SpoofDetector::confirm_count`] consecutive hits.
+    pub fn check(&mut self, fix: &GeoPoint, velocity: Vec3, now: SimTime) -> SpoofVerdict {
+        let dt = now.since(self.last_time).as_secs_f64();
+        // Per-step gate against the last trusted position.
+        let predicted = {
+            let enu_step = Vec3::new(velocity.x * dt, velocity.y * dt, velocity.z * dt);
+            GeoPoint::from_enu(&self.last_trusted, enu_step.into())
+        };
+        let innovation = predicted.distance_3d_m(fix);
+        let gate = self.noise_margin_m + 0.5 * self.max_speed_mps * dt;
+        if innovation > gate {
+            self.consecutive_hits += 1;
+            // Keep dead-reckoning from the prediction, not the bad fix.
+            self.last_trusted = predicted;
+        } else {
+            self.consecutive_hits = 0;
+            self.last_trusted = *fix;
+        }
+
+        // Long-horizon cumulative gate: the anchor only moves by commanded
+        // velocity, so a drag accumulates against it.
+        self.dr_anchor = {
+            let enu_step = Vec3::new(velocity.x * dt, velocity.y * dt, velocity.z * dt);
+            GeoPoint::from_enu(&self.dr_anchor, enu_step.into())
+        };
+        self.dr_elapsed += dt;
+        let cumulative = self.dr_anchor.distance_3d_m(fix);
+        let cum_gate = self.noise_margin_m + 0.1 * self.max_speed_mps * self.dr_elapsed.sqrt();
+        if cumulative > cum_gate {
+            self.cumulative_hits += 1;
+        } else {
+            self.cumulative_hits = 0;
+            if self.dr_elapsed >= self.reanchor_secs {
+                // Consistent for a whole window: accept accumulated control
+                // error and re-anchor.
+                self.dr_anchor = *fix;
+                self.dr_elapsed = 0.0;
+            }
+        }
+
+        self.last_time = now;
+        SpoofVerdict {
+            spoofed: self.consecutive_hits >= self.confirm_count
+                || self.cumulative_hits >= self.confirm_count,
+            innovation_m: innovation,
+            gate_m: gate,
+        }
+    }
+
+    /// Collaborative cross-check: compares the reported fix with an
+    /// independent position estimate (e.g. from collaborative
+    /// localization) of 1-σ accuracy `estimate_sigma_m`. Returns `true`
+    /// when they disagree beyond 5 σ + noise margin.
+    pub fn cross_check(&self, fix: &GeoPoint, estimate: &GeoPoint, estimate_sigma_m: f64) -> bool {
+        let disagreement = fix.distance_3d_m(estimate);
+        disagreement > 5.0 * estimate_sigma_m + self.noise_margin_m
+    }
+
+    /// The current dead-reckoning anchor (last trusted position).
+    pub fn anchor(&self) -> GeoPoint {
+        self.last_trusted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 40.0)
+    }
+
+    #[test]
+    fn consistent_track_never_flags() {
+        let mut det = SpoofDetector::new(start(), 15.0);
+        let mut pos = start();
+        for s in 1..=60u64 {
+            pos = pos.destination(90.0, 5.0); // 5 m/s east
+            let v = det.check(&pos, Vec3::new(5.0, 0.0, 0.0), SimTime::from_secs(s));
+            assert!(!v.spoofed, "t={s}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn sudden_jump_flags_after_confirmation() {
+        let mut det = SpoofDetector::new(start(), 15.0);
+        let mut verdicts = Vec::new();
+        for s in 1..=10u64 {
+            // Spoofer teleports the fix 300 m north and drags it.
+            let fix = start().destination(0.0, 300.0 + s as f64 * 10.0);
+            verdicts.push(det.check(&fix, Vec3::zero(), SimTime::from_secs(s)));
+        }
+        assert!(!verdicts[0].spoofed, "first hit only counts");
+        assert!(verdicts[2].spoofed, "third consecutive hit confirms");
+        assert!(verdicts.last().unwrap().spoofed);
+        assert!(verdicts[0].innovation_m > 250.0);
+    }
+
+    #[test]
+    fn slow_drag_cannot_walk_the_anchor() {
+        // A classic meaconing attack drags the fix a little per epoch; the
+        // anchor must not follow the drag.
+        let mut det = SpoofDetector::new(start(), 15.0);
+        let mut flagged = false;
+        for s in 1..=120u64 {
+            // Hovering UAV (zero velocity) dragged 3 m/s north.
+            let fix = start().destination(0.0, 3.0 * s as f64);
+            let v = det.check(&fix, Vec3::zero(), SimTime::from_secs(s));
+            flagged |= v.spoofed;
+        }
+        assert!(flagged, "cumulative drag must eventually exceed the gate");
+    }
+
+    #[test]
+    fn recovery_resets_confirmation() {
+        let mut det = SpoofDetector::new(start(), 15.0);
+        let jump = start().destination(0.0, 500.0);
+        det.check(&jump, Vec3::zero(), SimTime::from_secs(1));
+        det.check(&jump, Vec3::zero(), SimTime::from_secs(2));
+        // Back to truth before confirmation.
+        let v = det.check(&start(), Vec3::zero(), SimTime::from_secs(3));
+        assert!(!v.spoofed);
+        let v2 = det.check(&jump, Vec3::zero(), SimTime::from_secs(4));
+        assert!(!v2.spoofed, "counter restarted");
+    }
+
+    #[test]
+    fn cross_check_flags_large_disagreement() {
+        let det = SpoofDetector::new(start(), 15.0);
+        let fix = start().destination(0.0, 200.0);
+        let collab_estimate = start();
+        assert!(det.cross_check(&fix, &collab_estimate, 2.0));
+        let nearby = start().destination(0.0, 5.0);
+        assert!(!det.cross_check(&nearby, &collab_estimate, 2.0));
+    }
+
+    #[test]
+    fn anchor_tracks_trusted_fixes_only() {
+        let mut det = SpoofDetector::new(start(), 15.0);
+        let good = start().destination(90.0, 4.0);
+        det.check(&good, Vec3::new(4.0, 0.0, 0.0), SimTime::from_secs(1));
+        assert!(det.anchor().haversine_distance_m(&good) < 0.01);
+        let bad = start().destination(0.0, 400.0);
+        det.check(&bad, Vec3::zero(), SimTime::from_secs(2));
+        assert!(det.anchor().haversine_distance_m(&bad) > 300.0);
+    }
+}

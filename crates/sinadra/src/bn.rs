@@ -1,0 +1,363 @@
+//! Discrete Bayesian networks.
+//!
+//! A [`BayesianNetwork`] is a DAG of named discrete variables, each with a
+//! conditional probability table P(X | parents(X)). Construction validates
+//! acyclicity, CPT shapes and normalization, so inference can assume a
+//! well-formed model.
+
+use crate::factor::Factor;
+use std::collections::HashMap;
+
+/// Errors from network construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BnError {
+    /// Two variables share a name.
+    DuplicateVariable(String),
+    /// A CPT references an unknown variable.
+    UnknownVariable(String),
+    /// The CPT row count does not match the parent state combinations.
+    WrongCptShape {
+        /// Variable whose CPT is malformed.
+        variable: String,
+        /// Expected number of probabilities.
+        expected: usize,
+        /// Provided number of probabilities.
+        got: usize,
+    },
+    /// A CPT row does not sum to 1.
+    UnnormalizedCpt {
+        /// Variable whose CPT is malformed.
+        variable: String,
+        /// The offending row sum.
+        sum: f64,
+    },
+    /// The parent relation contains a cycle.
+    Cyclic,
+    /// A variable has no CPT.
+    MissingCpt(String),
+}
+
+impl std::fmt::Display for BnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BnError::DuplicateVariable(v) => write!(f, "duplicate variable `{v}`"),
+            BnError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            BnError::WrongCptShape {
+                variable,
+                expected,
+                got,
+            } => write!(f, "CPT for `{variable}` has {got} entries, expected {expected}"),
+            BnError::UnnormalizedCpt { variable, sum } => {
+                write!(f, "a CPT row for `{variable}` sums to {sum}, expected 1")
+            }
+            BnError::Cyclic => write!(f, "parent relation contains a cycle"),
+            BnError::MissingCpt(v) => write!(f, "variable `{v}` has no CPT"),
+        }
+    }
+}
+
+impl std::error::Error for BnError {}
+
+#[derive(Debug, Clone)]
+struct VariableDef {
+    name: String,
+    states: Vec<String>,
+    parents: Vec<usize>,
+    cpt: Option<Factor>,
+}
+
+/// Builder-style Bayesian network.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_sinadra::bn::BayesianNetwork;
+///
+/// let mut bn = BayesianNetwork::new();
+/// bn.add_variable("rain", &["no", "yes"])?;
+/// bn.add_variable("wet", &["no", "yes"])?;
+/// bn.set_prior("rain", &[0.8, 0.2])?;
+/// bn.set_cpt("wet", &["rain"], &[
+///     0.95, 0.05, // rain = no
+///     0.1, 0.9,   // rain = yes
+/// ])?;
+/// let bn = bn.validate()?;
+/// assert_eq!(bn.variable_count(), 2);
+/// # Ok::<(), sesame_sinadra::bn::BnError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BayesianNetwork {
+    vars: Vec<VariableDef>,
+    index: HashMap<String, usize>,
+    validated: bool,
+}
+
+impl BayesianNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with the given state names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::DuplicateVariable`] if the name is taken.
+    pub fn add_variable(&mut self, name: &str, states: &[&str]) -> Result<usize, BnError> {
+        if self.index.contains_key(name) {
+            return Err(BnError::DuplicateVariable(name.to_string()));
+        }
+        assert!(states.len() >= 2, "a variable needs at least two states");
+        let id = self.vars.len();
+        self.vars.push(VariableDef {
+            name: name.to_string(),
+            states: states.iter().map(|s| s.to_string()).collect(),
+            parents: Vec::new(),
+            cpt: None,
+        });
+        self.index.insert(name.to_string(), id);
+        self.validated = false;
+        Ok(id)
+    }
+
+    /// Sets the prior of a root variable (CPT with no parents).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/normalization errors per [`BnError`].
+    pub fn set_prior(&mut self, name: &str, probs: &[f64]) -> Result<(), BnError> {
+        self.set_cpt(name, &[], probs)
+    }
+
+    /// Sets P(`name` | `parents`). The table is row-major over parent
+    /// combinations (first parent slowest), with the child's states fastest;
+    /// each row must sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/normalization errors per [`BnError`].
+    pub fn set_cpt(&mut self, name: &str, parents: &[&str], probs: &[f64]) -> Result<(), BnError> {
+        let child = *self
+            .index
+            .get(name)
+            .ok_or_else(|| BnError::UnknownVariable(name.to_string()))?;
+        let mut parent_ids = Vec::with_capacity(parents.len());
+        for p in parents {
+            let pid = *self
+                .index
+                .get(*p)
+                .ok_or_else(|| BnError::UnknownVariable(p.to_string()))?;
+            parent_ids.push(pid);
+        }
+        let child_card = self.vars[child].states.len();
+        let rows: usize = parent_ids
+            .iter()
+            .map(|&p| self.vars[p].states.len())
+            .product();
+        let expected = rows * child_card;
+        if probs.len() != expected {
+            return Err(BnError::WrongCptShape {
+                variable: name.to_string(),
+                expected,
+                got: probs.len(),
+            });
+        }
+        for row in probs.chunks(child_card) {
+            let s: f64 = row.iter().sum();
+            if (s - 1.0).abs() > 1e-9 {
+                return Err(BnError::UnnormalizedCpt {
+                    variable: name.to_string(),
+                    sum: s,
+                });
+            }
+        }
+        // Factor over (parents..., child) in given order, child fastest.
+        let mut fvars: Vec<(usize, usize)> = parent_ids
+            .iter()
+            .map(|&p| (p, self.vars[p].states.len()))
+            .collect();
+        fvars.push((child, child_card));
+        let factor = Factor::new(fvars, probs.to_vec()).expect("shape pre-validated");
+        self.vars[child].parents = parent_ids;
+        self.vars[child].cpt = Some(factor);
+        self.validated = false;
+        Ok(())
+    }
+
+    /// Validates the network: every variable has a CPT and the parent
+    /// relation is acyclic. Returns `self` for chaining.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BnError::MissingCpt`] or [`BnError::Cyclic`].
+    pub fn validate(mut self) -> Result<Self, BnError> {
+        for v in &self.vars {
+            if v.cpt.is_none() {
+                return Err(BnError::MissingCpt(v.name.clone()));
+            }
+        }
+        // Kahn's algorithm for cycle detection.
+        let n = self.vars.len();
+        let mut indegree = vec![0usize; n];
+        for v in &self.vars {
+            indegree[self.index[&v.name]] = v.parents.len();
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for (i, v) in self.vars.iter().enumerate() {
+                if v.parents.contains(&u) {
+                    indegree[i] -= 1;
+                    if indegree[i] == 0 {
+                        queue.push(i);
+                    }
+                }
+            }
+        }
+        if seen != n {
+            return Err(BnError::Cyclic);
+        }
+        self.validated = true;
+        Ok(self)
+    }
+
+    /// Whether [`BayesianNetwork::validate`] has succeeded since the last
+    /// mutation.
+    pub fn is_validated(&self) -> bool {
+        self.validated
+    }
+
+    /// Number of variables.
+    pub fn variable_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Id of a variable by name.
+    pub fn variable_id(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Name of a variable by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn variable_name(&self, id: usize) -> &str {
+        &self.vars[id].name
+    }
+
+    /// State index of `state` for variable `name`.
+    pub fn state_id(&self, name: &str, state: &str) -> Option<usize> {
+        let v = &self.vars[*self.index.get(name)?];
+        v.states.iter().position(|s| s == state)
+    }
+
+    /// Cardinality of variable `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cardinality(&self, id: usize) -> usize {
+        self.vars[id].states.len()
+    }
+
+    /// The CPT factors of all variables (used by inference).
+    pub(crate) fn factors(&self) -> Vec<Factor> {
+        self.vars
+            .iter()
+            .map(|v| v.cpt.clone().expect("validated network"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sprinkler() -> BayesianNetwork {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("rain", &["no", "yes"]).unwrap();
+        bn.add_variable("sprinkler", &["off", "on"]).unwrap();
+        bn.add_variable("wet", &["no", "yes"]).unwrap();
+        bn.set_prior("rain", &[0.8, 0.2]).unwrap();
+        bn.set_cpt("sprinkler", &["rain"], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        bn.set_cpt(
+            "wet",
+            &["rain", "sprinkler"],
+            &[
+                1.0, 0.0, // rain=no, spr=off
+                0.1, 0.9, // rain=no, spr=on
+                0.2, 0.8, // rain=yes, spr=off
+                0.01, 0.99, // rain=yes, spr=on
+            ],
+        )
+        .unwrap();
+        bn
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let bn = sprinkler().validate().unwrap();
+        assert!(bn.is_validated());
+        assert_eq!(bn.variable_count(), 3);
+        assert_eq!(bn.variable_id("wet"), Some(2));
+        assert_eq!(bn.variable_name(0), "rain");
+        assert_eq!(bn.state_id("sprinkler", "on"), Some(1));
+        assert_eq!(bn.cardinality(2), 2);
+    }
+
+    #[test]
+    fn missing_cpt_detected() {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("a", &["x", "y"]).unwrap();
+        assert_eq!(bn.validate().unwrap_err(), BnError::MissingCpt("a".into()));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("a", &["0", "1"]).unwrap();
+        bn.add_variable("b", &["0", "1"]).unwrap();
+        bn.set_cpt("a", &["b"], &[0.5, 0.5, 0.5, 0.5]).unwrap();
+        bn.set_cpt("b", &["a"], &[0.5, 0.5, 0.5, 0.5]).unwrap();
+        assert_eq!(bn.validate().unwrap_err(), BnError::Cyclic);
+    }
+
+    #[test]
+    fn wrong_shapes_rejected() {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("a", &["0", "1"]).unwrap();
+        assert!(matches!(
+            bn.set_prior("a", &[0.5]),
+            Err(BnError::WrongCptShape { .. })
+        ));
+        assert!(matches!(
+            bn.set_prior("a", &[0.5, 0.6]),
+            Err(BnError::UnnormalizedCpt { .. })
+        ));
+        assert!(matches!(
+            bn.set_prior("zzz", &[0.5, 0.5]),
+            Err(BnError::UnknownVariable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_variable_rejected() {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("a", &["0", "1"]).unwrap();
+        assert_eq!(
+            bn.add_variable("a", &["0", "1"]).unwrap_err(),
+            BnError::DuplicateVariable("a".into())
+        );
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let bn = sprinkler().validate().unwrap();
+        let mut bn2 = bn.clone();
+        bn2.add_variable("extra", &["0", "1"]).unwrap();
+        assert!(!bn2.is_validated());
+    }
+}

@@ -1,0 +1,354 @@
+//! Exact inference by variable elimination.
+//!
+//! Supports both **hard evidence** (a variable observed in a state) and
+//! **virtual evidence** (a likelihood vector over a variable's states),
+//! which is how SINADRA feeds continuous monitor outputs — a SafeML
+//! dissimilarity of 0.93 becomes the likelihood `[0.07, 0.93]` on the
+//! detection-uncertainty variable instead of a brittle threshold.
+
+use crate::bn::BayesianNetwork;
+use crate::factor::Factor;
+
+/// Evidence accumulated for a query.
+#[derive(Debug, Clone, Default)]
+pub struct Evidence {
+    hard: Vec<(usize, usize)>,
+    virtual_likelihoods: Vec<(usize, Vec<f64>)>,
+}
+
+impl Evidence {
+    /// No evidence.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds hard evidence: variable `var` observed in `state`.
+    pub fn observe(mut self, var: usize, state: usize) -> Self {
+        self.hard.push((var, state));
+        self
+    }
+
+    /// Adds virtual evidence: a non-negative likelihood over the states of
+    /// `var` (need not be normalized).
+    pub fn likelihood(mut self, var: usize, weights: Vec<f64>) -> Self {
+        self.virtual_likelihoods.push((var, weights));
+        self
+    }
+
+    /// Whether any evidence is present.
+    pub fn is_empty(&self) -> bool {
+        self.hard.is_empty() && self.virtual_likelihoods.is_empty()
+    }
+}
+
+/// Errors from a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceError {
+    /// The network failed validation (call `validate` first).
+    NotValidated,
+    /// A variable id was out of range.
+    UnknownVariable(usize),
+    /// Hard evidence used a state index out of range.
+    BadState {
+        /// Variable id.
+        var: usize,
+        /// Offending state index.
+        state: usize,
+    },
+    /// A virtual-evidence vector had the wrong length or negative entries.
+    BadLikelihood(usize),
+    /// The evidence has zero probability under the model.
+    ImpossibleEvidence,
+}
+
+impl std::fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceError::NotValidated => write!(f, "network not validated"),
+            InferenceError::UnknownVariable(v) => write!(f, "unknown variable id {v}"),
+            InferenceError::BadState { var, state } => {
+                write!(f, "state {state} out of range for variable {var}")
+            }
+            InferenceError::BadLikelihood(v) => {
+                write!(f, "bad virtual-evidence vector for variable {v}")
+            }
+            InferenceError::ImpossibleEvidence => write!(f, "evidence has probability zero"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+/// Computes the posterior P(`query` | `evidence`) as a probability vector
+/// over the query variable's states.
+///
+/// # Errors
+///
+/// See [`InferenceError`].
+///
+/// # Examples
+///
+/// ```
+/// use sesame_sinadra::bn::BayesianNetwork;
+/// use sesame_sinadra::inference::{query, Evidence};
+///
+/// let mut bn = BayesianNetwork::new();
+/// bn.add_variable("rain", &["no", "yes"])?;
+/// bn.add_variable("wet", &["no", "yes"])?;
+/// bn.set_prior("rain", &[0.8, 0.2])?;
+/// bn.set_cpt("wet", &["rain"], &[0.95, 0.05, 0.1, 0.9])?;
+/// let bn = bn.validate()?;
+///
+/// let wet = bn.variable_id("wet").unwrap();
+/// let rain = bn.variable_id("rain").unwrap();
+/// let posterior = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
+/// assert!(posterior[1] > 0.8, "rain is likely when the grass is wet");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn query(
+    bn: &BayesianNetwork,
+    query_var: usize,
+    evidence: &Evidence,
+) -> Result<Vec<f64>, InferenceError> {
+    if !bn.is_validated() {
+        return Err(InferenceError::NotValidated);
+    }
+    let n = bn.variable_count();
+    if query_var >= n {
+        return Err(InferenceError::UnknownVariable(query_var));
+    }
+    // Querying an observed variable yields the degenerate posterior.
+    if let Some((_, state)) = evidence.hard.iter().find(|(v, _)| *v == query_var) {
+        if *state >= bn.cardinality(query_var) {
+            return Err(InferenceError::BadState {
+                var: query_var,
+                state: *state,
+            });
+        }
+        let mut p = vec![0.0; bn.cardinality(query_var)];
+        p[*state] = 1.0;
+        return Ok(p);
+    }
+    let mut factors = bn.factors();
+
+    // Apply virtual evidence as extra factors.
+    for (var, weights) in &evidence.virtual_likelihoods {
+        if *var >= n {
+            return Err(InferenceError::UnknownVariable(*var));
+        }
+        let card = bn.cardinality(*var);
+        if weights.len() != card || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(InferenceError::BadLikelihood(*var));
+        }
+        factors.push(
+            Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above"),
+        );
+    }
+
+    // Apply hard evidence by reduction.
+    for (var, state) in &evidence.hard {
+        if *var >= n {
+            return Err(InferenceError::UnknownVariable(*var));
+        }
+        if *state >= bn.cardinality(*var) {
+            return Err(InferenceError::BadState {
+                var: *var,
+                state: *state,
+            });
+        }
+        for f in factors.iter_mut() {
+            if f.contains(*var) {
+                *f = f.reduce(*var, *state);
+            }
+        }
+    }
+
+    // Eliminate every variable except the query (evidence vars are already
+    // reduced out of scopes; eliminating them is a no-op).
+    let hard_vars: Vec<usize> = evidence.hard.iter().map(|(v, _)| *v).collect();
+    for var in 0..n {
+        if var == query_var || hard_vars.contains(&var) {
+            continue;
+        }
+        // Multiply all factors mentioning `var`, then sum it out.
+        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.contains(var));
+        let mut combined = Factor::identity();
+        for f in &mentioning {
+            combined = combined.product(f);
+        }
+        let summed = combined.marginalize(var);
+        factors = rest;
+        factors.push(summed);
+    }
+
+    let mut joint = Factor::identity();
+    for f in &factors {
+        joint = joint.product(f);
+    }
+    if joint.sum() <= 0.0 {
+        return Err(InferenceError::ImpossibleEvidence);
+    }
+    let posterior = joint.normalized();
+    // The posterior must be exactly over the query variable.
+    debug_assert_eq!(posterior.vars().len(), 1);
+    debug_assert_eq!(posterior.vars()[0].0, query_var);
+    Ok(posterior.values().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The classic sprinkler network with known hand-computed posteriors.
+    fn sprinkler() -> BayesianNetwork {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("rain", &["no", "yes"]).unwrap();
+        bn.add_variable("sprinkler", &["off", "on"]).unwrap();
+        bn.add_variable("wet", &["no", "yes"]).unwrap();
+        bn.set_prior("rain", &[0.8, 0.2]).unwrap();
+        bn.set_cpt("sprinkler", &["rain"], &[0.6, 0.4, 0.99, 0.01])
+            .unwrap();
+        bn.set_cpt(
+            "wet",
+            &["rain", "sprinkler"],
+            &[1.0, 0.0, 0.1, 0.9, 0.2, 0.8, 0.01, 0.99],
+        )
+        .unwrap();
+        bn.validate().unwrap()
+    }
+
+    #[test]
+    fn prior_marginal_without_evidence() {
+        let bn = sprinkler();
+        let rain = bn.variable_id("rain").unwrap();
+        let p = query(&bn, rain, &Evidence::new()).unwrap();
+        assert!((p[0] - 0.8).abs() < 1e-12);
+        assert!((p[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wet_grass_marginal_matches_hand_computation() {
+        let bn = sprinkler();
+        let wet = bn.variable_id("wet").unwrap();
+        let p = query(&bn, wet, &Evidence::new()).unwrap();
+        // P(wet=yes) = Σ_{r,s} P(r)P(s|r)P(wet=yes|r,s)
+        let expect = 0.8 * (0.6 * 0.0 + 0.4 * 0.9) + 0.2 * (0.99 * 0.8 + 0.01 * 0.99);
+        assert!((p[1] - expect).abs() < 1e-12, "got {} want {expect}", p[1]);
+    }
+
+    #[test]
+    fn posterior_given_wet_grass() {
+        let bn = sprinkler();
+        let rain = bn.variable_id("rain").unwrap();
+        let wet = bn.variable_id("wet").unwrap();
+        let p = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
+        // Bayes by hand: P(rain=yes, wet=yes) / P(wet=yes).
+        let p_wet_yes = 0.8 * (0.4 * 0.9) + 0.2 * (0.99 * 0.8 + 0.01 * 0.99);
+        let p_joint = 0.2 * (0.99 * 0.8 + 0.01 * 0.99);
+        let expect = p_joint / p_wet_yes;
+        assert!((p[1] - expect).abs() < 1e-12, "got {} want {expect}", p[1]);
+    }
+
+    #[test]
+    fn explaining_away() {
+        let bn = sprinkler();
+        let rain = bn.variable_id("rain").unwrap();
+        let wet = bn.variable_id("wet").unwrap();
+        let spr = bn.variable_id("sprinkler").unwrap();
+        let p_wet = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
+        let p_wet_spr = query(
+            &bn,
+            rain,
+            &Evidence::new().observe(wet, 1).observe(spr, 1),
+        )
+        .unwrap();
+        assert!(
+            p_wet_spr[1] < p_wet[1],
+            "knowing the sprinkler ran explains the wet grass away"
+        );
+    }
+
+    #[test]
+    fn virtual_evidence_interpolates_between_none_and_hard() {
+        let bn = sprinkler();
+        let rain = bn.variable_id("rain").unwrap();
+        let wet = bn.variable_id("wet").unwrap();
+        let none = query(&bn, rain, &Evidence::new()).unwrap()[1];
+        let hard = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap()[1];
+        let soft = query(
+            &bn,
+            rain,
+            &Evidence::new().likelihood(wet, vec![0.3, 0.7]),
+        )
+        .unwrap()[1];
+        assert!(none < soft && soft < hard, "{none} < {soft} < {hard}");
+    }
+
+    #[test]
+    fn certain_virtual_evidence_equals_hard_evidence() {
+        let bn = sprinkler();
+        let rain = bn.variable_id("rain").unwrap();
+        let wet = bn.variable_id("wet").unwrap();
+        let hard = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
+        let soft = query(
+            &bn,
+            rain,
+            &Evidence::new().likelihood(wet, vec![0.0, 1.0]),
+        )
+        .unwrap();
+        for (h, s) in hard.iter().zip(soft.iter()) {
+            assert!((h - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impossible_evidence_reported() {
+        let mut bn = BayesianNetwork::new();
+        bn.add_variable("a", &["0", "1"]).unwrap();
+        bn.add_variable("b", &["0", "1"]).unwrap();
+        bn.set_prior("a", &[1.0, 0.0]).unwrap();
+        bn.set_cpt("b", &["a"], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let bn = bn.validate().unwrap();
+        // b=1 requires a=1, which has prior 0.
+        let err = query(
+            &bn,
+            0,
+            &Evidence::new().observe(bn.variable_id("b").unwrap(), 1),
+        )
+        .unwrap_err();
+        assert_eq!(err, InferenceError::ImpossibleEvidence);
+    }
+
+    #[test]
+    fn error_paths() {
+        let bn = sprinkler();
+        assert_eq!(
+            query(&bn, 99, &Evidence::new()).unwrap_err(),
+            InferenceError::UnknownVariable(99)
+        );
+        assert_eq!(
+            query(&bn, 0, &Evidence::new().observe(1, 9)).unwrap_err(),
+            InferenceError::BadState { var: 1, state: 9 }
+        );
+        assert_eq!(
+            query(&bn, 0, &Evidence::new().likelihood(1, vec![0.5])).unwrap_err(),
+            InferenceError::BadLikelihood(1)
+        );
+        assert!(Evidence::new().is_empty());
+    }
+
+    #[test]
+    fn query_on_evidence_variable_is_degenerate() {
+        let bn = sprinkler();
+        let wet = bn.variable_id("wet").unwrap();
+        let p = query(&bn, wet, &Evidence::new().observe(wet, 1));
+        // Querying an observed variable: posterior concentrates there.
+        // Our implementation reduces the var out, so this is an error path
+        // or a degenerate single-state result; accept either behaviour but
+        // it must not panic.
+        if let Ok(v) = p {
+            assert!(!v.is_empty());
+        }
+    }
+}

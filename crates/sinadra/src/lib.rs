@@ -1,0 +1,47 @@
+//! SINADRA — situation-aware dynamic risk assessment.
+//!
+//! Reproduces the SINADRA technology of the paper (§III-A4, \[35\]): Bayesian
+//! networks let the system "leverage situation-specific risk factors and
+//! causal influences, akin to human decision-making, to dynamically
+//! determine risk at runtime". The crate provides:
+//!
+//! * [`factor::Factor`] — discrete factors with product / marginalize /
+//!   reduce, the algebra of exact inference;
+//! * [`bn::BayesianNetwork`] — networks of named discrete variables with
+//!   CPTs, validated at build time;
+//! * [`inference`] — variable elimination with hard *and* virtual
+//!   (likelihood) evidence, so continuous monitor outputs (SafeML /
+//!   DeepKnowledge uncertainties) can enter the network without
+//!   thresholding;
+//! * [`risk`] — the SAR missed-person risk model: "When person detection
+//!   uncertainty is high, SINADRA estimates the risk and criticality of
+//!   missed persons … High criticality prompts immediate re-scanning of an
+//!   area, whereas low criticality allows UAVs to proceed to the next
+//!   task."
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_sinadra::risk::{SarRiskModel, SituationInputs};
+//!
+//! let model = SarRiskModel::new();
+//! let risky = model.assess(&SituationInputs {
+//!     detection_uncertainty: 0.95,
+//!     altitude_high: true,
+//!     visibility_poor: true,
+//!     person_likely: true,
+//!     time_pressure_high: true,
+//! });
+//! assert!(risky.criticality_high_prob > 0.5);
+//! assert!(risky.rescan_advised);
+//! ```
+
+pub mod bn;
+pub mod factor;
+pub mod inference;
+pub mod risk;
+
+pub use bn::{BayesianNetwork, BnError};
+pub use factor::Factor;
+pub use inference::{Evidence, InferenceError};
+pub use risk::{RiskAssessment, SarRiskModel, SeparationAssessment, SeparationInputs, SeparationRiskModel, SituationInputs};

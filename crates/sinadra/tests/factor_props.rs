@@ -1,0 +1,79 @@
+//! Property tests of the factor algebra underlying SINADRA inference.
+
+use proptest::prelude::*;
+use sesame_sinadra::factor::Factor;
+
+fn factor_over(vars: Vec<(usize, usize)>, values: Vec<f64>) -> Factor {
+    Factor::new(vars, values).expect("strategy builds valid factors")
+}
+
+fn values(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..10.0f64, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Factor product is commutative.
+    #[test]
+    fn product_commutes(a in values(4), b in values(2)) {
+        let fa = factor_over(vec![(0, 2), (1, 2)], a);
+        let fb = factor_over(vec![(2, 2)], b);
+        prop_assert_eq!(fa.product(&fb), fb.product(&fa));
+    }
+
+    /// Factor product is associative on disjoint scopes.
+    #[test]
+    fn product_associates(a in values(2), b in values(2), c in values(2)) {
+        let fa = factor_over(vec![(0, 2)], a);
+        let fb = factor_over(vec![(1, 2)], b);
+        let fc = factor_over(vec![(2, 2)], c);
+        let left = fa.product(&fb).product(&fc);
+        let right = fa.product(&fb.product(&fc));
+        prop_assert_eq!(left.vars(), right.vars());
+        for (l, r) in left.values().iter().zip(right.values()) {
+            prop_assert!((l - r).abs() < 1e-9);
+        }
+    }
+
+    /// Marginalization commutes: summing out X then Y equals Y then X.
+    #[test]
+    fn marginalization_commutes(v in values(8)) {
+        let f = factor_over(vec![(0, 2), (1, 2), (2, 2)], v);
+        let xy = f.marginalize(0).marginalize(1);
+        let yx = f.marginalize(1).marginalize(0);
+        prop_assert_eq!(xy.vars(), yx.vars());
+        for (a, b) in xy.values().iter().zip(yx.values()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// Reducing then summing the complement equals indexing the table.
+    #[test]
+    fn reduce_preserves_mass_split(v in values(4), state in 0usize..2) {
+        let f = factor_over(vec![(0, 2), (1, 2)], v);
+        let reduced0 = f.reduce(0, 0).sum();
+        let reduced1 = f.reduce(0, 1).sum();
+        prop_assert!((reduced0 + reduced1 - f.sum()).abs() < 1e-9);
+        let _ = state;
+    }
+
+    /// Product with the identity leaves any factor unchanged.
+    #[test]
+    fn identity_is_neutral(v in values(6)) {
+        let f = factor_over(vec![(0, 3), (1, 2)], v);
+        prop_assert_eq!(f.product(&Factor::identity()), f);
+    }
+
+    /// Normalization yields a distribution and is idempotent.
+    #[test]
+    fn normalization_idempotent(v in proptest::collection::vec(0.01..10.0f64, 4)) {
+        let f = factor_over(vec![(0, 2), (1, 2)], v);
+        let n1 = f.normalized();
+        prop_assert!((n1.sum() - 1.0).abs() < 1e-12);
+        let n2 = n1.normalized();
+        for (a, b) in n1.values().iter().zip(n2.values()) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

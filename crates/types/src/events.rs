@@ -1,0 +1,255 @@
+//! Cross-cutting event model.
+//!
+//! Faults injected by the simulator, alerts raised by the IDS, decisions
+//! taken by ConSerts — everything observable lands in one [`EventLog`] so
+//! that tests and experiment harnesses can assert on ordered, timestamped
+//! histories.
+
+use crate::ids::{TaskId, UavId};
+use crate::time::SimTime;
+use std::fmt;
+
+/// Coarse severity scale shared by safety and security events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: normal operation milestones.
+    Info,
+    /// Degraded but mission-capable.
+    Warning,
+    /// Requires a mitigation (hold, descend, reallocate).
+    Critical,
+    /// Requires aborting the affected UAV (emergency land / RTB).
+    Emergency,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Critical => "CRITICAL",
+            Severity::Emergency => "EMERGENCY",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything the platform can observe or decide, in one enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SystemEvent {
+    /// A UAV took off.
+    TakeOff(UavId),
+    /// A UAV landed (reason in the message).
+    Landed(UavId, String),
+    /// The simulator injected a fault.
+    FaultInjected { uav: UavId, fault: String },
+    /// A runtime monitor raised a finding.
+    MonitorFinding {
+        uav: UavId,
+        monitor: String,
+        severity: Severity,
+        detail: String,
+    },
+    /// The IDS published an alert.
+    SecurityAlert {
+        uav: UavId,
+        rule: String,
+        severity: Severity,
+    },
+    /// An attack tree root was reached (adversary goal achieved / detected).
+    AttackGoalDetected { uav: UavId, tree: String },
+    /// A ConSert changed its top guarantee for a UAV.
+    ConsertDecision { uav: UavId, guarantee: String },
+    /// The mission-level decider reallocated a task.
+    TaskReallocated {
+        task: TaskId,
+        from: UavId,
+        to: UavId,
+    },
+    /// A person was detected by the SAR pipeline.
+    PersonDetected {
+        uav: UavId,
+        confidence: f64,
+        true_positive: bool,
+    },
+    /// Collaborative localization produced a position estimate.
+    CollabFix { uav: UavId, error_m: f64 },
+    /// The mission completed (fully or partially).
+    MissionComplete { completed_fraction: f64 },
+    /// Free-form note for anything else worth recording.
+    Note(String),
+}
+
+/// A [`SystemEvent`] stamped with its simulation time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// When the event happened.
+    pub time: SimTime,
+    /// What happened.
+    pub event: SystemEvent,
+}
+
+/// An append-only, time-ordered event history.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::events::{EventLog, SystemEvent};
+/// use sesame_types::ids::UavId;
+/// use sesame_types::time::SimTime;
+///
+/// let mut log = EventLog::new();
+/// log.push(SimTime::from_secs(1), SystemEvent::TakeOff(UavId::new(1)));
+/// assert_eq!(log.len(), 1);
+/// assert!(log.iter().any(|e| matches!(e.event, SystemEvent::TakeOff(_))));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<TimedEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event at `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the last recorded event — the log is
+    /// a faithful history and must stay monotone.
+    pub fn push(&mut self, time: SimTime, event: SystemEvent) {
+        if let Some(last) = self.events.last() {
+            assert!(
+                time >= last.time,
+                "event log must be time-monotone: {time} < {}",
+                last.time
+            );
+        }
+        self.events.push(TimedEvent { time, event });
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in time order.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimedEvent> {
+        self.events.iter()
+    }
+
+    /// The first event matching `pred`, if any.
+    pub fn first_matching<F>(&self, pred: F) -> Option<&TimedEvent>
+    where
+        F: Fn(&SystemEvent) -> bool,
+    {
+        self.events.iter().find(|e| pred(&e.event))
+    }
+
+    /// Events within the half-open window `[from, to)`.
+    pub fn window(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &TimedEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.time >= from && e.time < to)
+    }
+}
+
+impl<'a> IntoIterator for &'a EventLog {
+    type Item = &'a TimedEvent;
+    type IntoIter = std::slice::Iter<'a, TimedEvent>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl Extend<TimedEvent> for EventLog {
+    fn extend<T: IntoIterator<Item = TimedEvent>>(&mut self, iter: T) {
+        for e in iter {
+            self.push(e.time, e.event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uav() -> UavId {
+        UavId::new(1)
+    }
+
+    #[test]
+    fn log_preserves_order_and_counts() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.push(SimTime::from_secs(1), SystemEvent::TakeOff(uav()));
+        log.push(
+            SimTime::from_secs(2),
+            SystemEvent::FaultInjected {
+                uav: uav(),
+                fault: "battery_overtemp".into(),
+            },
+        );
+        assert_eq!(log.len(), 2);
+        let times: Vec<_> = log.iter().map(|e| e.time.as_millis()).collect();
+        assert_eq!(times, vec![1000, 2000]);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-monotone")]
+    fn log_rejects_time_travel() {
+        let mut log = EventLog::new();
+        log.push(SimTime::from_secs(5), SystemEvent::Note("a".into()));
+        log.push(SimTime::from_secs(4), SystemEvent::Note("b".into()));
+    }
+
+    #[test]
+    fn first_matching_and_window() {
+        let mut log = EventLog::new();
+        for s in 0..10u64 {
+            log.push(SimTime::from_secs(s), SystemEvent::Note(format!("n{s}")));
+        }
+        log.push(
+            SimTime::from_secs(10),
+            SystemEvent::SecurityAlert {
+                uav: uav(),
+                rule: "spoof".into(),
+                severity: Severity::Critical,
+            },
+        );
+        let hit = log
+            .first_matching(|e| matches!(e, SystemEvent::SecurityAlert { .. }))
+            .expect("alert present");
+        assert_eq!(hit.time, SimTime::from_secs(10));
+        let count = log
+            .window(SimTime::from_secs(2), SimTime::from_secs(5))
+            .count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Critical);
+        assert!(Severity::Critical < Severity::Emergency);
+        assert_eq!(Severity::Emergency.to_string(), "EMERGENCY");
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut log = EventLog::new();
+        log.extend((0..3).map(|s| TimedEvent {
+            time: SimTime::from_secs(s),
+            event: SystemEvent::Note(format!("{s}")),
+        }));
+        assert_eq!(log.len(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Strongly-typed identifiers.
+//!
+//! Newtypes keep UAV, mission, task and topic identifiers from being mixed
+//! up at compile time (C-NEWTYPE). All of them are cheap `Copy`/`Clone`
+//! values except [`TopicName`], which wraps a string path like
+//! `"/uav1/telemetry"`.
+
+use std::fmt;
+
+/// Identifier of a single UAV in the fleet (the paper's platform hosts
+/// three, but any count is supported).
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::ids::UavId;
+///
+/// let u = UavId::new(1);
+/// assert_eq!(u.to_string(), "uav1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UavId(u32);
+
+impl UavId {
+    /// Creates a UAV id from a small integer.
+    pub fn new(n: u32) -> Self {
+        UavId(n)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for UavId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uav{}", self.0)
+    }
+}
+
+/// Identifier of a mission managed by the ground control station.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MissionId(u32);
+
+impl MissionId {
+    /// Creates a mission id.
+    pub fn new(n: u32) -> Self {
+        MissionId(n)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for MissionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mission{}", self.0)
+    }
+}
+
+/// Identifier of a task inside a mission (e.g. one coverage strip of the
+/// search area).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id.
+    pub fn new(n: u32) -> Self {
+        TaskId(n)
+    }
+
+    /// The raw index.
+    pub fn index(&self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// A slash-separated topic path on the message bus, e.g.
+/// `"/uav1/cmd/waypoint"`.
+///
+/// Topic names are plain data; pattern matching (MQTT-style `+`/`#`
+/// wildcards) lives in `sesame-middleware`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TopicName(String);
+
+impl TopicName {
+    /// Creates a topic name from any string-like value.
+    pub fn new(s: impl Into<String>) -> Self {
+        TopicName(s.into())
+    }
+
+    /// The topic path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The slash-separated segments of the topic path, ignoring a leading
+    /// slash.
+    pub fn segments(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|s| !s.is_empty())
+    }
+}
+
+impl fmt::Display for TopicName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for TopicName {
+    fn from(s: &str) -> Self {
+        TopicName::new(s)
+    }
+}
+
+impl From<String> for TopicName {
+    fn from(s: String) -> Self {
+        TopicName::new(s)
+    }
+}
+
+impl AsRef<str> for TopicName {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_display_and_roundtrip() {
+        assert_eq!(UavId::new(2).to_string(), "uav2");
+        assert_eq!(UavId::new(2).index(), 2);
+        assert_eq!(MissionId::new(7).to_string(), "mission7");
+        assert_eq!(TaskId::new(3).to_string(), "task3");
+        assert_eq!(TaskId::new(3).index(), 3);
+        assert_eq!(MissionId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(UavId::new(1));
+        set.insert(UavId::new(1));
+        set.insert(UavId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(UavId::new(1) < UavId::new(2));
+    }
+
+    #[test]
+    fn topic_segments_skip_leading_slash() {
+        let t = TopicName::new("/uav1/cmd/waypoint");
+        let segs: Vec<_> = t.segments().collect();
+        assert_eq!(segs, vec!["uav1", "cmd", "waypoint"]);
+        assert_eq!(t.as_str(), "/uav1/cmd/waypoint");
+        assert_eq!(t.as_ref(), "/uav1/cmd/waypoint");
+    }
+
+    #[test]
+    fn topic_from_conversions() {
+        let a: TopicName = "/x".into();
+        let b: TopicName = String::from("/x").into();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests of the geodesy primitives.
+
+use proptest::prelude::*;
+use sesame_types::geo::{Enu, GeoPoint, Vec3};
+use sesame_types::time::{SimDuration, SimTime};
+
+fn point() -> impl Strategy<Value = GeoPoint> {
+    (-70.0..70.0f64, -179.0..179.0f64, 0.0..200.0f64)
+        .prop_map(|(lat, lon, alt)| GeoPoint::new(lat, lon, alt))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Haversine obeys the triangle inequality.
+    #[test]
+    fn haversine_triangle(a in point(), b in point(), c in point()) {
+        let ab = a.haversine_distance_m(&b);
+        let bc = b.haversine_distance_m(&c);
+        let ac = a.haversine_distance_m(&c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    /// Bearings are always in [0, 360).
+    #[test]
+    fn bearing_range(a in point(), b in point()) {
+        let brg = a.bearing_deg(&b);
+        prop_assert!((0.0..360.0).contains(&brg), "bearing {brg}");
+    }
+
+    /// Walking out and back along opposite bearings returns home.
+    #[test]
+    fn out_and_back(a in point(), bearing in 0.0..360.0f64, d in 1.0..20_000.0f64) {
+        let out = a.destination(bearing, d);
+        let back_bearing = out.bearing_deg(&a);
+        let home = out.destination(back_bearing, d);
+        prop_assert!(a.haversine_distance_m(&home) < d * 1e-3 + 0.5);
+    }
+
+    /// 3-D distance dominates both the horizontal distance and the
+    /// altitude difference.
+    #[test]
+    fn distance_3d_dominates(a in point(), b in point()) {
+        let d3 = a.distance_3d_m(&b);
+        prop_assert!(d3 >= a.haversine_distance_m(&b) - 1e-9);
+        prop_assert!(d3 >= (a.alt_m - b.alt_m).abs() - 1e-9);
+    }
+
+    /// ENU offsets add linearly: applying (u then v) equals applying u+v.
+    #[test]
+    fn enu_addition(
+        origin in point(),
+        e1 in -500.0..500.0f64, n1 in -500.0..500.0f64,
+        e2 in -500.0..500.0f64, n2 in -500.0..500.0f64,
+    ) {
+        let step1 = GeoPoint::from_enu(&origin, Enu::new(e1, n1, 0.0));
+        let two_step = GeoPoint::from_enu(&step1, Enu::new(e2, n2, 0.0));
+        let direct = GeoPoint::from_enu(&origin, Enu::new(e1 + e2, n1 + n2, 0.0));
+        prop_assert!(two_step.haversine_distance_m(&direct) < 0.5);
+    }
+
+    /// Vec3 norm obeys the Cauchy–Schwarz inequality with dot products.
+    #[test]
+    fn cauchy_schwarz(
+        ax in -10.0..10.0f64, ay in -10.0..10.0f64, az in -10.0..10.0f64,
+        bx in -10.0..10.0f64, by in -10.0..10.0f64, bz in -10.0..10.0f64,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-9);
+    }
+
+    /// Time arithmetic is consistent: (t + d) - t == d.
+    #[test]
+    fn time_add_sub(t in 0u64..1_000_000, d in 0u64..1_000_000) {
+        let base = SimTime::from_millis(t);
+        let dur = SimDuration::from_millis(d);
+        prop_assert_eq!((base + dur) - base, dur);
+        prop_assert!((base + dur) >= base);
+    }
+}

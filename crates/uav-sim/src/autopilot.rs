@@ -1,0 +1,399 @@
+//! Waypoint autopilot and flight modes.
+//!
+//! Implements the actuation vocabulary of the UAV ConSert: fly the
+//! mission, hold position, return to base, land, emergency land. The
+//! autopilot produces a desired velocity each tick; the simulator
+//! integrates it together with wind.
+
+use sesame_types::geo::{GeoPoint, Vec3};
+use sesame_types::telemetry::FlightMode;
+use std::collections::VecDeque;
+
+/// Commands the platform can send to the autopilot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlightCommand {
+    /// Take off to the given altitude (metres above ground).
+    TakeOff {
+        /// Target altitude.
+        altitude_m: f64,
+    },
+    /// Replace the mission waypoint queue.
+    SetMission(Vec<GeoPoint>),
+    /// Append one waypoint to the mission queue.
+    PushWaypoint(GeoPoint),
+    /// Hover in place.
+    Hold,
+    /// Resume the mission after a hold.
+    Resume,
+    /// Fly home and land.
+    ReturnToBase,
+    /// Land at the current position.
+    Land,
+    /// Land immediately at maximum safe descent rate.
+    EmergencyLand,
+    /// Change the mission altitude (e.g. the §V-B descend-to-25 m
+    /// adaptation); applies to all remaining waypoints.
+    SetMissionAltitude(f64),
+}
+
+/// The autopilot for one airframe.
+#[derive(Debug, Clone)]
+pub struct Autopilot {
+    mode: FlightMode,
+    mission: VecDeque<GeoPoint>,
+    target: Option<GeoPoint>,
+    home: GeoPoint,
+    velocity_override: Option<Vec3>,
+    /// Cruise speed, m/s.
+    pub cruise_mps: f64,
+    /// Climb rate, m/s.
+    pub climb_mps: f64,
+    /// Normal descent rate, m/s.
+    pub descent_mps: f64,
+    /// Emergency descent rate, m/s.
+    pub emergency_descent_mps: f64,
+    /// Waypoint acceptance radius, metres.
+    pub acceptance_m: f64,
+}
+
+impl Autopilot {
+    /// An autopilot parked at `home`.
+    pub fn new(home: GeoPoint) -> Self {
+        Autopilot {
+            mode: FlightMode::Grounded,
+            mission: VecDeque::new(),
+            target: None,
+            home,
+            velocity_override: None,
+            cruise_mps: 8.0,
+            climb_mps: 3.0,
+            descent_mps: 2.0,
+            emergency_descent_mps: 5.0,
+            acceptance_m: 3.0,
+        }
+    }
+
+    /// Current flight mode.
+    pub fn mode(&self) -> FlightMode {
+        self.mode
+    }
+
+    /// Remaining mission waypoints.
+    pub fn remaining_waypoints(&self) -> usize {
+        self.mission.len() + usize::from(self.target.is_some() && self.mode == FlightMode::Mission)
+    }
+
+    /// The home (launch) position.
+    pub fn home(&self) -> GeoPoint {
+        self.home
+    }
+
+    /// The current navigation target, if any.
+    pub fn target(&self) -> Option<GeoPoint> {
+        self.target
+    }
+
+    /// Applies a command.
+    pub fn command(&mut self, cmd: FlightCommand, position: &GeoPoint) {
+        match cmd {
+            FlightCommand::TakeOff { altitude_m } => {
+                if self.mode == FlightMode::Grounded {
+                    self.mode = FlightMode::Mission;
+                    self.target = Some(position.with_alt(altitude_m));
+                }
+            }
+            FlightCommand::SetMission(wps) => {
+                self.mission = wps.into();
+                if self.mode == FlightMode::Mission && self.target.is_none() {
+                    self.target = self.mission.pop_front();
+                }
+            }
+            FlightCommand::PushWaypoint(wp) => {
+                self.mission.push_back(wp);
+            }
+            FlightCommand::Hold => {
+                if self.mode.is_airborne() {
+                    // Remember the interrupted leg.
+                    if let Some(t) = self.target.take() {
+                        self.mission.push_front(t);
+                    }
+                    self.mode = FlightMode::Hold;
+                }
+            }
+            FlightCommand::Resume => {
+                if self.mode == FlightMode::Hold {
+                    self.mode = FlightMode::Mission;
+                    self.target = self.mission.pop_front();
+                }
+            }
+            FlightCommand::ReturnToBase => {
+                if self.mode.is_airborne() {
+                    self.mode = FlightMode::ReturnToBase;
+                    self.target = Some(self.home.with_alt(position.alt_m.max(10.0)));
+                }
+            }
+            FlightCommand::Land => {
+                if self.mode.is_airborne() {
+                    self.mode = FlightMode::Land;
+                    self.target = Some(position.with_alt(0.0));
+                }
+            }
+            FlightCommand::EmergencyLand => {
+                if self.mode.is_airborne() {
+                    self.mode = FlightMode::EmergencyLand;
+                    self.target = Some(position.with_alt(0.0));
+                }
+            }
+            FlightCommand::SetMissionAltitude(alt) => {
+                for wp in self.mission.iter_mut() {
+                    *wp = wp.with_alt(alt);
+                }
+                if self.mode == FlightMode::Mission {
+                    if let Some(t) = self.target.as_mut() {
+                        *t = t.with_alt(alt);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Sets (or clears) an external velocity override: while active and
+    /// airborne, the autopilot flies this ENU velocity instead of waypoint
+    /// guidance. This is the interface collaborative localization uses to
+    /// steer a GPS-denied airframe (IMU velocity control needs no absolute
+    /// position). Touching the ground ends the override.
+    pub fn set_velocity_override(&mut self, v: Option<Vec3>) {
+        self.velocity_override = v;
+    }
+
+    /// Whether a velocity override is active.
+    pub fn velocity_override_active(&self) -> bool {
+        self.velocity_override.is_some()
+    }
+
+    /// The desired velocity toward the current target (ENU m/s, before
+    /// wind), and mode bookkeeping (waypoint arrival, landing completion).
+    pub fn step(&mut self, position: &GeoPoint) -> Vec3 {
+        if let Some(v) = self.velocity_override {
+            if self.mode.is_airborne() {
+                if position.alt_m <= 0.1 && v.z <= 0.0 {
+                    self.mode = FlightMode::Grounded;
+                    self.velocity_override = None;
+                    self.target = None;
+                    return Vec3::zero();
+                }
+                return v;
+            }
+            self.velocity_override = None;
+        }
+        match self.mode {
+            FlightMode::Grounded => Vec3::zero(),
+            FlightMode::Hold => Vec3::zero(),
+            FlightMode::Mission | FlightMode::ReturnToBase => {
+                let Some(target) = self.target else {
+                    // Mission queue exhausted.
+                    if self.mode == FlightMode::Mission {
+                        if let Some(next) = self.mission.pop_front() {
+                            self.target = Some(next);
+                            return self.step(position);
+                        }
+                    }
+                    return Vec3::zero();
+                };
+                let enu = target.to_enu(position);
+                if enu.horizontal_norm() < self.acceptance_m && enu.up_m.abs() < 2.0 {
+                    // Arrived.
+                    if self.mode == FlightMode::ReturnToBase {
+                        self.mode = FlightMode::Land;
+                        self.target = Some(position.with_alt(0.0));
+                    } else {
+                        self.target = self.mission.pop_front();
+                    }
+                    return Vec3::zero();
+                }
+                let horiz = Vec3::new(enu.east_m, enu.north_m, 0.0);
+                let hdir = horiz.normalized();
+                let hspeed = self.cruise_mps.min(horiz.norm());
+                let vz = enu
+                    .up_m
+                    .clamp(-self.descent_mps, self.climb_mps);
+                Vec3::new(hdir.x * hspeed, hdir.y * hspeed, vz)
+            }
+            FlightMode::Land | FlightMode::EmergencyLand => {
+                if position.alt_m <= 0.1 {
+                    self.mode = FlightMode::Grounded;
+                    self.target = None;
+                    return Vec3::zero();
+                }
+                let rate = if self.mode == FlightMode::EmergencyLand {
+                    self.emergency_descent_mps
+                } else {
+                    self.descent_mps
+                };
+                Vec3::new(0.0, 0.0, -rate.min(position.alt_m))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn home() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 0.0)
+    }
+
+    /// Integrates the autopilot from `pos` for `secs` at 10 Hz.
+    fn fly(ap: &mut Autopilot, pos: &mut GeoPoint, secs: f64) {
+        let steps = (secs * 10.0) as usize;
+        for _ in 0..steps {
+            let v = ap.step(pos);
+            let enu = Vec3::new(v.x * 0.1, v.y * 0.1, v.z * 0.1);
+            *pos = GeoPoint::from_enu(pos, enu.into());
+        }
+    }
+
+    #[test]
+    fn takeoff_reaches_altitude() {
+        let mut ap = Autopilot::new(home());
+        let mut pos = home();
+        ap.command(FlightCommand::TakeOff { altitude_m: 30.0 }, &pos);
+        assert_eq!(ap.mode(), FlightMode::Mission);
+        fly(&mut ap, &mut pos, 15.0);
+        assert!((pos.alt_m - 30.0).abs() < 3.0, "alt = {}", pos.alt_m);
+    }
+
+    #[test]
+    fn mission_visits_waypoints_in_order() {
+        let mut ap = Autopilot::new(home());
+        let mut pos = home().with_alt(30.0);
+        ap.mode = FlightMode::Mission;
+        let wp1 = home().destination(90.0, 50.0).with_alt(30.0);
+        let wp2 = wp1.destination(0.0, 50.0).with_alt(30.0);
+        ap.command(FlightCommand::SetMission(vec![wp1, wp2]), &pos);
+        fly(&mut ap, &mut pos, 30.0);
+        assert!(pos.haversine_distance_m(&wp2) < 5.0, "ended at {pos}");
+        assert_eq!(ap.remaining_waypoints(), 0);
+    }
+
+    #[test]
+    fn hold_freezes_and_resume_continues() {
+        let mut ap = Autopilot::new(home());
+        let mut pos = home().with_alt(30.0);
+        ap.mode = FlightMode::Mission;
+        let wp = home().destination(90.0, 200.0).with_alt(30.0);
+        ap.command(FlightCommand::SetMission(vec![wp]), &pos);
+        fly(&mut ap, &mut pos, 5.0);
+        ap.command(FlightCommand::Hold, &pos);
+        let frozen = pos;
+        fly(&mut ap, &mut pos, 5.0);
+        assert!(pos.haversine_distance_m(&frozen) < 0.01, "held still");
+        ap.command(FlightCommand::Resume, &pos);
+        fly(&mut ap, &mut pos, 30.0);
+        assert!(pos.haversine_distance_m(&wp) < 5.0);
+    }
+
+    #[test]
+    fn rtb_flies_home_and_lands() {
+        let mut ap = Autopilot::new(home());
+        let mut pos = home().destination(90.0, 100.0).with_alt(30.0);
+        ap.mode = FlightMode::Mission;
+        ap.command(FlightCommand::ReturnToBase, &pos);
+        assert_eq!(ap.mode(), FlightMode::ReturnToBase);
+        fly(&mut ap, &mut pos, 60.0);
+        assert_eq!(ap.mode(), FlightMode::Grounded);
+        assert!(pos.haversine_distance_m(&home()) < 10.0);
+        assert!(pos.alt_m < 0.5);
+    }
+
+    #[test]
+    fn emergency_land_descends_fast() {
+        let mut slow = Autopilot::new(home());
+        let mut fast = Autopilot::new(home());
+        let mut p1 = home().with_alt(40.0);
+        let mut p2 = home().with_alt(40.0);
+        slow.mode = FlightMode::Mission;
+        fast.mode = FlightMode::Mission;
+        slow.command(FlightCommand::Land, &p1);
+        fast.command(FlightCommand::EmergencyLand, &p2);
+        fly(&mut slow, &mut p1, 5.0);
+        fly(&mut fast, &mut p2, 5.0);
+        assert!(p2.alt_m < p1.alt_m, "emergency {} < normal {}", p2.alt_m, p1.alt_m);
+        fly(&mut fast, &mut p2, 10.0);
+        assert_eq!(fast.mode(), FlightMode::Grounded);
+    }
+
+    #[test]
+    fn mission_altitude_change_applies_to_queue() {
+        let mut ap = Autopilot::new(home());
+        let pos = home().with_alt(60.0);
+        ap.mode = FlightMode::Mission;
+        let wps: Vec<GeoPoint> = (1..4)
+            .map(|i| home().destination(90.0, i as f64 * 50.0).with_alt(60.0))
+            .collect();
+        ap.command(FlightCommand::SetMission(wps), &pos);
+        ap.command(FlightCommand::SetMissionAltitude(25.0), &pos);
+        // The in-flight target and every queued waypoint take the new
+        // altitude (observed by flying the mission and watching targets).
+        let mut seen = Vec::new();
+        let mut fly_pos = pos;
+        for _ in 0..20_000 {
+            if let Some(t) = ap.target() {
+                seen.push(t.alt_m);
+            }
+            let v = ap.step(&fly_pos);
+            if v == Vec3::zero() && ap.target().is_none() {
+                break;
+            }
+            let step = v * 0.1;
+            fly_pos = GeoPoint::from_enu(&fly_pos, step.into());
+        }
+        assert!(!seen.is_empty());
+        assert!(seen.iter().all(|a| (a - 25.0).abs() < 1e-9), "{seen:?}");
+    }
+
+    #[test]
+    fn velocity_override_preempts_waypoints_and_clears_on_touchdown() {
+        let mut ap = Autopilot::new(home());
+        let mut pos = home().with_alt(20.0);
+        ap.mode = FlightMode::Mission;
+        ap.command(
+            FlightCommand::SetMission(vec![home().destination(90.0, 500.0).with_alt(20.0)]),
+            &pos,
+        );
+        // Override: fly north instead of the eastbound waypoint.
+        ap.set_velocity_override(Some(Vec3::new(0.0, 2.0, 0.0)));
+        assert!(ap.velocity_override_active());
+        fly(&mut ap, &mut pos, 10.0);
+        let enu = pos.to_enu(&home());
+        assert!(enu.north_m > 15.0, "north {enu:?}");
+        assert!(enu.east_m.abs() < 1.0, "waypoint guidance suppressed");
+        // Descend under override until touchdown: the autopilot grounds
+        // itself and drops the override.
+        ap.set_velocity_override(Some(Vec3::new(0.0, 0.0, -3.0)));
+        fly(&mut ap, &mut pos, 10.0);
+        assert_eq!(ap.mode(), FlightMode::Grounded);
+        assert!(!ap.velocity_override_active());
+        assert!(pos.alt_m <= 0.5);
+    }
+
+    #[test]
+    fn grounded_ignores_hold_and_land() {
+        let mut ap = Autopilot::new(home());
+        let pos = home();
+        ap.command(FlightCommand::Hold, &pos);
+        assert_eq!(ap.mode(), FlightMode::Grounded);
+        ap.command(FlightCommand::Land, &pos);
+        assert_eq!(ap.mode(), FlightMode::Grounded);
+        assert_eq!(ap.step(&pos), Vec3::zero());
+    }
+
+    #[test]
+    fn push_waypoint_extends_mission() {
+        let mut ap = Autopilot::new(home());
+        ap.command(FlightCommand::PushWaypoint(home().destination(0.0, 10.0)), &home());
+        ap.command(FlightCommand::PushWaypoint(home().destination(0.0, 20.0)), &home());
+        assert_eq!(ap.remaining_waypoints(), 2);
+    }
+}

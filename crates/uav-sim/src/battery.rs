@@ -1,0 +1,188 @@
+//! Battery pack simulation with thermal-runaway fault injection.
+//!
+//! Discharge scales with commanded thrust (hover + motion); temperature
+//! follows a first-order lag toward ambient plus load heating. The
+//! injectable fault reproduces the §V-A event exactly: at the fault
+//! instant the pack sheds a large fraction of its charge (80 % → 40 % in
+//! the paper) and heats sharply.
+
+/// The simulated pack.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_uav_sim::battery::SimBattery;
+///
+/// let mut b = SimBattery::new();
+/// b.step(0.1, 1.0, 25.0);
+/// assert!(b.soc() < 1.0 && b.soc() > 0.99);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimBattery {
+    soc: f64,
+    temp_c: f64,
+    /// Fraction of capacity consumed per second at hover load.
+    pub hover_drain_per_sec: f64,
+    /// Additional drain per unit of extra load.
+    pub load_drain_per_sec: f64,
+    /// Thermal time constant, seconds.
+    pub thermal_tau_s: f64,
+    /// Heating above ambient at full load, °C.
+    pub load_heating_c: f64,
+    faulted: bool,
+}
+
+impl SimBattery {
+    /// A fresh, full pack at 25 °C. The default drain supports ≈17 min of
+    /// hover — Matrice-class endurance under payload.
+    pub fn new() -> Self {
+        SimBattery {
+            soc: 1.0,
+            temp_c: 25.0,
+            hover_drain_per_sec: 0.001,
+            load_drain_per_sec: 0.0005,
+            thermal_tau_s: 120.0,
+            load_heating_c: 12.0,
+            faulted: false,
+        }
+    }
+
+    /// State of charge in `[0, 1]`.
+    pub fn soc(&self) -> f64 {
+        self.soc
+    }
+
+    /// Pack temperature, °C.
+    pub fn temperature_c(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// Whether the thermal-runaway fault has been injected.
+    pub fn is_faulted(&self) -> bool {
+        self.faulted
+    }
+
+    /// Whether the pack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.soc <= 0.0
+    }
+
+    /// Advances the pack by `dt` seconds at `load` (1 = hover, >1 =
+    /// climbing/fast flight, 0 = grounded motors-off).
+    pub fn step(&mut self, dt: f64, load: f64, ambient_c: f64) {
+        let load = load.max(0.0);
+        let drain = if load > 0.0 {
+            self.hover_drain_per_sec + self.load_drain_per_sec * (load - 1.0).max(0.0)
+        } else {
+            0.0
+        };
+        self.soc = (self.soc - drain * dt).max(0.0);
+        // First-order thermal response toward ambient + load heating, plus
+        // runaway heating while faulted.
+        let mut target = ambient_c + self.load_heating_c * load.min(3.0);
+        if self.faulted {
+            target += 35.0;
+        }
+        let alpha = (dt / self.thermal_tau_s).min(1.0);
+        self.temp_c += (target - self.temp_c) * alpha;
+    }
+
+    /// Injects the §V-A thermal-runaway fault: the state of charge drops
+    /// by `soc_drop` immediately (paper: 0.4, i.e. 80 % → 40 %) and the
+    /// pack starts heating toward runaway temperatures.
+    pub fn inject_thermal_fault(&mut self, soc_drop: f64) {
+        self.soc = (self.soc - soc_drop.max(0.0)).max(0.0);
+        self.temp_c = self.temp_c.max(45.0);
+        self.faulted = true;
+    }
+
+    /// Replaces the pack (the baseline's 60 s battery-swap at base).
+    pub fn swap(&mut self) {
+        *self = SimBattery::new();
+    }
+}
+
+impl Default for SimBattery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hover_endurance_is_plausible() {
+        let mut b = SimBattery::new();
+        let mut secs = 0.0;
+        while !b.is_empty() && secs < 3600.0 {
+            b.step(1.0, 1.0, 25.0);
+            secs += 1.0;
+        }
+        assert!((900.0..1200.0).contains(&secs), "endurance {secs}s");
+    }
+
+    #[test]
+    fn grounded_pack_does_not_drain() {
+        let mut b = SimBattery::new();
+        b.step(1000.0, 0.0, 25.0);
+        assert_eq!(b.soc(), 1.0);
+    }
+
+    #[test]
+    fn higher_load_drains_faster() {
+        let mut hover = SimBattery::new();
+        let mut fast = SimBattery::new();
+        for _ in 0..100 {
+            hover.step(1.0, 1.0, 25.0);
+            fast.step(1.0, 2.0, 25.0);
+        }
+        assert!(fast.soc() < hover.soc());
+    }
+
+    #[test]
+    fn temperature_approaches_load_target() {
+        let mut b = SimBattery::new();
+        for _ in 0..1000 {
+            b.step(1.0, 1.0, 25.0);
+        }
+        assert!((b.temperature_c() - 37.0).abs() < 1.0, "t = {}", b.temperature_c());
+    }
+
+    #[test]
+    fn fault_reproduces_paper_drop() {
+        let mut b = SimBattery::new();
+        // Discharge to 80 %.
+        while b.soc() > 0.8 {
+            b.step(1.0, 1.0, 25.0);
+        }
+        b.inject_thermal_fault(0.4);
+        assert!((b.soc() - 0.4).abs() < 0.01, "soc = {}", b.soc());
+        assert!(b.is_faulted());
+        assert!(b.temperature_c() >= 45.0);
+        // Runaway heating continues.
+        for _ in 0..600 {
+            b.step(1.0, 1.0, 25.0);
+        }
+        assert!(b.temperature_c() > 60.0, "t = {}", b.temperature_c());
+    }
+
+    #[test]
+    fn soc_floors_at_zero() {
+        let mut b = SimBattery::new();
+        b.inject_thermal_fault(5.0);
+        assert_eq!(b.soc(), 0.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn swap_restores_fresh_pack() {
+        let mut b = SimBattery::new();
+        b.inject_thermal_fault(0.4);
+        b.swap();
+        assert_eq!(b.soc(), 1.0);
+        assert!(!b.is_faulted());
+        assert_eq!(b.temperature_c(), 25.0);
+    }
+}

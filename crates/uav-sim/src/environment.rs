@@ -1,0 +1,113 @@
+//! Wind and ambient temperature.
+//!
+//! DJI Assistant 2 lets operators "adjust wind speed" in simulation
+//! (§IV-B); the environment model provides steady wind plus seeded gusts,
+//! and an ambient temperature that feeds the battery thermal model.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_types::geo::Vec3;
+
+/// The environment model.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_uav_sim::environment::Environment;
+///
+/// let mut env = Environment::new(1);
+/// env.set_wind(4.0, 90.0);
+/// let w = env.wind_at(0.0);
+/// assert!(w.norm() > 1.0);
+/// ```
+#[derive(Debug)]
+pub struct Environment {
+    rng: StdRng,
+    wind_speed_mps: f64,
+    wind_from_deg: f64,
+    /// Gust intensity as a fraction of steady wind.
+    pub gust_fraction: f64,
+    /// Ambient temperature in °C.
+    pub ambient_c: f64,
+}
+
+impl Environment {
+    /// Calm, 25 °C environment with seeded gusts.
+    pub fn new(seed: u64) -> Self {
+        Environment {
+            rng: StdRng::seed_from_u64(seed),
+            wind_speed_mps: 0.0,
+            wind_from_deg: 0.0,
+            gust_fraction: 0.2,
+            ambient_c: 25.0,
+        }
+    }
+
+    /// Sets steady wind: `speed` m/s blowing *from* `from_deg` (degrees
+    /// clockwise from north).
+    pub fn set_wind(&mut self, speed_mps: f64, from_deg: f64) {
+        self.wind_speed_mps = speed_mps.max(0.0);
+        self.wind_from_deg = from_deg;
+    }
+
+    /// The wind vector (ENU, m/s) at the current instant, including a gust
+    /// sample. `_time_s` is accepted for future time-varying profiles.
+    pub fn wind_at(&mut self, _time_s: f64) -> Vec3 {
+        let gust = 1.0 + self.gust_fraction * (self.rng.random::<f64>() * 2.0 - 1.0);
+        let speed = self.wind_speed_mps * gust;
+        // Blowing FROM from_deg means the velocity vector points the
+        // opposite way.
+        let to_rad = (self.wind_from_deg + 180.0).to_radians();
+        Vec3::new(speed * to_rad.sin(), speed * to_rad.cos(), 0.0)
+    }
+
+    /// Ambient temperature in °C.
+    pub fn ambient_c(&self) -> f64 {
+        self.ambient_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calm_environment_has_no_wind() {
+        let mut env = Environment::new(1);
+        assert_eq!(env.wind_at(0.0), Vec3::zero());
+        assert_eq!(env.ambient_c(), 25.0);
+    }
+
+    #[test]
+    fn wind_direction_convention() {
+        let mut env = Environment::new(1);
+        env.gust_fraction = 0.0;
+        env.set_wind(10.0, 0.0); // from north -> blows south
+        let w = env.wind_at(0.0);
+        assert!(w.y < -9.9, "northerly wind blows south: {w:?}");
+        env.set_wind(10.0, 270.0); // from west -> blows east
+        let w = env.wind_at(0.0);
+        assert!(w.x > 9.9, "westerly wind blows east: {w:?}");
+    }
+
+    #[test]
+    fn gusts_vary_but_stay_bounded() {
+        let mut env = Environment::new(2);
+        env.set_wind(10.0, 180.0);
+        let mut speeds = Vec::new();
+        for _ in 0..100 {
+            speeds.push(env.wind_at(0.0).norm());
+        }
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = speeds.iter().cloned().fold(0.0, f64::max);
+        assert!(min >= 8.0 - 1e-9 && max <= 12.0 + 1e-9, "{min}..{max}");
+        assert!(max - min > 0.1, "gusts must vary");
+    }
+
+    #[test]
+    fn negative_wind_clamped() {
+        let mut env = Environment::new(3);
+        env.set_wind(-5.0, 0.0);
+        assert_eq!(env.wind_at(0.0).norm(), 0.0);
+    }
+}

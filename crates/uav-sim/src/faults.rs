@@ -1,0 +1,163 @@
+//! The fault / attack schedule.
+//!
+//! Experiments declare *what goes wrong when* up front; the simulator
+//! fires each entry at its time. This is how the §V-A battery fault
+//! ("sharp drop from 80 % to 40 % at the 250th second") and the §V-C
+//! spoofing attack enter a run.
+
+use sesame_types::geo::Vec3;
+use sesame_types::ids::UavId;
+use sesame_types::time::SimTime;
+
+/// The injectable fault kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Battery thermal runaway: immediate SoC drop + heating (§V-A).
+    BatteryOverTemp {
+        /// Fraction of charge lost instantly (paper: 0.4).
+        soc_drop: f64,
+    },
+    /// A motor stops producing thrust.
+    MotorFailure {
+        /// Motor index.
+        motor: usize,
+    },
+    /// GPS signal loss.
+    GpsLoss,
+    /// GPS spoofing: the solution is dragged at the given ENU velocity.
+    GpsSpoof {
+        /// Drag velocity, m/s.
+        drift: Vec3,
+    },
+    /// Vision sensor degradation.
+    VisionDegraded {
+        /// Remaining health in `[0, 1]`.
+        health: f64,
+    },
+    /// Ends any GPS condition (loss or spoof).
+    GpsRestore,
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledFault {
+    /// When to fire.
+    pub at: SimTime,
+    /// Which UAV is affected.
+    pub uav: UavId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// An ordered schedule of faults.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::ids::UavId;
+/// use sesame_types::time::SimTime;
+/// use sesame_uav_sim::faults::{FaultKind, FaultSchedule};
+///
+/// let mut schedule = FaultSchedule::new();
+/// schedule.add(SimTime::from_secs(250), UavId::new(1), FaultKind::BatteryOverTemp { soc_drop: 0.4 });
+/// let due = schedule.due(SimTime::from_secs(250));
+/// assert_eq!(due.len(), 1);
+/// assert!(schedule.due(SimTime::from_secs(251)).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    entries: Vec<ScheduledFault>,
+    fired: usize,
+}
+
+impl FaultSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault; entries may be added in any order.
+    pub fn add(&mut self, at: SimTime, uav: UavId, kind: FaultKind) {
+        let pos = self
+            .entries
+            .iter()
+            .skip(self.fired)
+            .position(|e| e.at > at)
+            .map(|p| p + self.fired)
+            .unwrap_or(self.entries.len());
+        assert!(
+            pos >= self.fired,
+            "cannot schedule a fault in the already-fired past"
+        );
+        self.entries.insert(pos, ScheduledFault { at, uav, kind });
+    }
+
+    /// Returns (and consumes) every entry due at or before `now`.
+    pub fn due(&mut self, now: SimTime) -> Vec<ScheduledFault> {
+        let mut out = Vec::new();
+        while self.fired < self.entries.len() && self.entries[self.fired].at <= now {
+            out.push(self.entries[self.fired].clone());
+            self.fired += 1;
+        }
+        out
+    }
+
+    /// Entries not yet fired.
+    pub fn pending(&self) -> usize {
+        self.entries.len() - self.fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order_regardless_of_insertion() {
+        let mut s = FaultSchedule::new();
+        s.add(SimTime::from_secs(10), UavId::new(1), FaultKind::GpsLoss);
+        s.add(
+            SimTime::from_secs(5),
+            UavId::new(2),
+            FaultKind::MotorFailure { motor: 0 },
+        );
+        assert_eq!(s.pending(), 2);
+        let first = s.due(SimTime::from_secs(5));
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].uav, UavId::new(2));
+        let second = s.due(SimTime::from_secs(60));
+        assert_eq!(second.len(), 1);
+        assert!(matches!(second[0].kind, FaultKind::GpsLoss));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn nothing_due_before_time() {
+        let mut s = FaultSchedule::new();
+        s.add(SimTime::from_secs(100), UavId::new(1), FaultKind::GpsLoss);
+        assert!(s.due(SimTime::from_secs(99)).is_empty());
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn multiple_due_at_once() {
+        let mut s = FaultSchedule::new();
+        for i in 0..3 {
+            s.add(
+                SimTime::from_secs(10),
+                UavId::new(i),
+                FaultKind::VisionDegraded { health: 0.5 },
+            );
+        }
+        assert_eq!(s.due(SimTime::from_secs(10)).len(), 3);
+    }
+
+    #[test]
+    fn consumed_entries_do_not_refire() {
+        let mut s = FaultSchedule::new();
+        s.add(SimTime::from_secs(1), UavId::new(1), FaultKind::GpsLoss);
+        assert_eq!(s.due(SimTime::from_secs(1)).len(), 1);
+        assert!(s.due(SimTime::from_secs(1)).is_empty());
+        assert!(s.due(SimTime::from_secs(2)).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Geofence monitoring.
+//!
+//! "Safety concerns risks related to UAV navigation in complex or
+//! unpredictable environments" (§I): a geofence bounds the operation to
+//! the approved volume. The monitor classifies positions into inside /
+//! margin / breach, with hysteresis-friendly margins — its output is
+//! runtime evidence for the navigation certificates and a trigger for
+//! return-to-base actions.
+
+use crate::world::World;
+use sesame_types::geo::GeoPoint;
+
+/// Where a position sits relative to the fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceStatus {
+    /// Comfortably inside.
+    Inside,
+    /// Inside but within the warning margin of the boundary.
+    Margin,
+    /// Outside the approved volume.
+    Breach,
+}
+
+/// A rectangular-prism geofence derived from the mission world plus a
+/// lateral buffer and an altitude ceiling.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::geo::GeoPoint;
+/// use sesame_uav_sim::geofence::{FenceStatus, Geofence};
+/// use sesame_uav_sim::world::World;
+///
+/// let world = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 200.0, 100.0, 0);
+/// let fence = Geofence::around(&world, 20.0, 120.0);
+/// assert_eq!(fence.classify(&world.point_at(0.5, 0.5, 30.0)), FenceStatus::Inside);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Geofence {
+    origin: GeoPoint,
+    width_m: f64,
+    height_m: f64,
+    /// Lateral buffer outside the AOI that is still legal, metres.
+    pub buffer_m: f64,
+    /// Maximum altitude, metres.
+    pub ceiling_m: f64,
+    /// Margin width that triggers [`FenceStatus::Margin`], metres.
+    pub warning_margin_m: f64,
+}
+
+impl Geofence {
+    /// Builds a fence around a world with the given buffer and ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_m` is negative or `ceiling_m` is not positive.
+    pub fn around(world: &World, buffer_m: f64, ceiling_m: f64) -> Self {
+        assert!(buffer_m >= 0.0, "buffer must be ≥ 0");
+        assert!(ceiling_m > 0.0, "ceiling must be positive");
+        Geofence {
+            origin: world.base(),
+            width_m: world.width_m(),
+            height_m: world.height_m(),
+            buffer_m,
+            ceiling_m,
+            warning_margin_m: 15.0,
+        }
+    }
+
+    /// Signed lateral clearance: metres to the nearest legal boundary
+    /// (positive inside, negative outside).
+    pub fn lateral_clearance_m(&self, p: &GeoPoint) -> f64 {
+        let enu = p.to_enu(&self.origin);
+        let west = enu.east_m + self.buffer_m;
+        let east = self.width_m + self.buffer_m - enu.east_m;
+        let south = enu.north_m + self.buffer_m;
+        let north = self.height_m + self.buffer_m - enu.north_m;
+        west.min(east).min(south).min(north)
+    }
+
+    /// Classifies a position.
+    pub fn classify(&self, p: &GeoPoint) -> FenceStatus {
+        let lateral = self.lateral_clearance_m(p);
+        let vertical = self.ceiling_m - p.alt_m;
+        if lateral < 0.0 || vertical < 0.0 {
+            FenceStatus::Breach
+        } else if lateral < self.warning_margin_m || vertical < self.warning_margin_m {
+            FenceStatus::Margin
+        } else {
+            FenceStatus::Inside
+        }
+    }
+}
+
+/// Tracks a UAV's fence state over time, reporting transitions once.
+#[derive(Debug, Clone)]
+pub struct GeofenceMonitor {
+    fence: Geofence,
+    last: FenceStatus,
+}
+
+impl GeofenceMonitor {
+    /// Starts a monitor in the `Inside` state.
+    pub fn new(fence: Geofence) -> Self {
+        GeofenceMonitor {
+            fence,
+            last: FenceStatus::Inside,
+        }
+    }
+
+    /// Updates with the latest position; returns the new status when it
+    /// *changed* since the previous update (edge-triggered, so the
+    /// platform raises one event per transition).
+    pub fn update(&mut self, p: &GeoPoint) -> Option<FenceStatus> {
+        let status = self.fence.classify(p);
+        if status != self.last {
+            self.last = status;
+            Some(status)
+        } else {
+            None
+        }
+    }
+
+    /// The current status.
+    pub fn status(&self) -> FenceStatus {
+        self.last
+    }
+
+    /// The fence.
+    pub fn fence(&self) -> &Geofence {
+        &self.fence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (World, Geofence) {
+        let world = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 200.0, 100.0, 0);
+        let fence = Geofence::around(&world, 20.0, 120.0);
+        (world, fence)
+    }
+
+    #[test]
+    fn center_is_inside() {
+        let (world, fence) = setup();
+        assert_eq!(
+            fence.classify(&world.point_at(0.5, 0.5, 30.0)),
+            FenceStatus::Inside
+        );
+        assert!(fence.lateral_clearance_m(&world.point_at(0.5, 0.5, 30.0)) > 50.0);
+    }
+
+    #[test]
+    fn buffer_zone_is_legal_but_marginal() {
+        let (world, fence) = setup();
+        // 10 m west of the AOI: inside the 20 m buffer, within the 15 m
+        // warning margin of its edge.
+        let p = world.base().destination(270.0, 10.0).with_alt(30.0);
+        assert_eq!(fence.classify(&p), FenceStatus::Margin);
+    }
+
+    #[test]
+    fn far_outside_is_breach() {
+        let (world, fence) = setup();
+        let p = world.base().destination(270.0, 100.0).with_alt(30.0);
+        assert_eq!(fence.classify(&p), FenceStatus::Breach);
+        assert!(fence.lateral_clearance_m(&p) < 0.0);
+    }
+
+    #[test]
+    fn ceiling_is_enforced() {
+        let (world, fence) = setup();
+        let center = world.point_at(0.5, 0.5, 0.0);
+        assert_eq!(fence.classify(&center.with_alt(119.0)), FenceStatus::Margin);
+        assert_eq!(fence.classify(&center.with_alt(130.0)), FenceStatus::Breach);
+        assert_eq!(fence.classify(&center.with_alt(30.0)), FenceStatus::Inside);
+    }
+
+    #[test]
+    fn monitor_is_edge_triggered() {
+        let (world, fence) = setup();
+        let mut mon = GeofenceMonitor::new(fence);
+        let inside = world.point_at(0.5, 0.5, 30.0);
+        let outside = world.base().destination(270.0, 100.0).with_alt(30.0);
+        assert_eq!(mon.update(&inside), None, "already inside");
+        assert_eq!(mon.update(&outside), Some(FenceStatus::Breach));
+        assert_eq!(mon.update(&outside), None, "no repeat while breached");
+        assert_eq!(mon.update(&inside), Some(FenceStatus::Inside));
+        assert_eq!(mon.status(), FenceStatus::Inside);
+    }
+
+    #[test]
+    #[should_panic(expected = "ceiling")]
+    fn zero_ceiling_panics() {
+        let (world, _) = setup();
+        let _ = Geofence::around(&world, 10.0, 0.0);
+    }
+}

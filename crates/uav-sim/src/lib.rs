@@ -1,0 +1,55 @@
+//! Fixed-step multi-UAV flight simulator.
+//!
+//! The substrate standing in for the paper's DJI Matrice 300 RTK testbed,
+//! DJI Assistant 2 and Gazebo (§IV-B; see DESIGN.md for the substitution
+//! argument). Deterministic, 100 ms default tick, seeded noise. The
+//! simulator provides exactly the signals the SESAME runtime monitors
+//! consume:
+//!
+//! * [`world`] — the search area, ground-truth persons, the launch base;
+//! * [`environment`] — wind and ambient temperature;
+//! * [`battery`] — state of charge, thermal dynamics, thermal-runaway
+//!   fault (the §V-A 80 % → 40 % drop);
+//! * [`propulsion`] — per-motor health with injectable failures;
+//! * [`gps`] — receiver quality (satellites, HDOP), loss, and spoofing
+//!   offsets (the §V-C attack input);
+//! * [`camera`] — ground footprint and visible-person queries;
+//! * [`autopilot`] — waypoint following and the flight modes the UAV
+//!   ConSert commands (mission / hold / return / land / emergency land);
+//! * [`faults`] — the fault/attack schedule;
+//! * [`sim`] — the fixed-step [`sim::Simulator`] stepping everything and
+//!   emitting telemetry + events.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_uav_sim::sim::{Simulator, UavConfig};
+//! use sesame_uav_sim::world::World;
+//! use sesame_types::geo::GeoPoint;
+//!
+//! let world = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 400.0, 300.0, 7);
+//! let mut sim = Simulator::new(world, 42);
+//! let uav = sim.add_uav(UavConfig::default());
+//! sim.command_takeoff(uav, 30.0);
+//! for _ in 0..100 {
+//!     sim.step();
+//! }
+//! let telemetry = sim.telemetry(uav);
+//! assert!(telemetry.true_position.alt_m > 5.0);
+//! ```
+
+pub mod autopilot;
+pub mod battery;
+pub mod camera;
+pub mod environment;
+pub mod faults;
+pub mod geofence;
+pub mod gps;
+pub mod propulsion;
+pub mod sim;
+pub mod world;
+
+pub use autopilot::{Autopilot, FlightCommand};
+pub use faults::{FaultKind, FaultSchedule, ScheduledFault};
+pub use sim::{Simulator, UavConfig, UavHandle};
+pub use world::World;

@@ -1,0 +1,119 @@
+//! Motor set simulation with injectable failures.
+
+/// The simulated motor set of one airframe.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_uav_sim::propulsion::SimPropulsion;
+///
+/// let mut p = SimPropulsion::new(4);
+/// p.fail_motor(2);
+/// assert_eq!(p.failed_count(), 1);
+/// assert!(!p.is_controllable(0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimPropulsion {
+    motors_ok: Vec<bool>,
+}
+
+impl SimPropulsion {
+    /// A healthy motor set of `count` motors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 3` (no multirotor flies on fewer).
+    pub fn new(count: usize) -> Self {
+        assert!(count >= 3, "a multirotor needs at least 3 motors");
+        SimPropulsion {
+            motors_ok: vec![true; count],
+        }
+    }
+
+    /// Per-motor health flags.
+    pub fn motors_ok(&self) -> &[bool] {
+        &self.motors_ok
+    }
+
+    /// Number of motors.
+    pub fn motor_count(&self) -> usize {
+        self.motors_ok.len()
+    }
+
+    /// Number of failed motors.
+    pub fn failed_count(&self) -> usize {
+        self.motors_ok.iter().filter(|ok| !**ok).count()
+    }
+
+    /// Fails motor `index` (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn fail_motor(&mut self, index: usize) {
+        assert!(index < self.motors_ok.len(), "motor index out of range");
+        self.motors_ok[index] = false;
+    }
+
+    /// Whether the airframe remains controllable given it tolerates
+    /// `tolerated` motor losses.
+    pub fn is_controllable(&self, tolerated: usize) -> bool {
+        self.failed_count() <= tolerated
+    }
+
+    /// Thrust capability factor in `[0, 1]`: each lost motor reduces
+    /// available thrust proportionally.
+    pub fn thrust_factor(&self) -> f64 {
+        let ok = self.motor_count() - self.failed_count();
+        ok as f64 / self.motor_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_set() {
+        let p = SimPropulsion::new(6);
+        assert_eq!(p.motor_count(), 6);
+        assert_eq!(p.failed_count(), 0);
+        assert!(p.is_controllable(0));
+        assert_eq!(p.thrust_factor(), 1.0);
+        assert_eq!(p.motors_ok().len(), 6);
+    }
+
+    #[test]
+    fn failures_accumulate_idempotently() {
+        let mut p = SimPropulsion::new(6);
+        p.fail_motor(1);
+        p.fail_motor(1);
+        assert_eq!(p.failed_count(), 1);
+        p.fail_motor(4);
+        assert_eq!(p.failed_count(), 2);
+        assert!((p.thrust_factor() - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn controllability_threshold() {
+        let mut p = SimPropulsion::new(6);
+        p.fail_motor(0);
+        assert!(p.is_controllable(1), "hexa tolerates one");
+        p.fail_motor(1);
+        assert!(!p.is_controllable(1));
+        assert!(p.is_controllable(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let mut p = SimPropulsion::new(4);
+        p.fail_motor(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_motors_panics() {
+        let _ = SimPropulsion::new(2);
+    }
+}

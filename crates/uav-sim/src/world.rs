@@ -1,0 +1,168 @@
+//! The mission world: search area, persons, base.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_types::geo::GeoPoint;
+
+/// A rectangular area of interest with ground-truth persons to find.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::geo::GeoPoint;
+/// use sesame_uav_sim::world::World;
+///
+/// let w = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 500.0, 300.0, 5);
+/// assert_eq!(w.persons().len(), 5);
+/// assert!(w.contains(&w.persons()[0]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct World {
+    /// South-west corner of the AOI (also the launch base).
+    origin: GeoPoint,
+    /// East extent, metres.
+    width_m: f64,
+    /// North extent, metres.
+    height_m: f64,
+    persons: Vec<GeoPoint>,
+    /// Visibility in `[0, 1]` (1 = clear).
+    visibility: f64,
+}
+
+impl World {
+    /// A rectangular world anchored at `origin` (south-west corner /
+    /// launch base) with `person_count` persons placed deterministically
+    /// from the world seed embedded in dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive.
+    pub fn rectangle(origin: GeoPoint, width_m: f64, height_m: f64, person_count: usize) -> Self {
+        assert!(width_m > 0.0 && height_m > 0.0, "area must be positive");
+        let mut rng = StdRng::seed_from_u64(
+            (width_m as u64)
+                .wrapping_mul(31)
+                .wrapping_add(height_m as u64)
+                .wrapping_add(person_count as u64),
+        );
+        let persons = (0..person_count)
+            .map(|_| {
+                let east = rng.random::<f64>() * width_m;
+                let north = rng.random::<f64>() * height_m;
+                origin.destination(90.0, east).destination(0.0, north).with_alt(0.0)
+            })
+            .collect();
+        World {
+            origin,
+            width_m,
+            height_m,
+            persons,
+            visibility: 1.0,
+        }
+    }
+
+    /// The launch base (south-west corner, ground level).
+    pub fn base(&self) -> GeoPoint {
+        self.origin.with_alt(0.0)
+    }
+
+    /// East extent in metres.
+    pub fn width_m(&self) -> f64 {
+        self.width_m
+    }
+
+    /// North extent in metres.
+    pub fn height_m(&self) -> f64 {
+        self.height_m
+    }
+
+    /// The ground-truth persons.
+    pub fn persons(&self) -> &[GeoPoint] {
+        &self.persons
+    }
+
+    /// Current visibility in `[0, 1]`.
+    pub fn visibility(&self) -> f64 {
+        self.visibility
+    }
+
+    /// Sets visibility (clamped to `[0, 1]`).
+    pub fn set_visibility(&mut self, v: f64) {
+        self.visibility = v.clamp(0.0, 1.0);
+    }
+
+    /// Whether a point lies inside the AOI (horizontally).
+    pub fn contains(&self, p: &GeoPoint) -> bool {
+        let enu = p.to_enu(&self.origin);
+        (0.0..=self.width_m).contains(&enu.east_m) && (0.0..=self.height_m).contains(&enu.north_m)
+    }
+
+    /// The AOI point at fractional coordinates `(fx, fy) ∈ [0,1]²` at the
+    /// given altitude.
+    pub fn point_at(&self, fx: f64, fy: f64, alt_m: f64) -> GeoPoint {
+        self.origin
+            .destination(90.0, fx.clamp(0.0, 1.0) * self.width_m)
+            .destination(0.0, fy.clamp(0.0, 1.0) * self.height_m)
+            .with_alt(alt_m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 400.0, 300.0, 8)
+    }
+
+    #[test]
+    fn persons_inside_area() {
+        let w = world();
+        assert_eq!(w.persons().len(), 8);
+        for p in w.persons() {
+            assert!(w.contains(p), "{p}");
+            assert_eq!(p.alt_m, 0.0);
+        }
+    }
+
+    #[test]
+    fn corners_and_outside() {
+        let w = world();
+        assert!(w.contains(&w.point_at(0.0, 0.0, 0.0)));
+        assert!(w.contains(&w.point_at(1.0, 1.0, 0.0)));
+        let outside = w.base().destination(270.0, 50.0);
+        assert!(!w.contains(&outside));
+    }
+
+    #[test]
+    fn point_at_is_metrically_consistent() {
+        let w = world();
+        let p = w.point_at(1.0, 0.0, 10.0);
+        let d = w.base().haversine_distance_m(&p);
+        assert!((d - 400.0).abs() < 1.0, "d = {d}");
+        assert_eq!(p.alt_m, 10.0);
+    }
+
+    #[test]
+    fn deterministic_person_placement() {
+        let a = world();
+        let b = world();
+        assert_eq!(a.persons(), b.persons());
+    }
+
+    #[test]
+    fn visibility_clamps() {
+        let mut w = world();
+        assert_eq!(w.visibility(), 1.0);
+        w.set_visibility(-2.0);
+        assert_eq!(w.visibility(), 0.0);
+        w.set_visibility(0.6);
+        assert_eq!(w.visibility(), 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_panics() {
+        let _ = World::rectangle(GeoPoint::default(), 0.0, 100.0, 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Vision-based nearby-drone detection.
+//!
+//! Collaborative agents detect the affected UAV with their RGB cameras and
+//! measure its direction (bearing and elevation, with pixel-level angular
+//! noise) plus a monocular range estimate. Detection probability decays
+//! with range — past the depth estimator's usable range nothing is seen.
+
+use crate::depth::DepthEstimator;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_types::geo::GeoPoint;
+
+/// One sighting of another drone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DroneObservation {
+    /// Bearing from the observer to the target, degrees clockwise from
+    /// north.
+    pub bearing_deg: f64,
+    /// Elevation angle, degrees (positive = target above observer).
+    pub elevation_deg: f64,
+    /// Monocular range estimate in metres.
+    pub range_m: f64,
+    /// 1-σ of the range estimate at this range.
+    pub range_sigma_m: f64,
+    /// 1-σ of the angular measurements in degrees.
+    pub angle_sigma_deg: f64,
+}
+
+/// The drone detector of a collaborative agent.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::geo::GeoPoint;
+/// use sesame_vision::drone_detect::DroneDetector;
+///
+/// let mut det = DroneDetector::new(3);
+/// let me = GeoPoint::new(35.0, 33.0, 30.0);
+/// let target = me.destination(90.0, 40.0).with_alt(35.0);
+/// if let Some(obs) = det.observe(&me, &target) {
+///     assert!((obs.bearing_deg - 90.0).abs() < 10.0);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct DroneDetector {
+    rng: StdRng,
+    depth: DepthEstimator,
+    /// Angular noise (degrees, 1-σ) of the bearing/elevation measurement.
+    pub angle_sigma_deg: f64,
+    /// Detection probability at zero range.
+    pub p_detect_near: f64,
+    /// Range at which detection probability halves.
+    pub half_range_m: f64,
+}
+
+impl DroneDetector {
+    /// Creates a detector with tinyYOLO-class characteristics.
+    pub fn new(seed: u64) -> Self {
+        DroneDetector {
+            rng: StdRng::seed_from_u64(seed),
+            depth: DepthEstimator::new(seed.wrapping_mul(0x9E37_79B9).wrapping_add(1)),
+            angle_sigma_deg: 1.5,
+            p_detect_near: 0.98,
+            half_range_m: 80.0,
+        }
+    }
+
+    /// Probability of detecting a target at `range_m`.
+    pub fn detection_probability(&self, range_m: f64) -> f64 {
+        if !self.depth.in_range(range_m) {
+            return 0.0;
+        }
+        let r = range_m / self.half_range_m;
+        self.p_detect_near / (1.0 + r * r)
+    }
+
+    /// Attempts to observe `target` from `observer`. Returns `None` when
+    /// the target is missed or out of range.
+    pub fn observe(&mut self, observer: &GeoPoint, target: &GeoPoint) -> Option<DroneObservation> {
+        let range = observer.distance_3d_m(target);
+        if self.rng.random::<f64>() >= self.detection_probability(range) {
+            return None;
+        }
+        let true_bearing = observer.bearing_deg(target);
+        let horiz = observer.haversine_distance_m(target);
+        let true_elev = (target.alt_m - observer.alt_m).atan2(horiz.max(0.1)).to_degrees();
+        let bearing = (true_bearing + self.angle_sigma_deg * self.gaussian() + 360.0) % 360.0;
+        let elevation = true_elev + self.angle_sigma_deg * self.gaussian();
+        let range_est = self.depth.estimate(range);
+        Some(DroneObservation {
+            bearing_deg: bearing,
+            elevation_deg: elevation,
+            range_m: range_est,
+            range_sigma_m: self.depth.sigma_at(range_est),
+            angle_sigma_deg: self.angle_sigma_deg,
+        })
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn me() -> GeoPoint {
+        GeoPoint::new(35.0, 33.0, 30.0)
+    }
+
+    #[test]
+    fn detection_probability_decays_and_cuts_off() {
+        let d = DroneDetector::new(1);
+        assert!(d.detection_probability(10.0) > d.detection_probability(100.0));
+        assert_eq!(d.detection_probability(1e4), 0.0);
+    }
+
+    #[test]
+    fn observation_geometry_is_unbiased() {
+        let mut d = DroneDetector::new(5);
+        let target = me().destination(45.0, 50.0).with_alt(40.0);
+        let mut bearings = Vec::new();
+        let mut ranges = Vec::new();
+        for _ in 0..3000 {
+            if let Some(obs) = d.observe(&me(), &target) {
+                bearings.push(obs.bearing_deg);
+                ranges.push(obs.range_m);
+            }
+        }
+        assert!(bearings.len() > 1000, "detections = {}", bearings.len());
+        let mean_b = bearings.iter().sum::<f64>() / bearings.len() as f64;
+        assert!((mean_b - 45.0).abs() < 0.5, "mean bearing {mean_b}");
+        let mean_r = ranges.iter().sum::<f64>() / ranges.len() as f64;
+        let true_r = me().distance_3d_m(&target);
+        assert!((mean_r - true_r).abs() < 2.0, "mean range {mean_r} vs {true_r}");
+    }
+
+    #[test]
+    fn elevation_sign_tracks_relative_altitude() {
+        let mut d = DroneDetector::new(6);
+        let above = me().destination(0.0, 30.0).with_alt(60.0);
+        let below = me().destination(0.0, 30.0).with_alt(5.0);
+        let mut sum_above = 0.0;
+        let mut sum_below = 0.0;
+        let mut n = 0;
+        for _ in 0..500 {
+            if let (Some(a), Some(b)) = (d.observe(&me(), &above), d.observe(&me(), &below)) {
+                sum_above += a.elevation_deg;
+                sum_below += b.elevation_deg;
+                n += 1;
+            }
+        }
+        assert!(n > 100);
+        assert!(sum_above / n as f64 > 10.0);
+        assert!(sum_below / (n as f64) < -10.0);
+    }
+
+    #[test]
+    fn out_of_range_target_never_observed() {
+        let mut d = DroneDetector::new(7);
+        let far = me().destination(90.0, 5000.0);
+        for _ in 0..200 {
+            assert!(d.observe(&me(), &far).is_none());
+        }
+    }
+}

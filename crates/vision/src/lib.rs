@@ -1,0 +1,33 @@
+//! Synthetic vision substrate.
+//!
+//! The paper's platform runs tiny YOLOv4 person/drone detection and
+//! monocular depth estimation on Jetson-class hardware (§III-C, §IV-B).
+//! This crate is the calibrated synthetic stand-in (see DESIGN.md):
+//!
+//! * [`features`] — per-frame feature vectors whose distribution shifts
+//!   with altitude and visibility, calibrated so that SafeML reproduces the
+//!   §V-B uncertainty numbers (>90 % at high altitude, ≈75 % after
+//!   descending);
+//! * [`detector`] — a stochastic person detector with altitude/visibility-
+//!   dependent accuracy (≈99.8 % at the paper's low-altitude operating
+//!   point);
+//! * [`depth`] — monocular range estimation with distance-proportional
+//!   noise;
+//! * [`drone_detect`] — nearby-drone detection producing bearing/elevation
+//!   and range measurements for collaborative localization;
+//! * [`tracking`] — a constant-velocity Kalman filter to smooth detection
+//!   tracks.
+//!
+//! Everything is seeded and deterministic.
+
+pub mod depth;
+pub mod detector;
+pub mod drone_detect;
+pub mod features;
+pub mod tracking;
+
+pub use depth::DepthEstimator;
+pub use detector::{Detection, PersonDetector};
+pub use drone_detect::{DroneDetector, DroneObservation};
+pub use features::{FeatureExtractor, SceneCondition};
+pub use tracking::KalmanTracker;

@@ -1,0 +1,205 @@
+//! Constant-velocity Kalman tracking.
+//!
+//! The collaborative-localization stack smooths per-frame position fixes of
+//! the affected UAV ("Detection & Tracking" in Fig. 2) with a standard
+//! per-axis constant-velocity Kalman filter in local ENU coordinates.
+
+use sesame_types::geo::Vec3;
+
+/// Per-axis state: position and velocity with a 2×2 covariance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Axis {
+    pos: f64,
+    vel: f64,
+    // Covariance [[p00, p01], [p01, p11]].
+    p00: f64,
+    p01: f64,
+    p11: f64,
+}
+
+impl Axis {
+    fn new(pos: f64, pos_var: f64) -> Self {
+        Axis {
+            pos,
+            vel: 0.0,
+            p00: pos_var,
+            p01: 0.0,
+            p11: 25.0, // generous initial velocity variance (5 m/s σ)
+        }
+    }
+
+    fn predict(&mut self, dt: f64, q_accel: f64) {
+        self.pos += self.vel * dt;
+        // P = F P Fᵀ + Q  with F = [[1, dt], [0, 1]].
+        let p00 = self.p00 + dt * (2.0 * self.p01 + dt * self.p11);
+        let p01 = self.p01 + dt * self.p11;
+        let p11 = self.p11;
+        // White-acceleration process noise.
+        let dt2 = dt * dt;
+        self.p00 = p00 + q_accel * dt2 * dt2 / 4.0;
+        self.p01 = p01 + q_accel * dt2 * dt / 2.0;
+        self.p11 = p11 + q_accel * dt2;
+    }
+
+    fn update(&mut self, z: f64, r: f64) {
+        let s = self.p00 + r;
+        let k0 = self.p00 / s;
+        let k1 = self.p01 / s;
+        let innov = z - self.pos;
+        self.pos += k0 * innov;
+        self.vel += k1 * innov;
+        let p00 = (1.0 - k0) * self.p00;
+        let p01 = (1.0 - k0) * self.p01;
+        let p11 = self.p11 - k1 * self.p01;
+        self.p00 = p00;
+        self.p01 = p01;
+        self.p11 = p11;
+    }
+}
+
+/// A 3-axis constant-velocity tracker over local ENU coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_types::geo::Vec3;
+/// use sesame_vision::tracking::KalmanTracker;
+///
+/// let mut kt = KalmanTracker::new(Vec3::new(0.0, 0.0, 30.0), 4.0);
+/// kt.predict(0.1);
+/// kt.update(Vec3::new(0.5, 0.0, 30.0), 4.0);
+/// assert!(kt.position().x > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanTracker {
+    axes: [Axis; 3],
+    /// Process (acceleration) noise intensity, (m/s²)².
+    pub q_accel: f64,
+}
+
+impl KalmanTracker {
+    /// Starts a track at `position` with measurement variance `pos_var`
+    /// (m²) and a default manoeuvre noise of 1 (m/s²)².
+    pub fn new(position: Vec3, pos_var: f64) -> Self {
+        KalmanTracker {
+            axes: [
+                Axis::new(position.x, pos_var),
+                Axis::new(position.y, pos_var),
+                Axis::new(position.z, pos_var),
+            ],
+            q_accel: 1.0,
+        }
+    }
+
+    /// Propagates the track forward by `dt` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn predict(&mut self, dt: f64) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be ≥ 0");
+        for a in &mut self.axes {
+            a.predict(dt, self.q_accel);
+        }
+    }
+
+    /// Fuses a position measurement with variance `r` (m², same for each
+    /// axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is not positive.
+    pub fn update(&mut self, z: Vec3, r: f64) {
+        assert!(r.is_finite() && r > 0.0, "measurement variance must be > 0");
+        self.axes[0].update(z.x, r);
+        self.axes[1].update(z.y, r);
+        self.axes[2].update(z.z, r);
+    }
+
+    /// Current position estimate.
+    pub fn position(&self) -> Vec3 {
+        Vec3::new(self.axes[0].pos, self.axes[1].pos, self.axes[2].pos)
+    }
+
+    /// Current velocity estimate.
+    pub fn velocity(&self) -> Vec3 {
+        Vec3::new(self.axes[0].vel, self.axes[1].vel, self.axes[2].vel)
+    }
+
+    /// Position standard deviation per axis.
+    pub fn position_sigma(&self) -> Vec3 {
+        Vec3::new(
+            self.axes[0].p00.max(0.0).sqrt(),
+            self.axes[1].p00.max(0.0).sqrt(),
+            self.axes[2].p00.max(0.0).sqrt(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn static_target_converges() {
+        let mut kt = KalmanTracker::new(Vec3::new(10.0, -5.0, 30.0), 100.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let truth = Vec3::new(12.0, -4.0, 31.0);
+        for _ in 0..200 {
+            kt.predict(0.1);
+            let mut noise = || (rng.random::<f64>() - 0.5) * 2.0;
+            let jitter = Vec3::new(noise(), noise(), noise());
+            kt.update(truth + jitter, 1.0);
+        }
+        let err = (kt.position() - truth).norm();
+        assert!(err < 0.5, "err = {err}");
+        assert!(kt.position_sigma().norm() < 1.0);
+    }
+
+    #[test]
+    fn moving_target_velocity_estimated() {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 1.0);
+        for i in 1..=300 {
+            kt.predict(0.1);
+            let t = i as f64 * 0.1;
+            kt.update(Vec3::new(2.0 * t, 0.0, 0.0), 0.5);
+        }
+        let v = kt.velocity();
+        assert!((v.x - 2.0).abs() < 0.2, "vx = {}", v.x);
+        assert!(v.y.abs() < 0.2);
+    }
+
+    #[test]
+    fn prediction_without_updates_grows_uncertainty() {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 1.0);
+        let s0 = kt.position_sigma().norm();
+        for _ in 0..50 {
+            kt.predict(0.1);
+        }
+        assert!(kt.position_sigma().norm() > s0);
+    }
+
+    #[test]
+    fn update_shrinks_uncertainty() {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 100.0);
+        let before = kt.position_sigma().x;
+        kt.update(Vec3::zero(), 1.0);
+        assert!(kt.position_sigma().x < before);
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be ≥ 0")]
+    fn negative_dt_panics() {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 1.0);
+        kt.predict(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be > 0")]
+    fn zero_variance_panics() {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 1.0);
+        kt.update(Vec3::zero(), 0.0);
+    }
+}

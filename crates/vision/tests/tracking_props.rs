@@ -1,0 +1,83 @@
+//! Property tests of the Kalman tracker and the detector calibration.
+
+use proptest::prelude::*;
+use sesame_types::geo::{GeoPoint, Vec3};
+use sesame_vision::detector::PersonDetector;
+use sesame_vision::tracking::KalmanTracker;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An update with any finite measurement never increases the position
+    /// variance.
+    #[test]
+    fn update_never_inflates_uncertainty(
+        x in -100.0..100.0f64, y in -100.0..100.0f64, z in 0.0..100.0f64,
+        r in 0.1..50.0f64,
+    ) {
+        let mut kt = KalmanTracker::new(Vec3::new(0.0, 0.0, 30.0), 25.0);
+        kt.predict(0.5);
+        let before = kt.position_sigma().norm();
+        kt.update(Vec3::new(x, y, z), r);
+        prop_assert!(kt.position_sigma().norm() <= before + 1e-9);
+    }
+
+    /// Prediction over any positive horizon never shrinks uncertainty.
+    #[test]
+    fn prediction_never_shrinks_uncertainty(dt in 0.01..10.0f64) {
+        let mut kt = KalmanTracker::new(Vec3::zero(), 4.0);
+        let before = kt.position_sigma().norm();
+        kt.predict(dt);
+        prop_assert!(kt.position_sigma().norm() >= before - 1e-9);
+    }
+
+    /// The estimate after one update lies between the prior and the
+    /// measurement on each axis (convex combination).
+    #[test]
+    fn update_is_convex_combination(
+        m in -50.0..50.0f64, r in 0.1..100.0f64,
+    ) {
+        let prior = 5.0;
+        let mut kt = KalmanTracker::new(Vec3::new(prior, 0.0, 0.0), 9.0);
+        kt.update(Vec3::new(m, 0.0, 0.0), r);
+        let est = kt.position().x;
+        let (lo, hi) = if prior <= m { (prior, m) } else { (m, prior) };
+        prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} not in [{lo}, {hi}]");
+    }
+
+    /// Detector accuracy is a probability for any altitude/visibility and
+    /// is maximal at the calibrated optimum.
+    #[test]
+    fn detector_accuracy_bounds(alt in 0.0..200.0f64, vis in 0.0..1.0f64) {
+        let d = PersonDetector::new(1);
+        let a = d.accuracy(alt, vis);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(a <= d.accuracy(25.0, 1.0) + 1e-12);
+    }
+
+    /// Worse visibility never improves accuracy at any altitude.
+    #[test]
+    fn accuracy_monotone_in_visibility(alt in 5.0..150.0f64, v1 in 0.0..1.0f64, dv in 0.0..1.0f64) {
+        let d = PersonDetector::new(1);
+        let v2 = (v1 + dv).min(1.0);
+        prop_assert!(d.accuracy(alt, v2) >= d.accuracy(alt, v1) - 1e-12);
+    }
+
+    /// Detections of a present person land near that person at any
+    /// altitude (localization noise scales with altitude but stays
+    /// bounded).
+    #[test]
+    fn detections_near_ground_truth(alt in 10.0..120.0f64, seed in 0u64..50) {
+        let mut d = PersonDetector::new(seed);
+        let cam = GeoPoint::new(35.0, 33.0, alt);
+        let person = [GeoPoint::new(35.0002, 33.0002, 0.0)];
+        for _ in 0..20 {
+            for det in d.detect_frame(&cam, 1.0, &person) {
+                if det.true_positive {
+                    let err = det.position.haversine_distance_m(&person[0]);
+                    prop_assert!(err < alt, "error {err} m at altitude {alt} m");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! A guided tour of the ConSert machinery (Fig. 1) without the simulator:
+//! build the per-UAV certificate network, feed it evidence snapshots, and
+//! watch the navigation levels and UAV actions respond; then fold three
+//! UAVs' actions through the mission-level decider.
+//!
+//! ```text
+//! cargo run --example conserts_tour
+//! ```
+
+use sesame::conserts::catalog::{self, MissionDecision, UavAction, UavEvidence};
+
+fn main() {
+    let network = catalog::uav_consert_network("uav1");
+
+    println!("== ConSert walk-through (Fig. 1) ==\n");
+    let situations: Vec<(&str, UavEvidence)> = vec![
+        ("all systems nominal", UavEvidence::nominal()),
+        (
+            "GPS degraded, collaborators in range",
+            UavEvidence {
+                gps_usable: false,
+                ..UavEvidence::nominal()
+            },
+        ),
+        (
+            "spoofing attack detected",
+            UavEvidence {
+                no_attack: false,
+                ..UavEvidence::nominal()
+            },
+        ),
+        (
+            "attack while isolated (vision only)",
+            UavEvidence {
+                no_attack: false,
+                comm_ok: false,
+                neighbors_available: false,
+                ..UavEvidence::nominal()
+            },
+        ),
+        (
+            "SafeDrones reports low reliability",
+            UavEvidence {
+                rel_high: false,
+                rel_low: true,
+                ..UavEvidence::nominal()
+            },
+        ),
+    ];
+
+    for (label, evidence) in &situations {
+        let results = network.evaluate(&evidence.to_evidence());
+        let nav = results
+            .get("uav1/navigation")
+            .and_then(|r| r.top.clone())
+            .unwrap_or_else(|| "<none>".into());
+        let accuracy = catalog::certified_navigation_accuracy_m(&network, "uav1", evidence)
+            .map(|m| format!("accuracy < {m} m"))
+            .unwrap_or_else(|| "no certified accuracy (emergency level)".into());
+        let action = catalog::evaluate_uav(&network, "uav1", evidence)
+            .map(|a| a.to_string())
+            .unwrap_or_else(|| "<none>".into());
+        println!("{label}:");
+        println!("  navigation guarantee: {nav} ({accuracy})");
+        println!("  UAV action:           {action}\n");
+    }
+
+    println!("== mission-level decider (Σ over UAVs) ==\n");
+    let fleets = vec![
+        (
+            "all three continue",
+            vec![
+                UavAction::ContinueCanTakeMore,
+                UavAction::ContinueMission,
+                UavAction::ContinueMission,
+            ],
+        ),
+        (
+            "one aborts, spare capacity exists",
+            vec![
+                UavAction::ContinueCanTakeMore,
+                UavAction::ContinueMission,
+                UavAction::EmergencyLand,
+            ],
+        ),
+        (
+            "one aborts, no spare capacity",
+            vec![
+                UavAction::ContinueMission,
+                UavAction::ContinueMission,
+                UavAction::ReturnToBase,
+            ],
+        ),
+    ];
+    for (label, actions) in fleets {
+        let decision: MissionDecision = catalog::decide_mission(&actions);
+        println!("{label}: {decision}");
+    }
+}

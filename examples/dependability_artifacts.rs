@@ -1,0 +1,74 @@
+//! Export the design-time dependability artefacts as Graphviz DOT: the
+//! UAV-loss fault tree (with its lifetime models' PoF curve), the
+//! ROS-message-spoofing attack tree (quiet and under attack), and the
+//! Fig. 1 ConSert network with a live evaluation highlighted.
+//!
+//! ```text
+//! cargo run --example dependability_artifacts > artifacts.dot
+//! dot -Tsvg artifacts.dot -o artifacts.svg   # (graphviz, optional)
+//! ```
+
+use sesame::conserts::catalog::{self, UavEvidence};
+use sesame::safedrones::fta::{FaultTree, Node};
+use sesame::safedrones::models::{BasicEventModel, TimedFaultTree};
+use sesame::security::catalog as attacks;
+use std::collections::HashSet;
+
+fn main() {
+    // -- the UAV-loss fault tree with handbook-style lifetime models --
+    let tree = FaultTree::new(Node::or(vec![
+        Node::basic("battery"),
+        Node::at_least(
+            2,
+            vec![
+                Node::basic("motor1"),
+                Node::basic("motor2"),
+                Node::basic("motor3"),
+                Node::basic("motor4"),
+                Node::basic("motor5"),
+                Node::basic("motor6"),
+            ],
+        ),
+        Node::and(vec![Node::basic("gps"), Node::basic("vision")]),
+    ]))
+    .expect("well-formed tree");
+    println!("// ---- UAV-loss fault tree ----");
+    println!("{}", sesame::safedrones::export::to_dot(&tree, "uav_loss"));
+
+    let timed = TimedFaultTree::new(tree)
+        .with_model("battery", BasicEventModel::Weibull { shape: 2.2, scale: 9_000.0 })
+        .with_model("gps", BasicEventModel::Exponential { lambda: 2e-5 })
+        .with_model("vision", BasicEventModel::Exponential { lambda: 5e-5 })
+        .with_model("motor1", BasicEventModel::Exponential { lambda: 1e-5 })
+        .with_model("motor2", BasicEventModel::Exponential { lambda: 1e-5 })
+        .with_model("motor3", BasicEventModel::Exponential { lambda: 1e-5 })
+        .with_model("motor4", BasicEventModel::Exponential { lambda: 1e-5 })
+        .with_model("motor5", BasicEventModel::Exponential { lambda: 1e-5 })
+        .with_model("motor6", BasicEventModel::Exponential { lambda: 1e-5 });
+    println!("// PoF(t) from the design-time models:");
+    for (t, p) in timed.curve(3_600.0, 6).expect("models bound to every leaf") {
+        println!("//   t = {t:>6.0} s -> PoF {p:.5}");
+    }
+
+    // -- the ROS-message-spoofing attack tree, quiet and under attack --
+    let spoofing = attacks::ros_message_spoofing();
+    println!("\n// ---- attack tree (quiet) ----");
+    println!("{}", sesame::security::export::to_dot(&spoofing, &HashSet::new()));
+    let mut triggered = HashSet::new();
+    triggered.insert("unsigned_publisher".to_string());
+    triggered.insert("waypoint_deviation".to_string());
+    println!("// ---- attack tree (root reached, path highlighted) ----");
+    println!("{}", sesame::security::export::to_dot(&spoofing, &triggered));
+
+    // -- the Fig. 1 ConSert network with a live evaluation --
+    let network = catalog::uav_consert_network("uav1");
+    let results = network.evaluate(
+        &UavEvidence {
+            gps_usable: false,
+            ..UavEvidence::nominal()
+        }
+        .to_evidence(),
+    );
+    println!("// ---- ConSert network (GPS lost, fulfilled guarantees green) ----");
+    println!("{}", sesame::conserts::export::to_dot(&network, Some(&results)));
+}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Regenerates everything the repository claims: tests, the paper's
+# figures, and the benchmark suite. Outputs land next to this script's
+# invocation directory as test_output.txt / bench_output.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== building =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee test_output.txt
+
+echo "== experiments (all paper figures) =="
+cargo run --release -p sesame-bench --bin experiments -- all
+
+echo "== robustness sweep =="
+cargo run --release -p sesame-bench --bin experiments -- robustness
+
+echo "== criterion benches =="
+cargo bench --workspace 2>&1 | tee bench_output.txt

@@ -1,0 +1,32 @@
+//! `sesame` — umbrella crate for the SESAME multi-UAV reproduction.
+//!
+//! Re-exports every workspace crate under one roof so that examples and
+//! integration tests can write `use sesame::conserts::...` instead of
+//! depending on a dozen crates individually.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sesame::core::scenario::ScenarioBuilder;
+//!
+//! let outcome = ScenarioBuilder::new(42).build().run();
+//! assert!(outcome.metrics.mission_completed_fraction > 0.0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for a narrated version, and
+//! `crates/bench/src/bin/experiments.rs` for the harness that regenerates
+//! every figure of the DATE 2025 paper.
+
+pub use sesame_collab_loc as collab_loc;
+pub use sesame_conserts as conserts;
+pub use sesame_core as core;
+pub use sesame_deepknowledge as deepknowledge;
+pub use sesame_middleware as middleware;
+pub use sesame_safedrones as safedrones;
+pub use sesame_safeml as safeml;
+pub use sesame_sar as sar;
+pub use sesame_security as security;
+pub use sesame_sinadra as sinadra;
+pub use sesame_types as types;
+pub use sesame_uav_sim as uav_sim;
+pub use sesame_vision as vision;

@@ -1,0 +1,127 @@
+//! Cross-crate integration: the collaborative-localization chain from
+//! vision sightings through fusion to a GPS-denied landing, driven by the
+//! real simulator kinematics.
+
+use sesame::collab_loc::agent::CollaborativeAgent;
+use sesame::collab_loc::session::{CollabSession, LandingGuidance};
+use sesame::types::geo::GeoPoint;
+use sesame::types::time::SimTime;
+use sesame::uav_sim::faults::FaultKind;
+use sesame::uav_sim::sim::{Simulator, UavConfig};
+use sesame::uav_sim::world::World;
+use sesame::types::telemetry::FlightMode;
+
+/// Three simulated UAVs: one loses GPS, the other two hover nearby and
+/// guide it down through the session's velocity commands.
+#[test]
+fn gps_denied_uav_lands_on_cl_guidance() {
+    let world = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 300.0, 200.0, 0);
+    let base = world.base();
+    let mut sim = Simulator::new(world, 9);
+    let affected = sim.add_uav(UavConfig::default());
+    let helper_a = sim.add_uav(UavConfig::default());
+    let helper_b = sim.add_uav(UavConfig::default());
+
+    // Position the fleet: affected in the middle, helpers 30 m either side.
+    for (h, alt) in [(affected, 30.0), (helper_a, 35.0), (helper_b, 35.0)] {
+        sim.command_takeoff(h, alt);
+    }
+    sim.run_until(SimTime::from_secs(15));
+    let center = base.destination(45.0, 60.0).with_alt(30.0);
+    sim.command(
+        affected,
+        sesame::uav_sim::autopilot::FlightCommand::SetMission(vec![center]),
+    );
+    sim.command(
+        helper_a,
+        sesame::uav_sim::autopilot::FlightCommand::SetMission(vec![center
+            .destination(90.0, 30.0)
+            .with_alt(36.0)]),
+    );
+    sim.command(
+        helper_b,
+        sesame::uav_sim::autopilot::FlightCommand::SetMission(vec![center
+            .destination(270.0, 30.0)
+            .with_alt(36.0)]),
+    );
+    sim.run_until(SimTime::from_secs(60));
+
+    // GPS denial on the affected airframe.
+    sim.faults_mut()
+        .add(SimTime::from_secs(61), affected.id(), FaultKind::GpsLoss);
+    sim.run_until(SimTime::from_secs(62));
+    assert!(!sim.telemetry(affected).gps.is_usable());
+
+    // CL session: helpers observe, fusion + tracking smooth, guidance
+    // steers through the velocity-override channel.
+    let pad = sim.true_position(affected).with_alt(0.0);
+    let mut session = CollabSession::new(
+        vec![
+            CollaborativeAgent::new("helper-a", 100),
+            CollaborativeAgent::new("helper-b", 200),
+        ],
+        pad,
+    );
+    let guidance = LandingGuidance::new(pad);
+
+    let mut landed = false;
+    for _ in 0..3000 {
+        let now = sim.step();
+        let observers = [sim.true_position(helper_a), sim.true_position(helper_b)];
+        let truth = sim.true_position(affected);
+        if let Some(fix) = session.step(now, &observers, &truth) {
+            let v = guidance.velocity_command(&fix.position);
+            sim.command_velocity(affected, Some(v));
+            if guidance.is_landed(&fix.position) {
+                landed = true;
+                break;
+            }
+        }
+        if sim.mode(affected) == FlightMode::Grounded {
+            landed = true;
+            break;
+        }
+    }
+    assert!(landed, "the CL-guided landing must complete");
+    let miss = sim.true_position(affected).haversine_distance_m(&pad);
+    assert!(miss < 8.0, "landing miss {miss} m");
+    assert!(sim.true_position(affected).alt_m < 1.0);
+    assert!(session.database().len() > 50, "fix database populated");
+}
+
+/// Fusion accuracy grows with the number of collaborating observers.
+#[test]
+fn more_collaborators_give_tighter_fixes() {
+    let anchor = GeoPoint::new(35.0, 33.0, 0.0);
+    let target = anchor.destination(45.0, 40.0).with_alt(30.0);
+    let run = |n: usize| -> f64 {
+        let agents = (0..n)
+            .map(|i| CollaborativeAgent::new(format!("c{i}"), 300 + i as u64))
+            .collect();
+        let mut session = CollabSession::new(agents, anchor);
+        let observers: Vec<GeoPoint> = (0..n)
+            .map(|i| {
+                anchor
+                    .destination(i as f64 * 360.0 / n as f64, 25.0)
+                    .with_alt(34.0)
+            })
+            .collect();
+        let mut err = 0.0;
+        let mut count = 0;
+        for s in 1..=300u64 {
+            if let Some(fix) = session.step(SimTime::from_millis(s * 100), &observers, &target) {
+                if s > 100 {
+                    err += fix.position.distance_3d_m(&target);
+                    count += 1;
+                }
+            }
+        }
+        err / count.max(1) as f64
+    };
+    let two = run(2);
+    let five = run(5);
+    assert!(
+        five < two,
+        "five observers ({five:.2} m) must beat two ({two:.2} m)"
+    );
+}

@@ -1,0 +1,167 @@
+//! Property-based invariants spanning the workspace, checked with
+//! proptest: geodesy identities, fault-tree probability bounds, ConSert
+//! monotonicity, distance-measure axioms and factor-algebra laws.
+
+use proptest::prelude::*;
+use sesame::conserts::engine::{evidence_from, ConsertNetwork};
+use sesame::conserts::model::{Consert, Guarantee, Tree};
+use sesame::safedrones::fta::{BasicEventId, FaultTree, Node};
+use sesame::safeml::distance::DistanceMeasure;
+use sesame::sinadra::factor::Factor;
+use sesame::types::geo::GeoPoint;
+use std::collections::HashMap;
+
+fn lat() -> impl Strategy<Value = f64> {
+    -60.0..60.0f64
+}
+
+fn lon() -> impl Strategy<Value = f64> {
+    -179.0..179.0f64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Haversine distance is symmetric and zero on the diagonal.
+    #[test]
+    fn haversine_symmetry(a_lat in lat(), a_lon in lon(), b_lat in lat(), b_lon in lon()) {
+        let a = GeoPoint::new(a_lat, a_lon, 0.0);
+        let b = GeoPoint::new(b_lat, b_lon, 0.0);
+        let ab = a.haversine_distance_m(&b);
+        let ba = b.haversine_distance_m(&a);
+        prop_assert!((ab - ba).abs() < 1e-6);
+        prop_assert!(a.haversine_distance_m(&a) < 1e-9);
+        prop_assert!(ab >= 0.0);
+    }
+
+    /// destination() and bearing/distance round-trip.
+    #[test]
+    fn destination_round_trip(
+        a_lat in lat(), a_lon in lon(),
+        bearing in 0.0..360.0f64,
+        dist in 1.0..50_000.0f64,
+    ) {
+        let a = GeoPoint::new(a_lat, a_lon, 0.0);
+        let b = a.destination(bearing, dist);
+        prop_assert!((a.haversine_distance_m(&b) - dist).abs() < 1e-3);
+    }
+
+    /// ENU conversion round-trips at mission scales.
+    #[test]
+    fn enu_round_trip(
+        a_lat in lat(), a_lon in lon(),
+        east in -3000.0..3000.0f64, north in -3000.0..3000.0f64,
+        up in -100.0..100.0f64,
+    ) {
+        let origin = GeoPoint::new(a_lat, a_lon, 50.0);
+        let p = GeoPoint::from_enu(&origin, sesame::types::geo::Enu::new(east, north, up));
+        let back = p.to_enu(&origin);
+        prop_assert!((back.east_m - east).abs() < 0.5);
+        prop_assert!((back.north_m - north).abs() < 0.5);
+        prop_assert!((back.up_m - up).abs() < 1e-9);
+    }
+
+    /// Fault-tree outputs are probabilities, monotone in every leaf.
+    #[test]
+    fn fault_tree_bounded_and_monotone(
+        p1 in 0.0..1.0f64, p2 in 0.0..1.0f64, p3 in 0.0..1.0f64,
+        bump in 0.0..0.5f64,
+    ) {
+        let tree = FaultTree::new(Node::or(vec![
+            Node::and(vec![Node::basic("a"), Node::basic("b")]),
+            Node::at_least(2, vec![Node::basic("a"), Node::basic("b"), Node::basic("c")]),
+        ])).unwrap();
+        let eval = |a: f64, b: f64, c: f64| {
+            let mut m = HashMap::new();
+            m.insert(BasicEventId::new("a"), a);
+            m.insert(BasicEventId::new("b"), b);
+            m.insert(BasicEventId::new("c"), c);
+            tree.evaluate(&m).unwrap()
+        };
+        let base = eval(p1, p2, p3);
+        prop_assert!((0.0..=1.0).contains(&base));
+        let bumped = eval((p1 + bump).min(1.0), p2, p3);
+        prop_assert!(bumped >= base - 1e-12, "monotonicity: {base} -> {bumped}");
+    }
+
+    /// Adding evidence to a (negation-free) ConSert network never removes
+    /// fulfilled guarantees.
+    #[test]
+    fn conserts_monotone_in_evidence(extra in proptest::collection::vec(0usize..4, 0..4)) {
+        let net = ConsertNetwork::new(vec![
+            Consert::new("s", vec![Guarantee::new("ok", Tree::evidence("e0"))]),
+            Consert::new("n", vec![
+                Guarantee::new("best", Tree::And(vec![
+                    Tree::demand("s", "ok"), Tree::evidence("e1"),
+                ])),
+                Guarantee::new("mid", Tree::Or(vec![
+                    Tree::evidence("e2"), Tree::evidence("e3"),
+                ])),
+                Guarantee::new("fallback", Tree::Always),
+            ]),
+        ]).unwrap();
+        let all = ["e0", "e1", "e2", "e3"];
+        let small: Vec<&str> = extra.iter().map(|i| all[*i]).collect();
+        let small_set = evidence_from(small.clone());
+        let mut big: Vec<&str> = small;
+        big.push("e0");
+        let big_set = evidence_from(big);
+        let r_small = net.evaluate(&small_set);
+        let r_big = net.evaluate(&big_set);
+        for (name, res) in &r_small {
+            for g in &res.fulfilled {
+                prop_assert!(
+                    r_big[name].fulfilled.contains(g),
+                    "guarantee {g} of {name} lost when adding evidence"
+                );
+            }
+        }
+    }
+
+    /// Every distance measure is non-negative, symmetric, and zero on
+    /// identical samples.
+    #[test]
+    fn distance_axioms(
+        xs in proptest::collection::vec(-100.0..100.0f64, 5..40),
+        shift in -50.0..50.0f64,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        for m in DistanceMeasure::ALL {
+            let d = m.compute(&xs, &ys);
+            let rev = m.compute(&ys, &xs);
+            prop_assert!(d >= 0.0, "{m} negative: {d}");
+            prop_assert!((d - rev).abs() < 1e-9, "{m} asymmetric");
+            let self_d = m.compute(&xs, &xs);
+            prop_assert!(self_d.abs() < 1e-9, "{m} self-distance {self_d}");
+        }
+    }
+
+    /// KS is scale-free: rescaling both samples leaves it unchanged.
+    #[test]
+    fn ks_scale_invariance(
+        xs in proptest::collection::vec(-10.0..10.0f64, 5..30),
+        ys in proptest::collection::vec(-10.0..10.0f64, 5..30),
+        scale in 0.1..100.0f64,
+    ) {
+        let d1 = DistanceMeasure::KolmogorovSmirnov.compute(&xs, &ys);
+        let sx: Vec<f64> = xs.iter().map(|x| x * scale).collect();
+        let sy: Vec<f64> = ys.iter().map(|y| y * scale).collect();
+        let d2 = DistanceMeasure::KolmogorovSmirnov.compute(&sx, &sy);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    /// Factor product preserves total mass for distributions over disjoint
+    /// variables, and marginalization sums to the same total.
+    #[test]
+    fn factor_mass_conservation(
+        a0 in 0.01..1.0f64, b0 in 0.01..1.0f64,
+    ) {
+        let fa = Factor::new(vec![(0, 2)], vec![a0, 1.0 - a0 * 0.5]).unwrap();
+        let fb = Factor::new(vec![(1, 2)], vec![b0, 1.3 - b0]).unwrap();
+        let prod = fa.product(&fb);
+        let expected = fa.sum() * fb.sum();
+        prop_assert!((prod.sum() - expected).abs() < 1e-9);
+        let marg = prod.marginalize(0);
+        prop_assert!((marg.sum() - expected).abs() < 1e-9);
+    }
+}

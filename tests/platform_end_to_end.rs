@@ -1,0 +1,195 @@
+#![allow(clippy::field_reassign_with_default)]
+//! End-to-end platform scenarios (small areas so they run fast in debug).
+
+use sesame::core::orchestrator::PlatformConfig;
+use sesame::core::scenario::{ScenarioBuilder, SpoofAttack};
+use sesame::types::events::SystemEvent;
+use sesame::types::geo::Vec3;
+use sesame::types::time::SimTime;
+use sesame::uav_sim::faults::FaultKind;
+
+fn small_config(seed: u64, sesame: bool) -> PlatformConfig {
+    PlatformConfig {
+        sesame_enabled: sesame,
+        area_width_m: 150.0,
+        area_height_m: 100.0,
+        person_count: 3,
+        seed,
+        ..PlatformConfig::default()
+    }
+}
+
+#[test]
+fn sesame_and_baseline_both_complete_nominal_missions() {
+    for sesame in [true, false] {
+        let outcome = ScenarioBuilder::new(5)
+            .with_config(small_config(5, sesame))
+            .build()
+            .run();
+        assert!(
+            outcome.metrics.mission_completed_fraction > 0.99,
+            "sesame={sesame}: completed {}",
+            outcome.metrics.mission_completed_fraction
+        );
+        assert!(outcome.metrics.persons_found > 0, "sesame={sesame}");
+    }
+}
+
+fn mid_config(seed: u64, sesame: bool) -> PlatformConfig {
+    PlatformConfig {
+        area_width_m: 240.0,
+        area_height_m: 160.0,
+        ..small_config(seed, sesame)
+    }
+}
+
+#[test]
+fn spoofed_run_without_sesame_corrupts_coverage() {
+    let clean = ScenarioBuilder::new(8)
+        .with_config(mid_config(8, false))
+        .build()
+        .run();
+    let attacked = ScenarioBuilder::new(8)
+        .with_config(mid_config(8, false))
+        .spoof_attack(SpoofAttack {
+            start: SimTime::from_secs(40),
+            uav_index: 0,
+            gps_drift: Vec3::new(0.0, 4.0, 0.0),
+            forge_waypoints: false,
+        })
+        .deadline(SimTime::from_secs(600))
+        .build()
+        .run();
+    // Attack is silent (no SESAME): nothing detected, but the true
+    // trajectory diverges from the clean run's.
+    assert!(attacked.metrics.attack_detected_secs.is_none());
+    let max_dev = clean.trajectories[0]
+        .iter()
+        .filter_map(|(t, p)| {
+            attacked.trajectories[0]
+                .iter()
+                .find(|(ta, _)| (ta - t).abs() < 0.5)
+                .map(|(_, pa)| p.haversine_distance_m(pa))
+        })
+        .fold(0.0, f64::max);
+    assert!(max_dev > 30.0, "deviation {max_dev} m");
+}
+
+#[test]
+fn spoofed_run_with_sesame_detects_and_safely_lands() {
+    let outcome = ScenarioBuilder::new(8)
+        .with_config(mid_config(8, true))
+        .spoof_attack(SpoofAttack {
+            start: SimTime::from_secs(40),
+            uav_index: 0,
+            gps_drift: Vec3::new(0.0, 4.0, 0.0),
+            forge_waypoints: true,
+        })
+        .deadline(SimTime::from_secs(600))
+        .build()
+        .run();
+    let detected = outcome
+        .metrics
+        .attack_detected_secs
+        .expect("the Security EDDI must detect the attack");
+    assert!((40.0..70.0).contains(&detected), "detected at {detected}");
+    let landing = outcome.metrics.cl_landing.expect("CL landing must happen");
+    assert!(landing.miss_m < 10.0, "landing miss {}", landing.miss_m);
+    // The CL fixes and the GPS-denial must both be on record.
+    assert!(outcome
+        .events
+        .iter()
+        .any(|e| matches!(e.event, SystemEvent::CollabFix { .. })));
+    assert!(outcome.events.iter().any(
+        |e| matches!(&e.event, SystemEvent::FaultInjected { fault, .. } if fault == "gps_loss")
+    ));
+}
+
+#[test]
+fn lost_uav_triggers_task_redistribution_under_sesame() {
+    // UAV 3 loses a motor mid-survey (fatal for a quad); the decider hands
+    // its unfinished strip to a capable teammate.
+    let outcome = ScenarioBuilder::new(13)
+        .with_config(mid_config(13, true))
+        .fault(
+            SimTime::from_secs(40),
+            2,
+            FaultKind::MotorFailure { motor: 0 },
+        )
+        .deadline(SimTime::from_secs(900))
+        .build()
+        .run();
+    let reallocated = outcome
+        .events
+        .iter()
+        .any(|e| matches!(e.event, SystemEvent::TaskReallocated { .. }));
+    assert!(reallocated, "the decider must redistribute the strip");
+    assert!(
+        outcome.metrics.mission_completed_fraction > 0.95,
+        "remaining UAVs must finish the area: {}",
+        outcome.metrics.mission_completed_fraction
+    );
+}
+
+#[test]
+fn coengineering_verdict_tracks_the_attack() {
+    use sesame::core::coengineering::DependabilityVerdict;
+    let mut scenario = ScenarioBuilder::new(8)
+        .with_config(mid_config(8, true))
+        .spoof_attack(SpoofAttack {
+            start: SimTime::from_secs(40),
+            uav_index: 0,
+            gps_drift: Vec3::new(0.0, 4.0, 0.0),
+            forge_waypoints: false,
+        })
+        .deadline(SimTime::from_secs(600))
+        .build();
+    scenario.platform_mut().launch();
+    // Before the attack: dependable, full navigation accuracy certified.
+    for _ in 0..300 {
+        scenario.platform_mut().step();
+    }
+    let before = scenario
+        .platform_mut()
+        .dependability_report(0)
+        .expect("SESAME on");
+    assert_eq!(before.verdict, DependabilityVerdict::Dependable);
+    assert_eq!(
+        scenario.platform_mut().certified_nav_accuracy_m(0),
+        Some(0.5)
+    );
+    // Step through the attack until detection.
+    for _ in 0..3000 {
+        scenario.platform_mut().step();
+        if scenario.platform_mut().attack_detected_at().is_some() {
+            break;
+        }
+    }
+    scenario.platform_mut().step();
+    let after = scenario
+        .platform_mut()
+        .dependability_report(0)
+        .expect("SESAME on");
+    assert!(
+        after.verdict >= DependabilityVerdict::Compromised,
+        "verdict after detection: {}",
+        after.verdict
+    );
+    assert!(!after.interactions.is_empty());
+}
+
+#[test]
+fn gcs_snapshots_render_throughout_the_run() {
+    let mut scenario = ScenarioBuilder::new(3)
+        .with_config(small_config(3, true))
+        .build();
+    scenario.platform_mut().launch();
+    for _ in 0..600 {
+        scenario.platform_mut().step();
+    }
+    let gcs = scenario.platform_mut().gcs().log().to_vec();
+    assert!(gcs.len() >= 10, "one snapshot per 5 s");
+    let text = gcs.last().unwrap().render();
+    assert!(text.contains("uav1"));
+    assert!(text.contains("complete"));
+}

@@ -1,0 +1,145 @@
+#![allow(clippy::field_reassign_with_default)]
+//! Cross-crate integration: simulator faults → SafeDrones reliability →
+//! ConSert decisions, without the full platform loop.
+
+use sesame::conserts::catalog::{self, UavAction, UavEvidence};
+use sesame::safedrones::monitor::{ReliabilityAction, SafeDronesConfig, SafeDronesMonitor};
+use sesame::safedrones::ReliabilityLevel;
+use sesame::types::geo::GeoPoint;
+use sesame::types::time::{SimDuration, SimTime};
+use sesame::uav_sim::faults::FaultKind;
+use sesame::uav_sim::sim::{Simulator, UavConfig};
+use sesame::uav_sim::world::World;
+
+fn world() -> World {
+    World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 300.0, 200.0, 0)
+}
+
+/// The simulator's battery fault drives the SafeDrones monitor from High
+/// to Low reliability and eventually to an emergency-land recommendation.
+#[test]
+fn battery_fault_escalates_through_safedrones() {
+    let mut sim = Simulator::new(world(), 3);
+    let uav = sim.add_uav(UavConfig::default());
+    sim.command_takeoff(uav, 30.0);
+    sim.faults_mut().add(
+        SimTime::from_secs(60),
+        uav.id(),
+        FaultKind::BatteryOverTemp { soc_drop: 0.4 },
+    );
+
+    let mut cfg = SafeDronesConfig::default();
+    cfg.battery.activation_energy_ev = 1.0;
+    cfg.battery.lambda_base = 3.0e-6;
+    let mut monitor = SafeDronesMonitor::new(cfg);
+    monitor.set_remaining_mission(SimDuration::from_secs(300));
+
+    let mut level_at_50 = None;
+    let mut first_low = None;
+    let mut first_abort = None;
+    for _ in 0..6000 {
+        let now = sim.step();
+        if !now.as_millis().is_multiple_of(1000) {
+            continue;
+        }
+        let tel = sim.telemetry(uav);
+        monitor.ingest(&tel);
+        monitor.advance(SimDuration::from_secs(1));
+        let est = monitor.estimate();
+        if now == SimTime::from_secs(50) {
+            level_at_50 = Some(est.level);
+        }
+        if est.level == ReliabilityLevel::Low && first_low.is_none() {
+            first_low = Some(now);
+        }
+        if est.action == ReliabilityAction::EmergencyLand && first_abort.is_none() {
+            first_abort = Some(now);
+            break;
+        }
+    }
+    assert_eq!(level_at_50, Some(ReliabilityLevel::High), "healthy before");
+    let low = first_low.expect("reliability must degrade");
+    assert!(low > SimTime::from_secs(60), "degradation after the fault");
+    let abort = first_abort.expect("the 0.9 threshold must be crossed");
+    assert!(abort > low, "Low precedes the abort threshold");
+}
+
+/// A motor failure on a quad is immediately fatal for the reliability
+/// estimate — and the ConSert network orders the only sane action.
+#[test]
+fn motor_loss_on_quad_forces_emergency_land() {
+    let mut sim = Simulator::new(world(), 4);
+    let uav = sim.add_uav(UavConfig {
+        motor_count: 6,
+        tolerated_motor_failures: 1,
+        ..UavConfig::default()
+    });
+    sim.command_takeoff(uav, 30.0);
+    sim.run_until(SimTime::from_secs(20));
+    sim.faults_mut().add(
+        SimTime::from_secs(21),
+        uav.id(),
+        FaultKind::MotorFailure { motor: 0 },
+    );
+    sim.faults_mut().add(
+        SimTime::from_secs(22),
+        uav.id(),
+        FaultKind::MotorFailure { motor: 1 },
+    );
+    sim.run_until(SimTime::from_secs(23));
+
+    let mut cfg = SafeDronesConfig::default();
+    cfg.layout = sesame::safedrones::propulsion::MotorLayout::Hexa;
+    let mut monitor = SafeDronesMonitor::new(cfg);
+    let tel = sim.telemetry(uav);
+    assert_eq!(tel.failed_motors(), 2);
+    monitor.ingest(&tel);
+    let est = monitor.estimate();
+    assert_eq!(est.level, ReliabilityLevel::Low);
+    assert_eq!(est.action, ReliabilityAction::EmergencyLand);
+
+    // Fold through the certificate: low reliability with intact
+    // navigation = return to base; with navigation also gone = emergency.
+    let network = catalog::uav_consert_network("uav1");
+    let ev = UavEvidence {
+        rel_high: false,
+        rel_low: true,
+        ..UavEvidence::nominal()
+    };
+    assert_eq!(
+        catalog::evaluate_uav(&network, "uav1", &ev).unwrap(),
+        UavAction::ReturnToBase
+    );
+}
+
+/// GPS loss in the simulator degrades the fix and the navigation
+/// certificate falls back to the collaborative level.
+#[test]
+fn gps_loss_downgrades_navigation_certificate() {
+    let mut sim = Simulator::new(world(), 5);
+    let uav = sim.add_uav(UavConfig::default());
+    sim.command_takeoff(uav, 30.0);
+    sim.run_until(SimTime::from_secs(15));
+    sim.faults_mut()
+        .add(SimTime::from_secs(16), uav.id(), FaultKind::GpsLoss);
+    sim.run_until(SimTime::from_secs(17));
+    let tel = sim.telemetry(uav);
+    assert!(!tel.gps.is_usable());
+
+    let network = catalog::uav_consert_network("uav1");
+    let ev = UavEvidence {
+        gps_usable: tel.gps.is_usable(),
+        ..UavEvidence::nominal()
+    };
+    let results = network.evaluate(&ev.to_evidence());
+    assert_eq!(
+        results["uav1/navigation"].top.as_deref(),
+        Some("collaborative_0_75m")
+    );
+    // Restore brings the high-performance level back.
+    sim.faults_mut()
+        .add(SimTime::from_secs(18), uav.id(), FaultKind::GpsRestore);
+    sim.run_until(SimTime::from_secs(19));
+    let tel = sim.telemetry(uav);
+    assert!(tel.gps.is_usable());
+}
