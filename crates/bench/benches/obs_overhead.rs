@@ -1,0 +1,113 @@
+//! Observability overhead: the platform tick is permanently
+//! instrumented (TickSpan + counters + trace absorption), so this bench
+//! answers "what does that instrumentation cost?" two ways: the obs
+//! primitives in isolation, and the per-tick obs workload next to the
+//! full platform tick it rides inside. The acceptance bar is that the
+//! obs workload stays within 10% of the tick cost — in practice it is
+//! orders of magnitude below it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sesame_core::orchestrator::{Platform, PlatformConfig};
+use sesame_obs::span::phase;
+use sesame_obs::{MetricsRegistry, TickSpan, TraceEvent, TraceLog};
+use std::hint::black_box;
+
+fn warmed_platform() -> Platform {
+    let mut p = Platform::new(PlatformConfig {
+        area_width_m: 300.0,
+        area_height_m: 200.0,
+        person_count: 4,
+        seed: 7,
+        ..PlatformConfig::default()
+    });
+    p.launch();
+    for _ in 0..200 {
+        p.step();
+    }
+    p
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/primitives");
+
+    group.bench_function("counter_inc", |b| {
+        let mut m = MetricsRegistry::new();
+        b.iter(|| {
+            m.inc(black_box("platform.ticks"));
+            black_box(m.counter("platform.ticks"))
+        });
+    });
+
+    group.bench_function("histogram_observe", |b| {
+        let mut m = MetricsRegistry::new();
+        let mut v = 0.0f64;
+        b.iter(|| {
+            v = (v + 7.3) % 1500.0;
+            m.observe(black_box("tick.total"), black_box(v));
+        });
+    });
+
+    group.bench_function("trace_push_bounded", |b| {
+        let mut log = TraceLog::with_capacity(256);
+        b.iter(|| {
+            log.push(
+                black_box(100),
+                TraceEvent::IdsAlert {
+                    detector: "seq".into(),
+                    detail: "stale sequence".into(),
+                },
+            );
+        });
+    });
+
+    group.finish();
+}
+
+/// The full per-tick obs workload as `Platform::step` performs it: a
+/// 10-phase span, the counter/gauge updates, and a trace absorption.
+fn obs_tick_workload(m: &mut MetricsRegistry, main: &mut TraceLog, sub: &mut TraceLog) {
+    let mut span = TickSpan::start();
+    for name in phase::ALL {
+        span.enter(name);
+    }
+    m.inc("platform.ticks");
+    m.inc("eddi.evals.uav0");
+    m.inc("eddi.evals.uav1");
+    m.inc("eddi.evals.uav2");
+    m.set_counter("bus.published", 12_345);
+    m.set_counter("bus.delivered", 12_000);
+    m.set_counter("bus.dropped", 42);
+    m.set_gauge("fleet.airborne", 3.0);
+    m.set_gauge("mission.completion", 0.5);
+    main.absorb(sub);
+    span.finish(m);
+}
+
+fn bench_tick_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs/tick_overhead");
+    group.sample_size(20);
+
+    group.bench_function("platform_tick_instrumented", |b| {
+        let mut p = warmed_platform();
+        b.iter(|| black_box(p.step()));
+    });
+
+    group.bench_function("obs_workload_alone", |b| {
+        let mut m = MetricsRegistry::new();
+        let mut main = TraceLog::default();
+        let mut sub = TraceLog::default();
+        b.iter(|| obs_tick_workload(&mut m, &mut main, &mut sub));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_primitives, bench_tick_overhead
+}
+criterion_main!(benches);

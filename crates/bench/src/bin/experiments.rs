@@ -128,6 +128,8 @@ fn fig6() {
     println!("deviation(t) between clean and attacked runs:");
     println!("  {}", sparkline(&r.deviation_series, 72));
     println!("  {}", format_series(&r.deviation_series, 60));
+    println!("observability (protected run):");
+    print!("{}", r.protected_metrics.render_table());
 }
 
 fn fig7() {

@@ -8,6 +8,7 @@
 
 use crate::orchestrator::Sample;
 use crate::scenario::{fig5_like_config, ScenarioBuilder, ScenarioOutcome, SpoofAttack};
+use sesame_obs::MetricsSnapshot;
 use sesame_types::events::SystemEvent;
 use sesame_types::geo::Vec3;
 use sesame_types::time::SimTime;
@@ -190,6 +191,9 @@ pub struct Fig6Result {
     pub clean_trajectory: Vec<Sample<sesame_types::geo::GeoPoint>>,
     /// Attacked (unprotected) trajectory of the targeted UAV.
     pub attacked_trajectory: Vec<Sample<sesame_types::geo::GeoPoint>>,
+    /// Observability snapshot of the protected (SESAME) run: per-phase
+    /// tick timings, bus drop/tamper counters, IDS activity.
+    pub protected_metrics: MetricsSnapshot,
 }
 
 fn fig6_builder(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
@@ -257,6 +261,7 @@ pub fn fig6(seed: u64) -> Fig6Result {
         attack_start_secs: attack_start,
         clean_trajectory: clean.trajectories[0].clone(),
         attacked_trajectory: attacked.trajectories[0].clone(),
+        protected_metrics: protected.obs_metrics,
     }
 }
 
@@ -434,6 +439,16 @@ mod tests {
             latency < 30.0,
             "detection latency {latency}s (paper: immediate)"
         );
+        // The protected run ships its observability snapshot: every tick
+        // phase timed, the bus counters mirrored.
+        assert!(!r.protected_metrics.is_empty());
+        assert!(r.protected_metrics.counter("platform.ticks") > 0);
+        assert!(r.protected_metrics.counter("bus.published") > 0);
+        assert!(r
+            .protected_metrics
+            .histogram("tick.phase.sim_step")
+            .is_some());
+        assert!(!r.protected_metrics.render_table().is_empty());
     }
 
     #[test]

@@ -30,6 +30,8 @@ use sesame_middleware::auth::{AuthKey, MessageAuth};
 use sesame_middleware::broker::AlertBroker;
 use sesame_middleware::bus::{MessageBus, Subscription};
 use sesame_middleware::message::{Message, Payload};
+use sesame_obs::span::phase;
+use sesame_obs::{MetricsRegistry, MetricsSnapshot, TickSpan, TraceEvent, TraceLog};
 use sesame_safedrones::monitor::SafeDronesConfig;
 use sesame_sar::accuracy::{AltitudeDecision, AltitudePolicy};
 use sesame_sinadra::risk::{SeparationInputs, SeparationRiskModel};
@@ -104,6 +106,183 @@ impl Default for PlatformConfig {
     }
 }
 
+impl PlatformConfig {
+    /// Starts a fluent, validated builder seeded with the defaults.
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder {
+            config: PlatformConfig::default(),
+        }
+    }
+}
+
+/// A [`PlatformConfig`] that failed validation in
+/// [`PlatformConfigBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `uav_count` was zero — the platform needs a fleet.
+    NoUavs,
+    /// `scan_altitude_m` was not strictly positive.
+    NonPositiveAltitude,
+    /// The search area had a non-positive width or height.
+    EmptyArea,
+    /// `visibility` fell outside `[0, 1]`.
+    VisibilityOutOfRange,
+    /// `motor_count` was not one of the supported airframes (4, 6, 8).
+    UnsupportedMotorCount,
+    /// `tolerated_motor_failures` was not below `motor_count`.
+    TooManyToleratedFailures,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoUavs => write!(f, "uav_count must be at least 1"),
+            ConfigError::NonPositiveAltitude => {
+                write!(f, "scan_altitude_m must be strictly positive")
+            }
+            ConfigError::EmptyArea => {
+                write!(f, "area_width_m and area_height_m must be strictly positive")
+            }
+            ConfigError::VisibilityOutOfRange => {
+                write!(f, "visibility must lie in [0, 1]")
+            }
+            ConfigError::UnsupportedMotorCount => {
+                write!(f, "motor_count must be 4, 6 or 8")
+            }
+            ConfigError::TooManyToleratedFailures => {
+                write!(f, "tolerated_motor_failures must be below motor_count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent builder for [`PlatformConfig`]. Each setter overrides one
+/// default; [`PlatformConfigBuilder::build`] validates the combination.
+///
+/// # Examples
+///
+/// ```
+/// use sesame_core::orchestrator::PlatformConfig;
+///
+/// let cfg = PlatformConfig::builder()
+///     .uav_count(3)
+///     .scan_altitude_m(25.0)
+///     .seed(7)
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(cfg.uav_count, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlatformConfigBuilder {
+    config: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Enables or disables the SESAME stack (monitors, ConSerts, IDS).
+    pub fn sesame_enabled(mut self, on: bool) -> Self {
+        self.config.sesame_enabled = on;
+        self
+    }
+
+    /// Sets the fleet size.
+    pub fn uav_count(mut self, n: usize) -> Self {
+        self.config.uav_count = n;
+        self
+    }
+
+    /// Sets the initial scan altitude in metres.
+    pub fn scan_altitude_m(mut self, alt: f64) -> Self {
+        self.config.scan_altitude_m = alt;
+        self
+    }
+
+    /// Enables the §V-B altitude-adaptation policy.
+    pub fn altitude_adaptation(mut self, on: bool) -> Self {
+        self.config.altitude_adaptation = on;
+        self
+    }
+
+    /// Sets the SafeDrones configuration.
+    pub fn safedrones(mut self, cfg: SafeDronesConfig) -> Self {
+        self.config.safedrones = cfg;
+        self
+    }
+
+    /// Sets the search-area extent (east × north, metres).
+    pub fn area_m(mut self, width: f64, height: f64) -> Self {
+        self.config.area_width_m = width;
+        self.config.area_height_m = height;
+        self
+    }
+
+    /// Sets the number of ground-truth persons in the area.
+    pub fn person_count(mut self, n: usize) -> Self {
+        self.config.person_count = n;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the baseline battery-swap duration.
+    pub fn battery_swap(mut self, d: SimDuration) -> Self {
+        self.config.battery_swap = d;
+        self
+    }
+
+    /// Sets the battery hover drain per second.
+    pub fn battery_hover_drain(mut self, drain: f64) -> Self {
+        self.config.battery_hover_drain = drain;
+        self
+    }
+
+    /// Sets the world visibility in `[0, 1]`.
+    pub fn visibility(mut self, v: f64) -> Self {
+        self.config.visibility = v;
+        self
+    }
+
+    /// Sets motors per airframe and how many losses are tolerated.
+    pub fn motors(mut self, count: usize, tolerated_failures: usize) -> Self {
+        self.config.motor_count = count;
+        self.config.tolerated_motor_failures = tolerated_failures;
+        self
+    }
+
+    /// Validates the assembled configuration.
+    pub fn build(self) -> Result<PlatformConfig, ConfigError> {
+        let c = &self.config;
+        if c.uav_count == 0 {
+            return Err(ConfigError::NoUavs);
+        }
+        if c.scan_altitude_m <= 0.0 || !c.scan_altitude_m.is_finite() {
+            return Err(ConfigError::NonPositiveAltitude);
+        }
+        if c.area_width_m <= 0.0
+            || c.area_height_m <= 0.0
+            || !c.area_width_m.is_finite()
+            || !c.area_height_m.is_finite()
+        {
+            return Err(ConfigError::EmptyArea);
+        }
+        if !(0.0..=1.0).contains(&c.visibility) {
+            return Err(ConfigError::VisibilityOutOfRange);
+        }
+        if ![4, 6, 8].contains(&c.motor_count) {
+            return Err(ConfigError::UnsupportedMotorCount);
+        }
+        if c.tolerated_motor_failures >= c.motor_count {
+            return Err(ConfigError::TooManyToleratedFailures);
+        }
+        Ok(self.config)
+    }
+}
+
 /// The outcome of a CL-guided safe landing (Fig. 7).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClLandingOutcome {
@@ -144,6 +323,49 @@ struct ClState {
 /// One sampled point of a PoF or trajectory series.
 pub type Sample<T> = (f64, T);
 
+/// Read-only view over the time series and milestones a [`Platform`]
+/// records during a run. Obtained from [`Platform::series`]; borrows
+/// the platform, so take what you need and drop it before stepping.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesView<'a> {
+    platform: &'a Platform,
+}
+
+impl SeriesView<'_> {
+    /// PoF samples of UAV 1 (one per second).
+    pub fn pof(&self) -> &[Sample<f64>] {
+        &self.platform.pof_series
+    }
+
+    /// Combined-uncertainty samples of UAV 1 (one per second).
+    pub fn uncertainty(&self) -> &[Sample<f64>] {
+        &self.platform.uncertainty_series
+    }
+
+    /// True-position samples of one UAV (one per second).
+    ///
+    /// # Panics
+    /// Panics if `uav_index` is out of range (see [`Self::uav_count`]).
+    pub fn trajectory(&self, uav_index: usize) -> &[Sample<GeoPoint>] {
+        &self.platform.trajectories[uav_index]
+    }
+
+    /// Number of UAVs with a trajectory series.
+    pub fn uav_count(&self) -> usize {
+        self.platform.trajectories.len()
+    }
+
+    /// When the Security EDDI first reached an attack-tree root.
+    pub fn attack_detected_at(&self) -> Option<SimTime> {
+        self.platform.attack_detected_at
+    }
+
+    /// The CL landing outcome, when one happened.
+    pub fn cl_outcome(&self) -> Option<ClLandingOutcome> {
+        self.platform.cl_outcome
+    }
+}
+
 /// The platform. Construct with [`Platform::new`], drive with
 /// [`Platform::step`] or [`Platform::run_until_complete`].
 pub struct Platform {
@@ -178,6 +400,8 @@ pub struct Platform {
     geofences: Vec<GeofenceMonitor>,
     separation: SeparationRiskModel,
     separation_hot: Vec<bool>,
+    metrics: MetricsRegistry,
+    trace: TraceLog,
 }
 
 impl std::fmt::Debug for Platform {
@@ -320,6 +544,8 @@ impl Platform {
             geofences,
             separation: SeparationRiskModel::new(),
             separation_hot,
+            metrics: MetricsRegistry::new(),
+            trace: TraceLog::default(),
         }
     }
 
@@ -368,29 +594,59 @@ impl Platform {
         self.mission_complete_at
     }
 
+    /// Read-only view of every per-run series and milestone the
+    /// platform records: PoF, uncertainty, trajectories, attack
+    /// detection and the CL landing outcome. Replaces the five
+    /// individual getters, which remain as deprecated shims.
+    pub fn series(&self) -> SeriesView<'_> {
+        SeriesView { platform: self }
+    }
+
     /// PoF samples of UAV 1 (one per second).
+    #[deprecated(since = "0.2.0", note = "use Platform::series().pof()")]
     pub fn pof_series(&self) -> &[Sample<f64>] {
         &self.pof_series
     }
 
     /// Combined-uncertainty samples of UAV 1 (one per second).
+    #[deprecated(since = "0.2.0", note = "use Platform::series().uncertainty()")]
     pub fn uncertainty_series(&self) -> &[Sample<f64>] {
         &self.uncertainty_series
     }
 
     /// True-position samples per UAV (one per second).
+    #[deprecated(since = "0.2.0", note = "use Platform::series().trajectory(i)")]
     pub fn trajectory(&self, uav_index: usize) -> &[Sample<GeoPoint>] {
         &self.trajectories[uav_index]
     }
 
     /// When the Security EDDI first reached an attack-tree root.
+    #[deprecated(since = "0.2.0", note = "use Platform::series().attack_detected_at()")]
     pub fn attack_detected_at(&self) -> Option<SimTime> {
         self.attack_detected_at
     }
 
     /// The CL landing outcome, when one happened.
+    #[deprecated(since = "0.2.0", note = "use Platform::series().cl_outcome()")]
     pub fn cl_outcome(&self) -> Option<ClLandingOutcome> {
         self.cl_outcome
+    }
+
+    /// The live metrics registry: counters, gauges and the per-phase
+    /// tick-timing histograms maintained by [`Platform::step`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A cheap, comparable copy of the current metrics.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The platform-wide structured trace: bus drops/tampers absorbed
+    /// from the middleware plus IDS, ConSert and attack-goal events.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
     }
 
     /// Commands the whole fleet to take off and begin the survey.
@@ -429,12 +685,16 @@ impl Platform {
 
     /// One closed-loop tick. Returns the new time.
     pub fn step(&mut self) -> SimTime {
+        let mut span = TickSpan::start();
+        span.enter(phase::SIM_STEP);
         let now = self.sim.step();
         self.total_ticks += 1;
+        self.metrics.inc("platform.ticks");
         let second_boundary = now.as_millis().is_multiple_of(1000);
         let visibility = self.sim.world().visibility();
 
         // ---- Per-UAV sensing, mission logic and EDDI ticks ----
+        span.enter(phase::SENSE_PUBLISH);
         let n = self.uavs.len();
         let mut telemetries: Vec<UavTelemetry> = Vec::with_capacity(n);
         for i in 0..n {
@@ -513,6 +773,8 @@ impl Platform {
 
             // EDDI tick (SESAME only).
             if self.uavs[i].eddi.is_some() {
+                span.enter(phase::EDDI_EVAL);
+                self.metrics.inc(&format!("eddi.evals.uav{i}"));
                 let scene = SceneCondition {
                     altitude_m: tel.true_position.alt_m,
                     visibility,
@@ -526,6 +788,18 @@ impl Platform {
                 // attack tree through the alert broker.
                 if out.spoof.spoofed && !self.uavs[i].spoof_alerted {
                     self.uavs[i].spoof_alerted = true;
+                    self.metrics.inc("ids.alerts");
+                    self.metrics.inc("ids.alerts.rule.gps_spoofing_suspected");
+                    self.trace.push(
+                        now.as_millis(),
+                        TraceEvent::IdsAlert {
+                            detector: "eddi_spoof".into(),
+                            detail: format!(
+                                "{id}: innovation {:.1} m exceeds gate {:.1} m",
+                                out.spoof.innovation_m, out.spoof.gate_m
+                            ),
+                        },
+                    );
                     for rule in ["gps_anomaly", "position_jump"] {
                         self.broker.publish(
                             now,
@@ -590,6 +864,7 @@ impl Platform {
                     }
                 }
             }
+            span.enter(phase::SENSE_PUBLISH);
 
             // Trajectory sampling.
             if second_boundary {
@@ -598,6 +873,7 @@ impl Platform {
         }
 
         // ---- Airspace monitors: geofence and separation risk ----
+        span.enter(phase::AIRSPACE);
         for i in 0..n {
             let tel = &telemetries[i];
             if let Some(status) = self.geofences[i].update(&tel.true_position) {
@@ -664,14 +940,26 @@ impl Platform {
         }
 
         // ---- Bus delivery, IDS, command application ----
+        span.enter(phase::BUS_STEP);
         self.bus.step(now);
-        let tapped = self.bus.drain(self.ids_tap);
+        // The IDS tap is subscribed in `new` and never cancelled, so a
+        // drain failure is a wiring bug worth a loud panic.
+        let tapped = self.bus.drain(self.ids_tap).expect("ids tap is live");
         if let Some(ids_engine) = self.ids.as_mut() {
             let mut alerts = Vec::new();
             for msg in &tapped {
                 alerts.extend(ids_engine.inspect(msg, now));
             }
             for a in alerts {
+                self.metrics.inc("ids.alerts");
+                self.metrics.inc(&format!("ids.alerts.rule.{}", a.rule));
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::IdsAlert {
+                        detector: a.rule.clone(),
+                        detail: a.detail.clone(),
+                    },
+                );
                 self.broker.publish(
                     now,
                     "ids",
@@ -696,14 +984,19 @@ impl Platform {
         // UAV-side command application: verify signatures when SESAME
         // signs; a stock deployment applies everything (the §V-C hole).
         for i in 0..n {
-            let msgs = self.bus.drain(self.cmd_subs[i]);
+            let msgs = self
+                .bus
+                .drain(self.cmd_subs[i])
+                .expect("command subscription is live");
             let handle = self.uavs[i].handle;
             for msg in msgs {
                 if let Some(auth) = &self.auth {
                     if !auth.verify(&msg) {
+                        self.metrics.inc("commands.rejected_auth");
                         continue; // reject unauthenticated commands
                     }
                 }
+                self.metrics.inc("commands.applied");
                 match msg.payload {
                     Payload::WaypointCommand { waypoint, .. } => {
                         self.sim.command(handle, FlightCommand::PushWaypoint(waypoint));
@@ -727,9 +1020,17 @@ impl Platform {
         }
 
         // ---- Security EDDI scripts ----
+        span.enter(phase::SECURITY);
         let mut newly_attacked: Vec<UavId> = Vec::new();
         for eddi in self.security_eddis.iter_mut() {
             for status in eddi.poll(&mut self.broker, now) {
+                self.metrics.inc("security.attack_goals");
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::AttackGoal {
+                        description: format!("{}: {}", status.uav, status.tree),
+                    },
+                );
                 self.events.push(
                     now,
                     SystemEvent::AttackGoalDetected {
@@ -755,21 +1056,32 @@ impl Platform {
         }
 
         // ---- CL-guided landing (Fig. 7) ----
+        span.enter(phase::CL_LANDING);
         self.step_cl(now);
 
         // ---- Decisions ----
         if self.config.sesame_enabled {
-            self.step_conserts(&telemetries, now);
+            span.enter(phase::CONSERT_COMPOSE);
+            self.step_conserts(&telemetries, now, &mut span);
         } else {
+            span.enter(phase::DECIDE);
             self.step_baseline(&telemetries, now);
         }
 
         // ---- Mission bookkeeping ----
+        span.enter(phase::BOOKKEEPING);
         if self.mission_complete_at.is_none() && self.tasks.is_complete() {
             self.mission_complete_at = Some(now);
             self.ticks_at_completion = Some(self.total_ticks);
             self.productive_at_completion =
                 self.uavs.iter().map(|u| u.productive_ticks).collect();
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::ModeTransition {
+                    from: "survey".into(),
+                    to: "return_to_base".into(),
+                },
+            );
             self.events.push(
                 now,
                 SystemEvent::MissionComplete {
@@ -787,11 +1099,37 @@ impl Platform {
             }
         }
 
+        // Mirror the bus counters into the registry and pull the bus's
+        // drop/tamper/overflow trace into the platform-wide log, so one
+        // snapshot answers both "how much" and "when".
+        let stats = self.bus.stats();
+        let (published, delivered, dropped, tampered, overflowed) = (
+            stats.published,
+            stats.delivered,
+            stats.dropped,
+            stats.tampered,
+            stats.overflowed,
+        );
+        self.metrics.set_counter("bus.published", published);
+        self.metrics.set_counter("bus.delivered", delivered);
+        self.metrics.set_counter("bus.dropped", dropped);
+        self.metrics.set_counter("bus.tampered", tampered);
+        self.metrics.set_counter("bus.overflowed", overflowed);
+        self.metrics
+            .set_gauge("bus.in_flight", self.bus.in_flight_len() as f64);
+        self.trace.absorb(self.bus.trace_mut());
+
+        let airborne = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
+        self.metrics.set_gauge("fleet.airborne", airborne as f64);
+        self.metrics
+            .set_gauge("mission.completion", self.tasks.completion());
+
         // GCS snapshot every 5 s.
         if now.as_millis().is_multiple_of(5000) {
             let snap = self.snapshot(&telemetries, now);
             self.gcs.record(snap);
         }
+        span.finish(&mut self.metrics);
         now
     }
 
@@ -902,7 +1240,12 @@ impl Platform {
         }
     }
 
-    fn step_conserts(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+    fn step_conserts(
+        &mut self,
+        telemetries: &[UavTelemetry],
+        now: SimTime,
+        span: &mut TickSpan,
+    ) {
         let n = self.uavs.len();
         let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
         let mut actions = Vec::with_capacity(n);
@@ -929,6 +1272,15 @@ impl Platform {
                 self.sim.command(self.uavs[i].handle, cmd);
             }
             if prev != Some(action) {
+                self.metrics.inc("consert.decisions");
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::GuaranteeChanged {
+                        uav: i,
+                        from: prev.map_or_else(|| "none".to_string(), |a| a.to_string()),
+                        to: action.to_string(),
+                    },
+                );
                 self.events.push(
                     now,
                     SystemEvent::ConsertDecision {
@@ -939,6 +1291,7 @@ impl Platform {
             }
         }
         // Mission-level decider.
+        span.enter(phase::DECIDE);
         let decision = decide_mission(&actions);
         if decision == MissionDecision::RedistributeTasks {
             // Redistribute the tasks of every aborting UAV once.
@@ -1039,6 +1392,7 @@ impl Platform {
             mission_decision: None,
             completion: self.tasks.completion(),
             persons_found: self.tasks.mission().findings().len(),
+            metrics: self.metrics.snapshot(),
         }
     }
 
@@ -1150,7 +1504,7 @@ mod tests {
         assert!(p.completion() >= 1.0 - 1e-9);
         assert!(p.availability(0) > 0.5);
         assert!(!p.gcs().log().is_empty());
-        assert!(p.attack_detected_at().is_none());
+        assert!(p.series().attack_detected_at().is_none());
     }
 
     #[test]
@@ -1162,7 +1516,7 @@ mod tests {
         p.run_until_complete(SimTime::from_secs(600));
         assert!(p.mission_complete_at().is_some());
         // No SESAME artefacts in the baseline run.
-        assert!(p.pof_series().is_empty());
+        assert!(p.series().pof().is_empty());
         assert!(p
             .events()
             .iter()
@@ -1189,8 +1543,9 @@ mod tests {
         for _ in 0..100 {
             p.step();
         }
-        assert_eq!(p.pof_series().len(), 10);
-        assert_eq!(p.trajectory(0).len(), 10);
+        assert_eq!(p.series().pof().len(), 10);
+        assert_eq!(p.series().trajectory(0).len(), 10);
+        assert_eq!(p.series().uav_count(), 3);
     }
 
     #[test]
@@ -1211,6 +1566,97 @@ mod tests {
         cfg.sesame_enabled = false;
         let baseline = Platform::new(cfg);
         assert!(baseline.dependability_report(0).is_none());
+    }
+
+    #[test]
+    fn builder_validates_and_builds() {
+        let cfg = PlatformConfig::builder()
+            .uav_count(2)
+            .scan_altitude_m(25.0)
+            .area_m(200.0, 100.0)
+            .person_count(4)
+            .seed(9)
+            .visibility(0.8)
+            .motors(6, 1)
+            .build()
+            .expect("valid config");
+        assert_eq!(cfg.uav_count, 2);
+        assert_eq!(cfg.motor_count, 6);
+        assert_eq!(cfg.tolerated_motor_failures, 1);
+
+        assert_eq!(
+            PlatformConfig::builder().uav_count(0).build().unwrap_err(),
+            ConfigError::NoUavs
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .scan_altitude_m(0.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::NonPositiveAltitude
+        );
+        assert_eq!(
+            PlatformConfig::builder()
+                .area_m(0.0, 100.0)
+                .build()
+                .unwrap_err(),
+            ConfigError::EmptyArea
+        );
+        assert_eq!(
+            PlatformConfig::builder().visibility(1.5).build().unwrap_err(),
+            ConfigError::VisibilityOutOfRange
+        );
+        assert_eq!(
+            PlatformConfig::builder().motors(5, 0).build().unwrap_err(),
+            ConfigError::UnsupportedMotorCount
+        );
+        assert_eq!(
+            PlatformConfig::builder().motors(4, 4).build().unwrap_err(),
+            ConfigError::TooManyToleratedFailures
+        );
+        assert!(!ConfigError::NoUavs.to_string().is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_getters_mirror_series_view() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..50 {
+            p.step();
+        }
+        assert_eq!(p.pof_series(), p.series().pof());
+        assert_eq!(p.uncertainty_series(), p.series().uncertainty());
+        assert_eq!(p.trajectory(0), p.series().trajectory(0));
+        assert_eq!(p.attack_detected_at(), p.series().attack_detected_at());
+        assert_eq!(p.cl_outcome(), p.series().cl_outcome());
+    }
+
+    #[test]
+    fn step_populates_metrics_and_snapshot() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..100 {
+            p.step();
+        }
+        let m = p.metrics();
+        assert_eq!(m.counter("platform.ticks"), 100);
+        assert_eq!(m.counter("eddi.evals.uav0"), 100);
+        assert!(m.histogram("tick.total").is_some());
+        for name in phase::ALL {
+            let hist = m.histogram(&sesame_obs::span::phase_metric(name));
+            assert!(hist.is_some(), "phase {name} must be timed");
+        }
+        assert!(m.gauge("fleet.airborne").is_some());
+        assert!(m.counter("bus.published") > 0);
+
+        // The GCS snapshot carries the same registry, condensed.
+        let snap = p.gcs().latest().expect("5 s boundary passed");
+        assert!(snap.metrics.counter("platform.ticks") > 0);
+        assert_eq!(
+            p.metrics_snapshot().counter("platform.ticks"),
+            m.counter("platform.ticks")
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::orchestrator::{ClLandingOutcome, Platform, PlatformConfig, Sample};
 use sesame_middleware::attack::{AttackInjector, AttackKind};
+use sesame_obs::MetricsSnapshot;
 use sesame_types::events::EventLog;
 use sesame_types::geo::{GeoPoint, Vec3};
 use sesame_types::ids::UavId;
@@ -206,6 +207,9 @@ pub struct ScenarioOutcome {
     pub persons: Vec<GeoPoint>,
     /// Confirmed finding positions.
     pub findings: Vec<GeoPoint>,
+    /// Observability snapshot: tick-phase timings, bus counters, IDS
+    /// and ConSert activity (see `sesame-obs`).
+    pub obs_metrics: MetricsSnapshot,
 }
 
 impl Scenario {
@@ -284,12 +288,13 @@ impl Scenario {
             detection_accuracy,
             attack_detected_secs: self
                 .platform
+                .series()
                 .attack_detected_at()
                 .map(|t| t.as_secs_f64()),
-            cl_landing: self.platform.cl_outcome(),
+            cl_landing: self.platform.series().cl_outcome(),
         };
         let trajectories = (0..n)
-            .map(|i| self.platform.trajectory(i).to_vec())
+            .map(|i| self.platform.series().trajectory(i).to_vec())
             .collect();
         // Merge the platform's and the simulator's event histories into
         // one time-ordered log.
@@ -327,14 +332,15 @@ impl Scenario {
             .collect();
         ScenarioOutcome {
             metrics,
-            pof_series: self.platform.pof_series().to_vec(),
-            uncertainty_series: self.platform.uncertainty_series().to_vec(),
+            pof_series: self.platform.series().pof().to_vec(),
+            uncertainty_series: self.platform.series().uncertainty().to_vec(),
             trajectories,
             events: merged,
             area_origin,
             area_extent_m,
             persons,
             findings,
+            obs_metrics: self.platform.metrics_snapshot(),
         }
     }
 

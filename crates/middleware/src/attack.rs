@@ -161,7 +161,10 @@ impl AttackInjector {
     /// the recorder and returns how many messages were captured this call.
     pub fn observe(&mut self, bus: &mut MessageBus) -> usize {
         let Some(tap) = self.tap else { return 0 };
-        let new = bus.drain(tap);
+        // The tap subscription is owned by this injector and never
+        // cancelled, so a drain failure means the handle belongs to a
+        // different bus — a caller bug worth surfacing loudly.
+        let new = bus.drain(tap).expect("attack tap subscription is live");
         let n = new.len();
         self.recorded.extend(new);
         n
@@ -210,7 +213,7 @@ mod tests {
             GeoPoint::new(35.0, 33.0, 50.0),
         );
         bus.step(SimTime::from_millis(100));
-        let msgs = bus.drain(autopilot);
+        let msgs = bus.drain(autopilot).unwrap();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].sender, "node:gcs");
         assert!(!msgs[0].is_signed());
@@ -242,7 +245,7 @@ mod tests {
         auth.sign(&mut m);
         bus.publish_message(m);
         bus.step(SimTime::from_millis(100));
-        let got = bus.drain(sub);
+        let got = bus.drain(sub).unwrap();
         assert_eq!(got.len(), 1);
         match &got[0].payload {
             Payload::WaypointCommand { waypoint, .. } => {
@@ -272,7 +275,7 @@ mod tests {
         bus.step(SimTime::from_millis(100));
         assert_eq!(atk.observe(&mut bus), 1);
         assert_eq!(atk.recorded().len(), 1);
-        assert_eq!(bus.drain(legit).len(), 1, "legit subscriber unaffected");
+        assert_eq!(bus.drain(legit).unwrap().len(), 1, "legit subscriber unaffected");
     }
 
     #[test]
@@ -292,12 +295,12 @@ mod tests {
             Payload::Text("goto A".into()),
         );
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(sub).len(), 1);
+        assert_eq!(bus.drain(sub).unwrap().len(), 1);
         atk.observe(&mut bus);
         let replayed = atk.replay_all(&mut bus, SimTime::from_secs(60));
         assert_eq!(replayed, 1);
         bus.step(SimTime::from_secs(61));
-        let msgs = bus.drain(sub);
+        let msgs = bus.drain(sub).unwrap();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].seq, 0, "replayed seq is stale — an IDS signal");
     }

@@ -12,7 +12,10 @@ use crate::broker::topic_matches;
 use crate::message::{Message, Payload};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use sesame_obs::metrics::Histogram;
+use sesame_obs::{TraceEvent, TraceLog};
 use sesame_types::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
@@ -25,8 +28,51 @@ pub struct Subscription(usize);
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TamperId(usize);
 
-/// Counters the bus keeps about its own traffic.
+/// Why a [`MessageBus`] queue operation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusError {
+    /// The subscription handle was never issued by this bus.
+    UnknownSubscription(Subscription),
+    /// The subscription was already cancelled with
+    /// [`MessageBus::unsubscribe`].
+    Unsubscribed(Subscription),
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BusError::UnknownSubscription(Subscription(id)) => {
+                write!(f, "subscription #{id} was never issued by this bus")
+            }
+            BusError::Unsubscribed(Subscription(id)) => {
+                write!(f, "subscription #{id} has been cancelled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BusError {}
+
+/// Traffic counters for one topic.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopicStats {
+    /// Messages accepted on this topic.
+    pub published: u64,
+    /// Deliveries of this topic's messages into subscriber queues.
+    pub delivered: u64,
+    /// This topic's messages dropped by the loss model.
+    pub dropped: u64,
+    /// This topic's messages modified in flight by a tamper hook.
+    pub tampered: u64,
+}
+
+/// Counters and distributions the bus keeps about its own traffic.
+///
+/// Aggregate counters are mirrored per topic in [`BusStats::per_topic`],
+/// and each delivery's modelled latency lands in
+/// [`BusStats::latency_ms`]. All of it is deterministic under a fixed
+/// seed, so stats can be asserted exactly in tests.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BusStats {
     /// Messages accepted by `publish`.
     pub published: u64,
@@ -39,6 +85,19 @@ pub struct BusStats {
     pub tampered: u64,
     /// Deliveries discarded because a subscriber queue was full.
     pub overflowed: u64,
+    /// Per-topic breakdown of the counters above (except overflow, which
+    /// belongs to subscriber queues rather than topics).
+    pub per_topic: BTreeMap<String, TopicStats>,
+    /// Modelled publish→deliver latency of every delivered message, in
+    /// milliseconds.
+    pub latency_ms: Histogram,
+}
+
+impl BusStats {
+    /// This topic's counters (zeros if the topic never saw traffic).
+    pub fn topic(&self, topic: &str) -> TopicStats {
+        self.per_topic.get(topic).copied().unwrap_or_default()
+    }
 }
 
 /// A man-in-the-middle hook: may mutate the message; returns `true` if it
@@ -68,6 +127,7 @@ pub struct MessageBus {
     topic_latency: Vec<(String, SimDuration)>,
     rng: StdRng,
     stats: BusStats,
+    trace: TraceLog,
 }
 
 impl fmt::Debug for MessageBus {
@@ -106,6 +166,7 @@ impl MessageBus {
             topic_latency: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: BusStats::default(),
+            trace: TraceLog::default(),
         }
     }
 
@@ -154,12 +215,19 @@ impl MessageBus {
         Subscription(self.subs.len() - 1)
     }
 
-    /// Cancels a subscription; its queue is dropped.
-    pub fn unsubscribe(&mut self, sub: Subscription) {
-        if let Some(s) = self.subs.get_mut(sub.0) {
-            s.active = false;
-            s.queue.clear();
+    /// Cancels a subscription; its queue is dropped. Cancelling twice, or
+    /// cancelling a handle from another bus, is an error.
+    pub fn unsubscribe(&mut self, sub: Subscription) -> Result<(), BusError> {
+        let s = self
+            .subs
+            .get_mut(sub.0)
+            .ok_or(BusError::UnknownSubscription(sub))?;
+        if !s.active {
+            return Err(BusError::Unsubscribed(sub));
         }
+        s.active = false;
+        s.queue.clear();
+        Ok(())
     }
 
     /// Publishes an unsigned message from `sender` on `topic`; the sequence
@@ -188,6 +256,11 @@ impl MessageBus {
     /// sequence counters.
     pub fn publish_message(&mut self, msg: Message) {
         self.stats.published += 1;
+        self.stats
+            .per_topic
+            .entry(msg.topic.clone())
+            .or_default()
+            .published += 1;
         let latency = self
             .topic_latency
             .iter()
@@ -235,6 +308,14 @@ impl MessageBus {
                 .unwrap_or(0.0);
             if loss > 0.0 && self.rng.random::<f64>() < loss {
                 self.stats.dropped += 1;
+                self.stats.per_topic.entry(msg.topic.clone()).or_default().dropped += 1;
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::MessageDropped {
+                        topic: msg.topic.clone(),
+                        sender: msg.sender.clone(),
+                    },
+                );
                 continue;
             }
             // MITM hooks.
@@ -242,19 +323,41 @@ impl MessageBus {
                 if let Some(f) = hook {
                     if topic_matches(pattern, &msg.topic) && f(&mut msg) {
                         self.stats.tampered += 1;
+                        self.stats.per_topic.entry(msg.topic.clone()).or_default().tampered += 1;
+                        self.trace.push(
+                            now.as_millis(),
+                            TraceEvent::MessageTampered {
+                                topic: msg.topic.clone(),
+                                sender: msg.sender.clone(),
+                            },
+                        );
                     }
                 }
             }
-            for sub in self.subs.iter_mut().filter(|s| s.active) {
+            let mut fanout = 0u64;
+            for (idx, sub) in self.subs.iter_mut().enumerate().filter(|(_, s)| s.active) {
                 if topic_matches(&sub.pattern, &msg.topic) {
                     if sub.queue.len() >= sub.depth {
                         sub.queue.pop_front();
                         self.stats.overflowed += 1;
+                        self.trace.push(
+                            now.as_millis(),
+                            TraceEvent::QueueOverflow {
+                                topic: msg.topic.clone(),
+                                subscriber: idx,
+                            },
+                        );
                     }
                     sub.queue.push_back(msg.clone());
                     self.stats.delivered += 1;
+                    fanout += 1;
                     delivered += 1;
                 }
+            }
+            if fanout > 0 {
+                self.stats.per_topic.entry(msg.topic.clone()).or_default().delivered += fanout;
+                let latency = inf.deliver_at - msg.sent_at;
+                self.stats.latency_ms.observe(latency.as_millis() as f64);
             }
         }
         self.in_flight = remaining;
@@ -262,21 +365,47 @@ impl MessageBus {
     }
 
     /// Removes and returns every queued message for `sub`, oldest first.
-    pub fn drain(&mut self, sub: Subscription) -> Vec<Message> {
-        match self.subs.get_mut(sub.0) {
-            Some(s) => s.queue.drain(..).collect(),
-            None => Vec::new(),
+    /// Draining a cancelled or foreign handle is an error rather than
+    /// silently empty, so lost-handle bugs surface where they happen.
+    pub fn drain(&mut self, sub: Subscription) -> Result<Vec<Message>, BusError> {
+        let s = self
+            .subs
+            .get_mut(sub.0)
+            .ok_or(BusError::UnknownSubscription(sub))?;
+        if !s.active {
+            return Err(BusError::Unsubscribed(sub));
         }
+        Ok(s.queue.drain(..).collect())
     }
 
     /// Number of messages currently queued for `sub`.
-    pub fn queued(&self, sub: Subscription) -> usize {
-        self.subs.get(sub.0).map_or(0, |s| s.queue.len())
+    pub fn queued(&self, sub: Subscription) -> Result<usize, BusError> {
+        let s = self
+            .subs
+            .get(sub.0)
+            .ok_or(BusError::UnknownSubscription(sub))?;
+        if !s.active {
+            return Err(BusError::Unsubscribed(sub));
+        }
+        Ok(s.queue.len())
     }
 
-    /// Traffic counters.
-    pub fn stats(&self) -> BusStats {
-        self.stats
+    /// Traffic counters and latency distribution.
+    pub fn stats(&self) -> &BusStats {
+        &self.stats
+    }
+
+    /// The bounded trace of notable bus events (drops, tampers, queue
+    /// overflows). Routine deliveries are counted in [`Self::stats`] but
+    /// not traced, so rare events aren't evicted by bulk traffic.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable access to the trace, letting an orchestrator absorb bus
+    /// events into a platform-wide log each tick.
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
     }
 
     /// Messages accepted but not yet delivered.
@@ -298,12 +427,12 @@ mod tests {
         let mut bus = MessageBus::new();
         let sub = bus.subscribe("/a/b");
         bus.publish(SimTime::ZERO, "n1", "/a/b", text("x"));
-        assert_eq!(bus.queued(sub), 0, "not delivered before step");
+        assert_eq!(bus.queued(sub).unwrap(), 0, "not delivered before step");
         assert_eq!(bus.step(SimTime::from_millis(100)), 1);
-        let msgs = bus.drain(sub);
+        let msgs = bus.drain(sub).unwrap();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].payload, text("x"));
-        assert_eq!(bus.queued(sub), 0);
+        assert_eq!(bus.queued(sub).unwrap(), 0);
     }
 
     #[test]
@@ -315,7 +444,7 @@ mod tests {
         assert_eq!(bus.step(SimTime::from_millis(400)), 0);
         assert_eq!(bus.in_flight_len(), 1);
         assert_eq!(bus.step(SimTime::from_millis(500)), 1);
-        assert_eq!(bus.drain(sub).len(), 1);
+        assert_eq!(bus.drain(sub).unwrap().len(), 1);
     }
 
     #[test]
@@ -328,10 +457,10 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/near", text("a"));
         bus.publish(SimTime::ZERO, "n", "/far/x", text("b"));
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(near).len(), 1);
-        assert_eq!(bus.drain(far).len(), 0, "long link still in flight");
+        assert_eq!(bus.drain(near).unwrap().len(), 1);
+        assert_eq!(bus.drain(far).unwrap().len(), 0, "long link still in flight");
         bus.step(SimTime::from_millis(300));
-        assert_eq!(bus.drain(far).len(), 1);
+        assert_eq!(bus.drain(far).unwrap().len(), 1);
     }
 
     #[test]
@@ -343,7 +472,7 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/slow", text("1st published"));
         bus.publish(SimTime::ZERO, "n", "/fast", text("2nd published"));
         bus.step(SimTime::from_millis(50));
-        let got = bus.drain(sub);
+        let got = bus.drain(sub).unwrap();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].topic, "/fast");
     }
@@ -356,8 +485,8 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/uav1/telemetry", text("a"));
         bus.publish(SimTime::ZERO, "n", "/uav2/telemetry", text("b"));
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(all).len(), 2);
-        let m = bus.drain(one);
+        assert_eq!(bus.drain(all).unwrap().len(), 2);
+        let m = bus.drain(one).unwrap();
         assert_eq!(m.len(), 1);
         assert_eq!(m[0].topic, "/uav1/telemetry");
     }
@@ -379,7 +508,7 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/lossy/x", text("a"));
         bus.publish(SimTime::ZERO, "n", "/fine", text("b"));
         bus.step(SimTime::from_millis(100));
-        let msgs = bus.drain(sub);
+        let msgs = bus.drain(sub).unwrap();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].topic, "/fine");
         assert_eq!(bus.stats().dropped, 1);
@@ -395,7 +524,7 @@ mod tests {
                 bus.publish(SimTime::ZERO, "n", format!("/t{i}"), text("x"));
             }
             bus.step(SimTime::from_millis(100));
-            bus.drain(sub)
+            bus.drain(sub).unwrap()
                 .into_iter()
                 .map(|m| m.topic)
                 .collect::<Vec<_>>()
@@ -417,7 +546,7 @@ mod tests {
         );
         bus.publish(SimTime::ZERO, "gcs", "/cmd", text("good"));
         bus.step(SimTime::from_millis(100));
-        let msgs = bus.drain(sub);
+        let msgs = bus.drain(sub).unwrap();
         assert_eq!(msgs[0].payload, text("evil"));
         assert_eq!(bus.stats().tampered, 1);
     }
@@ -436,7 +565,7 @@ mod tests {
         bus.remove_tamper(id);
         bus.publish(SimTime::ZERO, "gcs", "/cmd", text("good"));
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(sub)[0].payload, text("good"));
+        assert_eq!(bus.drain(sub).unwrap()[0].payload, text("good"));
         assert_eq!(bus.stats().tampered, 0);
     }
 
@@ -448,7 +577,7 @@ mod tests {
             bus.publish(SimTime::ZERO, "n", "/t", text(&i.to_string()));
         }
         bus.step(SimTime::from_millis(100));
-        let msgs = bus.drain(sub);
+        let msgs = bus.drain(sub).unwrap();
         assert_eq!(msgs.len(), 2);
         assert_eq!(msgs[0].payload, text("3"));
         assert_eq!(msgs[1].payload, text("4"));
@@ -459,10 +588,112 @@ mod tests {
     fn unsubscribe_stops_delivery() {
         let mut bus = MessageBus::new();
         let sub = bus.subscribe("/t");
-        bus.unsubscribe(sub);
+        let live = bus.subscribe("/t");
+        bus.unsubscribe(sub).unwrap();
         bus.publish(SimTime::ZERO, "n", "/t", text("x"));
+        assert_eq!(bus.step(SimTime::from_millis(100)), 1, "only the live sub");
+        assert_eq!(bus.drain(sub), Err(BusError::Unsubscribed(sub)));
+        assert_eq!(bus.drain(live).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn queue_ops_reject_unknown_and_cancelled_handles() {
+        let mut bus = MessageBus::new();
+        let sub = bus.subscribe("/t");
+        let mut other = MessageBus::new();
+        let _ = other.subscribe("/a");
+        let foreign = other.subscribe("/b");
+
+        assert_eq!(
+            bus.drain(foreign),
+            Err(BusError::UnknownSubscription(foreign))
+        );
+        assert_eq!(
+            bus.queued(foreign),
+            Err(BusError::UnknownSubscription(foreign))
+        );
+        assert_eq!(
+            bus.unsubscribe(foreign),
+            Err(BusError::UnknownSubscription(foreign))
+        );
+
+        bus.unsubscribe(sub).unwrap();
+        assert_eq!(bus.unsubscribe(sub), Err(BusError::Unsubscribed(sub)));
+        assert_eq!(bus.queued(sub), Err(BusError::Unsubscribed(sub)));
+        let err = bus.drain(sub).unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn per_topic_stats_break_down_traffic() {
+        let mut bus = MessageBus::seeded(7);
+        bus.set_loss("/lossy/#", 1.0);
+        let _sub = bus.subscribe("#");
+        bus.publish(SimTime::ZERO, "n", "/lossy/x", text("a"));
+        bus.publish(SimTime::ZERO, "n", "/fine", text("b"));
+        bus.publish(SimTime::ZERO, "n", "/fine", text("c"));
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(sub).len(), 0);
+        let s = bus.stats();
+        assert_eq!(s.topic("/lossy/x").published, 1);
+        assert_eq!(s.topic("/lossy/x").dropped, 1);
+        assert_eq!(s.topic("/lossy/x").delivered, 0);
+        assert_eq!(s.topic("/fine").published, 2);
+        assert_eq!(s.topic("/fine").delivered, 2);
+        assert_eq!(s.topic("/never-seen"), TopicStats::default());
+    }
+
+    #[test]
+    fn latency_histogram_records_modelled_delay() {
+        let mut bus = MessageBus::new();
+        bus.set_latency(SimDuration::from_millis(40));
+        bus.set_topic_latency("/far", SimDuration::from_millis(300));
+        let _near = bus.subscribe("/near");
+        let _far = bus.subscribe("/far");
+        bus.publish(SimTime::ZERO, "n", "/near", text("a"));
+        bus.publish(SimTime::ZERO, "n", "/far", text("b"));
+        bus.step(SimTime::from_secs(1));
+        let h = &bus.stats().latency_ms;
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 40.0);
+        assert_eq!(h.max(), 300.0);
+        // A message nobody subscribes to records no latency sample.
+        bus.publish(SimTime::ZERO, "n", "/unheard", text("c"));
+        bus.step(SimTime::from_secs(2));
+        assert_eq!(bus.stats().latency_ms.count(), 2);
+    }
+
+    #[test]
+    fn trace_records_drops_tampers_and_overflows() {
+        let mut bus = MessageBus::seeded(7);
+        bus.set_loss("/lossy", 1.0);
+        bus.install_tamper(
+            "/cmd",
+            Box::new(|m| {
+                m.payload = Payload::Text("evil".into());
+                true
+            }),
+        );
+        let _tight = bus.subscribe_with_depth("/cmd", 1);
+        bus.publish(SimTime::ZERO, "n", "/lossy", text("a"));
+        bus.publish(SimTime::ZERO, "gcs", "/cmd", text("b"));
+        bus.publish(SimTime::ZERO, "gcs", "/cmd", text("c"));
+        bus.step(SimTime::from_millis(100));
+
+        assert_eq!(bus.trace().count_kind("message_dropped"), 1);
+        assert_eq!(bus.trace().count_kind("message_tampered"), 2);
+        assert_eq!(bus.trace().count_kind("queue_overflow"), 1);
+        let drop = bus.trace().of_kind("message_dropped").next().unwrap();
+        assert_eq!(drop.t_ms, 100);
+        assert!(matches!(
+            &drop.event,
+            TraceEvent::MessageDropped { topic, .. } if topic == "/lossy"
+        ));
+
+        // An orchestrator can absorb the bus trace into its own log.
+        let mut unified = TraceLog::default();
+        unified.absorb(bus.trace_mut());
+        assert!(bus.trace().is_empty());
+        assert_eq!(unified.count_kind("message_tampered"), 2);
     }
 
     #[test]
@@ -480,7 +711,7 @@ mod tests {
         let forged = Message::new("/cmd", "node:gcs", 999, SimTime::ZERO, text("spoof"));
         bus.publish_message(forged.clone());
         bus.step(SimTime::from_millis(100));
-        let got = bus.drain(sub);
+        let got = bus.drain(sub).unwrap();
         assert_eq!(got[0].sender, "node:gcs");
         assert_eq!(got[0].seq, 999);
         assert!(!got[0].is_signed());

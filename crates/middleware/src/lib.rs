@@ -37,7 +37,7 @@
 //!     Payload::Text("hello".into()),
 //! );
 //! bus.step(SimTime::from_millis(100));
-//! let got = bus.drain(sub);
+//! let got = bus.drain(sub).expect("subscription is live");
 //! assert_eq!(got.len(), 1);
 //! ```
 
@@ -51,6 +51,6 @@ pub mod network;
 pub use attack::{AttackInjector, AttackKind};
 pub use auth::{AuthKey, MessageAuth};
 pub use broker::{AlertBroker, BrokerSubscription};
-pub use bus::{BusStats, MessageBus, Subscription};
+pub use bus::{BusError, BusStats, MessageBus, Subscription, TopicStats};
 pub use message::{Message, Payload};
 pub use network::{LinkQuality, NetworkModel};

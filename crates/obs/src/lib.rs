@@ -1,0 +1,53 @@
+//! `sesame-obs` — the observability substrate of the SESAME platform.
+//!
+//! The paper's contribution is a *runtime* assurance system: EDDIs and
+//! ConSerts making per-tick decisions on a multi-UAV platform. This crate
+//! is the measurement layer underneath it, in the spirit of SOTER's
+//! first-class monitoring of runtime-assurance decision modules: before a
+//! perf or scale change can be trusted, there has to be a way to see
+//! where a tick's time goes and how often each layer actually fires.
+//!
+//! Three pieces, all zero-dependency and cheap enough to stay on:
+//!
+//! * [`metrics::MetricsRegistry`] — named counters, gauges and
+//!   fixed-bucket histograms;
+//! * [`span::TickSpan`] — a scoped timer splitting the platform loop
+//!   into named phases (`sim_step` → `sense_publish` → `bus_step` → …)
+//!   and flushing one histogram sample per phase per tick;
+//! * [`trace::TraceLog`] — a bounded ring of typed [`trace::TraceEvent`]s
+//!   (message dropped/tampered, IDS alert, guarantee change, mode
+//!   transition, …) with an eviction counter so loss is visible.
+//!
+//! Counters, gauges and trace events are driven purely by simulation
+//! state, so they are bit-deterministic under a fixed seed; phase
+//! timings come from the wall clock and are the only nondeterministic
+//! values in the registry.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_obs::metrics::MetricsRegistry;
+//! use sesame_obs::span::TickSpan;
+//!
+//! let mut metrics = MetricsRegistry::new();
+//! metrics.inc("ticks");
+//! metrics.observe("queue_depth", 3.0);
+//!
+//! let mut span = TickSpan::start();
+//! span.enter("sim_step");
+//! // ... simulate ...
+//! span.enter("bus_step");
+//! // ... deliver messages ...
+//! span.finish(&mut metrics);
+//!
+//! assert_eq!(metrics.counter("ticks"), 1);
+//! assert_eq!(metrics.histogram("tick.phase.sim_step").unwrap().count(), 1);
+//! ```
+
+pub mod metrics;
+pub mod span;
+pub mod trace;
+
+pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use span::TickSpan;
+pub use trace::{TraceEvent, TraceLog, TraceRecord};

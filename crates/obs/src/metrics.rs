@@ -1,0 +1,457 @@
+//! Named counters, gauges and fixed-bucket histograms.
+//!
+//! Everything lives in [`BTreeMap`]s keyed by `&'static str`-ish owned
+//! names so iteration order — and therefore every rendered table and
+//! snapshot comparison — is deterministic.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Default histogram bucket upper edges, in the unit of the observed
+/// value (the platform uses microseconds for phase timings and
+/// milliseconds for bus latency). The last implicit bucket is +inf.
+pub const DEFAULT_BUCKETS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0];
+
+/// A fixed-bucket histogram: counts per upper-edge bucket plus exact
+/// count/sum/min/max, so means are exact and quantiles bucket-accurate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    /// counts.len() == edges.len() + 1; the final slot is the overflow
+    /// (+inf) bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new(&DEFAULT_BUCKETS)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper edges.
+    ///
+    /// # Panics
+    /// Panics if `edges` is empty or not strictly ascending.
+    pub fn new(edges: &[f64]) -> Self {
+        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly ascending"
+        );
+        Self {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&edge| value <= edge)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observed value, or 0.0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value, or 0.0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Bucket upper edges this histogram was built with.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bucket counts; one longer than [`Self::edges`], the last
+    /// entry being the overflow bucket.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bucket-resolution quantile: the upper edge of the bucket in
+    /// which the q-quantile observation falls (`q` clamped to [0, 1]).
+    /// Observations beyond the last edge report the observed max.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if idx < self.edges.len() {
+                    self.edges[idx]
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Condenses the histogram to the summary stats used in snapshots.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            mean: self.mean(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time condensed view of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    pub count: u64,
+    pub sum: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Bucket-resolution median (upper edge of the median's bucket).
+    pub p50: f64,
+    /// Bucket-resolution 99th percentile.
+    pub p99: f64,
+}
+
+/// The registry: a flat, deterministic namespace of counters, gauges
+/// and histograms. Names are dot-separated by convention
+/// (`bus.dropped`, `tick.phase.sim_step`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by one, creating it at zero if absent.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Overwrites a counter with an externally tracked total.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Sets a gauge to the latest value.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records an observation into the named histogram, creating it
+    /// with [`DEFAULT_BUCKETS`] if absent.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .observe(value);
+    }
+
+    /// Pre-registers a histogram with custom bucket edges; later
+    /// [`Self::observe`] calls reuse it. No-op if the name exists.
+    pub fn register_histogram(&mut self, name: &str, edges: &[f64]) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(edges));
+    }
+
+    /// Current counter value (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation or registration created it.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Counters whose name starts with `prefix`, in name order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(name, _)| name.starts_with(prefix))
+            .map(|(name, &v)| (name.as_str(), v))
+    }
+
+    /// Condenses the registry into a cheap, comparable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(name, h)| (name.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Renders a fixed-width text table of every metric, for the
+    /// experiments binary's per-run summary.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  {:<44} {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  {:<44} {:>12}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:>12.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    name,
+                    h.count(),
+                    h.mean(),
+                    h.quantile(0.5),
+                    h.max()
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A point-in-time copy of the registry, with histograms condensed to
+/// [`HistogramSummary`]. Cloneable and comparable, so it can ride
+/// inside platform status snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, f64>,
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.get(name)
+    }
+
+    /// True when the snapshot holds no metric of any kind.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the same fixed-width table as
+    /// [`MetricsRegistry::render_table`], from the condensed summaries.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  {:<44} {:>12}", "counter", "value");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<44} {v:>12}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "  {:<44} {:>12}", "gauge", "value");
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "  {name:<44} {v:>12.3}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<44} {:>8} {:>10} {:>10} {:>10}",
+                "histogram", "count", "mean", "p50", "max"
+            );
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {:<44} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                    name, h.count, h.mean, h.p50, h.max
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_places_values_on_edges_inclusively() {
+        let mut h = Histogram::new(&[1.0, 5.0, 10.0]);
+        h.observe(0.5); // bucket 0 (<= 1)
+        h.observe(1.0); // bucket 0 (edge inclusive)
+        h.observe(3.0); // bucket 1
+        h.observe(10.0); // bucket 2 (edge inclusive)
+        h.observe(11.0); // overflow
+        assert_eq!(h.bucket_counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 25.5).abs() < 1e-9);
+        assert!((h.mean() - 5.1).abs() < 1e-9);
+        assert_eq!(h.min(), 0.5);
+        assert_eq!(h.max(), 11.0);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_edges_and_overflow_max() {
+        let mut h = Histogram::new(&[10.0, 100.0]);
+        for _ in 0..90 {
+            h.observe(5.0);
+        }
+        for _ in 0..9 {
+            h.observe(50.0);
+        }
+        h.observe(1234.0);
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.95), 100.0);
+        // The single overflow observation reports the true max.
+        assert_eq!(h.quantile(1.0), 1234.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_edges_panic() {
+        Histogram::new(&[5.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_counters_gauges_histograms_round_trip() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a.x");
+        m.add("a.x", 4);
+        m.set_counter("a.y", 7);
+        m.set_gauge("g", 2.5);
+        m.observe("h", 3.0);
+        m.observe("h", 300.0);
+
+        assert_eq!(m.counter("a.x"), 5);
+        assert_eq!(m.counter("a.y"), 7);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(2.5));
+        assert_eq!(m.histogram("h").unwrap().count(), 2);
+
+        let pref: Vec<_> = m.counters_with_prefix("a.").collect();
+        assert_eq!(pref, vec![("a.x", 5), ("a.y", 7)]);
+
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a.x"), 5);
+        assert_eq!(snap.histogram("h").unwrap().count, 2);
+        assert_eq!(snap, m.snapshot());
+    }
+
+    #[test]
+    fn register_histogram_keeps_custom_edges() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("lat", &[0.5, 2.0]);
+        m.observe("lat", 1.0);
+        assert_eq!(m.histogram("lat").unwrap().edges(), &[0.5, 2.0]);
+        // Re-registering must not clobber recorded data.
+        m.register_histogram("lat", &[9.0]);
+        assert_eq!(m.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn render_table_lists_every_metric_name() {
+        let mut m = MetricsRegistry::new();
+        m.inc("bus.dropped");
+        m.set_gauge("fleet.alive", 3.0);
+        m.observe("tick.phase.sim_step", 12.0);
+        let table = m.render_table();
+        assert!(table.contains("bus.dropped"));
+        assert!(table.contains("fleet.alive"));
+        assert!(table.contains("tick.phase.sim_step"));
+    }
+}

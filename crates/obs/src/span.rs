@@ -1,0 +1,157 @@
+//! Phase-scoped timing for the platform tick loop.
+//!
+//! A [`TickSpan`] is opened at the top of `Platform::step`, moved
+//! through the loop's phases with [`TickSpan::enter`], and flushed into
+//! a [`MetricsRegistry`] at the bottom with [`TickSpan::finish`]. It
+//! accumulates laps locally and only touches the registry once, so the
+//! platform can hold `&mut` borrows of its subsystems mid-tick without
+//! fighting the metrics borrow.
+
+use crate::metrics::MetricsRegistry;
+use std::time::{Duration, Instant};
+
+/// Canonical phase names of the platform tick loop, in execution
+/// order. Kept here so the instrumentation, the docs and the
+/// experiments summary all agree on spelling.
+pub mod phase {
+    pub const SIM_STEP: &str = "sim_step";
+    pub const SENSE_PUBLISH: &str = "sense_publish";
+    pub const EDDI_EVAL: &str = "eddi_eval";
+    pub const AIRSPACE: &str = "airspace";
+    pub const BUS_STEP: &str = "bus_step";
+    pub const SECURITY: &str = "security";
+    pub const CL_LANDING: &str = "cl_landing";
+    pub const CONSERT_COMPOSE: &str = "consert_compose";
+    pub const DECIDE: &str = "decide";
+    pub const BOOKKEEPING: &str = "bookkeeping";
+
+    /// All phases in tick order.
+    pub const ALL: [&str; 10] = [
+        SIM_STEP,
+        SENSE_PUBLISH,
+        EDDI_EVAL,
+        AIRSPACE,
+        BUS_STEP,
+        SECURITY,
+        CL_LANDING,
+        CONSERT_COMPOSE,
+        DECIDE,
+        BOOKKEEPING,
+    ];
+}
+
+/// Histogram name for a phase's per-tick duration in microseconds.
+pub fn phase_metric(name: &str) -> String {
+    format!("tick.phase.{name}")
+}
+
+/// A scoped, phase-segmented timer over one platform tick.
+#[derive(Debug)]
+pub struct TickSpan {
+    started: Instant,
+    current: Option<(&'static str, Instant)>,
+    laps: Vec<(&'static str, Duration)>,
+}
+
+impl TickSpan {
+    /// Starts the span; the whole-tick clock runs from here.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+            current: None,
+            laps: Vec::with_capacity(phase::ALL.len()),
+        }
+    }
+
+    /// Closes the previous phase (if any) and opens `name`. Re-entering
+    /// a name records a second lap; [`Self::finish`] merges them.
+    pub fn enter(&mut self, name: &'static str) {
+        let now = Instant::now();
+        if let Some((prev, since)) = self.current.take() {
+            self.laps.push((prev, now.duration_since(since)));
+        }
+        self.current = Some((name, now));
+    }
+
+    /// Closes the current phase without opening another — for gaps the
+    /// loop doesn't want attributed to any phase.
+    pub fn exit(&mut self) {
+        let now = Instant::now();
+        if let Some((prev, since)) = self.current.take() {
+            self.laps.push((prev, now.duration_since(since)));
+        }
+    }
+
+    /// Phases recorded so far (closed laps only), in entry order.
+    pub fn laps(&self) -> &[(&'static str, Duration)] {
+        &self.laps
+    }
+
+    /// Closes any open phase and flushes one histogram observation per
+    /// phase (microseconds, merged across repeat laps) plus a
+    /// `tick.total` observation into `metrics`.
+    pub fn finish(mut self, metrics: &mut MetricsRegistry) {
+        self.exit();
+        let total = self.started.elapsed();
+        // Merge repeat laps in-place, preserving first-entry order.
+        let mut merged: Vec<(&'static str, Duration)> = Vec::with_capacity(self.laps.len());
+        for (name, dur) in self.laps.drain(..) {
+            match merged.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, acc)) => *acc += dur,
+                None => merged.push((name, dur)),
+            }
+        }
+        for (name, dur) in merged {
+            metrics.observe(&phase_metric(name), dur.as_secs_f64() * 1e6);
+        }
+        metrics.observe("tick.total", total.as_secs_f64() * 1e6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_one_sample_per_phase_plus_total() {
+        let mut m = MetricsRegistry::new();
+        let mut span = TickSpan::start();
+        span.enter(phase::SIM_STEP);
+        span.enter(phase::BUS_STEP);
+        span.finish(&mut m);
+
+        assert_eq!(m.histogram("tick.phase.sim_step").unwrap().count(), 1);
+        assert_eq!(m.histogram("tick.phase.bus_step").unwrap().count(), 1);
+        assert_eq!(m.histogram("tick.total").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn reentered_phase_merges_into_one_observation() {
+        let mut m = MetricsRegistry::new();
+        let mut span = TickSpan::start();
+        span.enter(phase::EDDI_EVAL);
+        span.enter(phase::BUS_STEP);
+        span.enter(phase::EDDI_EVAL);
+        span.finish(&mut m);
+        assert_eq!(m.histogram("tick.phase.eddi_eval").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn exit_leaves_untimed_gap() {
+        let mut m = MetricsRegistry::new();
+        let mut span = TickSpan::start();
+        span.enter(phase::SIM_STEP);
+        span.exit();
+        assert_eq!(span.laps().len(), 1);
+        span.finish(&mut m);
+        assert_eq!(m.histogram("tick.phase.sim_step").unwrap().count(), 1);
+        // The gap after exit() belongs to no phase.
+        assert!(m.histogram("tick.total").is_some());
+    }
+
+    #[test]
+    fn phase_list_matches_metric_names() {
+        assert_eq!(phase::ALL[0], phase::SIM_STEP);
+        assert_eq!(phase_metric(phase::DECIDE), "tick.phase.decide");
+    }
+}

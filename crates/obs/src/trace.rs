@@ -1,0 +1,254 @@
+//! Bounded structured trace of notable platform events.
+//!
+//! Unlike the aggregate counters in [`crate::metrics`], the trace keeps
+//! the *sequence*: which message was tampered at what simulated time,
+//! when the IDS first fired, when a ConSert guarantee degraded. The log
+//! is a fixed-capacity ring — pushing beyond capacity evicts the oldest
+//! record and bumps an eviction counter, so post-hoc analysis can tell
+//! "nothing happened" apart from "the window slid past it".
+
+use std::collections::VecDeque;
+
+/// One typed, structured event. Everything is owned data so records
+/// stay valid after the originating subsystem moves on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message was accepted onto a bus topic.
+    MessagePublished { topic: String, sender: String },
+    /// The loss model dropped an in-flight message.
+    MessageDropped { topic: String, sender: String },
+    /// A tamper hook mutated an in-flight message.
+    MessageTampered { topic: String, sender: String },
+    /// A subscriber queue hit its depth bound and discarded a message.
+    QueueOverflow { topic: String, subscriber: usize },
+    /// The intrusion-detection pipeline raised an alert.
+    IdsAlert { detector: String, detail: String },
+    /// A ConSert guarantee level changed.
+    GuaranteeChanged { uav: usize, from: String, to: String },
+    /// The platform-level mission decision / mode changed.
+    ModeTransition { from: String, to: String },
+    /// An injected attack reached one of its scripted goals.
+    AttackGoal { description: String },
+}
+
+impl TraceEvent {
+    /// Short stable kind tag, handy for counting and filtering.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MessagePublished { .. } => "message_published",
+            TraceEvent::MessageDropped { .. } => "message_dropped",
+            TraceEvent::MessageTampered { .. } => "message_tampered",
+            TraceEvent::QueueOverflow { .. } => "queue_overflow",
+            TraceEvent::IdsAlert { .. } => "ids_alert",
+            TraceEvent::GuaranteeChanged { .. } => "guarantee_changed",
+            TraceEvent::ModeTransition { .. } => "mode_transition",
+            TraceEvent::AttackGoal { .. } => "attack_goal",
+        }
+    }
+}
+
+/// A trace event stamped with the simulated time it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated milliseconds since scenario start.
+    pub t_ms: u64,
+    pub event: TraceEvent,
+}
+
+/// Fixed-capacity event ring with an eviction counter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceLog {
+    records: VecDeque<TraceRecord>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceLog {
+    /// Roomy enough for a full paper-scale scenario's notable events.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace log capacity must be non-zero");
+        Self {
+            records: VecDeque::with_capacity(capacity),
+            capacity,
+            evicted: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the ring is full.
+    pub fn push(&mut self, t_ms: u64, event: TraceEvent) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.evicted += 1;
+        }
+        self.records.push_back(TraceRecord { t_ms, event });
+    }
+
+    /// Moves every record out of `other` into `self`, oldest first.
+    /// `other`'s eviction count carries over too, so loss stays visible
+    /// across the hand-off from subsystem logs to the platform log.
+    pub fn absorb(&mut self, other: &mut TraceLog) {
+        self.evicted += other.evicted;
+        other.evicted = 0;
+        for rec in other.records.drain(..) {
+            if self.records.len() == self.capacity {
+                self.records.pop_front();
+                self.evicted += 1;
+            }
+            self.records.push_back(rec);
+        }
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Retained records matching a kind tag (see [`TraceEvent::kind`]).
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.event.kind() == kind)
+    }
+
+    /// Count of retained records of the given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many records have been pushed out of the window since
+    /// creation (monotonic; never reset by reads).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drops all retained records; the eviction counter is preserved.
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy(i: usize) -> TraceEvent {
+        TraceEvent::IdsAlert {
+            detector: "seq".into(),
+            detail: format!("event {i}"),
+        }
+    }
+
+    #[test]
+    fn push_retains_in_order_under_capacity() {
+        let mut log = TraceLog::with_capacity(8);
+        for i in 0..5 {
+            log.push(i as u64 * 100, dummy(i));
+        }
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.evicted(), 0);
+        let times: Vec<u64> = log.iter().map(|r| r.t_ms).collect();
+        assert_eq!(times, vec![0, 100, 200, 300, 400]);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..7 {
+            log.push(i, dummy(i as usize));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.evicted(), 4);
+        let times: Vec<u64> = log.iter().map(|r| r.t_ms).collect();
+        assert_eq!(times, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn absorb_drains_and_carries_evictions() {
+        let mut main = TraceLog::with_capacity(4);
+        let mut sub = TraceLog::with_capacity(2);
+        sub.push(1, dummy(1));
+        sub.push(2, dummy(2));
+        sub.push(3, dummy(3)); // evicts record at t=1
+        assert_eq!(sub.evicted(), 1);
+
+        main.absorb(&mut sub);
+        assert!(sub.is_empty());
+        assert_eq!(sub.evicted(), 0);
+        assert_eq!(main.len(), 2);
+        assert_eq!(main.evicted(), 1);
+
+        // Absorbing into a near-full main evicts there too.
+        let mut more = TraceLog::with_capacity(4);
+        more.push(10, dummy(10));
+        more.push(11, dummy(11));
+        more.push(12, dummy(12));
+        main.absorb(&mut more);
+        assert_eq!(main.len(), 4);
+        assert_eq!(main.evicted(), 2);
+        let times: Vec<u64> = main.iter().map(|r| r.t_ms).collect();
+        assert_eq!(times, vec![3, 10, 11, 12]);
+    }
+
+    #[test]
+    fn kind_filtering() {
+        let mut log = TraceLog::default();
+        log.push(
+            5,
+            TraceEvent::MessageTampered {
+                topic: "/uav0/gps".into(),
+                sender: "uav0".into(),
+            },
+        );
+        log.push(
+            6,
+            TraceEvent::IdsAlert {
+                detector: "hmac".into(),
+                detail: "bad tag".into(),
+            },
+        );
+        assert_eq!(log.count_kind("message_tampered"), 1);
+        assert_eq!(log.count_kind("ids_alert"), 1);
+        assert_eq!(log.count_kind("mode_transition"), 0);
+        assert_eq!(
+            log.of_kind("ids_alert").next().unwrap().t_ms,
+            6
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        TraceLog::with_capacity(0);
+    }
+
+    #[test]
+    fn clear_keeps_eviction_counter() {
+        let mut log = TraceLog::with_capacity(1);
+        log.push(1, dummy(1));
+        log.push(2, dummy(2));
+        assert_eq!(log.evicted(), 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 1);
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full pre-merge gate: release build, the whole test suite, and clippy
+# with warnings promoted to errors. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q (root package: tier-1 gate)"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests and clippy all green"

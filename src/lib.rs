@@ -22,6 +22,7 @@ pub use sesame_conserts as conserts;
 pub use sesame_core as core;
 pub use sesame_deepknowledge as deepknowledge;
 pub use sesame_middleware as middleware;
+pub use sesame_obs as obs;
 pub use sesame_safedrones as safedrones;
 pub use sesame_safeml as safeml;
 pub use sesame_sar as sar;

@@ -143,7 +143,7 @@ fn replay_attack_detected_by_sequence_freshness() {
             attacker.replay_all(scenario.platform_mut().bus_mut(), now);
             replayed = true;
         }
-        if let Some(t) = scenario.platform_mut().attack_detected_at() {
+        if let Some(t) = scenario.platform_mut().series().attack_detected_at() {
             detected_at = Some(t);
             break;
         }

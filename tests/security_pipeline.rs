@@ -53,7 +53,7 @@ fn forged_waypoints_reach_attack_tree_root_and_flip_conserts() {
 
     // IDS inspects the tapped traffic and publishes alerts.
     let mut n_alerts = 0;
-    for msg in bus.drain(tap) {
+    for msg in bus.drain(tap).expect("tap is live") {
         for alert in ids.inspect(&msg, SimTime::from_secs(11)) {
             n_alerts += 1;
             broker.publish(
@@ -126,7 +126,7 @@ fn signed_traffic_raises_no_alerts() {
     bus.publish_message(msg);
     bus.step(SimTime::from_secs(2));
     let mut alerts = 0;
-    for m in bus.drain(tap) {
+    for m in bus.drain(tap).expect("tap is live") {
         alerts += ids.inspect(&m, SimTime::from_secs(2)).len();
     }
     assert_eq!(alerts, 0);
@@ -171,7 +171,7 @@ fn mitm_tamper_detected_end_to_end() {
     bus.step(SimTime::from_secs(2));
 
     let mut rules = Vec::new();
-    for m in bus.drain(tap) {
+    for m in bus.drain(tap).expect("tap is live") {
         for alert in ids.inspect(&m, SimTime::from_secs(2)) {
             rules.push(alert.rule.clone());
             broker.publish(
