@@ -1,0 +1,47 @@
+//! The chaos-campaign binary: N seeded random fault schedules swept over
+//! full scenario runs, with the robustness invariants checked per run.
+//!
+//! ```text
+//! cargo run -p sesame-bench --release --bin chaos                  # 50 seeds
+//! cargo run -p sesame-bench --release --bin chaos -- 10            # 10 seeds
+//! cargo run -p sesame-bench --release --bin chaos -- 10 smoke     # short runs
+//! cargo run -p sesame-bench --release --bin chaos -- 50 replay    # + replay check
+//! ```
+//!
+//! Exit status is non-zero when any invariant was violated, so CI can
+//! gate on it directly.
+
+use sesame_core::chaos::{CampaignConfig, ChaosCampaign};
+use sesame_types::time::SimTime;
+
+fn main() {
+    let runs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let mode = std::env::args().nth(2).unwrap_or_default();
+    let config = CampaignConfig {
+        runs,
+        base_seed: 1,
+        deadline: if mode == "smoke" {
+            SimTime::from_secs(120)
+        } else {
+            SimTime::from_secs(180)
+        },
+        replay_check: mode == "replay",
+        ..CampaignConfig::default()
+    };
+    println!(
+        "chaos campaign: {} seeds, {} s deadline, replay check {}",
+        config.runs,
+        config.deadline.as_millis() / 1000,
+        if config.replay_check { "on" } else { "off" }
+    );
+    let report = ChaosCampaign::new(config).run();
+    print!("{}", report.render());
+    if !report.all_clean() {
+        eprintln!("chaos campaign FAILED: {} violations", report.total_violations());
+        std::process::exit(1);
+    }
+    println!("chaos campaign clean");
+}

@@ -1,0 +1,458 @@
+//! The chaos-campaign engine: seeded random fault schedules swept over
+//! full scenario runs, with robustness invariants checked on every run.
+//!
+//! A SAR platform that only survives the faults its authors thought of is
+//! not dependable; the campaign generates schedules the authors did *not*
+//! write down. For each seed it samples a mix of vehicle faults (battery
+//! runaway, motor loss, GPS loss/spoof, vision degradation, flapping
+//! links) and communication faults (link blackouts, asymmetric
+//! partitions, broker outages, telemetry staleness), runs the scenario to
+//! its deadline, and asserts the invariants that define "safe, secure and
+//! dependable" under stress:
+//!
+//! 1. **No panic** — the platform degrades, it never dies.
+//! 2. **An outcome is always produced**, with finite, in-range headline
+//!    metrics.
+//! 3. **Supervision reacts**: a full link blackout longer than the
+//!    fallback window leaves a `supervision.to_safe_fallback` count
+//!    behind.
+//! 4. **Determinism**: replaying a seed reproduces the run bit-for-bit
+//!    (optional, because it doubles the cost).
+//!
+//! ```no_run
+//! use sesame_core::chaos::{CampaignConfig, ChaosCampaign};
+//!
+//! let report = ChaosCampaign::new(CampaignConfig {
+//!     runs: 10,
+//!     ..CampaignConfig::default()
+//! })
+//! .run();
+//! assert!(report.all_clean(), "{}", report.render());
+//! ```
+
+use crate::scenario::{ScenarioBuilder, ScenarioOutcome};
+use crate::supervision::SupervisionConfig;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame_middleware::chaos::{CommFaultKind, LinkDirection};
+use sesame_types::geo::Vec3;
+use sesame_types::ids::UavId;
+use sesame_types::time::{SimDuration, SimTime};
+use sesame_uav_sim::faults::FaultKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// How many seeded runs to execute.
+    pub runs: u64,
+    /// Base seed; run `k` uses `base_seed + k`.
+    pub base_seed: u64,
+    /// Per-run simulated deadline.
+    pub deadline: SimTime,
+    /// Faults sampled per schedule.
+    pub faults_per_run: usize,
+    /// SESAME stack on (`true`) or the paper's baseline (`false`).
+    pub sesame: bool,
+    /// Re-run every seed and require identical outcomes.
+    pub replay_check: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 10,
+            base_seed: 1,
+            deadline: SimTime::from_secs(180),
+            faults_per_run: 4,
+            sesame: true,
+            replay_check: false,
+        }
+    }
+}
+
+/// What one seeded run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The seed of this run.
+    pub seed: u64,
+    /// Human-readable labels of the sampled faults, in schedule order.
+    pub fault_labels: Vec<String>,
+    /// Coverage completion fraction at the end of the run.
+    pub completed_fraction: f64,
+    /// `supervision.transitions` counter at the end of the run.
+    pub health_transitions: u64,
+    /// `supervision.to_safe_fallback` counter at the end of the run.
+    pub safe_fallbacks: u64,
+    /// `commands.retried` counter at the end of the run.
+    pub command_retries: u64,
+    /// Invariant violations (empty = clean run).
+    pub violations: Vec<String>,
+}
+
+impl RunReport {
+    /// Whether every invariant held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// The campaign's aggregate result.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignReport {
+    /// One entry per seed, in execution order.
+    pub runs: Vec<RunReport>,
+}
+
+impl CampaignReport {
+    /// Whether every run of the campaign was violation-free.
+    pub fn all_clean(&self) -> bool {
+        self.runs.iter().all(RunReport::is_clean)
+    }
+
+    /// Total invariant violations across the campaign.
+    pub fn total_violations(&self) -> usize {
+        self.runs.iter().map(|r| r.violations.len()).sum()
+    }
+
+    /// Plain-text table for logs and the bench binary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("seed  completion  transitions  fallbacks  retries  status\n");
+        for r in &self.runs {
+            out.push_str(&format!(
+                "{:<5} {:>9.2}  {:>11} {:>10} {:>8}  {}\n",
+                r.seed,
+                r.completed_fraction,
+                r.health_transitions,
+                r.safe_fallbacks,
+                r.command_retries,
+                if r.is_clean() {
+                    "ok".to_string()
+                } else {
+                    r.violations.join("; ")
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "{} runs, {} violations\n",
+            self.runs.len(),
+            self.total_violations()
+        ));
+        out
+    }
+}
+
+/// One sampled entry of a schedule, kept so the invariant checks know
+/// what was injected.
+#[derive(Debug, Clone)]
+enum Injected {
+    Vehicle {
+        at: SimTime,
+        uav_index: usize,
+        kind: FaultKind,
+    },
+    Comm {
+        at: SimTime,
+        duration: SimDuration,
+        kind: CommFaultKind,
+    },
+}
+
+impl Injected {
+    fn label(&self) -> String {
+        match self {
+            Injected::Vehicle { at, uav_index, kind } => {
+                format!("t{}s uav{} {:?}", at.as_millis() / 1000, uav_index + 1, kind)
+            }
+            Injected::Comm { at, duration, kind } => format!(
+                "t{}s {}s {}",
+                at.as_millis() / 1000,
+                duration.as_millis() / 1000,
+                kind.label()
+            ),
+        }
+    }
+}
+
+/// The campaign runner. See the module docs for the invariants.
+#[derive(Debug, Clone)]
+pub struct ChaosCampaign {
+    config: CampaignConfig,
+}
+
+/// Fleet size of the scenario the campaign sweeps (the paper's three).
+const FLEET: usize = 3;
+
+impl ChaosCampaign {
+    /// A campaign with the given parameters.
+    pub fn new(config: CampaignConfig) -> Self {
+        ChaosCampaign { config }
+    }
+
+    /// Runs every seed and collects the report.
+    pub fn run(&self) -> CampaignReport {
+        let mut report = CampaignReport::default();
+        for k in 0..self.config.runs {
+            report.runs.push(self.run_seed(self.config.base_seed + k));
+        }
+        report
+    }
+
+    /// Samples a schedule from `seed`, runs it, and checks the
+    /// invariants. A panic inside the run is caught and reported as a
+    /// violation instead of aborting the campaign.
+    pub fn run_seed(&self, seed: u64) -> RunReport {
+        let schedule = self.sample_schedule(seed);
+        let fault_labels: Vec<String> = schedule.iter().map(Injected::label).collect();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.build_scenario(seed, &schedule).build().run()
+        }));
+        let mut violations = Vec::new();
+        let Ok(outcome) = outcome else {
+            return RunReport {
+                seed,
+                fault_labels,
+                completed_fraction: 0.0,
+                health_transitions: 0,
+                safe_fallbacks: 0,
+                command_retries: 0,
+                violations: vec!["panicked during run".into()],
+            };
+        };
+        self.check_invariants(seed, &schedule, &outcome, &mut violations);
+        RunReport {
+            seed,
+            fault_labels,
+            completed_fraction: outcome.metrics.mission_completed_fraction,
+            health_transitions: outcome.obs_metrics.counter("supervision.transitions"),
+            safe_fallbacks: outcome.obs_metrics.counter("supervision.to_safe_fallback"),
+            command_retries: outcome.obs_metrics.counter("commands.retried"),
+            violations,
+        }
+    }
+
+    fn build_scenario(&self, seed: u64, schedule: &[Injected]) -> ScenarioBuilder {
+        let mut builder = ScenarioBuilder::new(seed)
+            .sesame(self.config.sesame)
+            .deadline(self.config.deadline);
+        for inj in schedule {
+            builder = match inj.clone() {
+                Injected::Vehicle { at, uav_index, kind } => builder.fault(at, uav_index, kind),
+                Injected::Comm { at, duration, kind } => builder.comm_fault(at, duration, kind),
+            };
+        }
+        builder
+    }
+
+    /// Deterministically samples a mixed fault schedule from the seed.
+    fn sample_schedule(&self, seed: u64) -> Vec<Injected> {
+        // Independent stream: must not correlate with the scenario's own
+        // world/bus/detector RNGs, which also derive from `seed`.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A0_5CAB_005E_ED42);
+        let mut schedule = Vec::with_capacity(self.config.faults_per_run);
+        let horizon_s = (self.config.deadline.as_millis() / 1000).saturating_sub(40).max(30);
+        for _ in 0..self.config.faults_per_run {
+            // Start somewhere the fleet is already flying, early enough
+            // that the fault's consequences play out before the deadline.
+            let at = SimTime::from_secs(15 + rng.random::<u64>() % horizon_s.min(120));
+            let uav_index = (rng.random::<u64>() % FLEET as u64) as usize;
+            let uav = UavId::new(uav_index as u32 + 1);
+            schedule.push(match rng.random::<u64>() % 9 {
+                0 => Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind: FaultKind::BatteryOverTemp {
+                        soc_drop: 0.2 + 0.3 * rng.random::<f64>(),
+                    },
+                },
+                1 => Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind: FaultKind::MotorFailure {
+                        motor: (rng.random::<u64>() % 4) as usize,
+                    },
+                },
+                2 => Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind: FaultKind::GpsLoss,
+                },
+                3 => Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind: FaultKind::GpsSpoof {
+                        drift: Vec3::new(
+                            2.0 * rng.random::<f64>() - 1.0,
+                            2.0 * rng.random::<f64>() - 1.0,
+                            0.0,
+                        ),
+                    },
+                },
+                4 => Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind: FaultKind::VisionDegraded {
+                        health: 0.2 + 0.5 * rng.random::<f64>(),
+                    },
+                },
+                5 => Injected::Comm {
+                    at,
+                    duration: SimDuration::from_secs(8 + rng.random::<u64>() % 8),
+                    kind: CommFaultKind::LinkBlackout { uav },
+                },
+                6 => Injected::Comm {
+                    at,
+                    duration: SimDuration::from_secs(4 + rng.random::<u64>() % 8),
+                    kind: CommFaultKind::AsymmetricPartition {
+                        uav,
+                        direction: if rng.random::<u64>() % 2 == 0 {
+                            LinkDirection::Uplink
+                        } else {
+                            LinkDirection::Downlink
+                        },
+                    },
+                },
+                7 => Injected::Comm {
+                    at,
+                    duration: SimDuration::from_secs(5 + rng.random::<u64>() % 10),
+                    kind: CommFaultKind::BrokerOutage,
+                },
+                _ => Injected::Comm {
+                    at,
+                    duration: SimDuration::from_secs(4 + rng.random::<u64>() % 6),
+                    kind: CommFaultKind::TelemetryStaleness {
+                        uav,
+                        delay: SimDuration::from_millis(500 + rng.random::<u64>() % 2000),
+                    },
+                },
+            });
+        }
+        schedule
+    }
+
+    fn check_invariants(
+        &self,
+        seed: u64,
+        schedule: &[Injected],
+        outcome: &ScenarioOutcome,
+        violations: &mut Vec<String>,
+    ) {
+        let m = &outcome.metrics;
+        if !(0.0..=1.0 + 1e-9).contains(&m.mission_completed_fraction)
+            || !m.mission_completed_fraction.is_finite()
+        {
+            violations.push(format!(
+                "completion fraction out of range: {}",
+                m.mission_completed_fraction
+            ));
+        }
+        for (i, a) in m.availability.iter().enumerate() {
+            if !(0.0..=1.0 + 1e-9).contains(a) || !a.is_finite() {
+                violations.push(format!("availability[{i}] out of range: {a}"));
+            }
+        }
+        if outcome.obs_metrics.counter("platform.ticks") == 0 {
+            violations.push("no platform ticks recorded".into());
+        }
+
+        // Supervision must notice a full blackout longer than the
+        // fallback window (plus margin for heartbeat cadence) — provided
+        // the window actually elapsed before the run ended (a mission
+        // that completes early never experiences a late-scheduled fault).
+        if self.config.sesame {
+            let sup = SupervisionConfig::default();
+            let margin = SimDuration::from_secs(2);
+            let run_end = SimTime::ZERO
+                + SimDuration::from_millis(outcome.obs_metrics.counter("platform.ticks") * 100);
+            let must_fall_back = schedule.iter().any(|inj| {
+                matches!(
+                    inj,
+                    Injected::Comm {
+                        at,
+                        duration,
+                        kind: CommFaultKind::LinkBlackout { .. },
+                    } if *duration >= sup.fallback_after + margin
+                        && *at + sup.fallback_after + margin <= run_end
+                )
+            });
+            if must_fall_back
+                && outcome.obs_metrics.counter("supervision.to_safe_fallback") == 0
+            {
+                violations.push(
+                    "link blackout exceeded the fallback window but no \
+                     SafeFallback transition was recorded"
+                        .into(),
+                );
+            }
+        }
+
+        if self.config.replay_check {
+            let replay = catch_unwind(AssertUnwindSafe(|| {
+                self.build_scenario(seed, schedule).build().run()
+            }));
+            match replay {
+                Err(_) => violations.push("replay panicked".into()),
+                Ok(replay) => {
+                    if replay.metrics.mission_completed_fraction
+                        != m.mission_completed_fraction
+                        || replay.metrics.mission_complete_secs != m.mission_complete_secs
+                        || replay.trajectories != outcome.trajectories
+                        || replay.obs_metrics.counter("platform.ticks")
+                            != outcome.obs_metrics.counter("platform.ticks")
+                    {
+                        violations.push("replay diverged from the original run".into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sampling_is_deterministic_per_seed() {
+        let campaign = ChaosCampaign::new(CampaignConfig::default());
+        let a = campaign.sample_schedule(17);
+        let b = campaign.sample_schedule(17);
+        let c = campaign.sample_schedule(18);
+        let label = |s: &[Injected]| s.iter().map(Injected::label).collect::<Vec<_>>();
+        assert_eq!(label(&a), label(&b));
+        assert_ne!(label(&a), label(&c));
+        assert_eq!(a.len(), campaign.config.faults_per_run);
+    }
+
+    #[test]
+    fn report_renders_and_aggregates() {
+        let report = CampaignReport {
+            runs: vec![
+                RunReport {
+                    seed: 1,
+                    fault_labels: vec!["t20s broker_outage".into()],
+                    completed_fraction: 0.5,
+                    health_transitions: 2,
+                    safe_fallbacks: 1,
+                    command_retries: 0,
+                    violations: Vec::new(),
+                },
+                RunReport {
+                    seed: 2,
+                    fault_labels: Vec::new(),
+                    completed_fraction: 1.0,
+                    health_transitions: 0,
+                    safe_fallbacks: 0,
+                    command_retries: 3,
+                    violations: vec!["panicked during run".into()],
+                },
+            ],
+        };
+        assert!(!report.all_clean());
+        assert_eq!(report.total_violations(), 1);
+        let text = report.render();
+        assert!(text.contains("2 runs, 1 violations"));
+        assert!(text.contains("panicked"));
+    }
+}

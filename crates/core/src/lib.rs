@@ -16,7 +16,13 @@
 //! * [`orchestrator`] — the closed loop: simulate → sense → publish →
 //!   monitor → certify → decide → actuate;
 //! * [`scenario`] — declarative scenario construction (SESAME on/off,
-//!   fault and attack schedules);
+//!   fault, communication-fault and attack schedules);
+//! * [`supervision`] — the per-UAV health state machine
+//!   (`Nominal → Degraded → SafeFallback`) fed by the telemetry-staleness
+//!   watchdog and the GCS heartbeat monitor;
+//! * [`chaos`] — the seeded chaos-campaign runner that sweeps randomized
+//!   fault schedules over full scenario runs and checks robustness
+//!   invariants;
 //! * [`experiments`] — the runners that regenerate every §V result
 //!   (Fig. 5, the SAR-accuracy numbers, Fig. 6, Fig. 7).
 //!
@@ -29,13 +35,17 @@
 //! assert!(outcome.metrics.mission_completed_fraction > 0.9);
 //! ```
 
+pub mod chaos;
 pub mod coengineering;
 pub mod eddi;
 pub mod experiments;
 pub mod orchestrator;
 pub mod platform;
 pub mod scenario;
+pub mod supervision;
 
+pub use chaos::{CampaignConfig, CampaignReport, ChaosCampaign};
 pub use eddi::{EddiOutputs, UavEddiRuntime};
 pub use orchestrator::{Platform, PlatformConfig};
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};
+pub use supervision::{HealthState, SupervisionConfig};

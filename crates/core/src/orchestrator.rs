@@ -16,6 +16,7 @@
 
 use crate::eddi::UavEddiRuntime;
 use crate::platform::database::DatabaseManager;
+use crate::supervision::{HealthState, SupervisionConfig, UavSupervisor};
 use crate::platform::gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
 use crate::platform::task_manager::TaskManager;
 use crate::platform::uav_manager::UavManager;
@@ -29,6 +30,7 @@ use sesame_conserts::engine::ConsertNetwork;
 use sesame_middleware::auth::{AuthKey, MessageAuth};
 use sesame_middleware::broker::AlertBroker;
 use sesame_middleware::bus::{MessageBus, Subscription};
+use sesame_middleware::chaos::CommFaultPlane;
 use sesame_middleware::message::{Message, Payload};
 use sesame_obs::span::phase;
 use sesame_obs::{MetricsRegistry, MetricsSnapshot, TickSpan, TraceEvent, TraceLog};
@@ -49,7 +51,7 @@ use sesame_uav_sim::sim::{Simulator, UavConfig, UavHandle};
 use sesame_uav_sim::world::World;
 use sesame_vision::detector::PersonDetector;
 use sesame_vision::features::SceneCondition;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -83,6 +85,9 @@ pub struct PlatformConfig {
     pub motor_count: usize,
     /// Motor losses each airframe tolerates through reconfiguration.
     pub tolerated_motor_failures: usize,
+    /// Degraded-mode supervision: watchdog windows, heartbeat period and
+    /// command retry policy (see [`crate::supervision`]).
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for PlatformConfig {
@@ -102,6 +107,7 @@ impl Default for PlatformConfig {
             visibility: 1.0,
             motor_count: 4,
             tolerated_motor_failures: 0,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -254,6 +260,13 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Overrides the degraded-mode supervision policy (watchdog windows,
+    /// heartbeat period, command retry budget).
+    pub fn supervision(mut self, cfg: SupervisionConfig) -> Self {
+        self.config.supervision = cfg;
+        self
+    }
+
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<PlatformConfig, ConfigError> {
         let c = &self.config;
@@ -318,6 +331,16 @@ struct ClState {
     session: CollabSession,
     guidance: Option<LandingGuidance>,
     collaborators: Vec<usize>,
+}
+
+/// An unacknowledged GCS command awaiting its retry deadline. Keyed in
+/// the pending map by `(topic, seq)`; a retry re-publishes the payload
+/// under a *fresh* sequence number (re-using the old one would trip the
+/// IDS replay detector) and re-inserts under the new key.
+struct PendingCommand {
+    payload: Payload,
+    attempts: u32,
+    next_retry_at: SimTime,
 }
 
 /// One sampled point of a PoF or trajectory series.
@@ -402,6 +425,12 @@ pub struct Platform {
     separation_hot: Vec<bool>,
     metrics: MetricsRegistry,
     trace: TraceLog,
+    supervisors: Vec<UavSupervisor>,
+    comm_faults: CommFaultPlane,
+    // BTreeMap, not HashMap: retries are re-published in iteration order,
+    // and bus/RNG state must not depend on hash randomization.
+    pending_cmds: BTreeMap<(String, u64), PendingCommand>,
+    next_heartbeat_at: SimTime,
 }
 
 impl std::fmt::Debug for Platform {
@@ -512,6 +541,7 @@ impl Platform {
             .map(|_| GeofenceMonitor::new(Geofence::around(sim.world(), 40.0, 150.0)))
             .collect();
         let separation_hot = vec![false; config.uav_count];
+        let supervisors = (0..config.uav_count).map(|_| UavSupervisor::new()).collect();
         Platform {
             config,
             sim,
@@ -546,6 +576,10 @@ impl Platform {
             separation_hot,
             metrics: MetricsRegistry::new(),
             trace: TraceLog::default(),
+            supervisors,
+            comm_faults: CommFaultPlane::new(),
+            pending_cmds: BTreeMap::new(),
+            next_heartbeat_at: SimTime::ZERO,
         }
     }
 
@@ -562,6 +596,20 @@ impl Platform {
     /// The bus (the attack plane arms itself here).
     pub fn bus_mut(&mut self) -> &mut MessageBus {
         &mut self.bus
+    }
+
+    /// The scheduled communication-fault plane (chaos campaigns arm link
+    /// blackouts, partitions, broker outages and staleness here).
+    pub fn comm_faults_mut(&mut self) -> &mut CommFaultPlane {
+        &mut self.comm_faults
+    }
+
+    /// The supervision health state of UAV `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn health(&self, index: usize) -> HealthState {
+        self.supervisors[index].state()
     }
 
     /// The event log.
@@ -657,7 +705,7 @@ impl Platform {
         }
     }
 
-    fn publish(&mut self, sender: &str, topic: String, payload: Payload) {
+    fn publish(&mut self, sender: &str, topic: String, payload: Payload) -> u64 {
         let seq = {
             let c = self.seq.entry(sender.to_string()).or_insert(0);
             let s = *c;
@@ -669,16 +717,41 @@ impl Platform {
             auth.sign(&mut msg);
         }
         self.bus.publish_message(msg);
+        seq
+    }
+
+    /// Publishes a GCS command with at-least-once delivery: the message
+    /// is tracked until the UAV-side drain applies it, and re-published
+    /// (under a fresh sequence number, with exponential backoff) up to
+    /// `max_command_retries` times if no acknowledgement arrives.
+    fn publish_command(&mut self, topic: String, payload: Payload, attempts: u32) {
+        let seq = self.publish("node:gcs", topic.clone(), payload.clone());
+        if self.config.supervision.enabled {
+            let backoff_ms = self
+                .config
+                .supervision
+                .retry_backoff
+                .as_millis()
+                .saturating_mul(1u64 << attempts.min(16));
+            self.pending_cmds.insert(
+                (topic, seq),
+                PendingCommand {
+                    payload,
+                    attempts,
+                    next_retry_at: self.sim.now() + SimDuration::from_millis(backoff_ms),
+                },
+            );
+        }
     }
 
     /// Uploads a route to a UAV over the (attackable) command channel.
     fn upload_route(&mut self, index: usize, route: Vec<GeoPoint>) {
         let id = self.uavs[index].handle.id();
         for wp in route {
-            self.publish(
-                "node:gcs",
+            self.publish_command(
                 format!("/{id}/cmd/waypoint"),
                 Payload::WaypointCommand { uav: id, waypoint: wp },
+                0,
             );
         }
     }
@@ -692,6 +765,46 @@ impl Platform {
         self.metrics.inc("platform.ticks");
         let second_boundary = now.as_millis().is_multiple_of(1000);
         let visibility = self.sim.world().visibility();
+
+        // ---- Scheduled communication faults ----
+        // Applied before this tick's publishes so a blackout starting at
+        // `now` already swallows this tick's traffic.
+        for tr in self.comm_faults.step(now, &mut self.bus, &mut self.broker) {
+            self.metrics.inc("chaos.comm_fault_transitions");
+            if tr.activated {
+                self.metrics.inc("chaos.comm_faults_activated");
+            }
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::CommFault {
+                    label: tr.label.clone(),
+                    activated: tr.activated,
+                },
+            );
+            self.events.push(
+                now,
+                SystemEvent::Note(format!(
+                    "comm fault {} {}",
+                    tr.label,
+                    if tr.activated { "activated" } else { "cleared" }
+                )),
+            );
+        }
+
+        // ---- GCS heartbeat (per-UAV, signed, over the lossy bus) ----
+        // Each UAV's supervisor measures uplink liveness from these.
+        if self.config.supervision.enabled && now >= self.next_heartbeat_at {
+            self.next_heartbeat_at = now + self.config.supervision.heartbeat_period;
+            for i in 0..self.uavs.len() {
+                let id = self.uavs[i].handle.id();
+                self.publish(
+                    "node:gcs",
+                    format!("/{id}/cmd/heartbeat"),
+                    Payload::Text("heartbeat".into()),
+                );
+                self.metrics.inc("supervision.heartbeats_sent");
+            }
+        }
 
         // ---- Per-UAV sensing, mission logic and EDDI ticks ----
         span.enter(phase::SENSE_PUBLISH);
@@ -943,8 +1056,23 @@ impl Platform {
         span.enter(phase::BUS_STEP);
         self.bus.step(now);
         // The IDS tap is subscribed in `new` and never cancelled, so a
-        // drain failure is a wiring bug worth a loud panic.
-        let tapped = self.bus.drain(self.ids_tap).expect("ids tap is live");
+        // drain failure would be a wiring bug — but under chaos testing
+        // the platform must degrade, not die: count it, trace it, and
+        // run the tick with an empty batch.
+        let tapped = self.drain_or_degrade(self.ids_tap, "ids_tap", now);
+        // Telemetry-staleness watchdog: any telemetry that actually
+        // survived the lossy bus refreshes its UAV's supervisor.
+        if self.config.supervision.enabled {
+            for msg in &tapped {
+                if let Payload::Telemetry(tel) = &msg.payload {
+                    if let Some(idx) =
+                        self.uavs.iter().position(|u| u.handle.id() == tel.uav)
+                    {
+                        self.supervisors[idx].record_telemetry(now);
+                    }
+                }
+            }
+        }
         if let Some(ids_engine) = self.ids.as_mut() {
             let mut alerts = Vec::new();
             for msg in &tapped {
@@ -984,10 +1112,8 @@ impl Platform {
         // UAV-side command application: verify signatures when SESAME
         // signs; a stock deployment applies everything (the §V-C hole).
         for i in 0..n {
-            let msgs = self
-                .bus
-                .drain(self.cmd_subs[i])
-                .expect("command subscription is live");
+            let sub = self.cmd_subs[i];
+            let msgs = self.drain_or_degrade(sub, &format!("cmd_sub.uav{i}"), now);
             let handle = self.uavs[i].handle;
             for msg in msgs {
                 if let Some(auth) = &self.auth {
@@ -996,7 +1122,17 @@ impl Platform {
                         continue; // reject unauthenticated commands
                     }
                 }
+                // GCS heartbeat: refreshes the UAV-side link watchdog,
+                // is not a flight command.
+                if matches!(&msg.payload, Payload::Text(s) if s == "heartbeat") {
+                    self.supervisors[i].record_heartbeat(now);
+                    self.metrics.inc("supervision.heartbeats_received");
+                    continue;
+                }
                 self.metrics.inc("commands.applied");
+                // Delivery doubles as the acknowledgement for the
+                // at-least-once command retry machinery.
+                self.pending_cmds.remove(&(msg.topic.clone(), msg.seq));
                 match msg.payload {
                     Payload::WaypointCommand { waypoint, .. } => {
                         self.sim.command(handle, FlightCommand::PushWaypoint(waypoint));
@@ -1017,6 +1153,11 @@ impl Platform {
                     _ => {}
                 }
             }
+        }
+
+        // ---- Degraded-mode supervision ----
+        if self.config.supervision.enabled {
+            self.step_supervision(now);
         }
 
         // ---- Security EDDI scripts ----
@@ -1131,6 +1272,120 @@ impl Platform {
         }
         span.finish(&mut self.metrics);
         now
+    }
+
+    /// Drains a subscription, downgrading a [`sesame_middleware::bus::BusError`]
+    /// from a panic to a counted, traced degradation with an empty batch.
+    fn drain_or_degrade(
+        &mut self,
+        sub: Subscription,
+        context: &str,
+        now: SimTime,
+    ) -> Vec<Message> {
+        match self.bus.drain(sub) {
+            Ok(msgs) => msgs,
+            Err(err) => {
+                self.metrics.inc("bus.drain_failures");
+                self.metrics.inc(&format!("bus.drain_failures.{context}"));
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::BusDegraded {
+                        context: context.to_string(),
+                        detail: err.to_string(),
+                    },
+                );
+                Vec::new()
+            }
+        }
+    }
+
+    /// One supervision tick: run each UAV's health watchdog, command the
+    /// safe fallback on demotion, and re-publish unacknowledged commands
+    /// whose backoff expired.
+    fn step_supervision(&mut self, now: SimTime) {
+        let cfg = self.config.supervision.clone();
+        for i in 0..self.uavs.len() {
+            let id = self.uavs[i].handle.id();
+            if let Some(tr) = self.supervisors[i].assess(now, &cfg) {
+                self.metrics.inc("supervision.transitions");
+                self.metrics.inc(&format!("supervision.to_{}", tr.to.as_str()));
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::HealthTransition {
+                        uav: id.to_string(),
+                        from: tr.from.as_str().to_string(),
+                        to: tr.to.as_str().to_string(),
+                        reason: tr.reason.clone(),
+                    },
+                );
+                let severity = match tr.to {
+                    HealthState::Nominal => Severity::Info,
+                    HealthState::Degraded => Severity::Warning,
+                    HealthState::SafeFallback => Severity::Critical,
+                };
+                self.events.push(
+                    now,
+                    SystemEvent::MonitorFinding {
+                        uav: id,
+                        monitor: "supervision".into(),
+                        severity,
+                        detail: format!("{} -> {}: {}", tr.from, tr.to, tr.reason),
+                    },
+                );
+                // The minimal-risk manoeuvre: a cut-off UAV heads home on
+                // its own authority (the CL landing pipeline keeps
+                // priority — it already owns the vehicle).
+                if tr.to == HealthState::SafeFallback && !self.uavs[i].cl_landing {
+                    let h = self.uavs[i].handle;
+                    if self.sim.mode(h).is_airborne() {
+                        self.sim.command(h, FlightCommand::ReturnToBase);
+                    }
+                }
+            }
+            self.metrics.set_gauge(
+                &format!("supervision.state.uav{i}"),
+                self.supervisors[i].state().as_gauge(),
+            );
+        }
+
+        // Command retries: collect due keys first (BTreeMap keeps the
+        // order deterministic), then re-publish under fresh sequence
+        // numbers so the IDS replay detector stays quiet.
+        let due: Vec<(String, u64)> = self
+            .pending_cmds
+            .iter()
+            .filter(|(_, pc)| now >= pc.next_retry_at)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in due {
+            let Some(pc) = self.pending_cmds.remove(&key) else {
+                continue;
+            };
+            if pc.attempts >= cfg.max_command_retries {
+                self.metrics.inc("commands.retry_exhausted");
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::BusDegraded {
+                        context: "command_retry".into(),
+                        detail: format!(
+                            "{} dropped after {} attempts",
+                            key.0, pc.attempts
+                        ),
+                    },
+                );
+                continue;
+            }
+            let attempt = pc.attempts + 1;
+            self.metrics.inc("commands.retried");
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::CommandRetry {
+                    topic: key.0.clone(),
+                    attempt,
+                },
+            );
+            self.publish_command(key.0, pc.payload, attempt);
+        }
     }
 
     fn estimated_remaining_mission(&self, uav: UavId) -> SimDuration {
@@ -1254,6 +1509,15 @@ impl Platform {
             let id = tel.uav;
             if self.uavs[i].cl_landing {
                 actions.push(UavAction::EmergencyLand); // under CL control
+                continue;
+            }
+            // A cut-off UAV is already flying home under supervision
+            // authority; declaring it aborting here lets the mission
+            // decider redistribute its remaining tasks.
+            if self.config.supervision.enabled
+                && self.supervisors[i].state() == HealthState::SafeFallback
+            {
+                actions.push(UavAction::ReturnToBase);
                 continue;
             }
             let neighbors_available = airborne >= 3 && tel.link_quality > 0.4;
@@ -1660,6 +1924,139 @@ mod tests {
     }
 
     #[test]
+    fn gcs_link_blackout_degrades_then_falls_back_then_recovers() {
+        use sesame_middleware::chaos::CommFaultKind;
+
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..50 {
+            p.step();
+        }
+        assert_eq!(p.health(0), HealthState::Nominal);
+
+        // Cut uav1 off completely for 10 s.
+        let now = p.now();
+        p.comm_faults_mut().schedule(
+            now,
+            SimDuration::from_secs(10),
+            CommFaultKind::LinkBlackout { uav: UavId::new(1) },
+        );
+
+        // Inside the degraded window (staleness ≥ 2 s, < 6 s).
+        for _ in 0..30 {
+            p.step();
+        }
+        assert_eq!(p.health(0), HealthState::Degraded);
+        assert_eq!(p.health(1), HealthState::Nominal, "only uav1 is cut off");
+
+        // Past the fallback window.
+        for _ in 0..40 {
+            p.step();
+        }
+        assert_eq!(p.health(0), HealthState::SafeFallback);
+        let m = p.metrics();
+        assert!(m.counter("supervision.to_degraded") >= 1);
+        assert!(m.counter("supervision.to_safe_fallback") >= 1);
+        assert_eq!(m.gauge("supervision.state.uav0"), Some(2.0));
+        assert!(p.trace().count_kind("health_transition") >= 2);
+        assert!(p.trace().count_kind("comm_fault") >= 1);
+
+        // Blackout expires; fresh traffic restores Nominal.
+        for _ in 0..80 {
+            p.step();
+        }
+        assert_eq!(p.health(0), HealthState::Nominal);
+        assert!(p.metrics().counter("supervision.to_nominal") >= 1);
+    }
+
+    #[test]
+    fn dead_subscription_degrades_instead_of_panicking() {
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        p.step();
+        let tap = p.ids_tap;
+        p.bus.unsubscribe(tap).expect("tap is live before the test kills it");
+        for _ in 0..5 {
+            p.step(); // must not panic
+        }
+        assert!(p.metrics().counter("bus.drain_failures") >= 5);
+        assert!(p.metrics().counter("bus.drain_failures.ids_tap") >= 5);
+        assert!(p.trace().count_kind("bus_degraded") >= 1);
+    }
+
+    #[test]
+    fn commands_exhaust_their_retry_budget_over_a_dead_uplink() {
+        use sesame_middleware::chaos::{CommFaultKind, LinkDirection};
+
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..50 {
+            p.step();
+        }
+        // Uplink dies for longer than the whole backoff ladder
+        // (0.4 + 0.8 + 1.6 + 3.2 s), so every retry is swallowed too.
+        let now = p.now();
+        p.comm_faults_mut().schedule(
+            now,
+            SimDuration::from_secs(10),
+            CommFaultKind::AsymmetricPartition {
+                uav: UavId::new(1),
+                direction: LinkDirection::Uplink,
+            },
+        );
+        p.step();
+        let wp = p.sim.true_position(p.uavs[0].handle).destination(0.0, 50.0);
+        p.upload_route(0, vec![wp]);
+        for _ in 0..110 {
+            p.step();
+        }
+        let m = p.metrics();
+        assert!(m.counter("commands.retried") >= 3, "full ladder walked");
+        assert!(m.counter("commands.retry_exhausted") >= 1, "then gave up");
+        assert!(p.trace().count_kind("command_retry") >= 3);
+        assert!(p.pending_cmds.is_empty(), "nothing left pending");
+        // Heartbeats died with the uplink: uav1 was demoted too.
+        assert!(m.counter("supervision.to_degraded") >= 1);
+    }
+
+    #[test]
+    fn retried_command_is_delivered_once_the_uplink_recovers() {
+        use sesame_middleware::chaos::{CommFaultKind, LinkDirection};
+
+        let mut p = Platform::new(quick_config());
+        p.launch();
+        for _ in 0..50 {
+            p.step();
+        }
+        // A short 1 s outage: the initial publish and possibly the first
+        // retry are lost, a later retry lands.
+        let now = p.now();
+        p.comm_faults_mut().schedule(
+            now,
+            SimDuration::from_secs(1),
+            CommFaultKind::AsymmetricPartition {
+                uav: UavId::new(1),
+                direction: LinkDirection::Uplink,
+            },
+        );
+        p.step();
+        let applied_before = p.metrics.counter("commands.applied");
+        let wp = p.sim.true_position(p.uavs[0].handle).destination(0.0, 50.0);
+        p.upload_route(0, vec![wp]);
+        for _ in 0..40 {
+            p.step();
+        }
+        let m = p.metrics();
+        assert!(m.counter("commands.retried") >= 1, "a retry fired");
+        assert!(
+            m.counter("commands.applied") > applied_before,
+            "the retried waypoint was applied"
+        );
+        assert!(p.pending_cmds.is_empty(), "delivery acknowledged");
+        assert_eq!(m.counter("commands.retry_exhausted"), 0);
+    }
+
+    #[test]
     fn database_collects_fleet_history() {
         let mut p = Platform::new(quick_config());
         p.launch();
@@ -1671,3 +2068,4 @@ mod tests {
         assert_eq!(history.len(), 50);
     }
 }
+

@@ -7,11 +7,12 @@
 
 use crate::orchestrator::{ClLandingOutcome, Platform, PlatformConfig, Sample};
 use sesame_middleware::attack::{AttackInjector, AttackKind};
+use sesame_middleware::chaos::CommFaultKind;
 use sesame_obs::MetricsSnapshot;
 use sesame_types::events::EventLog;
 use sesame_types::geo::{GeoPoint, Vec3};
 use sesame_types::ids::UavId;
-use sesame_types::time::SimTime;
+use sesame_types::time::{SimDuration, SimTime};
 use sesame_uav_sim::faults::FaultKind;
 
 /// A scheduled fault entry.
@@ -40,11 +41,24 @@ pub struct SpoofAttack {
     pub forge_waypoints: bool,
 }
 
+/// A scheduled communication fault entry (see
+/// [`sesame_middleware::chaos`]).
+#[derive(Debug, Clone)]
+pub struct CommFaultEntry {
+    /// When the fault activates.
+    pub at: SimTime,
+    /// How long it stays active.
+    pub duration: SimDuration,
+    /// What breaks.
+    pub kind: CommFaultKind,
+}
+
 /// The declarative description.
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     config: PlatformConfig,
     faults: Vec<FaultEntry>,
+    comm_faults: Vec<CommFaultEntry>,
     attack: Option<SpoofAttack>,
     deadline: SimTime,
 }
@@ -61,6 +75,7 @@ impl ScenarioBuilder {
                 ..PlatformConfig::default()
             },
             faults: Vec::new(),
+            comm_faults: Vec::new(),
             attack: None,
             deadline: SimTime::from_secs(900),
         }
@@ -94,6 +109,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules a communication fault (link blackout, asymmetric
+    /// partition, broker outage, telemetry staleness) active for
+    /// `duration` from `at`.
+    pub fn comm_fault(mut self, at: SimTime, duration: SimDuration, kind: CommFaultKind) -> Self {
+        self.comm_faults.push(CommFaultEntry { at, duration, kind });
+        self
+    }
+
     /// Arms the spoofing attack.
     pub fn spoof_attack(mut self, attack: SpoofAttack) -> Self {
         self.attack = Some(attack);
@@ -117,6 +140,11 @@ impl ScenarioBuilder {
         for f in &self.faults {
             let id = UavId::new(f.uav_index as u32 + 1);
             platform.sim_mut().faults_mut().add(f.at, id, f.kind.clone());
+        }
+        for cf in &self.comm_faults {
+            platform
+                .comm_faults_mut()
+                .schedule(cf.at, cf.duration, cf.kind.clone());
         }
         let injector = self.attack.as_ref().and_then(|a| {
             a.forge_waypoints.then(|| {

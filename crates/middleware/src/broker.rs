@@ -88,6 +88,8 @@ pub struct AlertBroker {
     subs: Vec<BrokerSub>,
     retained: Vec<Message>,
     published: u64,
+    offline: bool,
+    lost_to_outage: u64,
 }
 
 impl std::fmt::Debug for AlertBroker {
@@ -96,6 +98,8 @@ impl std::fmt::Debug for AlertBroker {
             .field("subscribers", &self.subs.len())
             .field("retained", &self.retained.len())
             .field("published", &self.published)
+            .field("offline", &self.offline)
+            .field("lost_to_outage", &self.lost_to_outage)
             .finish()
     }
 }
@@ -152,11 +156,33 @@ impl AlertBroker {
     }
 
     fn fan_out(&mut self, msg: Message) {
+        if self.offline {
+            self.lost_to_outage += 1;
+            return;
+        }
         for sub in &mut self.subs {
             if topic_matches(&sub.filter, &msg.topic) {
                 sub.queue.push_back(msg.clone());
             }
         }
+    }
+
+    /// Takes the broker offline (an injected outage) or brings it back.
+    /// While offline, publishes are accepted but reach nobody — retained
+    /// messages are still stored and replay once service resumes, which is
+    /// exactly the MQTT behaviour the QoS-0 alert path degrades to.
+    pub fn set_offline(&mut self, offline: bool) {
+        self.offline = offline;
+    }
+
+    /// Whether the broker is currently offline.
+    pub fn is_offline(&self) -> bool {
+        self.offline
+    }
+
+    /// Messages that reached no subscriber because the broker was offline.
+    pub fn lost_to_outage(&self) -> u64 {
+        self.lost_to_outage
     }
 
     /// Removes and returns the queued messages for `sub`, oldest first.
@@ -253,5 +279,33 @@ mod tests {
         let sub = b.subscribe("other/#");
         b.publish(SimTime::ZERO, "ids", "ids/alerts", alert("x"));
         assert_eq!(b.drain(sub).len(), 0);
+    }
+
+    #[test]
+    fn outage_swallows_publishes_until_service_resumes() {
+        let mut b = AlertBroker::new();
+        let sub = b.subscribe("ids/#");
+        b.set_offline(true);
+        assert!(b.is_offline());
+        b.publish(SimTime::ZERO, "ids", "ids/alerts", alert("lost"));
+        b.publish(SimTime::ZERO, "ids", "ids/alerts", alert("also_lost"));
+        assert_eq!(b.drain(sub).len(), 0);
+        assert_eq!(b.lost_to_outage(), 2);
+        b.set_offline(false);
+        b.publish(SimTime::from_secs(1), "ids", "ids/alerts", alert("heard"));
+        let got = b.drain(sub);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(&got[0].payload, Payload::Alert { rule, .. } if rule == "heard"));
+    }
+
+    #[test]
+    fn retained_survive_an_outage_for_late_subscribers() {
+        let mut b = AlertBroker::new();
+        b.set_offline(true);
+        b.publish_retained(SimTime::ZERO, "ids", "ids/status", alert("v1"));
+        b.set_offline(false);
+        // The live fan-out was lost, but the retained copy replays.
+        let late = b.subscribe("ids/status");
+        assert_eq!(b.drain(late).len(), 1);
     }
 }

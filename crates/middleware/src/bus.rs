@@ -188,6 +188,18 @@ impl MessageBus {
         self.loss.push((pattern.into(), probability.clamp(0.0, 1.0)));
     }
 
+    /// Removes every loss rule installed for exactly `pattern`, letting
+    /// any earlier rule (or the lossless default) apply again. This is how
+    /// a scheduled link fault ends without leaving rule debris behind.
+    pub fn remove_loss(&mut self, pattern: &str) {
+        self.loss.retain(|(p, _)| p != pattern);
+    }
+
+    /// Removes every latency override installed for exactly `pattern`.
+    pub fn remove_topic_latency(&mut self, pattern: &str) {
+        self.topic_latency.retain(|(p, _)| p != pattern);
+    }
+
     /// Subscribes to `pattern` (exact topic or MQTT wildcard pattern) with
     /// the default queue depth of 1024.
     pub fn subscribe(&mut self, pattern: impl Into<String>) -> Subscription {
@@ -622,6 +634,34 @@ mod tests {
         assert_eq!(bus.queued(sub), Err(BusError::Unsubscribed(sub)));
         let err = bus.drain(sub).unwrap_err();
         assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+
+    #[test]
+    fn removed_loss_rule_restores_earlier_behaviour() {
+        let mut bus = MessageBus::seeded(7);
+        bus.set_loss("/t", 0.1);
+        bus.set_loss("/t", 1.0); // the injected blackout
+        let sub = bus.subscribe("/t");
+        bus.publish(SimTime::ZERO, "n", "/t", text("a"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(sub).unwrap().len(), 0, "blackout drops everything");
+        bus.remove_loss("/t"); // removes both rules for the pattern
+        for _ in 0..20 {
+            bus.publish(SimTime::from_millis(100), "n", "/t", text("b"));
+        }
+        bus.step(SimTime::from_millis(200));
+        assert_eq!(bus.drain(sub).unwrap().len(), 20, "lossless again");
+    }
+
+    #[test]
+    fn removed_topic_latency_restores_default() {
+        let mut bus = MessageBus::new();
+        bus.set_topic_latency("/t", SimDuration::from_millis(900));
+        bus.remove_topic_latency("/t");
+        let sub = bus.subscribe("/t");
+        bus.publish(SimTime::ZERO, "n", "/t", text("x"));
+        bus.step(SimTime::from_millis(20));
+        assert_eq!(bus.drain(sub).unwrap().len(), 1, "default 20 ms applies");
     }
 
     #[test]

@@ -1,0 +1,457 @@
+//! Scheduled communication faults — the chaos plane of the middleware.
+//!
+//! The distance-derived [`crate::network::NetworkModel`] explains *how
+//! good* a link is; this module injects *what goes wrong when*: total link
+//! blackouts, asymmetric partitions (one direction of a link dies while
+//! the other survives), broker outages, and telemetry-staleness windows.
+//! Each fault is scheduled with a start time and a duration, applied to
+//! the [`crate::bus::MessageBus`] / [`crate::broker::AlertBroker`] when it
+//! activates, and cleanly retracted when it expires — so a chaos campaign
+//! can layer dozens of faults over a run and the bus always ends in a
+//! consistent state. Everything is deterministic: the schedule is data,
+//! and the bus's own seeded RNG decides individual packet fates.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_middleware::broker::AlertBroker;
+//! use sesame_middleware::bus::MessageBus;
+//! use sesame_middleware::chaos::{CommFaultKind, CommFaultPlane};
+//! use sesame_types::ids::UavId;
+//! use sesame_types::time::{SimDuration, SimTime};
+//!
+//! let mut plane = CommFaultPlane::new();
+//! plane.schedule(
+//!     SimTime::from_secs(10),
+//!     SimDuration::from_secs(5),
+//!     CommFaultKind::LinkBlackout { uav: UavId::new(1) },
+//! );
+//! let mut bus = MessageBus::new();
+//! let mut broker = AlertBroker::new();
+//! // Inside the platform tick loop:
+//! let transitions = plane.step(SimTime::from_secs(10), &mut bus, &mut broker);
+//! assert_eq!(transitions.len(), 1);
+//! assert!(transitions[0].activated);
+//! ```
+
+use crate::broker::AlertBroker;
+use crate::bus::MessageBus;
+use sesame_types::ids::UavId;
+use sesame_types::time::{SimDuration, SimTime};
+
+/// Which direction of a UAV ↔ GCS link an asymmetric partition severs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkDirection {
+    /// GCS → UAV: commands and heartbeats (`/{uav}/cmd/#`).
+    Uplink,
+    /// UAV → GCS: telemetry (`/{uav}/telemetry`).
+    Downlink,
+}
+
+/// The injectable communication fault kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommFaultKind {
+    /// Total radio blackout of one UAV: every topic under `/{uav}/#`
+    /// drops, both directions.
+    LinkBlackout {
+        /// The affected UAV.
+        uav: UavId,
+    },
+    /// One direction of the link dies; the other keeps flowing. The
+    /// classic nasty case: the GCS still *sees* the UAV but cannot
+    /// command it (uplink cut), or flies blind while the UAV still
+    /// obeys (downlink cut).
+    AsymmetricPartition {
+        /// The affected UAV.
+        uav: UavId,
+        /// Which direction is severed.
+        direction: LinkDirection,
+    },
+    /// The MQTT-style alert broker goes down: IDS alerts and EDDI
+    /// security scripts hear nothing until service resumes.
+    BrokerOutage,
+    /// Telemetry from one UAV still arrives, but late — stale enough to
+    /// trip a staleness watchdog without a single drop.
+    TelemetryStaleness {
+        /// The affected UAV.
+        uav: UavId,
+        /// Extra one-way delay applied to the telemetry topic.
+        delay: SimDuration,
+    },
+}
+
+impl CommFaultKind {
+    /// Short stable label for traces and metrics.
+    pub fn label(&self) -> String {
+        match self {
+            CommFaultKind::LinkBlackout { uav } => format!("link_blackout_{uav}"),
+            CommFaultKind::AsymmetricPartition { uav, direction } => match direction {
+                LinkDirection::Uplink => format!("uplink_partition_{uav}"),
+                LinkDirection::Downlink => format!("downlink_partition_{uav}"),
+            },
+            CommFaultKind::BrokerOutage => "broker_outage".to_string(),
+            CommFaultKind::TelemetryStaleness { uav, .. } => {
+                format!("telemetry_staleness_{uav}")
+            }
+        }
+    }
+
+    /// The bus topic pattern this fault manages, if it is a bus fault.
+    fn pattern(&self) -> Option<String> {
+        match self {
+            CommFaultKind::LinkBlackout { uav } => Some(format!("/{uav}/#")),
+            CommFaultKind::AsymmetricPartition { uav, direction } => Some(match direction {
+                LinkDirection::Uplink => format!("/{uav}/cmd/#"),
+                LinkDirection::Downlink => format!("/{uav}/telemetry"),
+            }),
+            CommFaultKind::BrokerOutage => None,
+            CommFaultKind::TelemetryStaleness { uav, .. } => {
+                Some(format!("/{uav}/telemetry"))
+            }
+        }
+    }
+}
+
+/// One scheduled communication fault: active in `[at, until)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommFault {
+    /// Activation time.
+    pub at: SimTime,
+    /// Expiry time (exclusive).
+    pub until: SimTime,
+    /// What breaks.
+    pub kind: CommFaultKind,
+}
+
+/// A fault activating or expiring, reported by [`CommFaultPlane::step`]
+/// so the orchestrator can count and trace it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommFaultTransition {
+    /// Stable label of the fault (see [`CommFaultKind::label`]).
+    pub label: String,
+    /// `true` on activation, `false` on expiry.
+    pub activated: bool,
+    /// The fault itself.
+    pub fault: CommFault,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FaultPhase {
+    Pending,
+    Active,
+    Done,
+}
+
+/// The scheduled communication-fault plane. Owns no bus state of its own:
+/// every activation and expiry is translated into loss/latency rules on
+/// the bus (or the broker's offline flag), and the full managed rule set
+/// is rebuilt on every transition so overlapping faults on the same
+/// topic compose correctly.
+#[derive(Debug, Default)]
+pub struct CommFaultPlane {
+    entries: Vec<(CommFault, FaultPhase)>,
+}
+
+impl CommFaultPlane {
+    /// An empty plane.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a fault active in `[at, at + duration)`. Zero-duration
+    /// faults are accepted and simply never activate.
+    pub fn schedule(&mut self, at: SimTime, duration: SimDuration, kind: CommFaultKind) {
+        let fault = CommFault {
+            at,
+            until: at + duration,
+            kind,
+        };
+        self.entries.push((fault, FaultPhase::Pending));
+    }
+
+    /// Faults not yet expired.
+    pub fn pending(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|(_, p)| *p != FaultPhase::Done)
+            .count()
+    }
+
+    /// Currently active faults.
+    pub fn active(&self) -> impl Iterator<Item = &CommFault> {
+        self.entries
+            .iter()
+            .filter(|(_, p)| *p == FaultPhase::Active)
+            .map(|(f, _)| f)
+    }
+
+    /// Whether any active fault currently severs `uav`'s link in the
+    /// given direction (blackouts sever both).
+    pub fn severs(&self, uav: UavId, direction: LinkDirection) -> bool {
+        self.active().any(|f| match &f.kind {
+            CommFaultKind::LinkBlackout { uav: u } => *u == uav,
+            CommFaultKind::AsymmetricPartition { uav: u, direction: d } => {
+                *u == uav && *d == direction
+            }
+            _ => false,
+        })
+    }
+
+    /// Advances the plane to `now`: activates due faults, expires old
+    /// ones, and reconciles the bus/broker with the surviving active set.
+    /// Returns every transition that happened, for tracing.
+    pub fn step(
+        &mut self,
+        now: SimTime,
+        bus: &mut MessageBus,
+        broker: &mut AlertBroker,
+    ) -> Vec<CommFaultTransition> {
+        let mut transitions = Vec::new();
+        for (fault, phase) in self.entries.iter_mut() {
+            match *phase {
+                FaultPhase::Pending if fault.until <= now || fault.until <= fault.at => {
+                    // Expired (or empty) before ever applying.
+                    *phase = FaultPhase::Done;
+                }
+                FaultPhase::Pending if fault.at <= now => {
+                    *phase = FaultPhase::Active;
+                    transitions.push(CommFaultTransition {
+                        label: fault.kind.label(),
+                        activated: true,
+                        fault: fault.clone(),
+                    });
+                }
+                FaultPhase::Active if fault.until <= now => {
+                    *phase = FaultPhase::Done;
+                    transitions.push(CommFaultTransition {
+                        label: fault.kind.label(),
+                        activated: false,
+                        fault: fault.clone(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        if !transitions.is_empty() {
+            self.reconcile(bus, broker);
+        }
+        transitions
+    }
+
+    /// Rebuilds every managed rule from the active set: first retract all
+    /// patterns any entry has ever managed, then re-apply the active
+    /// faults in schedule order (so a blackout layered over a staleness
+    /// window wins while it lasts, and the staleness rule survives it).
+    fn reconcile(&self, bus: &mut MessageBus, broker: &mut AlertBroker) {
+        for (fault, _) in &self.entries {
+            if let Some(pattern) = fault.kind.pattern() {
+                bus.remove_loss(&pattern);
+                bus.remove_topic_latency(&pattern);
+            }
+        }
+        let mut broker_down = false;
+        for fault in self.active() {
+            match &fault.kind {
+                CommFaultKind::LinkBlackout { .. }
+                | CommFaultKind::AsymmetricPartition { .. } => {
+                    let pattern = fault.kind.pattern().expect("bus fault has a pattern");
+                    bus.set_loss(pattern, 1.0);
+                }
+                CommFaultKind::BrokerOutage => broker_down = true,
+                CommFaultKind::TelemetryStaleness { delay, .. } => {
+                    let pattern = fault.kind.pattern().expect("bus fault has a pattern");
+                    bus.set_topic_latency(pattern, *delay);
+                }
+            }
+        }
+        broker.set_offline(broker_down);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+
+    fn text() -> Payload {
+        Payload::Text("x".into())
+    }
+
+    fn plane_with(kind: CommFaultKind, at: u64, secs: u64) -> CommFaultPlane {
+        let mut plane = CommFaultPlane::new();
+        plane.schedule(
+            SimTime::from_secs(at),
+            SimDuration::from_secs(secs),
+            kind,
+        );
+        plane
+    }
+
+    #[test]
+    fn blackout_window_drops_both_directions_then_heals() {
+        let uav = UavId::new(1);
+        let mut plane = plane_with(CommFaultKind::LinkBlackout { uav }, 10, 5);
+        let mut bus = MessageBus::seeded(1);
+        let mut broker = AlertBroker::new();
+        let tel = bus.subscribe("/uav1/telemetry");
+        let cmd = bus.subscribe("/uav1/cmd/#");
+
+        // Before the window: traffic flows.
+        plane.step(SimTime::from_secs(5), &mut bus, &mut broker);
+        bus.publish(SimTime::from_secs(5), "node:uav1", "/uav1/telemetry", text());
+        bus.publish(SimTime::from_secs(5), "node:gcs", "/uav1/cmd/waypoint", text());
+        bus.step(SimTime::from_secs(6));
+        assert_eq!(bus.drain(tel).unwrap().len(), 1);
+        assert_eq!(bus.drain(cmd).unwrap().len(), 1);
+
+        // Inside: everything under /uav1/# drops.
+        let tr = plane.step(SimTime::from_secs(10), &mut bus, &mut broker);
+        assert!(tr[0].activated && tr[0].label == "link_blackout_uav1");
+        assert!(plane.severs(uav, LinkDirection::Uplink));
+        assert!(plane.severs(uav, LinkDirection::Downlink));
+        bus.publish(SimTime::from_secs(10), "node:uav1", "/uav1/telemetry", text());
+        bus.publish(SimTime::from_secs(10), "node:gcs", "/uav1/cmd/waypoint", text());
+        bus.step(SimTime::from_secs(11));
+        assert_eq!(bus.drain(tel).unwrap().len(), 0);
+        assert_eq!(bus.drain(cmd).unwrap().len(), 0);
+
+        // After: healed, no rule debris.
+        let tr = plane.step(SimTime::from_secs(15), &mut bus, &mut broker);
+        assert!(!tr[0].activated);
+        assert_eq!(plane.active().count(), 0);
+        bus.publish(SimTime::from_secs(15), "node:uav1", "/uav1/telemetry", text());
+        bus.step(SimTime::from_secs(16));
+        assert_eq!(bus.drain(tel).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn asymmetric_partition_severs_only_one_direction() {
+        let uav = UavId::new(2);
+        let mut plane = plane_with(
+            CommFaultKind::AsymmetricPartition {
+                uav,
+                direction: LinkDirection::Uplink,
+            },
+            0,
+            60,
+        );
+        let mut bus = MessageBus::seeded(1);
+        let mut broker = AlertBroker::new();
+        let tel = bus.subscribe("/uav2/telemetry");
+        let cmd = bus.subscribe("/uav2/cmd/#");
+        plane.step(SimTime::ZERO, &mut bus, &mut broker);
+        assert!(plane.severs(uav, LinkDirection::Uplink));
+        assert!(!plane.severs(uav, LinkDirection::Downlink));
+        for _ in 0..5 {
+            bus.publish(SimTime::ZERO, "node:uav2", "/uav2/telemetry", text());
+            bus.publish(SimTime::ZERO, "node:gcs", "/uav2/cmd/waypoint", text());
+        }
+        bus.step(SimTime::from_secs(1));
+        assert_eq!(bus.drain(tel).unwrap().len(), 5, "downlink alive");
+        assert_eq!(bus.drain(cmd).unwrap().len(), 0, "uplink dead");
+    }
+
+    #[test]
+    fn broker_outage_toggles_offline_flag() {
+        let mut plane = plane_with(CommFaultKind::BrokerOutage, 10, 10);
+        let mut bus = MessageBus::new();
+        let mut broker = AlertBroker::new();
+        plane.step(SimTime::from_secs(9), &mut bus, &mut broker);
+        assert!(!broker.is_offline());
+        plane.step(SimTime::from_secs(10), &mut bus, &mut broker);
+        assert!(broker.is_offline());
+        plane.step(SimTime::from_secs(20), &mut bus, &mut broker);
+        assert!(!broker.is_offline());
+    }
+
+    #[test]
+    fn telemetry_staleness_delays_without_dropping() {
+        let uav = UavId::new(1);
+        let mut plane = plane_with(
+            CommFaultKind::TelemetryStaleness {
+                uav,
+                delay: SimDuration::from_secs(4),
+            },
+            0,
+            30,
+        );
+        let mut bus = MessageBus::seeded(1);
+        let mut broker = AlertBroker::new();
+        let tel = bus.subscribe("/uav1/telemetry");
+        plane.step(SimTime::ZERO, &mut bus, &mut broker);
+        bus.publish(SimTime::ZERO, "node:uav1", "/uav1/telemetry", text());
+        bus.step(SimTime::from_secs(1));
+        assert_eq!(bus.drain(tel).unwrap().len(), 0, "still in flight");
+        bus.step(SimTime::from_secs(4));
+        assert_eq!(bus.drain(tel).unwrap().len(), 1, "late but delivered");
+        assert_eq!(bus.stats().dropped, 0);
+    }
+
+    #[test]
+    fn overlapping_faults_on_one_topic_compose() {
+        // A staleness window spans a shorter blackout; when the blackout
+        // expires the staleness rule must still hold.
+        let uav = UavId::new(1);
+        let mut plane = CommFaultPlane::new();
+        plane.schedule(
+            SimTime::from_secs(0),
+            SimDuration::from_secs(100),
+            CommFaultKind::TelemetryStaleness {
+                uav,
+                delay: SimDuration::from_secs(5),
+            },
+        );
+        plane.schedule(
+            SimTime::from_secs(10),
+            SimDuration::from_secs(10),
+            CommFaultKind::LinkBlackout { uav },
+        );
+        let mut bus = MessageBus::seeded(1);
+        let mut broker = AlertBroker::new();
+        let tel = bus.subscribe("/uav1/telemetry");
+
+        plane.step(SimTime::ZERO, &mut bus, &mut broker);
+        plane.step(SimTime::from_secs(10), &mut bus, &mut broker);
+        bus.publish(SimTime::from_secs(10), "node:uav1", "/uav1/telemetry", text());
+        bus.step(SimTime::from_secs(16));
+        assert_eq!(bus.drain(tel).unwrap().len(), 0, "blackout drops it");
+
+        plane.step(SimTime::from_secs(20), &mut bus, &mut broker);
+        assert_eq!(plane.active().count(), 1, "staleness outlives blackout");
+        bus.publish(SimTime::from_secs(20), "node:uav1", "/uav1/telemetry", text());
+        bus.step(SimTime::from_secs(21));
+        assert_eq!(bus.drain(tel).unwrap().len(), 0, "still delayed");
+        bus.step(SimTime::from_secs(25));
+        assert_eq!(bus.drain(tel).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn expired_before_stepped_never_activates() {
+        let mut plane = plane_with(CommFaultKind::BrokerOutage, 1, 2);
+        let mut bus = MessageBus::new();
+        let mut broker = AlertBroker::new();
+        // First step happens long after the window closed.
+        let tr = plane.step(SimTime::from_secs(60), &mut bus, &mut broker);
+        assert!(tr.is_empty());
+        assert!(!broker.is_offline());
+        assert_eq!(plane.pending(), 0);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let uav = UavId::new(3);
+        assert_eq!(
+            CommFaultKind::LinkBlackout { uav }.label(),
+            "link_blackout_uav3"
+        );
+        assert_eq!(
+            CommFaultKind::AsymmetricPartition {
+                uav,
+                direction: LinkDirection::Downlink
+            }
+            .label(),
+            "downlink_partition_uav3"
+        );
+        assert_eq!(CommFaultKind::BrokerOutage.label(), "broker_outage");
+    }
+}

@@ -15,7 +15,10 @@
 //!   tampering, replay, and eavesdropping taps;
 //! * [`broker::AlertBroker`] — the MQTT-style broker (with `+`/`#` topic
 //!   filters) that carries IDS alerts to the Security EDDI scripts
-//!   (§III-B).
+//!   (§III-B);
+//! * [`chaos::CommFaultPlane`] — scheduled communication faults (link
+//!   blackouts, asymmetric partitions, broker outages, telemetry
+//!   staleness) that chaos campaigns layer over a run.
 //!
 //! The bus is single-threaded and deterministic: delivery happens when the
 //! platform calls [`bus::MessageBus::step`], which makes every experiment in
@@ -45,6 +48,7 @@ pub mod attack;
 pub mod auth;
 pub mod broker;
 pub mod bus;
+pub mod chaos;
 pub mod message;
 pub mod network;
 

@@ -79,10 +79,27 @@ impl NetworkModel {
         SimDuration::from_millis(self.base_latency.as_millis() + extra_ms)
     }
 
-    /// Packet loss probability for a link of length `range_m`.
+    /// Packet loss probability for a link of length `range_m`, clamped
+    /// into `[0, 1]`. A non-finite range (a corrupted or uninitialised
+    /// position) is treated as out of range entirely: loss 1.
     pub fn loss_probability(&self, range_m: f64) -> f64 {
+        if !range_m.is_finite() {
+            return 1.0;
+        }
         let r = (range_m.max(0.0)) / self.half_range_m;
-        (self.loss_at_half_range * r * r).clamp(0.0, 0.95)
+        (self.loss_at_half_range * r * r).clamp(0.0, 1.0)
+    }
+
+    /// Installs this model's range-derived latency and loss on every bus
+    /// topic matching `pattern` — the hook that turns a geometric link
+    /// model into actual scheduled drops and delays on the
+    /// [`crate::bus::MessageBus`]. Re-applying with a new range replaces
+    /// the previous rules for the pattern.
+    pub fn apply_to_topic(&self, bus: &mut crate::bus::MessageBus, pattern: &str, range_m: f64) {
+        bus.remove_topic_latency(pattern);
+        bus.remove_loss(pattern);
+        bus.set_topic_latency(pattern, self.latency(range_m));
+        bus.set_loss(pattern, self.loss_probability(range_m));
     }
 }
 
@@ -112,10 +129,79 @@ mod tests {
     }
 
     #[test]
-    fn loss_clamped() {
+    fn loss_clamped_into_unit_interval_at_extreme_ranges() {
         let net = NetworkModel::default();
         assert!(net.loss_probability(0.0) < 1e-12);
-        assert!(net.loss_probability(1e9) <= 0.95);
+        assert_eq!(net.loss_probability(1e9), 1.0);
+        assert_eq!(net.loss_probability(f64::MAX), 1.0, "no overflow past 1");
+        assert_eq!(net.loss_probability(-50.0), net.loss_probability(0.0));
+        for r in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(net.loss_probability(r), 1.0, "non-finite range is lost");
+        }
+        // A pathological configuration still cannot exceed probability 1.
+        let hot = NetworkModel {
+            loss_at_half_range: 5.0,
+            ..NetworkModel::default()
+        };
+        assert_eq!(hot.loss_probability(3000.0), 1.0);
+    }
+
+    #[test]
+    fn loss_monotone_nondecreasing_with_range() {
+        let net = NetworkModel::default();
+        let l: Vec<f64> = [0.0, 200.0, 800.0, 1500.0, 4000.0, 20_000.0, 1e9]
+            .iter()
+            .map(|r| net.loss_probability(*r))
+            .collect();
+        for w in l.windows(2) {
+            assert!(w[0] <= w[1], "loss must not decrease with range: {l:?}");
+        }
+        assert!(l.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+
+    #[test]
+    fn latency_monotone_nondecreasing_with_range() {
+        let net = NetworkModel::default();
+        let ms: Vec<u64> = [0.0, 500.0, 1000.0, 5000.0, 50_000.0]
+            .iter()
+            .map(|r| net.latency(*r).as_millis())
+            .collect();
+        for w in ms.windows(2) {
+            assert!(w[0] <= w[1], "latency must not decrease with range: {ms:?}");
+        }
+    }
+
+    #[test]
+    fn quality_clamped_and_monotone_at_extremes() {
+        let net = NetworkModel::default();
+        assert!(net.link_quality(1e12).value() >= 0.0);
+        assert!(net.link_quality(1e12).value() < 1e-6);
+        assert_eq!(net.link_quality(-10.0).value(), 1.0, "negative range = co-located");
+    }
+
+    #[test]
+    fn apply_to_topic_installs_range_derived_rules() {
+        use crate::bus::MessageBus;
+        use crate::message::Payload;
+        use sesame_types::time::SimTime;
+
+        let net = NetworkModel::default();
+        let mut bus = MessageBus::seeded(3);
+        // Far link: every message dropped (loss ≈ 1 at extreme range).
+        net.apply_to_topic(&mut bus, "/uav9/telemetry", 1e9);
+        let sub = bus.subscribe("/uav9/telemetry");
+        for _ in 0..10 {
+            bus.publish(SimTime::ZERO, "n", "/uav9/telemetry", Payload::Text("x".into()));
+        }
+        bus.step(SimTime::from_secs(10));
+        assert_eq!(bus.drain(sub).unwrap().len(), 0);
+        // Re-applying at close range replaces the rules: traffic flows.
+        net.apply_to_topic(&mut bus, "/uav9/telemetry", 10.0);
+        for _ in 0..10 {
+            bus.publish(SimTime::from_secs(10), "n", "/uav9/telemetry", Payload::Text("x".into()));
+        }
+        bus.step(SimTime::from_secs(20));
+        assert_eq!(bus.drain(sub).unwrap().len(), 10);
     }
 
     #[test]

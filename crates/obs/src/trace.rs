@@ -29,6 +29,21 @@ pub enum TraceEvent {
     ModeTransition { from: String, to: String },
     /// An injected attack reached one of its scripted goals.
     AttackGoal { description: String },
+    /// A per-UAV supervision health state changed
+    /// (`Nominal → Degraded → SafeFallback` and recoveries).
+    HealthTransition {
+        uav: String,
+        from: String,
+        to: String,
+        reason: String,
+    },
+    /// A scheduled communication fault activated or expired.
+    CommFault { label: String, activated: bool },
+    /// A command publish was retried over the lossy bus.
+    CommandRetry { topic: String, attempt: u32 },
+    /// A bus queue operation failed recoverably (drain on a dead
+    /// subscription) — degraded, traced, not fatal.
+    BusDegraded { context: String, detail: String },
 }
 
 impl TraceEvent {
@@ -43,6 +58,10 @@ impl TraceEvent {
             TraceEvent::GuaranteeChanged { .. } => "guarantee_changed",
             TraceEvent::ModeTransition { .. } => "mode_transition",
             TraceEvent::AttackGoal { .. } => "attack_goal",
+            TraceEvent::HealthTransition { .. } => "health_transition",
+            TraceEvent::CommFault { .. } => "comm_fault",
+            TraceEvent::CommandRetry { .. } => "command_retry",
+            TraceEvent::BusDegraded { .. } => "bus_degraded",
         }
     }
 }

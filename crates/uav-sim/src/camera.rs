@@ -73,6 +73,11 @@ impl SimCamera {
     pub fn degrade(&mut self, health: f64) {
         self.health = health.clamp(0.0, 1.0);
     }
+
+    /// Restores the sensor to nominal health (ends any degradation).
+    pub fn restore(&mut self) {
+        self.health = 1.0;
+    }
 }
 
 #[cfg(test)]

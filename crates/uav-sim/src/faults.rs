@@ -7,7 +7,7 @@
 
 use sesame_types::geo::Vec3;
 use sesame_types::ids::UavId;
-use sesame_types::time::SimTime;
+use sesame_types::time::{SimDuration, SimTime};
 
 /// The injectable fault kinds.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +36,31 @@ pub enum FaultKind {
     },
     /// Ends any GPS condition (loss or spoof).
     GpsRestore,
+    /// A failed motor comes back (transient ESC fault clearing).
+    MotorRestore {
+        /// Motor index.
+        motor: usize,
+    },
+    /// The vision sensor returns to nominal health.
+    VisionRestore,
+}
+
+impl FaultKind {
+    /// The restore counterpart of a fault, if one exists: the entry that
+    /// undoes this fault's effect. Restores themselves have none.
+    pub fn restore_kind(&self) -> Option<FaultKind> {
+        match self {
+            FaultKind::MotorFailure { motor } => {
+                Some(FaultKind::MotorRestore { motor: *motor })
+            }
+            FaultKind::GpsLoss | FaultKind::GpsSpoof { .. } => Some(FaultKind::GpsRestore),
+            FaultKind::VisionDegraded { .. } => Some(FaultKind::VisionRestore),
+            FaultKind::BatteryOverTemp { .. }
+            | FaultKind::GpsRestore
+            | FaultKind::MotorRestore { .. }
+            | FaultKind::VisionRestore => None,
+        }
+    }
 }
 
 /// One scheduled fault.
@@ -90,6 +115,52 @@ impl FaultSchedule {
             "cannot schedule a fault in the already-fired past"
         );
         self.entries.insert(pos, ScheduledFault { at, uav, kind });
+    }
+
+    /// Schedules an intermittent (flapping) fault: `cycles` repetitions of
+    /// fault-then-restore, starting at `start`, with `up` between the
+    /// fault firing and its restore and `down` between a restore and the
+    /// next onset. Falls back to a single one-shot entry for kinds with no
+    /// restore counterpart (e.g. [`FaultKind::BatteryOverTemp`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sesame_types::ids::UavId;
+    /// use sesame_types::time::{SimDuration, SimTime};
+    /// use sesame_uav_sim::faults::{FaultKind, FaultSchedule};
+    ///
+    /// let mut s = FaultSchedule::new();
+    /// s.add_flapping(
+    ///     SimTime::from_secs(10),
+    ///     UavId::new(1),
+    ///     FaultKind::GpsLoss,
+    ///     SimDuration::from_secs(2),
+    ///     SimDuration::from_secs(3),
+    ///     2,
+    /// );
+    /// assert_eq!(s.pending(), 4); // loss@10, restore@12, loss@15, restore@17
+    /// ```
+    pub fn add_flapping(
+        &mut self,
+        start: SimTime,
+        uav: UavId,
+        kind: FaultKind,
+        up: SimDuration,
+        down: SimDuration,
+        cycles: usize,
+    ) {
+        let Some(restore) = kind.restore_kind() else {
+            self.add(start, uav, kind);
+            return;
+        };
+        let mut at = start;
+        for _ in 0..cycles.max(1) {
+            self.add(at, uav, kind.clone());
+            at += up;
+            self.add(at, uav, restore.clone());
+            at += down;
+        }
     }
 
     /// Returns (and consumes) every entry due at or before `now`.
@@ -150,6 +221,113 @@ mod tests {
             );
         }
         assert_eq!(s.due(SimTime::from_secs(10)).len(), 3);
+    }
+
+    #[test]
+    fn same_tick_mixed_kinds_fire_together_in_insertion_order() {
+        let mut s = FaultSchedule::new();
+        let t = SimTime::from_secs(10);
+        s.add(t, UavId::new(1), FaultKind::MotorFailure { motor: 0 });
+        s.add(t, UavId::new(1), FaultKind::GpsLoss);
+        s.add(t, UavId::new(1), FaultKind::BatteryOverTemp { soc_drop: 0.4 });
+        let due = s.due(t);
+        assert_eq!(due.len(), 3);
+        assert!(matches!(due[0].kind, FaultKind::MotorFailure { motor: 0 }));
+        assert!(matches!(due[1].kind, FaultKind::GpsLoss));
+        assert!(matches!(due[2].kind, FaultKind::BatteryOverTemp { .. }));
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn out_of_order_insertion_interleaved_with_firing() {
+        let mut s = FaultSchedule::new();
+        s.add(SimTime::from_secs(30), UavId::new(1), FaultKind::GpsLoss);
+        s.add(SimTime::from_secs(10), UavId::new(2), FaultKind::VisionRestore);
+        assert_eq!(s.due(SimTime::from_secs(10)).len(), 1);
+        // New entries may still be added between already-fired and pending
+        // ones, as long as they are not in the past.
+        s.add(SimTime::from_secs(20), UavId::new(3), FaultKind::GpsRestore);
+        let due = s.due(SimTime::from_secs(40));
+        assert_eq!(due.len(), 2);
+        assert!(matches!(due[0].kind, FaultKind::GpsRestore));
+        assert!(matches!(due[1].kind, FaultKind::GpsLoss));
+    }
+
+    #[test]
+    fn restore_after_restore_is_delivered_for_idempotent_application() {
+        let mut s = FaultSchedule::new();
+        s.add(SimTime::from_secs(5), UavId::new(1), FaultKind::GpsRestore);
+        s.add(SimTime::from_secs(6), UavId::new(1), FaultKind::GpsRestore);
+        s.add(
+            SimTime::from_secs(7),
+            UavId::new(1),
+            FaultKind::MotorRestore { motor: 1 },
+        );
+        s.add(
+            SimTime::from_secs(8),
+            UavId::new(1),
+            FaultKind::MotorRestore { motor: 1 },
+        );
+        // Both restores surface; applying a restore twice is a no-op at
+        // the component level (see sim/propulsion/gps tests).
+        assert_eq!(s.due(SimTime::from_secs(10)).len(), 4);
+        assert!(s.due(SimTime::from_secs(10)).is_empty());
+    }
+
+    #[test]
+    fn flapping_expands_to_alternating_pairs() {
+        let mut s = FaultSchedule::new();
+        s.add_flapping(
+            SimTime::from_secs(10),
+            UavId::new(1),
+            FaultKind::MotorFailure { motor: 2 },
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(4),
+            3,
+        );
+        assert_eq!(s.pending(), 6);
+        let all = s.due(SimTime::from_secs(100));
+        let kinds: Vec<&FaultKind> = all.iter().map(|f| &f.kind).collect();
+        for (i, k) in kinds.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(matches!(k, FaultKind::MotorFailure { motor: 2 }));
+            } else {
+                assert!(matches!(k, FaultKind::MotorRestore { motor: 2 }));
+            }
+        }
+        assert_eq!(all[0].at, SimTime::from_secs(10));
+        assert_eq!(all[1].at, SimTime::from_secs(11));
+        assert_eq!(all[2].at, SimTime::from_secs(15));
+        assert_eq!(all[5].at, SimTime::from_secs(21));
+    }
+
+    #[test]
+    fn flapping_without_restore_counterpart_is_one_shot() {
+        let mut s = FaultSchedule::new();
+        s.add_flapping(
+            SimTime::from_secs(10),
+            UavId::new(1),
+            FaultKind::BatteryOverTemp { soc_drop: 0.2 },
+            SimDuration::from_secs(1),
+            SimDuration::from_secs(1),
+            5,
+        );
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn restore_kind_pairs_each_fault_with_its_inverse() {
+        assert_eq!(
+            FaultKind::MotorFailure { motor: 3 }.restore_kind(),
+            Some(FaultKind::MotorRestore { motor: 3 })
+        );
+        assert_eq!(FaultKind::GpsLoss.restore_kind(), Some(FaultKind::GpsRestore));
+        assert_eq!(
+            FaultKind::VisionDegraded { health: 0.1 }.restore_kind(),
+            Some(FaultKind::VisionRestore)
+        );
+        assert_eq!(FaultKind::GpsRestore.restore_kind(), None);
+        assert_eq!(FaultKind::BatteryOverTemp { soc_drop: 0.1 }.restore_kind(), None);
     }
 
     #[test]

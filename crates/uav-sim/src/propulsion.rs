@@ -55,6 +55,17 @@ impl SimPropulsion {
         self.motors_ok[index] = false;
     }
 
+    /// Restores motor `index` after a field repair or transient fault
+    /// clearing (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn restore_motor(&mut self, index: usize) {
+        assert!(index < self.motors_ok.len(), "motor index out of range");
+        self.motors_ok[index] = true;
+    }
+
     /// Whether the airframe remains controllable given it tolerates
     /// `tolerated` motor losses.
     pub fn is_controllable(&self, tolerated: usize) -> bool {
@@ -102,6 +113,18 @@ mod tests {
         p.fail_motor(1);
         assert!(!p.is_controllable(1));
         assert!(p.is_controllable(2));
+    }
+
+    #[test]
+    fn restore_reverses_failure_idempotently() {
+        let mut p = SimPropulsion::new(4);
+        p.fail_motor(2);
+        assert!(!p.is_controllable(0));
+        p.restore_motor(2);
+        assert!(p.is_controllable(0));
+        assert_eq!(p.thrust_factor(), 1.0);
+        p.restore_motor(2); // restoring a healthy motor is a no-op
+        assert_eq!(p.failed_count(), 0);
     }
 
     #[test]

@@ -299,6 +299,16 @@ impl Simulator {
                     u.gps.restore();
                     "gps_restore".to_string()
                 }
+                FaultKind::MotorRestore { motor } => {
+                    if *motor < u.propulsion.motor_count() {
+                        u.propulsion.restore_motor(*motor);
+                    }
+                    format!("motor_restore_{motor}")
+                }
+                FaultKind::VisionRestore => {
+                    u.camera.restore();
+                    "vision_restore".to_string()
+                }
             };
             self.events
                 .push(now, SystemEvent::FaultInjected { uav, fault: label });
@@ -463,6 +473,72 @@ mod tests {
         sim.run_until(SimTime::from_secs(20));
         assert!(!sim.is_crashed(h));
         assert_eq!(sim.telemetry(h).failed_motors(), 1);
+    }
+
+    #[test]
+    fn motor_restore_recovers_thrust_before_crash() {
+        // A hexa tolerating one loss: fail a motor, restore it, fail a
+        // second — at no point do two failures overlap, so it never
+        // crashes and ends with one failed motor.
+        let world = World::rectangle(GeoPoint::new(35.0, 33.0, 0.0), 400.0, 300.0, 0);
+        let mut sim = Simulator::new(world, 1);
+        let h = sim.add_uav(UavConfig {
+            motor_count: 6,
+            tolerated_motor_failures: 1,
+            ..UavConfig::default()
+        });
+        sim.command_takeoff(h, 30.0);
+        sim.run_until(SimTime::from_secs(15));
+        sim.faults_mut()
+            .add(SimTime::from_secs(16), h.id(), FaultKind::MotorFailure { motor: 0 });
+        sim.faults_mut()
+            .add(SimTime::from_secs(18), h.id(), FaultKind::MotorRestore { motor: 0 });
+        sim.faults_mut()
+            .add(SimTime::from_secs(20), h.id(), FaultKind::MotorFailure { motor: 3 });
+        sim.run_until(SimTime::from_secs(25));
+        assert!(!sim.is_crashed(h));
+        assert_eq!(sim.telemetry(h).failed_motors(), 1);
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(&e.event, SystemEvent::FaultInjected { fault, .. } if fault == "motor_restore_0")));
+    }
+
+    #[test]
+    fn vision_restore_recovers_camera_health() {
+        let (mut sim, h) = sim_with_one();
+        sim.command_takeoff(h, 30.0);
+        sim.faults_mut()
+            .add(SimTime::from_secs(5), h.id(), FaultKind::VisionDegraded { health: 0.2 });
+        sim.run_until(SimTime::from_secs(6));
+        assert!((sim.telemetry(h).vision_health - 0.2).abs() < 1e-9);
+        sim.faults_mut().add(SimTime::from_secs(7), h.id(), FaultKind::VisionRestore);
+        // Restore-after-restore is idempotent at the component level.
+        sim.faults_mut().add(SimTime::from_secs(8), h.id(), FaultKind::VisionRestore);
+        sim.run_until(SimTime::from_secs(9));
+        assert_eq!(sim.telemetry(h).vision_health, 1.0);
+    }
+
+    #[test]
+    fn flapping_gps_toggles_fix_availability() {
+        let (mut sim, h) = sim_with_one();
+        sim.command_takeoff(h, 30.0);
+        sim.faults_mut().add_flapping(
+            SimTime::from_secs(10),
+            h.id(),
+            FaultKind::GpsLoss,
+            SimDuration::from_secs(2),
+            SimDuration::from_secs(3),
+            2,
+        );
+        sim.run_until(SimTime::from_secs(11));
+        assert!(!sim.telemetry(h).gps.has_fix, "first outage window");
+        sim.run_until(SimTime::from_secs(14));
+        assert!(sim.telemetry(h).gps.has_fix, "restored between flaps");
+        sim.run_until(SimTime::from_secs(16));
+        assert!(!sim.telemetry(h).gps.has_fix, "second outage window");
+        sim.run_until(SimTime::from_secs(20));
+        assert!(sim.telemetry(h).gps.has_fix, "restored after the last flap");
     }
 
     #[test]

@@ -16,4 +16,7 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "OK: build, tests and clippy all green"
+echo "==> chaos smoke: 10 seeded random-fault scenario runs must stay panic-free"
+cargo run -q --release -p sesame-bench --bin chaos -- 10 smoke
+
+echo "OK: build, tests, clippy and chaos smoke all green"

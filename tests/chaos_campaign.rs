@@ -1,0 +1,81 @@
+//! Tier-1 chaos gate: seeded random fault campaigns over full scenario
+//! runs must never panic, always produce an outcome, react to link loss
+//! through the supervision layer, and replay identically per seed.
+//!
+//! The full 50-seed campaign lives in the release bench binary
+//! (`cargo run -p sesame-bench --release --bin chaos`); this test keeps
+//! a smaller deterministic slice in the default suite.
+
+use sesame::core::chaos::{CampaignConfig, ChaosCampaign};
+use sesame::core::scenario::ScenarioBuilder;
+use sesame::core::supervision::HealthState;
+use sesame::middleware::chaos::CommFaultKind;
+use sesame::types::ids::UavId;
+use sesame::types::time::{SimDuration, SimTime};
+
+#[test]
+fn seeded_campaign_is_panic_free_with_outcomes() {
+    let report = ChaosCampaign::new(CampaignConfig {
+        runs: 5,
+        base_seed: 100,
+        deadline: SimTime::from_secs(120),
+        ..CampaignConfig::default()
+    })
+    .run();
+    assert_eq!(report.runs.len(), 5, "every seed yields a report");
+    assert!(report.all_clean(), "violations:\n{}", report.render());
+    for run in &report.runs {
+        assert_eq!(run.fault_labels.len(), 4, "four faults per schedule");
+    }
+}
+
+#[test]
+fn campaign_seed_replays_identically() {
+    let report = ChaosCampaign::new(CampaignConfig {
+        runs: 1,
+        base_seed: 7,
+        deadline: SimTime::from_secs(120),
+        replay_check: true,
+        ..CampaignConfig::default()
+    })
+    .run();
+    assert!(report.all_clean(), "replay-checked run failed:\n{}", report.render());
+}
+
+#[test]
+fn baseline_platform_survives_chaos_too() {
+    // With SESAME off there is no IDS and no signing, but the platform
+    // must still not panic and must still produce an outcome.
+    let report = ChaosCampaign::new(CampaignConfig {
+        runs: 2,
+        base_seed: 300,
+        deadline: SimTime::from_secs(120),
+        sesame: false,
+        ..CampaignConfig::default()
+    })
+    .run();
+    assert!(report.all_clean(), "violations:\n{}", report.render());
+}
+
+#[test]
+fn scenario_blackout_reaches_safe_fallback_and_completes_collection() {
+    let outcome = ScenarioBuilder::new(13)
+        .comm_fault(
+            SimTime::from_secs(30),
+            SimDuration::from_secs(12),
+            CommFaultKind::LinkBlackout { uav: UavId::new(2) },
+        )
+        .deadline(SimTime::from_secs(90))
+        .build()
+        .run();
+    let m = &outcome.obs_metrics;
+    assert!(m.counter("chaos.comm_faults_activated") >= 1);
+    assert!(
+        m.counter("supervision.to_safe_fallback") >= 1,
+        "a 12 s blackout must outlast the 6 s fallback window"
+    );
+    assert!(m.counter("supervision.heartbeats_sent") > 0);
+    assert!(m.counter("platform.ticks") > 0);
+    // The gauge encoding is stable API for dashboards.
+    assert_eq!(HealthState::SafeFallback.as_gauge(), 2.0);
+}
