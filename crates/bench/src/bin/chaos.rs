@@ -6,20 +6,32 @@
 //! cargo run -p sesame-bench --release --bin chaos -- 10            # 10 seeds
 //! cargo run -p sesame-bench --release --bin chaos -- 10 smoke     # short runs
 //! cargo run -p sesame-bench --release --bin chaos -- 50 replay    # + replay check
+//! cargo run -p sesame-bench --release --bin chaos -- 50 --jobs 8  # parallel sweep
 //! ```
+//!
+//! `--jobs N` (or `SESAME_JOBS=N`) spreads the seeds over a worker
+//! pool; the default is the machine's available parallelism. The
+//! report — per-seed rows and merged deterministic metrics — goes to
+//! stdout and is byte-identical at any worker count (configuration
+//! chatter goes to stderr so `chaos ... > report.txt` output can be
+//! diffed across `--jobs` values directly; `scripts/check.sh` gates on
+//! exactly that diff).
 //!
 //! Exit status is non-zero when any invariant was violated, so CI can
 //! gate on it directly.
 
+use sesame_bench::parallel;
 use sesame_core::chaos::{CampaignConfig, ChaosCampaign};
 use sesame_types::time::SimTime;
 
 fn main() {
-    let runs: u64 = std::env::args()
-        .nth(1)
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parallel::effective_jobs(parallel::take_jobs_arg(&mut args));
+    let runs: u64 = args
+        .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(50);
-    let mode = std::env::args().nth(2).unwrap_or_default();
+    let mode = args.get(1).cloned().unwrap_or_default();
     let config = CampaignConfig {
         runs,
         base_seed: 1,
@@ -31,14 +43,16 @@ fn main() {
         replay_check: mode == "replay",
         ..CampaignConfig::default()
     };
-    println!(
-        "chaos campaign: {} seeds, {} s deadline, replay check {}",
+    eprintln!(
+        "chaos campaign: {} seeds, {} s deadline, replay check {}, {} worker{}",
         config.runs,
         config.deadline.as_millis() / 1000,
-        if config.replay_check { "on" } else { "off" }
+        if config.replay_check { "on" } else { "off" },
+        jobs,
+        if jobs == 1 { "" } else { "s" }
     );
-    let report = ChaosCampaign::new(config).run();
-    print!("{}", report.render());
+    let report = parallel::run_campaign(&ChaosCampaign::new(config), jobs);
+    print!("{}", report.render_full());
     if !report.all_clean() {
         eprintln!("chaos campaign FAILED: {} violations", report.total_violations());
         std::process::exit(1);

@@ -9,34 +9,42 @@
 //! cargo run -p sesame-bench --release --bin experiments -- conserts
 //! ```
 //!
+//! `--jobs N` (or `SESAME_JOBS=N`) runs the independent legs of the
+//! multi-run experiments (the three Fig. 6 runs, the per-seed
+//! robustness pairs) on a worker pool; reduction is in a fixed order,
+//! so the printed tables are byte-identical at any worker count.
+//!
 //! Output is the paper's rows/series plus our measured values, ready to be
 //! pasted into EXPERIMENTS.md.
 
-use sesame_bench::{format_series, sparkline};
+use sesame_bench::{fig6_summary_table, format_series, parallel, sparkline};
 use sesame_conserts::catalog::{self, UavEvidence};
 use sesame_core::experiments;
 
 const SEED: u64 = 42;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parallel::effective_jobs(parallel::take_jobs_arg(&mut args));
+    let arg = args.first().cloned().unwrap_or_else(|| "all".into());
     match arg.as_str() {
         "fig5" => fig5(),
         "sar-acc" => sar_acc(),
-        "fig6" => fig6(),
+        "fig6" => fig6(jobs),
         "fig7" => fig7(),
         "conserts" => conserts(),
-        "robustness" => robustness(),
+        "robustness" => robustness(jobs),
         "all" => {
             fig5();
             sar_acc();
-            fig6();
+            fig6(jobs);
             fig7();
             conserts();
         }
         other => {
             eprintln!(
-                "unknown experiment `{other}`; use fig5|sar-acc|fig6|fig7|conserts|robustness|all"
+                "unknown experiment `{other}`; use fig5|sar-acc|fig6|fig7|conserts|robustness|all \
+                 (optionally with --jobs N)"
             );
             std::process::exit(2);
         }
@@ -109,9 +117,9 @@ fn sar_acc() {
     println!("  {}", sparkline(&r.uncertainty_series, 72));
 }
 
-fn fig6() {
+fn fig6(jobs: usize) {
     header("Fig. 6 / §V-C — Area-mapping trajectory under ROS/GPS spoofing");
-    let r = experiments::fig6(SEED);
+    let r = parallel::fig6(SEED, jobs);
     println!("paper:    spoofed trajectory (red) deviates from the correct one (blue);");
     println!("          with SESAME the Security EDDI detects the attack immediately");
     println!(
@@ -128,8 +136,7 @@ fn fig6() {
     println!("deviation(t) between clean and attacked runs:");
     println!("  {}", sparkline(&r.deviation_series, 72));
     println!("  {}", format_series(&r.deviation_series, 60));
-    println!("observability (protected run):");
-    print!("{}", r.protected_metrics.render_table());
+    print!("{}", fig6_summary_table(&r));
 }
 
 fn fig7() {
@@ -157,10 +164,10 @@ fn fig7() {
     );
 }
 
-fn robustness() {
+fn robustness(jobs: usize) {
     header("Robustness — Fig. 5 shape across seeds");
     let seeds = [7u64, 42, 1234];
-    let r = experiments::fig5_robustness(&seeds);
+    let r = parallel::fig5_robustness(&seeds, jobs);
     println!("{:<8} {:>14} {:>18}", "seed", "improvement", "availability gain");
     for i in 0..r.seeds.len() {
         println!(

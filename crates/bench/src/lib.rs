@@ -1,9 +1,47 @@
 //! Shared helpers for the experiment harness and the Criterion benches.
 //!
 //! The real content of this crate lives in `src/bin/experiments.rs` (the
-//! binary that regenerates every §V figure/row of the paper) and in
-//! `benches/` (one Criterion bench per figure plus the ablations listed
-//! in DESIGN.md).
+//! binary that regenerates every §V figure/row of the paper), in
+//! [`parallel`] (the work-stealing deterministic seed-sweep executor
+//! both binaries use for `--jobs N`), and in `benches/` (one Criterion
+//! bench per figure plus the ablations listed in DESIGN.md).
+
+pub mod parallel;
+
+use sesame_core::experiments::Fig6Result;
+
+/// Renders the Fig. 6 experiment summary as a fixed-format table built
+/// only from simulation-state values (wall-clock phase timings are
+/// stripped from the observability section). Two runs of the same seed
+/// — serial or parallel, today or in CI — must render the same bytes;
+/// the golden-snapshot test pins this string.
+pub fn fig6_summary_table(r: &Fig6Result) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "fig6 summary (seeded, deterministic)");
+    let _ = writeln!(out, "  attack start              {:>10.0} s", r.attack_start_secs);
+    let _ = writeln!(out, "  max deviation (no SESAME) {:>10.1} m", r.max_deviation_m);
+    let _ = writeln!(
+        out,
+        "  detection latency         {:>10}",
+        r.detection_latency_secs
+            .map(|s| format!("{s:.1} s"))
+            .unwrap_or_else(|| "none".into())
+    );
+    let _ = writeln!(
+        out,
+        "  deviation at detection    {:>10.1} m",
+        r.deviation_at_detection_m
+    );
+    let _ = writeln!(
+        out,
+        "  deviation samples         {:>10}",
+        r.deviation_series.len()
+    );
+    let _ = writeln!(out, "observability (protected run, deterministic projection):");
+    out.push_str(&r.protected_metrics.without_wall_clock().render_table());
+    out
+}
 
 /// Formats a float series as compact `t:v` pairs for terminal plots.
 pub fn format_series(series: &[(f64, f64)], every: usize) -> String {

@@ -1,0 +1,248 @@
+//! `sesame-bench::parallel` — the work-stealing, std-only parallel
+//! scenario executor.
+//!
+//! The paper's §V tables and the chaos campaigns are seeded Monte Carlo
+//! sweeps: many full scenario runs that share no state and differ only
+//! in their seed. Running them serially caps how many seeds tier-1
+//! verification can afford; running them naively in parallel risks the
+//! one property the whole reproduction stands on — bit-identical
+//! determinism. This module does both at once:
+//!
+//! * **Parallel**: a fixed pool of `std::thread::scope` workers pulls
+//!   work items from a shared atomic cursor (work stealing with a
+//!   one-item grain — an idle worker always takes the next undone
+//!   item, so a slow seed never stalls the queue behind it).
+//! * **Deterministic**: each item's result is written into its own
+//!   pre-allocated slot, and reduction happens *after* the scope joins,
+//!   in item order — never completion order. Seed-keyed reductions
+//!   ([`run_seeds`]) land in a [`BTreeMap`], so aggregate output is
+//!   byte-identical to the serial path at any worker count.
+//!
+//! Isolation is the caller's contract: the closure must derive every
+//! RNG stream from the item it is handed (the campaign and experiment
+//! runners derive all randomness from the seed) and must not touch
+//! shared mutable state. The `Fn(..) + Sync` bound enforces the sharing
+//! half of that contract at compile time; the `Send + Sync` audits in
+//! `sesame-core`/`sesame-middleware`/`sesame-uav-sim` enforce it for
+//! the scenario state the closure constructs per run.
+//!
+//! ```
+//! use sesame_bench::parallel;
+//!
+//! let squares = parallel::run_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use sesame_core::chaos::{CampaignReport, ChaosCampaign};
+use sesame_core::experiments::{
+    self, fig6_reduce, fig6_scenario, Fig6Result, RobustnessResult, FIG6_LEGS,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many workers a sweep should use, resolved from (in priority
+/// order) an explicit `--jobs N` CLI value, the `SESAME_JOBS`
+/// environment variable, and finally the machine's available
+/// parallelism. Always at least 1.
+pub fn effective_jobs(cli: Option<usize>) -> usize {
+    cli.or_else(jobs_from_env)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Parses `SESAME_JOBS` (ignored when unset, empty or unparsable).
+pub fn jobs_from_env() -> Option<usize> {
+    std::env::var("SESAME_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Strips a `--jobs N` / `--jobs=N` / `-j N` flag out of `args` and
+/// returns its value. Leaves every other argument in place, so
+/// positional parsing can proceed on the remainder.
+pub fn take_jobs_arg(args: &mut Vec<String>) -> Option<usize> {
+    let mut jobs = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if arg == "--jobs" || arg == "-j" {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                jobs = Some(v);
+                args.drain(i..=i + 1);
+                continue;
+            }
+            args.remove(i);
+            continue;
+        }
+        if let Some(v) = arg.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+            jobs = Some(v);
+            args.remove(i);
+            continue;
+        }
+        i += 1;
+    }
+    jobs.filter(|&n| n > 0)
+}
+
+/// Runs `f(0..count)` on a pool of `jobs` workers and returns the
+/// results in *index order*, regardless of which worker finished which
+/// item when.
+///
+/// With `jobs <= 1` (or a single item) no threads are spawned and the
+/// items run inline in index order — the serial reference path. The
+/// parallel path produces the exact same `Vec` because every item's
+/// result is placed by index, not by arrival.
+///
+/// A panic inside `f` propagates out of the scope after the remaining
+/// workers drain (the campaign runners `catch_unwind` internally, so a
+/// chaotic seed reports a violation instead of panicking the sweep).
+pub fn run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(f).collect();
+    }
+    // One slot per item. A Mutex<Option<T>> per slot keeps this std-only
+    // and safe; it is uncontended (each slot is locked exactly once) so
+    // the cost is a few atomic ops per *item*, noise against a full
+    // scenario run.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let result = f(idx);
+                *slots[idx].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("scope joined, so every claimed slot was filled")
+        })
+        .collect()
+}
+
+/// Sweeps `f` over `seeds` on `jobs` workers and reduces into a
+/// seed-keyed [`BTreeMap`] — iteration order is seed order, so any
+/// fold over the map is independent of worker count and scheduling.
+pub fn run_seeds<T, F>(jobs: usize, seeds: &[u64], f: F) -> BTreeMap<u64, T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    let results = run_indexed(jobs, seeds.len(), |i| f(seeds[i]));
+    seeds.iter().copied().zip(results).collect()
+}
+
+/// Sweeps a chaos campaign's seeds across `jobs` workers. The campaign
+/// is shared immutably (`ChaosCampaign: Sync`); every worker stamps its
+/// runs out of the campaign's prebuilt scenario template and derives
+/// all randomness from the seed it pulled, so the assembled report —
+/// per-seed rows *and* merged aggregates — is byte-identical to
+/// [`ChaosCampaign::run`] at any worker count.
+pub fn run_campaign(campaign: &ChaosCampaign, jobs: usize) -> CampaignReport {
+    let seeds = campaign.seeds();
+    CampaignReport::from_runs(run_seeds(jobs, &seeds, |s| campaign.run_seed(s)).into_values())
+}
+
+/// Runs the three independent legs of the Fig. 6 experiment (clean,
+/// attacked, protected) on up to three workers and reduces exactly as
+/// the serial [`experiments::fig6`] does.
+pub fn fig6(seed: u64, jobs: usize) -> Fig6Result {
+    let outcomes = run_indexed(jobs, FIG6_LEGS.len(), |i| {
+        let (sesame, attack) = FIG6_LEGS[i];
+        fig6_scenario(seed, sesame, attack).build().run()
+    });
+    fig6_reduce(&outcomes[0], &outcomes[1], &outcomes[2])
+}
+
+/// Runs the Fig. 5 robustness sweep (one SESAME/baseline run pair per
+/// seed) across `jobs` workers; reduction is in seed order.
+pub fn fig5_robustness(seeds: &[u64], jobs: usize) -> RobustnessResult {
+    let results = run_indexed(jobs, seeds.len(), |i| experiments::fig5(seeds[i]));
+    RobustnessResult::from_runs(seeds, &results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_index_order_at_any_worker_count() {
+        let serial = run_indexed(1, 100, |i| i * 3);
+        for jobs in [2, 4, 8, 16] {
+            assert_eq!(run_indexed(jobs, 100, |i| i * 3), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_item_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let out = run_indexed(8, 257, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert_eq!(out.len(), 257);
+        assert!(out.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        assert_eq!(run_indexed(64, 3, |i| i), vec![0, 1, 2]);
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(0, 2, |i| i), vec![0, 1], "jobs=0 clamps to 1");
+    }
+
+    #[test]
+    fn seeds_reduce_into_seed_order() {
+        let seeds = [9u64, 3, 7, 1];
+        let map = run_seeds(4, &seeds, |s| s * 10);
+        let keys: Vec<u64> = map.keys().copied().collect();
+        assert_eq!(keys, vec![1, 3, 7, 9]);
+        assert_eq!(map[&7], 70);
+    }
+
+    #[test]
+    fn jobs_arg_parsing_strips_flag_variants() {
+        let mut args = vec!["50".to_string(), "--jobs".into(), "4".into(), "smoke".into()];
+        assert_eq!(take_jobs_arg(&mut args), Some(4));
+        assert_eq!(args, vec!["50".to_string(), "smoke".into()]);
+
+        let mut args = vec!["--jobs=8".to_string()];
+        assert_eq!(take_jobs_arg(&mut args), Some(8));
+        assert!(args.is_empty());
+
+        let mut args = vec!["-j".to_string(), "2".into(), "10".into()];
+        assert_eq!(take_jobs_arg(&mut args), Some(2));
+        assert_eq!(args, vec!["10".to_string()]);
+
+        let mut args = vec!["10".to_string()];
+        assert_eq!(take_jobs_arg(&mut args), None);
+        assert_eq!(args, vec!["10".to_string()]);
+    }
+
+    #[test]
+    fn effective_jobs_prefers_cli() {
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert!(effective_jobs(None) >= 1);
+    }
+}

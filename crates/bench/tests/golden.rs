@@ -1,0 +1,72 @@
+//! Golden-snapshot tests: the fig6 experiment summary table and the
+//! chaos campaign report are serialized to strings and compared against
+//! committed fixtures byte-for-byte.
+//!
+//! Both strings are built exclusively from simulation-state values
+//! (wall-clock phase timings are stripped by the deterministic
+//! projection), so any byte of drift means real behaviour drifted —
+//! a changed default, a reordered reduction, a renamed metric. When the
+//! change is intentional, regenerate and commit the fixtures:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sesame-bench --test golden
+//! ```
+//!
+//! Both snapshots are produced through the *parallel* executor, so the
+//! fixtures also pin that the parallel path renders the same bytes on
+//! every machine, at any worker count.
+
+use sesame_bench::{fig6_summary_table, parallel};
+use sesame_core::chaos::{CampaignConfig, ChaosCampaign};
+use sesame_types::time::SimTime;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test -p sesame-bench --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from {}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p sesame-bench --test golden and commit",
+        path.display()
+    );
+}
+
+#[test]
+fn chaos_campaign_report_matches_golden() {
+    let campaign = ChaosCampaign::new(CampaignConfig {
+        runs: 3,
+        base_seed: 1,
+        deadline: SimTime::from_secs(60),
+        ..CampaignConfig::default()
+    });
+    let report = parallel::run_campaign(&campaign, 2);
+    check_golden("chaos_report.txt", &report.render_full());
+}
+
+#[test]
+fn fig6_summary_table_matches_golden() {
+    // The experiments binary's seed; three legs on up to three workers.
+    let result = parallel::fig6(42, 3);
+    check_golden("fig6_summary.txt", &fig6_summary_table(&result));
+}

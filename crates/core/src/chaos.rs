@@ -30,15 +30,17 @@
 //! assert!(report.all_clean(), "{}", report.render());
 //! ```
 
-use crate::scenario::{ScenarioBuilder, ScenarioOutcome};
+use crate::scenario::{ScenarioBuilder, ScenarioOutcome, ScenarioTemplate};
 use crate::supervision::SupervisionConfig;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sesame_middleware::chaos::{CommFaultKind, LinkDirection};
+use sesame_obs::MetricsSnapshot;
 use sesame_types::geo::Vec3;
 use sesame_types::ids::UavId;
 use sesame_types::time::{SimDuration, SimTime};
 use sesame_uav_sim::faults::FaultKind;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Campaign parameters.
@@ -88,6 +90,11 @@ pub struct RunReport {
     pub command_retries: u64,
     /// Invariant violations (empty = clean run).
     pub violations: Vec<String>,
+    /// The run's deterministic observability projection (wall-clock
+    /// phase timings stripped), kept so campaign aggregates can be
+    /// reduced bit-identically at any worker count. Empty when the run
+    /// panicked.
+    pub obs: MetricsSnapshot,
 }
 
 impl RunReport {
@@ -105,6 +112,33 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
+    /// Assembles a report from per-seed runs produced in *any* order
+    /// (e.g. by a parallel executor's workers racing to completion).
+    /// Runs are keyed by seed into a [`BTreeMap`] and emitted in
+    /// ascending seed order, so the assembled report — and everything
+    /// derived from it, including [`CampaignReport::merged_obs`] — is
+    /// byte-identical to the serial path regardless of completion order.
+    pub fn from_runs(runs: impl IntoIterator<Item = RunReport>) -> Self {
+        let by_seed: BTreeMap<u64, RunReport> =
+            runs.into_iter().map(|r| (r.seed, r)).collect();
+        CampaignReport {
+            runs: by_seed.into_values().collect(),
+        }
+    }
+
+    /// The campaign-wide observability aggregate: every run's
+    /// deterministic snapshot folded in seed order (saturating counters,
+    /// exact histogram-summary merge, last-write-by-seed gauges — see
+    /// `sesame-obs`). Because the fold order is the seed order, not the
+    /// completion order, the aggregate is identical at any `--jobs`.
+    pub fn merged_obs(&self) -> MetricsSnapshot {
+        let mut merged = MetricsSnapshot::default();
+        for run in &self.runs {
+            merged.merge(&run.obs);
+        }
+        merged
+    }
+
     /// Whether every run of the campaign was violation-free.
     pub fn all_clean(&self) -> bool {
         self.runs.iter().all(RunReport::is_clean)
@@ -139,6 +173,20 @@ impl CampaignReport {
             self.runs.len(),
             self.total_violations()
         ));
+        out
+    }
+
+    /// [`CampaignReport::render`] plus the merged deterministic metrics
+    /// table. Everything in this string is derived from simulation
+    /// state, so two campaigns over the same seeds must produce the
+    /// same bytes — the serial-vs-parallel gate diffs exactly this.
+    pub fn render_full(&self) -> String {
+        let mut out = self.render();
+        let merged = self.merged_obs();
+        if !merged.is_empty() {
+            out.push_str("merged deterministic metrics (seed-order reduction):\n");
+            out.push_str(&merged.render_table());
+        }
         out
     }
 }
@@ -176,9 +224,18 @@ impl Injected {
 }
 
 /// The campaign runner. See the module docs for the invariants.
+///
+/// The campaign is `Send + Sync`: its configuration and prebuilt
+/// scenario template are immutable, and [`ChaosCampaign::run_seed`]
+/// takes `&self`, so a parallel executor can share one campaign across
+/// workers and sweep disjoint seeds concurrently.
 #[derive(Debug, Clone)]
 pub struct ChaosCampaign {
     config: CampaignConfig,
+    /// Prebuilt scenario prototype shared by every seed: cloning it is
+    /// much cheaper than re-deriving the builder per run, and the
+    /// shared state is immutable so workers need no coordination.
+    template: ScenarioTemplate,
 }
 
 /// Fleet size of the scenario the campaign sweeps (the paper's three).
@@ -187,16 +244,30 @@ const FLEET: usize = 3;
 impl ChaosCampaign {
     /// A campaign with the given parameters.
     pub fn new(config: CampaignConfig) -> Self {
-        ChaosCampaign { config }
+        let template = ScenarioTemplate::new(
+            ScenarioBuilder::new(0)
+                .sesame(config.sesame)
+                .deadline(config.deadline),
+        );
+        ChaosCampaign { config, template }
     }
 
-    /// Runs every seed and collects the report.
+    /// The campaign parameters.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Every seed of the sweep, in ascending order — the work list a
+    /// parallel executor distributes.
+    pub fn seeds(&self) -> Vec<u64> {
+        (0..self.config.runs)
+            .map(|k| self.config.base_seed + k)
+            .collect()
+    }
+
+    /// Runs every seed serially and collects the report.
     pub fn run(&self) -> CampaignReport {
-        let mut report = CampaignReport::default();
-        for k in 0..self.config.runs {
-            report.runs.push(self.run_seed(self.config.base_seed + k));
-        }
-        report
+        CampaignReport::from_runs(self.seeds().into_iter().map(|s| self.run_seed(s)))
     }
 
     /// Samples a schedule from `seed`, runs it, and checks the
@@ -218,6 +289,7 @@ impl ChaosCampaign {
                 safe_fallbacks: 0,
                 command_retries: 0,
                 violations: vec!["panicked during run".into()],
+                obs: MetricsSnapshot::default(),
             };
         };
         self.check_invariants(seed, &schedule, &outcome, &mut violations);
@@ -229,13 +301,12 @@ impl ChaosCampaign {
             safe_fallbacks: outcome.obs_metrics.counter("supervision.to_safe_fallback"),
             command_retries: outcome.obs_metrics.counter("commands.retried"),
             violations,
+            obs: outcome.obs_metrics.without_wall_clock(),
         }
     }
 
     fn build_scenario(&self, seed: u64, schedule: &[Injected]) -> ScenarioBuilder {
-        let mut builder = ScenarioBuilder::new(seed)
-            .sesame(self.config.sesame)
-            .deadline(self.config.deadline);
+        let mut builder = self.template.instantiate(seed);
         for inj in schedule {
             builder = match inj.clone() {
                 Injected::Vehicle { at, uav_index, kind } => builder.fault(at, uav_index, kind),
@@ -409,6 +480,10 @@ impl ChaosCampaign {
     }
 }
 
+// Campaigns are shared immutably across the parallel executor's
+// workers; run reports travel back across the same threads.
+sesame_types::assert_send_sync!(CampaignConfig, ChaosCampaign, RunReport, CampaignReport);
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,6 +500,19 @@ mod tests {
         assert_eq!(a.len(), campaign.config.faults_per_run);
     }
 
+    fn stub_run(seed: u64, violations: Vec<String>) -> RunReport {
+        RunReport {
+            seed,
+            fault_labels: Vec::new(),
+            completed_fraction: 1.0,
+            health_transitions: 0,
+            safe_fallbacks: 0,
+            command_retries: 0,
+            violations,
+            obs: MetricsSnapshot::default(),
+        }
+    }
+
     #[test]
     fn report_renders_and_aggregates() {
         let report = CampaignReport {
@@ -437,6 +525,7 @@ mod tests {
                     safe_fallbacks: 1,
                     command_retries: 0,
                     violations: Vec::new(),
+                    obs: MetricsSnapshot::default(),
                 },
                 RunReport {
                     seed: 2,
@@ -446,6 +535,7 @@ mod tests {
                     safe_fallbacks: 0,
                     command_retries: 3,
                     violations: vec!["panicked during run".into()],
+                    obs: MetricsSnapshot::default(),
                 },
             ],
         };
@@ -454,5 +544,34 @@ mod tests {
         let text = report.render();
         assert!(text.contains("2 runs, 1 violations"));
         assert!(text.contains("panicked"));
+    }
+
+    #[test]
+    fn from_runs_orders_by_seed_regardless_of_arrival() {
+        let shuffled = vec![stub_run(9, Vec::new()), stub_run(3, Vec::new()), stub_run(7, Vec::new())];
+        let report = CampaignReport::from_runs(shuffled);
+        let seeds: Vec<u64> = report.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds, vec![3, 7, 9]);
+        let reversed = CampaignReport::from_runs(vec![
+            stub_run(7, Vec::new()),
+            stub_run(9, Vec::new()),
+            stub_run(3, Vec::new()),
+        ]);
+        assert_eq!(report.render_full(), reversed.render_full());
+    }
+
+    #[test]
+    fn merged_obs_folds_in_seed_order() {
+        let mut early = stub_run(1, Vec::new());
+        early.obs.counters.insert("x".into(), 2);
+        early.obs.gauges.insert("g".into(), 1.0);
+        let mut late = stub_run(2, Vec::new());
+        late.obs.counters.insert("x".into(), 3);
+        late.obs.gauges.insert("g".into(), 9.0);
+        // Arrival order must not matter: the fold is by seed.
+        let report = CampaignReport::from_runs(vec![late, early]);
+        let merged = report.merged_obs();
+        assert_eq!(merged.counter("x"), 5);
+        assert_eq!(merged.gauge("g"), Some(9.0), "last write by seed order");
     }
 }

@@ -196,7 +196,22 @@ pub struct Fig6Result {
     pub protected_metrics: MetricsSnapshot,
 }
 
-fn fig6_builder(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
+/// When the Fig. 6 spoofing attack starts, seconds.
+pub const FIG6_ATTACK_START_SECS: f64 = 120.0;
+
+/// The three independent runs the Fig. 6 experiment compares, in the
+/// order [`fig6_reduce`] consumes them. Each leg is a full scenario run
+/// with no data dependency on the others, so a parallel executor can
+/// run all three concurrently and reduce afterwards.
+pub const FIG6_LEGS: [(bool, bool); 3] = [
+    (false, false), // clean:     no SESAME, no attack
+    (false, true),  // attacked:  no SESAME, spoofing on
+    (true, true),   // protected: SESAME on, spoofing on
+];
+
+/// Builds one leg of the Fig. 6 experiment (`sesame` stack on/off,
+/// spoofing `attack` armed or not).
+pub fn fig6_scenario(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
     let mut b = ScenarioBuilder::new(seed)
         .sesame(sesame)
         .deadline(SimTime::from_secs(700));
@@ -205,7 +220,7 @@ fn fig6_builder(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
     b.config_mut().person_count = 5;
     if attack {
         b = b.spoof_attack(SpoofAttack {
-            start: SimTime::from_secs(120),
+            start: SimTime::from_secs(FIG6_ATTACK_START_SECS as u64),
             uav_index: 0,
             gps_drift: Vec3::new(0.0, 4.0, 0.0),
             forge_waypoints: true,
@@ -214,13 +229,23 @@ fn fig6_builder(seed: u64, sesame: bool, attack: bool) -> ScenarioBuilder {
     b
 }
 
-/// Runs the Fig. 6 experiment: clean vs attacked mapping runs.
+/// Runs the Fig. 6 experiment serially: clean vs attacked mapping runs.
 pub fn fig6(seed: u64) -> Fig6Result {
-    let attack_start = 120.0;
-    let clean = fig6_builder(seed, false, false).build().run();
-    let attacked = fig6_builder(seed, false, true).build().run();
-    let protected = fig6_builder(seed, true, true).build().run();
+    let [clean, attacked, protected] =
+        FIG6_LEGS.map(|(sesame, attack)| fig6_scenario(seed, sesame, attack).build().run());
+    fig6_reduce(&clean, &attacked, &protected)
+}
 
+/// The pure reduction step of Fig. 6: folds the three leg outcomes into
+/// the result. Outcomes are passed positionally ([`FIG6_LEGS`] order),
+/// so the reduction is identical whether the legs ran serially or on
+/// three workers.
+pub fn fig6_reduce(
+    clean: &ScenarioOutcome,
+    attacked: &ScenarioOutcome,
+    protected: &ScenarioOutcome,
+) -> Fig6Result {
+    let attack_start = FIG6_ATTACK_START_SECS;
     // Deviation between the two unprotected runs, matched per second.
     let mut deviation_series = Vec::new();
     for (t, p_clean) in &clean.trajectories[0] {
@@ -261,7 +286,7 @@ pub fn fig6(seed: u64) -> Fig6Result {
         attack_start_secs: attack_start,
         clean_trajectory: clean.trajectories[0].clone(),
         attacked_trajectory: attacked.trajectories[0].clone(),
-        protected_metrics: protected.obs_metrics,
+        protected_metrics: protected.obs_metrics.clone(),
     }
 }
 
@@ -286,7 +311,7 @@ pub struct Fig7Result {
 /// Runs the Fig. 7 experiment (the SESAME leg of the Fig. 6 scenario,
 /// inspected for the collaborative landing).
 pub fn fig7(seed: u64) -> Fig7Result {
-    let protected = fig6_builder(seed, true, true).build().run();
+    let protected = fig6_scenario(seed, true, true).build().run();
     let cl_error_series: Vec<Sample<f64>> = protected
         .events
         .iter()
@@ -326,29 +351,51 @@ pub struct RobustnessResult {
     pub shape_holds_count: usize,
 }
 
+impl RobustnessResult {
+    /// The pure reduction step: folds per-seed Fig. 5 results — produced
+    /// serially or by parallel workers — into the summary. `results`
+    /// must be in the same order as `seeds`; handing results over in
+    /// seed order (not completion order) is what keeps the summary
+    /// identical at any worker count.
+    pub fn from_runs(seeds: &[u64], results: &[Fig5Result]) -> RobustnessResult {
+        assert_eq!(seeds.len(), results.len(), "one Fig5Result per seed");
+        let mut improvements = Vec::new();
+        let mut availability_gains = Vec::new();
+        let mut shape_holds_count = 0;
+        for r in results {
+            let improvement = r.completion_time_improvement.unwrap_or(f64::NAN);
+            improvements.push(improvement);
+            availability_gains.push(r.availability_gain);
+            if improvement > 0.0 && r.availability_gain > 0.0 {
+                shape_holds_count += 1;
+            }
+        }
+        RobustnessResult {
+            seeds: seeds.to_vec(),
+            improvements,
+            availability_gains,
+            shape_holds_count,
+        }
+    }
+}
+
 /// Repeats the Fig. 5 experiment across seeds to check the headline shape
 /// is not a single-seed artefact. Expensive: one full pair of scenario
 /// runs per seed.
 pub fn fig5_robustness(seeds: &[u64]) -> RobustnessResult {
-    let mut improvements = Vec::new();
-    let mut availability_gains = Vec::new();
-    let mut shape_holds_count = 0;
-    for &seed in seeds {
-        let r = fig5(seed);
-        let improvement = r.completion_time_improvement.unwrap_or(f64::NAN);
-        improvements.push(improvement);
-        availability_gains.push(r.availability_gain);
-        if improvement > 0.0 && r.availability_gain > 0.0 {
-            shape_holds_count += 1;
-        }
-    }
-    RobustnessResult {
-        seeds: seeds.to_vec(),
-        improvements,
-        availability_gains,
-        shape_holds_count,
-    }
+    let results: Vec<Fig5Result> = seeds.iter().map(|&s| fig5(s)).collect();
+    RobustnessResult::from_runs(seeds, &results)
 }
+
+// Experiment results are assembled on worker threads and handed back to
+// the reducing thread.
+sesame_types::assert_send_sync!(
+    Fig5Result,
+    SarAccuracyResult,
+    Fig6Result,
+    Fig7Result,
+    RobustnessResult,
+);
 
 #[cfg(test)]
 mod tests {

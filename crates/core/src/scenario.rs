@@ -14,6 +14,7 @@ use sesame_types::geo::{GeoPoint, Vec3};
 use sesame_types::ids::UavId;
 use sesame_types::time::{SimDuration, SimTime};
 use sesame_uav_sim::faults::FaultKind;
+use std::sync::Arc;
 
 /// A scheduled fault entry.
 #[derive(Debug, Clone)]
@@ -172,6 +173,45 @@ impl ScenarioBuilder {
             deadline: self.deadline,
             last_forge_sec: 0,
         }
+    }
+}
+
+/// An immutable, shareable scenario prototype for seed sweeps.
+///
+/// Campaigns that run the same scenario shape across many seeds (chaos
+/// sweeps, robustness tables) build the prototype once, share it across
+/// worker threads behind an [`Arc`], and stamp out one cheap per-seed
+/// clone per run with [`ScenarioTemplate::instantiate`]. The prototype
+/// itself is never mutated, so any number of workers can instantiate
+/// concurrently, and a template-instantiated builder is field-for-field
+/// identical to one built from scratch with the same seed — determinism
+/// does not depend on which path constructed the run.
+#[derive(Debug, Clone)]
+pub struct ScenarioTemplate {
+    proto: Arc<ScenarioBuilder>,
+}
+
+impl ScenarioTemplate {
+    /// Freezes `prototype` as the shared template. The prototype's own
+    /// seed is irrelevant; every instantiation overrides it.
+    pub fn new(prototype: ScenarioBuilder) -> Self {
+        ScenarioTemplate {
+            proto: Arc::new(prototype),
+        }
+    }
+
+    /// Clones the prototype and re-seeds it. Every scenario RNG stream
+    /// (world, bus, detectors, fault sampling) derives from this seed,
+    /// so instantiations with distinct seeds are independent streams.
+    pub fn instantiate(&self, seed: u64) -> ScenarioBuilder {
+        let mut builder = (*self.proto).clone();
+        builder.config.seed = seed;
+        builder
+    }
+
+    /// The shared platform configuration of the prototype.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.proto.config
     }
 }
 
@@ -413,6 +453,27 @@ pub fn secs_between(from: Option<f64>, to: Option<f64>) -> Option<f64> {
     }
 }
 
+// The parallel campaign executor moves scenario descriptions and run
+// outcomes across worker threads; losing `Send + Sync` here (e.g. by
+// introducing an `Rc`) must fail at compile time, not in a sweep.
+sesame_types::assert_send_sync!(
+    PlatformConfig,
+    ScenarioBuilder,
+    ScenarioTemplate,
+    ScenarioOutcome,
+    Metrics,
+    FaultEntry,
+    CommFaultEntry,
+    SpoofAttack,
+);
+
+// A built scenario (platform, bus, fleet state) is owned by exactly one
+// worker at a time but must still be movable onto it.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Scenario>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +505,24 @@ mod tests {
         let a = ScenarioBuilder::new(1).build().run();
         let b = ScenarioBuilder::new(2).build().run();
         assert_ne!(a.trajectories[0], b.trajectories[0]);
+    }
+
+    #[test]
+    fn template_instantiation_matches_from_scratch() {
+        let template = ScenarioTemplate::new(
+            ScenarioBuilder::new(0).deadline(SimTime::from_secs(60)),
+        );
+        let a = template.instantiate(11).build().run();
+        let b = ScenarioBuilder::new(11)
+            .deadline(SimTime::from_secs(60))
+            .build()
+            .run();
+        assert_eq!(a.trajectories, b.trajectories);
+        assert_eq!(a.metrics.mission_complete_secs, b.metrics.mission_complete_secs);
+        assert_eq!(a.obs_metrics.counters, b.obs_metrics.counters);
+        // Two instantiations of different seeds are independent streams.
+        let c = template.instantiate(12).build().run();
+        assert_ne!(a.trajectories[0], c.trajectories[0]);
     }
 
     #[test]

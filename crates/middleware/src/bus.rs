@@ -102,7 +102,11 @@ impl BusStats {
 
 /// A man-in-the-middle hook: may mutate the message; returns `true` if it
 /// did (counted in [`BusStats::tampered`]).
-pub type TamperFn = Box<dyn FnMut(&mut Message) -> bool + Send>;
+// `Sync` as well as `Send` so a bus (worker-owned, but potentially
+// parked inside a shared scenario template) never blocks the
+// `Send + Sync` audit of the parallel campaign executor. Tamper hooks
+// close over plain data, so the extra bound costs callers nothing.
+pub type TamperFn = Box<dyn FnMut(&mut Message) -> bool + Send + Sync>;
 
 struct SubState {
     pattern: String,
@@ -425,6 +429,11 @@ impl MessageBus {
         self.in_flight.len()
     }
 }
+
+// Each parallel campaign worker owns a private bus, but the bus (and
+// its stats, which feed merged campaign aggregates) must be movable
+// onto the worker thread.
+sesame_types::assert_send_sync!(MessageBus, BusStats, TopicStats, BusError, Subscription);
 
 #[cfg(test)]
 mod tests {

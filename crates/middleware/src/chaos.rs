@@ -268,6 +268,10 @@ impl CommFaultPlane {
     }
 }
 
+// Comm-fault schedules are part of the scenario description a parallel
+// campaign executor clones onto worker threads.
+sesame_types::assert_send_sync!(LinkDirection, CommFaultKind, CommFault, CommFaultTransition, CommFaultPlane);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -136,6 +136,44 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one. Bucket counts are added
+    /// with saturating arithmetic, so the total observation count is
+    /// conserved (up to saturation) and the merge is commutative and
+    /// associative on every integer field. When the edge layouts differ,
+    /// `other`'s buckets are re-observed at their upper edges (overflow
+    /// at `other`'s max), which still conserves the total count.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.edges == other.edges {
+            for (slot, &c) in self.counts.iter_mut().zip(&other.counts) {
+                *slot = slot.saturating_add(c);
+            }
+        } else {
+            for (idx, &c) in other.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let value = if idx < other.edges.len() {
+                    other.edges[idx]
+                } else {
+                    other.max
+                };
+                let slot = self
+                    .edges
+                    .iter()
+                    .position(|&edge| value <= edge)
+                    .unwrap_or(self.edges.len());
+                self.counts[slot] = self.counts[slot].saturating_add(c);
+            }
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Condenses the histogram to the summary stats used in snapshots.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -147,6 +185,30 @@ impl Histogram {
             p50: self.quantile(0.50),
             p99: self.quantile(0.99),
         }
+    }
+}
+
+impl HistogramSummary {
+    /// Folds another summary into this one. Counts saturate, sums add,
+    /// extrema combine and the mean is recomputed; `p50`/`p99` keep the
+    /// larger of the two quantile edges (a deterministic upper bound —
+    /// exact quantile merging needs the full buckets, see
+    /// [`Histogram::merge`]).
+    pub fn merge(&mut self, other: &HistogramSummary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum += other.sum;
+        self.mean = self.sum / self.count as f64;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.p50 = self.p50.max(other.p50);
+        self.p99 = self.p99.max(other.p99);
     }
 }
 
@@ -242,6 +304,33 @@ impl MetricsRegistry {
             .map(|(name, &v)| (name.as_str(), v))
     }
 
+    /// Folds another registry into this one, the reduction step of a
+    /// parallel sweep. Counters add with saturating semantics,
+    /// histograms merge bucket-exactly ([`Histogram::merge`]), and
+    /// gauges are last-write-wins: `other`'s value overwrites ours, so
+    /// folding per-seed registries in ascending seed order leaves every
+    /// gauge at its highest-seed value regardless of which worker
+    /// finished first.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, &v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.entry(name.clone()) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(h.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(h);
+                }
+            }
+        }
+    }
+
     /// Condenses the registry into a cheap, comparable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -319,6 +408,60 @@ impl MetricsSnapshot {
     /// True when the snapshot holds no metric of any kind.
     pub fn is_empty(&self) -> bool {
         self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds another snapshot into this one with the same semantics as
+    /// [`MetricsRegistry::merge`]: saturating counters, last-write
+    /// gauges, [`HistogramSummary::merge`] for histograms. Deterministic
+    /// for a fixed fold order, so reducing per-seed snapshots in seed
+    /// order yields identical aggregates at any worker count.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, &v) in &other.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (name, &v) in &other.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .and_modify(|mine| mine.merge(h))
+                .or_insert_with(|| h.clone());
+        }
+    }
+
+    /// A copy with every wall-clock-derived metric removed
+    /// ([`crate::span::WALL_CLOCK_PREFIXES`]). What remains is driven
+    /// purely by simulation state and therefore bit-identical across
+    /// replays and thread counts — the projection the determinism gates
+    /// compare.
+    pub fn without_wall_clock(&self) -> MetricsSnapshot {
+        let keep = |name: &String| {
+            !crate::span::WALL_CLOCK_PREFIXES
+                .iter()
+                .any(|p| name.starts_with(p))
+        };
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, v)| (n.clone(), *v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .filter(|(n, _)| keep(n))
+                .map(|(n, h)| (n.clone(), h.clone()))
+                .collect(),
+        }
     }
 
     /// Renders the same fixed-width table as
@@ -441,6 +584,89 @@ mod tests {
         // Re-registering must not clobber recorded data.
         m.register_histogram("lat", &[9.0]);
         assert_eq!(m.histogram("lat").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn histogram_merge_conserves_buckets_and_extrema() {
+        let mut a = Histogram::new(&[1.0, 5.0, 10.0]);
+        a.observe(0.5);
+        a.observe(7.0);
+        let mut b = Histogram::new(&[1.0, 5.0, 10.0]);
+        b.observe(3.0);
+        b.observe(100.0);
+        a.merge(&b);
+        assert_eq!(a.bucket_counts(), &[1, 1, 1, 1]);
+        assert_eq!(a.count(), 4);
+        assert!((a.sum() - 110.5).abs() < 1e-9);
+        assert_eq!(a.min(), 0.5);
+        assert_eq!(a.max(), 100.0);
+        // Merging an empty histogram is a no-op.
+        a.merge(&Histogram::new(&[1.0, 5.0, 10.0]));
+        assert_eq!(a.count(), 4);
+    }
+
+    #[test]
+    fn histogram_merge_rebuckets_on_edge_mismatch() {
+        let mut a = Histogram::new(&[10.0, 100.0]);
+        a.observe(5.0);
+        let mut b = Histogram::new(&[2.0]);
+        b.observe(1.0); // lands on edge 2.0 -> a's <=10 bucket
+        b.observe(500.0); // overflow, re-observed at b's max -> a's overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket_counts(), &[2, 0, 1]);
+        assert_eq!(a.max(), 500.0);
+    }
+
+    #[test]
+    fn registry_merge_saturates_counters_and_last_writes_gauges() {
+        let mut a = MetricsRegistry::new();
+        a.add("c", 5);
+        a.set_counter("near_max", u64::MAX - 1);
+        a.set_gauge("g", 1.0);
+        a.observe("h", 2.0);
+        let mut b = MetricsRegistry::new();
+        b.add("c", 3);
+        b.add("only_b", 1);
+        b.set_counter("near_max", 10);
+        b.set_gauge("g", 7.0);
+        b.observe("h", 20.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 8);
+        assert_eq!(a.counter("only_b"), 1);
+        assert_eq!(a.counter("near_max"), u64::MAX);
+        assert_eq!(a.gauge("g"), Some(7.0), "gauge merge is last-write");
+        assert_eq!(a.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_registry_merge_on_counters() {
+        let mut a = MetricsRegistry::new();
+        a.add("x", 2);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.add("x", 3);
+        b.observe("h", 9.0);
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        a.merge(&b);
+        assert_eq!(snap.counters, a.snapshot().counters);
+        assert_eq!(snap.histogram("h").unwrap().count, 2);
+        assert_eq!(snap.histogram("h").unwrap().max, 9.0);
+    }
+
+    #[test]
+    fn without_wall_clock_strips_phase_timings_only() {
+        let mut m = MetricsRegistry::new();
+        m.inc("bus.published");
+        m.observe("tick.phase.sim_step", 3.0);
+        m.observe("tick.total", 9.0);
+        m.observe("bus.latency_ms", 1.0);
+        let d = m.snapshot().without_wall_clock();
+        assert_eq!(d.counter("bus.published"), 1);
+        assert!(d.histogram("tick.phase.sim_step").is_none());
+        assert!(d.histogram("tick.total").is_none());
+        assert!(d.histogram("bus.latency_ms").is_some());
     }
 
     #[test]

@@ -45,6 +45,13 @@ pub fn phase_metric(name: &str) -> String {
     format!("tick.phase.{name}")
 }
 
+/// Name prefixes of every metric fed from the wall clock rather than
+/// simulation state (the phase timings this module flushes). Everything
+/// else in the registry is bit-deterministic under a fixed seed;
+/// determinism gates strip these prefixes before comparing
+/// (see `MetricsSnapshot::without_wall_clock`).
+pub const WALL_CLOCK_PREFIXES: [&str; 2] = ["tick.phase.", "tick.total"];
+
 /// A scoped, phase-segmented timer over one platform tick.
 #[derive(Debug)]
 pub struct TickSpan {

@@ -1,0 +1,155 @@
+//! Property tests of the metric-merge algebra the parallel campaign
+//! reduction relies on.
+//!
+//! The reduction folds per-seed registries/snapshots in seed order, so
+//! strictly it only needs determinism for a fixed order — but the
+//! stronger algebraic properties (commutativity and associativity on
+//! counters and histogram buckets, conservation of bucket counts,
+//! last-write gauge semantics) are what make "fold in seed order" equal
+//! to "any fold the workers could have produced", and they are cheap to
+//! pin here.
+
+use proptest::prelude::*;
+use sesame_obs::metrics::{Histogram, MetricsRegistry, DEFAULT_BUCKETS};
+
+/// A histogram over the default edges with up to 40 observations drawn
+/// across all buckets including overflow.
+fn histogram() -> impl Strategy<Value = Histogram> {
+    proptest::collection::vec(0.0f64..20_000.0, 0..40).prop_map(|values| {
+        let mut h = Histogram::new(&DEFAULT_BUCKETS);
+        for v in values {
+            h.observe(v);
+        }
+        h
+    })
+}
+
+/// A small registry with counters, gauges and one shared histogram
+/// name, so merges genuinely collide on every metric kind.
+fn registry() -> impl Strategy<Value = MetricsRegistry> {
+    const COUNTERS: [&str; 3] = ["a", "b", "c"];
+    const GAUGES: [&str; 2] = ["g", "k"];
+    (
+        proptest::collection::vec((0usize..3, 0u64..1_000_000), 0..4),
+        proptest::collection::vec((0usize..2, -100.0f64..100.0), 0..3),
+        proptest::collection::vec(0.0f64..500.0, 0..10),
+    )
+        .prop_map(|(counters, gauges, observations)| {
+            let mut m = MetricsRegistry::new();
+            for (idx, v) in counters {
+                m.add(COUNTERS[idx], v);
+            }
+            for (idx, v) in gauges {
+                m.set_gauge(GAUGES[idx], v);
+            }
+            for v in observations {
+                m.observe("h", v);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Histogram merge is commutative on every integer field, and the
+    /// total observation count is conserved.
+    #[test]
+    fn histogram_merge_commutes_and_conserves(a in histogram(), b in histogram()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.count(), a.count() + b.count(), "counts conserved");
+        prop_assert_eq!(
+            ab.bucket_counts().iter().sum::<u64>(),
+            a.count() + b.count(),
+            "bucket mass conserved"
+        );
+        prop_assert_eq!(ab.min().to_bits(), ba.min().to_bits());
+        prop_assert_eq!(ab.max().to_bits(), ba.max().to_bits());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-6 * ab.sum().abs().max(1.0));
+    }
+
+    /// Histogram merge is associative on bucket counts and extrema.
+    #[test]
+    fn histogram_merge_is_associative(a in histogram(), b in histogram(), c in histogram()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min().to_bits(), right.min().to_bits());
+        prop_assert_eq!(left.max().to_bits(), right.max().to_bits());
+    }
+
+    /// Registry merge commutes on counters and histogram buckets (NOT
+    /// on gauges, which are deliberately last-write-by-fold-order).
+    #[test]
+    fn registry_merge_commutes_on_counters_and_histograms(a in registry(), b in registry()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let names: Vec<(&str, u64)> = ab.counters_with_prefix("").collect();
+        prop_assert_eq!(names, ba.counters_with_prefix("").collect::<Vec<_>>());
+        match (ab.histogram("h"), ba.histogram("h")) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x.bucket_counts(), y.bucket_counts());
+                prop_assert_eq!(x.count(), y.count());
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "histogram presence must commute"),
+        }
+    }
+
+    /// Registry merge is associative on counters.
+    #[test]
+    fn registry_merge_is_associative_on_counters(a in registry(), b in registry(), c in registry()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(
+            left.counters_with_prefix("").collect::<Vec<_>>(),
+            right.counters_with_prefix("").collect::<Vec<_>>()
+        );
+    }
+
+    /// Gauge merge takes the last write in fold order: folding per-seed
+    /// registries in ascending seed order leaves the highest seed's
+    /// value, wherever the gauge appears.
+    #[test]
+    fn gauge_merge_is_last_write_in_seed_order(values in proptest::collection::vec(-1e6f64..1e6, 1..8)) {
+        let mut merged = MetricsRegistry::new();
+        for v in &values {
+            let mut seed_registry = MetricsRegistry::new();
+            seed_registry.set_gauge("g", *v);
+            merged.merge(&seed_registry);
+        }
+        prop_assert_eq!(merged.gauge("g").map(f64::to_bits), values.last().map(|v| v.to_bits()));
+    }
+
+    /// Snapshot merge mirrors registry merge for counters, and count
+    /// conservation survives the summary condensation.
+    #[test]
+    fn snapshot_merge_tracks_registry_merge(a in registry(), b in registry()) {
+        let mut snap = a.snapshot();
+        snap.merge(&b.snapshot());
+        let mut reg = a.clone();
+        reg.merge(&b);
+        prop_assert_eq!(&snap.counters, &reg.snapshot().counters);
+        if let (Some(s), Some(h)) = (snap.histogram("h"), reg.histogram("h")) {
+            prop_assert_eq!(s.count, h.count());
+        }
+    }
+}

@@ -28,8 +28,30 @@ pub mod ids;
 pub mod telemetry;
 pub mod time;
 
+/// Compile-time proof that types are `Send + Sync` (and so may cross
+/// the parallel campaign executor's worker threads). Expands to a
+/// `const` block that fails to compile — with the offending type in the
+/// error — if any listed type loses thread-safety, e.g. by growing an
+/// `Rc` or un-`Sync` interior mutability.
+///
+/// ```
+/// sesame_types::assert_send_sync!(sesame_types::GeoPoint, sesame_types::UavId);
+/// ```
+#[macro_export]
+macro_rules! assert_send_sync {
+    ($($ty:ty),+ $(,)?) => {
+        const _: () = {
+            const fn _assert_send_sync<T: Send + Sync>() {}
+            $(_assert_send_sync::<$ty>();)+
+        };
+    };
+}
+
 pub use events::{EventLog, Severity, SystemEvent, TimedEvent};
 pub use geo::{Enu, GeoPoint, Vec3};
 pub use ids::{MissionId, TaskId, TopicName, UavId};
 pub use telemetry::{FlightMode, GpsFix, UavTelemetry};
 pub use time::{SimClock, SimDuration, SimTime};
+
+// The vocabulary types cross worker threads in parallel sweeps.
+assert_send_sync!(EventLog, TimedEvent, GeoPoint, Enu, Vec3, UavId, UavTelemetry, SimTime, SimDuration);

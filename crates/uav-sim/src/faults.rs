@@ -179,6 +179,10 @@ impl FaultSchedule {
     }
 }
 
+// Fault schedules ride inside per-worker scenario clones in parallel
+// seed sweeps.
+sesame_types::assert_send_sync!(FaultKind, ScheduledFault, FaultSchedule);
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,7 +16,16 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> chaos smoke: 10 seeded random-fault scenario runs must stay panic-free"
-cargo run -q --release -p sesame-bench --bin chaos -- 10 smoke
+echo "==> chaos smoke: 10 seeded random-fault scenario runs at --jobs 4 must stay panic-free"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+cargo run -q --release -p sesame-bench --bin chaos -- 10 smoke --jobs 4 > "$tmpdir/parallel.txt"
 
-echo "OK: build, tests, clippy and chaos smoke all green"
+echo "==> determinism gate: serial vs parallel chaos reports must be byte-identical"
+cargo run -q --release -p sesame-bench --bin chaos -- 10 smoke --jobs 1 > "$tmpdir/serial.txt"
+if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
+    echo "FAIL: --jobs 4 chaos report diverged from the serial (--jobs 1) report" >&2
+    exit 1
+fi
+
+echo "OK: build, tests, clippy, parallel chaos smoke and determinism diff all green"
