@@ -1,0 +1,102 @@
+//! Zero-copy fanout vs the cache-free reference bus, under criterion.
+//!
+//! The same 64-subscriber wildcard-heavy workload as `--bin busbench`,
+//! measured per publish/step/drain round. The optimized bus must clear
+//! 3× the reference throughput — `busbench` enforces that gate in CI;
+//! this bench gives the statistically careful per-round numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sesame_middleware::bus::MessageBus;
+use sesame_middleware::message::Payload;
+use sesame_middleware::reference::ReferenceBus;
+use sesame_types::time::{SimDuration, SimTime};
+use std::hint::black_box;
+
+const UAVS: usize = 8;
+
+fn topics() -> Vec<String> {
+    let mut t = Vec::new();
+    for i in 0..UAVS {
+        t.push(format!("/uav{i}/telemetry/pos"));
+        t.push(format!("/uav{i}/telemetry/battery"));
+        t.push(format!("/uav{i}/cmd/waypoint"));
+        t.push(format!("/uav{i}/status"));
+    }
+    t
+}
+
+fn patterns() -> Vec<String> {
+    let mut p = Vec::new();
+    for i in 0..UAVS {
+        p.push(format!("/uav{i}/#"));
+        p.push(format!("/uav{i}/telemetry/#"));
+        p.push(format!("/uav{i}/telemetry/+"));
+        p.push(format!("/uav{i}/+/waypoint"));
+        p.push(format!("/uav{i}/cmd/#"));
+        p.push(format!("/uav{i}/status"));
+        p.push(format!("/uav{i}/+/pos"));
+    }
+    for _ in 0..4 {
+        p.push("#".to_string());
+    }
+    p.push("+/telemetry/#".to_string());
+    p.push("+/telemetry/pos".to_string());
+    p.push("+/status".to_string());
+    p.push("+/cmd/+".to_string());
+    p
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bus/fanout_64sub_wildcard");
+    let topics = topics();
+
+    group.bench_with_input(BenchmarkId::from_parameter("optimized"), &(), |b, ()| {
+        let mut bus = MessageBus::seeded(42);
+        let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let now = SimTime::from_millis(round * 100);
+            for t in &topics {
+                bus.publish(now, "bench", t.as_str(), Payload::Text("payload".into()));
+            }
+            bus.step(now + SimDuration::from_millis(100));
+            let mut drained = 0usize;
+            for &s in &subs {
+                drained += bus.drain(s).expect("live subscription").len();
+            }
+            black_box(drained)
+        });
+    });
+
+    group.bench_with_input(BenchmarkId::from_parameter("reference"), &(), |b, ()| {
+        let mut bus = ReferenceBus::seeded(42);
+        let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let now = SimTime::from_millis(round * 100);
+            for t in &topics {
+                bus.publish(now, "bench", t.as_str(), Payload::Text("payload".into()));
+            }
+            bus.step(now + SimDuration::from_millis(100));
+            let mut drained = 0usize;
+            for &s in &subs {
+                drained += bus.drain(s).len();
+            }
+            black_box(drained)
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_fanout
+}
+criterion_main!(benches);

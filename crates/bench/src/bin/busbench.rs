@@ -1,0 +1,236 @@
+//! Bus fanout microbenchmark: the optimized zero-copy `MessageBus`
+//! against the cache-free `ReferenceBus`, on the 64-subscriber
+//! wildcard-heavy workload, emitting machine-readable JSON.
+//!
+//! ```text
+//! cargo run -p sesame-bench --release --bin busbench           # full run
+//! cargo run -p sesame-bench --release --bin busbench -- smoke  # CI smoke
+//! ```
+//!
+//! The JSON report goes to stdout (configuration chatter to stderr), so
+//! `busbench > BENCH_bus.json` records the repo's perf trajectory —
+//! `scripts/check.sh` does exactly that. Reported per bus: messages per
+//! second, nanoseconds per delivery, and an allocation-count proxy from a
+//! counting global allocator (allocations per delivery is the honest
+//! zero-copy scorecard: the reference bus pays one deep `Message` clone
+//! per subscriber, the optimized bus one `Arc` refcount bump).
+//!
+//! Both buses run the identical deterministic workload and must agree on
+//! the delivery count — the run aborts if they diverge, so the speedup is
+//! never measured against a bus doing different work.
+
+use sesame_middleware::bus::MessageBus;
+use sesame_middleware::message::Payload;
+use sesame_middleware::reference::ReferenceBus;
+use sesame_types::time::{SimDuration, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation made by the process — the allocs-proxy.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const UAVS: usize = 8;
+
+/// The concrete topics the publishers cycle through.
+fn topics() -> Vec<String> {
+    let mut t = Vec::new();
+    for i in 0..UAVS {
+        t.push(format!("/uav{i}/telemetry/pos"));
+        t.push(format!("/uav{i}/telemetry/battery"));
+        t.push(format!("/uav{i}/cmd/waypoint"));
+        t.push(format!("/uav{i}/status"));
+    }
+    t
+}
+
+/// 64 wildcard-heavy subscriber filters (7 per UAV + 8 fleet-wide).
+fn patterns() -> Vec<String> {
+    let mut p = Vec::new();
+    for i in 0..UAVS {
+        p.push(format!("/uav{i}/#"));
+        p.push(format!("/uav{i}/telemetry/#"));
+        p.push(format!("/uav{i}/telemetry/+"));
+        p.push(format!("/uav{i}/+/waypoint"));
+        p.push(format!("/uav{i}/cmd/#"));
+        p.push(format!("/uav{i}/status"));
+        p.push(format!("/uav{i}/+/pos"));
+    }
+    for _ in 0..4 {
+        p.push("#".to_string());
+    }
+    p.push("+/telemetry/#".to_string());
+    p.push("+/telemetry/pos".to_string());
+    p.push("+/status".to_string());
+    p.push("+/cmd/+".to_string());
+    assert_eq!(p.len(), 64);
+    p
+}
+
+/// Rule set both buses carry: latency overrides and loss rules matching
+/// no live topic — pure scan cost for the reference bus.
+fn latency_rules() -> Vec<(&'static str, SimDuration)> {
+    vec![
+        ("/uav0/#", SimDuration::from_millis(40)),
+        ("+/cmd/#", SimDuration::from_millis(60)),
+        ("/uav3/telemetry/#", SimDuration::from_millis(30)),
+        ("#", SimDuration::from_millis(20)),
+    ]
+}
+
+fn loss_rules() -> Vec<(&'static str, f64)> {
+    vec![("/uav9/#", 1.0), ("/ghost/+", 0.5)]
+}
+
+struct RunResult {
+    published: u64,
+    deliveries: u64,
+    elapsed_ns: u128,
+    allocs: u64,
+}
+
+fn run_optimized(rounds: u64) -> RunResult {
+    let topics = topics();
+    let mut bus = MessageBus::seeded(42);
+    for (p, l) in latency_rules() {
+        bus.set_topic_latency(p, l);
+    }
+    for (p, q) in loss_rules() {
+        bus.set_loss(p, q);
+    }
+    let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
+    let mut published = 0u64;
+    let mut deliveries = 0u64;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for r in 0..rounds {
+        let now = SimTime::from_millis(r * 100);
+        for t in &topics {
+            bus.publish(now, "bench", t.as_str(), Payload::Text("payload".into()));
+            published += 1;
+        }
+        deliveries += bus.step(now + SimDuration::from_millis(100)) as u64;
+        for &s in &subs {
+            deliveries -= bus.drain(s).expect("live subscription").len() as u64;
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(deliveries, 0, "every delivery must be drained");
+    RunResult {
+        published,
+        deliveries: bus.counters().delivered,
+        elapsed_ns,
+        allocs,
+    }
+}
+
+fn run_reference(rounds: u64) -> RunResult {
+    let topics = topics();
+    let mut bus = ReferenceBus::seeded(42);
+    for (p, l) in latency_rules() {
+        bus.set_topic_latency(p, l);
+    }
+    for (p, q) in loss_rules() {
+        bus.set_loss(p, q);
+    }
+    let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
+    let mut published = 0u64;
+    let mut deliveries = 0u64;
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for r in 0..rounds {
+        let now = SimTime::from_millis(r * 100);
+        for t in &topics {
+            bus.publish(now, "bench", t.as_str(), Payload::Text("payload".into()));
+            published += 1;
+        }
+        deliveries += bus.step(now + SimDuration::from_millis(100)) as u64;
+        for &s in &subs {
+            deliveries -= bus.drain(s).len() as u64;
+        }
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(deliveries, 0, "every delivery must be drained");
+    RunResult {
+        published,
+        deliveries: bus.stats().delivered,
+        elapsed_ns,
+        allocs,
+    }
+}
+
+fn render(r: &RunResult) -> String {
+    let secs = r.elapsed_ns as f64 / 1e9;
+    let msgs_per_sec = r.published as f64 / secs;
+    let ns_per_delivery = r.elapsed_ns as f64 / r.deliveries as f64;
+    let allocs_per_delivery = r.allocs as f64 / r.deliveries as f64;
+    format!(
+        "{{\"elapsed_ns\": {}, \"msgs_per_sec\": {:.0}, \"ns_per_delivery\": {:.1}, \
+         \"allocs\": {}, \"allocs_per_delivery\": {:.2}}}",
+        r.elapsed_ns, msgs_per_sec, ns_per_delivery, r.allocs, allocs_per_delivery
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "smoke");
+    let rounds = if smoke { 100 } else { 2000 };
+    eprintln!(
+        "busbench: 64-subscriber wildcard fanout, {} topics, {rounds} rounds{}",
+        topics().len(),
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Interleave a warmup of each before timing so neither bus pays
+    // first-touch costs (page faults, lazy init) inside its measurement.
+    let _ = run_reference(5);
+    let _ = run_optimized(5);
+
+    let reference = run_reference(rounds);
+    let optimized = run_optimized(rounds);
+    assert_eq!(
+        optimized.published, reference.published,
+        "workloads must publish identically"
+    );
+    assert_eq!(
+        optimized.deliveries, reference.deliveries,
+        "buses disagreed on deliveries — semantics bug, refusing to report"
+    );
+
+    let speedup = reference.elapsed_ns as f64 / optimized.elapsed_ns as f64;
+    let allocs_ratio = reference.allocs as f64 / optimized.allocs.max(1) as f64;
+    println!(
+        "{{\n  \"workload\": \"bus_fanout_64sub_wildcard\",\n  \"rounds\": {rounds},\n  \
+         \"published\": {},\n  \"deliveries\": {},\n  \"optimized\": {},\n  \
+         \"reference\": {},\n  \"speedup\": {:.2},\n  \"allocs_ratio\": {:.2}\n}}",
+        optimized.published,
+        optimized.deliveries,
+        render(&optimized),
+        render(&reference),
+        speedup,
+        allocs_ratio
+    );
+    eprintln!("busbench: speedup {speedup:.2}x, allocs ratio {allocs_ratio:.2}x");
+    if speedup < 3.0 {
+        eprintln!("busbench: WARNING — speedup below the 3x target");
+        std::process::exit(1);
+    }
+}

@@ -52,6 +52,7 @@ use sesame_uav_sim::world::World;
 use sesame_vision::detector::PersonDetector;
 use sesame_vision::features::SceneCondition;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Platform configuration.
 #[derive(Debug, Clone)]
@@ -1133,11 +1134,12 @@ impl Platform {
                 // Delivery doubles as the acknowledgement for the
                 // at-least-once command retry machinery.
                 self.pending_cmds.remove(&(msg.topic.clone(), msg.seq));
-                match msg.payload {
+                match &msg.payload {
                     Payload::WaypointCommand { waypoint, .. } => {
-                        self.sim.command(handle, FlightCommand::PushWaypoint(waypoint));
+                        self.sim
+                            .command(handle, FlightCommand::PushWaypoint(*waypoint));
                     }
-                    Payload::ModeCommand { ref mode, .. } => {
+                    Payload::ModeCommand { mode, .. } => {
                         let cmd = match mode.as_str() {
                             "hold" => Some(FlightCommand::Hold),
                             "resume" => Some(FlightCommand::Resume),
@@ -1242,20 +1244,14 @@ impl Platform {
 
         // Mirror the bus counters into the registry and pull the bus's
         // drop/tamper/overflow trace into the platform-wide log, so one
-        // snapshot answers both "how much" and "when".
-        let stats = self.bus.stats();
-        let (published, delivered, dropped, tampered, overflowed) = (
-            stats.published,
-            stats.delivered,
-            stats.dropped,
-            stats.tampered,
-            stats.overflowed,
-        );
-        self.metrics.set_counter("bus.published", published);
-        self.metrics.set_counter("bus.delivered", delivered);
-        self.metrics.set_counter("bus.dropped", dropped);
-        self.metrics.set_counter("bus.tampered", tampered);
-        self.metrics.set_counter("bus.overflowed", overflowed);
+        // snapshot answers both "how much" and "when". `counters()` is the
+        // cheap aggregate view — no per-topic map is rendered every tick.
+        let counters = self.bus.counters();
+        self.metrics.set_counter("bus.published", counters.published);
+        self.metrics.set_counter("bus.delivered", counters.delivered);
+        self.metrics.set_counter("bus.dropped", counters.dropped);
+        self.metrics.set_counter("bus.tampered", counters.tampered);
+        self.metrics.set_counter("bus.overflowed", counters.overflowed);
         self.metrics
             .set_gauge("bus.in_flight", self.bus.in_flight_len() as f64);
         self.trace.absorb(self.bus.trace_mut());
@@ -1281,7 +1277,7 @@ impl Platform {
         sub: Subscription,
         context: &str,
         now: SimTime,
-    ) -> Vec<Message> {
+    ) -> Vec<Arc<Message>> {
         match self.bus.drain(sub) {
             Ok(msgs) => msgs,
             Err(err) => {

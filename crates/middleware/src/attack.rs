@@ -166,7 +166,12 @@ impl AttackInjector {
         // different bus — a caller bug worth surfacing loudly.
         let new = bus.drain(tap).expect("attack tap subscription is live");
         let n = new.len();
-        self.recorded.extend(new);
+        // The recorder needs owned copies: take the body without cloning
+        // when the tap held the last reference, clone otherwise.
+        self.recorded.extend(
+            new.into_iter()
+                .map(|m| std::sync::Arc::try_unwrap(m).unwrap_or_else(|a| (*a).clone())),
+        );
         n
     }
 

@@ -8,6 +8,7 @@
 //! remaining levels) and retained messages.
 
 use crate::message::{Message, Payload};
+use crate::topic::Pattern;
 use sesame_types::time::SimTime;
 use std::collections::VecDeque;
 
@@ -27,30 +28,24 @@ use std::collections::VecDeque;
 /// assert!(!topic_matches("ids/+", "ids/alerts/uav1"));
 /// ```
 pub fn topic_matches(pattern: &str, topic: &str) -> bool {
-    let pat: Vec<&str> = pattern.split('/').filter(|s| !s.is_empty()).collect();
-    let top: Vec<&str> = topic.split('/').filter(|s| !s.is_empty()).collect();
-    let mut pi = 0;
-    let mut ti = 0;
-    while pi < pat.len() {
-        match pat[pi] {
-            "#" => return pi == pat.len() - 1,
+    let mut pat = pattern.split('/').filter(|s| !s.is_empty()).peekable();
+    let mut top = topic.split('/').filter(|s| !s.is_empty());
+    while let Some(p) = pat.next() {
+        match p {
+            "#" => return pat.peek().is_none(),
             "+" => {
-                if ti >= top.len() {
+                if top.next().is_none() {
                     return false;
                 }
-                pi += 1;
-                ti += 1;
             }
             seg => {
-                if ti >= top.len() || top[ti] != seg {
+                if top.next() != Some(seg) {
                     return false;
                 }
-                pi += 1;
-                ti += 1;
             }
         }
     }
-    ti == top.len()
+    top.next().is_none()
 }
 
 /// Handle to a broker subscription.
@@ -58,7 +53,7 @@ pub fn topic_matches(pattern: &str, topic: &str) -> bool {
 pub struct BrokerSubscription(usize);
 
 struct BrokerSub {
-    filter: String,
+    filter: Pattern,
     queue: VecDeque<Message>,
 }
 
@@ -113,10 +108,10 @@ impl AlertBroker {
     /// Subscribes to `filter`. Retained messages matching the filter are
     /// delivered immediately.
     pub fn subscribe(&mut self, filter: impl Into<String>) -> BrokerSubscription {
-        let filter = filter.into();
+        let filter = Pattern::parse_lenient(filter.into());
         let mut queue = VecDeque::new();
         for m in &self.retained {
-            if topic_matches(&filter, &m.topic) {
+            if filter.matches_topic(&m.topic) {
                 queue.push_back(m.clone());
             }
         }
@@ -161,7 +156,7 @@ impl AlertBroker {
             return;
         }
         for sub in &mut self.subs {
-            if topic_matches(&sub.filter, &msg.topic) {
+            if sub.filter.matches_topic(&msg.topic) {
                 sub.queue.push_back(msg.clone());
             }
         }

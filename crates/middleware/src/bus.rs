@@ -7,9 +7,25 @@
 //! latency, and [`MessageBus::step`] moves everything whose delivery time
 //! has arrived into subscriber queues — in publish order, so the whole bus
 //! is deterministic under a fixed seed.
+//!
+//! # The fast path
+//!
+//! Internally the bus is zero-copy and allocation-light. Topics are
+//! interned once into a [`TopicTable`]; filters are compiled into
+//! [`Pattern`]s at install time; and each concrete topic's routing
+//! decision — matching subscriber set, resolved loss probability, resolved
+//! latency and matching tamper hooks — is cached in a per-topic route
+//! entry, invalidated by a generation counter whenever a subscription or
+//! rule changes. Fanout shares one `Arc<Message>` across all subscriber
+//! queues; the message body is only deep-copied (copy-on-write) when a
+//! tamper hook actually has to mutate it. Per-topic statistics are kept in
+//! a dense `Vec` indexed by [`TopicId`] and rendered to topic strings only
+//! when a [`BusStats`] snapshot is requested. All of this is observably
+//! equivalent to the cache-free [`crate::reference::ReferenceBus`], which
+//! the conformance suite proves byte for byte.
 
-use crate::broker::topic_matches;
 use crate::message::{Message, Payload};
+use crate::topic::{Pattern, PatternError, TopicId, TopicTable};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sesame_obs::metrics::Histogram;
@@ -19,6 +35,7 @@ use std::collections::BTreeMap;
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 /// Handle to a subscriber queue, returned by [`MessageBus::subscribe`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,12 +83,32 @@ pub struct TopicStats {
     pub tampered: u64,
 }
 
+/// The bus's aggregate counters, cheap to read every tick (no per-topic
+/// map is materialized — see [`MessageBus::stats`] for the full snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusCounters {
+    /// Messages accepted by `publish`.
+    pub published: u64,
+    /// Message deliveries into subscriber queues.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub dropped: u64,
+    /// Messages modified in flight by a tamper hook.
+    pub tampered: u64,
+    /// Deliveries discarded because a subscriber queue was full.
+    pub overflowed: u64,
+}
+
 /// Counters and distributions the bus keeps about its own traffic.
 ///
 /// Aggregate counters are mirrored per topic in [`BusStats::per_topic`],
 /// and each delivery's modelled latency lands in
 /// [`BusStats::latency_ms`]. All of it is deterministic under a fixed
 /// seed, so stats can be asserted exactly in tests.
+///
+/// This is a rendered snapshot: internally the bus keys per-topic counters
+/// by interned [`TopicId`] and only materializes the string-keyed map when
+/// [`MessageBus::stats`] is called.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BusStats {
     /// Messages accepted by `publish`.
@@ -109,15 +146,30 @@ impl BusStats {
 pub type TamperFn = Box<dyn FnMut(&mut Message) -> bool + Send + Sync>;
 
 struct SubState {
-    pattern: String,
-    queue: VecDeque<Message>,
+    pattern: Pattern,
+    queue: VecDeque<Arc<Message>>,
     depth: usize,
     active: bool,
 }
 
 struct InFlight {
     deliver_at: SimTime,
-    msg: Message,
+    tid: TopicId,
+    msg: Arc<Message>,
+}
+
+/// One concrete topic's cached routing decision, valid while the bus
+/// generation is unchanged.
+struct CachedRoute {
+    generation: u64,
+    /// Active matching subscriber indices, ascending (delivery order).
+    subs: Vec<usize>,
+    /// Matching live tamper slots, installation order.
+    tampers: Vec<usize>,
+    /// Resolved loss probability (last matching rule wins, else 0).
+    loss: f64,
+    /// Resolved latency (last matching override wins, else the default).
+    latency: SimDuration,
 }
 
 /// The bus. See the crate docs for an end-to-end example.
@@ -125,12 +177,19 @@ pub struct MessageBus {
     subs: Vec<SubState>,
     in_flight: VecDeque<InFlight>,
     seq: HashMap<String, u64>,
-    tampers: Vec<(String, Option<TamperFn>)>,
-    loss: Vec<(String, f64)>,
+    tampers: Vec<(Pattern, Option<TamperFn>)>,
+    loss: Vec<(Pattern, f64)>,
     latency: SimDuration,
-    topic_latency: Vec<(String, SimDuration)>,
+    topic_latency: Vec<(Pattern, SimDuration)>,
+    topics: TopicTable,
+    routes: Vec<Option<CachedRoute>>,
+    /// Bumped on every subscription/rule mutation; stale route entries
+    /// rebuild lazily on next use.
+    generation: u64,
     rng: StdRng,
-    stats: BusStats,
+    counters: BusCounters,
+    per_topic: Vec<TopicStats>,
+    latency_ms: Histogram,
     trace: TraceLog,
 }
 
@@ -140,7 +199,8 @@ impl fmt::Debug for MessageBus {
             .field("subscribers", &self.subs.len())
             .field("in_flight", &self.in_flight.len())
             .field("tampers", &self.tampers.iter().filter(|t| t.1.is_some()).count())
-            .field("stats", &self.stats)
+            .field("topics", &self.topics.len())
+            .field("stats", &self.counters)
             .finish()
     }
 }
@@ -168,44 +228,68 @@ impl MessageBus {
             loss: Vec::new(),
             latency: SimDuration::from_millis(20),
             topic_latency: Vec::new(),
+            topics: TopicTable::new(),
+            routes: Vec::new(),
+            generation: 0,
             rng: StdRng::seed_from_u64(seed),
-            stats: BusStats::default(),
+            counters: BusCounters::default(),
+            per_topic: Vec::new(),
+            latency_ms: Histogram::default(),
             trace: TraceLog::default(),
         }
+    }
+
+    /// Invalidates every cached route (lazily: entries rebuild on next
+    /// use).
+    fn invalidate_routes(&mut self) {
+        self.generation += 1;
     }
 
     /// Sets the uniform publish→deliver latency.
     pub fn set_latency(&mut self, latency: SimDuration) {
         self.latency = latency;
+        self.invalidate_routes();
     }
 
     /// Overrides the latency for topics matching `pattern` (MQTT
     /// wildcards allowed; the last matching rule wins) — the hook a
     /// [`crate::network::NetworkModel`] uses to model long radio links.
     pub fn set_topic_latency(&mut self, pattern: impl Into<String>, latency: SimDuration) {
-        self.topic_latency.push((pattern.into(), latency));
+        self.topic_latency
+            .push((Pattern::parse_lenient(pattern.into()), latency));
+        self.invalidate_routes();
     }
 
     /// Sets a packet-loss probability for every topic matching `pattern`
     /// (MQTT wildcards allowed). Later rules take precedence.
     pub fn set_loss(&mut self, pattern: impl Into<String>, probability: f64) {
-        self.loss.push((pattern.into(), probability.clamp(0.0, 1.0)));
+        self.loss
+            .push((Pattern::parse_lenient(pattern.into()), probability.clamp(0.0, 1.0)));
+        self.invalidate_routes();
     }
 
     /// Removes every loss rule installed for exactly `pattern`, letting
     /// any earlier rule (or the lossless default) apply again. This is how
     /// a scheduled link fault ends without leaving rule debris behind.
     pub fn remove_loss(&mut self, pattern: &str) {
-        self.loss.retain(|(p, _)| p != pattern);
+        self.loss.retain(|(p, _)| p.raw() != pattern);
+        self.invalidate_routes();
     }
 
     /// Removes every latency override installed for exactly `pattern`.
     pub fn remove_topic_latency(&mut self, pattern: &str) {
-        self.topic_latency.retain(|(p, _)| p != pattern);
+        self.topic_latency.retain(|(p, _)| p.raw() != pattern);
+        self.invalidate_routes();
     }
 
     /// Subscribes to `pattern` (exact topic or MQTT wildcard pattern) with
     /// the default queue depth of 1024.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is an invalid filter (a `#` in a non-final
+    /// segment) — such a subscription could never match anything. Use
+    /// [`MessageBus::try_subscribe`] to handle the rejection gracefully.
     pub fn subscribe(&mut self, pattern: impl Into<String>) -> Subscription {
         self.subscribe_with_depth(pattern, 1024)
     }
@@ -215,20 +299,46 @@ impl MessageBus {
     ///
     /// # Panics
     ///
-    /// Panics if `depth` is zero.
+    /// Panics if `depth` is zero or `pattern` is an invalid filter.
     pub fn subscribe_with_depth(
         &mut self,
         pattern: impl Into<String>,
         depth: usize,
     ) -> Subscription {
+        self.try_subscribe_with_depth(pattern, depth)
+            .unwrap_or_else(|e| panic!("invalid subscription pattern: {e}"))
+    }
+
+    /// Subscribes to `pattern`, rejecting invalid filters with a typed
+    /// error instead of silently never matching.
+    pub fn try_subscribe(
+        &mut self,
+        pattern: impl Into<String>,
+    ) -> Result<Subscription, PatternError> {
+        self.try_subscribe_with_depth(pattern, 1024)
+    }
+
+    /// Subscribes with an explicit queue depth, rejecting invalid filters
+    /// with a typed error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero.
+    pub fn try_subscribe_with_depth(
+        &mut self,
+        pattern: impl Into<String>,
+        depth: usize,
+    ) -> Result<Subscription, PatternError> {
         assert!(depth > 0, "queue depth must be positive");
+        let pattern = Pattern::parse(pattern.into())?;
         self.subs.push(SubState {
-            pattern: pattern.into(),
+            pattern,
             queue: VecDeque::new(),
             depth,
             active: true,
         });
-        Subscription(self.subs.len() - 1)
+        self.invalidate_routes();
+        Ok(Subscription(self.subs.len() - 1))
     }
 
     /// Cancels a subscription; its queue is dropped. Cancelling twice, or
@@ -243,27 +353,31 @@ impl MessageBus {
         }
         s.active = false;
         s.queue.clear();
+        self.invalidate_routes();
         Ok(())
     }
 
     /// Publishes an unsigned message from `sender` on `topic`; the sequence
-    /// number is assigned per sender. Returns the enqueued message.
+    /// number is assigned per sender. Returns a handle to the enqueued
+    /// message (shared with the bus — no deep copy is made).
     pub fn publish(
         &mut self,
         now: SimTime,
         sender: impl Into<String>,
         topic: impl Into<String>,
         payload: Payload,
-    ) -> Message {
+    ) -> Arc<Message> {
         let sender = sender.into();
-        let seq = {
-            let c = self.seq.entry(sender.clone()).or_insert(0);
+        let seq = if let Some(c) = self.seq.get_mut(&sender) {
             let s = *c;
             *c += 1;
             s
+        } else {
+            self.seq.insert(sender.clone(), 1);
+            0
         };
-        let msg = Message::new(topic.into(), sender, seq, now, payload);
-        self.publish_message(msg.clone());
+        let msg = Arc::new(Message::new(topic.into(), sender, seq, now, payload));
+        self.publish_arc(Arc::clone(&msg));
         msg
     }
 
@@ -271,27 +385,89 @@ impl MessageBus {
     /// inject spoofed or replayed envelopes without touching the legitimate
     /// sequence counters.
     pub fn publish_message(&mut self, msg: Message) {
-        self.stats.published += 1;
-        self.stats
-            .per_topic
-            .entry(msg.topic.clone())
-            .or_default()
-            .published += 1;
+        self.publish_arc(Arc::new(msg));
+    }
+
+    /// Publishes an already-shared message without copying the body — the
+    /// zero-copy variant of [`MessageBus::publish_message`].
+    pub fn publish_arc(&mut self, msg: Arc<Message>) {
+        let tid = self.intern(&msg.topic);
+        self.counters.published += 1;
+        self.per_topic[tid.index()].published += 1;
+        self.ensure_route(tid);
+        let latency = self.routes[tid.index()]
+            .as_ref()
+            .expect("route was just ensured")
+            .latency;
+        let deliver_at = msg.sent_at + latency;
+        self.in_flight.push_back(InFlight { deliver_at, tid, msg });
+    }
+
+    /// Interns `topic`, growing the dense per-topic stats and route tables
+    /// alongside the interner.
+    fn intern(&mut self, topic: &str) -> TopicId {
+        let tid = self.topics.intern(topic);
+        if self.per_topic.len() <= tid.index() {
+            self.per_topic.resize(tid.index() + 1, TopicStats::default());
+            self.routes.resize_with(tid.index() + 1, || None);
+        }
+        tid
+    }
+
+    /// Rebuilds `tid`'s cached route if the bus generation moved since it
+    /// was computed (or it never was).
+    fn ensure_route(&mut self, tid: TopicId) {
+        let fresh = matches!(
+            &self.routes[tid.index()],
+            Some(r) if r.generation == self.generation
+        );
+        if fresh {
+            return;
+        }
+        let segments = self.topics.segments(tid);
+        let subs = self
+            .subs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active && s.pattern.matches_segments(segments.clone()))
+            .map(|(i, _)| i)
+            .collect();
+        let tampers = self
+            .tampers
+            .iter()
+            .enumerate()
+            .filter(|(_, (p, f))| f.is_some() && p.matches_segments(segments.clone()))
+            .map(|(i, _)| i)
+            .collect();
+        let loss = self
+            .loss
+            .iter()
+            .rev()
+            .find(|(p, _)| p.matches_segments(segments.clone()))
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0);
         let latency = self
             .topic_latency
             .iter()
             .rev()
-            .find(|(p, _)| topic_matches(p, &msg.topic))
+            .find(|(p, _)| p.matches_segments(segments.clone()))
             .map(|(_, l)| *l)
             .unwrap_or(self.latency);
-        let deliver_at = msg.sent_at + latency;
-        self.in_flight.push_back(InFlight { deliver_at, msg });
+        self.routes[tid.index()] = Some(CachedRoute {
+            generation: self.generation,
+            subs,
+            tampers,
+            loss,
+            latency,
+        });
     }
 
     /// Installs a man-in-the-middle tamper hook on topics matching
     /// `pattern`; hooks run at delivery time in installation order.
     pub fn install_tamper(&mut self, pattern: impl Into<String>, f: TamperFn) -> TamperId {
-        self.tampers.push((pattern.into(), Some(f)));
+        self.tampers
+            .push((Pattern::parse_lenient(pattern.into()), Some(f)));
+        self.invalidate_routes();
         TamperId(self.tampers.len() - 1)
     }
 
@@ -300,11 +476,17 @@ impl MessageBus {
         if let Some(slot) = self.tampers.get_mut(id.0) {
             slot.1 = None;
         }
+        self.invalidate_routes();
     }
 
     /// Delivers every in-flight message whose delivery time is `<= now`
     /// into matching subscriber queues, applying loss and tamper hooks.
     /// Returns the number of deliveries made.
+    ///
+    /// Delivery is zero-copy: every matching subscriber queue receives a
+    /// clone of the same `Arc<Message>`. When a tamper hook matches, the
+    /// body is deep-copied once (copy-on-write) before the hook mutates
+    /// it, and the mutated copy is what fans out.
     pub fn step(&mut self, now: SimTime) -> usize {
         let mut delivered = 0;
         let mut remaining = VecDeque::with_capacity(self.in_flight.len());
@@ -313,18 +495,22 @@ impl MessageBus {
                 remaining.push_back(inf);
                 continue;
             }
-            let mut msg = inf.msg;
-            // Loss model: last matching rule wins.
-            let loss = self
-                .loss
-                .iter()
-                .rev()
-                .find(|(p, _)| topic_matches(p, &msg.topic))
-                .map(|(_, p)| *p)
-                .unwrap_or(0.0);
-            if loss > 0.0 && self.rng.random::<f64>() < loss {
-                self.stats.dropped += 1;
-                self.stats.per_topic.entry(msg.topic.clone()).or_default().dropped += 1;
+            let InFlight {
+                deliver_at,
+                mut tid,
+                mut msg,
+            } = inf;
+            self.ensure_route(tid);
+            // Take the route out of its slot so the borrow checker lets
+            // the fanout below touch subscriber queues, stats and the
+            // trace; it goes back before the next message.
+            let mut route = self.routes[tid.index()].take().expect("route just ensured");
+            // Loss model (resolved at route-build time; last rule wins).
+            // The RNG is consulted only when a loss rule applies, exactly
+            // like the reference bus, so packet fates stay seed-stable.
+            if route.loss > 0.0 && self.rng.random::<f64>() < route.loss {
+                self.counters.dropped += 1;
+                self.per_topic[tid.index()].dropped += 1;
                 self.trace.push(
                     now.as_millis(),
                     TraceEvent::MessageDropped {
@@ -332,49 +518,89 @@ impl MessageBus {
                         sender: msg.sender.clone(),
                     },
                 );
+                self.routes[tid.index()] = Some(route);
                 continue;
             }
-            // MITM hooks.
-            for (pattern, hook) in self.tampers.iter_mut() {
-                if let Some(f) = hook {
-                    if topic_matches(pattern, &msg.topic) && f(&mut msg) {
-                        self.stats.tampered += 1;
-                        self.stats.per_topic.entry(msg.topic.clone()).or_default().tampered += 1;
+            // MITM hooks: copy-on-write — the shared body is cloned only
+            // when a matching hook exists. A hook may (pathologically)
+            // rewrite the topic mid-flight; the reference semantics match
+            // every subsequent hook (and the fanout) against the rewritten
+            // topic, so on the first rewrite we leave the cached membership
+            // list and match the remaining hooks individually.
+            if !route.tampers.is_empty() {
+                let original_tid = tid;
+                let body = Arc::make_mut(&mut msg);
+                let mut cur_tid = tid;
+                let mut rewritten = false;
+                let mut cursor = 0usize;
+                for slot in 0..self.tampers.len() {
+                    let fires = if rewritten {
+                        self.tampers[slot].1.is_some()
+                            && self.tampers[slot].0.matches_topic(&body.topic)
+                    } else if route.tampers.get(cursor) == Some(&slot) {
+                        cursor += 1;
+                        true
+                    } else {
+                        false
+                    };
+                    if !fires {
+                        continue;
+                    }
+                    let Some(f) = self.tampers[slot].1.as_mut() else {
+                        continue;
+                    };
+                    let mutated = f(body);
+                    if body.topic != self.topics.name(cur_tid) {
+                        let topic = body.topic.clone();
+                        cur_tid = self.intern(&topic);
+                        rewritten = true;
+                    }
+                    if mutated {
+                        self.counters.tampered += 1;
+                        self.per_topic[cur_tid.index()].tampered += 1;
                         self.trace.push(
                             now.as_millis(),
                             TraceEvent::MessageTampered {
-                                topic: msg.topic.clone(),
-                                sender: msg.sender.clone(),
+                                topic: body.topic.clone(),
+                                sender: body.sender.clone(),
                             },
                         );
                     }
+                }
+                if cur_tid != original_tid {
+                    // Reroute the fanout to the rewritten topic.
+                    self.routes[original_tid.index()] = Some(route);
+                    tid = cur_tid;
+                    self.ensure_route(tid);
+                    route = self.routes[tid.index()].take().expect("route just ensured");
                 }
             }
+            // Fanout: one Arc clone per subscriber, no message copies.
             let mut fanout = 0u64;
-            for (idx, sub) in self.subs.iter_mut().enumerate().filter(|(_, s)| s.active) {
-                if topic_matches(&sub.pattern, &msg.topic) {
-                    if sub.queue.len() >= sub.depth {
-                        sub.queue.pop_front();
-                        self.stats.overflowed += 1;
-                        self.trace.push(
-                            now.as_millis(),
-                            TraceEvent::QueueOverflow {
-                                topic: msg.topic.clone(),
-                                subscriber: idx,
-                            },
-                        );
-                    }
-                    sub.queue.push_back(msg.clone());
-                    self.stats.delivered += 1;
-                    fanout += 1;
-                    delivered += 1;
+            for &idx in &route.subs {
+                let sub = &mut self.subs[idx];
+                if sub.queue.len() >= sub.depth {
+                    sub.queue.pop_front();
+                    self.counters.overflowed += 1;
+                    self.trace.push(
+                        now.as_millis(),
+                        TraceEvent::QueueOverflow {
+                            topic: msg.topic.clone(),
+                            subscriber: idx,
+                        },
+                    );
                 }
+                sub.queue.push_back(Arc::clone(&msg));
+                self.counters.delivered += 1;
+                fanout += 1;
+                delivered += 1;
             }
             if fanout > 0 {
-                self.stats.per_topic.entry(msg.topic.clone()).or_default().delivered += fanout;
-                let latency = inf.deliver_at - msg.sent_at;
-                self.stats.latency_ms.observe(latency.as_millis() as f64);
+                self.per_topic[tid.index()].delivered += fanout;
+                let latency = deliver_at - msg.sent_at;
+                self.latency_ms.observe(latency.as_millis() as f64);
             }
+            self.routes[tid.index()] = Some(route);
         }
         self.in_flight = remaining;
         delivered
@@ -383,7 +609,10 @@ impl MessageBus {
     /// Removes and returns every queued message for `sub`, oldest first.
     /// Draining a cancelled or foreign handle is an error rather than
     /// silently empty, so lost-handle bugs surface where they happen.
-    pub fn drain(&mut self, sub: Subscription) -> Result<Vec<Message>, BusError> {
+    ///
+    /// Messages are shared (`Arc`) — field access derefs transparently;
+    /// clone the inner [`Message`] only if an owned copy is needed.
+    pub fn drain(&mut self, sub: Subscription) -> Result<Vec<Arc<Message>>, BusError> {
         let s = self
             .subs
             .get_mut(sub.0)
@@ -406,9 +635,35 @@ impl MessageBus {
         Ok(s.queue.len())
     }
 
-    /// Traffic counters and latency distribution.
-    pub fn stats(&self) -> &BusStats {
-        &self.stats
+    /// Aggregate counters, cheap enough to mirror into metrics every tick
+    /// (no per-topic rendering happens).
+    pub fn counters(&self) -> BusCounters {
+        self.counters
+    }
+
+    /// A full statistics snapshot: aggregate counters, the latency
+    /// histogram, and the per-topic breakdown rendered from the interned
+    /// topic table (this is the only place topic strings are materialized
+    /// for stats).
+    pub fn stats(&self) -> BusStats {
+        let mut per_topic = BTreeMap::new();
+        for (i, ts) in self.per_topic.iter().enumerate() {
+            if *ts != TopicStats::default() {
+                per_topic.insert(
+                    self.topics.name(TopicId::from_index(i)).to_string(),
+                    *ts,
+                );
+            }
+        }
+        BusStats {
+            published: self.counters.published,
+            delivered: self.counters.delivered,
+            dropped: self.counters.dropped,
+            tampered: self.counters.tampered,
+            overflowed: self.counters.overflowed,
+            per_topic,
+            latency_ms: self.latency_ms.clone(),
+        }
     }
 
     /// The bounded trace of notable bus events (drops, tampers, queue
@@ -428,12 +683,17 @@ impl MessageBus {
     pub fn in_flight_len(&self) -> usize {
         self.in_flight.len()
     }
+
+    /// Number of distinct topics the bus has interned.
+    pub fn topic_count(&self) -> usize {
+        self.topics.len()
+    }
 }
 
 // Each parallel campaign worker owns a private bus, but the bus (and
 // its stats, which feed merged campaign aggregates) must be movable
 // onto the worker thread.
-sesame_types::assert_send_sync!(MessageBus, BusStats, TopicStats, BusError, Subscription);
+sesame_types::assert_send_sync!(MessageBus, BusStats, BusCounters, TopicStats, BusError, Subscription);
 
 #[cfg(test)]
 mod tests {
@@ -547,7 +807,7 @@ mod tests {
             bus.step(SimTime::from_millis(100));
             bus.drain(sub).unwrap()
                 .into_iter()
-                .map(|m| m.topic)
+                .map(|m| m.topic.clone())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3), "same seed, same losses");
@@ -701,7 +961,7 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/near", text("a"));
         bus.publish(SimTime::ZERO, "n", "/far", text("b"));
         bus.step(SimTime::from_secs(1));
-        let h = &bus.stats().latency_ms;
+        let h = bus.stats().latency_ms;
         assert_eq!(h.count(), 2);
         assert_eq!(h.min(), 40.0);
         assert_eq!(h.max(), 300.0);
@@ -776,5 +1036,111 @@ mod tests {
         let s = bus.stats();
         assert_eq!(s.published, 1);
         assert_eq!(s.delivered, 2);
+        assert_eq!(bus.counters().published, 1);
+        assert_eq!(bus.counters().delivered, 2);
+    }
+
+    #[test]
+    fn invalid_subscription_pattern_is_rejected_with_typed_error() {
+        use crate::topic::PatternError;
+        let mut bus = MessageBus::new();
+        let err = bus.try_subscribe("a/#/b").unwrap_err();
+        assert_eq!(
+            err,
+            PatternError::HashNotFinal {
+                pattern: "a/#/b".into(),
+                segment: 1
+            }
+        );
+        // The rejected filter left no subscriber behind.
+        bus.publish(SimTime::ZERO, "n", "a/x/b", text("x"));
+        assert_eq!(bus.step(SimTime::from_millis(100)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid subscription pattern")]
+    fn invalid_subscription_pattern_panics_on_infallible_subscribe() {
+        let mut bus = MessageBus::new();
+        let _ = bus.subscribe("ids/#/alerts");
+    }
+
+    #[test]
+    fn fanout_shares_one_allocation_until_tampered() {
+        let mut bus = MessageBus::new();
+        let a = bus.subscribe("/t");
+        let b = bus.subscribe("#");
+        bus.publish(SimTime::ZERO, "n", "/t", text("shared"));
+        bus.step(SimTime::from_millis(100));
+        let ma = bus.drain(a).unwrap().remove(0);
+        let mb = bus.drain(b).unwrap().remove(0);
+        assert!(Arc::ptr_eq(&ma, &mb), "clean fanout must share the body");
+
+        // With a tamper in the path the body is copied exactly once and
+        // the mutated copy is what all subscribers share.
+        bus.install_tamper(
+            "/t",
+            Box::new(|m| {
+                m.payload = Payload::Text("evil".into());
+                true
+            }),
+        );
+        let keep = bus.publish(SimTime::from_secs(1), "n", "/t", text("clean"));
+        bus.step(SimTime::from_secs(2));
+        let ta = bus.drain(a).unwrap().remove(0);
+        let tb = bus.drain(b).unwrap().remove(0);
+        assert!(Arc::ptr_eq(&ta, &tb), "tampered fanout still shares one body");
+        assert!(!Arc::ptr_eq(&keep, &ta), "publisher's handle was CoW-detached");
+        assert_eq!(keep.payload, text("clean"), "publisher copy untouched");
+        assert_eq!(ta.payload, text("evil"));
+    }
+
+    #[test]
+    fn route_cache_follows_interleaved_rule_mutations() {
+        let mut bus = MessageBus::seeded(3);
+        let sub = bus.subscribe("/t");
+        bus.publish(SimTime::ZERO, "n", "/t", text("1"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(sub).unwrap().len(), 1, "route built clean");
+
+        // A late subscriber must appear in the cached route.
+        let late = bus.subscribe("/t");
+        bus.publish(SimTime::from_millis(100), "n", "/t", text("2"));
+        bus.step(SimTime::from_millis(200));
+        assert_eq!(bus.drain(late).unwrap().len(), 1, "cache saw the new sub");
+        assert_eq!(bus.drain(sub).unwrap().len(), 1);
+
+        // A blackout rule invalidates the cached loss...
+        bus.set_loss("/t", 1.0);
+        bus.publish(SimTime::from_millis(200), "n", "/t", text("3"));
+        bus.step(SimTime::from_millis(300));
+        assert_eq!(bus.drain(sub).unwrap().len(), 0, "cached route dropped it");
+
+        // ...and removing it restores the cached lossless route.
+        bus.remove_loss("/t");
+        bus.publish(SimTime::from_millis(300), "n", "/t", text("4"));
+        bus.step(SimTime::from_millis(400));
+        assert_eq!(bus.drain(sub).unwrap().len(), 1, "cache healed");
+    }
+
+    #[test]
+    fn topic_rewriting_tamper_reroutes_to_the_new_topic() {
+        let mut bus = MessageBus::new();
+        let orig = bus.subscribe("/orig");
+        let redirected = bus.subscribe("/redirected");
+        bus.install_tamper(
+            "/orig",
+            Box::new(|m| {
+                m.topic = "/redirected".into();
+                true
+            }),
+        );
+        bus.publish(SimTime::ZERO, "n", "/orig", text("x"));
+        bus.step(SimTime::from_millis(100));
+        assert_eq!(bus.drain(orig).unwrap().len(), 0);
+        assert_eq!(bus.drain(redirected).unwrap().len(), 1);
+        let s = bus.stats();
+        assert_eq!(s.topic("/orig").published, 1);
+        assert_eq!(s.topic("/redirected").tampered, 1);
+        assert_eq!(s.topic("/redirected").delivered, 1);
     }
 }

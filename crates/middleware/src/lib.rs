@@ -51,10 +51,14 @@ pub mod bus;
 pub mod chaos;
 pub mod message;
 pub mod network;
+pub mod reference;
+pub mod topic;
 
 pub use attack::{AttackInjector, AttackKind};
 pub use auth::{AuthKey, MessageAuth};
 pub use broker::{AlertBroker, BrokerSubscription};
-pub use bus::{BusError, BusStats, MessageBus, Subscription, TopicStats};
+pub use bus::{BusCounters, BusError, BusStats, MessageBus, Subscription, TopicStats};
 pub use message::{Message, Payload};
 pub use network::{LinkQuality, NetworkModel};
+pub use reference::{RefSubscription, ReferenceBus};
+pub use topic::{Pattern, PatternError, TopicId, TopicTable};

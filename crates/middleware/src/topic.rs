@@ -1,0 +1,335 @@
+//! Topic interning and precompiled wildcard patterns — the bus fast path.
+//!
+//! Every topic string that crosses the [`crate::bus::MessageBus`] is
+//! interned exactly once into a [`TopicTable`]: the string is segment-split
+//! at intern time and subsequent routing works on a small integer
+//! [`TopicId`] plus cached segment slices, never on repeated `str::split`.
+//! Subscription filters, loss rules, latency overrides and tamper hooks are
+//! compiled into a [`Pattern`] once at install time, so a wildcard match is
+//! a single walk over precomputed segments.
+//!
+//! Interning keys on the *exact* topic string (`"/a/b"` and `"a/b"` get
+//! distinct ids even though they match the same patterns, because per-topic
+//! stats have always been keyed by the raw string), while matching uses the
+//! empty-segment-filtered split, so `topic_matches` semantics are
+//! preserved byte for byte.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Interned handle to a concrete topic string. Cheap to copy and compare;
+/// resolves back to the original string through the [`TopicTable`] that
+/// issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopicId(u32);
+
+impl TopicId {
+    /// Dense index into per-topic tables (stats rows, route cache slots).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs the id for a dense table index (the inverse of
+    /// [`TopicId::index`]); only meaningful for indices issued by the same
+    /// [`TopicTable`].
+    pub fn from_index(index: usize) -> Self {
+        TopicId(index as u32)
+    }
+}
+
+struct TopicEntry {
+    name: Arc<str>,
+    /// Byte ranges of the non-empty `/`-separated segments of `name`.
+    seg_bounds: Vec<(u32, u32)>,
+}
+
+/// The interner: topic string → [`TopicId`], with the segment split done
+/// once at intern time.
+#[derive(Default)]
+pub struct TopicTable {
+    index: HashMap<Arc<str>, u32>,
+    entries: Vec<TopicEntry>,
+}
+
+impl fmt::Debug for TopicTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TopicTable")
+            .field("topics", &self.entries.len())
+            .finish()
+    }
+}
+
+impl TopicTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id for `topic`, interning it (one allocation, one
+    /// segment split) the first time it is seen.
+    pub fn intern(&mut self, topic: &str) -> TopicId {
+        if let Some(&id) = self.index.get(topic) {
+            return TopicId(id);
+        }
+        let name: Arc<str> = Arc::from(topic);
+        let mut seg_bounds = Vec::new();
+        let mut start = 0u32;
+        for (i, b) in topic.bytes().enumerate() {
+            if b == b'/' {
+                if i as u32 > start {
+                    seg_bounds.push((start, i as u32));
+                }
+                start = i as u32 + 1;
+            }
+        }
+        if topic.len() as u32 > start {
+            seg_bounds.push((start, topic.len() as u32));
+        }
+        let id = self.entries.len() as u32;
+        self.index.insert(Arc::clone(&name), id);
+        self.entries.push(TopicEntry { name, seg_bounds });
+        TopicId(id)
+    }
+
+    /// The exact topic string behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this table.
+    pub fn name(&self, id: TopicId) -> &str {
+        &self.entries[id.index()].name
+    }
+
+    /// The non-empty path segments of the topic, split once at intern time.
+    pub fn segments(&self, id: TopicId) -> impl Iterator<Item = &str> + Clone {
+        let e = &self.entries[id.index()];
+        e.seg_bounds
+            .iter()
+            .map(move |&(a, b)| &e.name[a as usize..b as usize])
+    }
+
+    /// Number of interned topics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no topic has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Why a wildcard pattern was rejected at compile time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatternError {
+    /// `#` appeared somewhere other than the final segment — such a filter
+    /// can never match any topic, so installing it is almost certainly a
+    /// caller bug.
+    HashNotFinal {
+        /// The offending pattern.
+        pattern: String,
+        /// Zero-based index of the misplaced `#` segment.
+        segment: usize,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::HashNotFinal { pattern, segment } => write!(
+                f,
+                "pattern {pattern:?} has '#' at segment {segment}, but '#' is only \
+                 valid as the final segment"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum PatSeg {
+    /// Must equal this literal segment.
+    Lit(Box<str>),
+    /// `+`: matches exactly one segment.
+    Plus,
+}
+
+/// A compiled MQTT-style topic filter: segment-split once, matched by a
+/// slice walk. `+` matches one segment, a trailing `#` matches any number
+/// of remaining segments (including zero). Leading and duplicate slashes
+/// are ignored, mirroring [`crate::broker::topic_matches`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pattern {
+    raw: String,
+    segs: Vec<PatSeg>,
+    open_tail: bool,
+    /// `false` for a leniently-compiled invalid pattern: it never matches,
+    /// which is exactly what the string matcher did with a misplaced `#`.
+    valid: bool,
+}
+
+impl Pattern {
+    /// Compiles `raw`, rejecting filters that could never match.
+    pub fn parse(raw: impl Into<String>) -> Result<Self, PatternError> {
+        let raw = raw.into();
+        let mut segs = Vec::new();
+        let mut open_tail = false;
+        let parts: Vec<&str> = raw.split('/').filter(|s| !s.is_empty()).collect();
+        for (i, part) in parts.iter().enumerate() {
+            match *part {
+                "#" => {
+                    if i != parts.len() - 1 {
+                        return Err(PatternError::HashNotFinal {
+                            pattern: raw,
+                            segment: i,
+                        });
+                    }
+                    open_tail = true;
+                }
+                "+" => segs.push(PatSeg::Plus),
+                lit => segs.push(PatSeg::Lit(lit.into())),
+            }
+        }
+        Ok(Pattern {
+            raw,
+            segs,
+            open_tail,
+            valid: true,
+        })
+    }
+
+    /// Compiles `raw` without rejecting invalid filters: a misplaced `#`
+    /// yields a pattern that simply never matches, byte-compatible with
+    /// the uncompiled string matcher. Used for loss/latency/tamper rules,
+    /// which historically tolerated (and ignored) such patterns.
+    pub fn parse_lenient(raw: impl Into<String>) -> Self {
+        let raw = raw.into();
+        match Pattern::parse(raw) {
+            Ok(p) => p,
+            Err(PatternError::HashNotFinal { pattern, .. }) => Pattern {
+                raw: pattern,
+                segs: Vec::new(),
+                open_tail: false,
+                valid: false,
+            },
+        }
+    }
+
+    /// The original filter string.
+    pub fn raw(&self) -> &str {
+        &self.raw
+    }
+
+    /// Matches against a pre-split segment sequence (zero allocation).
+    pub fn matches_segments<'a, I>(&self, mut topic: I) -> bool
+    where
+        I: Iterator<Item = &'a str>,
+    {
+        if !self.valid {
+            return false;
+        }
+        for seg in &self.segs {
+            match (seg, topic.next()) {
+                (PatSeg::Plus, Some(_)) => {}
+                (PatSeg::Lit(lit), Some(t)) if &**lit == t => {}
+                _ => return false,
+            }
+        }
+        self.open_tail || topic.next().is_none()
+    }
+
+    /// Matches against a raw topic string (splits on the fly, but without
+    /// collecting into vectors).
+    pub fn matches_topic(&self, topic: &str) -> bool {
+        self.matches_segments(topic.split('/').filter(|s| !s.is_empty()))
+    }
+}
+
+sesame_types::assert_send_sync!(TopicId, TopicTable, Pattern, PatternError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_exact() {
+        let mut t = TopicTable::new();
+        let a = t.intern("/a/b");
+        let b = t.intern("/a/b");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        // Same match semantics but a distinct raw string: distinct id,
+        // because per-topic stats key on the exact string.
+        let c = t.intern("a/b");
+        assert_ne!(a, c);
+        assert_eq!(t.name(a), "/a/b");
+        assert_eq!(t.name(c), "a/b");
+    }
+
+    #[test]
+    fn segments_filter_empties() {
+        let mut t = TopicTable::new();
+        let id = t.intern("//a///b/");
+        let segs: Vec<&str> = t.segments(id).collect();
+        assert_eq!(segs, vec!["a", "b"]);
+        let root = t.intern("/");
+        assert_eq!(t.segments(root).count(), 0);
+    }
+
+    #[test]
+    fn pattern_matches_agree_with_string_matcher() {
+        use crate::broker::topic_matches;
+        let cases = [
+            ("ids/alerts/#", "ids/alerts/uav1/spoof"),
+            ("ids/+/uav1", "ids/alerts/uav1"),
+            ("ids/+", "ids/alerts/uav1"),
+            ("a/#", "a"),
+            ("#", "anything/at/all"),
+            ("/a/b", "a/b"),
+            ("a/+", "a"),
+            ("a/b/c", "a/b"),
+            ("+/+", "x/y"),
+        ];
+        let mut table = TopicTable::new();
+        for (pat, topic) in cases {
+            let compiled = Pattern::parse_lenient(pat);
+            let id = table.intern(topic);
+            assert_eq!(
+                compiled.matches_topic(topic),
+                topic_matches(pat, topic),
+                "string path diverged for {pat} vs {topic}"
+            );
+            assert_eq!(
+                compiled.matches_segments(table.segments(id)),
+                topic_matches(pat, topic),
+                "interned path diverged for {pat} vs {topic}"
+            );
+        }
+    }
+
+    #[test]
+    fn misplaced_hash_is_a_typed_error() {
+        let err = Pattern::parse("a/#/b").unwrap_err();
+        assert_eq!(
+            err,
+            PatternError::HashNotFinal {
+                pattern: "a/#/b".into(),
+                segment: 1
+            }
+        );
+        assert!(err.to_string().contains("final segment"));
+        // Lenient compile never matches — the historical behaviour.
+        let lenient = Pattern::parse_lenient("a/#/b");
+        assert!(!lenient.matches_topic("a/x/b"));
+        assert!(!lenient.matches_topic("a/b"));
+    }
+
+    #[test]
+    fn literal_hash_inside_segment_is_not_a_wildcard() {
+        let p = Pattern::parse("a#b/c").unwrap();
+        assert!(p.matches_topic("a#b/c"));
+        assert!(!p.matches_topic("a/c"));
+    }
+}

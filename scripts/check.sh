@@ -28,4 +28,8 @@ if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
     exit 1
 fi
 
-echo "OK: build, tests, clippy, parallel chaos smoke and determinism diff all green"
+echo "==> busbench smoke: zero-copy fanout must hold its 3x margin over the reference bus"
+cargo run -q --release -p sesame-bench --bin busbench -- smoke > BENCH_bus.json
+cat BENCH_bus.json
+
+echo "OK: build, tests, clippy, parallel chaos smoke, determinism diff and busbench all green"
