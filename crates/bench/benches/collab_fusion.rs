@@ -3,11 +3,11 @@
 //! two assisting UAVs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sesame_collab_loc::fusion::fuse_estimates;
 use sesame_collab_loc::geometry::{estimate_from_observation, PositionEstimate};
 use sesame_types::geo::GeoPoint;
 use sesame_vision::drone_detect::DroneObservation;
+use std::hint::black_box;
 
 fn estimates(n: usize) -> Vec<PositionEstimate> {
     let anchor = GeoPoint::new(35.0, 33.0, 0.0);
@@ -55,7 +55,7 @@ fn bench_geometry(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

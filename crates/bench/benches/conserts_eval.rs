@@ -3,10 +3,10 @@
 //! be cheap.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sesame_conserts::catalog::{self, UavEvidence};
 use sesame_conserts::engine::ConsertNetwork;
 use sesame_conserts::model::{Consert, Guarantee, Tree};
+use std::hint::black_box;
 
 fn bench_catalog(c: &mut Criterion) {
     c.bench_function("conserts/build_uav_network", |b| {
@@ -45,7 +45,7 @@ fn bench_chain_depth(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

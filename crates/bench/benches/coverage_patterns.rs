@@ -33,7 +33,9 @@ fn bench_path_length(c: &mut Criterion) {
     // lands in bench_output.txt next to the costs.
     let origin = GeoPoint::new(35.0, 33.0, 0.0);
     let strip = split_strips(3)[1];
-    let b_len = path_length_m(&boustrophedon_path(&origin, 600.0, 400.0, &strip, 30.0, 25.0));
+    let b_len = path_length_m(&boustrophedon_path(
+        &origin, 600.0, 400.0, &strip, 30.0, 25.0,
+    ));
     let s_len = path_length_m(&spiral_path(&origin, 600.0, 400.0, &strip, 30.0, 25.0));
     println!(
         "coverage/length: boustrophedon {b_len:.0} m, spiral {s_len:.0} m (ratio {:.2})",
@@ -45,7 +47,7 @@ fn bench_path_length(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -3,10 +3,10 @@
 //! the integral measures pay more per point.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sesame_safeml::distance::DistanceMeasure;
+use std::hint::black_box;
 
 fn sample(n: usize, shift: f64, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -45,7 +45,7 @@ fn bench_permutation_test(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -2,12 +2,12 @@
 //! battery fault — per-tick monitor cost and the full scenario kernel.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sesame_safedrones::monitor::{SafeDronesConfig, SafeDronesMonitor};
 use sesame_types::geo::GeoPoint;
 use sesame_types::ids::UavId;
 use sesame_types::telemetry::UavTelemetry;
 use sesame_types::time::{SimDuration, SimTime};
+use std::hint::black_box;
 
 fn telemetry(t: u64, soc: f64, temp: f64) -> UavTelemetry {
     let mut tel = UavTelemetry::nominal(
@@ -70,7 +70,7 @@ fn bench_fault_to_threshold(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

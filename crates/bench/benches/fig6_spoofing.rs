@@ -2,7 +2,6 @@
 //! on clean vs forged traffic, and the innovation-gate spoof detector.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sesame_middleware::auth::{AuthKey, MessageAuth};
 use sesame_middleware::message::{Message, Payload};
 use sesame_security::ids::{Ids, IdsConfig};
@@ -10,6 +9,7 @@ use sesame_security::spoof::SpoofDetector;
 use sesame_types::geo::{GeoPoint, Vec3};
 use sesame_types::ids::UavId;
 use sesame_types::time::SimTime;
+use std::hint::black_box;
 
 fn signed_waypoint(auth: &MessageAuth, seq: u64) -> Message {
     let mut m = Message::new(
@@ -73,7 +73,7 @@ fn bench_spoof_detector(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -2,11 +2,11 @@
 //! sighting geometry → fusion → Kalman smoothing) and the guidance law.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use sesame_collab_loc::agent::CollaborativeAgent;
 use sesame_collab_loc::session::{CollabSession, LandingGuidance};
 use sesame_types::geo::GeoPoint;
 use sesame_types::time::SimTime;
+use std::hint::black_box;
 
 fn bench_cl_round(c: &mut Criterion) {
     c.bench_function("fig7/cl_session_round", |b| {
@@ -38,15 +38,13 @@ fn bench_guidance(c: &mut Criterion) {
         let mut step = 0u64;
         b.iter(|| {
             step += 1;
-            let est = pad
-                .destination((step % 360) as f64, 30.0)
-                .with_alt(20.0);
+            let est = pad.destination((step % 360) as f64, 30.0).with_alt(20.0);
             black_box(guidance.velocity_command(&est))
         });
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

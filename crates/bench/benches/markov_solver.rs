@@ -3,8 +3,8 @@
 //! versus solving longer horizons at once.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sesame_safedrones::markov::{Ctmc, CtmcProcess};
+use std::hint::black_box;
 
 fn chain(n: usize, rate: f64) -> Ctmc {
     let mut c = Ctmc::new(n);
@@ -53,7 +53,7 @@ fn bench_step_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

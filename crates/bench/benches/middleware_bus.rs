@@ -3,11 +3,11 @@
 //! exercises the Send bounds by preparing messages on worker threads.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-use std::sync::mpsc;
 use sesame_middleware::bus::MessageBus;
 use sesame_middleware::message::{Message, Payload};
 use sesame_types::time::SimTime;
+use std::hint::black_box;
+use std::sync::mpsc;
 
 fn bench_bus_cycle(c: &mut Criterion) {
     let mut group = c.benchmark_group("bus/publish_step_drain");
@@ -82,7 +82,7 @@ fn bench_threaded_producers(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -3,7 +3,6 @@
 //! operating altitudes, plus the altitude-policy decision.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sesame_deepknowledge::nn::{Activation, Mlp};
 use sesame_deepknowledge::transfer::TransferAnalyzer;
 use sesame_deepknowledge::uncertainty::UncertaintyMonitor;
@@ -11,6 +10,7 @@ use sesame_safeml::monitor::{SafeMlConfig, SafeMlMonitor};
 use sesame_sar::accuracy::AltitudePolicy;
 use sesame_sinadra::risk::{SarRiskModel, SituationInputs};
 use sesame_vision::features::{FeatureExtractor, SceneCondition};
+use std::hint::black_box;
 
 fn bench_uncertainty_pipeline(c: &mut Criterion) {
     let mut group = c.benchmark_group("sar_accuracy/uncertainty_tick");
@@ -62,7 +62,7 @@ fn bench_policy(c: &mut Criterion) {
     });
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -2,10 +2,10 @@
 //! that runs per tick, and variable elimination vs network size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use sesame_sinadra::bn::BayesianNetwork;
 use sesame_sinadra::inference::{query, Evidence};
 use sesame_sinadra::risk::{SarRiskModel, SituationInputs};
+use std::hint::black_box;
 
 fn bench_risk_model(c: &mut Criterion) {
     c.bench_function("sinadra/sar_risk_assess", |b| {
@@ -56,7 +56,7 @@ fn bench_chain_inference(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)

@@ -27,10 +27,7 @@ use sesame_types::time::SimTime;
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let jobs = parallel::effective_jobs(parallel::take_jobs_arg(&mut args));
-    let runs: u64 = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(50);
+    let runs: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
     let mode = args.get(1).cloned().unwrap_or_default();
     let config = CampaignConfig {
         runs,
@@ -54,7 +51,10 @@ fn main() {
     let report = parallel::run_campaign(&ChaosCampaign::new(config), jobs);
     print!("{}", report.render_full());
     if !report.all_clean() {
-        eprintln!("chaos campaign FAILED: {} violations", report.total_violations());
+        eprintln!(
+            "chaos campaign FAILED: {} violations",
+            report.total_violations()
+        );
         std::process::exit(1);
     }
     println!("chaos campaign clean");

@@ -58,7 +58,9 @@ fn header(title: &str) {
 fn fig5() {
     header("Fig. 5 / §V-A — Probability of failure under a battery fault");
     let r = experiments::fig5(SEED);
-    println!("paper:    availability 91% (SESAME) vs 80% (baseline); 11% completion-time improvement;");
+    println!(
+        "paper:    availability 91% (SESAME) vs 80% (baseline); 11% completion-time improvement;"
+    );
     println!("          PoF threshold 0.9 reached ≈510 s (mission end), fault at 250 s");
     println!(
         "measured: availability {:.1}% (SESAME) vs {:.1}% (baseline) on the affected UAV",
@@ -168,7 +170,10 @@ fn robustness(jobs: usize) {
     header("Robustness — Fig. 5 shape across seeds");
     let seeds = [7u64, 42, 1234];
     let r = parallel::fig5_robustness(&seeds, jobs);
-    println!("{:<8} {:>14} {:>18}", "seed", "improvement", "availability gain");
+    println!(
+        "{:<8} {:>14} {:>18}",
+        "seed", "improvement", "availability gain"
+    );
     for i in 0..r.seeds.len() {
         println!(
             "{:<8} {:>13.1}% {:>17.1}pp",

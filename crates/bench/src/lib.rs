@@ -19,8 +19,16 @@ pub fn fig6_summary_table(r: &Fig6Result) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "fig6 summary (seeded, deterministic)");
-    let _ = writeln!(out, "  attack start              {:>10.0} s", r.attack_start_secs);
-    let _ = writeln!(out, "  max deviation (no SESAME) {:>10.1} m", r.max_deviation_m);
+    let _ = writeln!(
+        out,
+        "  attack start              {:>10.0} s",
+        r.attack_start_secs
+    );
+    let _ = writeln!(
+        out,
+        "  max deviation (no SESAME) {:>10.1} m",
+        r.max_deviation_m
+    );
     let _ = writeln!(
         out,
         "  detection latency         {:>10}",
@@ -38,7 +46,10 @@ pub fn fig6_summary_table(r: &Fig6Result) -> String {
         "  deviation samples         {:>10}",
         r.deviation_series.len()
     );
-    let _ = writeln!(out, "observability (protected run, deterministic projection):");
+    let _ = writeln!(
+        out,
+        "observability (protected run, deterministic projection):"
+    );
     out.push_str(&r.protected_metrics.without_wall_clock().render_table());
     out
 }
@@ -60,7 +71,10 @@ pub fn sparkline(series: &[(f64, f64)], width: usize) -> String {
     }
     const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let min = series.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
-    let max = series.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max);
+    let max = series
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(f64::NEG_INFINITY, f64::max);
     let span = (max - min).max(1e-12);
     let step = (series.len() as f64 / width as f64).max(1.0);
     let mut out = String::with_capacity(width);

@@ -223,7 +223,12 @@ mod tests {
 
     #[test]
     fn jobs_arg_parsing_strips_flag_variants() {
-        let mut args = vec!["50".to_string(), "--jobs".into(), "4".into(), "smoke".into()];
+        let mut args = vec![
+            "50".to_string(),
+            "--jobs".into(),
+            "4".into(),
+            "smoke".into(),
+        ];
         assert_eq!(take_jobs_arg(&mut args), Some(4));
         assert_eq!(args, vec!["50".to_string(), "smoke".into()]);
 

@@ -42,7 +42,9 @@ impl CollaborativeAgent {
         affected_true_position: &GeoPoint,
     ) -> Option<PositionEstimate> {
         self.observations_made += 1;
-        let obs = self.detector.observe(own_position, affected_true_position)?;
+        let obs = self
+            .detector
+            .observe(own_position, affected_true_position)?;
         self.detections += 1;
         Some(estimate_from_observation(own_position, &obs))
     }
@@ -72,7 +74,11 @@ mod tests {
                 errors.push(est.position.distance_3d_m(&target));
             }
         }
-        assert!(agent.detection_rate() > 0.5, "rate {}", agent.detection_rate());
+        assert!(
+            agent.detection_rate() > 0.5,
+            "rate {}",
+            agent.detection_rate()
+        );
         let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
         assert!(mean_err < 5.0, "mean error {mean_err}");
     }

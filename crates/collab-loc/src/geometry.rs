@@ -39,10 +39,7 @@ pub struct PositionEstimate {
 /// assert!((est.position.alt_m - 30.0).abs() < 1e-9);
 /// assert!((me.haversine_distance_m(&est.position) - 50.0).abs() < 1e-6);
 /// ```
-pub fn estimate_from_observation(
-    observer: &GeoPoint,
-    obs: &DroneObservation,
-) -> PositionEstimate {
+pub fn estimate_from_observation(observer: &GeoPoint, obs: &DroneObservation) -> PositionEstimate {
     let elev = obs.elevation_deg.to_radians();
     let horizontal = obs.range_m * elev.cos();
     let vertical = obs.range_m * elev.sin();
@@ -88,9 +85,7 @@ mod tests {
         let expected_up = 40.0 * 30f64.to_radians().sin();
         let expected_horiz = 40.0 * 30f64.to_radians().cos();
         assert!((est.position.alt_m - (30.0 + expected_up)).abs() < 1e-9);
-        assert!(
-            (observer().haversine_distance_m(&est.position) - expected_horiz).abs() < 1e-6
-        );
+        assert!((observer().haversine_distance_m(&est.position) - expected_horiz).abs() < 1e-6);
     }
 
     #[test]
@@ -104,7 +99,9 @@ mod tests {
         // Build a true target, compute the exact observation, reconstruct.
         let target = observer().destination(73.0, 60.0).with_alt(45.0);
         let horiz = observer().haversine_distance_m(&target);
-        let elev = ((target.alt_m - observer().alt_m) / horiz).atan().to_degrees();
+        let elev = ((target.alt_m - observer().alt_m) / horiz)
+            .atan()
+            .to_degrees();
         let range = observer().distance_3d_m(&target);
         let est = estimate_from_observation(&observer(), &obs(73.0, elev, range));
         assert!(

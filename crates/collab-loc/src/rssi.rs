@@ -219,18 +219,15 @@ mod tests {
     fn ranging_is_unbiased_in_log_domain() {
         let mut radio = RssiRanging::new(3);
         let n = 4000;
-        let mean_log: f64 = (0..n)
-            .map(|_| radio.measure_range(60.0).ln())
-            .sum::<f64>()
-            / n as f64;
+        let mean_log: f64 = (0..n).map(|_| radio.measure_range(60.0).ln()).sum::<f64>() / n as f64;
         assert!((mean_log - 60.0f64.ln()).abs() < 0.02, "{mean_log}");
     }
 
     #[test]
     fn exact_ranges_trilaterate_exactly() {
         let target = origin().destination(70.0, 45.0).with_alt(26.0);
-        let anchors = [10.0, 130.0, 250.0, 60.0]
-            .map(|b| origin().destination(b, 70.0).with_alt(33.0));
+        let anchors =
+            [10.0, 130.0, 250.0, 60.0].map(|b| origin().destination(b, 70.0).with_alt(33.0));
         let ms: Vec<RangeMeasurement> = anchors
             .iter()
             .map(|a| RangeMeasurement {
@@ -239,15 +236,19 @@ mod tests {
             })
             .collect();
         let fix = trilaterate(&ms, 30.0).unwrap();
-        assert!(fix.distance_3d_m(&target) < 0.5, "err {}", fix.distance_3d_m(&target));
+        assert!(
+            fix.distance_3d_m(&target) < 0.5,
+            "err {}",
+            fix.distance_3d_m(&target)
+        );
     }
 
     #[test]
     fn noisy_rssi_ranges_localize_within_meters() {
         let mut radio = RssiRanging::new(7);
         let target = origin().destination(45.0, 40.0).with_alt(30.0);
-        let anchors = [0.0, 90.0, 180.0, 270.0]
-            .map(|b| origin().destination(b, 60.0).with_alt(32.0));
+        let anchors =
+            [0.0, 90.0, 180.0, 270.0].map(|b| origin().destination(b, 60.0).with_alt(32.0));
         // Average several RSSI rounds to tame the shadowing.
         let mut errors = Vec::new();
         for _ in 0..50 {
@@ -255,8 +256,7 @@ mod tests {
                 .iter()
                 .map(|a| {
                     let true_d = a.distance_3d_m(&target);
-                    let avg: f64 =
-                        (0..8).map(|_| radio.measure_range(true_d)).sum::<f64>() / 8.0;
+                    let avg: f64 = (0..8).map(|_| radio.measure_range(true_d)).sum::<f64>() / 8.0;
                     RangeMeasurement {
                         anchor: *a,
                         range_m: avg,

@@ -132,11 +132,11 @@ impl CollabSession {
                 .iter()
                 .map(|obs| crate::rssi::RangeMeasurement {
                     anchor: *obs,
-                    range_m: radio.measure_range(obs.distance_3d_m(affected_true_position).max(0.1)),
+                    range_m: radio
+                        .measure_range(obs.distance_3d_m(affected_true_position).max(0.1)),
                 })
                 .collect();
-            if let Some(fix) =
-                crate::rssi::trilaterate(&measurements, affected_true_position.alt_m)
+            if let Some(fix) = crate::rssi::trilaterate(&measurements, affected_true_position.alt_m)
             {
                 estimates.push(PositionEstimate {
                     position: fix,
@@ -258,11 +258,8 @@ mod tests {
         let mut session = CollabSession::new(agents(), anchor());
         let mut last = None;
         for s in 1..=100u64 {
-            if let Some(fix) = session.step(
-                SimTime::from_millis(s * 100),
-                &[obs1, obs2],
-                &affected,
-            ) {
+            if let Some(fix) = session.step(SimTime::from_millis(s * 100), &[obs1, obs2], &affected)
+            {
                 last = Some(fix);
             }
         }

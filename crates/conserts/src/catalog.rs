@@ -37,7 +37,7 @@ pub enum UavAction {
 }
 
 impl UavAction {
-    fn from_guarantee(name: &str) -> Option<UavAction> {
+    pub(crate) fn from_guarantee(name: &str) -> Option<UavAction> {
         Some(match name {
             "continue_can_take_more" => UavAction::ContinueCanTakeMore,
             "continue_mission" => UavAction::ContinueMission,
@@ -135,6 +135,24 @@ impl UavEvidence {
         }
     }
 
+    /// Packs the ten booleans into a bit mask — the per-tick evidence
+    /// fingerprint the incremental layer keys its skip decision on.
+    /// Two snapshots share a fingerprint iff they are field-for-field
+    /// equal, so a fingerprint match is a sound reason to skip
+    /// re-evaluation.
+    pub fn fingerprint(self) -> u16 {
+        u16::from(self.gps_usable)
+            | u16::from(self.no_attack) << 1
+            | u16::from(self.vision_healthy) << 2
+            | u16::from(self.safeml_ok) << 3
+            | u16::from(self.comm_ok) << 4
+            | u16::from(self.neighbors_available) << 5
+            | u16::from(self.assistant_available) << 6
+            | u16::from(self.rel_high) << 7
+            | u16::from(self.rel_med) << 8
+            | u16::from(self.rel_low) << 9
+    }
+
     /// Converts to the engine's evidence set.
     pub fn to_evidence(self) -> Evidence {
         let mut ids: Vec<&str> = Vec::new();
@@ -172,7 +190,7 @@ impl UavEvidence {
     }
 }
 
-fn scoped(uav: &str, name: &str) -> String {
+pub(crate) fn scoped(uav: &str, name: &str) -> String {
     format!("{uav}/{name}")
 }
 
@@ -272,7 +290,10 @@ pub fn uav_consert_network(uav: &str) -> ConsertNetwork {
             Guarantee::new(
                 "continue_mission",
                 Tree::And(vec![
-                    Tree::Or(vec![nav("high_performance_0_5m"), nav("collaborative_0_75m")]),
+                    Tree::Or(vec![
+                        nav("high_performance_0_5m"),
+                        nav("collaborative_0_75m"),
+                    ]),
                     Tree::Or(vec![rel("rel_high"), rel("rel_med")]),
                 ]),
             ),
@@ -283,10 +304,7 @@ pub fn uav_consert_network(uav: &str) -> ConsertNetwork {
                     Tree::Or(vec![rel("rel_high"), rel("rel_med")]),
                 ]),
             ),
-            Guarantee::new(
-                "return_to_base",
-                Tree::And(vec![any_nav(), rel("rel_low")]),
-            ),
+            Guarantee::new("return_to_base", Tree::And(vec![any_nav(), rel("rel_low")])),
             Guarantee::new("emergency_land", Tree::Always),
         ],
     );

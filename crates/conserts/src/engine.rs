@@ -29,8 +29,12 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::DuplicateConsert(c) => write!(f, "duplicate certificate `{c}`"),
-            EvalError::UnknownConsert(c) => write!(f, "demand references unknown certificate `{c}`"),
-            EvalError::UnknownGuarantee(g) => write!(f, "demand references unknown guarantee `{g}`"),
+            EvalError::UnknownConsert(c) => {
+                write!(f, "demand references unknown certificate `{c}`")
+            }
+            EvalError::UnknownGuarantee(g) => {
+                write!(f, "demand references unknown guarantee `{g}`")
+            }
             EvalError::DemandCycle(cs) => write!(f, "demand cycle through {cs:?}"),
         }
     }
@@ -158,10 +162,13 @@ impl ConsertNetwork {
                 }
             }
             let top = names.first().cloned();
-            results.insert(c.name.clone(), EvalResult {
-                fulfilled: names,
-                top,
-            });
+            results.insert(
+                c.name.clone(),
+                EvalResult {
+                    fulfilled: names,
+                    top,
+                },
+            );
         }
         results
     }

@@ -106,7 +106,14 @@ fn collect_tree(
         }
         Tree::And(children) | Tree::Or(children) => {
             for c in children {
-                collect_tree(c, parent, out, evidence_counter, guarantee_ids, demand_edges);
+                collect_tree(
+                    c,
+                    parent,
+                    out,
+                    evidence_counter,
+                    guarantee_ids,
+                    demand_edges,
+                );
             }
         }
     }

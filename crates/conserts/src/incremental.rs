@@ -1,0 +1,198 @@
+//! Fingerprint-gated ConSert evaluation — the ConSert leg of the EDDI
+//! fast path.
+//!
+//! The naive per-tick flow evaluates the UAV's certificate network
+//! **twice** (once in [`catalog::evaluate_uav`] for the action, once in
+//! [`catalog::certified_navigation_accuracy_m`] for the accuracy bound),
+//! rebuilding a `HashMap<String, EvalResult>` with freshly-cloned `String`
+//! keys each time. [`IncrementalConsertNetwork`] folds both lookups into
+//! one evaluation, and short-circuits that single evaluation entirely
+//! when the ten-boolean evidence snapshot is bit-identical to the
+//! previous tick ([`UavEvidence::fingerprint`]).
+//!
+//! The cache deliberately remembers only the **previous tick** — not an
+//! unbounded memo — so evidence that genuinely toggles every tick is
+//! re-evaluated every tick (the cache must not win, but must stay
+//! correct), while the steady-state common case costs one `u16` compare.
+//! [`ConsertNetwork::evaluate`] is a pure function of the evidence set,
+//! so replaying a stored decision for equal evidence is exact.
+
+use crate::catalog::{self, UavAction, UavEvidence};
+use crate::engine::ConsertNetwork;
+use crate::model::Dimension;
+
+/// The per-tick ConSert outcome for one UAV: what the naive path computes
+/// with two network evaluations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConsertDecision {
+    /// The UAV certificate's top guarantee, as an action.
+    pub action: Option<UavAction>,
+    /// The navigation certificate's certified accuracy bound, metres.
+    pub nav_accuracy_m: Option<f64>,
+}
+
+/// Hit/miss counters of the fingerprint gate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConsertCacheStats {
+    /// Ticks whose evidence matched the previous tick bit for bit.
+    pub hits: u64,
+    /// Ticks that re-evaluated the network.
+    pub misses: u64,
+}
+
+/// A per-UAV certificate network with the previous-tick decision cached
+/// under its evidence fingerprint.
+#[derive(Debug, Clone)]
+pub struct IncrementalConsertNetwork {
+    network: ConsertNetwork,
+    uav: String,
+    last: Option<(u16, ConsertDecision)>,
+    stats: ConsertCacheStats,
+}
+
+impl IncrementalConsertNetwork {
+    /// Builds the Fig. 1 catalog network for `uav` and wraps it.
+    pub fn new(uav: impl Into<String>) -> Self {
+        let uav = uav.into();
+        IncrementalConsertNetwork {
+            network: catalog::uav_consert_network(&uav),
+            uav,
+            last: None,
+            stats: ConsertCacheStats::default(),
+        }
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &ConsertNetwork {
+        &self.network
+    }
+
+    /// The UAV name the certificate scope uses.
+    pub fn uav(&self) -> &str {
+        &self.uav
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> ConsertCacheStats {
+        self.stats
+    }
+
+    /// Evaluates the network for the current evidence — or replays the
+    /// previous tick's decision when the fingerprint is unchanged. One
+    /// evaluation serves both the action and the navigation accuracy.
+    pub fn decide(&mut self, evidence: &UavEvidence) -> ConsertDecision {
+        let fp = evidence.fingerprint();
+        if let Some((last_fp, decision)) = &self.last {
+            if *last_fp == fp {
+                self.stats.hits += 1;
+                return *decision;
+            }
+        }
+        self.stats.misses += 1;
+        let results = self.network.evaluate(&evidence.to_evidence());
+        let action = results
+            .get(&catalog::scoped(&self.uav, "uav"))
+            .and_then(|r| r.top.as_deref())
+            .and_then(UavAction::from_guarantee);
+        let nav_name = catalog::scoped(&self.uav, "navigation");
+        let nav_accuracy_m = results
+            .get(&nav_name)
+            .and_then(|r| r.top.as_deref())
+            .and_then(|top| {
+                self.network
+                    .conserts()
+                    .iter()
+                    .find(|c| c.name == nav_name)?
+                    .guarantee(top)
+                    .and_then(|g| match g.dimension {
+                        Some(Dimension::NavigationAccuracyM(m)) => Some(m),
+                        _ => None,
+                    })
+            });
+        let decision = ConsertDecision {
+            action,
+            nav_accuracy_m,
+        };
+        self.last = Some((fp, decision));
+        decision
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{certified_navigation_accuracy_m, evaluate_uav, uav_consert_network};
+
+    fn naive(net: &ConsertNetwork, uav: &str, e: &UavEvidence) -> ConsertDecision {
+        ConsertDecision {
+            action: evaluate_uav(net, uav, e),
+            nav_accuracy_m: certified_navigation_accuracy_m(net, uav, e),
+        }
+    }
+
+    /// Sweep all 1024 evidence combinations: the single-evaluation decide
+    /// must match the naive two-evaluation path exactly.
+    #[test]
+    fn decide_matches_naive_over_all_evidence_combinations() {
+        let net = uav_consert_network("uav0");
+        let mut inc = IncrementalConsertNetwork::new("uav0");
+        for mask in 0u16..1024 {
+            let e = UavEvidence {
+                gps_usable: mask & 1 != 0,
+                no_attack: mask & 2 != 0,
+                vision_healthy: mask & 4 != 0,
+                safeml_ok: mask & 8 != 0,
+                comm_ok: mask & 16 != 0,
+                neighbors_available: mask & 32 != 0,
+                assistant_available: mask & 64 != 0,
+                rel_high: mask & 128 != 0,
+                rel_med: mask & 256 != 0,
+                rel_low: mask & 512 != 0,
+            };
+            assert_eq!(e.fingerprint(), mask, "fingerprint must mirror the mask");
+            assert_eq!(
+                inc.decide(&e),
+                naive(&net, "uav0", &e),
+                "diverged at mask {mask:#06b}"
+            );
+        }
+        // Every mask differs from its predecessor: all misses.
+        assert_eq!(inc.stats().misses, 1024);
+        assert_eq!(inc.stats().hits, 0);
+    }
+
+    #[test]
+    fn steady_evidence_short_circuits() {
+        let mut inc = IncrementalConsertNetwork::new("uav1");
+        let e = UavEvidence::nominal();
+        let first = inc.decide(&e);
+        for _ in 0..9 {
+            assert_eq!(inc.decide(&e), first);
+        }
+        assert_eq!(inc.stats().misses, 1);
+        assert_eq!(inc.stats().hits, 9);
+        assert_eq!(first.action, Some(UavAction::ContinueCanTakeMore));
+        assert_eq!(first.nav_accuracy_m, Some(0.5));
+    }
+
+    /// Evidence toggling every tick never hits the last-tick cache but
+    /// every answer stays correct — the issue's explicit edge case.
+    #[test]
+    fn toggling_evidence_never_hits_but_stays_correct() {
+        let net = uav_consert_network("uav2");
+        let mut inc = IncrementalConsertNetwork::new("uav2");
+        let healthy = UavEvidence::nominal();
+        let degraded = UavEvidence {
+            gps_usable: false,
+            rel_high: false,
+            rel_med: true,
+            ..UavEvidence::nominal()
+        };
+        for tick in 0..20 {
+            let e = if tick % 2 == 0 { healthy } else { degraded };
+            assert_eq!(inc.decide(&e), naive(&net, "uav2", &e), "tick {tick}");
+        }
+        assert_eq!(inc.stats().hits, 0, "alternating evidence must not hit");
+        assert_eq!(inc.stats().misses, 20);
+    }
+}

@@ -29,11 +29,13 @@
 //! assert_eq!(action, catalog::UavAction::ContinueCanTakeMore);
 //! ```
 
-pub mod export;
 pub mod catalog;
 pub mod engine;
+pub mod export;
+pub mod incremental;
 pub mod model;
 
 pub use catalog::{MissionDecision, UavAction, UavEvidence};
 pub use engine::{ConsertNetwork, EvalError, EvalResult};
+pub use incremental::{ConsertCacheStats, ConsertDecision, IncrementalConsertNetwork};
 pub use model::{Consert, Dimension, Guarantee, GuaranteeRef, RteId, Tree};

@@ -119,8 +119,7 @@ impl CampaignReport {
     /// derived from it, including [`CampaignReport::merged_obs`] — is
     /// byte-identical to the serial path regardless of completion order.
     pub fn from_runs(runs: impl IntoIterator<Item = RunReport>) -> Self {
-        let by_seed: BTreeMap<u64, RunReport> =
-            runs.into_iter().map(|r| (r.seed, r)).collect();
+        let by_seed: BTreeMap<u64, RunReport> = runs.into_iter().map(|r| (r.seed, r)).collect();
         CampaignReport {
             runs: by_seed.into_values().collect(),
         }
@@ -210,8 +209,17 @@ enum Injected {
 impl Injected {
     fn label(&self) -> String {
         match self {
-            Injected::Vehicle { at, uav_index, kind } => {
-                format!("t{}s uav{} {:?}", at.as_millis() / 1000, uav_index + 1, kind)
+            Injected::Vehicle {
+                at,
+                uav_index,
+                kind,
+            } => {
+                format!(
+                    "t{}s uav{} {:?}",
+                    at.as_millis() / 1000,
+                    uav_index + 1,
+                    kind
+                )
             }
             Injected::Comm { at, duration, kind } => format!(
                 "t{}s {}s {}",
@@ -309,7 +317,11 @@ impl ChaosCampaign {
         let mut builder = self.template.instantiate(seed);
         for inj in schedule {
             builder = match inj.clone() {
-                Injected::Vehicle { at, uav_index, kind } => builder.fault(at, uav_index, kind),
+                Injected::Vehicle {
+                    at,
+                    uav_index,
+                    kind,
+                } => builder.fault(at, uav_index, kind),
                 Injected::Comm { at, duration, kind } => builder.comm_fault(at, duration, kind),
             };
         }
@@ -322,7 +334,9 @@ impl ChaosCampaign {
         // world/bus/detector RNGs, which also derive from `seed`.
         let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A0_5CAB_005E_ED42);
         let mut schedule = Vec::with_capacity(self.config.faults_per_run);
-        let horizon_s = (self.config.deadline.as_millis() / 1000).saturating_sub(40).max(30);
+        let horizon_s = (self.config.deadline.as_millis() / 1000)
+            .saturating_sub(40)
+            .max(30);
         for _ in 0..self.config.faults_per_run {
             // Start somewhere the fleet is already flying, early enough
             // that the fault's consequences play out before the deadline.
@@ -447,9 +461,7 @@ impl ChaosCampaign {
                         && *at + sup.fallback_after + margin <= run_end
                 )
             });
-            if must_fall_back
-                && outcome.obs_metrics.counter("supervision.to_safe_fallback") == 0
-            {
+            if must_fall_back && outcome.obs_metrics.counter("supervision.to_safe_fallback") == 0 {
                 violations.push(
                     "link blackout exceeded the fallback window but no \
                      SafeFallback transition was recorded"
@@ -465,8 +477,7 @@ impl ChaosCampaign {
             match replay {
                 Err(_) => violations.push("replay panicked".into()),
                 Ok(replay) => {
-                    if replay.metrics.mission_completed_fraction
-                        != m.mission_completed_fraction
+                    if replay.metrics.mission_completed_fraction != m.mission_completed_fraction
                         || replay.metrics.mission_complete_secs != m.mission_complete_secs
                         || replay.trajectories != outcome.trajectories
                         || replay.obs_metrics.counter("platform.ticks")
@@ -548,7 +559,11 @@ mod tests {
 
     #[test]
     fn from_runs_orders_by_seed_regardless_of_arrival() {
-        let shuffled = vec![stub_run(9, Vec::new()), stub_run(3, Vec::new()), stub_run(7, Vec::new())];
+        let shuffled = vec![
+            stub_run(9, Vec::new()),
+            stub_run(3, Vec::new()),
+            stub_run(7, Vec::new()),
+        ];
         let report = CampaignReport::from_runs(shuffled);
         let seeds: Vec<u64> = report.runs.iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![3, 7, 9]);

@@ -73,12 +73,8 @@ impl DependabilityReport {
         safety: ReliabilityEstimate,
         security: Vec<SecurityStatus>,
     ) -> Self {
-        let attack_reached = security
-            .iter()
-            .any(|s| s.status == TreeStatus::RootReached);
-        let attack_in_progress = security
-            .iter()
-            .any(|s| s.status == TreeStatus::InProgress);
+        let attack_reached = security.iter().any(|s| s.status == TreeStatus::RootReached);
+        let attack_in_progress = security.iter().any(|s| s.status == TreeStatus::InProgress);
         let mut interactions = Vec::new();
         let verdict = match (safety.level, attack_reached) {
             (ReliabilityLevel::Low, true) => {
@@ -114,10 +110,8 @@ impl DependabilityReport {
             }
             (ReliabilityLevel::High, false) => {
                 if attack_in_progress {
-                    interactions.push(
-                        "attack steps observed: degrade trust in networked evidence"
-                            .into(),
-                    );
+                    interactions
+                        .push("attack steps observed: degrade trust in networked evidence".into());
                     DependabilityVerdict::Degraded
                 } else {
                     DependabilityVerdict::Dependable
@@ -198,12 +192,30 @@ mod tests {
     #[test]
     fn verdict_matrix() {
         use DependabilityVerdict::*;
-        assert_eq!(report(ReliabilityLevel::High, TreeStatus::Quiet).verdict, Dependable);
-        assert_eq!(report(ReliabilityLevel::High, TreeStatus::InProgress).verdict, Degraded);
-        assert_eq!(report(ReliabilityLevel::Medium, TreeStatus::Quiet).verdict, Degraded);
-        assert_eq!(report(ReliabilityLevel::High, TreeStatus::RootReached).verdict, Compromised);
-        assert_eq!(report(ReliabilityLevel::Low, TreeStatus::Quiet).verdict, Unsafe);
-        assert_eq!(report(ReliabilityLevel::Low, TreeStatus::RootReached).verdict, Unsafe);
+        assert_eq!(
+            report(ReliabilityLevel::High, TreeStatus::Quiet).verdict,
+            Dependable
+        );
+        assert_eq!(
+            report(ReliabilityLevel::High, TreeStatus::InProgress).verdict,
+            Degraded
+        );
+        assert_eq!(
+            report(ReliabilityLevel::Medium, TreeStatus::Quiet).verdict,
+            Degraded
+        );
+        assert_eq!(
+            report(ReliabilityLevel::High, TreeStatus::RootReached).verdict,
+            Compromised
+        );
+        assert_eq!(
+            report(ReliabilityLevel::Low, TreeStatus::Quiet).verdict,
+            Unsafe
+        );
+        assert_eq!(
+            report(ReliabilityLevel::Low, TreeStatus::RootReached).verdict,
+            Unsafe
+        );
     }
 
     #[test]
@@ -239,7 +251,10 @@ mod tests {
             UavId::new(2),
             SimTime::from_secs(1),
             estimate(0.01, ReliabilityLevel::High),
-            vec![security(TreeStatus::Quiet), security(TreeStatus::RootReached)],
+            vec![
+                security(TreeStatus::Quiet),
+                security(TreeStatus::RootReached),
+            ],
         );
         assert_eq!(r.verdict, DependabilityVerdict::Compromised);
     }

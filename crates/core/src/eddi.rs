@@ -7,7 +7,16 @@
 //! spoofing detector. Each tick it ingests telemetry plus one camera
 //! frame's features and produces [`EddiOutputs`] — the runtime evidence
 //! the ConSert network consumes.
+//!
+//! This is the **incremental fast path**: the SafeDrones Markov solver
+//! memoizes its rate-matrix profile, the SafeML monitor presorts its
+//! reference columns and fuses dissimilarity + verdict into one pass, and
+//! the SINADRA network caches reduced factor products and memoizes full
+//! assessments. Every layer is bit-identical to the naive computation —
+//! [`crate::reference::ReferenceEddiRuntime`] keeps that naive path alive
+//! and the conformance suite locksteps the two.
 
+use sesame_conserts::catalog::UavEvidence;
 use sesame_deepknowledge::nn::{Activation, Mlp};
 use sesame_deepknowledge::transfer::TransferAnalyzer;
 use sesame_deepknowledge::uncertainty::UncertaintyMonitor;
@@ -16,11 +25,23 @@ use sesame_safedrones::ReliabilityLevel;
 use sesame_safeml::monitor::{SafeMlConfig, SafeMlMonitor, SafeMlVerdict};
 use sesame_security::spoof::{SpoofDetector, SpoofVerdict};
 use sesame_sinadra::risk::{RiskAssessment, SarRiskModel, SituationInputs};
+use sesame_sinadra::CachedSarRiskModel;
 use sesame_types::geo::GeoPoint;
 use sesame_types::telemetry::UavTelemetry;
 use sesame_types::time::{SimDuration, SimTime};
 use sesame_vision::features::{FeatureExtractor, SceneCondition};
-use sesame_conserts::catalog::UavEvidence;
+
+/// Aggregated cache counters of one EDDI runtime: the SafeDrones solver
+/// profile cache plus both SINADRA layers. The orchestrator folds the
+/// per-UAV ConSert fingerprint cache on top and mirrors the totals as the
+/// `eddi.cache.hit` / `eddi.cache.miss` metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EddiCacheStats {
+    /// Evaluations answered from a cache.
+    pub hits: u64,
+    /// Evaluations that ran the full computation.
+    pub misses: u64,
+}
 
 /// Everything the EDDI runtime reports per tick.
 #[derive(Debug, Clone)]
@@ -49,7 +70,7 @@ pub struct UavEddiRuntime {
     safeml: SafeMlMonitor,
     dk_model: Mlp,
     dk: UncertaintyMonitor,
-    sinadra: SarRiskModel,
+    sinadra: CachedSarRiskModel,
     spoof: SpoofDetector,
     features: FeatureExtractor,
     last_time: Option<SimTime>,
@@ -90,12 +111,14 @@ impl UavEddiRuntime {
         let safeml = SafeMlMonitor::new(reference, SafeMlConfig::default())
             .expect("generated reference set is well-formed");
 
+        let mut safedrones = SafeDronesMonitor::new(safedrones);
+        safedrones.enable_solver_cache();
         UavEddiRuntime {
-            safedrones: SafeDronesMonitor::new(safedrones),
+            safedrones,
             safeml,
             dk_model,
             dk,
-            sinadra: SarRiskModel::new(),
+            sinadra: CachedSarRiskModel::new(SarRiskModel::new()),
             spoof: SpoofDetector::new(home, 20.0),
             features,
             last_time: None,
@@ -124,13 +147,14 @@ impl UavEddiRuntime {
         }
         let reliability = self.safedrones.estimate();
 
-        // Perception monitors share one frame.
+        // Perception monitors share one frame. `assessment()` computes the
+        // dissimilarity once over presorted reference columns and derives
+        // the verdict from it — bit-identical to the naive accessor pair.
         let frame = self.features.extract(scene);
         self.safeml
             .push_sample(&frame)
             .expect("extractor and monitor share the feature width");
-        let safeml_uncertainty = self.safeml.dissimilarity();
-        let safeml_verdict = self.safeml.verdict();
+        let (safeml_uncertainty, safeml_verdict) = self.safeml.assessment();
         let dk_uncertainty = self.dk.assess(&self.dk_model, &frame);
         let combined_uncertainty = safeml_uncertainty.max(dk_uncertainty);
 
@@ -200,6 +224,17 @@ impl UavEddiRuntime {
     pub fn safedrones(&self) -> &SafeDronesMonitor {
         &self.safedrones
     }
+
+    /// Aggregated cache counters: SafeDrones solver profile cache plus
+    /// both SINADRA cache layers.
+    pub fn cache_stats(&self) -> EddiCacheStats {
+        let solver = self.safedrones.solver_cache_stats();
+        let bn = self.sinadra.stats();
+        EddiCacheStats {
+            hits: solver.hits + bn.hits(),
+            misses: solver.misses + bn.misses(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,7 +248,8 @@ mod tests {
     }
 
     fn telemetry(t: u64, alt: f64) -> UavTelemetry {
-        let mut tel = UavTelemetry::nominal(UavId::new(1), SimTime::from_secs(t), home().with_alt(alt));
+        let mut tel =
+            UavTelemetry::nominal(UavId::new(1), SimTime::from_secs(t), home().with_alt(alt));
         tel.gps.position = tel.true_position;
         tel
     }
@@ -237,7 +273,11 @@ mod tests {
         let out = last.unwrap();
         assert!(out.reliability.pof < 0.05);
         assert_eq!(out.reliability.level, ReliabilityLevel::High);
-        assert!(out.combined_uncertainty < 0.5, "u = {}", out.combined_uncertainty);
+        assert!(
+            out.combined_uncertainty < 0.5,
+            "u = {}",
+            out.combined_uncertainty
+        );
         assert!(!out.spoof.spoofed);
         assert!(!out.risk.rescan_advised);
     }
@@ -332,9 +372,7 @@ mod tests {
         for t in 1..12 {
             let mut tel = telemetry(t, 30.0);
             // The receiver reports a position dragged 40 m/s north.
-            tel.gps.position = home()
-                .destination(0.0, 40.0 * t as f64)
-                .with_alt(30.0);
+            tel.gps.position = home().destination(0.0, 40.0 * t as f64).with_alt(30.0);
             let out = rt.tick(&tel, &scene);
             last_tel = tel;
             if out.spoof.spoofed {

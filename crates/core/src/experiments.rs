@@ -141,10 +141,7 @@ pub fn sar_accuracy(seed: u64) -> SarAccuracyResult {
     let low_altitude_uncertainty = {
         // Average over the settled low-altitude scan: after the descent
         // completes and before the post-mission return home.
-        let end = adaptive
-            .metrics
-            .mission_complete_secs
-            .unwrap_or(f64::MAX);
+        let end = adaptive.metrics.mission_complete_secs.unwrap_or(f64::MAX);
         let late: Vec<f64> = adaptive
             .uncertainty_series
             .iter()
@@ -256,10 +253,7 @@ pub fn fig6_reduce(
             deviation_series.push((*t, p_clean.haversine_distance_m(p_atk)));
         }
     }
-    let max_deviation_m = deviation_series
-        .iter()
-        .map(|(_, d)| *d)
-        .fold(0.0, f64::max);
+    let max_deviation_m = deviation_series.iter().map(|(_, d)| *d).fold(0.0, f64::max);
     let detection_latency_secs = protected
         .metrics
         .attack_detected_secs
@@ -325,9 +319,9 @@ pub fn fig7(seed: u64) -> Fig7Result {
     } else {
         cl_error_series.iter().map(|(_, e)| *e).sum::<f64>() / cl_error_series.len() as f64
     };
-    let gps_denied = protected.events.iter().any(|e| {
-        matches!(&e.event, SystemEvent::FaultInjected { fault, .. } if fault == "gps_loss")
-    });
+    let gps_denied = protected.events.iter().any(
+        |e| matches!(&e.event, SystemEvent::FaultInjected { fault, .. } if fault == "gps_loss"),
+    );
     Fig7Result {
         detected_secs: protected.metrics.attack_detected_secs,
         landed_secs: protected.metrics.cl_landing.map(|o| o.at.as_secs_f64()),
@@ -409,7 +403,11 @@ mod tests {
         let r = fig5(42);
         // SESAME completes; the PoF threshold is approached near mission
         // end; the baseline loses availability to the battery swap.
-        assert!(r.with_sesame.completed_fraction > 0.99, "{:?}", r.with_sesame);
+        assert!(
+            r.with_sesame.completed_fraction > 0.99,
+            "{:?}",
+            r.with_sesame
+        );
         assert!(r.baseline.completed_fraction > 0.99, "{:?}", r.baseline);
         assert!(
             r.availability_gain > 0.03,

@@ -9,7 +9,10 @@
 //! layer, and the ConSert network that folds all runtime evidence into
 //! per-UAV and mission-level decisions.
 //!
-//! * [`eddi`] — the per-UAV executable EDDI runtime;
+//! * [`eddi`] — the per-UAV executable EDDI runtime (the incremental
+//!   fast path);
+//! * [`reference`] — the naive reference runtime the fast path is
+//!   lockstep-verified against;
 //! * [`platform`] — UAV manager, task manager, database manager, ground
 //!   control station (the five-layer architecture of §IV-A, with the GUIs
 //!   replaced by headless snapshots — see DESIGN.md);
@@ -41,11 +44,13 @@ pub mod eddi;
 pub mod experiments;
 pub mod orchestrator;
 pub mod platform;
+pub mod reference;
 pub mod scenario;
 pub mod supervision;
 
 pub use chaos::{CampaignConfig, CampaignReport, ChaosCampaign};
-pub use eddi::{EddiOutputs, UavEddiRuntime};
+pub use eddi::{EddiCacheStats, EddiOutputs, UavEddiRuntime};
 pub use orchestrator::{Platform, PlatformConfig};
+pub use reference::ReferenceEddiRuntime;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};
 pub use supervision::{HealthState, SupervisionConfig};

@@ -14,19 +14,21 @@
 //! "abort on first symptom" policy of §V-A and attacks are not handled at
 //! all.
 
-use crate::eddi::UavEddiRuntime;
+use crate::eddi::{EddiCacheStats, EddiOutputs, UavEddiRuntime};
 use crate::platform::database::DatabaseManager;
-use crate::supervision::{HealthState, SupervisionConfig, UavSupervisor};
 use crate::platform::gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
 use crate::platform::task_manager::TaskManager;
 use crate::platform::uav_manager::UavManager;
+use crate::reference::ReferenceEddiRuntime;
+use crate::supervision::{HealthState, SupervisionConfig, UavSupervisor};
 use sesame_collab_loc::agent::CollaborativeAgent;
 use sesame_collab_loc::session::{CollabSession, LandingGuidance};
 use sesame_conserts::catalog::{
     certified_navigation_accuracy_m, decide_mission, evaluate_uav, uav_consert_network,
-    MissionDecision, UavAction,
+    MissionDecision, UavAction, UavEvidence,
 };
 use sesame_conserts::engine::ConsertNetwork;
+use sesame_conserts::incremental::{ConsertDecision, IncrementalConsertNetwork};
 use sesame_middleware::auth::{AuthKey, MessageAuth};
 use sesame_middleware::broker::AlertBroker;
 use sesame_middleware::bus::{MessageBus, Subscription};
@@ -35,11 +37,12 @@ use sesame_middleware::message::{Message, Payload};
 use sesame_obs::span::phase;
 use sesame_obs::{MetricsRegistry, MetricsSnapshot, TickSpan, TraceEvent, TraceLog};
 use sesame_safedrones::monitor::SafeDronesConfig;
+use sesame_safedrones::monitor::SafeDronesMonitor;
 use sesame_sar::accuracy::{AltitudeDecision, AltitudePolicy};
-use sesame_sinadra::risk::{SeparationInputs, SeparationRiskModel};
 use sesame_security::catalog as attack_catalog;
 use sesame_security::eddi::SecurityEddi;
 use sesame_security::ids::{Ids, IdsConfig};
+use sesame_sinadra::risk::{SeparationInputs, SeparationRiskModel};
 use sesame_types::events::{EventLog, Severity, SystemEvent};
 use sesame_types::geo::GeoPoint;
 use sesame_types::ids::UavId;
@@ -89,6 +92,12 @@ pub struct PlatformConfig {
     /// Degraded-mode supervision: watchdog windows, heartbeat period and
     /// command retry policy (see [`crate::supervision`]).
     pub supervision: SupervisionConfig,
+    /// Whether the incremental EDDI fast path runs (solver profile cache,
+    /// presorted SafeML, SINADRA factor cache, attack-tree indexing,
+    /// fingerprint-gated ConSerts). `false` selects the naive reference
+    /// runtimes — bit-identical results, recomputed from scratch each
+    /// tick. On by default; the conformance suite flips it off.
+    pub eddi_fast_path: bool,
 }
 
 impl Default for PlatformConfig {
@@ -109,6 +118,7 @@ impl Default for PlatformConfig {
             motor_count: 4,
             tolerated_motor_failures: 0,
             supervision: SupervisionConfig::default(),
+            eddi_fast_path: true,
         }
     }
 }
@@ -148,7 +158,10 @@ impl std::fmt::Display for ConfigError {
                 write!(f, "scan_altitude_m must be strictly positive")
             }
             ConfigError::EmptyArea => {
-                write!(f, "area_width_m and area_height_m must be strictly positive")
+                write!(
+                    f,
+                    "area_width_m and area_height_m must be strictly positive"
+                )
             }
             ConfigError::VisibilityOutOfRange => {
                 write!(f, "visibility must lie in [0, 1]")
@@ -268,6 +281,13 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Enables or disables the incremental EDDI fast path (on by
+    /// default). Disabling selects the naive reference runtimes.
+    pub fn eddi_fast_path(mut self, on: bool) -> Self {
+        self.config.eddi_fast_path = on;
+        self
+    }
+
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<PlatformConfig, ConfigError> {
         let c = &self.config;
@@ -308,10 +328,105 @@ pub struct ClLandingOutcome {
     pub at: SimTime,
 }
 
+/// The per-UAV Safety EDDI engine: the incremental fast path (default)
+/// or the naive reference runtime, selected by
+/// [`PlatformConfig::eddi_fast_path`]. Both produce bit-identical
+/// outputs; the reference variant recomputes everything each tick.
+enum EddiEngine {
+    Fast(UavEddiRuntime),
+    Reference(ReferenceEddiRuntime),
+}
+
+impl EddiEngine {
+    fn set_remaining_mission(&mut self, remaining: SimDuration) {
+        match self {
+            EddiEngine::Fast(rt) => rt.set_remaining_mission(remaining),
+            EddiEngine::Reference(rt) => rt.set_remaining_mission(remaining),
+        }
+    }
+
+    fn tick(&mut self, telemetry: &UavTelemetry, scene: &SceneCondition) -> EddiOutputs {
+        match self {
+            EddiEngine::Fast(rt) => rt.tick(telemetry, scene),
+            EddiEngine::Reference(rt) => rt.tick(telemetry, scene),
+        }
+    }
+
+    fn last_outputs(&self) -> Option<&EddiOutputs> {
+        match self {
+            EddiEngine::Fast(rt) => rt.last_outputs(),
+            EddiEngine::Reference(rt) => rt.last_outputs(),
+        }
+    }
+
+    fn evidence(
+        &self,
+        telemetry: &UavTelemetry,
+        attack_detected: bool,
+        neighbors_available: bool,
+    ) -> UavEvidence {
+        match self {
+            EddiEngine::Fast(rt) => rt.evidence(telemetry, attack_detected, neighbors_available),
+            EddiEngine::Reference(rt) => {
+                rt.evidence(telemetry, attack_detected, neighbors_available)
+            }
+        }
+    }
+
+    fn safedrones(&self) -> &SafeDronesMonitor {
+        match self {
+            EddiEngine::Fast(rt) => rt.safedrones(),
+            EddiEngine::Reference(rt) => rt.safedrones(),
+        }
+    }
+
+    fn cache_stats(&self) -> EddiCacheStats {
+        match self {
+            EddiEngine::Fast(rt) => rt.cache_stats(),
+            EddiEngine::Reference(_) => EddiCacheStats::default(),
+        }
+    }
+}
+
+/// The per-UAV ConSert evaluator: fingerprint-gated single evaluation on
+/// the fast path, the naive two-evaluation catalog calls on the
+/// reference path.
+enum ConsertRuntime {
+    Fast(IncrementalConsertNetwork),
+    Reference(ConsertNetwork),
+}
+
+impl ConsertRuntime {
+    /// One tick's decision: the UAV action plus the certified navigation
+    /// accuracy bound.
+    fn decide(&mut self, uav: &str, evidence: &UavEvidence) -> ConsertDecision {
+        match self {
+            ConsertRuntime::Fast(inc) => inc.decide(evidence),
+            ConsertRuntime::Reference(net) => ConsertDecision {
+                action: evaluate_uav(net, uav, evidence),
+                nav_accuracy_m: certified_navigation_accuracy_m(net, uav, evidence),
+            },
+        }
+    }
+
+    fn cache_stats(&self) -> EddiCacheStats {
+        match self {
+            ConsertRuntime::Fast(inc) => {
+                let s = inc.stats();
+                EddiCacheStats {
+                    hits: s.hits,
+                    misses: s.misses,
+                }
+            }
+            ConsertRuntime::Reference(_) => EddiCacheStats::default(),
+        }
+    }
+}
+
 struct UavRt {
     handle: UavHandle,
-    eddi: Option<UavEddiRuntime>,
-    network: Option<ConsertNetwork>,
+    eddi: Option<EddiEngine>,
+    conserts: Option<ConsertRuntime>,
     detector: PersonDetector,
     route_uploaded: bool,
     attack_detected: bool,
@@ -474,7 +589,13 @@ impl Platform {
         let security_eddis = if config.sesame_enabled {
             attack_catalog::all_trees()
                 .into_iter()
-                .map(|t| SecurityEddi::attach(t, &mut broker))
+                .map(|t| {
+                    let mut eddi = SecurityEddi::attach(t, &mut broker);
+                    if config.eddi_fast_path {
+                        eddi.enable_fast_path();
+                    }
+                    eddi
+                })
                 .collect()
         } else {
             Vec::new()
@@ -491,17 +612,28 @@ impl Platform {
             manager.register(id, handle, "matrice300-sim", &["rgb-camera", "jetson-nx"]);
             cmd_subs.push(bus.subscribe(format!("/{id}/cmd/#")));
             let eddi = config.sesame_enabled.then(|| {
-                UavEddiRuntime::new(
-                    config.seed ^ ((i as u64 + 1) << 16),
-                    config.safedrones.clone(),
-                    origin,
-                )
+                let seed = config.seed ^ ((i as u64 + 1) << 16);
+                if config.eddi_fast_path {
+                    EddiEngine::Fast(UavEddiRuntime::new(seed, config.safedrones.clone(), origin))
+                } else {
+                    EddiEngine::Reference(ReferenceEddiRuntime::new(
+                        seed,
+                        config.safedrones.clone(),
+                        origin,
+                    ))
+                }
             });
-            let network = config.sesame_enabled.then(|| uav_consert_network(&id.to_string()));
+            let conserts = config.sesame_enabled.then(|| {
+                if config.eddi_fast_path {
+                    ConsertRuntime::Fast(IncrementalConsertNetwork::new(id.to_string()))
+                } else {
+                    ConsertRuntime::Reference(uav_consert_network(&id.to_string()))
+                }
+            });
             uavs.push(UavRt {
                 handle,
                 eddi,
-                network,
+                conserts,
                 detector: PersonDetector::new(config.seed ^ ((i as u64 + 1) << 24)),
                 route_uploaded: false,
                 attack_detected: false,
@@ -542,7 +674,9 @@ impl Platform {
             .map(|_| GeofenceMonitor::new(Geofence::around(sim.world(), 40.0, 150.0)))
             .collect();
         let separation_hot = vec![false; config.uav_count];
-        let supervisors = (0..config.uav_count).map(|_| UavSupervisor::new()).collect();
+        let supervisors = (0..config.uav_count)
+            .map(|_| UavSupervisor::new())
+            .collect();
         Platform {
             config,
             sim,
@@ -751,7 +885,10 @@ impl Platform {
         for wp in route {
             self.publish_command(
                 format!("/{id}/cmd/waypoint"),
-                Payload::WaypointCommand { uav: id, waypoint: wp },
+                Payload::WaypointCommand {
+                    uav: id,
+                    waypoint: wp,
+                },
                 0,
             );
         }
@@ -850,11 +987,10 @@ impl Platform {
             if tel.mode == FlightMode::Mission && tel.true_position.alt_m > 5.0 {
                 let people = self.sim.visible_persons(handle_of(&self.uavs, i));
                 self.uavs[i].detection_attempts += people.len() as u64;
-                let dets = self.uavs[i].detector.detect_frame(
-                    &tel.true_position,
-                    visibility,
-                    &people,
-                );
+                let dets =
+                    self.uavs[i]
+                        .detector
+                        .detect_frame(&tel.true_position, visibility, &people);
                 for det in dets {
                     if det.true_positive {
                         self.uavs[i].detection_hits += 1;
@@ -939,7 +1075,8 @@ impl Platform {
                     );
                 }
                 if i == 0 && second_boundary {
-                    self.pof_series.push((now.as_secs_f64(), out.reliability.pof));
+                    self.pof_series
+                        .push((now.as_secs_f64(), out.reliability.pof));
                     self.uncertainty_series
                         .push((now.as_secs_f64(), out.combined_uncertainty));
                 }
@@ -1066,9 +1203,7 @@ impl Platform {
         if self.config.supervision.enabled {
             for msg in &tapped {
                 if let Payload::Telemetry(tel) = &msg.payload {
-                    if let Some(idx) =
-                        self.uavs.iter().position(|u| u.handle.id() == tel.uav)
-                    {
+                    if let Some(idx) = self.uavs.iter().position(|u| u.handle.id() == tel.uav) {
                         self.supervisors[idx].record_telemetry(now);
                     }
                 }
@@ -1216,8 +1351,7 @@ impl Platform {
         if self.mission_complete_at.is_none() && self.tasks.is_complete() {
             self.mission_complete_at = Some(now);
             self.ticks_at_completion = Some(self.total_ticks);
-            self.productive_at_completion =
-                self.uavs.iter().map(|u| u.productive_ticks).collect();
+            self.productive_at_completion = self.uavs.iter().map(|u| u.productive_ticks).collect();
             self.trace.push(
                 now.as_millis(),
                 TraceEvent::ModeTransition {
@@ -1247,14 +1381,38 @@ impl Platform {
         // snapshot answers both "how much" and "when". `counters()` is the
         // cheap aggregate view — no per-topic map is rendered every tick.
         let counters = self.bus.counters();
-        self.metrics.set_counter("bus.published", counters.published);
-        self.metrics.set_counter("bus.delivered", counters.delivered);
+        self.metrics
+            .set_counter("bus.published", counters.published);
+        self.metrics
+            .set_counter("bus.delivered", counters.delivered);
         self.metrics.set_counter("bus.dropped", counters.dropped);
         self.metrics.set_counter("bus.tampered", counters.tampered);
-        self.metrics.set_counter("bus.overflowed", counters.overflowed);
+        self.metrics
+            .set_counter("bus.overflowed", counters.overflowed);
         self.metrics
             .set_gauge("bus.in_flight", self.bus.in_flight_len() as f64);
         self.trace.absorb(self.bus.trace_mut());
+
+        // EDDI cache counters, mirrored the same way: aggregated hit/miss
+        // totals across every UAV's solver, BN and ConSert caches (all
+        // zero when the reference path runs).
+        if self.config.sesame_enabled {
+            let mut cache = EddiCacheStats::default();
+            for u in &self.uavs {
+                if let Some(e) = &u.eddi {
+                    let s = e.cache_stats();
+                    cache.hits += s.hits;
+                    cache.misses += s.misses;
+                }
+                if let Some(c) = &u.conserts {
+                    let s = c.cache_stats();
+                    cache.hits += s.hits;
+                    cache.misses += s.misses;
+                }
+            }
+            self.metrics
+                .set_cache_counters("eddi.cache", cache.hits, cache.misses);
+        }
 
         let airborne = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
         self.metrics.set_gauge("fleet.airborne", airborne as f64);
@@ -1304,7 +1462,8 @@ impl Platform {
             let id = self.uavs[i].handle.id();
             if let Some(tr) = self.supervisors[i].assess(now, &cfg) {
                 self.metrics.inc("supervision.transitions");
-                self.metrics.inc(&format!("supervision.to_{}", tr.to.as_str()));
+                self.metrics
+                    .inc(&format!("supervision.to_{}", tr.to.as_str()));
                 self.trace.push(
                     now.as_millis(),
                     TraceEvent::HealthTransition {
@@ -1363,10 +1522,7 @@ impl Platform {
                     now.as_millis(),
                     TraceEvent::BusDegraded {
                         context: "command_retry".into(),
-                        detail: format!(
-                            "{} dropped after {} attempts",
-                            key.0, pc.attempts
-                        ),
+                        detail: format!("{} dropped after {} attempts", key.0, pc.attempts),
                     },
                 );
                 continue;
@@ -1400,9 +1556,11 @@ impl Platform {
         let affected_handle = self.uavs[affected].handle;
         // The paper's mitigation flies the UAV GPS-denied: the operator
         // discards the captured receiver.
-        self.sim
-            .faults_mut()
-            .add(now + SimDuration::from_millis(100), affected_handle.id(), sesame_uav_sim::faults::FaultKind::GpsLoss);
+        self.sim.faults_mut().add(
+            now + SimDuration::from_millis(100),
+            affected_handle.id(),
+            sesame_uav_sim::faults::FaultKind::GpsLoss,
+        );
         self.sim.command(affected_handle, FlightCommand::Hold);
         // Collaborators: the other airborne UAVs approach the affected one.
         let affected_pos = self.sim.true_position(affected_handle);
@@ -1417,7 +1575,8 @@ impl Platform {
             let stand_off = affected_pos
                 .destination(90.0 + 180.0 * k as f64, 30.0)
                 .with_alt(affected_pos.alt_m + 5.0);
-            self.sim.command(h, FlightCommand::SetMission(vec![stand_off]));
+            self.sim
+                .command(h, FlightCommand::SetMission(vec![stand_off]));
         }
         let agents: Vec<CollaborativeAgent> = collaborators
             .iter()
@@ -1491,12 +1650,7 @@ impl Platform {
         }
     }
 
-    fn step_conserts(
-        &mut self,
-        telemetries: &[UavTelemetry],
-        now: SimTime,
-        span: &mut TickSpan,
-    ) {
+    fn step_conserts(&mut self, telemetries: &[UavTelemetry], now: SimTime, span: &mut TickSpan) {
         let n = self.uavs.len();
         let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
         let mut actions = Vec::with_capacity(n);
@@ -1517,15 +1671,20 @@ impl Platform {
                 continue;
             }
             let neighbors_available = airborne >= 3 && tel.link_quality > 0.4;
-            let (Some(eddi), Some(network)) = (&self.uavs[i].eddi, &self.uavs[i].network) else {
+            let Some(eddi) = &self.uavs[i].eddi else {
                 actions.push(UavAction::ContinueMission);
                 continue;
             };
             let evidence = eddi.evidence(tel, self.uavs[i].attack_detected, neighbors_available);
-            let action = evaluate_uav(network, &id.to_string(), &evidence)
-                .unwrap_or(UavAction::EmergencyLand);
-            self.uavs[i].last_nav_accuracy =
-                certified_navigation_accuracy_m(network, &id.to_string(), &evidence);
+            let Some(conserts) = self.uavs[i].conserts.as_mut() else {
+                actions.push(UavAction::ContinueMission);
+                continue;
+            };
+            // One call answers both the action and the accuracy bound —
+            // the fast path evaluates the network at most once per tick.
+            let decision = conserts.decide(&id.to_string(), &evidence);
+            let action = decision.action.unwrap_or(UavAction::EmergencyLand);
+            self.uavs[i].last_nav_accuracy = decision.nav_accuracy_m;
             actions.push(action);
             let prev = self.manager.last_action(id);
             if let Some(cmd) = self.manager.translate_action(id, action) {
@@ -1590,17 +1749,11 @@ impl Platform {
             // Symptom: battery temperature ≥ 45 °C or a drop below 50 %
             // while flying — the stock firmware aborts.
             let symptomatic = tel.battery_temp_c >= 45.0 || tel.battery_soc < 0.45;
-            if symptomatic
-                && tel.mode == FlightMode::Mission
-                && self.uavs[i].swap_until.is_none()
-            {
+            if symptomatic && tel.mode == FlightMode::Mission && self.uavs[i].swap_until.is_none() {
                 self.sim.command(handle, FlightCommand::ReturnToBase);
                 self.events.push(
                     now,
-                    SystemEvent::Note(format!(
-                        "{}: baseline abort on battery symptom",
-                        tel.uav
-                    )),
+                    SystemEvent::Note(format!("{}: baseline abort on battery symptom", tel.uav)),
                 );
             }
             // Grounded at base with a symptom history: swap.
@@ -1863,7 +2016,10 @@ mod tests {
             ConfigError::EmptyArea
         );
         assert_eq!(
-            PlatformConfig::builder().visibility(1.5).build().unwrap_err(),
+            PlatformConfig::builder()
+                .visibility(1.5)
+                .build()
+                .unwrap_err(),
             ConfigError::VisibilityOutOfRange
         );
         assert_eq!(
@@ -1971,7 +2127,9 @@ mod tests {
         p.launch();
         p.step();
         let tap = p.ids_tap;
-        p.bus.unsubscribe(tap).expect("tap is live before the test kills it");
+        p.bus
+            .unsubscribe(tap)
+            .expect("tap is live before the test kills it");
         for _ in 0..5 {
             p.step(); // must not panic
         }
@@ -2052,6 +2210,61 @@ mod tests {
         assert_eq!(m.counter("commands.retry_exhausted"), 0);
     }
 
+    /// A fast-path platform and a reference-path platform stepped in
+    /// lockstep from the same seed agree bit for bit on every recorded
+    /// series and decision — only the cache counters differ.
+    #[test]
+    fn eddi_fast_path_matches_reference_run() {
+        let mut fast = Platform::new(quick_config());
+        let mut cfg = quick_config();
+        cfg.eddi_fast_path = false;
+        let mut reference = Platform::new(cfg);
+        fast.launch();
+        reference.launch();
+        for _ in 0..80 {
+            fast.step();
+            reference.step();
+        }
+        let (f, r) = (fast.series(), reference.series());
+        assert_eq!(f.pof().len(), r.pof().len());
+        for (a, b) in f.pof().iter().zip(r.pof()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "pof diverged at t={}", a.0);
+        }
+        for (a, b) in f.uncertainty().iter().zip(r.uncertainty()) {
+            assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "uncertainty diverged at t={}",
+                a.0
+            );
+        }
+        for i in 0..fast.uav_count() {
+            assert_eq!(
+                fast.certified_nav_accuracy_m(i),
+                reference.certified_nav_accuracy_m(i),
+                "nav accuracy diverged for uav{i}"
+            );
+        }
+        assert_eq!(
+            fast.events().iter().count(),
+            reference.events().iter().count()
+        );
+        // The fast path actually cached; the reference path reports zero.
+        assert!(fast.metrics().counter("eddi.cache.hit") > 0);
+        assert_eq!(reference.metrics().counter("eddi.cache.hit"), 0);
+        assert_eq!(reference.metrics().counter("eddi.cache.miss"), 0);
+    }
+
+    #[test]
+    fn builder_sets_eddi_fast_path() {
+        let cfg = PlatformConfig::builder()
+            .eddi_fast_path(false)
+            .build()
+            .expect("valid config");
+        assert!(!cfg.eddi_fast_path);
+        assert!(PlatformConfig::default().eddi_fast_path, "fast by default");
+    }
+
     #[test]
     fn database_collects_fleet_history() {
         let mut p = Platform::new(quick_config());
@@ -2064,4 +2277,3 @@ mod tests {
         assert_eq!(history.len(), 50);
     }
 }
-

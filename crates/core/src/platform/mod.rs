@@ -7,8 +7,8 @@
 //! implemented directly.
 
 pub mod database;
-pub mod map_view;
 pub mod gcs;
+pub mod map_view;
 pub mod task_manager;
 pub mod uav_manager;
 

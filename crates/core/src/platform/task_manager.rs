@@ -43,7 +43,8 @@ impl TaskManager {
         let mut allocation = Allocation::new();
         let mut total = 0.0;
         for (i, (strip, uav)) in strips.iter().zip(uavs.iter()).enumerate() {
-            let path = boustrophedon_path(origin, width_m, height_m, strip, alt_m, footprint_half_m);
+            let path =
+                boustrophedon_path(origin, width_m, height_m, strip, alt_m, footprint_half_m);
             let len = path_length_m(&path);
             let task = TaskId::new(i as u32);
             allocation.assign(task, *uav, len);

@@ -140,7 +140,10 @@ impl ScenarioBuilder {
         let mut platform = Platform::new(self.config.clone());
         for f in &self.faults {
             let id = UavId::new(f.uav_index as u32 + 1);
-            platform.sim_mut().faults_mut().add(f.at, id, f.kind.clone());
+            platform
+                .sim_mut()
+                .faults_mut()
+                .add(f.at, id, f.kind.clone());
         }
         for cf in &self.comm_faults {
             platform
@@ -161,10 +164,11 @@ impl ScenarioBuilder {
         });
         if let Some(a) = &self.attack {
             let id = UavId::new(a.uav_index as u32 + 1);
-            platform
-                .sim_mut()
-                .faults_mut()
-                .add(a.start, id, FaultKind::GpsSpoof { drift: a.gps_drift });
+            platform.sim_mut().faults_mut().add(
+                a.start,
+                id,
+                FaultKind::GpsSpoof { drift: a.gps_drift },
+            );
         }
         Scenario {
             platform,
@@ -346,10 +350,7 @@ impl Scenario {
         };
         let metrics = Metrics {
             mission_completed_fraction: self.platform.completion(),
-            mission_complete_secs: self
-                .platform
-                .mission_complete_at()
-                .map(|t| t.as_secs_f64()),
+            mission_complete_secs: self.platform.mission_complete_at().map(|t| t.as_secs_f64()),
             availability,
             mean_availability,
             persons_found: self.platform.tasks().mission().findings().len(),
@@ -509,16 +510,18 @@ mod tests {
 
     #[test]
     fn template_instantiation_matches_from_scratch() {
-        let template = ScenarioTemplate::new(
-            ScenarioBuilder::new(0).deadline(SimTime::from_secs(60)),
-        );
+        let template =
+            ScenarioTemplate::new(ScenarioBuilder::new(0).deadline(SimTime::from_secs(60)));
         let a = template.instantiate(11).build().run();
         let b = ScenarioBuilder::new(11)
             .deadline(SimTime::from_secs(60))
             .build()
             .run();
         assert_eq!(a.trajectories, b.trajectories);
-        assert_eq!(a.metrics.mission_complete_secs, b.metrics.mission_complete_secs);
+        assert_eq!(
+            a.metrics.mission_complete_secs,
+            b.metrics.mission_complete_secs
+        );
         assert_eq!(a.obs_metrics.counters, b.obs_metrics.counters);
         // Two instantiations of different seeds are independent streams.
         let c = template.instantiate(12).build().run();

@@ -224,7 +224,9 @@ mod tests {
         // Unchanged until the fallback window.
         assert!(s.assess(SimTime::from_secs(14), &cfg()).is_none());
         // 6 s stale: safe fallback.
-        let tr = s.assess(SimTime::from_secs(16), &cfg()).expect("falls back");
+        let tr = s
+            .assess(SimTime::from_secs(16), &cfg())
+            .expect("falls back");
         assert_eq!(tr.to, HealthState::SafeFallback);
         assert_eq!(s.state(), HealthState::SafeFallback);
     }

@@ -39,9 +39,9 @@
 pub mod activation;
 pub mod coverage;
 pub mod nn;
+pub mod tester;
 pub mod transfer;
 pub mod uncertainty;
-pub mod tester;
 
 pub use activation::ActivationStats;
 pub use coverage::CoverageReport;

@@ -285,7 +285,10 @@ mod tests {
             (y - t[0]) * (y - t[0])
         };
         let reported = a.train_step(&x, &t, lr);
-        assert!((reported - loss_before).abs() < 1e-12, "train_step reports pre-step loss");
+        assert!(
+            (reported - loss_before).abs() < 1e-12,
+            "train_step reports pre-step loss"
+        );
         let loss_after = {
             let y = a.forward(&x)[0];
             (y - t[0]) * (y - t[0])
@@ -293,7 +296,10 @@ mod tests {
         let decrease = loss_before - loss_after;
         // The decrease must be positive and of order lr (gradient descent
         // on a smooth function with a tiny step).
-        assert!(decrease > 0.0, "loss must decrease: {loss_before} -> {loss_after}");
+        assert!(
+            decrease > 0.0,
+            "loss must decrease: {loss_before} -> {loss_after}"
+        );
         assert!(decrease < loss_before, "a tiny step cannot erase the loss");
         // Second-order check: halving the learning rate roughly halves the
         // first-order decrease.

@@ -129,10 +129,7 @@ mod tests {
         distinct.sort_unstable();
         distinct.dedup();
         assert_eq!(distinct.len(), report.selected.len());
-        assert_eq!(
-            report.coverage_trajectory.len(),
-            report.selected.len()
-        );
+        assert_eq!(report.coverage_trajectory.len(), report.selected.len());
     }
 
     #[test]
@@ -149,11 +146,8 @@ mod tests {
         let (model, analyzer, data) = setup();
         let k = 8;
         let report = select_tests(&model, &analyzer, &data, 8, k);
-        let selected_set: Vec<Vec<f64>> = report
-            .selected
-            .iter()
-            .map(|&i| data[i].clone())
-            .collect();
+        let selected_set: Vec<Vec<f64>> =
+            report.selected.iter().map(|&i| data[i].clone()).collect();
         let random_prefix: Vec<Vec<f64>> = data[..k].to_vec();
         let sel_cov = tk_coverage(&model, &analyzer, &selected_set, 8).score;
         let rand_cov = tk_coverage(&model, &analyzer, &random_prefix, 8).score;

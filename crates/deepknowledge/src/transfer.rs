@@ -75,8 +75,8 @@ impl TransferAnalyzer {
             .collect();
         // Generalization score: how little the TK neurons move (1 = fully
         // stable).
-        let generalization_score = 1.0
-            - tk.iter().map(|id| shifts[id.0]).sum::<f64>() / tk.len() as f64;
+        let generalization_score =
+            1.0 - tk.iter().map(|id| shifts[id.0]).sum::<f64>() / tk.len() as f64;
         TransferAnalyzer {
             tk_neurons: tk,
             shifts,

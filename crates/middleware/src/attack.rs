@@ -280,7 +280,11 @@ mod tests {
         bus.step(SimTime::from_millis(100));
         assert_eq!(atk.observe(&mut bus), 1);
         assert_eq!(atk.recorded().len(), 1);
-        assert_eq!(bus.drain(legit).unwrap().len(), 1, "legit subscriber unaffected");
+        assert_eq!(
+            bus.drain(legit).unwrap().len(),
+            1,
+            "legit subscriber unaffected"
+        );
     }
 
     #[test]

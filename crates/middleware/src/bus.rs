@@ -198,7 +198,10 @@ impl fmt::Debug for MessageBus {
         f.debug_struct("MessageBus")
             .field("subscribers", &self.subs.len())
             .field("in_flight", &self.in_flight.len())
-            .field("tampers", &self.tampers.iter().filter(|t| t.1.is_some()).count())
+            .field(
+                "tampers",
+                &self.tampers.iter().filter(|t| t.1.is_some()).count(),
+            )
             .field("topics", &self.topics.len())
             .field("stats", &self.counters)
             .finish()
@@ -263,8 +266,10 @@ impl MessageBus {
     /// Sets a packet-loss probability for every topic matching `pattern`
     /// (MQTT wildcards allowed). Later rules take precedence.
     pub fn set_loss(&mut self, pattern: impl Into<String>, probability: f64) {
-        self.loss
-            .push((Pattern::parse_lenient(pattern.into()), probability.clamp(0.0, 1.0)));
+        self.loss.push((
+            Pattern::parse_lenient(pattern.into()),
+            probability.clamp(0.0, 1.0),
+        ));
         self.invalidate_routes();
     }
 
@@ -400,7 +405,11 @@ impl MessageBus {
             .expect("route was just ensured")
             .latency;
         let deliver_at = msg.sent_at + latency;
-        self.in_flight.push_back(InFlight { deliver_at, tid, msg });
+        self.in_flight.push_back(InFlight {
+            deliver_at,
+            tid,
+            msg,
+        });
     }
 
     /// Interns `topic`, growing the dense per-topic stats and route tables
@@ -408,7 +417,8 @@ impl MessageBus {
     fn intern(&mut self, topic: &str) -> TopicId {
         let tid = self.topics.intern(topic);
         if self.per_topic.len() <= tid.index() {
-            self.per_topic.resize(tid.index() + 1, TopicStats::default());
+            self.per_topic
+                .resize(tid.index() + 1, TopicStats::default());
             self.routes.resize_with(tid.index() + 1, || None);
         }
         tid
@@ -649,10 +659,7 @@ impl MessageBus {
         let mut per_topic = BTreeMap::new();
         for (i, ts) in self.per_topic.iter().enumerate() {
             if *ts != TopicStats::default() {
-                per_topic.insert(
-                    self.topics.name(TopicId::from_index(i)).to_string(),
-                    *ts,
-                );
+                per_topic.insert(self.topics.name(TopicId::from_index(i)).to_string(), *ts);
             }
         }
         BusStats {
@@ -693,7 +700,14 @@ impl MessageBus {
 // Each parallel campaign worker owns a private bus, but the bus (and
 // its stats, which feed merged campaign aggregates) must be movable
 // onto the worker thread.
-sesame_types::assert_send_sync!(MessageBus, BusStats, BusCounters, TopicStats, BusError, Subscription);
+sesame_types::assert_send_sync!(
+    MessageBus,
+    BusStats,
+    BusCounters,
+    TopicStats,
+    BusError,
+    Subscription
+);
 
 #[cfg(test)]
 mod tests {
@@ -739,7 +753,11 @@ mod tests {
         bus.publish(SimTime::ZERO, "n", "/far/x", text("b"));
         bus.step(SimTime::from_millis(100));
         assert_eq!(bus.drain(near).unwrap().len(), 1);
-        assert_eq!(bus.drain(far).unwrap().len(), 0, "long link still in flight");
+        assert_eq!(
+            bus.drain(far).unwrap().len(),
+            0,
+            "long link still in flight"
+        );
         bus.step(SimTime::from_millis(300));
         assert_eq!(bus.drain(far).unwrap().len(), 1);
     }
@@ -805,7 +823,8 @@ mod tests {
                 bus.publish(SimTime::ZERO, "n", format!("/t{i}"), text("x"));
             }
             bus.step(SimTime::from_millis(100));
-            bus.drain(sub).unwrap()
+            bus.drain(sub)
+                .unwrap()
                 .into_iter()
                 .map(|m| m.topic.clone())
                 .collect::<Vec<_>>()
@@ -913,7 +932,11 @@ mod tests {
         let sub = bus.subscribe("/t");
         bus.publish(SimTime::ZERO, "n", "/t", text("a"));
         bus.step(SimTime::from_millis(100));
-        assert_eq!(bus.drain(sub).unwrap().len(), 0, "blackout drops everything");
+        assert_eq!(
+            bus.drain(sub).unwrap().len(),
+            0,
+            "blackout drops everything"
+        );
         bus.remove_loss("/t"); // removes both rules for the pattern
         for _ in 0..20 {
             bus.publish(SimTime::from_millis(100), "n", "/t", text("b"));
@@ -1088,8 +1111,14 @@ mod tests {
         bus.step(SimTime::from_secs(2));
         let ta = bus.drain(a).unwrap().remove(0);
         let tb = bus.drain(b).unwrap().remove(0);
-        assert!(Arc::ptr_eq(&ta, &tb), "tampered fanout still shares one body");
-        assert!(!Arc::ptr_eq(&keep, &ta), "publisher's handle was CoW-detached");
+        assert!(
+            Arc::ptr_eq(&ta, &tb),
+            "tampered fanout still shares one body"
+        );
+        assert!(
+            !Arc::ptr_eq(&keep, &ta),
+            "publisher's handle was CoW-detached"
+        );
         assert_eq!(keep.payload, text("clean"), "publisher copy untouched");
         assert_eq!(ta.payload, text("evil"));
     }

@@ -105,9 +105,7 @@ impl CommFaultKind {
                 LinkDirection::Downlink => format!("/{uav}/telemetry"),
             }),
             CommFaultKind::BrokerOutage => None,
-            CommFaultKind::TelemetryStaleness { uav, .. } => {
-                Some(format!("/{uav}/telemetry"))
-            }
+            CommFaultKind::TelemetryStaleness { uav, .. } => Some(format!("/{uav}/telemetry")),
         }
     }
 }
@@ -190,9 +188,10 @@ impl CommFaultPlane {
     pub fn severs(&self, uav: UavId, direction: LinkDirection) -> bool {
         self.active().any(|f| match &f.kind {
             CommFaultKind::LinkBlackout { uav: u } => *u == uav,
-            CommFaultKind::AsymmetricPartition { uav: u, direction: d } => {
-                *u == uav && *d == direction
-            }
+            CommFaultKind::AsymmetricPartition {
+                uav: u,
+                direction: d,
+            } => *u == uav && *d == direction,
             _ => false,
         })
     }
@@ -252,8 +251,7 @@ impl CommFaultPlane {
         let mut broker_down = false;
         for fault in self.active() {
             match &fault.kind {
-                CommFaultKind::LinkBlackout { .. }
-                | CommFaultKind::AsymmetricPartition { .. } => {
+                CommFaultKind::LinkBlackout { .. } | CommFaultKind::AsymmetricPartition { .. } => {
                     let pattern = fault.kind.pattern().expect("bus fault has a pattern");
                     bus.set_loss(pattern, 1.0);
                 }
@@ -270,7 +268,13 @@ impl CommFaultPlane {
 
 // Comm-fault schedules are part of the scenario description a parallel
 // campaign executor clones onto worker threads.
-sesame_types::assert_send_sync!(LinkDirection, CommFaultKind, CommFault, CommFaultTransition, CommFaultPlane);
+sesame_types::assert_send_sync!(
+    LinkDirection,
+    CommFaultKind,
+    CommFault,
+    CommFaultTransition,
+    CommFaultPlane
+);
 
 #[cfg(test)]
 mod tests {
@@ -283,11 +287,7 @@ mod tests {
 
     fn plane_with(kind: CommFaultKind, at: u64, secs: u64) -> CommFaultPlane {
         let mut plane = CommFaultPlane::new();
-        plane.schedule(
-            SimTime::from_secs(at),
-            SimDuration::from_secs(secs),
-            kind,
-        );
+        plane.schedule(SimTime::from_secs(at), SimDuration::from_secs(secs), kind);
         plane
     }
 
@@ -302,8 +302,18 @@ mod tests {
 
         // Before the window: traffic flows.
         plane.step(SimTime::from_secs(5), &mut bus, &mut broker);
-        bus.publish(SimTime::from_secs(5), "node:uav1", "/uav1/telemetry", text());
-        bus.publish(SimTime::from_secs(5), "node:gcs", "/uav1/cmd/waypoint", text());
+        bus.publish(
+            SimTime::from_secs(5),
+            "node:uav1",
+            "/uav1/telemetry",
+            text(),
+        );
+        bus.publish(
+            SimTime::from_secs(5),
+            "node:gcs",
+            "/uav1/cmd/waypoint",
+            text(),
+        );
         bus.step(SimTime::from_secs(6));
         assert_eq!(bus.drain(tel).unwrap().len(), 1);
         assert_eq!(bus.drain(cmd).unwrap().len(), 1);
@@ -313,8 +323,18 @@ mod tests {
         assert!(tr[0].activated && tr[0].label == "link_blackout_uav1");
         assert!(plane.severs(uav, LinkDirection::Uplink));
         assert!(plane.severs(uav, LinkDirection::Downlink));
-        bus.publish(SimTime::from_secs(10), "node:uav1", "/uav1/telemetry", text());
-        bus.publish(SimTime::from_secs(10), "node:gcs", "/uav1/cmd/waypoint", text());
+        bus.publish(
+            SimTime::from_secs(10),
+            "node:uav1",
+            "/uav1/telemetry",
+            text(),
+        );
+        bus.publish(
+            SimTime::from_secs(10),
+            "node:gcs",
+            "/uav1/cmd/waypoint",
+            text(),
+        );
         bus.step(SimTime::from_secs(11));
         assert_eq!(bus.drain(tel).unwrap().len(), 0);
         assert_eq!(bus.drain(cmd).unwrap().len(), 0);
@@ -323,7 +343,12 @@ mod tests {
         let tr = plane.step(SimTime::from_secs(15), &mut bus, &mut broker);
         assert!(!tr[0].activated);
         assert_eq!(plane.active().count(), 0);
-        bus.publish(SimTime::from_secs(15), "node:uav1", "/uav1/telemetry", text());
+        bus.publish(
+            SimTime::from_secs(15),
+            "node:uav1",
+            "/uav1/telemetry",
+            text(),
+        );
         bus.step(SimTime::from_secs(16));
         assert_eq!(bus.drain(tel).unwrap().len(), 1);
     }
@@ -416,13 +441,23 @@ mod tests {
 
         plane.step(SimTime::ZERO, &mut bus, &mut broker);
         plane.step(SimTime::from_secs(10), &mut bus, &mut broker);
-        bus.publish(SimTime::from_secs(10), "node:uav1", "/uav1/telemetry", text());
+        bus.publish(
+            SimTime::from_secs(10),
+            "node:uav1",
+            "/uav1/telemetry",
+            text(),
+        );
         bus.step(SimTime::from_secs(16));
         assert_eq!(bus.drain(tel).unwrap().len(), 0, "blackout drops it");
 
         plane.step(SimTime::from_secs(20), &mut bus, &mut broker);
         assert_eq!(plane.active().count(), 1, "staleness outlives blackout");
-        bus.publish(SimTime::from_secs(20), "node:uav1", "/uav1/telemetry", text());
+        bus.publish(
+            SimTime::from_secs(20),
+            "node:uav1",
+            "/uav1/telemetry",
+            text(),
+        );
         bus.step(SimTime::from_secs(21));
         assert_eq!(bus.drain(tel).unwrap().len(), 0, "still delayed");
         bus.step(SimTime::from_secs(25));

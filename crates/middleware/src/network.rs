@@ -176,7 +176,11 @@ mod tests {
         let net = NetworkModel::default();
         assert!(net.link_quality(1e12).value() >= 0.0);
         assert!(net.link_quality(1e12).value() < 1e-6);
-        assert_eq!(net.link_quality(-10.0).value(), 1.0, "negative range = co-located");
+        assert_eq!(
+            net.link_quality(-10.0).value(),
+            1.0,
+            "negative range = co-located"
+        );
     }
 
     #[test]
@@ -191,14 +195,24 @@ mod tests {
         net.apply_to_topic(&mut bus, "/uav9/telemetry", 1e9);
         let sub = bus.subscribe("/uav9/telemetry");
         for _ in 0..10 {
-            bus.publish(SimTime::ZERO, "n", "/uav9/telemetry", Payload::Text("x".into()));
+            bus.publish(
+                SimTime::ZERO,
+                "n",
+                "/uav9/telemetry",
+                Payload::Text("x".into()),
+            );
         }
         bus.step(SimTime::from_secs(10));
         assert_eq!(bus.drain(sub).unwrap().len(), 0);
         // Re-applying at close range replaces the rules: traffic flows.
         net.apply_to_topic(&mut bus, "/uav9/telemetry", 10.0);
         for _ in 0..10 {
-            bus.publish(SimTime::from_secs(10), "n", "/uav9/telemetry", Payload::Text("x".into()));
+            bus.publish(
+                SimTime::from_secs(10),
+                "n",
+                "/uav9/telemetry",
+                Payload::Text("x".into()),
+            );
         }
         bus.step(SimTime::from_secs(20));
         assert_eq!(bus.drain(sub).unwrap().len(), 10);

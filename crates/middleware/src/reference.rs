@@ -100,7 +100,8 @@ impl ReferenceBus {
 
     /// Sets a loss probability for matching topics; later rules win.
     pub fn set_loss(&mut self, pattern: impl Into<String>, probability: f64) {
-        self.loss.push((pattern.into(), probability.clamp(0.0, 1.0)));
+        self.loss
+            .push((pattern.into(), probability.clamp(0.0, 1.0)));
     }
 
     /// Removes every loss rule installed for exactly `pattern`.
@@ -216,7 +217,11 @@ impl ReferenceBus {
                 .unwrap_or(0.0);
             if loss > 0.0 && self.rng.random::<f64>() < loss {
                 self.stats.dropped += 1;
-                self.stats.per_topic.entry(msg.topic.clone()).or_default().dropped += 1;
+                self.stats
+                    .per_topic
+                    .entry(msg.topic.clone())
+                    .or_default()
+                    .dropped += 1;
                 self.trace.push(
                     now.as_millis(),
                     TraceEvent::MessageDropped {
@@ -231,7 +236,11 @@ impl ReferenceBus {
                 if let Some(f) = hook {
                     if topic_matches(pattern, &msg.topic) && f(&mut msg) {
                         self.stats.tampered += 1;
-                        self.stats.per_topic.entry(msg.topic.clone()).or_default().tampered += 1;
+                        self.stats
+                            .per_topic
+                            .entry(msg.topic.clone())
+                            .or_default()
+                            .tampered += 1;
                         self.trace.push(
                             now.as_millis(),
                             TraceEvent::MessageTampered {
@@ -263,7 +272,11 @@ impl ReferenceBus {
                 }
             }
             if fanout > 0 {
-                self.stats.per_topic.entry(msg.topic.clone()).or_default().delivered += fanout;
+                self.stats
+                    .per_topic
+                    .entry(msg.topic.clone())
+                    .or_default()
+                    .delivered += fanout;
                 let latency = inf.deliver_at - msg.sent_at;
                 self.stats.latency_ms.observe(latency.as_millis() as f64);
             }

@@ -10,8 +10,9 @@ use std::fmt::Write as _;
 /// Default histogram bucket upper edges, in the unit of the observed
 /// value (the platform uses microseconds for phase timings and
 /// milliseconds for bus latency). The last implicit bucket is +inf.
-pub const DEFAULT_BUCKETS: [f64; 10] =
-    [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0];
+pub const DEFAULT_BUCKETS: [f64; 10] = [
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 1000.0, 10_000.0,
+];
 
 /// A fixed-bucket histogram: counts per upper-edge bucket plus exact
 /// count/sum/min/max, so means are exact and quantiles bucket-accurate.
@@ -39,7 +40,10 @@ impl Histogram {
     /// # Panics
     /// Panics if `edges` is empty or not strictly ascending.
     pub fn new(edges: &[f64]) -> Self {
-        assert!(!edges.is_empty(), "histogram needs at least one bucket edge");
+        assert!(
+            !edges.is_empty(),
+            "histogram needs at least one bucket edge"
+        );
         assert!(
             edges.windows(2).all(|w| w[0] < w[1]),
             "histogram edges must be strictly ascending"
@@ -254,6 +258,16 @@ impl MetricsRegistry {
     /// Overwrites a counter with an externally tracked total.
     pub fn set_counter(&mut self, name: &str, value: u64) {
         self.counters.insert(name.to_string(), value);
+    }
+
+    /// Mirrors a cache's cumulative hit/miss counters as `{prefix}.hit`
+    /// and `{prefix}.miss` — the convention the EDDI fast path uses
+    /// (`eddi.cache.hit` / `eddi.cache.miss`). Values are absolute
+    /// (set, not added), so callers can re-publish aggregated cache
+    /// statistics every tick without double counting.
+    pub fn set_cache_counters(&mut self, prefix: &str, hits: u64, misses: u64) {
+        self.counters.insert(format!("{prefix}.hit"), hits);
+        self.counters.insert(format!("{prefix}.miss"), misses);
     }
 
     /// Sets a gauge to the latest value.
@@ -501,6 +515,18 @@ impl MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cache_counters_set_absolute_hit_and_miss_values() {
+        let mut m = MetricsRegistry::new();
+        m.set_cache_counters("eddi.cache", 7, 3);
+        assert_eq!(m.counter("eddi.cache.hit"), 7);
+        assert_eq!(m.counter("eddi.cache.miss"), 3);
+        // Re-publishing overwrites rather than accumulates.
+        m.set_cache_counters("eddi.cache", 8, 3);
+        assert_eq!(m.counter("eddi.cache.hit"), 8);
+        assert_eq!(m.counter("eddi.cache.miss"), 3);
+    }
 
     #[test]
     fn bucketing_places_values_on_edges_inclusively() {

@@ -24,7 +24,11 @@ pub enum TraceEvent {
     /// The intrusion-detection pipeline raised an alert.
     IdsAlert { detector: String, detail: String },
     /// A ConSert guarantee level changed.
-    GuaranteeChanged { uav: usize, from: String, to: String },
+    GuaranteeChanged {
+        uav: usize,
+        from: String,
+        to: String,
+    },
     /// The platform-level mission decision / mode changed.
     ModeTransition { from: String, to: String },
     /// An injected attack reached one of its scripted goals.
@@ -248,10 +252,7 @@ mod tests {
         assert_eq!(log.count_kind("message_tampered"), 1);
         assert_eq!(log.count_kind("ids_alert"), 1);
         assert_eq!(log.count_kind("mode_transition"), 0);
-        assert_eq!(
-            log.of_kind("ids_alert").next().unwrap().t_ms,
-            6
-        );
+        assert_eq!(log.of_kind("ids_alert").next().unwrap().t_ms, 6);
     }
 
     #[test]

@@ -158,6 +158,20 @@ impl BatteryModel {
         self.process.advance(dt_secs);
     }
 
+    /// Enables the bit-identical rate-keyed solver cache on the
+    /// underlying Markov process (see [`CtmcProcess::enable_solver_cache`]).
+    /// The per-telemetry chain rebuild in
+    /// [`BatteryModel::update_telemetry`] self-invalidates it whenever the
+    /// rebuilt rates differ bit-wise from the cached ones.
+    pub fn enable_solver_cache(&mut self) {
+        self.process.enable_solver_cache();
+    }
+
+    /// Hit/miss counters of the solver cache.
+    pub fn solver_cache_stats(&self) -> crate::markov::SolverCacheStats {
+        self.process.solver_cache_stats()
+    }
+
     /// Probability the battery has failed chemically by now.
     pub fn probability_of_failure(&self) -> f64 {
         self.process.mass_in(&[state::FAILED])

@@ -82,6 +82,17 @@ impl CommsModel {
         self.process.advance(dt_secs);
     }
 
+    /// Enables the bit-identical rate-keyed solver cache on the
+    /// underlying Markov process (see [`CtmcProcess::enable_solver_cache`]).
+    pub fn enable_solver_cache(&mut self) {
+        self.process.enable_solver_cache();
+    }
+
+    /// Hit/miss counters of the solver cache.
+    pub fn solver_cache_stats(&self) -> crate::markov::SolverCacheStats {
+        self.process.solver_cache_stats()
+    }
+
     /// Probability the link is down right now.
     pub fn probability_down(&self) -> f64 {
         self.process.mass_in(&[state::DOWN])

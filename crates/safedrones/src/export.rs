@@ -80,7 +80,10 @@ mod tests {
         FaultTree::new(Node::or(vec![
             Node::basic("battery"),
             Node::and(vec![Node::basic("link_a"), Node::basic("link_b")]),
-            Node::at_least(2, vec![Node::basic("m1"), Node::basic("m2"), Node::basic("m3")]),
+            Node::at_least(
+                2,
+                vec![Node::basic("m1"), Node::basic("m2"), Node::basic("m3")],
+            ),
         ]))
         .unwrap()
     }

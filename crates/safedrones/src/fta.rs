@@ -238,10 +238,8 @@ impl FaultTree {
                 Ok(p)
             }
             Node::Gate { kind, children } => {
-                let ps: Result<Vec<f64>, FtaError> = children
-                    .iter()
-                    .map(|c| Self::eval_node(c, probs))
-                    .collect();
+                let ps: Result<Vec<f64>, FtaError> =
+                    children.iter().map(|c| Self::eval_node(c, probs)).collect();
                 let ps = ps?;
                 Ok(match kind {
                     Gate::And => ps.iter().product(),
@@ -311,9 +309,7 @@ mod tests {
         // Equal p: P(>=2 of 3) = 3p²(1-p) + p³.
         let p = 0.3;
         let expect = 3.0 * p * p * (1.0 - p) + p * p * p;
-        let got = t
-            .evaluate(&probs(&[("a", p), ("b", p), ("c", p)]))
-            .unwrap();
+        let got = t.evaluate(&probs(&[("a", p), ("b", p), ("c", p)])).unwrap();
         assert!((got - expect).abs() < 1e-12);
     }
 

@@ -33,18 +33,18 @@
 //! assert!(mon.probability_of_failure() < 1e-3);
 //! ```
 
-pub mod export;
 pub mod battery;
 pub mod comms;
+pub mod export;
 pub mod fta;
 pub mod markov;
+pub mod models;
 pub mod monitor;
 pub mod processor;
 pub mod propulsion;
-pub mod models;
 
 pub use fta::{BasicEventId, FaultTree, Gate};
-pub use markov::Ctmc;
+pub use markov::{Ctmc, SolverCacheStats};
 pub use monitor::{ReliabilityAction, ReliabilityEstimate, SafeDronesConfig, SafeDronesMonitor};
 
 /// The three reliability bands the Safety EDDI ConSert consumes ("High /

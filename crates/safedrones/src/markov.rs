@@ -183,13 +183,147 @@ impl Ctmc {
     }
 }
 
+/// [`Ctmc::transient_with_tol`] with the rate-matrix-dependent quantities
+/// (per-state exit rates and the uniformization rate) supplied from a
+/// memoized [`SolveProfile`]. Produces bit-identical results to the naive
+/// solver: the cached values are the exact same sums the naive path
+/// recomputes, and every downstream operation runs in the same order.
+impl Ctmc {
+    fn transient_cached(&self, p0: &[f64], t: f64, tol: f64, profile: &SolveProfile) -> Vec<f64> {
+        assert_eq!(p0.len(), self.n, "initial distribution size mismatch");
+        assert!(t.is_finite() && t >= 0.0, "time must be ≥ 0");
+        let sum: f64 = p0.iter().sum();
+        assert!(
+            (sum - 1.0).abs() < 1e-6 && p0.iter().all(|p| *p >= -1e-12),
+            "p0 must be a probability vector (sums to {sum})"
+        );
+        if t == 0.0 {
+            return p0.to_vec();
+        }
+        if profile.lambda_raw == 0.0 {
+            return p0.to_vec(); // no transitions anywhere
+        }
+        let lambda = profile.lambda_raw * 1.02;
+        let lt = lambda * t;
+
+        let step = |v: &[f64]| -> Vec<f64> {
+            let mut out = vec![0.0; self.n];
+            for i in 0..self.n {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let exit = profile.exits[i];
+                out[i] += vi * (1.0 - exit / lambda);
+                for (j, slot) in out.iter_mut().enumerate() {
+                    if i != j {
+                        let r = self.rate(i, j);
+                        if r > 0.0 {
+                            *slot += vi * r / lambda;
+                        }
+                    }
+                }
+            }
+            out
+        };
+
+        let mut result = vec![0.0; self.n];
+        let mut v = p0.to_vec();
+        let mut log_w = -lt;
+        let mut acc = 0.0;
+        let k_max = ((lt + 8.0 * lt.sqrt() + 20.0).ceil()) as usize;
+        for k in 0..=k_max {
+            if k > 0 {
+                log_w += (lt).ln() - (k as f64).ln();
+                v = step(&v);
+            }
+            let w = log_w.exp();
+            if w > 0.0 {
+                for i in 0..self.n {
+                    result[i] += w * v[i];
+                }
+                acc += w;
+            }
+            if 1.0 - acc < tol {
+                break;
+            }
+        }
+        let s: f64 = result.iter().sum();
+        if s > 0.0 {
+            for r in result.iter_mut() {
+                *r /= s;
+            }
+        }
+        result
+    }
+}
+
+/// Hit/miss counters of a process-level solver cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverCacheStats {
+    /// Solves served with a profile reused from an earlier tick.
+    pub hits: u64,
+    /// Solves that had to rebuild the profile (rate matrix changed).
+    pub misses: u64,
+}
+
+/// The memoized, rate-matrix-keyed part of a uniformization solve: the
+/// per-state exit rates and the (uninflated) uniformization rate Λ. Both
+/// depend only on the rate matrix, so they are reusable across ticks as
+/// long as the rates are bit-identical.
+#[derive(Debug, Clone)]
+struct SolveProfile {
+    rates_bits: Vec<u64>,
+    exits: Vec<f64>,
+    lambda_raw: f64,
+}
+
+impl SolveProfile {
+    fn build(chain: &Ctmc) -> Self {
+        let n = chain.len();
+        let exits: Vec<f64> = (0..n).map(|i| chain.exit_rate(i)).collect();
+        let lambda_raw = exits.iter().copied().fold(0.0_f64, f64::max);
+        SolveProfile {
+            rates_bits: chain.rates.iter().map(|r| r.to_bits()).collect(),
+            exits,
+            lambda_raw,
+        }
+    }
+
+    fn matches(&self, chain: &Ctmc) -> bool {
+        self.rates_bits.len() == chain.rates.len()
+            && self
+                .rates_bits
+                .iter()
+                .zip(chain.rates.iter())
+                .all(|(b, r)| *b == r.to_bits())
+    }
+}
+
 /// A CTMC paired with a live state distribution, advanced tick by tick.
 /// This is the "complex basic event" carrier: rates can be swapped at any
 /// tick and the distribution keeps integrating forward.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// With [`CtmcProcess::enable_solver_cache`] the per-solve exit-rate and
+/// uniformization-rate computations are memoized keyed on the exact bit
+/// pattern of the rate matrix (the failure-rate vector); the cached solve
+/// is bit-identical to the naive one, so enabling the cache never changes
+/// the belief trajectory.
+#[derive(Debug, Clone)]
 pub struct CtmcProcess {
     chain: Ctmc,
     dist: Vec<f64>,
+    cache: Option<Box<SolveProfile>>,
+    cache_enabled: bool,
+    stats: SolverCacheStats,
+}
+
+impl PartialEq for CtmcProcess {
+    fn eq(&self, other: &Self) -> bool {
+        // The solver cache is a pure accelerator; two processes with the
+        // same chain and belief are the same process.
+        self.chain == other.chain && self.dist == other.dist
+    }
 }
 
 impl CtmcProcess {
@@ -202,7 +336,24 @@ impl CtmcProcess {
         assert!(initial < chain.len(), "initial state out of range");
         let mut dist = vec![0.0; chain.len()];
         dist[initial] = 1.0;
-        CtmcProcess { chain, dist }
+        CtmcProcess {
+            chain,
+            dist,
+            cache: None,
+            cache_enabled: false,
+            stats: SolverCacheStats::default(),
+        }
+    }
+
+    /// Turns on the rate-keyed solver cache for subsequent
+    /// [`CtmcProcess::advance`] calls.
+    pub fn enable_solver_cache(&mut self) {
+        self.cache_enabled = true;
+    }
+
+    /// Hit/miss counters of the solver cache (all zero when disabled).
+    pub fn solver_cache_stats(&self) -> SolverCacheStats {
+        self.stats
     }
 
     /// The live distribution.
@@ -221,8 +372,27 @@ impl CtmcProcess {
     }
 
     /// Advances the distribution by `dt_secs` with the current rates.
+    ///
+    /// When the solver cache is enabled, the exit-rate/uniformization-rate
+    /// profile is reused as long as the rate matrix is bit-identical to
+    /// the one the profile was built from; callers that mutate rates via
+    /// [`CtmcProcess::chain_mut`] therefore self-invalidate the cache.
     pub fn advance(&mut self, dt_secs: f64) {
-        self.dist = self.chain.transient(&self.dist, dt_secs);
+        if !self.cache_enabled {
+            self.dist = self.chain.transient(&self.dist, dt_secs);
+            return;
+        }
+        let fresh = !matches!(&self.cache, Some(profile) if profile.matches(&self.chain));
+        if fresh {
+            self.cache = Some(Box::new(SolveProfile::build(&self.chain)));
+            self.stats.misses += 1;
+        } else {
+            self.stats.hits += 1;
+        }
+        let profile = self.cache.as_ref().expect("profile just ensured");
+        self.dist = self
+            .chain
+            .transient_cached(&self.dist, dt_secs, 1e-12, profile);
     }
 
     /// Probability mass currently in the given states (e.g. the absorbing
@@ -366,5 +536,40 @@ mod tests {
     fn self_transition_panics() {
         let mut c = Ctmc::new(2);
         c.set_rate(1, 1, 0.1);
+    }
+
+    /// A four-state chain with asymmetric rates, exercised over a mixed
+    /// schedule of advances and mid-flight rate swaps: the cached solver
+    /// must track the naive one bit for bit and self-invalidate on every
+    /// rate mutation.
+    #[test]
+    fn solver_cache_is_bit_identical_and_self_invalidating() {
+        let mut chain = Ctmc::new(4);
+        chain.set_rate(0, 1, 0.3);
+        chain.set_rate(0, 2, 0.05);
+        chain.set_rate(1, 2, 0.7);
+        chain.set_rate(1, 3, 0.01);
+        chain.set_rate(2, 3, 1.3);
+        let mut naive = CtmcProcess::new(chain.clone(), 0);
+        let mut cached = CtmcProcess::new(chain, 0);
+        cached.enable_solver_cache();
+
+        let dts = [0.1, 0.1, 2.5, 0.0, 0.1, 7.0, 0.1, 0.1];
+        for (k, dt) in dts.iter().enumerate() {
+            if k == 4 {
+                naive.chain_mut().set_rate(0, 1, 0.9);
+                cached.chain_mut().set_rate(0, 1, 0.9);
+            }
+            naive.advance(*dt);
+            cached.advance(*dt);
+            let bits = |p: &CtmcProcess| -> Vec<u64> {
+                p.distribution().iter().map(|x| x.to_bits()).collect()
+            };
+            assert_eq!(bits(&naive), bits(&cached), "diverged at step {k}");
+        }
+        let stats = cached.solver_cache_stats();
+        assert_eq!(stats.misses, 2, "initial build + one rate-swap rebuild");
+        assert_eq!(stats.hits as usize, dts.len() - 2);
+        assert_eq!(naive.solver_cache_stats(), SolverCacheStats::default());
     }
 }

@@ -196,7 +196,13 @@ mod tests {
         .unwrap();
         let timed = TimedFaultTree::new(tree)
             .with_model("a", BasicEventModel::Exponential { lambda: 1e-5 })
-            .with_model("b", BasicEventModel::Weibull { shape: 2.0, scale: 5e4 })
+            .with_model(
+                "b",
+                BasicEventModel::Weibull {
+                    shape: 2.0,
+                    scale: 5e4,
+                },
+            )
             .with_model("c", BasicEventModel::Exponential { lambda: 5e-5 });
         let curve = timed.curve(1e5, 50).unwrap();
         assert_eq!(curve.len(), 51);

@@ -10,6 +10,7 @@
 use crate::battery::{BatteryModel, BatteryParams};
 use crate::comms::CommsModel;
 use crate::fta::{BasicEventId, FaultTree, Node};
+use crate::markov::SolverCacheStats;
 use crate::processor::ProcessorModel;
 use crate::propulsion::{MotorLayout, PropulsionModel};
 use crate::ReliabilityLevel;
@@ -223,6 +224,33 @@ impl SafeDronesMonitor {
     /// The configured abort threshold.
     pub fn pof_threshold(&self) -> f64 {
         self.config.pof_threshold
+    }
+
+    /// Enables the bit-identical rate-keyed Markov solver cache on every
+    /// CTMC-backed subsystem model (propulsion, battery, comms; the
+    /// processor model is closed-form and has nothing to cache). The
+    /// belief trajectory is unchanged — only repeated exit-rate and
+    /// uniformization-rate computations are skipped while the
+    /// failure-rate vector stays bit-identical across ticks.
+    pub fn enable_solver_cache(&mut self) {
+        self.propulsion.enable_solver_cache();
+        self.battery.enable_solver_cache();
+        self.comms.enable_solver_cache();
+    }
+
+    /// Aggregated solver-cache counters across all subsystem models.
+    pub fn solver_cache_stats(&self) -> SolverCacheStats {
+        let parts = [
+            self.propulsion.solver_cache_stats(),
+            self.battery.solver_cache_stats(),
+            self.comms.solver_cache_stats(),
+        ];
+        parts
+            .iter()
+            .fold(SolverCacheStats::default(), |acc, s| SolverCacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+            })
     }
 }
 

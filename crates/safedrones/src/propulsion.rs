@@ -130,6 +130,17 @@ impl PropulsionModel {
         self.process.advance(dt_secs);
     }
 
+    /// Enables the bit-identical rate-keyed solver cache on the
+    /// underlying Markov process (see [`CtmcProcess::enable_solver_cache`]).
+    pub fn enable_solver_cache(&mut self) {
+        self.process.enable_solver_cache();
+    }
+
+    /// Hit/miss counters of the solver cache.
+    pub fn solver_cache_stats(&self) -> crate::markov::SolverCacheStats {
+        self.process.solver_cache_stats()
+    }
+
     /// Probability that controllability has been lost by now.
     pub fn probability_of_failure(&self) -> f64 {
         let fail_state = self.layout.tolerated_failures() + 1;

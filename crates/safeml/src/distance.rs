@@ -130,6 +130,29 @@ pub fn kolmogorov_smirnov(a: &[f64], b: &[f64]) -> f64 {
         .fold(0.0, f64::max)
 }
 
+/// [`kolmogorov_smirnov`] with the first sample supplied already sorted
+/// (ascending) and validated. The monitor's fast path sorts each reference
+/// column once instead of on every tick; since sorting the same finite
+/// data always yields the same array, the result is bit-identical to the
+/// naive function.
+///
+/// # Panics
+///
+/// Panics if `a_sorted` is empty or (in debug builds) not sorted, or if
+/// `b` is empty / non-finite.
+pub fn kolmogorov_smirnov_presorted(a_sorted: &[f64], b: &[f64]) -> f64 {
+    assert!(!a_sorted.is_empty(), "first sample is empty");
+    debug_assert!(
+        a_sorted.windows(2).all(|w| w[0] <= w[1]),
+        "first sample must be pre-sorted"
+    );
+    let b = sorted_copy("second", b);
+    ecdf_diff_walk(a_sorted, &b)
+        .into_iter()
+        .map(|(_, d, _)| d.abs())
+        .fold(0.0, f64::max)
+}
+
 /// Kuiper statistic `sup (F−G) + sup (G−F)`.
 pub fn kuiper(a: &[f64], b: &[f64]) -> f64 {
     let (a, b) = (sorted_copy("first", a), sorted_copy("second", b));
@@ -317,7 +340,10 @@ mod tests {
         let wide: Vec<f64> = (0..50).map(|i| (i as f64 - 25.0) * 0.04 + 0.25).collect();
         let ks = kolmogorov_smirnov(&narrow, &wide);
         let ku = kuiper(&narrow, &wide);
-        assert!(ku > ks, "kuiper {ku} should exceed ks {ks} for spread shift");
+        assert!(
+            ku > ks,
+            "kuiper {ku} should exceed ks {ks} for spread shift"
+        );
     }
 
     #[test]

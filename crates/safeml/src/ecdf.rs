@@ -120,7 +120,10 @@ mod tests {
     #[test]
     fn rejects_bad_input() {
         assert_eq!(Ecdf::new(&[]).unwrap_err(), EcdfError::Empty);
-        assert_eq!(Ecdf::new(&[1.0, f64::NAN]).unwrap_err(), EcdfError::NonFinite);
+        assert_eq!(
+            Ecdf::new(&[1.0, f64::NAN]).unwrap_err(),
+            EcdfError::NonFinite
+        );
         assert_eq!(
             Ecdf::new(&[f64::INFINITY]).unwrap_err(),
             EcdfError::NonFinite

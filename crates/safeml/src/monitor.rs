@@ -82,6 +82,11 @@ pub struct SafeMlMonitor {
     /// Sliding window of runtime samples (row-major).
     window: VecDeque<Vec<f64>>,
     samples_seen: u64,
+    /// Pre-sorted copy of `reference`, built lazily by
+    /// [`SafeMlMonitor::assessment`]. A pure accelerator: sorting the same
+    /// finite columns always yields the same arrays, so results are
+    /// bit-identical with or without it.
+    sorted_reference: Option<Vec<Vec<f64>>>,
 }
 
 /// Errors from monitor construction and feeding.
@@ -156,6 +161,7 @@ impl SafeMlMonitor {
             reference,
             window: VecDeque::new(),
             samples_seen: 0,
+            sorted_reference: None,
         })
     }
 
@@ -220,6 +226,53 @@ impl SafeMlMonitor {
         }
     }
 
+    /// Computes the dissimilarity **once** and derives the verdict from
+    /// it — the fast-path equivalent of calling
+    /// [`SafeMlMonitor::dissimilarity`] followed by
+    /// [`SafeMlMonitor::verdict`], which walk the full window/reference
+    /// comparison twice. For the KS measure the reference columns are
+    /// additionally pre-sorted once (lazily) and reused across calls;
+    /// both results are bit-identical to the naive accessors.
+    pub fn assessment(&mut self) -> (f64, SafeMlVerdict) {
+        let d = self.dissimilarity_presorted();
+        let verdict = if d >= self.config.reject_threshold {
+            SafeMlVerdict::Reject
+        } else if d >= self.config.caution_threshold {
+            SafeMlVerdict::Caution
+        } else {
+            SafeMlVerdict::Accept
+        };
+        (d, verdict)
+    }
+
+    /// [`SafeMlMonitor::dissimilarity`] using the lazily-built pre-sorted
+    /// reference (KS only; other measures fall back to the naive path).
+    fn dissimilarity_presorted(&mut self) -> f64 {
+        if self.window.is_empty() {
+            return 0.0;
+        }
+        if self.config.measure != DistanceMeasure::KolmogorovSmirnov {
+            return self.dissimilarity();
+        }
+        let sorted = self.sorted_reference.get_or_insert_with(|| {
+            self.reference
+                .iter()
+                .map(|col| {
+                    let mut v = col.clone();
+                    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+                    v
+                })
+                .collect()
+        });
+        let mut acc = 0.0;
+        for (c, ref_col) in sorted.iter().enumerate() {
+            let col: Vec<f64> = self.window.iter().map(|row| row[c]).collect();
+            let d = crate::distance::kolmogorov_smirnov_presorted(ref_col, &col);
+            acc += d; // squash() is the identity for KS
+        }
+        acc / self.reference.len() as f64
+    }
+
     /// Confidence in the ML component's outcome: `1 − dissimilarity`.
     pub fn confidence(&self) -> f64 {
         1.0 - self.dissimilarity()
@@ -257,8 +310,8 @@ mod tests {
         (0..200)
             .map(|i| {
                 vec![
-                    (i % 20) as f64 * 0.05,       // uniform-ish 0..1
-                    ((i * 7) % 13) as f64 * 0.1,  // uniform-ish 0..1.3
+                    (i % 20) as f64 * 0.05,      // uniform-ish 0..1
+                    ((i * 7) % 13) as f64 * 0.1, // uniform-ish 0..1.3
                 ]
             })
             .collect()
@@ -369,6 +422,36 @@ mod tests {
             SafeMlError::NonFinite
         );
         assert_eq!(mon.feature_count(), 2);
+    }
+
+    #[test]
+    fn assessment_is_bit_identical_to_naive_accessors() {
+        let mut mon = SafeMlMonitor::new(reference(), SafeMlConfig::default()).unwrap();
+        // Empty window first, then a drifting stream crossing thresholds.
+        assert_eq!(mon.assessment(), (0.0, SafeMlVerdict::Accept));
+        for i in 0..120u32 {
+            let drift = f64::from(i) * 0.15;
+            mon.push_sample(&[(i % 20) as f64 * 0.05 + drift, drift])
+                .unwrap();
+            let naive = (mon.dissimilarity(), mon.verdict());
+            let fast = mon.assessment();
+            assert_eq!(naive.0.to_bits(), fast.0.to_bits(), "tick {i}");
+            assert_eq!(naive.1, fast.1, "tick {i}");
+        }
+    }
+
+    #[test]
+    fn assessment_falls_back_for_non_ks_measures() {
+        let mut cfg = SafeMlConfig::default();
+        cfg.measure = DistanceMeasure::Wasserstein;
+        let mut mon = SafeMlMonitor::new(reference(), cfg).unwrap();
+        for i in 0..50 {
+            mon.push_sample(&[f64::from(i) * 0.3, 2.0]).unwrap();
+            let naive = (mon.dissimilarity(), mon.verdict());
+            let fast = mon.assessment();
+            assert_eq!(naive.0.to_bits(), fast.0.to_bits());
+            assert_eq!(naive.1, fast.1);
+        }
     }
 
     #[test]

@@ -56,7 +56,10 @@ pub fn estimate_power(
     trials: usize,
     seed: u64,
 ) -> PowerEstimate {
-    assert!(window > 0 && reference > 0 && trials > 0, "sizes must be positive");
+    assert!(
+        window > 0 && reference > 0 && trials > 0,
+        "sizes must be positive"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut hits = 0usize;
     let mut false_alarms = 0usize;
@@ -137,7 +140,15 @@ mod tests {
         // for a 1σ location shift) for larger windows to help; above it
         // the statistic concentrates *below* the threshold instead.
         let small = estimate_power(DistanceMeasure::KolmogorovSmirnov, 5, 200, 1.0, 0.3, 200, 3);
-        let large = estimate_power(DistanceMeasure::KolmogorovSmirnov, 80, 200, 1.0, 0.3, 200, 3);
+        let large = estimate_power(
+            DistanceMeasure::KolmogorovSmirnov,
+            80,
+            200,
+            1.0,
+            0.3,
+            200,
+            3,
+        );
         assert!(
             large.power > small.power,
             "window 80 ({}) must beat window 5 ({})",
@@ -152,21 +163,53 @@ mod tests {
         // The complementary fact: with the threshold above the asymptotic
         // statistic, growing the window *reduces* (spurious) detections.
         let small = estimate_power(DistanceMeasure::KolmogorovSmirnov, 5, 200, 1.0, 0.5, 200, 3);
-        let large = estimate_power(DistanceMeasure::KolmogorovSmirnov, 80, 200, 1.0, 0.5, 200, 3);
+        let large = estimate_power(
+            DistanceMeasure::KolmogorovSmirnov,
+            80,
+            200,
+            1.0,
+            0.5,
+            200,
+            3,
+        );
         assert!(large.power < small.power);
     }
 
     #[test]
     fn power_grows_with_shift() {
-        let weak = estimate_power(DistanceMeasure::KolmogorovSmirnov, 30, 200, 0.3, 0.5, 200, 5);
-        let strong = estimate_power(DistanceMeasure::KolmogorovSmirnov, 30, 200, 3.0, 0.5, 200, 5);
+        let weak = estimate_power(
+            DistanceMeasure::KolmogorovSmirnov,
+            30,
+            200,
+            0.3,
+            0.5,
+            200,
+            5,
+        );
+        let strong = estimate_power(
+            DistanceMeasure::KolmogorovSmirnov,
+            30,
+            200,
+            3.0,
+            0.5,
+            200,
+            5,
+        );
         assert!(strong.power > weak.power);
         assert!(strong.power > 0.95);
     }
 
     #[test]
     fn false_alarm_low_for_sensible_threshold() {
-        let e = estimate_power(DistanceMeasure::KolmogorovSmirnov, 50, 200, 2.0, 0.5, 200, 9);
+        let e = estimate_power(
+            DistanceMeasure::KolmogorovSmirnov,
+            50,
+            200,
+            2.0,
+            0.5,
+            200,
+            9,
+        );
         assert!(e.false_alarm < 0.1, "false alarms {}", e.false_alarm);
         assert_eq!(e.window, 50);
     }

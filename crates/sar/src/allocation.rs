@@ -138,7 +138,11 @@ mod tests {
         a.record_progress(TaskId::new(0), 1e9);
         assert_eq!(a.remaining(TaskId::new(0)), 0.0);
         a.record_progress(TaskId::new(0), -50.0);
-        assert_eq!(a.remaining(TaskId::new(0)), 0.0, "negative progress ignored");
+        assert_eq!(
+            a.remaining(TaskId::new(0)),
+            0.0,
+            "negative progress ignored"
+        );
     }
 
     #[test]

@@ -52,7 +52,14 @@ pub fn split_strips(n: usize) -> Vec<Strip> {
 
 /// Converts a fractional AOI coordinate to a world position at `alt_m`,
 /// given the AOI's south-west `origin` and extents.
-pub fn to_world(origin: &GeoPoint, width_m: f64, height_m: f64, fx: f64, fy: f64, alt_m: f64) -> GeoPoint {
+pub fn to_world(
+    origin: &GeoPoint,
+    width_m: f64,
+    height_m: f64,
+    fx: f64,
+    fy: f64,
+    alt_m: f64,
+) -> GeoPoint {
     origin
         .destination(90.0, fx.clamp(0.0, 1.0) * width_m)
         .destination(0.0, fy.clamp(0.0, 1.0) * height_m)

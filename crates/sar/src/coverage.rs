@@ -48,7 +48,9 @@ pub fn boustrophedon_path(
     for leg in 0..legs {
         // Lane centre in fractional coordinates.
         let fx = strip.x_min
-            + ((leg as f64 + 0.5) * spacing_m / width_m).min(strip.width() - 1e-9).max(0.0);
+            + ((leg as f64 + 0.5) * spacing_m / width_m)
+                .min(strip.width() - 1e-9)
+                .max(0.0);
         let (start_y, end_y) = if leg % 2 == 0 { (0.0, 1.0) } else { (1.0, 0.0) };
         path.push(to_world(origin, width_m, height_m, fx, start_y, alt_m));
         path.push(to_world(origin, width_m, height_m, fx, end_y, alt_m));
@@ -58,9 +60,7 @@ pub fn boustrophedon_path(
 
 /// Total length of a waypoint path in metres.
 pub fn path_length_m(path: &[GeoPoint]) -> f64 {
-    path.windows(2)
-        .map(|w| w[0].distance_3d_m(&w[1]))
-        .sum()
+    path.windows(2).map(|w| w[0].distance_3d_m(&w[1])).sum()
 }
 
 /// Generates a rectangular inward-spiral coverage path over the strip —
@@ -171,12 +171,18 @@ mod tests {
         let strips = split_strips(3);
         let a = boustrophedon_path(&origin(), 300.0, 100.0, &strips[0], 30.0, 20.0);
         let b = boustrophedon_path(&origin(), 300.0, 100.0, &strips[1], 30.0, 20.0);
-        let max_a = a.iter().map(|p| p.to_enu(&origin()).east_m).fold(0.0, f64::max);
+        let max_a = a
+            .iter()
+            .map(|p| p.to_enu(&origin()).east_m)
+            .fold(0.0, f64::max);
         let min_b = b
             .iter()
             .map(|p| p.to_enu(&origin()).east_m)
             .fold(f64::INFINITY, f64::min);
-        assert!(max_a < min_b, "strip 0 lanes end before strip 1 lanes begin");
+        assert!(
+            max_a < min_b,
+            "strip 0 lanes end before strip 1 lanes begin"
+        );
     }
 
     #[test]
@@ -231,8 +237,22 @@ mod tests {
     #[test]
     fn spiral_and_boustrophedon_have_comparable_length() {
         let strips = split_strips(1);
-        let b = path_length_m(&boustrophedon_path(&origin(), 200.0, 200.0, &strips[0], 30.0, 20.0));
-        let s = path_length_m(&spiral_path(&origin(), 200.0, 200.0, &strips[0], 30.0, 20.0));
+        let b = path_length_m(&boustrophedon_path(
+            &origin(),
+            200.0,
+            200.0,
+            &strips[0],
+            30.0,
+            20.0,
+        ));
+        let s = path_length_m(&spiral_path(
+            &origin(),
+            200.0,
+            200.0,
+            &strips[0],
+            30.0,
+            20.0,
+        ));
         let ratio = s / b;
         assert!((0.5..2.0).contains(&ratio), "ratio {ratio}");
     }

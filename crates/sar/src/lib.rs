@@ -24,7 +24,7 @@ pub mod area;
 pub mod coverage;
 pub mod mission;
 
-pub use accuracy::{AltitudePolicy, AltitudeDecision};
+pub use accuracy::{AltitudeDecision, AltitudePolicy};
 pub use allocation::Allocation;
 pub use area::Strip;
 pub use coverage::boustrophedon_path;

@@ -103,7 +103,9 @@ impl SarMission {
     /// `acceptance_m` of the next one. Returns how many were newly
     /// visited.
     pub fn visit(&mut self, task: TaskId, position: &GeoPoint, acceptance_m: f64) -> usize {
-        let Some(t) = self.task_mut(task) else { return 0 };
+        let Some(t) = self.task_mut(task) else {
+            return 0;
+        };
         let mut visited = 0;
         while t.next_waypoint < t.waypoints.len() {
             let wp = &t.waypoints[t.next_waypoint];

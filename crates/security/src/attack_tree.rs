@@ -27,7 +27,11 @@ pub struct AttackLeaf {
 impl AttackLeaf {
     /// Creates a leaf with the given id/CAPEC/title and defaults for the
     /// prose fields.
-    pub fn new(id: impl Into<String>, capec_id: impl Into<String>, title: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        capec_id: impl Into<String>,
+        title: impl Into<String>,
+    ) -> Self {
         AttackLeaf {
             id: id.into(),
             capec_id: capec_id.into(),
@@ -343,7 +347,13 @@ mod tests {
         let path = st.attack_path();
         assert_eq!(
             path,
-            vec!["scan network", "inject msgs", "network path", "entry", "take over uav"]
+            vec![
+                "scan network",
+                "inject msgs",
+                "network path",
+                "entry",
+                "take over uav"
+            ]
         );
     }
 

@@ -27,14 +27,18 @@ pub fn ros_message_spoofing() -> AttackTree {
                                 .with_mitigation("rate-limit unauthenticated publishers"),
                         ),
                         AttackNode::Leaf(
-                            AttackLeaf::new("unsigned_publisher", "CAPEC-148", "publish without authentication")
-                                .with_severity(Severity::Critical)
-                                .with_likelihood(0.8)
-                                .with_description(
-                                    "stock ROS topics accept any publisher; the adversary \
+                            AttackLeaf::new(
+                                "unsigned_publisher",
+                                "CAPEC-148",
+                                "publish without authentication",
+                            )
+                            .with_severity(Severity::Critical)
+                            .with_likelihood(0.8)
+                            .with_description(
+                                "stock ROS topics accept any publisher; the adversary \
                                      registers as a command source",
-                                )
-                                .with_mitigation("require signed messages on command topics"),
+                            )
+                            .with_mitigation("require signed messages on command topics"),
                         ),
                     ],
                 },
@@ -69,7 +73,9 @@ pub fn gps_spoofing() -> AttackTree {
                         .with_severity(Severity::Emergency)
                         .with_likelihood(0.5)
                         .with_description("the solution diverges from inertial dead reckoning")
-                        .with_mitigation("innovation gating against dead reckoning; collaborative localization"),
+                        .with_mitigation(
+                            "innovation gating against dead reckoning; collaborative localization",
+                        ),
                 ),
             ],
         },

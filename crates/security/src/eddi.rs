@@ -8,6 +8,7 @@
 //! per UAV, so attacks on different airframes do not mix.
 
 use crate::attack_tree::{AttackTree, TreeStatus};
+use crate::incremental::{IndexedTree, IndexedTreeState};
 use sesame_middleware::broker::{AlertBroker, BrokerSubscription};
 use sesame_middleware::message::Payload;
 use sesame_types::ids::UavId;
@@ -63,6 +64,11 @@ pub struct SecurityEddi {
     /// Per-UAV triggered leaf sets.
     triggered: HashMap<UavId, HashSet<String>>,
     detected_at: HashMap<UavId, SimTime>,
+    /// Fast path: the flattened tree plus per-UAV memoized evaluation
+    /// states, maintained incrementally as alerts arrive. `None` keeps
+    /// the naive rebuild-per-query behaviour.
+    indexed: Option<IndexedTree>,
+    states: HashMap<UavId, IndexedTreeState>,
 }
 
 impl SecurityEddi {
@@ -75,7 +81,29 @@ impl SecurityEddi {
             subscription,
             triggered: HashMap::new(),
             detected_at: HashMap::new(),
+            indexed: None,
+            states: HashMap::new(),
         }
+    }
+
+    /// Switches `root_reached` queries to the memoized [`IndexedTree`]
+    /// evaluation (O(depth) per alert instead of a full tree rebuild per
+    /// query). Satisfaction is exact boolean algebra, so answers are
+    /// identical to the naive walk; existing trigger state is re-indexed.
+    pub fn enable_fast_path(&mut self) {
+        let ix = IndexedTree::new(&self.tree);
+        self.states = self
+            .triggered
+            .iter()
+            .map(|(uav, set)| {
+                let mut st = ix.state();
+                for leaf in set {
+                    st.trigger(&ix, leaf);
+                }
+                (*uav, st)
+            })
+            .collect();
+        self.indexed = Some(ix);
     }
 
     /// The monitored tree.
@@ -100,6 +128,12 @@ impl SecurityEddi {
                 .entry(*subject)
                 .or_default()
                 .insert(rule.clone());
+            if let Some(ix) = &self.indexed {
+                self.states
+                    .entry(*subject)
+                    .or_insert_with(|| ix.state())
+                    .trigger(ix, rule);
+            }
             if !was_reached && self.root_reached(*subject) {
                 self.detected_at.insert(*subject, now);
                 fresh.push(self.status_for(*subject));
@@ -110,6 +144,12 @@ impl SecurityEddi {
 
     /// Whether the tree root is currently reached for `uav`.
     pub fn root_reached(&self, uav: UavId) -> bool {
+        if let Some(ix) = &self.indexed {
+            return match self.states.get(&uav) {
+                Some(st) => st.root_satisfied(),
+                None => ix.state().root_satisfied(),
+            };
+        }
         let mut state = self.tree.fresh_state();
         if let Some(set) = self.triggered.get(&uav) {
             for leaf in set {
@@ -140,6 +180,7 @@ impl SecurityEddi {
     pub fn clear(&mut self, uav: UavId) {
         self.triggered.remove(&uav);
         self.detected_at.remove(&uav);
+        self.states.remove(&uav);
     }
 }
 
@@ -168,14 +209,24 @@ mod tests {
         let uav = UavId::new(1);
         publish_alert(&mut broker, uav, "unsigned_publisher", SimTime::ZERO);
         assert!(eddi.poll(&mut broker, SimTime::ZERO).is_empty());
-        publish_alert(&mut broker, uav, "waypoint_deviation", SimTime::from_secs(1));
+        publish_alert(
+            &mut broker,
+            uav,
+            "waypoint_deviation",
+            SimTime::from_secs(1),
+        );
         let hits = eddi.poll(&mut broker, SimTime::from_secs(1));
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].status, TreeStatus::RootReached);
         assert_eq!(hits[0].detected_at, Some(SimTime::from_secs(1)));
         assert!(!hits[0].attack_path.is_empty());
         // Repeating an alert does not re-fire.
-        publish_alert(&mut broker, uav, "waypoint_deviation", SimTime::from_secs(2));
+        publish_alert(
+            &mut broker,
+            uav,
+            "waypoint_deviation",
+            SimTime::from_secs(2),
+        );
         assert!(eddi.poll(&mut broker, SimTime::from_secs(2)).is_empty());
         assert!(eddi.root_reached(uav));
     }
@@ -213,11 +264,65 @@ mod tests {
         let mut spoof = SecurityEddi::attach(catalog::ros_message_spoofing(), &mut broker);
         let mut gps = SecurityEddi::attach(catalog::gps_spoofing(), &mut broker);
         let uav = UavId::new(3);
-        for rule in ["unsigned_publisher", "waypoint_deviation", "gps_anomaly", "position_jump"] {
+        for rule in [
+            "unsigned_publisher",
+            "waypoint_deviation",
+            "gps_anomaly",
+            "position_jump",
+        ] {
             publish_alert(&mut broker, uav, rule, SimTime::ZERO);
         }
         assert_eq!(spoof.poll(&mut broker, SimTime::ZERO).len(), 1);
         assert_eq!(gps.poll(&mut broker, SimTime::ZERO).len(), 1);
+    }
+
+    /// A naive EDDI and a fast-path EDDI fed the identical alert stream
+    /// must agree on every detection, status and `root_reached` answer.
+    #[test]
+    fn fast_path_locksteps_with_naive_eddi() {
+        let mut naive_broker = AlertBroker::new();
+        let mut fast_broker = AlertBroker::new();
+        let mut naive = SecurityEddi::attach(catalog::ros_message_spoofing(), &mut naive_broker);
+        let mut fast = SecurityEddi::attach(catalog::ros_message_spoofing(), &mut fast_broker);
+        fast.enable_fast_path();
+        let uavs = [UavId::new(1), UavId::new(2), UavId::new(3)];
+        let rules = [
+            "unsigned_publisher",
+            "waypoint_deviation",
+            "gps_anomaly",        // belongs to another tree: must be skipped
+            "unsigned_publisher", // duplicate: must be a no-op
+        ];
+        for (k, rule) in rules.iter().cycle().take(24).enumerate() {
+            let uav = uavs[k % uavs.len()];
+            let at = SimTime::from_millis(k as u64 * 100);
+            publish_alert(&mut naive_broker, uav, rule, at);
+            publish_alert(&mut fast_broker, uav, rule, at);
+            let a = naive.poll(&mut naive_broker, at);
+            let b = fast.poll(&mut fast_broker, at);
+            assert_eq!(a, b, "poll diverged at step {k}");
+            for u in uavs {
+                assert_eq!(naive.root_reached(u), fast.root_reached(u));
+                assert_eq!(naive.status_for(u), fast.status_for(u));
+            }
+        }
+        // Clearing must reset both identically.
+        naive.clear(uavs[0]);
+        fast.clear(uavs[0]);
+        assert_eq!(naive.root_reached(uavs[0]), fast.root_reached(uavs[0]));
+    }
+
+    /// Enabling the fast path mid-stream re-indexes existing triggers.
+    #[test]
+    fn enable_fast_path_reindexes_existing_state() {
+        let mut broker = AlertBroker::new();
+        let mut eddi = SecurityEddi::attach(catalog::ros_message_spoofing(), &mut broker);
+        let uav = UavId::new(7);
+        publish_alert(&mut broker, uav, "unsigned_publisher", SimTime::ZERO);
+        publish_alert(&mut broker, uav, "waypoint_deviation", SimTime::ZERO);
+        assert_eq!(eddi.poll(&mut broker, SimTime::ZERO).len(), 1);
+        eddi.enable_fast_path();
+        assert!(eddi.root_reached(uav), "re-indexed state keeps the root");
+        assert!(!eddi.root_reached(UavId::new(99)));
     }
 
     #[test]

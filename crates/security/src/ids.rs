@@ -323,7 +323,9 @@ mod tests {
     #[test]
     fn replay_detected() {
         let mut ids = ids();
-        assert!(ids.inspect(&waypoint_msg(true, 5, 35.0), SimTime::ZERO).is_empty());
+        assert!(ids
+            .inspect(&waypoint_msg(true, 5, 35.0), SimTime::ZERO)
+            .is_empty());
         let alerts = ids.inspect(&waypoint_msg(true, 5, 35.0), SimTime::from_secs(1));
         assert!(alerts.iter().any(|a| a.rule == "replay"));
         let alerts2 = ids.inspect(&waypoint_msg(true, 3, 35.0), SimTime::from_secs(2));
@@ -350,10 +352,7 @@ mod tests {
         let mut ids = Ids::new(cfg, Some(auth()));
         // 4 msgs/s forever never trips a 5-per-second limit.
         for i in 0..40u64 {
-            let alerts = ids.inspect(
-                &waypoint_msg(true, i, 35.0),
-                SimTime::from_millis(i * 250),
-            );
+            let alerts = ids.inspect(&waypoint_msg(true, i, 35.0), SimTime::from_millis(i * 250));
             assert!(alerts.iter().all(|a| a.rule != "rate_flood"), "i = {i}");
         }
     }
@@ -371,12 +370,13 @@ mod tests {
         // A kilometre off: alert.
         let bad = ids.inspect(&waypoint_msg(true, 1, 35.01), SimTime::from_secs(1));
         assert!(bad.iter().any(|a| a.rule == "waypoint_deviation"));
-        assert!(bad
-            .iter()
-            .find(|a| a.rule == "waypoint_deviation")
-            .unwrap()
-            .severity
-            == Severity::Emergency);
+        assert!(
+            bad.iter()
+                .find(|a| a.rule == "waypoint_deviation")
+                .unwrap()
+                .severity
+                == Severity::Emergency
+        );
     }
 
     #[test]
@@ -396,7 +396,13 @@ mod tests {
             Payload::Text("hello".into()),
         );
         assert_eq!(subject_of(&m), UavId::new(7));
-        let unknown = Message::new("/misc", "node:x", 1, SimTime::ZERO, Payload::Text("y".into()));
+        let unknown = Message::new(
+            "/misc",
+            "node:x",
+            1,
+            SimTime::ZERO,
+            Payload::Text("y".into()),
+        );
         assert_eq!(subject_of(&unknown), UavId::new(0));
     }
 }

@@ -21,14 +21,16 @@
 //!   innovation + collaborative cross-check) that feeds the §V-C
 //!   mitigation.
 
-pub mod export;
 pub mod attack_tree;
 pub mod catalog;
 pub mod eddi;
+pub mod export;
 pub mod ids;
+pub mod incremental;
 pub mod spoof;
 
 pub use attack_tree::{AttackLeaf, AttackNode, AttackTree, TreeStatus};
 pub use eddi::{SecurityEddi, SecurityStatus};
 pub use ids::{Ids, IdsConfig, IdsRule};
+pub use incremental::{IndexedTree, IndexedTreeState};
 pub use spoof::{SpoofDetector, SpoofVerdict};

@@ -46,7 +46,10 @@ impl std::fmt::Display for BnError {
                 variable,
                 expected,
                 got,
-            } => write!(f, "CPT for `{variable}` has {got} entries, expected {expected}"),
+            } => write!(
+                f,
+                "CPT for `{variable}` has {got} entries, expected {expected}"
+            ),
             BnError::UnnormalizedCpt { variable, sum } => {
                 write!(f, "a CPT row for `{variable}` sums to {sum}, expected 1")
             }

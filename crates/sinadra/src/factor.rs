@@ -202,7 +202,10 @@ impl Factor {
             for (i, st) in u_strides.iter().enumerate() {
                 assignment[i] = (flat / st) % union[i].1;
             }
-            values.push(self.values[map_index(self, &assignment)] * other.values[map_index(other, &assignment)]);
+            values.push(
+                self.values[map_index(self, &assignment)]
+                    * other.values[map_index(other, &assignment)],
+            );
         }
         Factor {
             vars: union,
@@ -324,11 +327,14 @@ mod tests {
     #[test]
     fn unsorted_vars_are_transposed() {
         // φ(B, A) given with B=var1 first; table entries (b, a).
-        let f = Factor::new(vec![(1, 2), (0, 3)], vec![
-            // b=0: a=0,1,2
-            1.0, 2.0, 3.0, // b=1: a=0,1,2
-            4.0, 5.0, 6.0,
-        ])
+        let f = Factor::new(
+            vec![(1, 2), (0, 3)],
+            vec![
+                // b=0: a=0,1,2
+                1.0, 2.0, 3.0, // b=1: a=0,1,2
+                4.0, 5.0, 6.0,
+            ],
+        )
         .unwrap();
         // After sorting vars = [(0,3),(1,2)], layout (a, b).
         assert_eq!(f.vars(), &[(0, 3), (1, 2)]);

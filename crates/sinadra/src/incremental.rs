@@ -1,0 +1,221 @@
+//! Factor-product caching for the SAR risk model — the SINADRA leg of the
+//! incremental EDDI fast path.
+//!
+//! Two cache layers, both provably bit-identical to the naive
+//! [`SarRiskModel::assess`]:
+//!
+//! 1. a **reduced-base-factor cache**: the hard-evidence reduction of the
+//!    network's base factors depends only on the four boolean situation
+//!    flags, so it is kept until a flag flips (a dirty bit keyed on the
+//!    packed flags). Hard reduction is pure state-index selection, so the
+//!    cached factors carry the exact bits a fresh reduction would produce.
+//! 2. a **full-result memo** keyed on the exact bit pattern of the clamped
+//!    uncertainty plus the packed flags: repeated identical situations
+//!    (common while a UAV loiters or holds) skip inference entirely. Keys
+//!    compare by `f64::to_bits`, so even a NaN-bearing uncertainty hits
+//!    only against the very same NaN payload.
+//!
+//! The continuous uncertainty changes almost every tick in flight, so the
+//! memo mostly documents the steady-state; the reduced-base cache is the
+//! layer that earns its keep per tick.
+
+use crate::inference::{query_with_reduced, reduce_base_factors, Evidence};
+use crate::risk::{RiskAssessment, SarRiskModel, SituationInputs};
+use crate::Factor;
+use std::collections::HashMap;
+
+/// Counters for both cache layers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BnCacheStats {
+    /// Assessments answered from the full-result memo.
+    pub memo_hits: u64,
+    /// Assessments that ran inference.
+    pub memo_misses: u64,
+    /// Inference runs that reused the reduced base factors.
+    pub base_hits: u64,
+    /// Inference runs that had to re-reduce (a situation flag flipped).
+    pub base_misses: u64,
+}
+
+impl BnCacheStats {
+    /// Total cache hits across both layers.
+    pub fn hits(&self) -> u64 {
+        self.memo_hits + self.base_hits
+    }
+
+    /// Total cache misses across both layers.
+    pub fn misses(&self) -> u64 {
+        self.memo_misses + self.base_misses
+    }
+}
+
+/// Upper bound on memo entries; reaching it clears the memo (the key space
+/// is effectively unbounded because the uncertainty is continuous).
+const MEMO_CAP: usize = 1024;
+
+#[derive(Debug, Clone)]
+struct ReducedBase {
+    flags: u8,
+    factors: Vec<Factor>,
+}
+
+/// [`SarRiskModel`] wrapped with the two cache layers. Results are
+/// bit-identical to the wrapped model's [`SarRiskModel::assess`] for every
+/// input — the conformance suite locksteps the two over randomized
+/// schedules.
+#[derive(Debug, Clone)]
+pub struct CachedSarRiskModel {
+    model: SarRiskModel,
+    reduced: Option<ReducedBase>,
+    memo: HashMap<(u64, u8), RiskAssessment>,
+    stats: BnCacheStats,
+}
+
+impl CachedSarRiskModel {
+    /// Wraps a risk model.
+    pub fn new(model: SarRiskModel) -> Self {
+        CachedSarRiskModel {
+            model,
+            reduced: None,
+            memo: HashMap::new(),
+            stats: BnCacheStats::default(),
+        }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &SarRiskModel {
+        &self.model
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> BnCacheStats {
+        self.stats
+    }
+
+    /// [`SarRiskModel::assess`], served through the caches.
+    pub fn assess(&mut self, inputs: &SituationInputs) -> RiskAssessment {
+        let u = inputs.detection_uncertainty.clamp(0.0, 1.0);
+        let flags = u8::from(inputs.altitude_high)
+            | u8::from(inputs.visibility_poor) << 1
+            | u8::from(inputs.person_likely) << 2
+            | u8::from(inputs.time_pressure_high) << 3;
+        let key = (u.to_bits(), flags);
+        if let Some(hit) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return *hit;
+        }
+        self.stats.memo_misses += 1;
+
+        // Build the evidence exactly as the naive assess() does.
+        let bn = self.model.network();
+        let id = |name: &str| bn.variable_id(name).expect("known variable");
+        let mut ev = Evidence::new()
+            .observe(id("altitude"), usize::from(inputs.altitude_high))
+            .observe(id("visibility"), usize::from(inputs.visibility_poor))
+            .observe(id("presence"), usize::from(inputs.person_likely))
+            .observe(id("pressure"), usize::from(inputs.time_pressure_high));
+        if u > 0.0 {
+            ev = ev.likelihood(id("uncertainty"), vec![1.0 - u, u]);
+        }
+
+        let stale = !matches!(&self.reduced, Some(r) if r.flags == flags);
+        if stale {
+            self.stats.base_misses += 1;
+            self.reduced = Some(ReducedBase {
+                flags,
+                factors: reduce_base_factors(bn, &ev).expect("valid evidence"),
+            });
+        } else {
+            self.stats.base_hits += 1;
+        }
+        let base = &self.reduced.as_ref().expect("just ensured").factors;
+
+        let missed = query_with_reduced(bn, id("missed"), &ev, base).expect("valid query");
+        let criticality =
+            query_with_reduced(bn, id("criticality"), &ev, base).expect("valid query");
+        let out = RiskAssessment {
+            missed_person_prob: missed[1],
+            criticality_high_prob: criticality[1],
+            rescan_advised: criticality[1] >= self.model.rescan_threshold(),
+        };
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+        }
+        self.memo.insert(key, out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits(r: &RiskAssessment) -> (u64, u64, bool) {
+        (
+            r.missed_person_prob.to_bits(),
+            r.criticality_high_prob.to_bits(),
+            r.rescan_advised,
+        )
+    }
+
+    /// A deterministic schedule sweeping uncertainties and flag patterns:
+    /// the cached model must agree with the naive one bit for bit.
+    #[test]
+    fn cached_assess_is_bit_identical_to_naive() {
+        let naive = SarRiskModel::new();
+        let mut cached = CachedSarRiskModel::new(SarRiskModel::new());
+        for step in 0..400u32 {
+            // Flags hold for 50-step stretches (base-cache hits), then
+            // flip (dirty-bit re-reductions); uncertainty moves each step.
+            let phase = step / 50;
+            let inputs = SituationInputs {
+                detection_uncertainty: f64::from(step % 97) / 96.0,
+                altitude_high: phase % 3 == 0,
+                visibility_poor: phase % 5 == 0,
+                person_likely: phase % 2 == 0,
+                time_pressure_high: phase % 7 == 0,
+            };
+            let a = naive.assess(&inputs);
+            let b = cached.assess(&inputs);
+            assert_eq!(bits(&a), bits(&b), "diverged at step {step}");
+        }
+        let stats = cached.stats();
+        assert!(stats.base_hits > 0, "steady flags must reuse the base");
+        assert!(stats.base_misses > 1, "flag flips must re-reduce");
+    }
+
+    #[test]
+    fn identical_inputs_hit_the_memo() {
+        let mut cached = CachedSarRiskModel::new(SarRiskModel::new());
+        let inputs = SituationInputs {
+            detection_uncertainty: 0.42,
+            altitude_high: true,
+            visibility_poor: false,
+            person_likely: true,
+            time_pressure_high: true,
+        };
+        let first = cached.assess(&inputs);
+        let second = cached.assess(&inputs);
+        assert_eq!(bits(&first), bits(&second));
+        assert_eq!(cached.stats().memo_hits, 1);
+        assert_eq!(cached.stats().memo_misses, 1);
+    }
+
+    #[test]
+    fn clamp_happens_before_the_memo_key() {
+        let mut cached = CachedSarRiskModel::new(SarRiskModel::new());
+        let naive = SarRiskModel::new();
+        for u in [7.0, 1.0, -3.0, 0.0] {
+            let inputs = SituationInputs {
+                detection_uncertainty: u,
+                altitude_high: false,
+                visibility_poor: false,
+                person_likely: true,
+                time_pressure_high: false,
+            };
+            assert_eq!(bits(&naive.assess(&inputs)), bits(&cached.assess(&inputs)));
+        }
+        // 7.0 and 1.0 clamp to the same key: the second is a memo hit.
+        assert!(cached.stats().memo_hits >= 1);
+    }
+}

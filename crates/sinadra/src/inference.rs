@@ -39,6 +39,16 @@ impl Evidence {
     pub fn is_empty(&self) -> bool {
         self.hard.is_empty() && self.virtual_likelihoods.is_empty()
     }
+
+    /// The hard observations, in insertion order.
+    pub fn hard(&self) -> &[(usize, usize)] {
+        &self.hard
+    }
+
+    /// The virtual-evidence likelihoods, in insertion order.
+    pub fn virtual_likelihoods(&self) -> &[(usize, Vec<f64>)] {
+        &self.virtual_likelihoods
+    }
 }
 
 /// Errors from a query.
@@ -140,9 +150,8 @@ pub fn query(
         if weights.len() != card || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(InferenceError::BadLikelihood(*var));
         }
-        factors.push(
-            Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above"),
-        );
+        factors
+            .push(Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above"));
     }
 
     // Apply hard evidence by reduction.
@@ -166,6 +175,19 @@ pub fn query(
     // Eliminate every variable except the query (evidence vars are already
     // reduced out of scopes; eliminating them is a no-op).
     let hard_vars: Vec<usize> = evidence.hard.iter().map(|(v, _)| *v).collect();
+    eliminate_and_normalize(n, query_var, &hard_vars, factors)
+}
+
+/// The elimination-and-normalization tail shared by [`query`] and
+/// [`query_with_reduced`]. Keeping one body guarantees the cached path
+/// performs the same floating-point operations in the same order as the
+/// naive one — bit-identical posteriors by construction.
+fn eliminate_and_normalize(
+    n: usize,
+    query_var: usize,
+    hard_vars: &[usize],
+    mut factors: Vec<Factor>,
+) -> Result<Vec<f64>, InferenceError> {
     for var in 0..n {
         if var == query_var || hard_vars.contains(&var) {
             continue;
@@ -194,6 +216,98 @@ pub fn query(
     debug_assert_eq!(posterior.vars().len(), 1);
     debug_assert_eq!(posterior.vars()[0].0, query_var);
     Ok(posterior.values().to_vec())
+}
+
+/// [`query`] with the hard-evidence reduction of the network's base
+/// factors supplied pre-computed (`reduced_base` must be `bn.factors()`
+/// with every hard observation in `evidence` reduced out, in the original
+/// factor order). Hard-evidence reduction is pure state-index selection,
+/// so a cached reduction is bit-identical to a fresh one; virtual-evidence
+/// factors are still built (and reduced) per call because they carry the
+/// continuous monitor outputs that change every tick.
+///
+/// # Errors
+///
+/// See [`InferenceError`].
+pub fn query_with_reduced(
+    bn: &BayesianNetwork,
+    query_var: usize,
+    evidence: &Evidence,
+    reduced_base: &[Factor],
+) -> Result<Vec<f64>, InferenceError> {
+    if !bn.is_validated() {
+        return Err(InferenceError::NotValidated);
+    }
+    let n = bn.variable_count();
+    if query_var >= n {
+        return Err(InferenceError::UnknownVariable(query_var));
+    }
+    if let Some((_, state)) = evidence.hard.iter().find(|(v, _)| *v == query_var) {
+        if *state >= bn.cardinality(query_var) {
+            return Err(InferenceError::BadState {
+                var: query_var,
+                state: *state,
+            });
+        }
+        let mut p = vec![0.0; bn.cardinality(query_var)];
+        p[*state] = 1.0;
+        return Ok(p);
+    }
+    let mut factors = reduced_base.to_vec();
+    for (var, weights) in &evidence.virtual_likelihoods {
+        if *var >= n {
+            return Err(InferenceError::UnknownVariable(*var));
+        }
+        let card = bn.cardinality(*var);
+        if weights.len() != card || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(InferenceError::BadLikelihood(*var));
+        }
+        let mut f = Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above");
+        // The naive path reduces virtual factors alongside the base ones.
+        for (hvar, state) in &evidence.hard {
+            if f.contains(*hvar) {
+                f = f.reduce(*hvar, *state);
+            }
+        }
+        factors.push(f);
+    }
+    let hard_vars: Vec<usize> = evidence.hard.iter().map(|(v, _)| *v).collect();
+    eliminate_and_normalize(n, query_var, &hard_vars, factors)
+}
+
+/// Builds the hard-evidence-reduced base factor list [`query_with_reduced`]
+/// expects: `bn.factors()` with each hard observation reduced out, in the
+/// exact order the naive [`query`] applies them.
+///
+/// # Errors
+///
+/// See [`InferenceError`].
+pub fn reduce_base_factors(
+    bn: &BayesianNetwork,
+    evidence: &Evidence,
+) -> Result<Vec<Factor>, InferenceError> {
+    if !bn.is_validated() {
+        return Err(InferenceError::NotValidated);
+    }
+    let n = bn.variable_count();
+    let mut factors = bn.factors();
+    for (var, state) in &evidence.hard {
+        if *var >= n {
+            return Err(InferenceError::UnknownVariable(*var));
+        }
+        if *state >= bn.cardinality(*var) {
+            return Err(InferenceError::BadState {
+                var: *var,
+                state: *state,
+            });
+        }
+        for f in factors.iter_mut() {
+            if f.contains(*var) {
+                *f = f.reduce(*var, *state);
+            }
+        }
+    }
+    Ok(factors)
 }
 
 #[cfg(test)]
@@ -257,12 +371,7 @@ mod tests {
         let wet = bn.variable_id("wet").unwrap();
         let spr = bn.variable_id("sprinkler").unwrap();
         let p_wet = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
-        let p_wet_spr = query(
-            &bn,
-            rain,
-            &Evidence::new().observe(wet, 1).observe(spr, 1),
-        )
-        .unwrap();
+        let p_wet_spr = query(&bn, rain, &Evidence::new().observe(wet, 1).observe(spr, 1)).unwrap();
         assert!(
             p_wet_spr[1] < p_wet[1],
             "knowing the sprinkler ran explains the wet grass away"
@@ -276,12 +385,7 @@ mod tests {
         let wet = bn.variable_id("wet").unwrap();
         let none = query(&bn, rain, &Evidence::new()).unwrap()[1];
         let hard = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap()[1];
-        let soft = query(
-            &bn,
-            rain,
-            &Evidence::new().likelihood(wet, vec![0.3, 0.7]),
-        )
-        .unwrap()[1];
+        let soft = query(&bn, rain, &Evidence::new().likelihood(wet, vec![0.3, 0.7])).unwrap()[1];
         assert!(none < soft && soft < hard, "{none} < {soft} < {hard}");
     }
 
@@ -291,12 +395,7 @@ mod tests {
         let rain = bn.variable_id("rain").unwrap();
         let wet = bn.variable_id("wet").unwrap();
         let hard = query(&bn, rain, &Evidence::new().observe(wet, 1)).unwrap();
-        let soft = query(
-            &bn,
-            rain,
-            &Evidence::new().likelihood(wet, vec![0.0, 1.0]),
-        )
-        .unwrap();
+        let soft = query(&bn, rain, &Evidence::new().likelihood(wet, vec![0.0, 1.0])).unwrap();
         for (h, s) in hard.iter().zip(soft.iter()) {
             assert!((h - s).abs() < 1e-12);
         }

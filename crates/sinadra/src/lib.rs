@@ -38,10 +38,15 @@
 
 pub mod bn;
 pub mod factor;
+pub mod incremental;
 pub mod inference;
 pub mod risk;
 
 pub use bn::{BayesianNetwork, BnError};
 pub use factor::Factor;
+pub use incremental::{BnCacheStats, CachedSarRiskModel};
 pub use inference::{Evidence, InferenceError};
-pub use risk::{RiskAssessment, SarRiskModel, SeparationAssessment, SeparationInputs, SeparationRiskModel, SituationInputs};
+pub use risk::{
+    RiskAssessment, SarRiskModel, SeparationAssessment, SeparationInputs, SeparationRiskModel,
+    SituationInputs,
+};

@@ -85,7 +85,8 @@ impl SarRiskModel {
         bn.add_variable("altitude", &["low", "high"]).unwrap();
         bn.add_variable("visibility", &["good", "poor"]).unwrap();
         bn.add_variable("uncertainty", &["low", "high"]).unwrap();
-        bn.add_variable("presence", &["unlikely", "likely"]).unwrap();
+        bn.add_variable("presence", &["unlikely", "likely"])
+            .unwrap();
         bn.add_variable("missed", &["no", "yes"]).unwrap();
         bn.add_variable("pressure", &["low", "high"]).unwrap();
         bn.add_variable("criticality", &["low", "high"]).unwrap();
@@ -165,6 +166,11 @@ impl SarRiskModel {
     /// The underlying network (e.g. for the benchmark sweep).
     pub fn network(&self) -> &BayesianNetwork {
         &self.bn
+    }
+
+    /// The configured criticality threshold for advising a re-scan.
+    pub fn rescan_threshold(&self) -> f64 {
+        self.rescan_threshold
     }
 }
 

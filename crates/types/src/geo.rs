@@ -89,8 +89,8 @@ impl GeoPoint {
         let lon1 = self.lon_deg.to_radians();
         let ang = distance_m / EARTH_RADIUS_M;
         let lat2 = (lat1.sin() * ang.cos() + lat1.cos() * ang.sin() * brg.cos()).asin();
-        let lon2 = lon1
-            + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
+        let lon2 =
+            lon1 + (brg.sin() * ang.sin() * lat1.cos()).atan2(ang.cos() - lat1.sin() * lat2.sin());
         GeoPoint {
             lat_deg: lat2.to_degrees(),
             lon_deg: normalize_lon(lon2.to_degrees()),
@@ -108,8 +108,7 @@ impl GeoPoint {
     /// accurate to centimetres over SAR-mission scales (a few kilometres).
     pub fn to_enu(&self, origin: &GeoPoint) -> Enu {
         let lat0 = origin.lat_deg.to_radians();
-        let east =
-            (self.lon_deg - origin.lon_deg).to_radians() * lat0.cos() * EARTH_RADIUS_M;
+        let east = (self.lon_deg - origin.lon_deg).to_radians() * lat0.cos() * EARTH_RADIUS_M;
         let north = (self.lat_deg - origin.lat_deg).to_radians() * EARTH_RADIUS_M;
         Enu {
             east_m: east,
@@ -124,8 +123,7 @@ impl GeoPoint {
         let lat0 = origin.lat_deg.to_radians();
         GeoPoint {
             lat_deg: origin.lat_deg + (enu.north_m / EARTH_RADIUS_M).to_degrees(),
-            lon_deg: origin.lon_deg
-                + (enu.east_m / (EARTH_RADIUS_M * lat0.cos())).to_degrees(),
+            lon_deg: origin.lon_deg + (enu.east_m / (EARTH_RADIUS_M * lat0.cos())).to_degrees(),
             alt_m: origin.alt_m + enu.up_m,
         }
     }
@@ -307,7 +305,10 @@ mod tests {
         for bearing in [0.0, 45.0, 90.0, 180.0, 270.0, 359.0] {
             let dest = start.destination(bearing, 500.0);
             let d = start.haversine_distance_m(&dest);
-            assert!((d - 500.0).abs() < 1e-6, "distance {d} for bearing {bearing}");
+            assert!(
+                (d - 500.0).abs() < 1e-6,
+                "distance {d} for bearing {bearing}"
+            );
             let b = start.bearing_deg(&dest);
             let diff = (b - bearing).abs().min(360.0 - (b - bearing).abs());
             assert!(diff < 1e-6, "bearing {b} expected {bearing}");

@@ -54,4 +54,14 @@ pub use telemetry::{FlightMode, GpsFix, UavTelemetry};
 pub use time::{SimClock, SimDuration, SimTime};
 
 // The vocabulary types cross worker threads in parallel sweeps.
-assert_send_sync!(EventLog, TimedEvent, GeoPoint, Enu, Vec3, UavId, UavTelemetry, SimTime, SimDuration);
+assert_send_sync!(
+    EventLog,
+    TimedEvent,
+    GeoPoint,
+    Enu,
+    Vec3,
+    UavId,
+    UavTelemetry,
+    SimTime,
+    SimDuration
+);

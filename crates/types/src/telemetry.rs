@@ -173,11 +173,7 @@ mod tests {
 
     #[test]
     fn nominal_telemetry_is_healthy() {
-        let t = UavTelemetry::nominal(
-            UavId::new(1),
-            SimTime::ZERO,
-            GeoPoint::new(35.0, 33.0, 0.0),
-        );
+        let t = UavTelemetry::nominal(UavId::new(1), SimTime::ZERO, GeoPoint::new(35.0, 33.0, 0.0));
         assert_eq!(t.failed_motors(), 0);
         assert_eq!(t.battery_soc, 1.0);
         assert!(t.gps.is_usable());
@@ -185,11 +181,8 @@ mod tests {
 
     #[test]
     fn failed_motor_count() {
-        let mut t = UavTelemetry::nominal(
-            UavId::new(1),
-            SimTime::ZERO,
-            GeoPoint::new(35.0, 33.0, 0.0),
-        );
+        let mut t =
+            UavTelemetry::nominal(UavId::new(1), SimTime::ZERO, GeoPoint::new(35.0, 33.0, 0.0));
         t.motors_ok = vec![true, false, true, false];
         assert_eq!(t.failed_motors(), 2);
     }

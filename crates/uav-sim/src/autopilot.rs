@@ -214,9 +214,7 @@ impl Autopilot {
                 let horiz = Vec3::new(enu.east_m, enu.north_m, 0.0);
                 let hdir = horiz.normalized();
                 let hspeed = self.cruise_mps.min(horiz.norm());
-                let vz = enu
-                    .up_m
-                    .clamp(-self.descent_mps, self.climb_mps);
+                let vz = enu.up_m.clamp(-self.descent_mps, self.climb_mps);
                 Vec3::new(hdir.x * hspeed, hdir.y * hspeed, vz)
             }
             FlightMode::Land | FlightMode::EmergencyLand => {
@@ -319,7 +317,12 @@ mod tests {
         fast.command(FlightCommand::EmergencyLand, &p2);
         fly(&mut slow, &mut p1, 5.0);
         fly(&mut fast, &mut p2, 5.0);
-        assert!(p2.alt_m < p1.alt_m, "emergency {} < normal {}", p2.alt_m, p1.alt_m);
+        assert!(
+            p2.alt_m < p1.alt_m,
+            "emergency {} < normal {}",
+            p2.alt_m,
+            p1.alt_m
+        );
         fly(&mut fast, &mut p2, 10.0);
         assert_eq!(fast.mode(), FlightMode::Grounded);
     }
@@ -392,8 +395,14 @@ mod tests {
     #[test]
     fn push_waypoint_extends_mission() {
         let mut ap = Autopilot::new(home());
-        ap.command(FlightCommand::PushWaypoint(home().destination(0.0, 10.0)), &home());
-        ap.command(FlightCommand::PushWaypoint(home().destination(0.0, 20.0)), &home());
+        ap.command(
+            FlightCommand::PushWaypoint(home().destination(0.0, 10.0)),
+            &home(),
+        );
+        ap.command(
+            FlightCommand::PushWaypoint(home().destination(0.0, 20.0)),
+            &home(),
+        );
         assert_eq!(ap.remaining_waypoints(), 2);
     }
 }

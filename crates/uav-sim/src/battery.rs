@@ -147,7 +147,11 @@ mod tests {
         for _ in 0..1000 {
             b.step(1.0, 1.0, 25.0);
         }
-        assert!((b.temperature_c() - 37.0).abs() < 1.0, "t = {}", b.temperature_c());
+        assert!(
+            (b.temperature_c() - 37.0).abs() < 1.0,
+            "t = {}",
+            b.temperature_c()
+        );
     }
 
     #[test]

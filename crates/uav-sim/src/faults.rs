@@ -50,9 +50,7 @@ impl FaultKind {
     /// undoes this fault's effect. Restores themselves have none.
     pub fn restore_kind(&self) -> Option<FaultKind> {
         match self {
-            FaultKind::MotorFailure { motor } => {
-                Some(FaultKind::MotorRestore { motor: *motor })
-            }
+            FaultKind::MotorFailure { motor } => Some(FaultKind::MotorRestore { motor: *motor }),
             FaultKind::GpsLoss | FaultKind::GpsSpoof { .. } => Some(FaultKind::GpsRestore),
             FaultKind::VisionDegraded { .. } => Some(FaultKind::VisionRestore),
             FaultKind::BatteryOverTemp { .. }
@@ -233,7 +231,11 @@ mod tests {
         let t = SimTime::from_secs(10);
         s.add(t, UavId::new(1), FaultKind::MotorFailure { motor: 0 });
         s.add(t, UavId::new(1), FaultKind::GpsLoss);
-        s.add(t, UavId::new(1), FaultKind::BatteryOverTemp { soc_drop: 0.4 });
+        s.add(
+            t,
+            UavId::new(1),
+            FaultKind::BatteryOverTemp { soc_drop: 0.4 },
+        );
         let due = s.due(t);
         assert_eq!(due.len(), 3);
         assert!(matches!(due[0].kind, FaultKind::MotorFailure { motor: 0 }));
@@ -246,7 +248,11 @@ mod tests {
     fn out_of_order_insertion_interleaved_with_firing() {
         let mut s = FaultSchedule::new();
         s.add(SimTime::from_secs(30), UavId::new(1), FaultKind::GpsLoss);
-        s.add(SimTime::from_secs(10), UavId::new(2), FaultKind::VisionRestore);
+        s.add(
+            SimTime::from_secs(10),
+            UavId::new(2),
+            FaultKind::VisionRestore,
+        );
         assert_eq!(s.due(SimTime::from_secs(10)).len(), 1);
         // New entries may still be added between already-fired and pending
         // ones, as long as they are not in the past.
@@ -325,13 +331,19 @@ mod tests {
             FaultKind::MotorFailure { motor: 3 }.restore_kind(),
             Some(FaultKind::MotorRestore { motor: 3 })
         );
-        assert_eq!(FaultKind::GpsLoss.restore_kind(), Some(FaultKind::GpsRestore));
+        assert_eq!(
+            FaultKind::GpsLoss.restore_kind(),
+            Some(FaultKind::GpsRestore)
+        );
         assert_eq!(
             FaultKind::VisionDegraded { health: 0.1 }.restore_kind(),
             Some(FaultKind::VisionRestore)
         );
         assert_eq!(FaultKind::GpsRestore.restore_kind(), None);
-        assert_eq!(FaultKind::BatteryOverTemp { soc_drop: 0.1 }.restore_kind(), None);
+        assert_eq!(
+            FaultKind::BatteryOverTemp { soc_drop: 0.1 }.restore_kind(),
+            None
+        );
     }
 
     #[test]

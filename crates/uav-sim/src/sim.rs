@@ -415,7 +415,10 @@ mod tests {
         let t = sim.telemetry(h);
         assert!((t.true_position.alt_m - 30.0).abs() < 3.0);
         assert_eq!(t.mode, FlightMode::Mission);
-        assert!(sim.events().iter().any(|e| matches!(e.event, SystemEvent::TakeOff(_))));
+        assert!(sim
+            .events()
+            .iter()
+            .any(|e| matches!(e.event, SystemEvent::TakeOff(_))));
     }
 
     #[test]
@@ -489,12 +492,21 @@ mod tests {
         });
         sim.command_takeoff(h, 30.0);
         sim.run_until(SimTime::from_secs(15));
-        sim.faults_mut()
-            .add(SimTime::from_secs(16), h.id(), FaultKind::MotorFailure { motor: 0 });
-        sim.faults_mut()
-            .add(SimTime::from_secs(18), h.id(), FaultKind::MotorRestore { motor: 0 });
-        sim.faults_mut()
-            .add(SimTime::from_secs(20), h.id(), FaultKind::MotorFailure { motor: 3 });
+        sim.faults_mut().add(
+            SimTime::from_secs(16),
+            h.id(),
+            FaultKind::MotorFailure { motor: 0 },
+        );
+        sim.faults_mut().add(
+            SimTime::from_secs(18),
+            h.id(),
+            FaultKind::MotorRestore { motor: 0 },
+        );
+        sim.faults_mut().add(
+            SimTime::from_secs(20),
+            h.id(),
+            FaultKind::MotorFailure { motor: 3 },
+        );
         sim.run_until(SimTime::from_secs(25));
         assert!(!sim.is_crashed(h));
         assert_eq!(sim.telemetry(h).failed_motors(), 1);
@@ -508,13 +520,18 @@ mod tests {
     fn vision_restore_recovers_camera_health() {
         let (mut sim, h) = sim_with_one();
         sim.command_takeoff(h, 30.0);
-        sim.faults_mut()
-            .add(SimTime::from_secs(5), h.id(), FaultKind::VisionDegraded { health: 0.2 });
+        sim.faults_mut().add(
+            SimTime::from_secs(5),
+            h.id(),
+            FaultKind::VisionDegraded { health: 0.2 },
+        );
         sim.run_until(SimTime::from_secs(6));
         assert!((sim.telemetry(h).vision_health - 0.2).abs() < 1e-9);
-        sim.faults_mut().add(SimTime::from_secs(7), h.id(), FaultKind::VisionRestore);
+        sim.faults_mut()
+            .add(SimTime::from_secs(7), h.id(), FaultKind::VisionRestore);
         // Restore-after-restore is idempotent at the component level.
-        sim.faults_mut().add(SimTime::from_secs(8), h.id(), FaultKind::VisionRestore);
+        sim.faults_mut()
+            .add(SimTime::from_secs(8), h.id(), FaultKind::VisionRestore);
         sim.run_until(SimTime::from_secs(9));
         assert_eq!(sim.telemetry(h).vision_health, 1.0);
     }

@@ -49,7 +49,10 @@ impl World {
             .map(|_| {
                 let east = rng.random::<f64>() * width_m;
                 let north = rng.random::<f64>() * height_m;
-                origin.destination(90.0, east).destination(0.0, north).with_alt(0.0)
+                origin
+                    .destination(90.0, east)
+                    .destination(0.0, north)
+                    .with_alt(0.0)
             })
             .collect();
         World {

@@ -83,7 +83,9 @@ impl DroneDetector {
         }
         let true_bearing = observer.bearing_deg(target);
         let horiz = observer.haversine_distance_m(target);
-        let true_elev = (target.alt_m - observer.alt_m).atan2(horiz.max(0.1)).to_degrees();
+        let true_elev = (target.alt_m - observer.alt_m)
+            .atan2(horiz.max(0.1))
+            .to_degrees();
         let bearing = (true_bearing + self.angle_sigma_deg * self.gaussian() + 360.0) % 360.0;
         let elevation = true_elev + self.angle_sigma_deg * self.gaussian();
         let range_est = self.depth.estimate(range);
@@ -135,7 +137,10 @@ mod tests {
         assert!((mean_b - 45.0).abs() < 0.5, "mean bearing {mean_b}");
         let mean_r = ranges.iter().sum::<f64>() / ranges.len() as f64;
         let true_r = me().distance_3d_m(&target);
-        assert!((mean_r - true_r).abs() < 2.0, "mean range {mean_r} vs {true_r}");
+        assert!(
+            (mean_r - true_r).abs() < 2.0,
+            "mean range {mean_r} vs {true_r}"
+        );
     }
 
     #[test]

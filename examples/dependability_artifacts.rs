@@ -36,7 +36,13 @@ fn main() {
     println!("{}", sesame::safedrones::export::to_dot(&tree, "uav_loss"));
 
     let timed = TimedFaultTree::new(tree)
-        .with_model("battery", BasicEventModel::Weibull { shape: 2.2, scale: 9_000.0 })
+        .with_model(
+            "battery",
+            BasicEventModel::Weibull {
+                shape: 2.2,
+                scale: 9_000.0,
+            },
+        )
         .with_model("gps", BasicEventModel::Exponential { lambda: 2e-5 })
         .with_model("vision", BasicEventModel::Exponential { lambda: 5e-5 })
         .with_model("motor1", BasicEventModel::Exponential { lambda: 1e-5 })
@@ -53,12 +59,18 @@ fn main() {
     // -- the ROS-message-spoofing attack tree, quiet and under attack --
     let spoofing = attacks::ros_message_spoofing();
     println!("\n// ---- attack tree (quiet) ----");
-    println!("{}", sesame::security::export::to_dot(&spoofing, &HashSet::new()));
+    println!(
+        "{}",
+        sesame::security::export::to_dot(&spoofing, &HashSet::new())
+    );
     let mut triggered = HashSet::new();
     triggered.insert("unsigned_publisher".to_string());
     triggered.insert("waypoint_deviation".to_string());
     println!("// ---- attack tree (root reached, path highlighted) ----");
-    println!("{}", sesame::security::export::to_dot(&spoofing, &triggered));
+    println!(
+        "{}",
+        sesame::security::export::to_dot(&spoofing, &triggered)
+    );
 
     // -- the Fig. 1 ConSert network with a live evaluation --
     let network = catalog::uav_consert_network("uav1");
@@ -70,5 +82,8 @@ fn main() {
         .to_evidence(),
     );
     println!("// ---- ConSert network (GPS lost, fulfilled guarantees green) ----");
-    println!("{}", sesame::conserts::export::to_dot(&network, Some(&results)));
+    println!(
+        "{}",
+        sesame::conserts::export::to_dot(&network, Some(&results))
+    );
 }

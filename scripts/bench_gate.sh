@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Throughput regression gate: compares the freshly generated
+# BENCH_bus.json / BENCH_eddi.json (written by scripts/check.sh smoke
+# runs) against the committed baselines in scripts/baselines/.
+#
+#   scripts/bench_gate.sh                    # gate against the baselines
+#   UPDATE_BASELINE=1 scripts/bench_gate.sh  # accept the fresh numbers
+#
+# Two thresholds per bench:
+#   - speedup (fast vs in-process reference) below 80% of baseline fails.
+#     Both paths see the same machine noise, so the ratio is stable and
+#     a >20% drop means the fast path genuinely regressed.
+#   - absolute throughput below 50% of baseline fails. Wall-clock
+#     throughput swings with load, so this is deliberately loose: it
+#     only catches order-of-magnitude collapses, not scheduler noise.
+# Refresh the baselines when moving to different hardware.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE_DIR="scripts/baselines"
+
+# First numeric value for a key in a JSON report. Both bench reports
+# print the optimized/fast object before the reference object, so the
+# first occurrence is always the accelerated path's number.
+extract() {
+    grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk -F': ' '{print $2}'
+}
+
+# gate <fresh_file> <key> <min_fraction> <label>
+gate() {
+    local fresh_file="$1" key="$2" min_fraction="$3" label="$4"
+    local baseline_file="$BASELINE_DIR/$(basename "$fresh_file")"
+    if [[ ! -f "$fresh_file" ]]; then
+        echo "bench_gate: $fresh_file missing — run scripts/check.sh first" >&2
+        exit 1
+    fi
+    if [[ ! -f "$baseline_file" ]]; then
+        echo "bench_gate: no baseline $baseline_file — run UPDATE_BASELINE=1 scripts/bench_gate.sh" >&2
+        exit 1
+    fi
+    local fresh baseline
+    fresh="$(extract "$fresh_file" "$key")"
+    baseline="$(extract "$baseline_file" "$key")"
+    if [[ -z "$fresh" || -z "$baseline" ]]; then
+        echo "bench_gate: could not extract $key from $fresh_file / $baseline_file" >&2
+        exit 1
+    fi
+    if awk -v f="$fresh" -v b="$baseline" -v m="$min_fraction" 'BEGIN { exit !(f < m * b) }'; then
+        echo "bench_gate: FAIL — $label $key regressed below ${min_fraction}x baseline: $fresh vs $baseline" >&2
+        exit 1
+    fi
+    echo "bench_gate: $label $key $fresh vs baseline $baseline — ok"
+}
+
+update() {
+    local fresh_file="$1"
+    if [[ ! -f "$fresh_file" ]]; then
+        echo "bench_gate: $fresh_file missing — run scripts/check.sh first" >&2
+        exit 1
+    fi
+    mkdir -p "$BASELINE_DIR"
+    cp "$fresh_file" "$BASELINE_DIR/$(basename "$fresh_file")"
+    echo "bench_gate: baseline $BASELINE_DIR/$(basename "$fresh_file") updated"
+}
+
+if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
+    update BENCH_bus.json
+    update BENCH_eddi.json
+    exit 0
+fi
+
+gate BENCH_bus.json  speedup       0.8 busbench
+gate BENCH_bus.json  msgs_per_sec  0.5 busbench
+gate BENCH_eddi.json speedup       0.8 eddibench
+gate BENCH_eddi.json ticks_per_sec 0.5 eddibench

@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 echo "==> chaos smoke: 10 seeded random-fault scenario runs at --jobs 4 must stay panic-free"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -32,4 +35,11 @@ echo "==> busbench smoke: zero-copy fanout must hold its 3x margin over the refe
 cargo run -q --release -p sesame-bench --bin busbench -- smoke > BENCH_bus.json
 cat BENCH_bus.json
 
-echo "OK: build, tests, clippy, parallel chaos smoke, determinism diff and busbench all green"
+echo "==> eddibench smoke: the incremental EDDI fast path must hold its 3x margin over the reference runtime"
+cargo run -q --release -p sesame-bench --bin eddibench -- smoke > BENCH_eddi.json
+cat BENCH_eddi.json
+
+echo "==> bench gate: fresh numbers vs committed baselines (>20% regression fails)"
+scripts/bench_gate.sh
+
+echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, busbench, eddibench and the bench gate all green"

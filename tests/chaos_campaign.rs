@@ -39,7 +39,11 @@ fn campaign_seed_replays_identically() {
         ..CampaignConfig::default()
     })
     .run();
-    assert!(report.all_clean(), "replay-checked run failed:\n{}", report.render());
+    assert!(
+        report.all_clean(),
+        "replay-checked run failed:\n{}",
+        report.render()
+    );
 }
 
 #[test]

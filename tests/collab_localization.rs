@@ -5,11 +5,11 @@
 use sesame::collab_loc::agent::CollaborativeAgent;
 use sesame::collab_loc::session::{CollabSession, LandingGuidance};
 use sesame::types::geo::GeoPoint;
+use sesame::types::telemetry::FlightMode;
 use sesame::types::time::SimTime;
 use sesame::uav_sim::faults::FaultKind;
 use sesame::uav_sim::sim::{Simulator, UavConfig};
 use sesame::uav_sim::world::World;
-use sesame::types::telemetry::FlightMode;
 
 /// Three simulated UAVs: one loses GPS, the other two hover nearby and
 /// guide it down through the session's velocity commands.

@@ -1,0 +1,334 @@
+//! Lockstep conformance: the incremental EDDI fast path against the
+//! naive reference path.
+//!
+//! The fast path (solver profile cache, presorted SafeML, SINADRA factor
+//! caches, fingerprint-gated ConSerts) claims **bit-identical** results,
+//! not approximately-equal ones. This suite proves it three ways:
+//!
+//! 1. 200+ randomized evidence schedules driven through paired runtimes,
+//!    comparing every output field, the evidence snapshot and the ConSert
+//!    decision bit for bit each tick;
+//! 2. full platform runs with `eddi_fast_path` on and off, comparing
+//!    series, events, traces and metrics (minus the `eddi.cache.*`
+//!    counters only the fast path maintains);
+//! 3. the issue's explicit edge cases: NaN-bearing telemetry, evidence
+//!    toggling every tick, and cache behaviour across degraded-mode
+//!    communication-fault transitions.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sesame::conserts::catalog::{
+    certified_navigation_accuracy_m, evaluate_uav, uav_consert_network,
+};
+use sesame::conserts::{ConsertDecision, IncrementalConsertNetwork};
+use sesame::core::orchestrator::{Platform, PlatformConfig};
+use sesame::core::reference::ReferenceEddiRuntime;
+use sesame::core::{EddiOutputs, UavEddiRuntime};
+use sesame::safedrones::monitor::SafeDronesConfig;
+use sesame::types::geo::GeoPoint;
+use sesame::types::ids::UavId;
+use sesame::types::telemetry::UavTelemetry;
+use sesame::types::time::{SimDuration, SimTime};
+use sesame::vision::features::SceneCondition;
+
+fn home() -> GeoPoint {
+    GeoPoint::new(35.0, 33.0, 0.0)
+}
+
+/// One randomized telemetry + scene draw. Every stochastic field a real
+/// mission varies is varied here; both paths receive the same values.
+fn random_inputs(rng: &mut StdRng, tick: u64) -> (UavTelemetry, SceneCondition) {
+    let alt = 5.0 + rng.random::<f64>() * 65.0;
+    let pos = home()
+        .destination(rng.random::<f64>() * 360.0, rng.random::<f64>() * 200.0)
+        .with_alt(alt);
+    let mut tel = UavTelemetry::nominal(UavId::new(1), SimTime::from_millis(tick * 100), pos);
+    // The reported fix drifts off truth now and then (spoof-ish jitter).
+    tel.gps.position = if rng.random::<f64>() < 0.2 {
+        pos.destination(rng.random::<f64>() * 360.0, rng.random::<f64>() * 30.0)
+            .with_alt(alt)
+    } else {
+        pos
+    };
+    if rng.random::<f64>() < 0.1 {
+        tel.gps.satellites = 4; // unusable fix
+    }
+    tel.battery_soc = 0.2 + rng.random::<f64>() * 0.8;
+    tel.battery_temp_c = 15.0 + rng.random::<f64>() * 45.0;
+    tel.vision_health = rng.random::<f64>();
+    tel.link_quality = rng.random::<f64>();
+    let scene = SceneCondition {
+        altitude_m: alt,
+        visibility: 0.4 + rng.random::<f64>() * 0.6,
+    };
+    (tel, scene)
+}
+
+/// Asserts every field of two [`EddiOutputs`] is bit-identical.
+fn assert_outputs_bit_equal(f: &EddiOutputs, r: &EddiOutputs, ctx: &str) {
+    assert_eq!(
+        f.reliability.pof.to_bits(),
+        r.reliability.pof.to_bits(),
+        "pof diverged: {ctx}"
+    );
+    assert_eq!(f.reliability.level, r.reliability.level, "level: {ctx}");
+    assert_eq!(
+        f.safeml_uncertainty.to_bits(),
+        r.safeml_uncertainty.to_bits(),
+        "safeml: {ctx}"
+    );
+    assert_eq!(f.safeml_verdict, r.safeml_verdict, "verdict: {ctx}");
+    assert_eq!(
+        f.dk_uncertainty.to_bits(),
+        r.dk_uncertainty.to_bits(),
+        "dk: {ctx}"
+    );
+    assert_eq!(
+        f.combined_uncertainty.to_bits(),
+        r.combined_uncertainty.to_bits(),
+        "combined: {ctx}"
+    );
+    assert_eq!(
+        f.risk.missed_person_prob.to_bits(),
+        r.risk.missed_person_prob.to_bits(),
+        "missed: {ctx}"
+    );
+    assert_eq!(
+        f.risk.criticality_high_prob.to_bits(),
+        r.risk.criticality_high_prob.to_bits(),
+        "criticality: {ctx}"
+    );
+    assert_eq!(
+        f.risk.rescan_advised, r.risk.rescan_advised,
+        "rescan: {ctx}"
+    );
+    assert_eq!(f.spoof.spoofed, r.spoof.spoofed, "spoofed: {ctx}");
+    assert_eq!(
+        f.spoof.innovation_m.to_bits(),
+        r.spoof.innovation_m.to_bits(),
+        "innovation: {ctx}"
+    );
+}
+
+/// The tentpole acceptance gate: 200 randomized evidence schedules, every
+/// tick compared bit for bit — outputs, evidence and ConSert decision.
+#[test]
+fn fast_path_locksteps_with_reference_over_200_randomized_schedules() {
+    for schedule in 0u64..200 {
+        let seed = 0xEDD1 ^ (schedule << 8);
+        let mut fast = UavEddiRuntime::new(seed, SafeDronesConfig::default(), home());
+        let mut reference = ReferenceEddiRuntime::new(seed, SafeDronesConfig::default(), home());
+        let mut inc = IncrementalConsertNetwork::new("uav1");
+        let naive_net = uav_consert_network("uav1");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let remaining = SimDuration::from_secs(60 + schedule * 3);
+        fast.set_remaining_mission(remaining);
+        reference.set_remaining_mission(remaining);
+        for tick in 0..12 {
+            let (tel, scene) = random_inputs(&mut rng, tick);
+            let f = fast.tick(&tel, &scene);
+            let r = reference.tick(&tel, &scene);
+            assert_outputs_bit_equal(&f, &r, &format!("schedule {schedule} tick {tick}"));
+
+            let attack = rng.random::<bool>();
+            let neighbors = rng.random::<bool>();
+            let ev_fast = fast.evidence(&tel, attack, neighbors);
+            let ev_ref = reference.evidence(&tel, attack, neighbors);
+            assert_eq!(ev_fast, ev_ref, "evidence: schedule {schedule} tick {tick}");
+
+            let fast_decision = inc.decide(&ev_fast);
+            let naive_decision = ConsertDecision {
+                action: evaluate_uav(&naive_net, "uav1", &ev_ref),
+                nav_accuracy_m: certified_navigation_accuracy_m(&naive_net, "uav1", &ev_ref),
+            };
+            assert_eq!(
+                fast_decision, naive_decision,
+                "consert decision: schedule {schedule} tick {tick}"
+            );
+        }
+    }
+}
+
+/// NaN-bearing telemetry (dead vision sensor, garbage GPS coordinates)
+/// must flow through both paths identically — caches key on exact bit
+/// patterns, so NaNs may only hit against the very same NaN.
+#[test]
+fn nan_bearing_telemetry_stays_in_lockstep() {
+    let mut fast = UavEddiRuntime::new(77, SafeDronesConfig::default(), home());
+    let mut reference = ReferenceEddiRuntime::new(77, SafeDronesConfig::default(), home());
+    let scene = SceneCondition {
+        altitude_m: 30.0,
+        visibility: 1.0,
+    };
+    for tick in 0u64..30 {
+        let pos = home().with_alt(30.0);
+        let mut tel = UavTelemetry::nominal(UavId::new(1), SimTime::from_millis(tick * 100), pos);
+        tel.gps.position = pos;
+        match tick % 3 {
+            // A dead vision sensor reports NaN health.
+            0 => tel.vision_health = f64::NAN,
+            // A garbage fix: NaN coordinates poison the spoof innovation.
+            1 => tel.gps.position = GeoPoint::new(f64::NAN, 33.0, 30.0),
+            _ => {}
+        }
+        let f = fast.tick(&tel, &scene);
+        let r = reference.tick(&tel, &scene);
+        assert_outputs_bit_equal(&f, &r, &format!("nan tick {tick}"));
+        assert_eq!(
+            fast.evidence(&tel, false, true),
+            reference.evidence(&tel, false, true),
+            "nan evidence at tick {tick}"
+        );
+    }
+}
+
+/// Evidence toggling every tick: the last-tick ConSert cache must never
+/// hit, and the answers must stay correct anyway.
+#[test]
+fn toggling_evidence_defeats_the_cache_but_not_correctness() {
+    let mut fast = UavEddiRuntime::new(13, SafeDronesConfig::default(), home());
+    let mut reference = ReferenceEddiRuntime::new(13, SafeDronesConfig::default(), home());
+    let mut inc = IncrementalConsertNetwork::new("uav1");
+    let naive_net = uav_consert_network("uav1");
+    let scene = SceneCondition {
+        altitude_m: 30.0,
+        visibility: 1.0,
+    };
+    for tick in 0u64..24 {
+        let pos = home().with_alt(30.0);
+        let mut tel = UavTelemetry::nominal(UavId::new(1), SimTime::from_millis(tick * 100), pos);
+        tel.gps.position = pos;
+        // The link flaps every tick, flipping comm_ok in the evidence.
+        tel.link_quality = if tick % 2 == 0 { 1.0 } else { 0.1 };
+        let f = fast.tick(&tel, &scene);
+        let r = reference.tick(&tel, &scene);
+        assert_outputs_bit_equal(&f, &r, &format!("toggle tick {tick}"));
+        let ev = fast.evidence(&tel, false, true);
+        assert_eq!(ev, reference.evidence(&tel, false, true));
+        let fast_decision = inc.decide(&ev);
+        let naive_decision = ConsertDecision {
+            action: evaluate_uav(&naive_net, "uav1", &ev),
+            nav_accuracy_m: certified_navigation_accuracy_m(&naive_net, "uav1", &ev),
+        };
+        assert_eq!(fast_decision, naive_decision, "toggle tick {tick}");
+    }
+    assert_eq!(inc.stats().hits, 0, "alternating evidence must never hit");
+    assert_eq!(inc.stats().misses, 24);
+}
+
+fn platform_config(seed: u64, fast: bool) -> PlatformConfig {
+    PlatformConfig {
+        area_width_m: 150.0,
+        area_height_m: 100.0,
+        person_count: 3,
+        seed,
+        eddi_fast_path: fast,
+        ..PlatformConfig::default()
+    }
+}
+
+/// Strips the fast-path-only cache counters from a snapshot so the two
+/// paths' metrics become comparable.
+fn comparable_metrics(p: &Platform) -> sesame::obs::MetricsSnapshot {
+    let mut snap = p.metrics_snapshot().without_wall_clock();
+    snap.counters
+        .retain(|name, _| !name.starts_with("eddi.cache."));
+    snap
+}
+
+/// Full platform runs with the fast path on and off: identical trace
+/// logs, series bits, decisions and metrics (minus `eddi.cache.*`).
+#[test]
+fn platform_runs_are_bit_identical_across_the_fast_path_switch() {
+    for seed in [3u64, 17, 99] {
+        let mut fast = Platform::new(platform_config(seed, true));
+        let mut reference = Platform::new(platform_config(seed, false));
+        fast.launch();
+        reference.launch();
+        for _ in 0..120 {
+            fast.step();
+            reference.step();
+        }
+        let (fs, rs) = (fast.series(), reference.series());
+        assert_eq!(fs.pof().len(), rs.pof().len(), "seed {seed}");
+        for (a, b) in fs.pof().iter().zip(rs.pof()) {
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "pof diverged, seed {seed}");
+        }
+        for (a, b) in fs.uncertainty().iter().zip(rs.uncertainty()) {
+            assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "uncertainty diverged, seed {seed}"
+            );
+        }
+        for i in 0..fast.uav_count() {
+            assert_eq!(
+                fast.certified_nav_accuracy_m(i),
+                reference.certified_nav_accuracy_m(i),
+                "nav accuracy diverged for uav{i}, seed {seed}"
+            );
+        }
+        // Traces and events record every decision, alert and transition:
+        // record-for-record equality is the strongest obs-level check.
+        let fast_trace: Vec<_> = fast.trace().iter().collect();
+        let ref_trace: Vec<_> = reference.trace().iter().collect();
+        assert_eq!(fast_trace, ref_trace, "trace diverged, seed {seed}");
+        assert_eq!(
+            fast.events().iter().count(),
+            reference.events().iter().count(),
+            "event counts diverged, seed {seed}"
+        );
+        assert_eq!(
+            comparable_metrics(&fast),
+            comparable_metrics(&reference),
+            "metrics diverged, seed {seed}"
+        );
+        // The switch itself did something: only the fast run caches.
+        assert!(fast.metrics().counter("eddi.cache.hit") > 0, "seed {seed}");
+        assert_eq!(reference.metrics().counter("eddi.cache.hit"), 0);
+    }
+}
+
+/// A degraded-mode communication-fault transition (link blackout →
+/// supervision demotion → recovery) must invalidate caches, not corrupt
+/// them: the fast and reference platforms stay bit-identical through the
+/// whole episode, and the fast path keeps missing (re-evaluating) as the
+/// evidence shifts.
+#[test]
+fn comm_fault_transitions_invalidate_but_stay_in_lockstep() {
+    use sesame::middleware::chaos::CommFaultKind;
+
+    let mut fast = Platform::new(platform_config(7, true));
+    let mut reference = Platform::new(platform_config(7, false));
+    fast.launch();
+    reference.launch();
+    for _ in 0..50 {
+        fast.step();
+        reference.step();
+    }
+    let misses_before = fast.metrics().counter("eddi.cache.miss");
+    // Cut uav1 off for 10 s on both platforms: supervision demotes it
+    // through Degraded into SafeFallback, and the ConSert evidence flips.
+    for p in [&mut fast, &mut reference] {
+        let now = p.now();
+        p.comm_faults_mut().schedule(
+            now,
+            SimDuration::from_secs(10),
+            CommFaultKind::LinkBlackout { uav: UavId::new(1) },
+        );
+    }
+    for _ in 0..150 {
+        fast.step();
+        reference.step();
+    }
+    assert_eq!(fast.health(0), reference.health(0), "health diverged");
+    let fast_trace: Vec<_> = fast.trace().iter().collect();
+    let ref_trace: Vec<_> = reference.trace().iter().collect();
+    assert_eq!(fast_trace, ref_trace, "trace diverged across the fault");
+    assert_eq!(comparable_metrics(&fast), comparable_metrics(&reference));
+    let misses_after = fast.metrics().counter("eddi.cache.miss");
+    assert!(
+        misses_after > misses_before,
+        "the transition must force re-evaluations ({misses_before} -> {misses_after})"
+    );
+}

@@ -27,7 +27,11 @@ fn hexa_fleet_survives_motor_failure() {
     cfg.tolerated_motor_failures = 1;
     let outcome = ScenarioBuilder::new(21)
         .with_config(cfg)
-        .fault(SimTime::from_secs(40), 2, FaultKind::MotorFailure { motor: 0 })
+        .fault(
+            SimTime::from_secs(40),
+            2,
+            FaultKind::MotorFailure { motor: 0 },
+        )
         .deadline(SimTime::from_secs(900))
         .build()
         .run();
@@ -44,7 +48,11 @@ fn hexa_fleet_survives_motor_failure() {
     // The same fault on a quad fleet kills the airframe.
     let quad = ScenarioBuilder::new(21)
         .with_config(config(21))
-        .fault(SimTime::from_secs(40), 2, FaultKind::MotorFailure { motor: 0 })
+        .fault(
+            SimTime::from_secs(40),
+            2,
+            FaultKind::MotorFailure { motor: 0 },
+        )
         .deadline(SimTime::from_secs(900))
         .build()
         .run();
@@ -62,10 +70,7 @@ fn poor_visibility_degrades_detection() {
         .run();
     let mut hazy_cfg = config(33);
     hazy_cfg.visibility = 0.4;
-    let hazy = ScenarioBuilder::new(33)
-        .with_config(hazy_cfg)
-        .build()
-        .run();
+    let hazy = ScenarioBuilder::new(33).with_config(hazy_cfg).build().run();
     assert!(
         hazy.metrics.detection_accuracy < clear.metrics.detection_accuracy - 0.1,
         "hazy {} should trail clear {}",
@@ -113,7 +118,10 @@ fn telemetry_loss_degrades_gracefully() {
         "completed {}",
         outcome.metrics.mission_completed_fraction
     );
-    assert!(outcome.metrics.attack_detected_secs.is_none(), "loss is not an attack");
+    assert!(
+        outcome.metrics.attack_detected_secs.is_none(),
+        "loss is not an attack"
+    );
 }
 
 /// A replay attack (recorded legitimate commands re-published later) is

@@ -6,7 +6,7 @@
 //! order) is exactly the kind of nondeterminism two runs at the same
 //! worker count can catch while one cannot.
 
-use sesame::core::chaos::{CampaignConfig, ChaosCampaign, CampaignReport};
+use sesame::core::chaos::{CampaignConfig, CampaignReport, ChaosCampaign};
 use sesame::types::time::SimTime;
 use sesame_bench::parallel;
 
@@ -30,16 +30,32 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, label: &str)
     assert_eq!(a.runs.len(), b.runs.len(), "{label}: run count");
     for (ra, rb) in a.runs.iter().zip(&b.runs) {
         assert_eq!(ra.seed, rb.seed, "{label}: seed order");
-        assert_eq!(ra.fault_labels, rb.fault_labels, "{label}: seed {}", ra.seed);
+        assert_eq!(
+            ra.fault_labels, rb.fault_labels,
+            "{label}: seed {}",
+            ra.seed
+        );
         assert_eq!(
             ra.completed_fraction.to_bits(),
             rb.completed_fraction.to_bits(),
             "{label}: completion of seed {} must be bit-identical",
             ra.seed
         );
-        assert_eq!(ra.health_transitions, rb.health_transitions, "{label}: seed {}", ra.seed);
-        assert_eq!(ra.safe_fallbacks, rb.safe_fallbacks, "{label}: seed {}", ra.seed);
-        assert_eq!(ra.command_retries, rb.command_retries, "{label}: seed {}", ra.seed);
+        assert_eq!(
+            ra.health_transitions, rb.health_transitions,
+            "{label}: seed {}",
+            ra.seed
+        );
+        assert_eq!(
+            ra.safe_fallbacks, rb.safe_fallbacks,
+            "{label}: seed {}",
+            ra.seed
+        );
+        assert_eq!(
+            ra.command_retries, rb.command_retries,
+            "{label}: seed {}",
+            ra.seed
+        );
         assert_eq!(ra.violations, rb.violations, "{label}: seed {}", ra.seed);
         assert_eq!(
             ra.obs, rb.obs,
@@ -81,11 +97,18 @@ fn parallel_matches_serial_and_is_substantive() {
     let merged = report.merged_obs();
     assert!(merged.counter("platform.ticks") > 0, "scenarios really ran");
     assert!(
-        merged.histograms.keys().all(|k| !k.starts_with("tick.phase.")),
+        merged
+            .histograms
+            .keys()
+            .all(|k| !k.starts_with("tick.phase.")),
         "wall-clock timings must not leak into the deterministic aggregate"
     );
     for run in &report.runs {
-        assert!(run.obs.counter("platform.ticks") > 0, "seed {} ticked", run.seed);
+        assert!(
+            run.obs.counter("platform.ticks") > 0,
+            "seed {} ticked",
+            run.seed
+        );
     }
 }
 

@@ -161,7 +161,12 @@ fn coengineering_verdict_tracks_the_attack() {
     // Step through the attack until detection.
     for _ in 0..3000 {
         scenario.platform_mut().step();
-        if scenario.platform_mut().series().attack_detected_at().is_some() {
+        if scenario
+            .platform_mut()
+            .series()
+            .attack_detected_at()
+            .is_some()
+        {
             break;
         }
     }

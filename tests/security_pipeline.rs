@@ -97,7 +97,11 @@ fn forged_waypoints_reach_attack_tree_root_and_flip_conserts() {
         },
     )
     .unwrap();
-    assert_eq!(attacked, UavAction::ContinueMission, "collaborative fallback");
+    assert_eq!(
+        attacked,
+        UavAction::ContinueMission,
+        "collaborative fallback"
+    );
 }
 
 /// Signed traffic passes the same pipeline silently.

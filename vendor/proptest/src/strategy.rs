@@ -368,9 +368,11 @@ mod tests {
                 T::Node(cs) => 1 + cs.iter().map(height).max().unwrap_or(0),
             }
         }
-        let s = Just(()).prop_map(|_| T::Leaf).prop_recursive(3, 8, 2, |inner| {
-            crate::collection::vec(inner, 1..3).prop_map(T::Node)
-        });
+        let s = Just(())
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(T::Node)
+            });
         let mut rng = TestRng::for_test("recursive_bounded_by_depth");
         for _ in 0..200 {
             assert!(height(&s.generate(&mut rng)) <= 3);
