@@ -7,9 +7,10 @@
 //! cargo run -p sesame-bench --release --bin busbench -- smoke  # CI smoke
 //! ```
 //!
-//! The JSON report goes to stdout (configuration chatter to stderr), so
-//! `busbench > BENCH_bus.json` records the repo's perf trajectory —
-//! `scripts/check.sh` does exactly that. Reported per bus: messages per
+//! The JSON report (schema: `sesame_bench::cli`) goes to stdout
+//! (configuration chatter to stderr), so `busbench > BENCH_bus.json`
+//! records the repo's perf trajectory — `scripts/check.sh` does exactly
+//! that; `--json PATH` writes a copy. Reported per bus: messages per
 //! second, nanoseconds per delivery, and an allocation-count proxy from a
 //! counting global allocator (allocations per delivery is the honest
 //! zero-copy scorecard: the reference bus pays one deep `Message` clone
@@ -19,6 +20,7 @@
 //! the delivery count — the run aborts if they diverge, so the speedup is
 //! never measured against a bus doing different work.
 
+use sesame_bench::cli::{BenchArgs, JsonReport};
 use sesame_middleware::bus::MessageBus;
 use sesame_middleware::message::Payload;
 use sesame_middleware::reference::ReferenceBus;
@@ -190,13 +192,12 @@ fn render(r: &RunResult) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "smoke");
-    let rounds = if smoke { 100 } else { 2000 };
+    let args = BenchArgs::parse();
+    let rounds = if args.smoke { 100 } else { 2000 };
     eprintln!(
         "busbench: 64-subscriber wildcard fanout, {} topics, {rounds} rounds{}",
         topics().len(),
-        if smoke { " (smoke)" } else { "" }
+        if args.smoke { " (smoke)" } else { "" }
     );
 
     // Interleave a warmup of each before timing so neither bus pays
@@ -217,17 +218,17 @@ fn main() {
 
     let speedup = reference.elapsed_ns as f64 / optimized.elapsed_ns as f64;
     let allocs_ratio = reference.allocs as f64 / optimized.allocs.max(1) as f64;
-    println!(
-        "{{\n  \"workload\": \"bus_fanout_64sub_wildcard\",\n  \"rounds\": {rounds},\n  \
-         \"published\": {},\n  \"deliveries\": {},\n  \"optimized\": {},\n  \
-         \"reference\": {},\n  \"speedup\": {:.2},\n  \"allocs_ratio\": {:.2}\n}}",
-        optimized.published,
-        optimized.deliveries,
-        render(&optimized),
-        render(&reference),
-        speedup,
-        allocs_ratio
-    );
+    // Summary keys precede the nested per-bus objects, so the first
+    // occurrence of each gated key is the headline (optimized) number.
+    JsonReport::new("bus_fanout_64sub_wildcard")
+        .int("rounds", rounds)
+        .int("published", optimized.published)
+        .int("deliveries", optimized.deliveries)
+        .num("speedup", speedup, 2)
+        .num("allocs_ratio", allocs_ratio, 2)
+        .raw("optimized", &render(&optimized))
+        .raw("reference", &render(&reference))
+        .emit(args.json_path.as_deref());
     eprintln!("busbench: speedup {speedup:.2}x, allocs ratio {allocs_ratio:.2}x");
     if speedup < 3.0 {
         eprintln!("busbench: WARNING — speedup below the 3x target");

@@ -2,14 +2,16 @@
 //! full scenario runs, with the robustness invariants checked per run.
 //!
 //! ```text
-//! cargo run -p sesame-bench --release --bin chaos                  # 50 seeds
-//! cargo run -p sesame-bench --release --bin chaos -- 10            # 10 seeds
-//! cargo run -p sesame-bench --release --bin chaos -- 10 smoke     # short runs
-//! cargo run -p sesame-bench --release --bin chaos -- 50 replay    # + replay check
-//! cargo run -p sesame-bench --release --bin chaos -- 50 --jobs 8  # parallel sweep
+//! cargo run -p sesame-bench --release --bin chaos                      # 50 seeds
+//! cargo run -p sesame-bench --release --bin chaos -- --seeds 10        # 10 seeds
+//! cargo run -p sesame-bench --release --bin chaos -- 10 smoke         # short runs
+//! cargo run -p sesame-bench --release --bin chaos -- 50 replay        # + replay check
+//! cargo run -p sesame-bench --release --bin chaos -- 50 --jobs 8      # parallel sweep
 //! ```
 //!
-//! `--jobs N` (or `SESAME_JOBS=N`) spreads the seeds over a worker
+//! The flags are the shared bench conventions (`sesame_bench::cli`):
+//! `--seeds N` (a bare leading number still works), `smoke`, and
+//! `--jobs N` (or `SESAME_JOBS=N`) to spread the seeds over a worker
 //! pool; the default is the machine's available parallelism. The
 //! report — per-seed rows and merged deterministic metrics — goes to
 //! stdout and is byte-identical at any worker count (configuration
@@ -20,24 +22,28 @@
 //! Exit status is non-zero when any invariant was violated, so CI can
 //! gate on it directly.
 
+use sesame_bench::cli::BenchArgs;
 use sesame_bench::parallel;
 use sesame_core::chaos::{CampaignConfig, ChaosCampaign};
 use sesame_types::time::SimTime;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = parallel::effective_jobs(parallel::take_jobs_arg(&mut args));
-    let runs: u64 = args.first().and_then(|a| a.parse().ok()).unwrap_or(50);
-    let mode = args.get(1).cloned().unwrap_or_default();
+    let args = BenchArgs::parse();
+    let jobs = args.effective_jobs();
+    let runs: u64 = args
+        .seeds
+        .or_else(|| args.rest.first().and_then(|a| a.parse().ok()))
+        .unwrap_or(50);
+    let replay = args.rest.iter().any(|a| a == "replay");
     let config = CampaignConfig {
         runs,
         base_seed: 1,
-        deadline: if mode == "smoke" {
+        deadline: if args.smoke {
             SimTime::from_secs(120)
         } else {
             SimTime::from_secs(180)
         },
-        replay_check: mode == "replay",
+        replay_check: replay,
         ..CampaignConfig::default()
     };
     eprintln!(

@@ -7,9 +7,10 @@
 //! cargo run -p sesame-bench --release --bin eddibench -- smoke  # CI smoke
 //! ```
 //!
-//! The JSON report goes to stdout (configuration chatter to stderr), so
-//! `eddibench > BENCH_eddi.json` records the repo's perf trajectory —
-//! `scripts/check.sh` does exactly that. Reported per path: ticks per
+//! The JSON report (schema: `sesame_bench::cli`) goes to stdout
+//! (configuration chatter to stderr), so `eddibench > BENCH_eddi.json`
+//! records the repo's perf trajectory — `scripts/check.sh` does exactly
+//! that; `--json PATH` writes a copy. Reported per path: ticks per
 //! second, nanoseconds per evaluation, and an allocation-count proxy from
 //! a counting global allocator. The fast path additionally reports its
 //! evals-skipped ratio (cache hits over hits + misses).
@@ -20,6 +21,7 @@
 //! the speedup is never measured against a runtime computing different
 //! answers.
 
+use sesame_bench::cli::{BenchArgs, JsonReport};
 use sesame_conserts::catalog::{
     certified_navigation_accuracy_m, evaluate_uav, uav_consert_network, UavAction,
 };
@@ -217,12 +219,11 @@ fn render(r: &RunResult) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "smoke");
-    let rounds = if smoke { 200 } else { 2000 };
+    let args = BenchArgs::parse();
+    let rounds = if args.smoke { 200 } else { 2000 };
     eprintln!(
         "eddibench: {UAVS}-UAV steady-state EDDI + ConSert evaluation, {rounds} rounds{}",
-        if smoke { " (smoke)" } else { "" }
+        if args.smoke { " (smoke)" } else { "" }
     );
 
     // Interleave a warmup of each before timing so neither path pays
@@ -246,19 +247,18 @@ fn main() {
     let speedup = reference.elapsed_ns as f64 / fast.elapsed_ns as f64;
     let total = fast.cache_hits + fast.cache_misses;
     let evals_skipped_ratio = fast.cache_hits as f64 / total.max(1) as f64;
-    println!(
-        "{{\n  \"workload\": \"eddi_steady_state_3uav\",\n  \"rounds\": {rounds},\n  \
-         \"evals\": {},\n  \"fast\": {},\n  \"reference\": {},\n  \
-         \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
-         \"evals_skipped_ratio\": {:.3},\n  \"speedup\": {:.2}\n}}",
-        fast.evals,
-        render(&fast),
-        render(&reference),
-        fast.cache_hits,
-        fast.cache_misses,
-        evals_skipped_ratio,
-        speedup
-    );
+    // Summary keys precede the nested per-path objects, so the first
+    // occurrence of each gated key is the headline (fast-path) number.
+    JsonReport::new("eddi_steady_state_3uav")
+        .int("rounds", rounds)
+        .int("evals", fast.evals)
+        .num("speedup", speedup, 2)
+        .num("evals_skipped_ratio", evals_skipped_ratio, 3)
+        .int("cache_hits", fast.cache_hits)
+        .int("cache_misses", fast.cache_misses)
+        .raw("fast", &render(&fast))
+        .raw("reference", &render(&reference))
+        .emit(args.json_path.as_deref());
     eprintln!(
         "eddibench: speedup {speedup:.2}x, evals skipped {:.1}%",
         evals_skipped_ratio * 100.0

@@ -9,14 +9,16 @@
 //! cargo run -p sesame-bench --release --bin experiments -- conserts
 //! ```
 //!
-//! `--jobs N` (or `SESAME_JOBS=N`) runs the independent legs of the
-//! multi-run experiments (the three Fig. 6 runs, the per-seed
-//! robustness pairs) on a worker pool; reduction is in a fixed order,
-//! so the printed tables are byte-identical at any worker count.
+//! `--jobs N` (or `SESAME_JOBS=N`, the shared `sesame_bench::cli`
+//! convention) runs the independent legs of the multi-run experiments
+//! (the three Fig. 6 runs, the per-seed robustness pairs) on a worker
+//! pool; reduction is in a fixed order, so the printed tables are
+//! byte-identical at any worker count.
 //!
 //! Output is the paper's rows/series plus our measured values, ready to be
 //! pasted into EXPERIMENTS.md.
 
+use sesame_bench::cli::BenchArgs;
 use sesame_bench::{fig6_summary_table, format_series, parallel, sparkline};
 use sesame_conserts::catalog::{self, UavEvidence};
 use sesame_core::experiments;
@@ -24,9 +26,9 @@ use sesame_core::experiments;
 const SEED: u64 = 42;
 
 fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs = parallel::effective_jobs(parallel::take_jobs_arg(&mut args));
-    let arg = args.first().cloned().unwrap_or_else(|| "all".into());
+    let args = BenchArgs::parse();
+    let jobs = args.effective_jobs();
+    let arg = args.rest.first().cloned().unwrap_or_else(|| "all".into());
     match arg.as_str() {
         "fig5" => fig5(),
         "sar-acc" => sar_acc(),

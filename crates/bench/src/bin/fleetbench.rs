@@ -1,0 +1,149 @@
+//! Fleet-scale platform benchmark: full `Platform::step` throughput as
+//! the fleet grows from the paper's 3 UAVs to 500, sharded vs serial.
+//!
+//! ```text
+//! cargo run -p sesame-bench --release --bin fleetbench           # 3..500 UAVs
+//! cargo run -p sesame-bench --release --bin fleetbench -- smoke  # CI sizes
+//! cargo run -p sesame-bench --release --bin fleetbench -- --jobs 4
+//! ```
+//!
+//! The JSON report (schema: `sesame_bench::cli`) goes to stdout
+//! (configuration chatter to stderr), so `fleetbench > BENCH_fleet.json`
+//! records the repo's scaling trajectory — `scripts/check.sh` does
+//! exactly that; `--json PATH` writes a copy. Per fleet size the report
+//! carries whole-platform ticks per second, the per-UAV normalization
+//! (`uav_ticks_per_sec` — flat means linear scaling of the per-UAV
+//! phases; the O(n²) airspace scan bends it at the top end), the shard
+//! count the policy picked, and the sharded-over-serial speedup. The
+//! summary keys are the largest fleet's numbers and come first, which is
+//! what `scripts/bench_gate.sh` gates on.
+//!
+//! `--jobs N` forces `ShardPolicy::Fixed { shards: N }`; the default is
+//! the shipping `ShardPolicy::Auto`. Whatever the partition, the sharded
+//! run must agree with the serial oracle — every pair of runs is
+//! compared on the wall-clock-free metrics projection, event count and
+//! PoF series bits before its numbers are reported, so the speedup is
+//! never measured against a fleet computing different answers.
+
+use sesame_bench::cli::{BenchArgs, JsonReport};
+use sesame_core::fleet::{FleetSpec, ShardPolicy};
+use sesame_core::orchestrator::{Platform, PlatformConfig};
+use std::time::Instant;
+
+/// Fleet sizes for the full curve and the CI smoke subset.
+const FULL_SIZES: [usize; 5] = [3, 10, 50, 200, 500];
+const SMOKE_SIZES: [usize; 3] = [3, 50, 200];
+
+fn config(uavs: usize, policy: ShardPolicy) -> PlatformConfig {
+    PlatformConfig {
+        // A fixed mid-size area: per-UAV strips shrink as the fleet
+        // grows, but the per-tick work (EDDI, monitors, ConSerts) is
+        // what the curve measures.
+        area_width_m: 400.0,
+        area_height_m: 300.0,
+        person_count: 5,
+        seed: 42,
+        fleet: FleetSpec::builder().uavs(uavs).shard_policy(policy).build(),
+        ..PlatformConfig::default()
+    }
+}
+
+struct RunResult {
+    shards: usize,
+    elapsed_ns: u128,
+    ticks: u64,
+    // Conformance digest: wall-clock-free metrics + events + PoF bits.
+    digest: (String, usize, Vec<u64>),
+}
+
+fn run(uavs: usize, policy: ShardPolicy, ticks: u64) -> RunResult {
+    let mut p = Platform::new(config(uavs, policy));
+    p.launch();
+    // Warmup outside the measurement: climb-out plus first-touch costs
+    // (route upload, cache priming).
+    for _ in 0..10 {
+        p.step();
+    }
+    let start = Instant::now();
+    for _ in 0..ticks {
+        p.step();
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+    let digest = (
+        p.metrics_snapshot().without_wall_clock().render_table(),
+        p.events().len(),
+        p.series().pof().iter().map(|(_, v)| v.to_bits()).collect(),
+    );
+    RunResult {
+        shards: p.shard_count(),
+        elapsed_ns,
+        ticks,
+        digest,
+    }
+}
+
+fn ticks_per_sec(r: &RunResult) -> f64 {
+    r.ticks as f64 / (r.elapsed_ns as f64 / 1e9)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let sizes: Vec<usize> = if args.smoke {
+        SMOKE_SIZES.to_vec()
+    } else {
+        FULL_SIZES.to_vec()
+    };
+    let ticks = if args.smoke { 30 } else { 60 };
+    let policy = match args.jobs {
+        Some(n) => ShardPolicy::Fixed { shards: n },
+        None => ShardPolicy::Auto,
+    };
+    eprintln!(
+        "fleetbench: sizes {sizes:?}, {ticks} timed ticks each, policy {policy:?}{}",
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    let mut last = None;
+    for &n in &sizes {
+        let serial = run(n, ShardPolicy::Serial, ticks);
+        let sharded = run(n, policy, ticks);
+        assert_eq!(
+            serial.digest, sharded.digest,
+            "sharded {n}-UAV run diverged from the serial oracle — \
+             semantics bug, refusing to report"
+        );
+        let tps = ticks_per_sec(&sharded);
+        let per_uav = tps * n as f64;
+        let speedup = ticks_per_sec(&sharded) / ticks_per_sec(&serial);
+        eprintln!(
+            "fleetbench: {n:>4} UAVs, {:>2} shard(s): {tps:>8.1} ticks/s \
+             ({per_uav:>9.0} UAV-ticks/s), speedup {speedup:.2}x",
+            sharded.shards
+        );
+        rows.push(format!(
+            "{{\"uavs\": {n}, \"shards\": {}, \"ticks_per_sec\": {tps:.1}, \
+             \"uav_ticks_per_sec\": {per_uav:.0}, \"serial_ticks_per_sec\": {:.1}, \
+             \"speedup\": {speedup:.2}}}",
+            sharded.shards,
+            ticks_per_sec(&serial)
+        ));
+        last = Some((n, per_uav, speedup, sharded.shards));
+    }
+    let (largest, per_uav, speedup, shards) = last.expect("at least one size");
+
+    // Summary keys (the largest fleet's numbers) precede the curve, so
+    // first-occurrence key extraction reads the headline values.
+    JsonReport::new("fleet_scale_sharded_tick")
+        .int("largest_fleet", largest as u64)
+        .int("shards", shards as u64)
+        .num("uav_ticks_per_sec", per_uav, 0)
+        .num("speedup", speedup, 2)
+        .int("ticks", ticks)
+        .raw("sizes", &format!("[\n    {}\n  ]", rows.join(",\n    ")))
+        .emit(args.json_path.as_deref());
+    eprintln!(
+        "fleetbench: {largest} UAVs at {per_uav:.0} UAV-ticks/s, \
+         sharded speedup {speedup:.2}x over serial"
+    );
+}

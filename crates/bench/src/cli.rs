@@ -1,0 +1,232 @@
+//! Shared CLI conventions and the JSON report schema for the bench
+//! binaries (`busbench`, `eddibench`, `chaos`, `experiments`,
+//! `fleetbench`).
+//!
+//! Every binary understands the same flags:
+//!
+//! * `--jobs N` / `-j N` / `SESAME_JOBS=N` — worker count for parallel
+//!   sweeps (default: the machine's available parallelism);
+//! * `--seeds N` — how many seeds a seed-sweeping bench runs;
+//! * `--json PATH` — additionally write the JSON report to `PATH`
+//!   (stdout always gets it, so `bench > FILE` keeps working);
+//! * `smoke` — the short CI-sized workload.
+//!
+//! JSON reports share one schema: a flat object whose first key is
+//! always `"schema_version"` followed by `"workload"`, then
+//! bench-specific fields in a stable order. `scripts/bench_gate.sh`
+//! extracts the *first* occurrence of each gated key, so summary
+//! numbers must precede any nested per-configuration objects —
+//! [`JsonReport`] preserves insertion order to make that easy to audit.
+
+use crate::parallel;
+use std::fmt::Write as _;
+
+/// Version of the bench JSON schema. Bump when a report's keys change
+/// meaning, so downstream tooling can tell old artifacts from new.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The flags shared by every bench binary, parsed off `argv` with the
+/// bench-specific positionals left in [`BenchArgs::rest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
+    /// `smoke` — run the short CI-sized workload.
+    pub smoke: bool,
+    /// Raw `--jobs N` value; resolve with [`BenchArgs::effective_jobs`].
+    pub jobs: Option<usize>,
+    /// `--seeds N` — seed count for sweeping benches.
+    pub seeds: Option<u64>,
+    /// `--json PATH` — duplicate the JSON report into `PATH`.
+    pub json_path: Option<String>,
+    /// Everything not consumed above, in original order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    pub fn parse() -> Self {
+        Self::from_vec(std::env::args().skip(1).collect())
+    }
+
+    /// Parses an explicit argument vector (for tests).
+    pub fn from_vec(mut args: Vec<String>) -> Self {
+        let jobs = parallel::take_jobs_arg(&mut args);
+        let seeds = take_value(&mut args, "--seeds");
+        let json_path = take_value(&mut args, "--json");
+        let smoke = take_flag(&mut args, "smoke");
+        BenchArgs {
+            smoke,
+            jobs,
+            seeds,
+            json_path,
+            rest: args,
+        }
+    }
+
+    /// Worker count: `--jobs`, else `SESAME_JOBS`, else the machine's
+    /// available parallelism. Always at least 1.
+    pub fn effective_jobs(&self) -> usize {
+        parallel::effective_jobs(self.jobs)
+    }
+}
+
+/// Strips `--flag V` / `--flag=V` from `args` and parses the value.
+fn take_value<T: std::str::FromStr>(args: &mut Vec<String>, flag: &str) -> Option<T> {
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1).and_then(|v| v.parse().ok()) {
+                value = Some(v);
+                args.drain(i..=i + 1);
+                continue;
+            }
+            args.remove(i);
+            continue;
+        }
+        if let Some(v) = args[i]
+            .strip_prefix(&format!("{flag}="))
+            .and_then(|v| v.parse().ok())
+        {
+            value = Some(v);
+            args.remove(i);
+            continue;
+        }
+        i += 1;
+    }
+    value
+}
+
+/// Strips a bare `name` flag from `args`, reporting whether it was there.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != name);
+    args.len() != before
+}
+
+/// An insertion-ordered JSON object builder for bench reports. The first
+/// two keys are always `schema_version` and `workload`; callers append
+/// summary numbers before nested per-configuration objects so
+/// first-occurrence key extraction (`scripts/bench_gate.sh`) reads the
+/// headline values.
+#[derive(Debug, Clone)]
+pub struct JsonReport {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Starts a report for `workload` with the schema header.
+    pub fn new(workload: &str) -> Self {
+        let mut r = JsonReport { fields: Vec::new() };
+        r.fields
+            .push(("schema_version".into(), SCHEMA_VERSION.to_string()));
+        r.fields
+            .push(("workload".into(), format!("\"{workload}\"")));
+        r
+    }
+
+    /// Appends an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Appends a float field rendered with `decimals` fraction digits.
+    pub fn num(mut self, key: &str, value: f64, decimals: usize) -> Self {
+        self.fields
+            .push((key.into(), format!("{value:.decimals$}")));
+        self
+    }
+
+    /// Appends a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.into(), format!("\"{value}\"")));
+        self
+    }
+
+    /// Appends pre-rendered JSON (a nested object or array) verbatim.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Renders the object: one field per line, two-space indent,
+    /// insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let comma = if i + 1 == self.fields.len() { "" } else { "," };
+            let _ = writeln!(out, "  \"{k}\": {v}{comma}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Prints the report to stdout and, when `--json PATH` was given,
+    /// also writes it to `PATH`.
+    pub fn emit(&self, json_path: Option<&str>) {
+        let rendered = self.render();
+        println!("{rendered}");
+        if let Some(path) = json_path {
+            if let Err(e) = std::fs::write(path, format!("{rendered}\n")) {
+                eprintln!("bench: could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vec_of(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn shared_flags_are_stripped_in_any_order() {
+        let a = BenchArgs::from_vec(vec_of(&[
+            "smoke", "--seeds", "12", "50", "--jobs=4", "--json", "out.json",
+        ]));
+        assert!(a.smoke);
+        assert_eq!(a.jobs, Some(4));
+        assert_eq!(a.seeds, Some(12));
+        assert_eq!(a.json_path.as_deref(), Some("out.json"));
+        assert_eq!(a.rest, vec!["50".to_string()]);
+    }
+
+    #[test]
+    fn absent_flags_default_sanely() {
+        let a = BenchArgs::from_vec(vec_of(&["replay"]));
+        assert!(!a.smoke);
+        assert_eq!(a.jobs, None);
+        assert_eq!(a.seeds, None);
+        assert_eq!(a.json_path, None);
+        assert_eq!(a.rest, vec!["replay".to_string()]);
+        assert!(a.effective_jobs() >= 1);
+    }
+
+    #[test]
+    fn equals_form_parses() {
+        let a = BenchArgs::from_vec(vec_of(&["--seeds=7", "--json=x.json"]));
+        assert_eq!(a.seeds, Some(7));
+        assert_eq!(a.json_path.as_deref(), Some("x.json"));
+    }
+
+    #[test]
+    fn report_schema_header_comes_first() {
+        let r = JsonReport::new("demo")
+            .num("speedup", 2.5, 2)
+            .int("rounds", 10)
+            .raw("nested", "{\"x\": 1}");
+        let s = r.render();
+        let schema_at = s.find("schema_version").unwrap();
+        let workload_at = s.find("workload").unwrap();
+        let speedup_at = s.find("speedup").unwrap();
+        assert!(schema_at < workload_at && workload_at < speedup_at);
+        assert!(s.starts_with("{\n"));
+        assert!(s.ends_with('}'));
+        assert!(s.contains("\"speedup\": 2.50,"));
+        assert!(s.contains("\"nested\": {\"x\": 1}\n}"));
+    }
+}

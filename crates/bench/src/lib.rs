@@ -1,11 +1,13 @@
 //! Shared helpers for the experiment harness and the Criterion benches.
 //!
-//! The real content of this crate lives in `src/bin/experiments.rs` (the
-//! binary that regenerates every §V figure/row of the paper), in
-//! [`parallel`] (the work-stealing deterministic seed-sweep executor
-//! both binaries use for `--jobs N`), and in `benches/` (one Criterion
+//! The real content of this crate lives in `src/bin/` (the binaries that
+//! regenerate every §V figure/row of the paper and the perf scorecards),
+//! in [`parallel`] (the work-stealing deterministic seed-sweep executor
+//! the binaries use for `--jobs N`), in [`cli`] (the shared flag
+//! conventions and JSON report schema), and in `benches/` (one Criterion
 //! bench per figure plus the ablations listed in DESIGN.md).
 
+pub mod cli;
 pub mod parallel;
 
 use sesame_core::experiments::Fig6Result;

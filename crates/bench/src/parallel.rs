@@ -38,8 +38,6 @@ use sesame_core::experiments::{
     self, fig6_reduce, fig6_scenario, Fig6Result, RobustnessResult, FIG6_LEGS,
 };
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// How many workers a sweep should use, resolved from (in priority
 /// order) an explicit `--jobs N` CLI value, the `SESAME_JOBS`
@@ -102,41 +100,16 @@ pub fn take_jobs_arg(args: &mut Vec<String>) -> Option<usize> {
 /// A panic inside `f` propagates out of the scope after the remaining
 /// workers drain (the campaign runners `catch_unwind` internally, so a
 /// chaotic seed reports a violation instead of panicking the sweep).
+///
+/// The pool itself lives in [`sesame_core::shard`] — the same executor
+/// that drives the fleet-sharded platform tick — so bench sweeps and the
+/// orchestrator share one determinism-audited implementation.
 pub fn run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let jobs = jobs.clamp(1, count.max(1));
-    if jobs <= 1 {
-        return (0..count).map(f).collect();
-    }
-    // One slot per item. A Mutex<Option<T>> per slot keeps this std-only
-    // and safe; it is uncontended (each slot is locked exactly once) so
-    // the cost is a few atomic ops per *item*, noise against a full
-    // scenario run.
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    break;
-                }
-                let result = f(idx);
-                *slots[idx].lock().unwrap() = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .unwrap()
-                .expect("scope joined, so every claimed slot was filled")
-        })
-        .collect()
+    sesame_core::shard::run_indexed(jobs, count, f)
 }
 
 /// Sweeps `f` over `seeds` on `jobs` workers and reduces into a
@@ -183,7 +156,7 @@ pub fn fig5_robustness(seeds: &[u64], jobs: usize) -> RobustnessResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn results_are_in_index_order_at_any_worker_count() {

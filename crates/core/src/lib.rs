@@ -18,6 +18,11 @@
 //!   replaced by headless snapshots — see DESIGN.md);
 //! * [`orchestrator`] — the closed loop: simulate → sense → publish →
 //!   monitor → certify → decide → actuate;
+//! * [`fleet`] — fleet composition ([`fleet::FleetSpec`]: per-profile
+//!   UAV groups) and the shard policy that partitions the tick;
+//! * [`shard`] — the deterministic std-only worker pool the sharded
+//!   tick and the bench sweeps share (merge in item order, never
+//!   completion order);
 //! * [`scenario`] — declarative scenario construction (SESAME on/off,
 //!   fault, communication-fault and attack schedules);
 //! * [`supervision`] — the per-UAV health state machine
@@ -42,14 +47,17 @@ pub mod chaos;
 pub mod coengineering;
 pub mod eddi;
 pub mod experiments;
+pub mod fleet;
 pub mod orchestrator;
 pub mod platform;
 pub mod reference;
 pub mod scenario;
+pub mod shard;
 pub mod supervision;
 
 pub use chaos::{CampaignConfig, CampaignReport, ChaosCampaign};
 pub use eddi::{EddiCacheStats, EddiOutputs, UavEddiRuntime};
+pub use fleet::{FleetSpec, ShardPolicy, UavProfile};
 pub use orchestrator::{Platform, PlatformConfig};
 pub use reference::ReferenceEddiRuntime;
 pub use scenario::{Scenario, ScenarioBuilder, ScenarioOutcome};

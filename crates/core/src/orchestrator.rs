@@ -14,7 +14,8 @@
 //! "abort on first symptom" policy of §V-A and attacks are not handled at
 //! all.
 
-use crate::eddi::{EddiCacheStats, EddiOutputs, UavEddiRuntime};
+use crate::eddi::{EddiCacheStats, EddiOutputs, TickPlan, UavEddiRuntime};
+use crate::fleet::{shard_ranges, FleetSpec, ResolvedUavProfile};
 use crate::platform::database::DatabaseManager;
 use crate::platform::gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
 use crate::platform::task_manager::TaskManager;
@@ -38,6 +39,7 @@ use sesame_obs::span::phase;
 use sesame_obs::{MetricsRegistry, MetricsSnapshot, TickSpan, TraceEvent, TraceLog};
 use sesame_safedrones::monitor::SafeDronesConfig;
 use sesame_safedrones::monitor::SafeDronesMonitor;
+use sesame_safedrones::{SolveKey, MARKOV_SLOTS};
 use sesame_sar::accuracy::{AltitudeDecision, AltitudePolicy};
 use sesame_security::catalog as attack_catalog;
 use sesame_security::eddi::SecurityEddi;
@@ -55,6 +57,7 @@ use sesame_uav_sim::world::World;
 use sesame_vision::detector::PersonDetector;
 use sesame_vision::features::SceneCondition;
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// Platform configuration.
@@ -63,8 +66,10 @@ pub struct PlatformConfig {
     /// Whether the SESAME technologies run (monitors, ConSerts, IDS,
     /// signing, CL). `false` = the paper's baseline.
     pub sesame_enabled: bool,
-    /// Fleet size (the paper demonstrates three).
-    pub uav_count: usize,
+    /// Fleet composition and shard policy (the paper demonstrates three
+    /// uniform UAVs; the platform scales to hundreds — see
+    /// [`crate::fleet`]).
+    pub fleet: FleetSpec,
     /// Initial scan altitude, metres.
     pub scan_altitude_m: f64,
     /// Whether the §V-B altitude-adaptation policy is active.
@@ -104,7 +109,7 @@ impl Default for PlatformConfig {
     fn default() -> Self {
         PlatformConfig {
             sesame_enabled: true,
-            uav_count: 3,
+            fleet: FleetSpec::default(),
             scan_altitude_m: 30.0,
             altitude_adaptation: false,
             safedrones: SafeDronesConfig::default(),
@@ -130,13 +135,23 @@ impl PlatformConfig {
             config: PlatformConfig::default(),
         }
     }
+
+    /// The platform-wide per-UAV defaults a [`crate::fleet::UavProfile`]
+    /// inherits where it leaves fields unset.
+    pub fn fleet_defaults(&self) -> ResolvedUavProfile {
+        ResolvedUavProfile {
+            motor_count: self.motor_count,
+            tolerated_motor_failures: self.tolerated_motor_failures,
+            battery_hover_drain: self.battery_hover_drain,
+        }
+    }
 }
 
 /// A [`PlatformConfig`] that failed validation in
 /// [`PlatformConfigBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
-    /// `uav_count` was zero — the platform needs a fleet.
+    /// The fleet spec resolved to zero UAVs — the platform needs a fleet.
     NoUavs,
     /// `scan_altitude_m` was not strictly positive.
     NonPositiveAltitude,
@@ -153,7 +168,7 @@ pub enum ConfigError {
 impl std::fmt::Display for ConfigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConfigError::NoUavs => write!(f, "uav_count must be at least 1"),
+            ConfigError::NoUavs => write!(f, "the fleet must contain at least 1 UAV"),
             ConfigError::NonPositiveAltitude => {
                 write!(f, "scan_altitude_m must be strictly positive")
             }
@@ -184,15 +199,16 @@ impl std::error::Error for ConfigError {}
 /// # Examples
 ///
 /// ```
+/// use sesame_core::fleet::FleetSpec;
 /// use sesame_core::orchestrator::PlatformConfig;
 ///
 /// let cfg = PlatformConfig::builder()
-///     .uav_count(3)
+///     .fleet(FleetSpec::uniform(3))
 ///     .scan_altitude_m(25.0)
 ///     .seed(7)
 ///     .build()
 ///     .expect("valid configuration");
-/// assert_eq!(cfg.uav_count, 3);
+/// assert_eq!(cfg.fleet.total(), 3);
 /// ```
 #[derive(Debug, Clone)]
 pub struct PlatformConfigBuilder {
@@ -206,10 +222,16 @@ impl PlatformConfigBuilder {
         self
     }
 
-    /// Sets the fleet size.
-    pub fn uav_count(mut self, n: usize) -> Self {
-        self.config.uav_count = n;
+    /// Sets the fleet composition and shard policy.
+    pub fn fleet(mut self, spec: FleetSpec) -> Self {
+        self.config.fleet = spec;
         self
+    }
+
+    /// Sets a uniform fleet of `n` default-profile UAVs.
+    #[deprecated(since = "0.3.0", note = "use fleet(FleetSpec::uniform(n))")]
+    pub fn uav_count(self, n: usize) -> Self {
+        self.fleet(FleetSpec::uniform(n))
     }
 
     /// Sets the initial scan altitude in metres.
@@ -291,7 +313,7 @@ impl PlatformConfigBuilder {
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<PlatformConfig, ConfigError> {
         let c = &self.config;
-        if c.uav_count == 0 {
+        if c.fleet.total() == 0 {
             return Err(ConfigError::NoUavs);
         }
         if c.scan_altitude_m <= 0.0 || !c.scan_altitude_m.is_finite() {
@@ -312,6 +334,17 @@ impl PlatformConfigBuilder {
         }
         if c.tolerated_motor_failures >= c.motor_count {
             return Err(ConfigError::TooManyToleratedFailures);
+        }
+        // Per-group profiles, resolved against the platform defaults
+        // validated above, must describe buildable airframes too.
+        for group in c.fleet.groups() {
+            let p = group.profile.resolve(&c.fleet_defaults());
+            if ![4, 6, 8].contains(&p.motor_count) {
+                return Err(ConfigError::UnsupportedMotorCount);
+            }
+            if p.tolerated_motor_failures >= p.motor_count {
+                return Err(ConfigError::TooManyToleratedFailures);
+            }
         }
         Ok(self.config)
     }
@@ -349,6 +382,37 @@ impl EddiEngine {
         match self {
             EddiEngine::Fast(rt) => rt.tick(telemetry, scene),
             EddiEngine::Reference(rt) => rt.tick(telemetry, scene),
+        }
+    }
+
+    // The split tick (ingest → batched cross-UAV solve → finish) only
+    // exists on the fast path; the shard plan in `Platform::new` never
+    // selects sharded execution for reference engines.
+
+    fn begin_tick(&mut self, telemetry: &UavTelemetry) -> TickPlan {
+        match self {
+            EddiEngine::Fast(rt) => rt.begin_tick(telemetry),
+            EddiEngine::Reference(_) => unreachable!("sharded ticks require the fast path"),
+        }
+    }
+
+    fn solve_dist(&self, slot: usize, dt: SimDuration) -> Vec<f64> {
+        match self {
+            EddiEngine::Fast(rt) => rt.solve_dist(slot, dt),
+            EddiEngine::Reference(_) => unreachable!("sharded ticks require the fast path"),
+        }
+    }
+
+    fn finish_tick(
+        &mut self,
+        telemetry: &UavTelemetry,
+        scene: &SceneCondition,
+        plan: TickPlan,
+        primes: [Option<&[f64]>; MARKOV_SLOTS],
+    ) -> EddiOutputs {
+        match self {
+            EddiEngine::Fast(rt) => rt.finish_tick(telemetry, scene, plan, primes),
+            EddiEngine::Reference(_) => unreachable!("sharded ticks require the fast path"),
         }
     }
 
@@ -422,6 +486,10 @@ impl ConsertRuntime {
         }
     }
 }
+
+/// One shard's finish-tick work item: fleet-index offset of the shard,
+/// its disjoint `&mut` window of the fleet, and the per-UAV tick plans.
+type ShardWork<'a> = (usize, &'a mut [UavRt], Vec<Option<TickPlan>>);
 
 struct UavRt {
     handle: UavHandle,
@@ -547,6 +615,11 @@ pub struct Platform {
     // and bus/RNG state must not depend on hash randomization.
     pending_cmds: BTreeMap<(String, u64), PendingCommand>,
     next_heartbeat_at: SimTime,
+    /// Contiguous fleet partition for the sharded tick; a single range
+    /// selects the serial path. Resolved once in [`Platform::new`] from
+    /// the fleet's shard policy (sharding requires the fast-path EDDI's
+    /// split tick, so reference engines always run serial).
+    shards: Vec<Range<usize>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -574,8 +647,10 @@ impl Platform {
         let mut sim = Simulator::new(world, config.seed);
         sim.world_mut().set_visibility(config.visibility);
         let mut manager = UavManager::new();
-        let mut uavs = Vec::with_capacity(config.uav_count);
-        let mut cmd_subs = Vec::with_capacity(config.uav_count);
+        let n = config.fleet.total();
+        let profiles = config.fleet.resolved(&config.fleet_defaults());
+        let mut uavs = Vec::with_capacity(n);
+        let mut cmd_subs = Vec::with_capacity(n);
 
         let mut bus = MessageBus::seeded(config.seed ^ 0xB05);
         let ids_tap = bus.subscribe("#");
@@ -601,11 +676,11 @@ impl Platform {
             Vec::new()
         };
 
-        for i in 0..config.uav_count {
+        for i in 0..n {
             let handle = sim.add_uav(UavConfig {
-                hover_drain_per_sec: config.battery_hover_drain,
-                motor_count: config.motor_count,
-                tolerated_motor_failures: config.tolerated_motor_failures,
+                hover_drain_per_sec: profiles[i].battery_hover_drain,
+                motor_count: profiles[i].motor_count,
+                tolerated_motor_failures: profiles[i].tolerated_motor_failures,
                 ..UavConfig::default()
             });
             let id = handle.id();
@@ -668,15 +743,22 @@ impl Platform {
             }
         }
 
-        let trajectories = vec![Vec::new(); config.uav_count];
+        let trajectories = vec![Vec::new(); n];
         let current_scan_alt = config.scan_altitude_m;
-        let geofences = (0..config.uav_count)
+        let geofences = (0..n)
             .map(|_| GeofenceMonitor::new(Geofence::around(sim.world(), 40.0, 150.0)))
             .collect();
-        let separation_hot = vec![false; config.uav_count];
-        let supervisors = (0..config.uav_count)
-            .map(|_| UavSupervisor::new())
-            .collect();
+        let separation_hot = vec![false; n];
+        let supervisors = (0..n).map(|_| UavSupervisor::new()).collect();
+        // Sharding needs the fast path's split tick (begin → batched
+        // solve → finish); any other configuration runs the serial
+        // oracle. Either way the outputs are bit-identical.
+        let shard_count = if config.sesame_enabled && config.eddi_fast_path {
+            config.fleet.shard_policy().shard_count(n)
+        } else {
+            1
+        };
+        let shards = shard_ranges(n, shard_count);
         Platform {
             config,
             sim,
@@ -715,6 +797,7 @@ impl Platform {
             comm_faults: CommFaultPlane::new(),
             pending_cmds: BTreeMap::new(),
             next_heartbeat_at: SimTime::ZERO,
+            shards,
         }
     }
 
@@ -779,40 +862,9 @@ impl Platform {
 
     /// Read-only view of every per-run series and milestone the
     /// platform records: PoF, uncertainty, trajectories, attack
-    /// detection and the CL landing outcome. Replaces the five
-    /// individual getters, which remain as deprecated shims.
+    /// detection and the CL landing outcome.
     pub fn series(&self) -> SeriesView<'_> {
         SeriesView { platform: self }
-    }
-
-    /// PoF samples of UAV 1 (one per second).
-    #[deprecated(since = "0.2.0", note = "use Platform::series().pof()")]
-    pub fn pof_series(&self) -> &[Sample<f64>] {
-        &self.pof_series
-    }
-
-    /// Combined-uncertainty samples of UAV 1 (one per second).
-    #[deprecated(since = "0.2.0", note = "use Platform::series().uncertainty()")]
-    pub fn uncertainty_series(&self) -> &[Sample<f64>] {
-        &self.uncertainty_series
-    }
-
-    /// True-position samples per UAV (one per second).
-    #[deprecated(since = "0.2.0", note = "use Platform::series().trajectory(i)")]
-    pub fn trajectory(&self, uav_index: usize) -> &[Sample<GeoPoint>] {
-        &self.trajectories[uav_index]
-    }
-
-    /// When the Security EDDI first reached an attack-tree root.
-    #[deprecated(since = "0.2.0", note = "use Platform::series().attack_detected_at()")]
-    pub fn attack_detected_at(&self) -> Option<SimTime> {
-        self.attack_detected_at
-    }
-
-    /// The CL landing outcome, when one happened.
-    #[deprecated(since = "0.2.0", note = "use Platform::series().cl_outcome()")]
-    pub fn cl_outcome(&self) -> Option<ClLandingOutcome> {
-        self.cl_outcome
     }
 
     /// The live metrics registry: counters, gauges and the per-phase
@@ -953,241 +1005,24 @@ impl Platform {
             let tel = self.sim.telemetry(handle);
             telemetries.push(tel);
         }
-        for i in 0..n {
-            let tel = telemetries[i].clone();
-            let id = tel.uav;
-
-            // Telemetry onto the bus and into the database.
-            self.publish(
-                &format!("node:{id}"),
-                format!("/{id}/telemetry"),
-                Payload::Telemetry(tel.clone()),
-            );
-            self.db
-                .store_location(id, now, tel.gps.position, tel.battery_soc);
-            self.manager.update_battery(id, tel.battery_soc);
-
-            // Route upload once cruising altitude is reached.
-            if !self.uavs[i].route_uploaded
-                && tel.mode == FlightMode::Mission
-                && tel.true_position.alt_m > self.config.scan_altitude_m * 0.9
-            {
-                self.uavs[i].route_uploaded = true;
-                let route = self.tasks.remaining_route(id);
-                self.upload_route(i, route);
-            }
-
-            // Task progress uses the *reported* position — spoofing
-            // corrupts it, which is the point of Fig. 6.
-            if tel.mode == FlightMode::Mission {
-                self.tasks.record_position(id, &tel.gps.position, 12.0);
-            }
-
-            // Person detection while surveying.
-            if tel.mode == FlightMode::Mission && tel.true_position.alt_m > 5.0 {
-                let people = self.sim.visible_persons(handle_of(&self.uavs, i));
-                self.uavs[i].detection_attempts += people.len() as u64;
-                let dets =
-                    self.uavs[i]
-                        .detector
-                        .detect_frame(&tel.true_position, visibility, &people);
-                for det in dets {
-                    if det.true_positive {
-                        self.uavs[i].detection_hits += 1;
-                    } else {
-                        self.uavs[i].false_positives += 1;
-                    }
-                    let new = self.tasks.mission_mut().report_person(
-                        det.position,
-                        id,
-                        det.confidence,
-                        now,
-                    );
-                    if new {
-                        self.events.push(
-                            now,
-                            SystemEvent::PersonDetected {
-                                uav: id,
-                                confidence: det.confidence,
-                                true_positive: det.true_positive,
-                            },
-                        );
-                    }
-                }
-            }
-
-            // Availability accounting.
-            if tel.mode.is_productive() && !self.sim.is_crashed(handle_of(&self.uavs, i)) {
-                self.uavs[i].productive_ticks += 1;
-            }
-
-            // EDDI tick (SESAME only).
-            if self.uavs[i].eddi.is_some() {
-                span.enter(phase::EDDI_EVAL);
-                self.metrics.inc(&format!("eddi.evals.uav{i}"));
-                let scene = SceneCondition {
-                    altitude_m: tel.true_position.alt_m,
-                    visibility,
-                };
-                let remaining = self.estimated_remaining_mission(id);
-                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
-                eddi.set_remaining_mission(remaining);
-                let out = eddi.tick(&tel, &scene);
-                // The EDDI-side spoofing detector acts as the "additional
-                // sensor" of §III-B: its finding feeds the GPS-spoofing
-                // attack tree through the alert broker.
-                if out.spoof.spoofed && !self.uavs[i].spoof_alerted {
-                    self.uavs[i].spoof_alerted = true;
-                    self.metrics.inc("ids.alerts");
-                    self.metrics.inc("ids.alerts.rule.gps_spoofing_suspected");
-                    self.trace.push(
-                        now.as_millis(),
-                        TraceEvent::IdsAlert {
-                            detector: "eddi_spoof".into(),
-                            detail: format!(
-                                "{id}: innovation {:.1} m exceeds gate {:.1} m",
-                                out.spoof.innovation_m, out.spoof.gate_m
-                            ),
-                        },
-                    );
-                    for rule in ["gps_anomaly", "position_jump"] {
-                        self.broker.publish(
-                            now,
-                            "eddi",
-                            format!("ids/alerts/{id}"),
-                            Payload::Alert {
-                                rule: rule.into(),
-                                subject: id,
-                                detail: format!(
-                                    "innovation {:.1} m exceeds gate {:.1} m",
-                                    out.spoof.innovation_m, out.spoof.gate_m
-                                ),
-                            },
-                        );
-                    }
-                    self.events.push(
-                        now,
-                        SystemEvent::SecurityAlert {
-                            uav: id,
-                            rule: "gps_spoofing_suspected".into(),
-                            severity: Severity::Critical,
-                        },
-                    );
-                }
-                if i == 0 && second_boundary {
-                    self.pof_series
-                        .push((now.as_secs_f64(), out.reliability.pof));
-                    self.uncertainty_series
-                        .push((now.as_secs_f64(), out.combined_uncertainty));
-                }
-                // §V-B altitude adaptation.
-                if self.config.altitude_adaptation
-                    && tel.mode == FlightMode::Mission
-                    && !self.uavs[i].cl_landing
-                    // Only adapt from a steady scan at the commanded
-                    // altitude — transients during climb/descent would
-                    // trigger the policy on mixed-altitude windows.
-                    && (tel.true_position.alt_m - self.current_scan_alt).abs() < 5.0
-                {
-                    match self
-                        .altitude_policy
-                        .decide(tel.true_position.alt_m, out.combined_uncertainty)
-                    {
-                        AltitudeDecision::DescendTo(alt) | AltitudeDecision::ClimbTo(alt) => {
-                            if (alt - self.current_scan_alt).abs() > 1.0 {
-                                self.current_scan_alt = alt;
-                                self.events.push(
-                                    now,
-                                    SystemEvent::MonitorFinding {
-                                        uav: id,
-                                        monitor: "sinadra".into(),
-                                        severity: Severity::Warning,
-                                        detail: format!("altitude adaptation -> {alt} m"),
-                                    },
-                                );
-                            }
-                            self.sim.command(
-                                handle_of(&self.uavs, i),
-                                FlightCommand::SetMissionAltitude(alt),
-                            );
-                        }
-                        AltitudeDecision::Maintain => {}
-                    }
-                }
-            }
-            span.enter(phase::SENSE_PUBLISH);
-
-            // Trajectory sampling.
-            if second_boundary {
-                self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
-            }
+        // A multi-shard plan runs the data-parallel tick (serial
+        // pre-pass, fleet-wide batched Markov solve, per-shard finish,
+        // serial merge); a single shard runs the serial oracle. Both are
+        // bit-identical — the fleet_sharding conformance suite holds
+        // them together.
+        let sharded = self.shards.len() > 1;
+        if sharded {
+            self.step_uavs_sharded(&telemetries, now, second_boundary, visibility, &mut span);
+        } else {
+            self.step_uavs_serial(&telemetries, now, second_boundary, visibility, &mut span);
         }
 
         // ---- Airspace monitors: geofence and separation risk ----
         span.enter(phase::AIRSPACE);
-        for i in 0..n {
-            let tel = &telemetries[i];
-            if let Some(status) = self.geofences[i].update(&tel.true_position) {
-                let severity = match status {
-                    FenceStatus::Inside => Severity::Info,
-                    FenceStatus::Margin => Severity::Warning,
-                    FenceStatus::Breach => Severity::Critical,
-                };
-                self.events.push(
-                    now,
-                    SystemEvent::MonitorFinding {
-                        uav: tel.uav,
-                        monitor: "geofence".into(),
-                        severity,
-                        detail: format!("fence status -> {status:?}"),
-                    },
-                );
-            }
-            if self.config.sesame_enabled && tel.mode == FlightMode::Mission {
-                // Nearest airborne teammate and closing geometry.
-                let mut nearest = f64::INFINITY;
-                let mut converging = false;
-                for j in 0..n {
-                    if j == i || !telemetries[j].mode.is_airborne() {
-                        continue;
-                    }
-                    let d = tel
-                        .true_position
-                        .distance_3d_m(&telemetries[j].true_position);
-                    if d < nearest {
-                        nearest = d;
-                        // Converging when the relative velocity points at
-                        // the teammate.
-                        let rel = telemetries[j].true_position.to_enu(&tel.true_position);
-                        let rel_v = tel.velocity - telemetries[j].velocity;
-                        converging = rel_v.dot(&rel.into()) > 0.0;
-                    }
-                }
-                if nearest.is_finite() {
-                    let assessment = self.separation.assess(&SeparationInputs {
-                        nearest_range_m: nearest,
-                        converging,
-                        detection_confidence: 0.9,
-                    });
-                    if assessment.hold_advised && !self.separation_hot[i] {
-                        self.separation_hot[i] = true;
-                        self.events.push(
-                            now,
-                            SystemEvent::MonitorFinding {
-                                uav: tel.uav,
-                                monitor: "separation".into(),
-                                severity: Severity::Warning,
-                                detail: format!(
-                                    "conflict probability {:.2} at {nearest:.0} m",
-                                    assessment.conflict_prob
-                                ),
-                            },
-                        );
-                    } else if !assessment.hold_advised {
-                        self.separation_hot[i] = false;
-                    }
-                }
-            }
+        if sharded {
+            self.step_airspace_sharded(&telemetries, now);
+        } else {
+            self.step_airspace_serial(&telemetries, now);
         }
 
         // ---- Bus delivery, IDS, command application ----
@@ -1340,7 +1175,11 @@ impl Platform {
         // ---- Decisions ----
         if self.config.sesame_enabled {
             span.enter(phase::CONSERT_COMPOSE);
-            self.step_conserts(&telemetries, now, &mut span);
+            if sharded {
+                self.step_conserts_sharded(&telemetries, now, &mut span);
+            } else {
+                self.step_conserts(&telemetries, now, &mut span);
+            }
         } else {
             span.enter(phase::DECIDE);
             self.step_baseline(&telemetries, now);
@@ -1450,6 +1289,521 @@ impl Platform {
                 );
                 Vec::new()
             }
+        }
+    }
+
+    /// Everything one UAV's tick does *before* the EDDI evaluation:
+    /// telemetry publish, database append, battery report, route upload,
+    /// coverage progress, person detection and availability accounting.
+    /// Called in fleet order on both paths, so the bus sequence (and
+    /// with it the loss-RNG stream), the coverage state and the detector
+    /// RNGs evolve identically. Person-detection events are buffered
+    /// into `det_events` instead of pushed, letting the sharded path
+    /// emit them at the exact log position the serial path uses.
+    fn uav_pre_pass(
+        &mut self,
+        i: usize,
+        tel: &UavTelemetry,
+        now: SimTime,
+        visibility: f64,
+        det_events: &mut Vec<SystemEvent>,
+    ) {
+        let id = tel.uav;
+
+        // Telemetry onto the bus and into the database.
+        self.publish(
+            &format!("node:{id}"),
+            format!("/{id}/telemetry"),
+            Payload::Telemetry(tel.clone()),
+        );
+        self.db
+            .store_location(id, now, tel.gps.position, tel.battery_soc);
+        self.manager.update_battery(id, tel.battery_soc);
+
+        // Route upload once cruising altitude is reached.
+        if !self.uavs[i].route_uploaded
+            && tel.mode == FlightMode::Mission
+            && tel.true_position.alt_m > self.config.scan_altitude_m * 0.9
+        {
+            self.uavs[i].route_uploaded = true;
+            let route = self.tasks.remaining_route(id);
+            self.upload_route(i, route);
+        }
+
+        // Task progress uses the *reported* position — spoofing
+        // corrupts it, which is the point of Fig. 6.
+        if tel.mode == FlightMode::Mission {
+            self.tasks.record_position(id, &tel.gps.position, 12.0);
+        }
+
+        // Person detection while surveying.
+        if tel.mode == FlightMode::Mission && tel.true_position.alt_m > 5.0 {
+            let people = self.sim.visible_persons(handle_of(&self.uavs, i));
+            self.uavs[i].detection_attempts += people.len() as u64;
+            let dets = self.uavs[i]
+                .detector
+                .detect_frame(&tel.true_position, visibility, &people);
+            for det in dets {
+                if det.true_positive {
+                    self.uavs[i].detection_hits += 1;
+                } else {
+                    self.uavs[i].false_positives += 1;
+                }
+                let new =
+                    self.tasks
+                        .mission_mut()
+                        .report_person(det.position, id, det.confidence, now);
+                if new {
+                    det_events.push(SystemEvent::PersonDetected {
+                        uav: id,
+                        confidence: det.confidence,
+                        true_positive: det.true_positive,
+                    });
+                }
+            }
+        }
+
+        // Availability accounting.
+        if tel.mode.is_productive() && !self.sim.is_crashed(handle_of(&self.uavs, i)) {
+            self.uavs[i].productive_ticks += 1;
+        }
+    }
+
+    /// The serial tail of one UAV's EDDI evaluation: spoofing-alert
+    /// fan-out, the per-second PoF/uncertainty series of UAV 1 and the
+    /// §V-B altitude adaptation. Runs on the caller's thread in fleet
+    /// order on both paths (the adaptation reads *and writes* the shared
+    /// scan altitude, so its cross-UAV sequencing is load-bearing).
+    fn apply_eddi_outputs(
+        &mut self,
+        i: usize,
+        tel: &UavTelemetry,
+        out: &EddiOutputs,
+        now: SimTime,
+        second_boundary: bool,
+    ) {
+        let id = tel.uav;
+        // The EDDI-side spoofing detector acts as the "additional
+        // sensor" of §III-B: its finding feeds the GPS-spoofing
+        // attack tree through the alert broker.
+        if out.spoof.spoofed && !self.uavs[i].spoof_alerted {
+            self.uavs[i].spoof_alerted = true;
+            self.metrics.inc("ids.alerts");
+            self.metrics.inc("ids.alerts.rule.gps_spoofing_suspected");
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::IdsAlert {
+                    detector: "eddi_spoof".into(),
+                    detail: format!(
+                        "{id}: innovation {:.1} m exceeds gate {:.1} m",
+                        out.spoof.innovation_m, out.spoof.gate_m
+                    ),
+                },
+            );
+            for rule in ["gps_anomaly", "position_jump"] {
+                self.broker.publish(
+                    now,
+                    "eddi",
+                    format!("ids/alerts/{id}"),
+                    Payload::Alert {
+                        rule: rule.into(),
+                        subject: id,
+                        detail: format!(
+                            "innovation {:.1} m exceeds gate {:.1} m",
+                            out.spoof.innovation_m, out.spoof.gate_m
+                        ),
+                    },
+                );
+            }
+            self.events.push(
+                now,
+                SystemEvent::SecurityAlert {
+                    uav: id,
+                    rule: "gps_spoofing_suspected".into(),
+                    severity: Severity::Critical,
+                },
+            );
+        }
+        if i == 0 && second_boundary {
+            self.pof_series
+                .push((now.as_secs_f64(), out.reliability.pof));
+            self.uncertainty_series
+                .push((now.as_secs_f64(), out.combined_uncertainty));
+        }
+        // §V-B altitude adaptation.
+        if self.config.altitude_adaptation
+            && tel.mode == FlightMode::Mission
+            && !self.uavs[i].cl_landing
+            // Only adapt from a steady scan at the commanded
+            // altitude — transients during climb/descent would
+            // trigger the policy on mixed-altitude windows.
+            && (tel.true_position.alt_m - self.current_scan_alt).abs() < 5.0
+        {
+            match self
+                .altitude_policy
+                .decide(tel.true_position.alt_m, out.combined_uncertainty)
+            {
+                AltitudeDecision::DescendTo(alt) | AltitudeDecision::ClimbTo(alt) => {
+                    if (alt - self.current_scan_alt).abs() > 1.0 {
+                        self.current_scan_alt = alt;
+                        self.events.push(
+                            now,
+                            SystemEvent::MonitorFinding {
+                                uav: id,
+                                monitor: "sinadra".into(),
+                                severity: Severity::Warning,
+                                detail: format!("altitude adaptation -> {alt} m"),
+                            },
+                        );
+                    }
+                    self.sim.command(
+                        handle_of(&self.uavs, i),
+                        FlightCommand::SetMissionAltitude(alt),
+                    );
+                }
+                AltitudeDecision::Maintain => {}
+            }
+        }
+    }
+
+    /// The serial per-UAV tick — the oracle every shard plan must
+    /// reproduce bit for bit.
+    fn step_uavs_serial(
+        &mut self,
+        telemetries: &[UavTelemetry],
+        now: SimTime,
+        second_boundary: bool,
+        visibility: f64,
+        span: &mut TickSpan,
+    ) {
+        let n = self.uavs.len();
+        let mut det_events = Vec::new();
+        for i in 0..n {
+            let tel = telemetries[i].clone();
+            let id = tel.uav;
+            self.uav_pre_pass(i, &tel, now, visibility, &mut det_events);
+            for ev in det_events.drain(..) {
+                self.events.push(now, ev);
+            }
+
+            // EDDI tick (SESAME only).
+            if self.uavs[i].eddi.is_some() {
+                span.enter(phase::EDDI_EVAL);
+                self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                let scene = SceneCondition {
+                    altitude_m: tel.true_position.alt_m,
+                    visibility,
+                };
+                let remaining = self.estimated_remaining_mission(id);
+                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
+                eddi.set_remaining_mission(remaining);
+                let out = eddi.tick(&tel, &scene);
+                self.apply_eddi_outputs(i, &tel, &out, now, second_boundary);
+            }
+            span.enter(phase::SENSE_PUBLISH);
+
+            // Trajectory sampling.
+            if second_boundary {
+                self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
+            }
+        }
+    }
+
+    /// The sharded per-UAV tick. Five sub-phases:
+    ///
+    /// 1. **Pre-pass** (serial, fleet order): [`Self::uav_pre_pass`]
+    ///    plus the EDDI ingest ([`UavEddiRuntime::begin_tick`]), which
+    ///    fixes each UAV's Markov solve keys for this tick.
+    /// 2. **Classify** (serial): group the fleet's `3 n` pending CTMC
+    ///    solves into classes of identical [`SolveKey`]s, in fleet
+    ///    order. UAVs sharing a profile share rate matrices, so a
+    ///    500-UAV fleet typically needs a handful of distinct solves.
+    /// 3. **Batched solve** (parallel): one pure uniformization solve
+    ///    per class.
+    /// 4. **Finish** (parallel over disjoint shard slices):
+    ///    [`UavEddiRuntime::finish_tick`] adopts the primed
+    ///    distributions and runs SafeML / DeepKnowledge / SINADRA / the
+    ///    spoof gate — all per-UAV state.
+    /// 5. **Merge** (serial, fleet order): buffered detection events,
+    ///    spoof alerts, series samples and the altitude adaptation are
+    ///    applied in exactly the serial order.
+    fn step_uavs_sharded(
+        &mut self,
+        telemetries: &[UavTelemetry],
+        now: SimTime,
+        second_boundary: bool,
+        visibility: f64,
+        span: &mut TickSpan,
+    ) {
+        let n = self.uavs.len();
+        let mut det_events: Vec<Vec<SystemEvent>> = (0..n).map(|_| Vec::new()).collect();
+        let mut plans: Vec<Option<TickPlan>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let tel = telemetries[i].clone();
+            self.uav_pre_pass(i, &tel, now, visibility, &mut det_events[i]);
+            let plan = if self.uavs[i].eddi.is_some() {
+                self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                let remaining = self.estimated_remaining_mission(tel.uav);
+                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
+                eddi.set_remaining_mission(remaining);
+                Some(eddi.begin_tick(&tel))
+            } else {
+                None
+            };
+            plans.push(plan);
+        }
+
+        span.enter(phase::EDDI_EVAL);
+        let mut class_of: Vec<[Option<usize>; MARKOV_SLOTS]> = vec![[None; MARKOV_SLOTS]; n];
+        let mut classes: Vec<(usize, usize, SimDuration)> = Vec::new();
+        let mut class_index: HashMap<(usize, SolveKey), usize> = HashMap::new();
+        for i in 0..n {
+            let Some(plan) = &plans[i] else { continue };
+            let Some(keys) = plan.solve_keys() else {
+                continue;
+            };
+            for slot in 0..MARKOV_SLOTS {
+                let cid = *class_index
+                    .entry((slot, keys[slot].clone()))
+                    .or_insert_with(|| {
+                        classes.push((i, slot, plan.dt()));
+                        classes.len() - 1
+                    });
+                class_of[i][slot] = Some(cid);
+            }
+        }
+
+        // One pure solve per class; the representative's process state
+        // is exactly what its `advance` would solve from, and every
+        // member of the class shares it bit for bit (that is what equal
+        // solve keys mean).
+        let jobs = self.shards.len();
+        let dists: Vec<Vec<f64>> = {
+            let uavs = &self.uavs;
+            crate::shard::run_indexed(jobs, classes.len(), |c| {
+                let (rep, slot, dt) = classes[c];
+                uavs[rep]
+                    .eddi
+                    .as_ref()
+                    .expect("class representative has an EDDI")
+                    .solve_dist(slot, dt)
+            })
+        };
+
+        // Finish each shard's UAVs in parallel: the shard slices are
+        // disjoint `&mut` windows of the fleet, so no state is shared.
+        let shards = self.shards.clone();
+        let mut plan_chunks: Vec<Vec<Option<TickPlan>>> = Vec::with_capacity(shards.len());
+        {
+            let mut it = plans.into_iter();
+            for r in &shards {
+                plan_chunks.push(it.by_ref().take(r.len()).collect());
+            }
+        }
+        let mut works: Vec<ShardWork> = Vec::with_capacity(shards.len());
+        {
+            let mut rest = self.uavs.as_mut_slice();
+            for (r, chunk) in shards.iter().zip(plan_chunks) {
+                let (head, tail) = rest.split_at_mut(r.len());
+                works.push((r.start, head, chunk));
+                rest = tail;
+            }
+        }
+        let outs: Vec<Option<EddiOutputs>> = crate::shard::run_tasks(jobs, works, |_, work| {
+            let start = work.0;
+            let mut shard_outs = Vec::with_capacity(work.1.len());
+            for k in 0..work.1.len() {
+                let i = start + k;
+                let out = match (work.2[k].take(), work.1[k].eddi.as_mut()) {
+                    (Some(plan), Some(eddi)) => {
+                        let tel = &telemetries[i];
+                        let scene = SceneCondition {
+                            altitude_m: tel.true_position.alt_m,
+                            visibility,
+                        };
+                        let mut primes: [Option<&[f64]>; MARKOV_SLOTS] = [None; MARKOV_SLOTS];
+                        for slot in 0..MARKOV_SLOTS {
+                            if let Some(cid) = class_of[i][slot] {
+                                primes[slot] = Some(&dists[cid]);
+                            }
+                        }
+                        Some(eddi.finish_tick(tel, &scene, plan, primes))
+                    }
+                    _ => None,
+                };
+                shard_outs.push(out);
+            }
+            shard_outs
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+        for i in 0..n {
+            let tel = &telemetries[i];
+            for ev in det_events[i].drain(..) {
+                self.events.push(now, ev);
+            }
+            if let Some(out) = &outs[i] {
+                self.apply_eddi_outputs(i, tel, out, now, second_boundary);
+            }
+            // Trajectory sampling.
+            if second_boundary {
+                self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
+            }
+        }
+        span.enter(phase::SENSE_PUBLISH);
+    }
+
+    /// The serial airspace pass — geofence updates plus the O(n²)
+    /// nearest-teammate separation scan. The oracle for
+    /// [`Self::step_airspace_sharded`].
+    fn step_airspace_serial(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        let n = telemetries.len();
+        for i in 0..n {
+            let tel = &telemetries[i];
+            if let Some(status) = self.geofences[i].update(&tel.true_position) {
+                let severity = match status {
+                    FenceStatus::Inside => Severity::Info,
+                    FenceStatus::Margin => Severity::Warning,
+                    FenceStatus::Breach => Severity::Critical,
+                };
+                self.events.push(
+                    now,
+                    SystemEvent::MonitorFinding {
+                        uav: tel.uav,
+                        monitor: "geofence".into(),
+                        severity,
+                        detail: format!("fence status -> {status:?}"),
+                    },
+                );
+            }
+            if self.config.sesame_enabled && tel.mode == FlightMode::Mission {
+                // Nearest airborne teammate and closing geometry.
+                let mut nearest = f64::INFINITY;
+                let mut converging = false;
+                for j in 0..n {
+                    if j == i || !telemetries[j].mode.is_airborne() {
+                        continue;
+                    }
+                    let d = tel
+                        .true_position
+                        .distance_3d_m(&telemetries[j].true_position);
+                    if d < nearest {
+                        nearest = d;
+                        // Converging when the relative velocity points at
+                        // the teammate.
+                        let rel = telemetries[j].true_position.to_enu(&tel.true_position);
+                        let rel_v = tel.velocity - telemetries[j].velocity;
+                        converging = rel_v.dot(&rel.into()) > 0.0;
+                    }
+                }
+                if nearest.is_finite() {
+                    self.assess_separation(i, tel, nearest, converging, now);
+                }
+            }
+        }
+    }
+
+    /// The sharded airspace pass: the O(n²) proximity scan is a pure
+    /// function of this tick's telemetry, so it fans out over the shard
+    /// ranges; geofence updates, risk assessments and their events then
+    /// merge serially in fleet order.
+    fn step_airspace_sharded(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        let n = telemetries.len();
+        let jobs = self.shards.len();
+        let shards = self.shards.clone();
+        let sesame = self.config.sesame_enabled;
+        let prox: Vec<Option<(f64, bool)>> = crate::shard::run_indexed(jobs, shards.len(), |s| {
+            shards[s]
+                .clone()
+                .map(|i| {
+                    let tel = &telemetries[i];
+                    if !(sesame && tel.mode == FlightMode::Mission) {
+                        return None;
+                    }
+                    // Nearest airborne teammate and closing geometry.
+                    let mut nearest = f64::INFINITY;
+                    let mut converging = false;
+                    for j in 0..n {
+                        if j == i || !telemetries[j].mode.is_airborne() {
+                            continue;
+                        }
+                        let d = tel
+                            .true_position
+                            .distance_3d_m(&telemetries[j].true_position);
+                        if d < nearest {
+                            nearest = d;
+                            // Converging when the relative velocity
+                            // points at the teammate.
+                            let rel = telemetries[j].true_position.to_enu(&tel.true_position);
+                            let rel_v = tel.velocity - telemetries[j].velocity;
+                            converging = rel_v.dot(&rel.into()) > 0.0;
+                        }
+                    }
+                    nearest.is_finite().then_some((nearest, converging))
+                })
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        for i in 0..n {
+            let tel = &telemetries[i];
+            if let Some(status) = self.geofences[i].update(&tel.true_position) {
+                let severity = match status {
+                    FenceStatus::Inside => Severity::Info,
+                    FenceStatus::Margin => Severity::Warning,
+                    FenceStatus::Breach => Severity::Critical,
+                };
+                self.events.push(
+                    now,
+                    SystemEvent::MonitorFinding {
+                        uav: tel.uav,
+                        monitor: "geofence".into(),
+                        severity,
+                        detail: format!("fence status -> {status:?}"),
+                    },
+                );
+            }
+            if let Some((nearest, converging)) = prox[i] {
+                self.assess_separation(i, tel, nearest, converging, now);
+            }
+        }
+    }
+
+    /// Runs the SINADRA separation assessment for one UAV against its
+    /// precomputed nearest-teammate geometry and emits the rising-edge
+    /// warning event. Shared verbatim by both airspace passes.
+    fn assess_separation(
+        &mut self,
+        i: usize,
+        tel: &UavTelemetry,
+        nearest: f64,
+        converging: bool,
+        now: SimTime,
+    ) {
+        let assessment = self.separation.assess(&SeparationInputs {
+            nearest_range_m: nearest,
+            converging,
+            detection_confidence: 0.9,
+        });
+        if assessment.hold_advised && !self.separation_hot[i] {
+            self.separation_hot[i] = true;
+            self.events.push(
+                now,
+                SystemEvent::MonitorFinding {
+                    uav: tel.uav,
+                    monitor: "separation".into(),
+                    severity: Severity::Warning,
+                    detail: format!(
+                        "conflict probability {:.2} at {nearest:.0} m",
+                        assessment.conflict_prob
+                    ),
+                },
+            );
+        } else if !assessment.hold_advised {
+            self.separation_hot[i] = false;
         }
     }
 
@@ -1739,6 +2093,141 @@ impl Platform {
         }
     }
 
+    /// The sharded ConSert pass. Each UAV's decision depends only on its
+    /// own evidence, ConSert cache and telemetry, so the `decide` calls
+    /// fan out over the disjoint shard slices; actuation, metrics,
+    /// traces and events then merge serially in fleet order, replaying
+    /// the serial tail exactly (the UAV manager's `last_action` edge
+    /// detection is per-UAV, so the merge order preserves its stream).
+    fn step_conserts_sharded(
+        &mut self,
+        telemetries: &[UavTelemetry],
+        now: SimTime,
+        span: &mut TickSpan,
+    ) {
+        let n = self.uavs.len();
+        let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
+        let fallback: Vec<bool> = (0..n)
+            .map(|i| {
+                self.config.supervision.enabled
+                    && self.supervisors[i].state() == HealthState::SafeFallback
+            })
+            .collect();
+        // `Some(action)` iff the serial path would have evaluated this
+        // UAV's ConSert; the merge distinguishes that from the static
+        // CL-landing / fallback / no-runtime actions below.
+        let jobs = self.shards.len();
+        let shards = self.shards.clone();
+        let mut works: Vec<(usize, &mut [UavRt])> = Vec::with_capacity(shards.len());
+        {
+            let mut rest = self.uavs.as_mut_slice();
+            for r in &shards {
+                let (head, tail) = rest.split_at_mut(r.len());
+                works.push((r.start, head));
+                rest = tail;
+            }
+        }
+        let decided: Vec<Option<UavAction>> = crate::shard::run_tasks(jobs, works, |_, work| {
+            let start = work.0;
+            let mut shard_actions = Vec::with_capacity(work.1.len());
+            for (k, rt) in work.1.iter_mut().enumerate() {
+                let i = start + k;
+                let tel = &telemetries[i];
+                if rt.cl_landing || fallback[i] {
+                    shard_actions.push(None);
+                    continue;
+                }
+                let neighbors_available = airborne >= 3 && tel.link_quality > 0.4;
+                let Some(eddi) = &rt.eddi else {
+                    shard_actions.push(None);
+                    continue;
+                };
+                let evidence = eddi.evidence(tel, rt.attack_detected, neighbors_available);
+                let Some(conserts) = rt.conserts.as_mut() else {
+                    shard_actions.push(None);
+                    continue;
+                };
+                // One call answers both the action and the accuracy
+                // bound — evaluated at most once per tick.
+                let decision = conserts.decide(&tel.uav.to_string(), &evidence);
+                rt.last_nav_accuracy = decision.nav_accuracy_m;
+                shard_actions.push(Some(decision.action.unwrap_or(UavAction::EmergencyLand)));
+            }
+            shard_actions
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        let mut actions = Vec::with_capacity(n);
+        for i in 0..n {
+            let tel = &telemetries[i];
+            let id = tel.uav;
+            if self.uavs[i].cl_landing {
+                actions.push(UavAction::EmergencyLand); // under CL control
+                continue;
+            }
+            if fallback[i] {
+                actions.push(UavAction::ReturnToBase);
+                continue;
+            }
+            let Some(action) = decided[i] else {
+                actions.push(UavAction::ContinueMission);
+                continue;
+            };
+            actions.push(action);
+            let prev = self.manager.last_action(id);
+            if let Some(cmd) = self.manager.translate_action(id, action) {
+                self.sim.command(self.uavs[i].handle, cmd);
+            }
+            if prev != Some(action) {
+                self.metrics.inc("consert.decisions");
+                self.trace.push(
+                    now.as_millis(),
+                    TraceEvent::GuaranteeChanged {
+                        uav: i,
+                        from: prev.map_or_else(|| "none".to_string(), |a| a.to_string()),
+                        to: action.to_string(),
+                    },
+                );
+                self.events.push(
+                    now,
+                    SystemEvent::ConsertDecision {
+                        uav: id,
+                        guarantee: action.to_string(),
+                    },
+                );
+            }
+        }
+        // Mission-level decider.
+        span.enter(phase::DECIDE);
+        let decision = decide_mission(&actions);
+        if decision == MissionDecision::RedistributeTasks {
+            // Redistribute the tasks of every aborting UAV once.
+            for i in 0..n {
+                let id = self.uavs[i].handle.id();
+                if matches!(
+                    actions[i],
+                    UavAction::ReturnToBase | UavAction::EmergencyLand
+                ) {
+                    let capable: Vec<UavId> = (0..n)
+                        .filter(|j| actions[*j].is_mission_capable())
+                        .map(|j| self.uavs[j].handle.id())
+                        .collect();
+                    let moves = self.tasks.redistribute(id, &capable);
+                    for (task, from, to) in moves {
+                        self.events
+                            .push(now, SystemEvent::TaskReallocated { task, from, to });
+                        // Upload the inherited route to the new owner.
+                        if let Some(j) = self.uavs.iter().position(|u| u.handle.id() == to) {
+                            let route = self.tasks.remaining_route(to);
+                            self.upload_route(j, route);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// The baseline policy of §V-A: at the first battery symptom (sharp
     /// SoC drop), abort immediately, swap the battery at base
     /// (`battery_swap` long), then resume the remaining mission.
@@ -1885,6 +2374,14 @@ impl Platform {
         self.uavs.len()
     }
 
+    /// How many shards the tick actually runs in (`1` = the serial
+    /// oracle). Resolved once from the fleet's [`crate::fleet::ShardPolicy`]
+    /// at construction; sharding additionally requires the SESAME stack
+    /// and the EDDI fast path.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// The handle of UAV `index`.
     pub fn handle(&self, index: usize) -> UavHandle {
         self.uavs[index].handle
@@ -1984,7 +2481,7 @@ mod tests {
     #[test]
     fn builder_validates_and_builds() {
         let cfg = PlatformConfig::builder()
-            .uav_count(2)
+            .fleet(FleetSpec::uniform(2))
             .scan_altitude_m(25.0)
             .area_m(200.0, 100.0)
             .person_count(4)
@@ -1993,13 +2490,33 @@ mod tests {
             .motors(6, 1)
             .build()
             .expect("valid config");
-        assert_eq!(cfg.uav_count, 2);
+        assert_eq!(cfg.fleet.total(), 2);
         assert_eq!(cfg.motor_count, 6);
         assert_eq!(cfg.tolerated_motor_failures, 1);
 
+        // The deprecated shim produces an identical config.
+        #[allow(deprecated)]
+        let shimmed = PlatformConfig::builder().uav_count(2).build().unwrap();
+        assert_eq!(shimmed.fleet, FleetSpec::uniform(2));
+
         assert_eq!(
-            PlatformConfig::builder().uav_count(0).build().unwrap_err(),
+            PlatformConfig::builder()
+                .fleet(FleetSpec::uniform(0))
+                .build()
+                .unwrap_err(),
             ConfigError::NoUavs
+        );
+        // Per-group profile validation resolves against the defaults.
+        assert_eq!(
+            PlatformConfig::builder()
+                .fleet(
+                    FleetSpec::builder()
+                        .group(2, crate::fleet::UavProfile::default().motors(5, 0))
+                        .build()
+                )
+                .build()
+                .unwrap_err(),
+            ConfigError::UnsupportedMotorCount
         );
         assert_eq!(
             PlatformConfig::builder()
@@ -2031,21 +2548,6 @@ mod tests {
             ConfigError::TooManyToleratedFailures
         );
         assert!(!ConfigError::NoUavs.to_string().is_empty());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_getters_mirror_series_view() {
-        let mut p = Platform::new(quick_config());
-        p.launch();
-        for _ in 0..50 {
-            p.step();
-        }
-        assert_eq!(p.pof_series(), p.series().pof());
-        assert_eq!(p.uncertainty_series(), p.series().uncertainty());
-        assert_eq!(p.trajectory(0), p.series().trajectory(0));
-        assert_eq!(p.attack_detected_at(), p.series().attack_detected_at());
-        assert_eq!(p.cl_outcome(), p.series().cl_outcome());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Deterministic sharded execution — the std-only worker pool behind
+//! both the fleet-sharded tick ([`crate::orchestrator::Platform::step`])
+//! and the `sesame-bench` campaign sweeps.
+//!
+//! The contract is the one the whole reproduction stands on: results
+//! are **merged in item order, never completion order**, so any worker
+//! count produces byte-identical output. Each item's result is written
+//! into its own pre-allocated slot by a `std::thread::scope` pool that
+//! pulls indices from a shared atomic cursor (work stealing with a
+//! one-item grain), and reduction happens after the scope joins.
+//!
+//! Two entry points:
+//!
+//! * [`run_indexed`] — read-only fan-out: `f(i)` for `i in 0..count`.
+//! * [`run_tasks`] — owned work items: each `W` (e.g. a disjoint
+//!   `&mut [UavRt]` shard carved out of the fleet with `split_at_mut`)
+//!   is handed to exactly one worker, satisfying the aliasing rules
+//!   without any unsafe code.
+//!
+//! ```
+//! use sesame_core::shard;
+//!
+//! let squares = shard::run_indexed(4, 8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! let mut data = vec![1, 2, 3, 4];
+//! let (a, b) = data.split_at_mut(2);
+//! let sums = shard::run_tasks(2, vec![a, b], |_, shard| {
+//!     shard.iter_mut().for_each(|x| *x *= 10);
+//!     shard.iter().sum::<i32>()
+//! });
+//! assert_eq!(sums, vec![30, 70]);
+//! assert_eq!(data, vec![10, 20, 30, 40]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f(0..count)` on a pool of `jobs` workers and returns the
+/// results in *index order*, regardless of which worker finished which
+/// item when.
+///
+/// With `jobs <= 1` (or a single item) no threads are spawned and the
+/// items run inline in index order — the serial reference path. The
+/// parallel path produces the exact same `Vec` because every item's
+/// result is placed by index, not by arrival.
+///
+/// A panic inside `f` propagates out of the scope after the remaining
+/// workers drain.
+pub fn run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.clamp(1, count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(f).collect();
+    }
+    // One slot per item. A Mutex<Option<T>> per slot keeps this std-only
+    // and safe; it is uncontended (each slot is locked exactly once) so
+    // the cost is a few atomic ops per *item*, noise against a full
+    // scenario run.
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let result = f(idx);
+                *slots[idx].lock().unwrap() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("scope joined, so every claimed slot was filled")
+        })
+        .collect()
+}
+
+/// Runs `f` once over each owned work item on a pool of `jobs` workers
+/// and returns the results in *item order*. Each item is taken by
+/// exactly one worker, so `W` may carry exclusive access — e.g. the
+/// disjoint `&mut` shard slices of the fleet tick.
+///
+/// With `jobs <= 1` (or a single item) everything runs inline on the
+/// caller's thread in item order.
+pub fn run_tasks<W, R, F>(jobs: usize, tasks: Vec<W>, f: F) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, &mut W) -> R + Sync,
+{
+    let count = tasks.len();
+    let jobs = jobs.clamp(1, count.max(1));
+    if jobs <= 1 {
+        return tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut w)| f(i, &mut w))
+            .collect();
+    }
+    let slots: Vec<Mutex<(Option<W>, Option<R>)>> = tasks
+        .into_iter()
+        .map(|w| Mutex::new((Some(w), None)))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= count {
+                    break;
+                }
+                let mut w = slots[idx]
+                    .lock()
+                    .unwrap()
+                    .0
+                    .take()
+                    .expect("each task is claimed by exactly one worker");
+                let result = f(idx, &mut w);
+                slots[idx].lock().unwrap().1 = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .1
+                .expect("scope joined, so every claimed slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn indexed_results_are_in_index_order_at_any_worker_count() {
+        let serial = run_indexed(1, 100, |i| i * 3);
+        for jobs in [2, 4, 8, 16] {
+            assert_eq!(run_indexed(jobs, 100, |i| i * 3), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn tasks_run_exactly_once_each() {
+        let calls = AtomicU64::new(0);
+        let out = run_tasks(8, (0..257).collect::<Vec<_>>(), |i, w| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (i, *w)
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 257);
+        assert!(out.iter().enumerate().all(|(i, &(j, v))| i == j && i == v));
+    }
+
+    #[test]
+    fn tasks_carry_exclusive_slices() {
+        let mut data: Vec<u64> = (0..50).collect();
+        let mut tasks = Vec::new();
+        let mut rest = data.as_mut_slice();
+        for len in [17, 17, 16] {
+            let (head, tail) = rest.split_at_mut(len);
+            tasks.push(head);
+            rest = tail;
+        }
+        let sums = run_tasks(3, tasks, |_, shard| {
+            shard.iter_mut().for_each(|x| *x += 1);
+            shard.iter().sum::<u64>()
+        });
+        assert_eq!(sums.iter().sum::<u64>(), (1..=50).sum());
+        assert_eq!(data[0], 1);
+        assert_eq!(data[49], 50);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed_pools_are_fine() {
+        assert_eq!(run_tasks(4, Vec::<u8>::new(), |_, w| *w), Vec::<u8>::new());
+        assert_eq!(run_tasks(64, vec![1, 2, 3], |_, w| *w * 2), vec![2, 4, 6]);
+        assert_eq!(run_tasks(0, vec![5], |_, w| *w), vec![5], "jobs=0 clamps");
+    }
+}

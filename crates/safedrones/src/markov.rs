@@ -258,6 +258,27 @@ impl Ctmc {
     }
 }
 
+/// A value-identity key for one transient solve: the exact bit patterns
+/// of the rate matrix, the current distribution, and the time step. Two
+/// processes with equal keys would compute bit-identical solves, so a
+/// fleet-level scheduler can solve one representative and prime the rest
+/// (see [`CtmcProcess::advance_primed`]). The key is pure data — hashable,
+/// comparable, and decoupled from the process it was derived from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SolveKey(Vec<u64>);
+
+impl SolveKey {
+    /// Number of packed words (rates + distribution + dt).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
 /// Hit/miss counters of a process-level solver cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverCacheStats {
@@ -393,6 +414,66 @@ impl CtmcProcess {
         self.dist = self
             .chain
             .transient_cached(&self.dist, dt_secs, 1e-12, profile);
+    }
+
+    /// The solve identity of the *next* [`CtmcProcess::advance`] call with
+    /// step `dt_secs`: rate-matrix bits, distribution bits, and the step's
+    /// bits. Processes sharing a key compute bit-identical solves.
+    pub fn solve_key(&self, dt_secs: f64) -> SolveKey {
+        let mut bits = Vec::with_capacity(self.chain.rates.len() + self.dist.len() + 1);
+        bits.extend(self.chain.rates.iter().map(|r| r.to_bits()));
+        bits.extend(self.dist.iter().map(|p| p.to_bits()));
+        bits.push(dt_secs.to_bits());
+        SolveKey(bits)
+    }
+
+    /// Computes the distribution [`CtmcProcess::advance`] would assign for
+    /// step `dt_secs` — without mutating the process or its cache
+    /// counters. Bit-identical to the mutating path (cached and naive
+    /// solvers agree bit for bit, see the module invariant), so the result
+    /// can prime any process with an equal [`CtmcProcess::solve_key`].
+    pub fn solve_dist(&self, dt_secs: f64) -> Vec<f64> {
+        match &self.cache {
+            Some(profile) if self.cache_enabled && profile.matches(&self.chain) => self
+                .chain
+                .transient_cached(&self.dist, dt_secs, 1e-12, profile),
+            _ if self.cache_enabled => {
+                let profile = SolveProfile::build(&self.chain);
+                self.chain
+                    .transient_cached(&self.dist, dt_secs, 1e-12, &profile)
+            }
+            _ => self.chain.transient(&self.dist, dt_secs),
+        }
+    }
+
+    /// [`CtmcProcess::advance`] with an optional precomputed distribution.
+    ///
+    /// With `primed: None` this is exactly `advance(dt_secs)`. With
+    /// `Some(dist)` the solve is skipped and `dist` adopted — but the
+    /// cache/stats bookkeeping still runs exactly as `advance` would, so a
+    /// primed process is bit-indistinguishable (belief *and* counters)
+    /// from one that solved locally. The caller guarantees `dist` is the
+    /// solve result for this process's current [`CtmcProcess::solve_key`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a primed distribution has the wrong length.
+    pub fn advance_primed(&mut self, dt_secs: f64, primed: Option<&[f64]>) {
+        let Some(dist) = primed else {
+            self.advance(dt_secs);
+            return;
+        };
+        assert_eq!(dist.len(), self.dist.len(), "primed distribution size");
+        if self.cache_enabled {
+            let fresh = !matches!(&self.cache, Some(profile) if profile.matches(&self.chain));
+            if fresh {
+                self.cache = Some(Box::new(SolveProfile::build(&self.chain)));
+                self.stats.misses += 1;
+            } else {
+                self.stats.hits += 1;
+            }
+        }
+        self.dist = dist.to_vec();
     }
 
     /// Probability mass currently in the given states (e.g. the absorbing
@@ -571,5 +652,69 @@ mod tests {
         assert_eq!(stats.misses, 2, "initial build + one rate-swap rebuild");
         assert_eq!(stats.hits as usize, dts.len() - 2);
         assert_eq!(naive.solver_cache_stats(), SolverCacheStats::default());
+    }
+
+    /// Equal solve keys mean equal (rates, dist, dt); any difference in
+    /// one of the three changes the key.
+    #[test]
+    fn solve_key_tracks_rates_dist_and_dt() {
+        let mut a = CtmcProcess::new(two_state(0.1), 0);
+        let b = CtmcProcess::new(two_state(0.1), 0);
+        assert_eq!(a.solve_key(1.0), b.solve_key(1.0));
+        assert_ne!(a.solve_key(1.0), b.solve_key(2.0), "dt differs");
+        a.advance(1.0);
+        assert_ne!(a.solve_key(1.0), b.solve_key(1.0), "dist differs");
+        let mut c = CtmcProcess::new(two_state(0.2), 0);
+        assert_ne!(c.solve_key(1.0), b.solve_key(1.0), "rates differ");
+        assert!(!c.solve_key(1.0).is_empty());
+        assert_eq!(c.solve_key(1.0).len(), 4 + 2 + 1);
+        c.chain_mut().set_rate(0, 1, 0.1);
+        assert_eq!(c.solve_key(1.0), b.solve_key(1.0));
+    }
+
+    /// Priming one process with another's `solve_dist` leaves both
+    /// bit-identical in belief *and* cache counters, across rate swaps.
+    #[test]
+    fn primed_advance_is_bit_identical_including_stats() {
+        let mut chain = Ctmc::new(3);
+        chain.set_rate(0, 1, 0.4);
+        chain.set_rate(1, 2, 0.9);
+        let mut solver = CtmcProcess::new(chain.clone(), 0);
+        let mut primed = CtmcProcess::new(chain, 0);
+        solver.enable_solver_cache();
+        primed.enable_solver_cache();
+
+        for k in 0..6 {
+            let dt = 0.5 + k as f64 * 0.25;
+            if k == 3 {
+                solver.chain_mut().set_rate(0, 1, 0.7);
+                primed.chain_mut().set_rate(0, 1, 0.7);
+            }
+            assert_eq!(solver.solve_key(dt), primed.solve_key(dt));
+            let dist = solver.solve_dist(dt);
+            solver.advance(dt);
+            assert_eq!(
+                solver.distribution(),
+                dist.as_slice(),
+                "solve_dist must equal what advance computes"
+            );
+            primed.advance_primed(dt, Some(&dist));
+            let bits = |p: &CtmcProcess| -> Vec<u64> {
+                p.distribution().iter().map(|x| x.to_bits()).collect()
+            };
+            assert_eq!(bits(&solver), bits(&primed), "diverged at step {k}");
+        }
+        assert_eq!(solver.solver_cache_stats(), primed.solver_cache_stats());
+        assert_eq!(solver.solver_cache_stats().misses, 2);
+    }
+
+    /// `advance_primed(_, None)` is exactly `advance`.
+    #[test]
+    fn unprimed_advance_primed_delegates() {
+        let mut a = CtmcProcess::new(two_state(0.3), 0);
+        let mut b = CtmcProcess::new(two_state(0.3), 0);
+        a.advance(2.0);
+        b.advance_primed(2.0, None);
+        assert_eq!(a.distribution(), b.distribution());
     }
 }

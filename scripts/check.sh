@@ -39,7 +39,11 @@ echo "==> eddibench smoke: the incremental EDDI fast path must hold its 3x margi
 cargo run -q --release -p sesame-bench --bin eddibench -- smoke > BENCH_eddi.json
 cat BENCH_eddi.json
 
+echo "==> fleetbench smoke: sharded fleet ticks (3..200 UAVs) must match the serial oracle and hold throughput"
+cargo run -q --release -p sesame-bench --bin fleetbench -- smoke > BENCH_fleet.json
+cat BENCH_fleet.json
+
 echo "==> bench gate: fresh numbers vs committed baselines (>20% regression fails)"
 scripts/bench_gate.sh
 
-echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, busbench, eddibench and the bench gate all green"
+echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, busbench, eddibench, fleetbench and the bench gate all green"

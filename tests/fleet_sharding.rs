@@ -1,0 +1,154 @@
+//! Sharded-fleet conformance: the shard-partitioned tick against the
+//! serial oracle.
+//!
+//! The fleet-scale redesign claims that the [`ShardPolicy`] only chooses
+//! how much of the tick runs concurrently — never what it computes. This
+//! suite holds sharded runs to the same standard the EDDI fast path is
+//! held to: **bit-identical** series, trajectories, event logs, traces,
+//! ConSert decisions and (wall-clock-free) metrics, including the EDDI
+//! cache hit/miss counters, at every shard count. Edge cases from the
+//! issue ride along: more shards than UAVs (empty shards), non-divisible
+//! fleet/shard combinations, and a single-UAV fleet.
+
+use sesame::core::fleet::{FleetSpec, ShardPolicy};
+use sesame::core::orchestrator::{Platform, PlatformConfig};
+use sesame::obs::MetricsSnapshot;
+
+fn config(seed: u64, uavs: usize, policy: ShardPolicy) -> PlatformConfig {
+    PlatformConfig {
+        area_width_m: 150.0,
+        area_height_m: 100.0,
+        person_count: 3,
+        seed,
+        fleet: FleetSpec::builder().uavs(uavs).shard_policy(policy).build(),
+        ..PlatformConfig::default()
+    }
+}
+
+fn run(cfg: PlatformConfig, steps: usize) -> Platform {
+    let mut p = Platform::new(cfg);
+    p.launch();
+    for _ in 0..steps {
+        p.step();
+    }
+    p
+}
+
+/// Asserts every observable output of two platform runs is bit-identical:
+/// the per-second series, every trajectory, the full event log, the
+/// structured trace, per-UAV ConSert accuracy bounds and the
+/// wall-clock-free metrics (cache counters included).
+fn assert_runs_bit_identical(a: &Platform, b: &Platform, ctx: &str) {
+    let (sa, sb) = (a.series(), b.series());
+    assert_eq!(sa.pof().len(), sb.pof().len(), "pof length: {ctx}");
+    for (x, y) in sa.pof().iter().zip(sb.pof()) {
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "pof bits: {ctx}");
+    }
+    for (x, y) in sa.uncertainty().iter().zip(sb.uncertainty()) {
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "uncertainty bits: {ctx}");
+    }
+    assert_eq!(
+        sa.attack_detected_at(),
+        sb.attack_detected_at(),
+        "attack detection: {ctx}"
+    );
+    for i in 0..a.uav_count() {
+        let (ta, tb) = (sa.trajectory(i), sb.trajectory(i));
+        assert_eq!(ta.len(), tb.len(), "trajectory length uav{i}: {ctx}");
+        for (x, y) in ta.iter().zip(tb) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits(), "trajectory t uav{i}: {ctx}");
+            assert_eq!(
+                x.1.lat_deg.to_bits(),
+                y.1.lat_deg.to_bits(),
+                "trajectory lat uav{i}: {ctx}"
+            );
+            assert_eq!(
+                x.1.lon_deg.to_bits(),
+                y.1.lon_deg.to_bits(),
+                "trajectory lon uav{i}: {ctx}"
+            );
+            assert_eq!(
+                x.1.alt_m.to_bits(),
+                y.1.alt_m.to_bits(),
+                "trajectory alt uav{i}: {ctx}"
+            );
+        }
+        assert_eq!(
+            a.certified_nav_accuracy_m(i),
+            b.certified_nav_accuracy_m(i),
+            "nav accuracy uav{i}: {ctx}"
+        );
+        assert_eq!(a.health(i), b.health(i), "health uav{i}: {ctx}");
+    }
+    // Record-for-record: order matters, not just counts.
+    let ea: Vec<_> = a.events().iter().collect();
+    let eb: Vec<_> = b.events().iter().collect();
+    assert_eq!(ea, eb, "event log: {ctx}");
+    let tra: Vec<_> = a.trace().iter().collect();
+    let trb: Vec<_> = b.trace().iter().collect();
+    assert_eq!(tra, trb, "trace: {ctx}");
+    let ma: MetricsSnapshot = a.metrics_snapshot().without_wall_clock();
+    let mb: MetricsSnapshot = b.metrics_snapshot().without_wall_clock();
+    assert_eq!(ma, mb, "metrics: {ctx}");
+}
+
+/// The issue's conformance gate: the paper's three-UAV fleet, sharded in
+/// two, replays the serial run bit for bit.
+#[test]
+fn sharded_three_uav_run_matches_serial_bit_for_bit() {
+    for seed in [3u64, 17] {
+        let serial = run(config(seed, 3, ShardPolicy::Serial), 150);
+        let sharded = run(config(seed, 3, ShardPolicy::Fixed { shards: 2 }), 150);
+        assert_eq!(serial.shard_count(), 1);
+        assert_eq!(sharded.shard_count(), 2, "sharding must actually engage");
+        assert_runs_bit_identical(&serial, &sharded, &format!("3 UAVs, 2 shards, seed {seed}"));
+    }
+}
+
+/// More shards than UAVs: the excess shards are empty and harmless.
+#[test]
+fn empty_shards_are_harmless() {
+    let serial = run(config(7, 3, ShardPolicy::Serial), 100);
+    let sharded = run(config(7, 3, ShardPolicy::Fixed { shards: 8 }), 100);
+    assert_eq!(sharded.shard_count(), 8);
+    assert_runs_bit_identical(&serial, &sharded, "3 UAVs, 8 shards");
+}
+
+/// A single-UAV fleet survives any shard request.
+#[test]
+fn single_uav_fleet_shards_trivially() {
+    let serial = run(config(11, 1, ShardPolicy::Serial), 100);
+    let sharded = run(config(11, 1, ShardPolicy::Fixed { shards: 4 }), 100);
+    assert_runs_bit_identical(&serial, &sharded, "1 UAV, 4 shards");
+}
+
+/// A 50-UAV fleet under a non-divisible shard count (50 / 7) and across
+/// several worker counts: every partition replays the serial oracle.
+#[test]
+fn fifty_uav_fleet_is_shard_count_invariant() {
+    let serial = run(config(23, 50, ShardPolicy::Serial), 40);
+    for shards in [4usize, 7, 8] {
+        let sharded = run(config(23, 50, ShardPolicy::Fixed { shards }), 40);
+        assert_eq!(sharded.shard_count(), shards);
+        assert_runs_bit_identical(&serial, &sharded, &format!("50 UAVs, {shards} shards"));
+    }
+}
+
+/// The Auto policy stays serial for small fleets (the paper's 3-UAV demo
+/// pays no sharding overhead) and engages for large ones.
+#[test]
+fn auto_policy_scales_with_fleet_size() {
+    let small = Platform::new(config(5, 3, ShardPolicy::Auto));
+    assert_eq!(small.shard_count(), 1, "3 UAVs stay serial under Auto");
+    let large = Platform::new(config(5, 64, ShardPolicy::Auto));
+    assert!(large.shard_count() >= 1);
+    // Sharding requires the fast path: the reference engines always run
+    // the serial oracle regardless of policy.
+    let mut cfg = config(5, 64, ShardPolicy::Fixed { shards: 4 });
+    cfg.eddi_fast_path = false;
+    assert_eq!(Platform::new(cfg).shard_count(), 1);
+    // ... and the SESAME stack: the baseline fleet has no EDDIs to batch.
+    let mut cfg = config(5, 64, ShardPolicy::Fixed { shards: 4 });
+    cfg.sesame_enabled = false;
+    assert_eq!(Platform::new(cfg).shard_count(), 1);
+}

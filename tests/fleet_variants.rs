@@ -1,6 +1,7 @@
 //! Scenario variants beyond the paper's headline runs: fault-tolerant
 //! airframes, degraded visibility, and replay attacks.
 
+use sesame::core::fleet::{FleetSpec, UavProfile};
 use sesame::core::orchestrator::PlatformConfig;
 use sesame::core::scenario::ScenarioBuilder;
 use sesame::middleware::attack::{AttackInjector, AttackKind};
@@ -18,13 +19,30 @@ fn config(seed: u64) -> PlatformConfig {
     }
 }
 
+/// The deprecated `uav_count` builder shim produces a config identical
+/// to the `FleetSpec::uniform` it forwards to.
+#[test]
+fn uav_count_shim_matches_uniform_fleet() {
+    #[allow(deprecated)]
+    let shimmed = PlatformConfig::builder().uav_count(3).build().unwrap();
+    let spec = PlatformConfig::builder()
+        .fleet(FleetSpec::uniform(3))
+        .build()
+        .unwrap();
+    assert_eq!(shimmed.fleet, spec.fleet);
+    assert_eq!(shimmed.fleet, FleetSpec::default());
+}
+
 /// A hexacopter fleet flies through a motor failure without losing the
 /// airframe or the strip — no redistribution needed.
 #[test]
 fn hexa_fleet_survives_motor_failure() {
     let mut cfg = config(21);
-    cfg.motor_count = 6;
-    cfg.tolerated_motor_failures = 1;
+    // The whole fleet flies hexacopter airframes tolerating one motor
+    // loss — declared per-group through the FleetSpec builder.
+    cfg.fleet = FleetSpec::builder()
+        .group(3, UavProfile::default().motors(6, 1))
+        .build();
     let outcome = ScenarioBuilder::new(21)
         .with_config(cfg)
         .fault(
