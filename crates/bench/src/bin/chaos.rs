@@ -7,6 +7,7 @@
 //! cargo run -p sesame-bench --release --bin chaos -- 10 smoke         # short runs
 //! cargo run -p sesame-bench --release --bin chaos -- 50 replay        # + replay check
 //! cargo run -p sesame-bench --release --bin chaos -- 50 --jobs 8      # parallel sweep
+//! cargo run -p sesame-bench --release --bin chaos -- 50 panics        # + compute faults
 //! ```
 //!
 //! The flags are the shared bench conventions (`sesame_bench::cli`):
@@ -35,6 +36,11 @@ fn main() {
         .or_else(|| args.rest.first().and_then(|a| a.parse().ok()))
         .unwrap_or(50);
     let replay = args.rest.iter().any(|a| a == "replay");
+    // `panics` arms the compute-fault plane: scheduled EDDI panics,
+    // NaN/Inf telemetry and solver stalls on top of the vehicle/comm
+    // mix. The campaign-level catch_unwind turns any escaped panic into
+    // a violation, so the exit status is the zero-aborts gate.
+    let panics = args.rest.iter().any(|a| a == "panics");
     let config = CampaignConfig {
         runs,
         base_seed: 1,
@@ -43,13 +49,16 @@ fn main() {
         } else {
             SimTime::from_secs(180)
         },
+        compute_faults_per_run: if panics { 2 } else { 0 },
         replay_check: replay,
         ..CampaignConfig::default()
     };
     eprintln!(
-        "chaos campaign: {} seeds, {} s deadline, replay check {}, {} worker{}",
+        "chaos campaign: {} seeds, {} s deadline, {} compute fault(s)/run, \
+         replay check {}, {} worker{}",
         config.runs,
         config.deadline.as_millis() / 1000,
+        config.compute_faults_per_run,
         if config.replay_check { "on" } else { "off" },
         jobs,
         if jobs == 1 { "" } else { "s" }

@@ -24,10 +24,22 @@
 //! compared on the wall-clock-free metrics projection, event count and
 //! PoF series bits before its numbers are reported, so the speedup is
 //! never measured against a fleet computing different answers.
+//!
+//! `--inject-panics` switches to the recovery workload instead: one
+//! fleet size, a clean run and a run with scheduled compute faults
+//! (EDDI panic, solver stall, NaN telemetry), each measured serial and
+//! sharded with the same digest cross-checks. The report
+//! (`BENCH_recovery.json` via `scripts/check.sh`) carries the faulted
+//! per-UAV throughput and `recovery_ratio` — faulted over clean
+//! throughput, i.e. what panic isolation, quarantine, revival probes
+//! and the watchdog demotion cost; `scripts/bench_gate.sh` gates its
+//! floor.
 
 use sesame_bench::cli::{BenchArgs, JsonReport};
+use sesame_core::containment::ComputeFaultKind;
 use sesame_core::fleet::{FleetSpec, ShardPolicy};
 use sesame_core::orchestrator::{Platform, PlatformConfig};
+use sesame_types::time::{SimDuration, SimTime};
 use std::time::Instant;
 
 /// Fleet sizes for the full curve and the CI smoke subset.
@@ -48,16 +60,28 @@ fn config(uavs: usize, policy: ShardPolicy) -> PlatformConfig {
     }
 }
 
+/// A scheduled compute fault for the recovery workload.
+type Fault = (SimTime, SimDuration, ComputeFaultKind);
+
 struct RunResult {
     shards: usize,
     elapsed_ns: u128,
     ticks: u64,
+    /// `uav.quarantine.entered` at the end of the run.
+    quarantines: u64,
     // Conformance digest: wall-clock-free metrics + events + PoF bits.
     digest: (String, usize, Vec<u64>),
 }
 
 fn run(uavs: usize, policy: ShardPolicy, ticks: u64) -> RunResult {
+    run_with_faults(uavs, policy, ticks, &[])
+}
+
+fn run_with_faults(uavs: usize, policy: ShardPolicy, ticks: u64, faults: &[Fault]) -> RunResult {
     let mut p = Platform::new(config(uavs, policy));
+    for &(at, duration, kind) in faults {
+        p.compute_faults_mut().schedule(at, duration, kind);
+    }
     p.launch();
     // Warmup outside the measurement: climb-out plus first-touch costs
     // (route upload, cache priming).
@@ -69,8 +93,9 @@ fn run(uavs: usize, policy: ShardPolicy, ticks: u64) -> RunResult {
         p.step();
     }
     let elapsed_ns = start.elapsed().as_nanos();
+    let snapshot = p.metrics_snapshot();
     let digest = (
-        p.metrics_snapshot().without_wall_clock().render_table(),
+        snapshot.without_wall_clock().render_table(),
         p.events().len(),
         p.series().pof().iter().map(|(_, v)| v.to_bits()).collect(),
     );
@@ -78,6 +103,7 @@ fn run(uavs: usize, policy: ShardPolicy, ticks: u64) -> RunResult {
         shards: p.shard_count(),
         elapsed_ns,
         ticks,
+        quarantines: snapshot.counter("uav.quarantine.entered"),
         digest,
     }
 }
@@ -86,8 +112,88 @@ fn ticks_per_sec(r: &RunResult) -> f64 {
     r.ticks as f64 / (r.elapsed_ns as f64 / 1e9)
 }
 
+/// The `--inject-panics` workload: clean vs compute-faulted runs, each
+/// cross-checked serial vs sharded, reporting the throughput the
+/// containment machinery (isolation, quarantine, probes, watchdog)
+/// costs under fault load.
+fn recovery_bench(args: &BenchArgs) {
+    let uavs = if args.smoke { 10 } else { 50 };
+    let ticks: u64 = if args.smoke { 30 } else { 60 };
+    let policy = match args.jobs {
+        Some(n) => ShardPolicy::Fixed { shards: n },
+        None => ShardPolicy::Auto,
+    };
+    // Warmup is 10 ticks (1 s of sim time at 100 ms/tick); every window
+    // opens inside the shortest (smoke) measured span so each fault
+    // class — panic, stall, NaN telemetry — actually fires.
+    let faults: Vec<Fault> = vec![
+        (
+            SimTime::from_millis(1500),
+            SimDuration::from_millis(800),
+            ComputeFaultKind::EddiPanic { uav: 1 },
+        ),
+        (
+            SimTime::from_millis(2000),
+            SimDuration::from_millis(1000),
+            ComputeFaultKind::SolverStall { uav: 3 },
+        ),
+        (
+            SimTime::from_millis(2500),
+            SimDuration::from_millis(500),
+            ComputeFaultKind::TelemetryNan { uav: 5 },
+        ),
+    ];
+    eprintln!(
+        "fleetbench: recovery workload, {uavs} UAVs, {ticks} timed ticks, \
+         {} scheduled compute faults, policy {policy:?}{}",
+        faults.len(),
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let clean_serial = run(uavs, ShardPolicy::Serial, ticks);
+    let clean_sharded = run(uavs, policy, ticks);
+    assert_eq!(
+        clean_serial.digest, clean_sharded.digest,
+        "clean sharded run diverged from the serial oracle with supervision \
+         enabled — containment must be invisible on the fault-free path"
+    );
+    let faulted_serial = run_with_faults(uavs, ShardPolicy::Serial, ticks, &faults);
+    let faulted_sharded = run_with_faults(uavs, policy, ticks, &faults);
+    assert_eq!(
+        faulted_serial.digest, faulted_sharded.digest,
+        "faulted sharded run diverged from the serial oracle — panic \
+         isolation must be plan-independent, refusing to report"
+    );
+    assert!(
+        faulted_sharded.quarantines >= 1,
+        "the scheduled EDDI panic left no quarantine entry behind"
+    );
+
+    let clean_tps = ticks_per_sec(&clean_sharded) * uavs as f64;
+    let faulted_tps = ticks_per_sec(&faulted_sharded) * uavs as f64;
+    let ratio = faulted_tps / clean_tps;
+    eprintln!(
+        "fleetbench: faulted {faulted_tps:.0} UAV-ticks/s vs clean \
+         {clean_tps:.0} ({ratio:.2}x), {} quarantine(s)",
+        faulted_sharded.quarantines
+    );
+    JsonReport::new("fleet_recovery_supervised_tick")
+        .int("uavs", uavs as u64)
+        .int("shards", faulted_sharded.shards as u64)
+        .num("uav_ticks_per_sec", faulted_tps, 0)
+        .num("clean_uav_ticks_per_sec", clean_tps, 0)
+        .num("recovery_ratio", ratio, 2)
+        .int("quarantines", faulted_sharded.quarantines)
+        .int("ticks", ticks)
+        .emit(args.json_path.as_deref());
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    if args.rest.iter().any(|a| a == "--inject-panics") {
+        recovery_bench(&args);
+        return;
+    }
     let sizes: Vec<usize> = if args.smoke {
         SMOKE_SIZES.to_vec()
     } else {

@@ -30,6 +30,7 @@
 //! assert!(report.all_clean(), "{}", report.render());
 //! ```
 
+use crate::containment::ComputeFaultKind;
 use crate::scenario::{ScenarioBuilder, ScenarioOutcome, ScenarioTemplate};
 use crate::supervision::SupervisionConfig;
 use rand::rngs::StdRng;
@@ -54,6 +55,11 @@ pub struct CampaignConfig {
     pub deadline: SimTime,
     /// Faults sampled per schedule.
     pub faults_per_run: usize,
+    /// Compute-plane faults (scheduled EDDI panics, NaN/Inf telemetry,
+    /// solver stalls) sampled per schedule, on top of `faults_per_run`.
+    /// Defaults to zero so vehicle/comm-only campaigns reproduce their
+    /// historical schedules bit-for-bit.
+    pub compute_faults_per_run: usize,
     /// SESAME stack on (`true`) or the paper's baseline (`false`).
     pub sesame: bool,
     /// Re-run every seed and require identical outcomes.
@@ -67,6 +73,7 @@ impl Default for CampaignConfig {
             base_seed: 1,
             deadline: SimTime::from_secs(180),
             faults_per_run: 4,
+            compute_faults_per_run: 0,
             sesame: true,
             replay_check: false,
         }
@@ -204,6 +211,11 @@ enum Injected {
         duration: SimDuration,
         kind: CommFaultKind,
     },
+    Compute {
+        at: SimTime,
+        duration: SimDuration,
+        kind: ComputeFaultKind,
+    },
 }
 
 impl Injected {
@@ -222,6 +234,12 @@ impl Injected {
                 )
             }
             Injected::Comm { at, duration, kind } => format!(
+                "t{}s {}s {}",
+                at.as_millis() / 1000,
+                duration.as_millis() / 1000,
+                kind.label()
+            ),
+            Injected::Compute { at, duration, kind } => format!(
                 "t{}s {}s {}",
                 at.as_millis() / 1000,
                 duration.as_millis() / 1000,
@@ -323,6 +341,9 @@ impl ChaosCampaign {
                     kind,
                 } => builder.fault(at, uav_index, kind),
                 Injected::Comm { at, duration, kind } => builder.comm_fault(at, duration, kind),
+                Injected::Compute { at, duration, kind } => {
+                    builder.compute_fault(at, duration, kind)
+                }
             };
         }
         builder
@@ -413,6 +434,22 @@ impl ChaosCampaign {
                 },
             });
         }
+        // Compute faults draw from their own stream so enabling them
+        // never perturbs the vehicle/comm schedule a seed has always
+        // produced.
+        let mut crng = StdRng::seed_from_u64(seed ^ 0x5E5A_3E0F_A017_C0DE);
+        for _ in 0..self.config.compute_faults_per_run {
+            let at = SimTime::from_secs(15 + crng.random::<u64>() % horizon_s.min(120));
+            let duration = SimDuration::from_secs(3 + crng.random::<u64>() % 6);
+            let uav = (crng.random::<u64>() % FLEET as u64) as usize;
+            let kind = match crng.random::<u64>() % 4 {
+                0 => ComputeFaultKind::EddiPanic { uav },
+                1 => ComputeFaultKind::TelemetryNan { uav },
+                2 => ComputeFaultKind::TelemetryInf { uav },
+                _ => ComputeFaultKind::SolverStall { uav },
+            };
+            schedule.push(Injected::Compute { at, duration, kind });
+        }
         schedule
     }
 
@@ -450,15 +487,32 @@ impl ChaosCampaign {
             let margin = SimDuration::from_secs(2);
             let run_end = SimTime::ZERO
                 + SimDuration::from_millis(outcome.obs_metrics.counter("platform.ticks") * 100);
+            // A UAV a compute fault can quarantine is exempt from the
+            // fallback expectation: while Quarantined its supervisor
+            // deliberately stops assessing (the containment layer owns
+            // it), so a blackout on that UAV may never surface as a
+            // SafeFallback transition.
+            let quarantine_prone: Vec<usize> = schedule
+                .iter()
+                .filter_map(|inj| match inj {
+                    Injected::Compute { kind, .. }
+                        if !matches!(kind, ComputeFaultKind::SolverStall { .. }) =>
+                    {
+                        Some(kind.uav())
+                    }
+                    _ => None,
+                })
+                .collect();
             let must_fall_back = schedule.iter().any(|inj| {
                 matches!(
                     inj,
                     Injected::Comm {
                         at,
                         duration,
-                        kind: CommFaultKind::LinkBlackout { .. },
+                        kind: CommFaultKind::LinkBlackout { uav },
                     } if *duration >= sup.fallback_after + margin
                         && *at + sup.fallback_after + margin <= run_end
+                        && !quarantine_prone.contains(&(uav.index() as usize - 1))
                 )
             });
             if must_fall_back && outcome.obs_metrics.counter("supervision.to_safe_fallback") == 0 {
@@ -466,6 +520,27 @@ impl ChaosCampaign {
                     "link blackout exceeded the fallback window but no \
                      SafeFallback transition was recorded"
                         .into(),
+                );
+            }
+
+            // Containment must isolate a scheduled EDDI panic: the eval
+            // guard trips on the first tick of the window, so any panic
+            // window that opened before the run ended must have left a
+            // quarantine entry behind (zero-aborts is enforced separately
+            // by the campaign-level catch_unwind).
+            let must_quarantine = schedule.iter().any(|inj| {
+                matches!(
+                    inj,
+                    Injected::Compute {
+                        at,
+                        kind: ComputeFaultKind::EddiPanic { .. },
+                        ..
+                    } if *at + margin <= run_end
+                )
+            });
+            if must_quarantine && outcome.obs_metrics.counter("uav.quarantine.entered") == 0 {
+                violations.push(
+                    "an EDDI panic window opened but no quarantine entry was recorded".into(),
                 );
             }
         }
@@ -509,6 +584,27 @@ mod tests {
         assert_eq!(label(&a), label(&b));
         assert_ne!(label(&a), label(&c));
         assert_eq!(a.len(), campaign.config.faults_per_run);
+    }
+
+    #[test]
+    fn compute_faults_extend_without_perturbing_the_base_schedule() {
+        let base = ChaosCampaign::new(CampaignConfig::default());
+        let extended = ChaosCampaign::new(CampaignConfig {
+            compute_faults_per_run: 3,
+            ..CampaignConfig::default()
+        });
+        let label = |s: &[Injected]| s.iter().map(Injected::label).collect::<Vec<_>>();
+        let a = label(&base.sample_schedule(17));
+        let b = label(&extended.sample_schedule(17));
+        // Independent stream: the vehicle/comm prefix is untouched.
+        assert_eq!(a[..], b[..a.len()]);
+        assert_eq!(b.len(), a.len() + 3);
+        assert!(b[a.len()..].iter().all(|l| {
+            l.contains("eddi_panic")
+                || l.contains("telemetry_nan")
+                || l.contains("telemetry_inf")
+                || l.contains("solver_stall")
+        }));
     }
 
     fn stub_run(seed: u64, violations: Vec<String>) -> RunReport {

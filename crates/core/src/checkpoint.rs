@@ -1,0 +1,268 @@
+//! Periodic copy-on-write checkpoints and deterministic recovery.
+//!
+//! The platform's state is the product of a deterministic function of
+//! the scenario log (the [`crate::scenario::ScenarioBuilder`]: seed,
+//! fleet, fault/attack schedules) and the tick count. A [`Checkpoint`]
+//! therefore stores no platform state at all — it pins the *log* behind
+//! a shared [`Arc`] (copy-on-write: capturing is an atomic refcount
+//! bump) plus the logical clock and a digest of the observable state at
+//! capture time.
+//!
+//! [`Checkpoint::recover`] rebuilds the scenario from the log, replays
+//! exactly the checkpointed number of ticks through the same
+//! [`crate::scenario::Scenario::step_once`] loop the original run used,
+//! and verifies the digest bit-for-bit before handing the scenario
+//! back. A recovered run continued to completion is indistinguishable
+//! from an uninterrupted one, except for the digest-excluded
+//! `checkpoint.*` counters that record the recovery itself — the
+//! `checkpoint_recovery` integration suite holds this equality.
+//!
+//! Digesting covers every surface the conformance suites compare across
+//! execution plans: the PoF/uncertainty series (bit patterns, not
+//! approximate equality), trajectories, the event log, the structured
+//! trace, and the wall-clock-free metrics.
+
+use crate::orchestrator::Platform;
+use crate::scenario::{Scenario, ScenarioBuilder};
+use std::sync::Arc;
+
+/// A checkpoint of a scenario run: the scenario log (shared
+/// copy-on-write), the tick it was captured at, and the state digest
+/// recovery must reproduce.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    tick: u64,
+    digest: u64,
+    log: Arc<ScenarioBuilder>,
+}
+
+/// Why a recovery was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The replay reached the checkpoint tick with different observable
+    /// state — the log no longer describes the run that was captured
+    /// (or determinism broke, which the conformance suites would also
+    /// catch).
+    DigestMismatch {
+        /// The digest stored at capture time.
+        expected: u64,
+        /// The digest the replay produced.
+        actual: u64,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::DigestMismatch { expected, actual } => write!(
+                f,
+                "checkpoint digest mismatch: expected {expected:#018x}, replay produced {actual:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl Checkpoint {
+    /// Captures the current state of `platform` against `log`. Called by
+    /// [`Scenario::checkpoint`][crate::scenario::Scenario::checkpoint];
+    /// no platform state is copied.
+    pub(crate) fn capture(platform: &Platform, log: Arc<ScenarioBuilder>) -> Self {
+        Checkpoint {
+            tick: platform.total_ticks(),
+            digest: digest_platform(platform),
+            log,
+        }
+    }
+
+    /// The tick count at capture time.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// The state digest recovery must reproduce.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Rebuilds the scenario from the log and replays it to the
+    /// checkpointed tick, verifying the digest before returning the
+    /// recovered, resumable scenario (continue it with
+    /// [`Scenario::resume`][crate::scenario::Scenario::resume] or
+    /// step it manually).
+    pub fn recover(&self) -> Result<Scenario, RecoverError> {
+        let mut scenario = (*self.log).clone().build();
+        scenario.launch();
+        for _ in 0..self.tick {
+            scenario.step_once();
+        }
+        let actual = digest_platform(scenario.platform());
+        if actual != self.digest {
+            return Err(RecoverError::DigestMismatch {
+                expected: self.digest,
+                actual,
+            });
+        }
+        scenario.platform_mut().record_recovery(self.tick);
+        Ok(scenario)
+    }
+}
+
+/// FNV-1a digest over every observable surface of the platform the
+/// conformance suites compare: series and trajectory bit patterns, the
+/// event log, the structured trace, and the wall-clock-free metrics
+/// (minus the `checkpoint.*` keys, so capturing and recovering never
+/// perturb the digest they verify).
+pub fn digest_platform(platform: &Platform) -> u64 {
+    let mut h = Fnv::new();
+    let series = platform.series();
+    for (t, v) in series.pof() {
+        h.f64(*t);
+        h.f64(*v);
+    }
+    for (t, v) in series.uncertainty() {
+        h.f64(*t);
+        h.f64(*v);
+    }
+    for i in 0..series.uav_count() {
+        for (t, p) in series.trajectory(i) {
+            h.f64(*t);
+            h.f64(p.lat_deg);
+            h.f64(p.lon_deg);
+            h.f64(p.alt_m);
+        }
+    }
+    for ev in platform.events().iter() {
+        h.bytes(format!("{ev:?}").as_bytes());
+    }
+    for rec in platform.trace().iter() {
+        h.bytes(format!("{rec:?}").as_bytes());
+    }
+    let metrics = platform.metrics_snapshot().without_wall_clock();
+    for (k, v) in &metrics.counters {
+        if k.starts_with("checkpoint.") {
+            continue;
+        }
+        h.bytes(k.as_bytes());
+        h.u64(*v);
+    }
+    for (k, v) in &metrics.gauges {
+        h.bytes(k.as_bytes());
+        h.f64(*v);
+    }
+    h.finish()
+}
+
+/// Minimal FNV-1a. `std`'s hashers are not guaranteed stable across
+/// releases; a checkpoint digest must be.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 ^= u64::from(*b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes the exact bit pattern — digest equality is bit-identity,
+    /// not approximate float equality.
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesame_types::time::SimTime;
+
+    #[test]
+    fn fnv_vectors() {
+        // Standard FNV-1a test vectors.
+        let mut h = Fnv::new();
+        h.bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv::new();
+        h.bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_distinguishes_float_bit_patterns() {
+        let mut a = Fnv::new();
+        a.f64(0.0);
+        let mut b = Fnv::new();
+        b.f64(-0.0); // same value, different bits
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn checkpoint_is_copy_on_write() {
+        let mut scenario = ScenarioBuilder::new(3)
+            .deadline(SimTime::from_secs(5))
+            .build();
+        scenario.launch();
+        for _ in 0..10 {
+            scenario.step_once();
+        }
+        let a = scenario.checkpoint();
+        let b = scenario.checkpoint();
+        // Both checkpoints share the one log allocation.
+        assert!(Arc::ptr_eq(&a.log, &b.log));
+        assert_eq!(a.tick(), b.tick());
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn recover_replays_to_the_same_digest() {
+        let mut scenario = ScenarioBuilder::new(17)
+            .deadline(SimTime::from_secs(10))
+            .build();
+        scenario.launch();
+        for _ in 0..25 {
+            scenario.step_once();
+        }
+        let cp = scenario.checkpoint();
+        let recovered = cp.recover().expect("digest must match");
+        assert_eq!(recovered.platform().total_ticks(), cp.tick());
+        let counters = &recovered.platform().metrics_snapshot().counters;
+        assert_eq!(counters.get("checkpoint.recoveries"), Some(&1));
+        assert_eq!(counters.get("checkpoint.replayed_ticks"), Some(&25));
+    }
+
+    #[test]
+    fn recover_rejects_a_forged_digest() {
+        let mut scenario = ScenarioBuilder::new(23)
+            .deadline(SimTime::from_secs(5))
+            .build();
+        scenario.launch();
+        for _ in 0..5 {
+            scenario.step_once();
+        }
+        let mut cp = scenario.checkpoint();
+        cp.digest ^= 1;
+        match cp.recover() {
+            Err(RecoverError::DigestMismatch { expected, actual }) => {
+                assert_eq!(expected, actual ^ 1);
+            }
+            other => panic!("expected DigestMismatch, got {other:?}"),
+        }
+    }
+}

@@ -211,6 +211,10 @@ impl UavEddiRuntime {
         // dissimilarity once over presorted reference columns and derives
         // the verdict from it — bit-identical to the naive accessor pair.
         let frame = self.features.extract(scene);
+        // Invariant: the monitor was constructed over this extractor's
+        // reference set, so widths agree by construction. A violation
+        // unwinds into the orchestrator's per-UAV catch and quarantines
+        // this engine rather than aborting the fleet tick.
         self.safeml
             .push_sample(&frame)
             .expect("extractor and monitor share the feature width");

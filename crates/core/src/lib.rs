@@ -26,8 +26,14 @@
 //! * [`scenario`] — declarative scenario construction (SESAME on/off,
 //!   fault, communication-fault and attack schedules);
 //! * [`supervision`] — the per-UAV health state machine
-//!   (`Nominal → Degraded → SafeFallback`) fed by the telemetry-staleness
-//!   watchdog and the GCS heartbeat monitor;
+//!   (`Nominal → Degraded → SafeFallback`, plus the containment layer's
+//!   `Quarantined`) fed by the telemetry-staleness watchdog and the GCS
+//!   heartbeat monitor;
+//! * [`containment`] — crash containment: the `UavFault` vocabulary,
+//!   the scheduled compute-fault injector (panics, NaN/Inf telemetry,
+//!   solver stalls) and the logical tick watchdog;
+//! * [`checkpoint`] — periodic copy-on-write campaign checkpoints and
+//!   the digest-verified `recover(checkpoint, log)` replay path;
 //! * [`chaos`] — the seeded chaos-campaign runner that sweeps randomized
 //!   fault schedules over full scenario runs and checks robustness
 //!   invariants;
@@ -44,7 +50,9 @@
 //! ```
 
 pub mod chaos;
+pub mod checkpoint;
 pub mod coengineering;
+pub mod containment;
 pub mod eddi;
 pub mod experiments;
 pub mod fleet;
@@ -56,6 +64,8 @@ pub mod shard;
 pub mod supervision;
 
 pub use chaos::{CampaignConfig, CampaignReport, ChaosCampaign};
+pub use checkpoint::{Checkpoint, RecoverError};
+pub use containment::{ComputeFaultKind, ComputeFaultPlane, FaultPhase, UavFault};
 pub use eddi::{EddiCacheStats, EddiOutputs, UavEddiRuntime};
 pub use fleet::{FleetSpec, ShardPolicy, UavProfile};
 pub use orchestrator::{Platform, PlatformConfig};

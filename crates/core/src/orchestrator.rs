@@ -14,6 +14,9 @@
 //! "abort on first symptom" policy of §V-A and attacks are not handled at
 //! all.
 
+use crate::containment::{
+    panic_message, ComputeFaultPlane, FaultPhase, QuarantineCell, TickWatchdog, UavFault,
+};
 use crate::eddi::{EddiCacheStats, EddiOutputs, TickPlan, UavEddiRuntime};
 use crate::fleet::{shard_ranges, FleetSpec, ResolvedUavProfile};
 use crate::platform::database::DatabaseManager;
@@ -21,7 +24,7 @@ use crate::platform::gcs::{GroundControlStation, StatusSnapshot, UavStatusLine};
 use crate::platform::task_manager::TaskManager;
 use crate::platform::uav_manager::UavManager;
 use crate::reference::ReferenceEddiRuntime;
-use crate::supervision::{HealthState, SupervisionConfig, UavSupervisor};
+use crate::supervision::{HealthState, HealthTransition, SupervisionConfig, UavSupervisor};
 use sesame_collab_loc::agent::CollaborativeAgent;
 use sesame_collab_loc::session::{CollabSession, LandingGuidance};
 use sesame_conserts::catalog::{
@@ -508,6 +511,20 @@ struct UavRt {
     detection_attempts: u64,
     detection_hits: u64,
     false_positives: u64,
+    /// `Some` while the UAV is quarantined after an isolated compute
+    /// fault: excised from EDDI evaluation, airspace scan and ConSert
+    /// composition until the revival probe re-admits it.
+    quarantine: Option<QuarantineCell>,
+    /// The revival probe's fresh engine, built on the first probe after
+    /// each backoff and promoted to `eddi` on release. The faulted
+    /// engine in `eddi` is never ticked again — its internal state is
+    /// suspect after an unwind.
+    probe_eddi: Option<EddiEngine>,
+    /// Outputs of the last clean (finite, non-panicking) EDDI tick.
+    last_good_outputs: Option<EddiOutputs>,
+    /// The last-known-good outputs frozen at quarantine entry; GCS
+    /// snapshots report this instead of the poisoned engine's state.
+    frozen_outputs: Option<EddiOutputs>,
 }
 
 struct ClState {
@@ -611,6 +628,14 @@ pub struct Platform {
     trace: TraceLog,
     supervisors: Vec<UavSupervisor>,
     comm_faults: CommFaultPlane,
+    compute_faults: ComputeFaultPlane,
+    /// Faults isolated during this tick's UAV pass, drained (in fleet
+    /// order) by the containment step after supervision.
+    pending_faults: Vec<UavFault>,
+    watchdog: TickWatchdog,
+    /// `Some(tick)` while the watchdog holds the sharded tick demoted to
+    /// the serial reference path; restored to `base_shards` at `tick`.
+    demoted_until_tick: Option<u64>,
     // BTreeMap, not HashMap: retries are re-published in iteration order,
     // and bus/RNG state must not depend on hash randomization.
     pending_cmds: BTreeMap<(String, u64), PendingCommand>,
@@ -620,6 +645,9 @@ pub struct Platform {
     /// the fleet's shard policy (sharding requires the fast-path EDDI's
     /// split tick, so reference engines always run serial).
     shards: Vec<Range<usize>>,
+    /// The shard plan as resolved at construction — what `shards` is
+    /// restored to when a watchdog demotion cools down.
+    base_shards: Vec<Range<usize>>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -637,7 +665,7 @@ impl Platform {
     /// when SESAME is on — the EDDI runtimes, ConSert networks, IDS and
     /// Security EDDI scripts.
     pub fn new(config: PlatformConfig) -> Self {
-        let origin = GeoPoint::new(35.05, 33.20, 0.0);
+        let origin = Self::origin();
         let world = World::rectangle(
             origin,
             config.area_width_m,
@@ -721,6 +749,10 @@ impl Platform {
                 detection_attempts: 0,
                 detection_hits: 0,
                 false_positives: 0,
+                quarantine: None,
+                probe_eddi: None,
+                last_good_outputs: None,
+                frozen_outputs: None,
             });
         }
 
@@ -759,6 +791,7 @@ impl Platform {
             1
         };
         let shards = shard_ranges(n, shard_count);
+        let watchdog = TickWatchdog::new(n, config.supervision.watchdog_trip_after);
         Platform {
             config,
             sim,
@@ -795,9 +828,51 @@ impl Platform {
             trace: TraceLog::default(),
             supervisors,
             comm_faults: CommFaultPlane::new(),
+            compute_faults: ComputeFaultPlane::new(),
+            pending_faults: Vec::new(),
+            watchdog,
+            demoted_until_tick: None,
             pending_cmds: BTreeMap::new(),
             next_heartbeat_at: SimTime::ZERO,
+            base_shards: shards.clone(),
             shards,
+        }
+    }
+
+    /// The paper's fixed operating-area origin (§IV), shared by
+    /// construction and the revival probe's fresh engines.
+    fn origin() -> GeoPoint {
+        GeoPoint::new(35.05, 33.20, 0.0)
+    }
+
+    /// A fresh EDDI engine for UAV `i`, seeded exactly as construction
+    /// seeds it. The engine kind follows the configured path: a released
+    /// UAV must rejoin the execution plan it left, and only the fast
+    /// engine supports the sharded split tick.
+    fn fresh_eddi_engine(&self, i: usize) -> EddiEngine {
+        let seed = self.config.seed ^ ((i as u64 + 1) << 16);
+        if self.config.eddi_fast_path {
+            EddiEngine::Fast(UavEddiRuntime::new(
+                seed,
+                self.config.safedrones.clone(),
+                Self::origin(),
+            ))
+        } else {
+            EddiEngine::Reference(ReferenceEddiRuntime::new(
+                seed,
+                self.config.safedrones.clone(),
+                Self::origin(),
+            ))
+        }
+    }
+
+    /// A fresh ConSert runtime for UAV `i`, matching the configured path.
+    fn fresh_consert_runtime(&self, i: usize) -> ConsertRuntime {
+        let id = self.uavs[i].handle.id();
+        if self.config.eddi_fast_path {
+            ConsertRuntime::Fast(IncrementalConsertNetwork::new(id.to_string()))
+        } else {
+            ConsertRuntime::Reference(uav_consert_network(&id.to_string()))
         }
     }
 
@@ -820,6 +895,12 @@ impl Platform {
     /// blackouts, partitions, broker outages and staleness here).
     pub fn comm_faults_mut(&mut self) -> &mut CommFaultPlane {
         &mut self.comm_faults
+    }
+
+    /// The scheduled compute-fault plane (chaos campaigns arm EDDI
+    /// panics, NaN/Inf telemetry corruption and solver stalls here).
+    pub fn compute_faults_mut(&mut self) -> &mut ComputeFaultPlane {
+        &mut self.compute_faults
     }
 
     /// The supervision health state of UAV `index`.
@@ -876,6 +957,26 @@ impl Platform {
     /// A cheap, comparable copy of the current metrics.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Closed-loop ticks stepped so far (the checkpoint layer's logical
+    /// clock).
+    pub fn total_ticks(&self) -> u64 {
+        self.total_ticks
+    }
+
+    /// Counts a checkpoint capture. The `checkpoint.*` keys are excluded
+    /// from state digests, so capturing never perturbs bit-identity.
+    pub(crate) fn record_checkpoint_capture(&mut self) {
+        self.metrics.inc("checkpoint.captures");
+    }
+
+    /// Marks this platform as recovered from a checkpoint after
+    /// replaying `replayed_ticks` logged ticks.
+    pub(crate) fn record_recovery(&mut self, replayed_ticks: u64) {
+        self.metrics.inc("checkpoint.recoveries");
+        self.metrics
+            .set_counter("checkpoint.replayed_ticks", replayed_ticks);
     }
 
     /// The platform-wide structured trace: bus drops/tampers absorbed
@@ -981,6 +1082,31 @@ impl Platform {
             );
         }
 
+        // ---- Scheduled compute faults ----
+        // Advanced before sensing so a window opening at `now` already
+        // corrupts this tick's telemetry / arms this tick's panic.
+        for tr in self.compute_faults.step(now) {
+            self.metrics.inc("chaos.compute_fault_transitions");
+            if tr.activated {
+                self.metrics.inc("chaos.compute_faults_activated");
+            }
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::ComputeFault {
+                    label: tr.label.clone(),
+                    activated: tr.activated,
+                },
+            );
+            self.events.push(
+                now,
+                SystemEvent::Note(format!(
+                    "compute fault {} {}",
+                    tr.label,
+                    if tr.activated { "activated" } else { "cleared" }
+                )),
+            );
+        }
+
         // ---- GCS heartbeat (per-UAV, signed, over the lossy bus) ----
         // Each UAV's supervisor measures uplink liveness from these.
         if self.config.supervision.enabled && now >= self.next_heartbeat_at {
@@ -1002,7 +1128,14 @@ impl Platform {
         let mut telemetries: Vec<UavTelemetry> = Vec::with_capacity(n);
         for i in 0..n {
             let handle = self.uavs[i].handle;
-            let tel = self.sim.telemetry(handle);
+            let mut tel = self.sim.telemetry(handle);
+            // An active telemetry-corruption fault poisons the sensor
+            // readings *before* anything consumes them, so both
+            // execution plans see the same corrupt inputs (the EDDI
+            // input guard rejects them instead of solving on NaN).
+            if self.compute_faults.corrupt_telemetry(i, &mut tel) {
+                self.metrics.inc("uav.fault.telemetry_corrupted");
+            }
             telemetries.push(tel);
         }
         // A multi-shard plan runs the data-parallel tick (serial
@@ -1130,6 +1263,14 @@ impl Platform {
         // ---- Degraded-mode supervision ----
         if self.config.supervision.enabled {
             self.step_supervision(now);
+        }
+
+        // ---- Crash containment ----
+        // Always on with SESAME (a panic must never abort the campaign,
+        // whatever the supervision config says): quarantine this tick's
+        // isolated faults, run the revival probes, feed the watchdog.
+        if self.config.sesame_enabled {
+            self.step_containment(&telemetries, now);
         }
 
         // ---- Security EDDI scripts ----
@@ -1466,6 +1607,67 @@ impl Platform {
         }
     }
 
+    /// The guard at the head of one UAV's EDDI evaluation, run at the
+    /// same position by both execution plans so the fault record — and
+    /// everything downstream of it — is bit-identical across shard
+    /// policies. Checks, in order: an armed scheduled panic (which is
+    /// genuinely raised and caught, exercising the unwind path), then
+    /// non-finite telemetry that must not reach the solver.
+    fn eval_guard(&self, i: usize, tel: &UavTelemetry, now: SimTime) -> Option<UavFault> {
+        let id = tel.uav;
+        if self.compute_faults.panic_armed(i) {
+            let payload =
+                crate::shard::quiet_catch_unwind(|| panic!("chaos: scheduled eddi panic"))
+                    .expect_err("the closure unconditionally panics");
+            return Some(UavFault {
+                uav: i,
+                id,
+                at: now,
+                phase: FaultPhase::Injected,
+                message: panic_message(payload.as_ref()),
+            });
+        }
+        for (name, v) in [
+            ("battery_soc", tel.battery_soc),
+            ("battery_temp_c", tel.battery_temp_c),
+            ("vision_health", tel.vision_health),
+            ("link_quality", tel.link_quality),
+        ] {
+            if !v.is_finite() {
+                return Some(UavFault {
+                    uav: i,
+                    id,
+                    at: now,
+                    phase: FaultPhase::Telemetry,
+                    message: format!("non-finite {name} ({v})"),
+                });
+            }
+        }
+        None
+    }
+
+    /// The guard on one UAV's EDDI outputs: a non-finite
+    /// probability-of-failure or combined uncertainty must not feed the
+    /// series, the altitude policy or the ConSert evidence. Run at the
+    /// merge position on both execution plans.
+    fn output_guard(i: usize, id: UavId, out: &EddiOutputs, now: SimTime) -> Option<UavFault> {
+        for (name, v) in [
+            ("pof", out.reliability.pof),
+            ("combined_uncertainty", out.combined_uncertainty),
+        ] {
+            if !v.is_finite() {
+                return Some(UavFault {
+                    uav: i,
+                    id,
+                    at: now,
+                    phase: FaultPhase::Output,
+                    message: format!("non-finite {name} ({v})"),
+                });
+            }
+        }
+        None
+    }
+
     /// The serial per-UAV tick — the oracle every shard plan must
     /// reproduce bit for bit.
     fn step_uavs_serial(
@@ -1486,19 +1688,45 @@ impl Platform {
                 self.events.push(now, ev);
             }
 
-            // EDDI tick (SESAME only).
-            if self.uavs[i].eddi.is_some() {
+            // EDDI tick (SESAME only; a quarantined UAV's engine is
+            // frozen — the revival probe, not the tick, exercises it).
+            if self.uavs[i].eddi.is_some() && self.uavs[i].quarantine.is_none() {
                 span.enter(phase::EDDI_EVAL);
-                self.metrics.inc(&format!("eddi.evals.uav{i}"));
-                let scene = SceneCondition {
-                    altitude_m: tel.true_position.alt_m,
-                    visibility,
-                };
-                let remaining = self.estimated_remaining_mission(id);
-                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
-                eddi.set_remaining_mission(remaining);
-                let out = eddi.tick(&tel, &scene);
-                self.apply_eddi_outputs(i, &tel, &out, now, second_boundary);
+                if let Some(fault) = self.eval_guard(i, &tel, now) {
+                    self.pending_faults.push(fault);
+                } else {
+                    self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                    let scene = SceneCondition {
+                        altitude_m: tel.true_position.alt_m,
+                        visibility,
+                    };
+                    let remaining = self.estimated_remaining_mission(id);
+                    // Invariant: `eddi.is_some()` holds — checked by the
+                    // enclosing condition.
+                    let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
+                    eddi.set_remaining_mission(remaining);
+                    // Unwind safety: on a panic the engine's internal
+                    // state is suspect, so the containment layer
+                    // quarantines the UAV and never ticks this engine
+                    // again (a release promotes a fresh probe engine).
+                    match crate::shard::quiet_catch_unwind(|| eddi.tick(&tel, &scene)) {
+                        Ok(out) => {
+                            if let Some(fault) = Self::output_guard(i, id, &out, now) {
+                                self.pending_faults.push(fault);
+                            } else {
+                                self.uavs[i].last_good_outputs = Some(out.clone());
+                                self.apply_eddi_outputs(i, &tel, &out, now, second_boundary);
+                            }
+                        }
+                        Err(payload) => self.pending_faults.push(UavFault {
+                            uav: i,
+                            id,
+                            at: now,
+                            phase: FaultPhase::EddiTick,
+                            message: panic_message(payload.as_ref()),
+                        }),
+                    }
+                }
             }
             span.enter(phase::SENSE_PUBLISH);
 
@@ -1541,12 +1769,36 @@ impl Platform {
         for i in 0..n {
             let tel = telemetries[i].clone();
             self.uav_pre_pass(i, &tel, now, visibility, &mut det_events[i]);
-            let plan = if self.uavs[i].eddi.is_some() {
-                self.metrics.inc(&format!("eddi.evals.uav{i}"));
-                let remaining = self.estimated_remaining_mission(tel.uav);
-                let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
-                eddi.set_remaining_mission(remaining);
-                Some(eddi.begin_tick(&tel))
+            // Same gating and guard as the serial oracle, at the same
+            // position — so injected and guard faults are bit-identical
+            // across shard policies.
+            let plan = if self.uavs[i].eddi.is_some() && self.uavs[i].quarantine.is_none() {
+                if let Some(fault) = self.eval_guard(i, &tel, now) {
+                    self.pending_faults.push(fault);
+                    None
+                } else {
+                    self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                    let remaining = self.estimated_remaining_mission(tel.uav);
+                    // Invariant: `eddi.is_some()` holds — checked by the
+                    // enclosing condition.
+                    let eddi = self.uavs[i].eddi.as_mut().expect("checked above");
+                    eddi.set_remaining_mission(remaining);
+                    // Unwind safety: a panicking engine is quarantined
+                    // and never ticked again (see the serial path).
+                    match crate::shard::quiet_catch_unwind(|| eddi.begin_tick(&tel)) {
+                        Ok(plan) => Some(plan),
+                        Err(payload) => {
+                            self.pending_faults.push(UavFault {
+                                uav: i,
+                                id: tel.uav,
+                                at: now,
+                                phase: FaultPhase::EddiBegin,
+                                message: panic_message(payload.as_ref()),
+                            });
+                            None
+                        }
+                    }
+                }
             } else {
                 None
             };
@@ -1576,12 +1828,18 @@ impl Platform {
         // One pure solve per class; the representative's process state
         // is exactly what its `advance` would solve from, and every
         // member of the class shares it bit for bit (that is what equal
-        // solve keys mean).
+        // solve keys mean). A solve that panics faults every member of
+        // its class — they would all have hit the same panic serially.
         let jobs = self.shards.len();
-        let dists: Vec<Vec<f64>> = {
+        let dists: Vec<Result<Vec<f64>, crate::shard::TaskPanic>> = {
             let uavs = &self.uavs;
-            crate::shard::run_indexed(jobs, classes.len(), |c| {
+            crate::shard::try_run_indexed(jobs, classes.len(), |c| {
                 let (rep, slot, dt) = classes[c];
+                // Invariant: `classes` was built from UAVs that passed
+                // the eddi.is_some() gate this tick. If it ever breaks,
+                // try_run_indexed catches the unwind and the excision
+                // loop below faults the class's members instead of
+                // aborting the tick.
                 uavs[rep]
                     .eddi
                     .as_ref()
@@ -1589,6 +1847,20 @@ impl Platform {
                     .solve_dist(slot, dt)
             })
         };
+        for i in 0..n {
+            let failed = (0..MARKOV_SLOTS)
+                .find_map(|slot| class_of[i][slot].and_then(|cid| dists[cid].as_ref().err()));
+            if let Some(panic) = failed {
+                plans[i] = None; // skip the finish; the fault quarantines it
+                self.pending_faults.push(UavFault {
+                    uav: i,
+                    id: telemetries[i].uav,
+                    at: now,
+                    phase: FaultPhase::EddiSolve,
+                    message: panic.message.clone(),
+                });
+            }
+        }
 
         // Finish each shard's UAVs in parallel: the shard slices are
         // disjoint `&mut` windows of the fleet, so no state is shared.
@@ -1609,12 +1881,15 @@ impl Platform {
                 rest = tail;
             }
         }
-        let outs: Vec<Option<EddiOutputs>> = crate::shard::run_tasks(jobs, works, |_, work| {
+        // Each UAV's finish is individually caught, so one panicking
+        // engine faults one UAV instead of unwinding the whole shard.
+        type FinishResult = Result<Option<EddiOutputs>, String>;
+        let outs: Vec<FinishResult> = crate::shard::run_tasks(jobs, works, |_, work| {
             let start = work.0;
             let mut shard_outs = Vec::with_capacity(work.1.len());
             for k in 0..work.1.len() {
                 let i = start + k;
-                let out = match (work.2[k].take(), work.1[k].eddi.as_mut()) {
+                let out: FinishResult = match (work.2[k].take(), work.1[k].eddi.as_mut()) {
                     (Some(plan), Some(eddi)) => {
                         let tel = &telemetries[i];
                         let scene = SceneCondition {
@@ -1624,12 +1899,20 @@ impl Platform {
                         let mut primes: [Option<&[f64]>; MARKOV_SLOTS] = [None; MARKOV_SLOTS];
                         for slot in 0..MARKOV_SLOTS {
                             if let Some(cid) = class_of[i][slot] {
-                                primes[slot] = Some(&dists[cid]);
+                                // Invariant: a failed class excised its
+                                // members above, so the lookup hits Ok.
+                                primes[slot] = dists[cid].as_deref().ok();
                             }
                         }
-                        Some(eddi.finish_tick(tel, &scene, plan, primes))
+                        // Unwind safety: a panicking engine is
+                        // quarantined and never ticked again.
+                        crate::shard::quiet_catch_unwind(|| {
+                            eddi.finish_tick(tel, &scene, plan, primes)
+                        })
+                        .map(Some)
+                        .map_err(|payload| panic_message(payload.as_ref()))
                     }
-                    _ => None,
+                    _ => Ok(None),
                 };
                 shard_outs.push(out);
             }
@@ -1644,8 +1927,25 @@ impl Platform {
             for ev in det_events[i].drain(..) {
                 self.events.push(now, ev);
             }
-            if let Some(out) = &outs[i] {
-                self.apply_eddi_outputs(i, tel, out, now, second_boundary);
+            match &outs[i] {
+                Ok(Some(out)) => {
+                    // Output guard at the merge position — exactly where
+                    // the serial oracle checks it.
+                    if let Some(fault) = Self::output_guard(i, tel.uav, out, now) {
+                        self.pending_faults.push(fault);
+                    } else {
+                        self.uavs[i].last_good_outputs = Some(out.clone());
+                        self.apply_eddi_outputs(i, tel, out, now, second_boundary);
+                    }
+                }
+                Ok(None) => {}
+                Err(message) => self.pending_faults.push(UavFault {
+                    uav: i,
+                    id: tel.uav,
+                    at: now,
+                    phase: FaultPhase::EddiFinish,
+                    message: message.clone(),
+                }),
             }
             // Trajectory sampling.
             if second_boundary {
@@ -1660,6 +1960,10 @@ impl Platform {
     /// [`Self::step_airspace_sharded`].
     fn step_airspace_serial(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
         let n = telemetries.len();
+        // A quarantined UAV is excised from the separation scan (its
+        // telemetry may be the corrupt readings that faulted it); the
+        // geofence — which watches true position — keeps running.
+        let quarantined: Vec<bool> = self.uavs.iter().map(|u| u.quarantine.is_some()).collect();
         for i in 0..n {
             let tel = &telemetries[i];
             if let Some(status) = self.geofences[i].update(&tel.true_position) {
@@ -1678,12 +1982,12 @@ impl Platform {
                     },
                 );
             }
-            if self.config.sesame_enabled && tel.mode == FlightMode::Mission {
+            if self.config.sesame_enabled && tel.mode == FlightMode::Mission && !quarantined[i] {
                 // Nearest airborne teammate and closing geometry.
                 let mut nearest = f64::INFINITY;
                 let mut converging = false;
                 for j in 0..n {
-                    if j == i || !telemetries[j].mode.is_airborne() {
+                    if j == i || quarantined[j] || !telemetries[j].mode.is_airborne() {
                         continue;
                     }
                     let d = tel
@@ -1714,19 +2018,22 @@ impl Platform {
         let jobs = self.shards.len();
         let shards = self.shards.clone();
         let sesame = self.config.sesame_enabled;
+        // Same excision as the serial oracle: quarantined UAVs are
+        // neither subjects nor teammates of the separation scan.
+        let quarantined: Vec<bool> = self.uavs.iter().map(|u| u.quarantine.is_some()).collect();
         let prox: Vec<Option<(f64, bool)>> = crate::shard::run_indexed(jobs, shards.len(), |s| {
             shards[s]
                 .clone()
                 .map(|i| {
                     let tel = &telemetries[i];
-                    if !(sesame && tel.mode == FlightMode::Mission) {
+                    if !(sesame && tel.mode == FlightMode::Mission) || quarantined[i] {
                         return None;
                     }
                     // Nearest airborne teammate and closing geometry.
                     let mut nearest = f64::INFINITY;
                     let mut converging = false;
                     for j in 0..n {
-                        if j == i || !telemetries[j].mode.is_airborne() {
+                        if j == i || quarantined[j] || !telemetries[j].mode.is_airborne() {
                             continue;
                         }
                         let d = tel
@@ -1813,34 +2120,8 @@ impl Platform {
     fn step_supervision(&mut self, now: SimTime) {
         let cfg = self.config.supervision.clone();
         for i in 0..self.uavs.len() {
-            let id = self.uavs[i].handle.id();
             if let Some(tr) = self.supervisors[i].assess(now, &cfg) {
-                self.metrics.inc("supervision.transitions");
-                self.metrics
-                    .inc(&format!("supervision.to_{}", tr.to.as_str()));
-                self.trace.push(
-                    now.as_millis(),
-                    TraceEvent::HealthTransition {
-                        uav: id.to_string(),
-                        from: tr.from.as_str().to_string(),
-                        to: tr.to.as_str().to_string(),
-                        reason: tr.reason.clone(),
-                    },
-                );
-                let severity = match tr.to {
-                    HealthState::Nominal => Severity::Info,
-                    HealthState::Degraded => Severity::Warning,
-                    HealthState::SafeFallback => Severity::Critical,
-                };
-                self.events.push(
-                    now,
-                    SystemEvent::MonitorFinding {
-                        uav: id,
-                        monitor: "supervision".into(),
-                        severity,
-                        detail: format!("{} -> {}: {}", tr.from, tr.to, tr.reason),
-                    },
-                );
+                self.record_health_transition(i, &tr, now);
                 // The minimal-risk manoeuvre: a cut-off UAV heads home on
                 // its own authority (the CL landing pipeline keeps
                 // priority — it already owns the vehicle).
@@ -1892,6 +2173,266 @@ impl Platform {
             );
             self.publish_command(key.0, pc.payload, attempt);
         }
+    }
+
+    /// Records one UAV's health transition: counters, trace and the
+    /// supervision event. Shared by the staleness watchdog path and the
+    /// containment layer's quarantine/release transitions.
+    fn record_health_transition(&mut self, i: usize, tr: &HealthTransition, now: SimTime) {
+        let id = self.uavs[i].handle.id();
+        self.metrics.inc("supervision.transitions");
+        self.metrics
+            .inc(&format!("supervision.to_{}", tr.to.as_str()));
+        self.trace.push(
+            now.as_millis(),
+            TraceEvent::HealthTransition {
+                uav: id.to_string(),
+                from: tr.from.as_str().to_string(),
+                to: tr.to.as_str().to_string(),
+                reason: tr.reason.clone(),
+            },
+        );
+        let severity = match tr.to {
+            HealthState::Nominal => Severity::Info,
+            HealthState::Degraded => Severity::Warning,
+            HealthState::SafeFallback | HealthState::Quarantined => Severity::Critical,
+        };
+        self.events.push(
+            now,
+            SystemEvent::MonitorFinding {
+                uav: id,
+                monitor: "supervision".into(),
+                severity,
+                detail: format!("{} -> {}: {}", tr.from, tr.to, tr.reason),
+            },
+        );
+    }
+
+    /// The containment step: quarantine this tick's isolated faults, run
+    /// the revival probes, feed the tick watchdog. Serial and in fleet
+    /// order on both execution plans — the pending faults are sorted by
+    /// fleet index first, so the processing order never depends on which
+    /// plan (or which sub-phase of it) isolated them.
+    fn step_containment(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        let n = self.uavs.len();
+        let mut faults = std::mem::take(&mut self.pending_faults);
+        faults.sort_by_key(|f| f.uav);
+        let mut tick_faulted = vec![false; n];
+        for f in &faults {
+            tick_faulted[f.uav] = true;
+        }
+        // A solver stall is execution-plane only — outputs are
+        // unchanged — but it strikes the watchdog like a fault.
+        for (i, flag) in tick_faulted.iter_mut().enumerate() {
+            if self.compute_faults.stalled(i) {
+                self.metrics.inc("uav.fault.solver_stall_ticks");
+                *flag = true;
+            }
+        }
+        for fault in faults {
+            self.metrics.inc("uav.fault.isolated");
+            self.metrics
+                .inc(&format!("uav.fault.phase.{}", fault.phase));
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::UavFault {
+                    uav: fault.id.to_string(),
+                    phase: fault.phase.as_str().to_string(),
+                    detail: fault.message.clone(),
+                },
+            );
+            self.events.push(
+                now,
+                SystemEvent::MonitorFinding {
+                    uav: fault.id,
+                    monitor: "containment".into(),
+                    severity: Severity::Critical,
+                    detail: fault.describe(),
+                },
+            );
+            if self.uavs[fault.uav].quarantine.is_none() {
+                self.enter_quarantine(fault, now);
+            }
+        }
+
+        self.step_revival_probes(telemetries, now);
+
+        // The logical tick watchdog: a UAV faulting or stalling
+        // `watchdog_trip_after` ticks in a row demotes the sharded tick
+        // to the serial reference path for a cooldown. The demotion
+        // state machine runs on every plan — on an already-serial plan
+        // it is vacuous but its counters still tick, keeping the
+        // wall-clock-free metrics identical across shard policies.
+        let tripped = self.watchdog.observe(&tick_faulted);
+        for i in tripped {
+            let id = self.uavs[i].handle.id();
+            self.metrics.inc("watchdog.trip");
+            self.trace.push(
+                now.as_millis(),
+                TraceEvent::WatchdogTrip {
+                    uav: id.to_string(),
+                },
+            );
+            self.events.push(
+                now,
+                SystemEvent::Note(format!("{id}: tick watchdog tripped, demoting to serial")),
+            );
+            if self.demoted_until_tick.is_none() {
+                self.metrics.inc("watchdog.demotions");
+            }
+            // A re-trip while demoted extends the cooldown.
+            self.demoted_until_tick =
+                Some(self.total_ticks + self.config.supervision.watchdog_cooldown_ticks);
+            self.shards = shard_ranges(n, 1);
+        }
+        if let Some(until) = self.demoted_until_tick {
+            if self.total_ticks >= until {
+                self.demoted_until_tick = None;
+                self.shards = self.base_shards.clone();
+            } else {
+                self.metrics.inc("watchdog.demoted_ticks");
+            }
+        }
+
+        let active = self.uavs.iter().filter(|u| u.quarantine.is_some()).count();
+        self.metrics
+            .set_gauge("uav.quarantine.active", active as f64);
+    }
+
+    /// Quarantine entry: freeze the last-known-good outputs, mark the
+    /// health state machine, and command RTB over the at-least-once GCS
+    /// channel. The faulted engine stays in place but is never ticked
+    /// again — a release promotes a fresh probe engine over it.
+    fn enter_quarantine(&mut self, fault: UavFault, now: SimTime) {
+        let i = fault.uav;
+        let id = fault.id;
+        self.metrics.inc("uav.quarantine.entered");
+        self.uavs[i].frozen_outputs = self.uavs[i].last_good_outputs.clone();
+        self.uavs[i].probe_eddi = None;
+        let reason = fault.describe();
+        let cell = QuarantineCell::new(
+            fault,
+            self.total_ticks,
+            self.config.supervision.revival_backoff_ticks,
+        );
+        self.uavs[i].quarantine = Some(cell);
+        if let Some(tr) = self.supervisors[i].quarantine(reason) {
+            self.record_health_transition(i, &tr, now);
+        }
+        // The minimal-risk manoeuvre, over the retrying command channel
+        // (the CL landing pipeline keeps priority — it owns the vehicle).
+        if !self.uavs[i].cl_landing && self.sim.mode(self.uavs[i].handle).is_airborne() {
+            self.publish_command(
+                format!("/{id}/cmd/mode"),
+                Payload::ModeCommand {
+                    uav: id,
+                    mode: "rtb".into(),
+                },
+                0,
+            );
+        }
+    }
+
+    /// The bounded-backoff revival probes: a quarantined UAV is probed
+    /// on a *fresh* engine (the faulted one is suspect after its unwind)
+    /// and released once `revival_clean_ticks` consecutive probes come
+    /// back clean — no armed panic, finite inputs, a tick that neither
+    /// panics nor produces non-finite outputs.
+    fn step_revival_probes(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
+        if !self.config.supervision.quarantine_enabled {
+            return; // retire mode: quarantined UAVs stay out for the run
+        }
+        let cfg = self.config.supervision.clone();
+        let visibility = self.sim.world().visibility();
+        for i in 0..self.uavs.len() {
+            let due = self.uavs[i]
+                .quarantine
+                .as_ref()
+                .is_some_and(|cell| self.total_ticks >= cell.next_probe_tick);
+            if !due {
+                continue;
+            }
+            self.metrics.inc("uav.quarantine.probes");
+            let tel = &telemetries[i];
+            // A probe can only be clean when the environment is: an
+            // armed panic window or corrupt telemetry fails it up front
+            // (without burning a tick on the probe engine).
+            let mut clean = !self.compute_faults.panic_armed(i)
+                && [
+                    tel.battery_soc,
+                    tel.battery_temp_c,
+                    tel.vision_health,
+                    tel.link_quality,
+                ]
+                .iter()
+                .all(|v| v.is_finite());
+            if clean {
+                if self.uavs[i].probe_eddi.is_none() {
+                    let fresh = self.fresh_eddi_engine(i);
+                    self.uavs[i].probe_eddi = Some(fresh);
+                }
+                let remaining = self.estimated_remaining_mission(tel.uav);
+                let scene = SceneCondition {
+                    altitude_m: tel.true_position.alt_m,
+                    visibility,
+                };
+                // Invariant: built two statements above when absent.
+                let eddi = self.uavs[i].probe_eddi.as_mut().expect("built above");
+                eddi.set_remaining_mission(remaining);
+                // Unwind safety: a panicking probe engine is dropped and
+                // rebuilt fresh at the next attempt.
+                clean = match crate::shard::quiet_catch_unwind(|| eddi.tick(tel, &scene)) {
+                    Ok(out) => {
+                        out.reliability.pof.is_finite() && out.combined_uncertainty.is_finite()
+                    }
+                    Err(_) => false,
+                };
+            }
+            let tick = self.total_ticks;
+            if clean {
+                // Invariant: `due` above proved the cell exists.
+                let cell = self.uavs[i].quarantine.as_mut().expect("checked above");
+                cell.probe_clean(tick);
+                if cell.clean_ticks >= cfg.revival_clean_ticks {
+                    self.release_from_quarantine(i, now);
+                }
+            } else {
+                self.metrics.inc("uav.quarantine.probe_failures");
+                // The probe engine's state is suspect after a failed
+                // probe — rebuild fresh at the next attempt.
+                self.uavs[i].probe_eddi = None;
+                // Invariant: `due` above proved the cell exists.
+                let cell = self.uavs[i].quarantine.as_mut().expect("checked above");
+                cell.probe_failed(tick, cfg.revival_backoff_ticks, cfg.revival_backoff_cap);
+            }
+        }
+    }
+
+    /// Re-admission after a clean probe streak: the probe engine — whose
+    /// state now reflects the recent telemetry — is promoted over the
+    /// faulted one, the ConSert runtime is rebuilt fresh, and the health
+    /// state machine returns to Nominal with fresh link signals.
+    fn release_from_quarantine(&mut self, i: usize, now: SimTime) {
+        let id = self.uavs[i].handle.id();
+        self.metrics.inc("uav.quarantine.released");
+        let promoted = self.uavs[i].probe_eddi.take();
+        // Invariant: a release follows `revival_clean_ticks` clean
+        // probes, each of which ticked the probe engine.
+        self.uavs[i].eddi = Some(promoted.expect("release follows a clean probe streak"));
+        if self.uavs[i].conserts.is_some() {
+            let fresh = self.fresh_consert_runtime(i);
+            self.uavs[i].conserts = Some(fresh);
+        }
+        self.uavs[i].quarantine = None;
+        self.uavs[i].frozen_outputs = None;
+        self.uavs[i].last_good_outputs = None;
+        if let Some(tr) = self.supervisors[i].release(now, "revival probe streak clean") {
+            self.record_health_transition(i, &tr, now);
+        }
+        self.events.push(
+            now,
+            SystemEvent::Note(format!("{id}: released from quarantine")),
+        );
     }
 
     fn estimated_remaining_mission(&self, uav: UavId) -> SimDuration {
@@ -2015,6 +2556,13 @@ impl Platform {
                 actions.push(UavAction::EmergencyLand); // under CL control
                 continue;
             }
+            // A quarantined UAV is excised from the composition: its
+            // engine state is suspect and containment already commanded
+            // RTB; declaring it aborting redistributes its tasks.
+            if self.uavs[i].quarantine.is_some() {
+                actions.push(UavAction::ReturnToBase);
+                continue;
+            }
             // A cut-off UAV is already flying home under supervision
             // authority; declaring it aborting here lets the mission
             // decider redistribute its remaining tasks.
@@ -2133,7 +2681,7 @@ impl Platform {
             for (k, rt) in work.1.iter_mut().enumerate() {
                 let i = start + k;
                 let tel = &telemetries[i];
-                if rt.cl_landing || fallback[i] {
+                if rt.cl_landing || rt.quarantine.is_some() || fallback[i] {
                     shard_actions.push(None);
                     continue;
                 }
@@ -2164,6 +2712,11 @@ impl Platform {
             let id = tel.uav;
             if self.uavs[i].cl_landing {
                 actions.push(UavAction::EmergencyLand); // under CL control
+                continue;
+            }
+            // Same order as the serial pass: CL → quarantine → fallback.
+            if self.uavs[i].quarantine.is_some() {
+                actions.push(UavAction::ReturnToBase);
                 continue;
             }
             if fallback[i] {
@@ -2282,10 +2835,19 @@ impl Platform {
                 battery_soc: tel.battery_soc,
                 mode: tel.mode,
                 consert_action: self.manager.last_action(tel.uav),
-                pof: self.uavs[i]
-                    .eddi
-                    .as_ref()
-                    .and_then(|e| e.last_outputs().map(|o| o.reliability.pof)),
+                // A quarantined engine's state is suspect: report the
+                // last-known-good outputs frozen at entry instead.
+                pof: if self.uavs[i].quarantine.is_some() {
+                    self.uavs[i]
+                        .frozen_outputs
+                        .as_ref()
+                        .map(|o| o.reliability.pof)
+                } else {
+                    self.uavs[i]
+                        .eddi
+                        .as_ref()
+                        .and_then(|e| e.last_outputs().map(|o| o.reliability.pof))
+                },
             })
             .collect();
         StatusSnapshot {

@@ -112,6 +112,8 @@ impl ReferenceEddiRuntime {
 
         // Perception monitors share one frame.
         let frame = self.features.extract(scene);
+        // Invariant: widths agree by construction (see the fast path);
+        // a violation is isolated by the orchestrator's per-UAV catch.
         self.safeml
             .push_sample(&frame)
             .expect("extractor and monitor share the feature width");

@@ -5,6 +5,8 @@
 //! loop to completion, collecting a [`ScenarioOutcome`] with the metrics
 //! every §V experiment reports.
 
+use crate::checkpoint::Checkpoint;
+use crate::containment::ComputeFaultKind;
 use crate::orchestrator::{ClLandingOutcome, Platform, PlatformConfig, Sample};
 use sesame_middleware::attack::{AttackInjector, AttackKind};
 use sesame_middleware::chaos::CommFaultKind;
@@ -54,12 +56,24 @@ pub struct CommFaultEntry {
     pub kind: CommFaultKind,
 }
 
+/// A scheduled compute-plane fault entry (see [`crate::containment`]).
+#[derive(Debug, Clone)]
+pub struct ComputeFaultEntry {
+    /// When the fault activates.
+    pub at: SimTime,
+    /// How long it stays active.
+    pub duration: SimDuration,
+    /// What breaks.
+    pub kind: ComputeFaultKind,
+}
+
 /// The declarative description.
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
     config: PlatformConfig,
     faults: Vec<FaultEntry>,
     comm_faults: Vec<CommFaultEntry>,
+    compute_faults: Vec<ComputeFaultEntry>,
     attack: Option<SpoofAttack>,
     deadline: SimTime,
 }
@@ -77,6 +91,7 @@ impl ScenarioBuilder {
             },
             faults: Vec::new(),
             comm_faults: Vec::new(),
+            compute_faults: Vec::new(),
             attack: None,
             deadline: SimTime::from_secs(900),
         }
@@ -118,6 +133,20 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Schedules a compute-plane fault (scheduled EDDI panic, NaN/Inf
+    /// telemetry corruption, solver stall) active for `duration` from
+    /// `at`.
+    pub fn compute_fault(
+        mut self,
+        at: SimTime,
+        duration: SimDuration,
+        kind: ComputeFaultKind,
+    ) -> Self {
+        self.compute_faults
+            .push(ComputeFaultEntry { at, duration, kind });
+        self
+    }
+
     /// Arms the spoofing attack.
     pub fn spoof_attack(mut self, attack: SpoofAttack) -> Self {
         self.attack = Some(attack);
@@ -135,8 +164,11 @@ impl ScenarioBuilder {
         &mut self.config
     }
 
-    /// Builds the runnable scenario.
+    /// Builds the runnable scenario. The builder itself is retained
+    /// behind an [`Arc`] as the run's *log*: checkpoints share it
+    /// copy-on-write, and [`Checkpoint::recover`] replays it.
     pub fn build(self) -> Scenario {
+        let log = Arc::new(self.clone());
         let mut platform = Platform::new(self.config.clone());
         for f in &self.faults {
             let id = UavId::new(f.uav_index as u32 + 1);
@@ -149,6 +181,11 @@ impl ScenarioBuilder {
             platform
                 .comm_faults_mut()
                 .schedule(cf.at, cf.duration, cf.kind.clone());
+        }
+        for cf in &self.compute_faults {
+            platform
+                .compute_faults_mut()
+                .schedule(cf.at, cf.duration, cf.kind);
         }
         let injector = self.attack.as_ref().and_then(|a| {
             a.forge_waypoints.then(|| {
@@ -176,6 +213,7 @@ impl ScenarioBuilder {
             injector,
             deadline: self.deadline,
             last_forge_sec: 0,
+            log,
         }
     }
 }
@@ -226,6 +264,9 @@ pub struct Scenario {
     injector: Option<AttackInjector>,
     deadline: SimTime,
     last_forge_sec: u64,
+    /// The declarative description this scenario was built from, shared
+    /// copy-on-write with every checkpoint captured during the run.
+    log: Arc<ScenarioBuilder>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -290,23 +331,88 @@ impl Scenario {
         &mut self.platform
     }
 
+    /// The platform, read-only (checkpoint digests read state here).
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Commands the fleet airborne. [`Self::run`] calls this itself;
+    /// step-wise drivers (checkpointing, benches) call it once before
+    /// their [`Self::step_once`] loop.
+    pub fn launch(&mut self) {
+        self.platform.launch();
+    }
+
+    /// One tick of the full run loop — the platform step plus the
+    /// scripted attack driver — exactly as [`Self::run`] executes it, so
+    /// a step-wise replay reproduces a `run` bit for bit.
+    pub fn step_once(&mut self) -> SimTime {
+        let now = self.platform.step();
+        self.drive_attack(now);
+        now
+    }
+
+    /// Whether the run loop stops after the tick that returned `now`.
+    pub fn should_stop(&self, now: SimTime) -> bool {
+        if now >= self.deadline {
+            return true;
+        }
+        if self.platform.mission_complete_at().is_some() {
+            return (0..self.platform.uav_count()).all(|i| {
+                let h = self.platform.handle(i);
+                !self.platform.sim().mode(h).is_airborne()
+            });
+        }
+        false
+    }
+
+    /// Captures a checkpoint of the run at the current tick: the logical
+    /// clock, a digest of the observable state, and a copy-on-write
+    /// reference to the scenario log (no platform state is copied).
+    pub fn checkpoint(&mut self) -> Checkpoint {
+        self.platform.record_checkpoint_capture();
+        Checkpoint::capture(&self.platform, Arc::clone(&self.log))
+    }
+
     /// Runs to completion (or the deadline) and collects the outcome.
     pub fn run(mut self) -> ScenarioOutcome {
-        self.platform.launch();
+        self.launch();
         loop {
-            let now = self.platform.step();
-            self.drive_attack(now);
-            if now >= self.deadline {
+            let now = self.step_once();
+            if self.should_stop(now) {
                 break;
             }
-            if self.platform.mission_complete_at().is_some() {
-                let all_down = (0..self.platform.uav_count()).all(|i| {
-                    let h = self.platform.handle(i);
-                    !self.platform.sim().mode(h).is_airborne()
-                });
-                if all_down {
-                    break;
-                }
+        }
+        self.collect()
+    }
+
+    /// [`Self::run`], capturing a checkpoint every `every_ticks` ticks.
+    /// The returned outcome is bit-identical to `run`'s (capturing only
+    /// reads state, apart from the digest-excluded `checkpoint.*`
+    /// counters).
+    pub fn run_with_checkpoints(mut self, every_ticks: u64) -> (ScenarioOutcome, Vec<Checkpoint>) {
+        let every = every_ticks.max(1);
+        let mut checkpoints = Vec::new();
+        self.launch();
+        loop {
+            let now = self.step_once();
+            if self.should_stop(now) {
+                break;
+            }
+            if self.platform.total_ticks().is_multiple_of(every) {
+                checkpoints.push(self.checkpoint());
+            }
+        }
+        (self.collect(), checkpoints)
+    }
+
+    /// Runs the remainder of a (typically recovered) scenario to
+    /// completion and collects the outcome.
+    pub fn resume(mut self) -> ScenarioOutcome {
+        loop {
+            let now = self.step_once();
+            if self.should_stop(now) {
+                break;
             }
         }
         self.collect()
@@ -465,6 +571,7 @@ sesame_types::assert_send_sync!(
     Metrics,
     FaultEntry,
     CommFaultEntry,
+    ComputeFaultEntry,
     SpoofAttack,
 );
 

@@ -9,13 +9,23 @@
 //! pulls indices from a shared atomic cursor (work stealing with a
 //! one-item grain), and reduction happens after the scope joins.
 //!
-//! Two entry points:
+//! Two entry points, each in an infallible and a panic-catching flavor:
 //!
-//! * [`run_indexed`] — read-only fan-out: `f(i)` for `i in 0..count`.
-//! * [`run_tasks`] — owned work items: each `W` (e.g. a disjoint
-//!   `&mut [UavRt]` shard carved out of the fleet with `split_at_mut`)
-//!   is handed to exactly one worker, satisfying the aliasing rules
-//!   without any unsafe code.
+//! * [`run_indexed`] / [`try_run_indexed`] — read-only fan-out: `f(i)`
+//!   for `i in 0..count`.
+//! * [`run_tasks`] / [`try_run_tasks`] — owned work items: each `W`
+//!   (e.g. a disjoint `&mut [UavRt]` shard carved out of the fleet with
+//!   `split_at_mut`) is handed to exactly one worker, satisfying the
+//!   aliasing rules without any unsafe code.
+//!
+//! A panic inside `f` never crosses a thread boundary raw: the worker
+//! catches it at the task that raised it, so no slot mutex is ever
+//! poisoned and the scoped join always succeeds. The `try_` variants
+//! surface the panic as a structured per-task [`TaskPanic`] (task
+//! index plus payload message) in item order; the infallible variants
+//! re-raise the first (lowest-index) panic on the caller's thread with
+//! the task index prepended — same abort semantics as before the
+//! catch, minus the poisoned join.
 //!
 //! ```
 //! use sesame_core::shard;
@@ -31,10 +41,119 @@
 //! });
 //! assert_eq!(sums, vec![30, 70]);
 //! assert_eq!(data, vec![10, 20, 30, 40]);
+//!
+//! let caught = shard::try_run_indexed(2, 3, |i| {
+//!     if i == 1 {
+//!         panic!("boom");
+//!     }
+//!     i
+//! });
+//! assert_eq!(caught[0], Ok(0));
+//! assert_eq!(caught[1].as_ref().unwrap_err().message, "boom");
+//! assert_eq!(caught[2], Ok(2));
 //! ```
 
+use std::any::Any;
+use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
+
+/// A worker panic captured at the task that raised it: the item index
+/// plus the stringified panic payload. Produced by [`try_run_indexed`] /
+/// [`try_run_tasks`] instead of letting the payload tear down the
+/// scoped-thread join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskPanic {
+    /// Index of the item whose closure panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str` / `String` payloads
+    /// verbatim, anything else a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for TaskPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskPanic {}
+
+/// Renders a `catch_unwind` payload as text. `panic!("...")` yields
+/// `&'static str`, `panic!("{x}")` yields `String`; anything else (a
+/// custom `panic_any` payload) gets a stable placeholder so fault
+/// records stay deterministic.
+pub fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// Whether the current thread is inside a [`quiet_catch_unwind`]
+    /// scope, i.e. any panic raised right now will be absorbed and
+    /// reported structurally rather than escaping.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+/// One-time installation of the hook wrapper behind
+/// [`quiet_catch_unwind`].
+static QUIET_HOOK: Once = Once::new();
+
+/// [`catch_unwind`] without the default panic hook's stderr message and
+/// backtrace for the panics this catch absorbs.
+///
+/// Caught panics here are *reported*, not lost — as a [`TaskPanic`], or
+/// as the orchestrator's `UavFault` trace/metric/finding records — so
+/// the default hook's output is pure noise, and under a chaos campaign
+/// that schedules panics on purpose it is a torrent of it. The first
+/// call wraps the process's current panic hook with one that defers to
+/// it unless the unwinding thread is inside a quiet scope; escaped
+/// (re-raised) panics therefore still print normally. Scopes nest — the
+/// flag is saved and restored, not cleared.
+pub fn quiet_catch_unwind<T>(f: impl FnOnce() -> T) -> Result<T, Box<dyn Any + Send + 'static>> {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+    let was = QUIET.with(|q| q.replace(true));
+    // AssertUnwindSafe: see `catch`'s argument — callers treat an Err as
+    // "this item's state is suspect" and never reuse it.
+    let result = catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(was));
+    result
+}
+
+fn catch<T>(index: usize, f: impl FnOnce() -> T) -> Result<T, TaskPanic> {
+    // AssertUnwindSafe (inside quiet_catch_unwind): the closure's
+    // captures are only observed again by the caller through the
+    // returned Err, which callers treat as "this item's state is
+    // suspect" (the orchestrator quarantines the UAV and never reuses
+    // its engine). See DESIGN.md's unwind-safety argument.
+    quiet_catch_unwind(f).map_err(|payload| TaskPanic {
+        index,
+        message: panic_message(payload.as_ref()),
+    })
+}
+
+/// Re-raises the first (lowest-index) captured panic, if any, with the
+/// task index prepended to the original message.
+fn resume_first<T>(results: Vec<Result<T, TaskPanic>>) -> Vec<T> {
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|p| panic!("{p}")))
+        .collect()
+}
 
 /// Runs `f(0..count)` on a pool of `jobs` workers and returns the
 /// results in *index order*, regardless of which worker finished which
@@ -45,22 +164,37 @@ use std::sync::Mutex;
 /// parallel path produces the exact same `Vec` because every item's
 /// result is placed by index, not by arrival.
 ///
-/// A panic inside `f` propagates out of the scope after the remaining
-/// workers drain.
+/// A panic inside `f` is caught per task and re-raised on the caller's
+/// thread for the lowest-index failing item; use [`try_run_indexed`] to
+/// observe panics as values instead.
 pub fn run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    resume_first(try_run_indexed(jobs, count, f))
+}
+
+/// [`run_indexed`] with structured panic capture: each item yields
+/// `Ok(T)` or the [`TaskPanic`] its closure raised, in index order. The
+/// remaining items still run — one poisoned item never takes down the
+/// fan-out.
+pub fn try_run_indexed<T, F>(jobs: usize, count: usize, f: F) -> Vec<Result<T, TaskPanic>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let jobs = jobs.clamp(1, count.max(1));
     if jobs <= 1 {
-        return (0..count).map(f).collect();
+        return (0..count).map(|i| catch(i, || f(i))).collect();
     }
     // One slot per item. A Mutex<Option<T>> per slot keeps this std-only
     // and safe; it is uncontended (each slot is locked exactly once) so
     // the cost is a few atomic ops per *item*, noise against a full
-    // scenario run.
-    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    // scenario run. The catch runs *inside* the worker, before the slot
+    // lock, so a panicking closure can never poison a slot.
+    let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
+        (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -69,8 +203,11 @@ where
                 if idx >= count {
                     break;
                 }
-                let result = f(idx);
-                *slots[idx].lock().unwrap() = Some(result);
+                let result = catch(idx, || f(idx));
+                // Invariant: each slot is locked once by the single
+                // worker that claimed its index, and `f` cannot unwind
+                // while it is held — the lock cannot be poisoned.
+                *slots[idx].lock().expect("slot mutex never poisoned") = Some(result);
             });
         }
     });
@@ -78,7 +215,9 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .expect("slot mutex never poisoned")
+                // Invariant: the scope joined, so every index below
+                // `count` was claimed and its slot filled.
                 .expect("scope joined, so every claimed slot was filled")
         })
         .collect()
@@ -91,7 +230,24 @@ where
 ///
 /// With `jobs <= 1` (or a single item) everything runs inline on the
 /// caller's thread in item order.
+///
+/// A panic inside `f` is caught per task and re-raised on the caller's
+/// thread for the lowest-index failing item; use [`try_run_tasks`] to
+/// observe panics as values instead.
 pub fn run_tasks<W, R, F>(jobs: usize, tasks: Vec<W>, f: F) -> Vec<R>
+where
+    W: Send,
+    R: Send,
+    F: Fn(usize, &mut W) -> R + Sync,
+{
+    resume_first(try_run_tasks(jobs, tasks, f))
+}
+
+/// [`run_tasks`] with structured panic capture: each task yields
+/// `Ok(R)` or the [`TaskPanic`] its closure raised, in item order. A
+/// panicking task drops its work item `W` (its exclusive state is
+/// suspect anyway) and the remaining tasks still run.
+pub fn try_run_tasks<W, R, F>(jobs: usize, tasks: Vec<W>, f: F) -> Vec<Result<R, TaskPanic>>
 where
     W: Send,
     R: Send,
@@ -103,10 +259,12 @@ where
         return tasks
             .into_iter()
             .enumerate()
-            .map(|(i, mut w)| f(i, &mut w))
+            .map(|(i, mut w)| catch(i, || f(i, &mut w)))
             .collect();
     }
-    let slots: Vec<Mutex<(Option<W>, Option<R>)>> = tasks
+    // A claim slot per task: the work item (taken once) and its result.
+    type Slot<W, R> = Mutex<(Option<W>, Option<Result<R, TaskPanic>>)>;
+    let slots: Vec<Slot<W, R>> = tasks
         .into_iter()
         .map(|w| Mutex::new((Some(w), None)))
         .collect();
@@ -118,14 +276,20 @@ where
                 if idx >= count {
                     break;
                 }
+                // Invariant: the work item is taken and the result
+                // stored under two *separate* lock acquisitions, and the
+                // closure runs between them with no lock held — a panic
+                // in `f` cannot poison the slot.
                 let mut w = slots[idx]
                     .lock()
-                    .unwrap()
+                    .expect("slot mutex never poisoned")
                     .0
                     .take()
+                    // Invariant: the atomic cursor hands each index to
+                    // exactly one worker.
                     .expect("each task is claimed by exactly one worker");
-                let result = f(idx, &mut w);
-                slots[idx].lock().unwrap().1 = Some(result);
+                let result = catch(idx, || f(idx, &mut w));
+                slots[idx].lock().expect("slot mutex never poisoned").1 = Some(result);
             });
         }
     });
@@ -133,8 +297,10 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .unwrap()
+                .expect("slot mutex never poisoned")
                 .1
+                // Invariant: the scope joined, so every index below
+                // `count` was claimed and its slot filled.
                 .expect("scope joined, so every claimed slot was filled")
         })
         .collect()
@@ -188,5 +354,97 @@ mod tests {
         assert_eq!(run_tasks(4, Vec::<u8>::new(), |_, w| *w), Vec::<u8>::new());
         assert_eq!(run_tasks(64, vec![1, 2, 3], |_, w| *w * 2), vec![2, 4, 6]);
         assert_eq!(run_tasks(0, vec![5], |_, w| *w), vec![5], "jobs=0 clamps");
+    }
+
+    #[test]
+    fn try_run_indexed_captures_panics_per_task() {
+        for jobs in [1, 4] {
+            let out = try_run_indexed(jobs, 10, |i| {
+                if i % 4 == 1 {
+                    panic!("item {i} exploded");
+                }
+                i * 2
+            });
+            assert_eq!(out.len(), 10, "jobs={jobs}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 4 == 1 {
+                    let p = r.as_ref().unwrap_err();
+                    assert_eq!(p.index, i, "jobs={jobs}");
+                    assert_eq!(p.message, format!("item {i} exploded"), "jobs={jobs}");
+                } else {
+                    assert_eq!(*r, Ok(i * 2), "jobs={jobs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_tasks_surviving_tasks_complete_around_a_panic() {
+        for jobs in [1, 3] {
+            let mut data: Vec<u64> = (0..30).collect();
+            let mut tasks = Vec::new();
+            let mut rest = data.as_mut_slice();
+            for len in [10, 10, 10] {
+                let (head, tail) = rest.split_at_mut(len);
+                tasks.push(head);
+                rest = tail;
+            }
+            let out = try_run_tasks(jobs, tasks, |i, shard| {
+                shard.iter_mut().for_each(|x| *x += 100);
+                if i == 1 {
+                    panic!("shard 1 died");
+                }
+                shard.iter().sum::<u64>()
+            });
+            assert!(out[0].is_ok() && out[2].is_ok(), "jobs={jobs}");
+            let p = out[1].as_ref().unwrap_err();
+            assert_eq!((p.index, p.message.as_str()), (1, "shard 1 died"));
+            // Mutations before the panic landed are visible: the join
+            // was not poisoned and the data structure is intact.
+            assert_eq!(data[0], 100, "jobs={jobs}");
+            assert_eq!(data[29], 129, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn infallible_api_reraises_lowest_index_panic_with_context() {
+        for jobs in [1, 4] {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                run_indexed(jobs, 8, |i| {
+                    if i >= 5 {
+                        panic!("boom {i}");
+                    }
+                    i
+                })
+            }))
+            .expect_err("must re-raise");
+            let msg = panic_message(err.as_ref());
+            assert_eq!(msg, "task 5 panicked: boom 5", "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn quiet_catch_scopes_nest_and_restore() {
+        let outer = quiet_catch_unwind(|| {
+            let inner = quiet_catch_unwind(|| panic!("inner"));
+            assert_eq!(panic_message(inner.unwrap_err().as_ref()), "inner");
+            // Still inside the outer quiet scope after the inner one
+            // restored the flag.
+            assert!(QUIET.with(Cell::get));
+            7
+        });
+        assert_eq!(outer.ok(), Some(7));
+        assert!(!QUIET.with(Cell::get));
+    }
+
+    #[test]
+    fn panic_message_handles_common_payloads() {
+        let p = catch_unwind(|| panic!("static")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "static");
+        let x = 7;
+        let p = catch_unwind(move || panic!("dynamic {x}")).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "dynamic 7");
+        let p = catch_unwind(|| std::panic::panic_any(42u32)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
     }
 }

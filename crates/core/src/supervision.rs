@@ -17,11 +17,19 @@
 //! Nominal ──(stale ≥ degraded_after)──▶ Degraded
 //! Degraded ──(stale ≥ fallback_after)──▶ SafeFallback (→ return to base)
 //! any ──(both signals fresh)──▶ Nominal
+//! any ──(isolated compute fault)──▶ Quarantined (→ RTB + revival probe)
 //! ```
 //!
 //! The orchestrator runs the machine every tick, counts and traces every
 //! transition through `sesame-obs`, and commands the minimal-risk
 //! fallback when a UAV enters [`HealthState::SafeFallback`].
+//!
+//! [`HealthState::Quarantined`] is different from the staleness states:
+//! it is entered and left *only* through the containment layer
+//! ([`crate::containment`]) when a UAV's own compute crashed or emitted
+//! non-finite outputs — the watchdog ([`UavSupervisor::assess`]) is
+//! suspended while it holds, and release goes through the
+//! exponential-backoff revival probe, never through link freshness.
 
 use sesame_types::time::{SimDuration, SimTime};
 
@@ -38,6 +46,13 @@ pub enum HealthState {
     /// off and is commanded (or presumed to autonomously execute) the
     /// safe fallback behaviour — return to base.
     SafeFallback,
+    /// The UAV's own compute faulted (a panic or non-finite EDDI output
+    /// was isolated): it is excised from solve-class dedup, the airspace
+    /// scan and ConSert composition, commanded RTB, and only re-admitted
+    /// by the containment layer's revival probe. Entered and left via
+    /// [`UavSupervisor::quarantine`] / [`UavSupervisor::release`], never
+    /// by the staleness watchdog.
+    Quarantined,
 }
 
 impl HealthState {
@@ -47,16 +62,18 @@ impl HealthState {
             HealthState::Nominal => "nominal",
             HealthState::Degraded => "degraded",
             HealthState::SafeFallback => "safe_fallback",
+            HealthState::Quarantined => "quarantined",
         }
     }
 
     /// Numeric encoding for gauges (0 = nominal, 1 = degraded, 2 = safe
-    /// fallback).
+    /// fallback, 3 = quarantined).
     pub fn as_gauge(&self) -> f64 {
         match self {
             HealthState::Nominal => 0.0,
             HealthState::Degraded => 1.0,
             HealthState::SafeFallback => 2.0,
+            HealthState::Quarantined => 3.0,
         }
     }
 }
@@ -83,6 +100,25 @@ pub struct SupervisionConfig {
     pub max_command_retries: u32,
     /// Base retry backoff; doubles per attempt.
     pub retry_backoff: SimDuration,
+    /// Whether isolated compute faults quarantine the UAV (the
+    /// containment layer). With this off a caught panic still cannot
+    /// abort the campaign, but the UAV is retired for the rest of the
+    /// run instead of probed for revival.
+    pub quarantine_enabled: bool,
+    /// Consecutive clean revival-probe ticks required before a
+    /// quarantined UAV is re-admitted to the fleet.
+    pub revival_clean_ticks: u64,
+    /// Base spacing, in ticks, between revival probe attempts after a
+    /// failed probe; doubles per failure.
+    pub revival_backoff_ticks: u64,
+    /// Cap on the revival backoff exponent (spacing saturates at
+    /// `revival_backoff_ticks << revival_backoff_cap`).
+    pub revival_backoff_cap: u32,
+    /// Consecutive faulty ticks of one UAV that trip the tick watchdog
+    /// and demote the sharded tick to the serial reference path.
+    pub watchdog_trip_after: u64,
+    /// Ticks the watchdog keeps the tick demoted to serial after a trip.
+    pub watchdog_cooldown_ticks: u64,
 }
 
 impl Default for SupervisionConfig {
@@ -94,6 +130,12 @@ impl Default for SupervisionConfig {
             heartbeat_period: SimDuration::from_secs(1),
             max_command_retries: 3,
             retry_backoff: SimDuration::from_millis(400),
+            quarantine_enabled: true,
+            revival_clean_ticks: 8,
+            revival_backoff_ticks: 16,
+            revival_backoff_cap: 6,
+            watchdog_trip_after: 3,
+            watchdog_cooldown_ticks: 64,
         }
     }
 }
@@ -160,7 +202,14 @@ impl UavSupervisor {
 
     /// Runs the watchdog: compares both signals against the windows and
     /// returns the transition if the state changed.
+    ///
+    /// While the UAV is [`HealthState::Quarantined`] the watchdog is
+    /// suspended — only [`UavSupervisor::release`] (the containment
+    /// layer's revival probe) leaves that state.
     pub fn assess(&mut self, now: SimTime, cfg: &SupervisionConfig) -> Option<HealthTransition> {
+        if self.state == HealthState::Quarantined {
+            return None;
+        }
         let tel = self.telemetry_staleness(now);
         let hb = self.heartbeat_staleness(now);
         let worst = if tel >= hb { tel } else { hb };
@@ -187,6 +236,40 @@ impl UavSupervisor {
             from,
             to: target,
             reason,
+        })
+    }
+
+    /// Forces the UAV into [`HealthState::Quarantined`] (an isolated
+    /// compute fault). Returns the transition, or `None` if already
+    /// quarantined.
+    pub fn quarantine(&mut self, reason: impl Into<String>) -> Option<HealthTransition> {
+        if self.state == HealthState::Quarantined {
+            return None;
+        }
+        let from = self.state;
+        self.state = HealthState::Quarantined;
+        Some(HealthTransition {
+            from,
+            to: HealthState::Quarantined,
+            reason: reason.into(),
+        })
+    }
+
+    /// Releases a quarantined UAV back to [`HealthState::Nominal`] after
+    /// a successful revival probe, refreshing both link signals so the
+    /// staleness watchdog doesn't immediately re-demote it for the ticks
+    /// it sat out. Returns `None` if the UAV was not quarantined.
+    pub fn release(&mut self, now: SimTime, reason: impl Into<String>) -> Option<HealthTransition> {
+        if self.state != HealthState::Quarantined {
+            return None;
+        }
+        self.last_telemetry_rx = now;
+        self.last_heartbeat_rx = now;
+        self.state = HealthState::Nominal;
+        Some(HealthTransition {
+            from: HealthState::Quarantined,
+            to: HealthState::Nominal,
+            reason: reason.into(),
         })
     }
 }
@@ -263,8 +346,47 @@ mod tests {
         assert_eq!(HealthState::Nominal.as_str(), "nominal");
         assert_eq!(HealthState::Degraded.as_str(), "degraded");
         assert_eq!(HealthState::SafeFallback.as_str(), "safe_fallback");
+        assert_eq!(HealthState::Quarantined.as_str(), "quarantined");
         assert_eq!(HealthState::Nominal.as_gauge(), 0.0);
         assert_eq!(HealthState::SafeFallback.as_gauge(), 2.0);
+        assert_eq!(HealthState::Quarantined.as_gauge(), 3.0);
         assert_eq!(format!("{}", HealthState::Degraded), "degraded");
+    }
+
+    #[test]
+    fn quarantine_suspends_the_staleness_watchdog() {
+        let mut s = UavSupervisor::new();
+        let tr = s.quarantine("eddi panic isolated").expect("enters");
+        assert_eq!(tr.from, HealthState::Nominal);
+        assert_eq!(tr.to, HealthState::Quarantined);
+        // Re-entry is idempotent.
+        assert!(s.quarantine("again").is_none());
+        // Arbitrarily stale signals no longer move the machine …
+        assert!(s.assess(SimTime::from_secs(120), &cfg()).is_none());
+        assert_eq!(s.state(), HealthState::Quarantined);
+        // … and fresh ones don't release it either.
+        let now = SimTime::from_secs(121);
+        s.record_telemetry(now);
+        s.record_heartbeat(now);
+        assert!(s.assess(now, &cfg()).is_none());
+        assert_eq!(s.state(), HealthState::Quarantined);
+    }
+
+    #[test]
+    fn release_restores_nominal_with_fresh_signals() {
+        let mut s = UavSupervisor::new();
+        assert!(s
+            .release(SimTime::from_secs(1), "not quarantined")
+            .is_none());
+        s.quarantine("fault");
+        let now = SimTime::from_secs(40);
+        let tr = s.release(now, "8 clean probe ticks").expect("releases");
+        assert_eq!(tr.from, HealthState::Quarantined);
+        assert_eq!(tr.to, HealthState::Nominal);
+        assert_eq!(s.state(), HealthState::Nominal);
+        // The refreshed signals keep the watchdog from re-demoting the
+        // UAV for the quarantine it just served.
+        assert!(s.assess(now, &cfg()).is_none());
+        assert_eq!(s.state(), HealthState::Nominal);
     }
 }

@@ -43,6 +43,18 @@ pub enum TraceEvent {
     },
     /// A scheduled communication fault activated or expired.
     CommFault { label: String, activated: bool },
+    /// A scheduled compute-plane fault (EDDI panic, telemetry
+    /// corruption, solver stall) activated or expired.
+    ComputeFault { label: String, activated: bool },
+    /// A per-UAV compute fault was isolated (panic caught or a
+    /// validation guard hit) instead of aborting the campaign.
+    UavFault {
+        uav: String,
+        phase: String,
+        detail: String,
+    },
+    /// The logical tick watchdog tripped on a UAV's fault/stall streak.
+    WatchdogTrip { uav: String },
     /// A command publish was retried over the lossy bus.
     CommandRetry { topic: String, attempt: u32 },
     /// A bus queue operation failed recoverably (drain on a dead
@@ -64,6 +76,9 @@ impl TraceEvent {
             TraceEvent::AttackGoal { .. } => "attack_goal",
             TraceEvent::HealthTransition { .. } => "health_transition",
             TraceEvent::CommFault { .. } => "comm_fault",
+            TraceEvent::ComputeFault { .. } => "compute_fault",
+            TraceEvent::UavFault { .. } => "uav_fault",
+            TraceEvent::WatchdogTrip { .. } => "watchdog_trip",
             TraceEvent::CommandRetry { .. } => "command_retry",
             TraceEvent::BusDegraded { .. } => "bus_degraded",
         }

@@ -68,6 +68,7 @@ if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
     update BENCH_bus.json
     update BENCH_eddi.json
     update BENCH_fleet.json
+    update BENCH_recovery.json
     exit 0
 fi
 
@@ -79,3 +80,8 @@ gate BENCH_eddi.json  ticks_per_sec     0.5 eddibench
 # sharded/serial speedup hovers near 1.0 on small machines (Auto stays
 # serial below the core budget), so only the absolute floor is gated.
 gate BENCH_fleet.json uav_ticks_per_sec 0.5 fleetbench
+# Recovery workload: throughput under injected compute faults with the
+# full containment machinery live (isolation, quarantine, revival
+# probes, watchdog demotion). Floors only — the faulted/clean ratio
+# wobbles because quarantined UAVs skip EDDI work.
+gate BENCH_recovery.json uav_ticks_per_sec 0.5 fleetbench-recovery

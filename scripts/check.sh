@@ -31,6 +31,14 @@ if ! diff -u "$tmpdir/serial.txt" "$tmpdir/parallel.txt"; then
     exit 1
 fi
 
+echo "==> panic-injection soak: 50 seeds with scheduled compute faults (EDDI panics, NaN telemetry, solver stalls) must isolate every fault — zero aborts"
+cargo run -q --release -p sesame-bench --bin chaos -- 50 smoke panics --jobs 4 > "$tmpdir/panics_parallel.txt"
+cargo run -q --release -p sesame-bench --bin chaos -- 50 smoke panics --jobs 1 > "$tmpdir/panics_serial.txt"
+if ! diff -u "$tmpdir/panics_serial.txt" "$tmpdir/panics_parallel.txt"; then
+    echo "FAIL: panic-injection campaign diverged between --jobs 1 and --jobs 4" >&2
+    exit 1
+fi
+
 echo "==> busbench smoke: zero-copy fanout must hold its 3x margin over the reference bus"
 cargo run -q --release -p sesame-bench --bin busbench -- smoke > BENCH_bus.json
 cat BENCH_bus.json
@@ -43,7 +51,11 @@ echo "==> fleetbench smoke: sharded fleet ticks (3..200 UAVs) must match the ser
 cargo run -q --release -p sesame-bench --bin fleetbench -- smoke > BENCH_fleet.json
 cat BENCH_fleet.json
 
+echo "==> fleetbench recovery: supervised tick under injected panics must stay plan-independent and hold throughput"
+cargo run -q --release -p sesame-bench --bin fleetbench -- smoke --inject-panics --jobs 4 > BENCH_recovery.json
+cat BENCH_recovery.json
+
 echo "==> bench gate: fresh numbers vs committed baselines (>20% regression fails)"
 scripts/bench_gate.sh
 
-echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, busbench, eddibench, fleetbench and the bench gate all green"
+echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, panic-injection soak, busbench, eddibench, fleetbench, the recovery bench and the bench gate all green"

@@ -7,6 +7,7 @@
 //! a smaller deterministic slice in the default suite.
 
 use sesame::core::chaos::{CampaignConfig, ChaosCampaign};
+use sesame::core::containment::ComputeFaultKind;
 use sesame::core::scenario::ScenarioBuilder;
 use sesame::core::supervision::HealthState;
 use sesame::middleware::chaos::CommFaultKind;
@@ -59,6 +60,88 @@ fn baseline_platform_survives_chaos_too() {
     })
     .run();
     assert!(report.all_clean(), "violations:\n{}", report.render());
+}
+
+#[test]
+fn compute_fault_campaign_is_abort_free_and_quarantines() {
+    // Compute faults ride on top of the vehicle/comm mix: scheduled EDDI
+    // panics must be isolated (the campaign-level catch_unwind turning a
+    // leak into a "panicked during run" violation), and the quarantine
+    // invariant inside `check_invariants` must hold per run.
+    let report = ChaosCampaign::new(CampaignConfig {
+        runs: 6,
+        base_seed: 500,
+        deadline: SimTime::from_secs(120),
+        compute_faults_per_run: 2,
+        ..CampaignConfig::default()
+    })
+    .run();
+    assert!(report.all_clean(), "violations:\n{}", report.render());
+    for run in &report.runs {
+        assert_eq!(
+            run.fault_labels.len(),
+            6,
+            "four vehicle/comm + two compute faults per schedule"
+        );
+    }
+    // Across the sweep at least one schedule drew an EDDI panic and the
+    // merged aggregate shows the containment layer at work.
+    let merged = report.merged_obs();
+    assert!(
+        merged.counter("chaos.compute_faults_activated") >= 1,
+        "no compute fault ever activated:\n{}",
+        report.render_full()
+    );
+    assert!(
+        merged.counter("uav.fault.isolated") + merged.counter("uav.fault.solver_stall_ticks") >= 1,
+        "compute faults activated but none was observed by containment"
+    );
+}
+
+#[test]
+fn compute_fault_campaign_replays_identically() {
+    let report = ChaosCampaign::new(CampaignConfig {
+        runs: 2,
+        base_seed: 621,
+        deadline: SimTime::from_secs(120),
+        compute_faults_per_run: 2,
+        replay_check: true,
+        ..CampaignConfig::default()
+    })
+    .run();
+    assert!(
+        report.all_clean(),
+        "replay-checked compute-fault runs failed:\n{}",
+        report.render()
+    );
+}
+
+#[test]
+fn scenario_eddi_panic_quarantines_and_recovers() {
+    // A direct scenario-level window (no campaign sampling): the panic
+    // is isolated, the UAV quarantined and RTB'd, then re-admitted once
+    // the window closes and the probe streak runs clean.
+    let outcome = ScenarioBuilder::new(29)
+        .compute_fault(
+            SimTime::from_secs(25),
+            SimDuration::from_secs(2),
+            ComputeFaultKind::EddiPanic { uav: 1 },
+        )
+        .deadline(SimTime::from_secs(90))
+        .build()
+        .run();
+    let m = &outcome.obs_metrics;
+    assert!(
+        m.counter("chaos.compute_fault_transitions") >= 2,
+        "on + off"
+    );
+    assert!(m.counter("uav.fault.isolated") >= 1);
+    assert!(m.counter("uav.fault.phase.injected") >= 1);
+    assert_eq!(m.counter("uav.quarantine.entered"), 1);
+    assert_eq!(m.counter("uav.quarantine.released"), 1);
+    assert!(m.counter("supervision.to_quarantined") >= 1);
+    assert!(m.counter("platform.ticks") > 0);
+    assert_eq!(HealthState::Quarantined.as_gauge(), 3.0);
 }
 
 #[test]

@@ -1,0 +1,165 @@
+//! Checkpoint / recovery conformance: periodic copy-on-write checkpoints
+//! must cost nothing observable, and `Checkpoint::recover` must rebuild
+//! a run bit-for-bit — same series bits, trajectories, event log and
+//! (checkpoint-counter-free) metrics as a run that was never
+//! interrupted. Fault schedules ride along: a checkpoint captured while
+//! a UAV is quarantined mid-panic-window must recover too.
+
+use sesame::core::checkpoint::RecoverError;
+use sesame::core::containment::ComputeFaultKind;
+use sesame::core::scenario::{ScenarioBuilder, ScenarioOutcome};
+use sesame::middleware::chaos::CommFaultKind;
+use sesame::obs::MetricsSnapshot;
+use sesame::types::ids::UavId;
+use sesame::types::time::{SimDuration, SimTime};
+
+/// A scenario with both fault planes live: a link blackout and an EDDI
+/// panic window, so checkpoints span supervision and containment state.
+fn faulted_scenario(seed: u64) -> ScenarioBuilder {
+    ScenarioBuilder::new(seed)
+        .comm_fault(
+            SimTime::from_secs(20),
+            SimDuration::from_secs(8),
+            CommFaultKind::LinkBlackout { uav: UavId::new(3) },
+        )
+        .compute_fault(
+            SimTime::from_secs(25),
+            SimDuration::from_secs(2),
+            ComputeFaultKind::EddiPanic { uav: 1 },
+        )
+        .deadline(SimTime::from_secs(80))
+}
+
+/// The deterministic metrics projection minus the `checkpoint.*`
+/// bookkeeping — the only keys capture and recovery are allowed to
+/// touch.
+fn comparable_metrics(m: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut m = m.without_wall_clock();
+    m.counters.retain(|k, _| !k.starts_with("checkpoint."));
+    m
+}
+
+/// Bit-identity across every observable surface of two outcomes, modulo
+/// the digest-excluded `checkpoint.*` counters.
+fn assert_outcomes_bit_identical(a: &ScenarioOutcome, b: &ScenarioOutcome, ctx: &str) {
+    assert_eq!(a.pof_series.len(), b.pof_series.len(), "pof length: {ctx}");
+    for (x, y) in a.pof_series.iter().zip(&b.pof_series) {
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "pof bits: {ctx}");
+    }
+    for (x, y) in a.uncertainty_series.iter().zip(&b.uncertainty_series) {
+        assert_eq!(x.1.to_bits(), y.1.to_bits(), "uncertainty bits: {ctx}");
+    }
+    assert_eq!(
+        a.trajectories.len(),
+        b.trajectories.len(),
+        "fleet size: {ctx}"
+    );
+    for (i, (ta, tb)) in a.trajectories.iter().zip(&b.trajectories).enumerate() {
+        assert_eq!(ta.len(), tb.len(), "trajectory length uav{i}: {ctx}");
+        for (x, y) in ta.iter().zip(tb) {
+            assert_eq!(x.0.to_bits(), y.0.to_bits(), "trajectory t uav{i}: {ctx}");
+            assert_eq!(
+                x.1.lat_deg.to_bits(),
+                y.1.lat_deg.to_bits(),
+                "trajectory lat uav{i}: {ctx}"
+            );
+            assert_eq!(
+                x.1.lon_deg.to_bits(),
+                y.1.lon_deg.to_bits(),
+                "trajectory lon uav{i}: {ctx}"
+            );
+            assert_eq!(
+                x.1.alt_m.to_bits(),
+                y.1.alt_m.to_bits(),
+                "trajectory alt uav{i}: {ctx}"
+            );
+        }
+    }
+    let ea: Vec<_> = a.events.iter().collect();
+    let eb: Vec<_> = b.events.iter().collect();
+    assert_eq!(ea, eb, "event log: {ctx}");
+    assert_eq!(
+        format!("{:?}", a.findings),
+        format!("{:?}", b.findings),
+        "findings: {ctx}"
+    );
+    assert_eq!(
+        comparable_metrics(&a.obs_metrics),
+        comparable_metrics(&b.obs_metrics),
+        "metrics: {ctx}"
+    );
+}
+
+/// Capturing checkpoints is observably free: a run that checkpoints
+/// every 25 ticks produces the exact outcome of one that never does,
+/// and every capture is on-cadence and accounted for.
+#[test]
+fn checkpointed_run_matches_uninterrupted_run() {
+    let uninterrupted = faulted_scenario(57).build().run();
+    let (outcome, checkpoints) = faulted_scenario(57).build().run_with_checkpoints(25);
+    assert_outcomes_bit_identical(&uninterrupted, &outcome, "checkpointing every 25 ticks");
+    assert!(
+        checkpoints.len() >= 3,
+        "an 80 s run must cross several 25-tick cadences"
+    );
+    for cp in &checkpoints {
+        assert_eq!(cp.tick() % 25, 0, "captures happen on the cadence");
+    }
+    assert_eq!(
+        outcome.obs_metrics.counter("checkpoint.captures"),
+        checkpoints.len() as u64
+    );
+}
+
+/// The tentpole gate: recover a mid-run checkpoint — replaying the
+/// scenario log up to the captured tick and verifying the state digest
+/// — then resume it to completion. The recovered run's outcome is
+/// bit-identical to a run that was never interrupted.
+#[test]
+fn recovered_run_completes_identically_to_an_uninterrupted_one() {
+    let uninterrupted = faulted_scenario(57).build().run();
+    let (_, checkpoints) = faulted_scenario(57).build().run_with_checkpoints(100);
+    // A checkpoint captured after the panic window opened: quarantine,
+    // probe and watchdog state are all part of what replay rebuilds.
+    let cp = checkpoints
+        .iter()
+        .find(|cp| cp.tick() >= 300)
+        .expect("a checkpoint past the fault windows");
+    let recovered = cp.recover().expect("digest must verify");
+    assert_eq!(recovered.platform().total_ticks(), cp.tick());
+    let outcome = recovered.resume();
+    assert_outcomes_bit_identical(&uninterrupted, &outcome, "recover + resume");
+    // The recovery itself is recorded — in the digest-excluded keys.
+    assert_eq!(outcome.obs_metrics.counter("checkpoint.recoveries"), 1);
+    assert_eq!(
+        outcome.obs_metrics.counter("checkpoint.replayed_ticks"),
+        cp.tick()
+    );
+}
+
+/// Every checkpoint of a faulted run recovers — including ones captured
+/// while a UAV was quarantined or a blackout was in flight.
+#[test]
+fn every_checkpoint_of_a_faulted_run_recovers() {
+    let (_, checkpoints) = faulted_scenario(91).build().run_with_checkpoints(75);
+    assert!(checkpoints.len() >= 2);
+    for cp in &checkpoints {
+        let recovered = cp
+            .recover()
+            .unwrap_or_else(|e| panic!("checkpoint at tick {} failed: {e}", cp.tick()));
+        assert_eq!(recovered.platform().total_ticks(), cp.tick());
+    }
+}
+
+/// The error surface is stable API: a digest mismatch names both values
+/// and travels as a std error.
+#[test]
+fn recover_error_is_a_std_error_with_both_digests() {
+    let err: Box<dyn std::error::Error> = Box::new(RecoverError::DigestMismatch {
+        expected: 0xabc,
+        actual: 0xdef,
+    });
+    let text = err.to_string();
+    assert!(text.contains("mismatch"), "{text}");
+    assert!(text.contains("0xabc") || text.contains("abc"), "{text}");
+}

@@ -10,9 +10,12 @@
 //! issue ride along: more shards than UAVs (empty shards), non-divisible
 //! fleet/shard combinations, and a single-UAV fleet.
 
+use sesame::core::containment::ComputeFaultKind;
 use sesame::core::fleet::{FleetSpec, ShardPolicy};
 use sesame::core::orchestrator::{Platform, PlatformConfig};
+use sesame::core::supervision::HealthState;
 use sesame::obs::MetricsSnapshot;
+use sesame::types::time::{SimDuration, SimTime};
 
 fn config(seed: u64, uavs: usize, policy: ShardPolicy) -> PlatformConfig {
     PlatformConfig {
@@ -26,7 +29,18 @@ fn config(seed: u64, uavs: usize, policy: ShardPolicy) -> PlatformConfig {
 }
 
 fn run(cfg: PlatformConfig, steps: usize) -> Platform {
+    run_with_faults(cfg, steps, &[])
+}
+
+fn run_with_faults(
+    cfg: PlatformConfig,
+    steps: usize,
+    faults: &[(SimTime, SimDuration, ComputeFaultKind)],
+) -> Platform {
     let mut p = Platform::new(cfg);
+    for &(at, duration, kind) in faults {
+        p.compute_faults_mut().schedule(at, duration, kind);
+    }
     p.launch();
     for _ in 0..steps {
         p.step();
@@ -132,6 +146,131 @@ fn fifty_uav_fleet_is_shard_count_invariant() {
         assert_eq!(sharded.shard_count(), shards);
         assert_runs_bit_identical(&serial, &sharded, &format!("50 UAVs, {shards} shards"));
     }
+}
+
+/// A mixed compute-fault schedule — an EDDI panic, a solver stall and a
+/// NaN-telemetry window — covering every containment path at once.
+fn mixed_faults() -> Vec<(SimTime, SimDuration, ComputeFaultKind)> {
+    vec![
+        (
+            SimTime::from_millis(2000),
+            SimDuration::from_millis(800),
+            ComputeFaultKind::EddiPanic { uav: 1 },
+        ),
+        (
+            SimTime::from_millis(2500),
+            SimDuration::from_millis(1200),
+            ComputeFaultKind::SolverStall { uav: 4 },
+        ),
+        (
+            SimTime::from_millis(3000),
+            SimDuration::from_millis(600),
+            ComputeFaultKind::TelemetryNan { uav: 7 },
+        ),
+    ]
+}
+
+/// The tentpole gate: a run with injected panics, solver stalls and NaN
+/// telemetry is bit-identical at every shard count. Panic isolation,
+/// quarantine entry, RTB commands, watchdog demotion and revival probes
+/// all happen at the same ticks with the same observable records
+/// regardless of the execution plan.
+#[test]
+fn injected_faults_are_shard_count_invariant() {
+    let faults = mixed_faults();
+    let serial = run_with_faults(config(31, 12, ShardPolicy::Serial), 140, &faults);
+    // The schedule actually exercised the machinery.
+    let m = serial.metrics_snapshot();
+    assert!(m.counter("uav.fault.isolated") >= 2, "panic + NaN isolated");
+    assert!(m.counter("uav.quarantine.entered") >= 2);
+    assert!(m.counter("uav.fault.solver_stall_ticks") >= 1);
+    assert!(m.counter("watchdog.trip") >= 1, "stall streak must trip");
+    for shards in [4usize, 8] {
+        let sharded = run_with_faults(config(31, 12, ShardPolicy::Fixed { shards }), 140, &faults);
+        assert_runs_bit_identical(
+            &serial,
+            &sharded,
+            &format!("12 UAVs, {shards} shards, injected faults"),
+        );
+    }
+}
+
+/// Quarantine is a round trip: the faulted UAV is excised, probed on
+/// backoff, and deterministically re-admitted once its window closes and
+/// the probe streak comes back clean — ending Nominal with a fresh
+/// engine, not stuck in a terminal state.
+#[test]
+fn quarantined_uav_is_released_after_the_fault_clears() {
+    let faults = [(
+        SimTime::from_millis(2000),
+        SimDuration::from_millis(500),
+        ComputeFaultKind::EddiPanic { uav: 2 },
+    )];
+    let p = run_with_faults(
+        config(41, 6, ShardPolicy::Fixed { shards: 2 }),
+        200,
+        &faults,
+    );
+    let m = p.metrics_snapshot();
+    assert_eq!(m.counter("uav.quarantine.entered"), 1);
+    assert_eq!(m.counter("uav.quarantine.released"), 1);
+    assert!(m.counter("uav.quarantine.probes") >= 1);
+    assert_eq!(
+        p.health(2),
+        HealthState::Nominal,
+        "released UAV must be Nominal again"
+    );
+    // Replaying the exact run re-admits at the same tick with the same
+    // records: the lifecycle is deterministic, not timing-dependent.
+    let q = run_with_faults(
+        config(41, 6, ShardPolicy::Fixed { shards: 2 }),
+        200,
+        &faults,
+    );
+    assert_runs_bit_identical(&p, &q, "quarantine lifecycle replay");
+}
+
+/// A probe that lands while the panic window is still open fails and
+/// backs off exponentially; the UAV stays quarantined for the duration.
+#[test]
+fn probes_fail_while_the_fault_window_is_open() {
+    // Window long enough (8 s = 80 ticks) that the first probes (backoff
+    // base 16 ticks) land inside it.
+    let faults = [(
+        SimTime::from_millis(2000),
+        SimDuration::from_millis(8000),
+        ComputeFaultKind::EddiPanic { uav: 0 },
+    )];
+    let p = run_with_faults(config(43, 4, ShardPolicy::Serial), 70, &faults);
+    let m = p.metrics_snapshot();
+    assert_eq!(m.counter("uav.quarantine.entered"), 1);
+    assert!(m.counter("uav.quarantine.probe_failures") >= 1);
+    assert_eq!(m.counter("uav.quarantine.released"), 0);
+    assert_eq!(p.health(0), HealthState::Quarantined);
+}
+
+/// The watchdog demotion is bounded: the sharded plan is restored after
+/// the cooldown, and the demotion bookkeeping is plan-independent (the
+/// counters appear even on a serial run, where demotion is a no-op).
+#[test]
+fn watchdog_demotion_expires_and_restores_the_plan() {
+    let faults = [(
+        SimTime::from_millis(2000),
+        SimDuration::from_millis(1000),
+        ComputeFaultKind::SolverStall { uav: 1 },
+    )];
+    // 20 + 64 cooldown ticks all inside a 160-step run.
+    let sharded = run_with_faults(
+        config(47, 8, ShardPolicy::Fixed { shards: 4 }),
+        160,
+        &faults,
+    );
+    let serial = run_with_faults(config(47, 8, ShardPolicy::Serial), 160, &faults);
+    let m = sharded.metrics_snapshot();
+    assert!(m.counter("watchdog.trip") >= 1);
+    assert!(m.counter("watchdog.demotions") >= 1);
+    assert!(m.counter("watchdog.demoted_ticks") >= 1);
+    assert_runs_bit_identical(&serial, &sharded, "watchdog demotion, 8 UAVs");
 }
 
 /// The Auto policy stays serial for small fleets (the paper's 3-UAV demo
