@@ -8,6 +8,8 @@
 //! cargo run -p sesame-bench --release --bin chaos -- 50 replay        # + replay check
 //! cargo run -p sesame-bench --release --bin chaos -- 50 --jobs 8      # parallel sweep
 //! cargo run -p sesame-bench --release --bin chaos -- 50 panics        # + compute faults
+//! cargo run -p sesame-bench --release --bin chaos -- \
+//!     --scenario scenarios/maritime_sar.sesame                        # DSL base scenario
 //! ```
 //!
 //! The flags are the shared bench conventions (`sesame_bench::cli`):
@@ -41,13 +43,25 @@ fn main() {
     // mix. The campaign-level catch_unwind turns any escaped panic into
     // a violation, so the exit status is the zero-aborts gate.
     let panics = args.rest.iter().any(|a| a == "panics");
+    // `--scenario FILE` sweeps the campaign's random fault schedules
+    // over a DSL-compiled base scenario instead of the built-in
+    // three-UAV world. The scenario's own deadline governs each run
+    // (clamped under `smoke` so CI stays short); the campaign config's
+    // deadline is kept in lockstep because it sizes the fault-time draw.
+    let base = args.compiled_scenario().map(|compiled| {
+        if args.smoke {
+            compiled.with_deadline_clamped(SimTime::from_secs(120))
+        } else {
+            compiled
+        }
+    });
     let config = CampaignConfig {
         runs,
         base_seed: 1,
-        deadline: if args.smoke {
-            SimTime::from_secs(120)
-        } else {
-            SimTime::from_secs(180)
+        deadline: match &base {
+            Some(compiled) => compiled.deadline(),
+            None if args.smoke => SimTime::from_secs(120),
+            None => SimTime::from_secs(180),
         },
         compute_faults_per_run: if panics { 2 } else { 0 },
         replay_check: replay,
@@ -55,15 +69,23 @@ fn main() {
     };
     eprintln!(
         "chaos campaign: {} seeds, {} s deadline, {} compute fault(s)/run, \
-         replay check {}, {} worker{}",
+         replay check {}, {} worker{}{}",
         config.runs,
         config.deadline.as_millis() / 1000,
         config.compute_faults_per_run,
         if config.replay_check { "on" } else { "off" },
         jobs,
-        if jobs == 1 { "" } else { "s" }
+        if jobs == 1 { "" } else { "s" },
+        match &base {
+            Some(compiled) => format!(", base scenario \"{}\"", compiled.name()),
+            None => String::new(),
+        }
     );
-    let report = parallel::run_campaign(&ChaosCampaign::new(config), jobs);
+    let campaign = match base {
+        Some(compiled) => ChaosCampaign::with_template(config, compiled.template()),
+        None => ChaosCampaign::new(config),
+    };
+    let report = parallel::run_campaign(&campaign, jobs);
     print!("{}", report.render_full());
     if !report.all_clean() {
         eprintln!(

@@ -7,6 +7,8 @@
 //! cargo run -p sesame-bench --release --bin experiments -- fig6
 //! cargo run -p sesame-bench --release --bin experiments -- fig7
 //! cargo run -p sesame-bench --release --bin experiments -- conserts
+//! cargo run -p sesame-bench --release --bin experiments -- fig6 \
+//!     --scenario scenarios/fig6_spoofing.sesame
 //! ```
 //!
 //! `--jobs N` (or `SESAME_JOBS=N`, the shared `sesame_bench::cli`
@@ -29,17 +31,21 @@ fn main() {
     let args = BenchArgs::parse();
     let jobs = args.effective_jobs();
     let arg = args.rest.first().cloned().unwrap_or_else(|| "all".into());
+    // `--scenario FILE` swaps the Fig. 6 legs for ones compiled from a
+    // `.sesame` file carrying `sesame`/`attack` params (the shipped
+    // `scenarios/fig6_spoofing.sesame` is the conformance-pinned port).
+    let scenario = args.scenario.as_deref();
     match arg.as_str() {
         "fig5" => fig5(),
         "sar-acc" => sar_acc(),
-        "fig6" => fig6(jobs),
+        "fig6" => fig6(jobs, scenario),
         "fig7" => fig7(),
         "conserts" => conserts(),
         "robustness" => robustness(jobs),
         "all" => {
             fig5();
             sar_acc();
-            fig6(jobs);
+            fig6(jobs, scenario);
             fig7();
             conserts();
         }
@@ -121,9 +127,32 @@ fn sar_acc() {
     println!("  {}", sparkline(&r.uncertainty_series, 72));
 }
 
-fn fig6(jobs: usize) {
+fn fig6(jobs: usize, scenario: Option<&str>) {
     header("Fig. 6 / §V-C — Area-mapping trajectory under ROS/GPS spoofing");
-    let r = parallel::fig6(SEED, jobs);
+    let r = match scenario {
+        Some(path) => {
+            // One compile per leg: the `sesame`/`attack` params select
+            // the leg, so the file stays a single source of truth.
+            let legs = experiments::FIG6_LEGS.map(|(sesame, attack)| {
+                let mut scenarios = sesame_scenario_dsl::Compiler::new()
+                    .param("sesame", sesame)
+                    .param("attack", attack)
+                    .compile_file(path)
+                    .unwrap_or_else(|e| {
+                        eprintln!("{}", e.render());
+                        std::process::exit(2);
+                    });
+                if scenarios.is_empty() {
+                    eprintln!("{path}: the file declares no scenario");
+                    std::process::exit(2);
+                }
+                scenarios.remove(0).builder(SEED)
+            });
+            eprintln!("fig6 legs compiled from {path}");
+            parallel::fig6_from_builders(legs, jobs)
+        }
+        None => parallel::fig6(SEED, jobs),
+    };
     println!("paper:    spoofed trajectory (red) deviates from the correct one (blue);");
     println!("          with SESAME the Security EDDI detects the attack immediately");
     println!(

@@ -5,6 +5,8 @@
 //! cargo run -p sesame-bench --release --bin fleetbench           # 3..500 UAVs
 //! cargo run -p sesame-bench --release --bin fleetbench -- smoke  # CI sizes
 //! cargo run -p sesame-bench --release --bin fleetbench -- --jobs 4
+//! cargo run -p sesame-bench --release --bin fleetbench -- \
+//!     --scenario scenarios/multi_incident_triage.sesame   # DSL-described world
 //! ```
 //!
 //! The JSON report (schema: `sesame_bench::cli`) goes to stdout
@@ -78,7 +80,11 @@ fn run(uavs: usize, policy: ShardPolicy, ticks: u64) -> RunResult {
 }
 
 fn run_with_faults(uavs: usize, policy: ShardPolicy, ticks: u64, faults: &[Fault]) -> RunResult {
-    let mut p = Platform::new(config(uavs, policy));
+    run_platform(config(uavs, policy), ticks, faults)
+}
+
+fn run_platform(cfg: PlatformConfig, ticks: u64, faults: &[Fault]) -> RunResult {
+    let mut p = Platform::new(cfg);
     for &(at, duration, kind) in faults {
         p.compute_faults_mut().schedule(at, duration, kind);
     }
@@ -188,8 +194,76 @@ fn recovery_bench(args: &BenchArgs) {
         .emit(args.json_path.as_deref());
 }
 
+/// Rebuilds a fleet spec with a different shard policy, keeping every
+/// profile group.
+fn with_policy(spec: &FleetSpec, policy: ShardPolicy) -> FleetSpec {
+    let mut b = FleetSpec::builder().shard_policy(policy);
+    for g in spec.groups() {
+        b = b.group(g.count, g.profile);
+    }
+    b.build()
+}
+
+/// The `--scenario FILE` workload: whole-platform throughput of the
+/// world/fleet/mission a `.sesame` file describes, sharded against the
+/// serial oracle with the same digest cross-check the size sweep uses.
+/// The scenario's *fault schedules* are not injected — this measures the
+/// platform the scenario configures, not the scripted incidents.
+fn scenario_bench(args: &BenchArgs, compiled: sesame_scenario_dsl::CompiledScenario) {
+    let ticks = if args.smoke { 30 } else { 60 };
+    let cfg = compiled.builder(42).config().clone();
+    // `--jobs N` overrides; otherwise the scenario's own `shards` choice
+    // is what gets measured.
+    let policy = match args.jobs {
+        Some(n) => ShardPolicy::Fixed { shards: n },
+        None => cfg.fleet.shard_policy(),
+    };
+    let uavs = cfg.fleet.total();
+    eprintln!(
+        "fleetbench: scenario \"{}\", {uavs} UAVs, {ticks} timed ticks, policy {policy:?}{}",
+        compiled.name(),
+        if args.smoke { " (smoke)" } else { "" }
+    );
+
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.fleet = with_policy(&cfg.fleet, ShardPolicy::Serial);
+    let mut sharded_cfg = cfg.clone();
+    sharded_cfg.fleet = with_policy(&cfg.fleet, policy);
+    let serial = run_platform(serial_cfg, ticks, &[]);
+    let sharded = run_platform(sharded_cfg, ticks, &[]);
+    assert_eq!(
+        serial.digest,
+        sharded.digest,
+        "sharded run of scenario \"{}\" diverged from the serial oracle — \
+         semantics bug, refusing to report",
+        compiled.name()
+    );
+
+    let tps = ticks_per_sec(&sharded);
+    let speedup = tps / ticks_per_sec(&serial);
+    eprintln!(
+        "fleetbench: {:.0} ticks/s ({:.0} UAV-ticks/s), {} shard(s), {speedup:.2}x over serial",
+        tps,
+        tps * uavs as f64,
+        sharded.shards
+    );
+    JsonReport::new("fleet_scenario_tick")
+        .str("scenario", compiled.name())
+        .int("uavs", uavs as u64)
+        .int("shards", sharded.shards as u64)
+        .num("ticks_per_sec", tps, 0)
+        .num("uav_ticks_per_sec", tps * uavs as f64, 0)
+        .num("sharded_speedup", speedup, 2)
+        .int("ticks", ticks)
+        .emit(args.json_path.as_deref());
+}
+
 fn main() {
     let args = BenchArgs::parse();
+    if let Some(compiled) = args.compiled_scenario() {
+        scenario_bench(&args, compiled);
+        return;
+    }
     if args.rest.iter().any(|a| a == "--inject-panics") {
         recovery_bench(&args);
         return;

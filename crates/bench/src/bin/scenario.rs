@@ -1,0 +1,139 @@
+//! The scenario-library tool: compile, run and smoke-test `.sesame`
+//! files.
+//!
+//! ```text
+//! cargo run -p sesame-bench --release --bin scenario -- check scenarios/*.sesame
+//! cargo run -p sesame-bench --release --bin scenario -- run scenarios/maritime_sar.sesame
+//! cargo run -p sesame-bench --release --bin scenario -- run FILE --seeds 5 --jobs 4
+//! cargo run -p sesame-bench --release --bin scenario -- smoke scenarios/*.sesame
+//! ```
+//!
+//! * `check` — compile every file and print one summary line per
+//!   scenario (the `describe()` header); exit 1 on the first diagnostic.
+//!   This is the cheap CI gate: it proves the whole library parses,
+//!   evaluates and validates without simulating anything.
+//! * `run` — compile one file and run it to its deadline, once per seed
+//!   (`--seeds N`, default 1, spread over `--jobs` workers), printing
+//!   per-seed completion, event count and the conformance digest.
+//! * `smoke` — `run` for a library: every file, one seed, deadline
+//!   clamped to 30 simulated seconds, so CI can prove each scenario
+//!   *executes* (faults fire, the platform survives) in a few seconds.
+//!
+//! Diagnostics render in the compiler's caret format and go to stderr;
+//! summary lines go to stdout.
+
+use sesame_bench::cli::BenchArgs;
+use sesame_bench::parallel;
+use sesame_core::checkpoint::digest_platform;
+use sesame_scenario_dsl::{CompiledScenario, Compiler};
+use sesame_types::time::SimTime;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rest = args.rest.clone();
+    // The shared flag parser consumes a bare `smoke` (the CI-workload
+    // convention), so the smoke mode arrives via `args.smoke` rather
+    // than as a positional.
+    let mode = if args.smoke {
+        "smoke".to_string()
+    } else if rest.is_empty() {
+        eprintln!("usage: scenario <check|run|smoke> <file.sesame>... [--seeds N] [--jobs N]");
+        std::process::exit(2);
+    } else {
+        rest.remove(0)
+    };
+    if rest.is_empty() {
+        eprintln!("scenario {mode}: no .sesame files given");
+        std::process::exit(2);
+    }
+    match mode.as_str() {
+        "check" => check(&rest),
+        "run" => run(&rest, &args),
+        "smoke" => smoke(&rest, &args),
+        other => {
+            eprintln!("unknown mode `{other}`; use check|run|smoke");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn compile_all(paths: &[String]) -> Vec<CompiledScenario> {
+    let mut out = Vec::new();
+    for path in paths {
+        match Compiler::new().compile_file(path) {
+            Ok(scenarios) if scenarios.is_empty() => {
+                eprintln!("{path}: the file declares no scenario");
+                std::process::exit(1);
+            }
+            Ok(scenarios) => out.extend(scenarios),
+            Err(e) => {
+                eprintln!("{}", e.render());
+                std::process::exit(1);
+            }
+        }
+    }
+    out
+}
+
+fn check(paths: &[String]) {
+    let scenarios = compile_all(paths);
+    for s in &scenarios {
+        // First line of describe(): name, then the world/fleet summary.
+        let description = s.describe();
+        let mut lines = description.lines();
+        let head = lines.next().unwrap_or_default();
+        let world = lines.next().unwrap_or_default();
+        let fleet = lines.next().unwrap_or_default();
+        println!("{head}: {} | {}", world.trim(), fleet.trim());
+    }
+    println!("{} scenario(s) compile and validate", scenarios.len());
+}
+
+/// Runs one compiled scenario to its deadline and reports the digest.
+fn run_one(compiled: &CompiledScenario, seed: u64) -> String {
+    let mut scenario = compiled.builder(seed).build();
+    scenario.launch();
+    let mut now = scenario.platform().now();
+    while !scenario.should_stop(now) {
+        now = scenario.step_once();
+    }
+    let platform = scenario.platform();
+    format!(
+        "seed {seed}: t={} s, {} events, digest {:#018x}",
+        now.as_millis() / 1000,
+        platform.events().len(),
+        digest_platform(platform)
+    )
+}
+
+fn run(paths: &[String], args: &BenchArgs) {
+    if paths.len() != 1 {
+        eprintln!(
+            "scenario run: exactly one .sesame file, got {}",
+            paths.len()
+        );
+        std::process::exit(2);
+    }
+    let compiled = compile_all(paths).remove(0);
+    let seeds: Vec<u64> = (0..args.seeds.unwrap_or(1)).collect();
+    println!("scenario \"{}\" ({} seed(s))", compiled.name(), seeds.len());
+    let rows = parallel::run_indexed(args.effective_jobs(), seeds.len(), |i| {
+        run_one(&compiled, seeds[i])
+    });
+    for row in rows {
+        println!("  {row}");
+    }
+}
+
+fn smoke(paths: &[String], args: &BenchArgs) {
+    let clamp = SimTime::from_secs(30);
+    let scenarios = compile_all(paths);
+    let rows = parallel::run_indexed(args.effective_jobs(), scenarios.len(), |i| {
+        let short = scenarios[i].with_deadline_clamped(clamp);
+        format!("{}: {}", short.name(), run_one(&short, 0))
+    });
+    for row in rows {
+        println!("  {row}");
+    }
+    println!("{} scenario(s) smoke-ran clean", scenarios.len());
+}

@@ -9,6 +9,8 @@
 //! * `--seeds N` — how many seeds a seed-sweeping bench runs;
 //! * `--json PATH` — additionally write the JSON report to `PATH`
 //!   (stdout always gets it, so `bench > FILE` keeps working);
+//! * `--scenario PATH` — run over a `.sesame` scenario file compiled by
+//!   `sesame-scenario-dsl` instead of the built-in hand-written base;
 //! * `smoke` — the short CI-sized workload.
 //!
 //! JSON reports share one schema: a flat object whose first key is
@@ -37,6 +39,8 @@ pub struct BenchArgs {
     pub seeds: Option<u64>,
     /// `--json PATH` — duplicate the JSON report into `PATH`.
     pub json_path: Option<String>,
+    /// `--scenario PATH` — a `.sesame` scenario file to run over.
+    pub scenario: Option<String>,
     /// Everything not consumed above, in original order.
     pub rest: Vec<String>,
 }
@@ -52,13 +56,30 @@ impl BenchArgs {
         let jobs = parallel::take_jobs_arg(&mut args);
         let seeds = take_value(&mut args, "--seeds");
         let json_path = take_value(&mut args, "--json");
+        let scenario = take_value(&mut args, "--scenario");
         let smoke = take_flag(&mut args, "smoke");
         BenchArgs {
             smoke,
             jobs,
             seeds,
             json_path,
+            scenario,
             rest: args,
+        }
+    }
+
+    /// Compiles the `--scenario` file, if one was given. Exits the
+    /// process with status 2 on a compile error, after printing the
+    /// rendered diagnostic — the bench binaries share this behaviour so
+    /// a typo in a `.sesame` file reads the same everywhere.
+    pub fn compiled_scenario(&self) -> Option<sesame_scenario_dsl::CompiledScenario> {
+        let path = self.scenario.as_deref()?;
+        match sesame_scenario_dsl::compile_file(path) {
+            Ok(compiled) => Some(compiled),
+            Err(e) => {
+                eprintln!("{}", e.render());
+                std::process::exit(2);
+            }
         }
     }
 

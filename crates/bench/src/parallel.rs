@@ -146,6 +146,17 @@ pub fn fig6(seed: u64, jobs: usize) -> Fig6Result {
     fig6_reduce(&outcomes[0], &outcomes[1], &outcomes[2])
 }
 
+/// Runs the Fig. 6 experiment over three explicit leg descriptions in
+/// [`FIG6_LEGS`] order — e.g. legs compiled from a `.sesame` DSL file
+/// with per-leg `sesame`/`attack` parameters — across `jobs` workers.
+pub fn fig6_from_builders(
+    legs: [sesame_core::scenario::ScenarioBuilder; 3],
+    jobs: usize,
+) -> Fig6Result {
+    let outcomes = run_indexed(jobs, legs.len(), |i| legs[i].clone().build().run());
+    fig6_reduce(&outcomes[0], &outcomes[1], &outcomes[2])
+}
+
 /// Runs the Fig. 5 robustness sweep (one SESAME/baseline run pair per
 /// seed) across `jobs` workers; reduction is in seed order.
 pub fn fig5_robustness(seeds: &[u64], jobs: usize) -> RobustnessResult {

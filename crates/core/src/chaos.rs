@@ -262,20 +262,38 @@ pub struct ChaosCampaign {
     /// much cheaper than re-deriving the builder per run, and the
     /// shared state is immutable so workers need no coordination.
     template: ScenarioTemplate,
+    /// Fleet size of the template, cached so schedule sampling targets
+    /// UAVs the scenario actually flies.
+    fleet: usize,
 }
 
-/// Fleet size of the scenario the campaign sweeps (the paper's three).
-const FLEET: usize = 3;
-
 impl ChaosCampaign {
-    /// A campaign with the given parameters.
+    /// A campaign over the paper's three-UAV SAR scenario with the given
+    /// parameters.
     pub fn new(config: CampaignConfig) -> Self {
         let template = ScenarioTemplate::new(
             ScenarioBuilder::new(0)
                 .sesame(config.sesame)
                 .deadline(config.deadline),
         );
-        ChaosCampaign { config, template }
+        Self::with_template(config, template)
+    }
+
+    /// A campaign sweeping random fault schedules over an arbitrary base
+    /// scenario — e.g. one compiled from a `.sesame` DSL file. The
+    /// template is used as-is: its fleet sizes the per-fault UAV draw,
+    /// and its own deadline governs each run, so pass a config whose
+    /// `deadline` matches the template's (the `chaos` binary does
+    /// exactly that) to keep the sampling horizon honest. With the
+    /// default three-UAV template this is [`ChaosCampaign::new`]:
+    /// schedules are bit-identical per seed.
+    pub fn with_template(config: CampaignConfig, template: ScenarioTemplate) -> Self {
+        let fleet = template.config().fleet.total().max(1);
+        ChaosCampaign {
+            config,
+            template,
+            fleet,
+        }
     }
 
     /// The campaign parameters.
@@ -362,7 +380,7 @@ impl ChaosCampaign {
             // Start somewhere the fleet is already flying, early enough
             // that the fault's consequences play out before the deadline.
             let at = SimTime::from_secs(15 + rng.random::<u64>() % horizon_s.min(120));
-            let uav_index = (rng.random::<u64>() % FLEET as u64) as usize;
+            let uav_index = (rng.random::<u64>() % self.fleet as u64) as usize;
             let uav = UavId::new(uav_index as u32 + 1);
             schedule.push(match rng.random::<u64>() % 9 {
                 0 => Injected::Vehicle {
@@ -441,7 +459,7 @@ impl ChaosCampaign {
         for _ in 0..self.config.compute_faults_per_run {
             let at = SimTime::from_secs(15 + crng.random::<u64>() % horizon_s.min(120));
             let duration = SimDuration::from_secs(3 + crng.random::<u64>() % 6);
-            let uav = (crng.random::<u64>() % FLEET as u64) as usize;
+            let uav = (crng.random::<u64>() % self.fleet as u64) as usize;
             let kind = match crng.random::<u64>() % 4 {
                 0 => ComputeFaultKind::EddiPanic { uav },
                 1 => ComputeFaultKind::TelemetryNan { uav },

@@ -148,6 +148,48 @@ impl PlatformConfig {
             battery_hover_drain: self.battery_hover_drain,
         }
     }
+
+    /// Checks the configuration describes a buildable platform — the
+    /// same rules [`PlatformConfigBuilder::build`] enforces, callable on
+    /// a hand- or compiler-assembled config (the scenario DSL validates
+    /// every compiled scenario through here before it ever reaches
+    /// [`Platform::new`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.fleet.total() == 0 {
+            return Err(ConfigError::NoUavs);
+        }
+        if self.scan_altitude_m <= 0.0 || !self.scan_altitude_m.is_finite() {
+            return Err(ConfigError::NonPositiveAltitude);
+        }
+        if self.area_width_m <= 0.0
+            || self.area_height_m <= 0.0
+            || !self.area_width_m.is_finite()
+            || !self.area_height_m.is_finite()
+        {
+            return Err(ConfigError::EmptyArea);
+        }
+        if !(0.0..=1.0).contains(&self.visibility) {
+            return Err(ConfigError::VisibilityOutOfRange);
+        }
+        if ![4, 6, 8].contains(&self.motor_count) {
+            return Err(ConfigError::UnsupportedMotorCount);
+        }
+        if self.tolerated_motor_failures >= self.motor_count {
+            return Err(ConfigError::TooManyToleratedFailures);
+        }
+        // Per-group profiles, resolved against the platform defaults
+        // validated above, must describe buildable airframes too.
+        for group in self.fleet.groups() {
+            let p = group.profile.resolve(&self.fleet_defaults());
+            if ![4, 6, 8].contains(&p.motor_count) {
+                return Err(ConfigError::UnsupportedMotorCount);
+            }
+            if p.tolerated_motor_failures >= p.motor_count {
+                return Err(ConfigError::TooManyToleratedFailures);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A [`PlatformConfig`] that failed validation in
@@ -315,40 +357,7 @@ impl PlatformConfigBuilder {
 
     /// Validates the assembled configuration.
     pub fn build(self) -> Result<PlatformConfig, ConfigError> {
-        let c = &self.config;
-        if c.fleet.total() == 0 {
-            return Err(ConfigError::NoUavs);
-        }
-        if c.scan_altitude_m <= 0.0 || !c.scan_altitude_m.is_finite() {
-            return Err(ConfigError::NonPositiveAltitude);
-        }
-        if c.area_width_m <= 0.0
-            || c.area_height_m <= 0.0
-            || !c.area_width_m.is_finite()
-            || !c.area_height_m.is_finite()
-        {
-            return Err(ConfigError::EmptyArea);
-        }
-        if !(0.0..=1.0).contains(&c.visibility) {
-            return Err(ConfigError::VisibilityOutOfRange);
-        }
-        if ![4, 6, 8].contains(&c.motor_count) {
-            return Err(ConfigError::UnsupportedMotorCount);
-        }
-        if c.tolerated_motor_failures >= c.motor_count {
-            return Err(ConfigError::TooManyToleratedFailures);
-        }
-        // Per-group profiles, resolved against the platform defaults
-        // validated above, must describe buildable airframes too.
-        for group in c.fleet.groups() {
-            let p = group.profile.resolve(&c.fleet_defaults());
-            if ![4, 6, 8].contains(&p.motor_count) {
-                return Err(ConfigError::UnsupportedMotorCount);
-            }
-            if p.tolerated_motor_failures >= p.motor_count {
-                return Err(ConfigError::TooManyToleratedFailures);
-            }
-        }
+        self.config.validate()?;
         Ok(self.config)
     }
 }

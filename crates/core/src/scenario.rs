@@ -78,17 +78,109 @@ pub struct ScenarioBuilder {
     deadline: SimTime,
 }
 
+/// Why a [`ScenarioBuilder`] failed validation in
+/// [`ScenarioBuilder::try_build`]. Every variant is a description error:
+/// the schedule or configuration cannot describe a runnable scenario,
+/// and building it anyway would surface as a panic deep inside the tick
+/// loop instead of here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The platform configuration failed
+    /// [`PlatformConfig::validate`].
+    Config(crate::orchestrator::ConfigError),
+    /// A scheduled vehicle fault targeted a fleet index that does not
+    /// exist.
+    FaultUavOutOfRange {
+        /// When the entry fires.
+        at: SimTime,
+        /// The out-of-range fleet index.
+        uav_index: usize,
+        /// The actual fleet size.
+        fleet: usize,
+    },
+    /// A scheduled compute-plane fault targeted a fleet index that does
+    /// not exist (the containment plane indexes per-UAV state with it).
+    ComputeFaultUavOutOfRange {
+        /// When the window opens.
+        at: SimTime,
+        /// The out-of-range fleet index.
+        uav_index: usize,
+        /// The actual fleet size.
+        fleet: usize,
+    },
+    /// The spoofing attack targeted a fleet index that does not exist.
+    AttackUavOutOfRange {
+        /// The out-of-range fleet index.
+        uav_index: usize,
+        /// The actual fleet size.
+        fleet: usize,
+    },
+    /// The deadline was zero — the run loop would stop before its first
+    /// tick completed anything observable.
+    ZeroDeadline,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Config(e) => write!(f, "invalid platform configuration: {e}"),
+            ScenarioError::FaultUavOutOfRange {
+                at,
+                uav_index,
+                fleet,
+            } => write!(
+                f,
+                "fault at t={}s targets uav index {uav_index}, but the fleet has {fleet} UAV(s)",
+                at.as_millis() / 1000
+            ),
+            ScenarioError::ComputeFaultUavOutOfRange {
+                at,
+                uav_index,
+                fleet,
+            } => write!(
+                f,
+                "compute fault at t={}s targets uav index {uav_index}, but the fleet has \
+                 {fleet} UAV(s)",
+                at.as_millis() / 1000
+            ),
+            ScenarioError::AttackUavOutOfRange { uav_index, fleet } => write!(
+                f,
+                "spoof attack targets uav index {uav_index}, but the fleet has {fleet} UAV(s)"
+            ),
+            ScenarioError::ZeroDeadline => write!(f, "the scenario deadline must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<crate::orchestrator::ConfigError> for ScenarioError {
+    fn from(e: crate::orchestrator::ConfigError) -> Self {
+        ScenarioError::Config(e)
+    }
+}
+
 impl ScenarioBuilder {
+    /// The platform configuration every scenario description starts
+    /// from: the paper's three-UAV SAR demonstration (150 m × 100 m
+    /// area, three persons) with the given master seed. Both
+    /// [`ScenarioBuilder::new`] and the scenario-DSL compiler build on
+    /// exactly this baseline, which is what keeps a DSL-compiled
+    /// scenario field-for-field identical to a hand-written one.
+    pub fn base_config(seed: u64) -> PlatformConfig {
+        PlatformConfig {
+            seed,
+            area_width_m: 150.0,
+            area_height_m: 100.0,
+            person_count: 3,
+            ..PlatformConfig::default()
+        }
+    }
+
     /// A nominal three-UAV SAR scenario with SESAME enabled.
     pub fn new(seed: u64) -> Self {
         ScenarioBuilder {
-            config: PlatformConfig {
-                seed,
-                area_width_m: 150.0,
-                area_height_m: 100.0,
-                person_count: 3,
-                ..PlatformConfig::default()
-            },
+            config: Self::base_config(seed),
             faults: Vec::new(),
             comm_faults: Vec::new(),
             compute_faults: Vec::new(),
@@ -164,10 +256,100 @@ impl ScenarioBuilder {
         &mut self.config
     }
 
+    /// The platform configuration, read-only.
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// The scheduled vehicle faults, in declaration order.
+    pub fn fault_entries(&self) -> &[FaultEntry] {
+        &self.faults
+    }
+
+    /// The scheduled communication faults, in declaration order.
+    pub fn comm_fault_entries(&self) -> &[CommFaultEntry] {
+        &self.comm_faults
+    }
+
+    /// The scheduled compute-plane faults, in declaration order.
+    pub fn compute_fault_entries(&self) -> &[ComputeFaultEntry] {
+        &self.compute_faults
+    }
+
+    /// The armed spoofing attack, if any.
+    pub fn attack_entry(&self) -> Option<&SpoofAttack> {
+        self.attack.as_ref()
+    }
+
+    /// The scheduled run deadline.
+    pub fn run_deadline(&self) -> SimTime {
+        self.deadline
+    }
+
+    /// Checks the description is buildable without building it: the
+    /// platform configuration must validate, every scheduled fault and
+    /// the attack must target a UAV the fleet actually has, and the
+    /// deadline must be positive. [`ScenarioBuilder::build`] panics on
+    /// exactly these conditions (out-of-range indices used to surface as
+    /// index panics deep inside the tick loop); compiler front ends (the
+    /// scenario DSL) call this to turn them into typed, span-attributable
+    /// errors instead.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.config.validate()?;
+        let fleet = self.config.fleet.total();
+        if let Some(f) = self.faults.iter().find(|f| f.uav_index >= fleet) {
+            return Err(ScenarioError::FaultUavOutOfRange {
+                at: f.at,
+                uav_index: f.uav_index,
+                fleet,
+            });
+        }
+        if let Some(cf) = self.compute_faults.iter().find(|cf| cf.kind.uav() >= fleet) {
+            return Err(ScenarioError::ComputeFaultUavOutOfRange {
+                at: cf.at,
+                uav_index: cf.kind.uav(),
+                fleet,
+            });
+        }
+        if let Some(a) = &self.attack {
+            if a.uav_index >= fleet {
+                return Err(ScenarioError::AttackUavOutOfRange {
+                    uav_index: a.uav_index,
+                    fleet,
+                });
+            }
+        }
+        if self.deadline == SimTime::ZERO {
+            return Err(ScenarioError::ZeroDeadline);
+        }
+        Ok(())
+    }
+
+    /// [`ScenarioBuilder::build`] with the validation surfaced as a
+    /// typed error instead of a panic.
+    pub fn try_build(self) -> Result<Scenario, ScenarioError> {
+        self.validate()?;
+        Ok(self.build_unchecked())
+    }
+
     /// Builds the runnable scenario. The builder itself is retained
     /// behind an [`Arc`] as the run's *log*: checkpoints share it
     /// copy-on-write, and [`Checkpoint::recover`] replays it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the description fails [`ScenarioBuilder::validate`]
+    /// (an unbuildable configuration or an out-of-range fault/attack
+    /// target). Use [`ScenarioBuilder::try_build`] to handle those as
+    /// values.
     pub fn build(self) -> Scenario {
+        if let Err(e) = self.validate() {
+            panic!("unbuildable scenario: {e}");
+        }
+        self.build_unchecked()
+    }
+
+    fn build_unchecked(self) -> Scenario {
         let log = Arc::new(self.clone());
         let mut platform = Platform::new(self.config.clone());
         for f in &self.faults {
@@ -254,6 +436,16 @@ impl ScenarioTemplate {
     /// The shared platform configuration of the prototype.
     pub fn config(&self) -> &PlatformConfig {
         &self.proto.config
+    }
+
+    /// The prototype's run deadline (shared by every instantiation).
+    pub fn deadline(&self) -> SimTime {
+        self.proto.deadline
+    }
+
+    /// The frozen prototype description itself.
+    pub fn prototype(&self) -> &ScenarioBuilder {
+        &self.proto
     }
 }
 
@@ -573,6 +765,7 @@ sesame_types::assert_send_sync!(
     CommFaultEntry,
     ComputeFaultEntry,
     SpoofAttack,
+    ScenarioError,
 );
 
 // A built scenario (platform, bus, fleet state) is owned by exactly one

@@ -1,0 +1,541 @@
+//! The abstract syntax tree and its canonical pretty-printer.
+//!
+//! The printer defines the *canonical form* of a scenario source: one
+//! item per line, four-space block indentation, `{:?}`-rendered floats
+//! (Rust's shortest round-trip representation), durations as `Ns` when
+//! whole seconds and `Nms` otherwise, and minimal precedence-aware
+//! parentheses. The fuzz suite pins that printing is a fixed point:
+//! `print(parse(print(parse(s)))) == print(parse(s))` for every source
+//! `s` that parses at all.
+
+use crate::error::Span;
+use std::fmt;
+
+/// A parsed source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// Top-level items in declaration order.
+    pub items: Vec<Item>,
+}
+
+/// One top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `param NAME = expr` — a compile-time parameter with a default,
+    /// overridable by the embedding harness.
+    Param {
+        /// Parameter name.
+        name: String,
+        /// Where the name sits.
+        span: Span,
+        /// Default value expression.
+        default: Expr,
+    },
+    /// `let NAME = expr` — a bound constant.
+    Let {
+        /// Binding name.
+        name: String,
+        /// Where the name sits.
+        span: Span,
+        /// Bound expression.
+        value: Expr,
+    },
+    /// `include "path"` — splice another file's items here.
+    Include {
+        /// The verbatim include path (resolved relative to the
+        /// including file).
+        path: String,
+        /// Where the path literal sits.
+        span: Span,
+    },
+    /// A scenario declaration.
+    Scenario(ScenarioDecl),
+}
+
+/// `scenario "name" { sections }`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioDecl {
+    /// The scenario's name.
+    pub name: String,
+    /// Where the name literal sits.
+    pub span: Span,
+    /// Sections in declaration order.
+    pub sections: Vec<Section>,
+}
+
+/// One section of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Section {
+    /// `world { key = value ... }`
+    World(Block),
+    /// `fleet { uavs = n | group n { ... } | shards = policy }`
+    Fleet {
+        /// Section-opening span.
+        span: Span,
+        /// Entries in declaration order.
+        items: Vec<FleetItem>,
+    },
+    /// `mission { key = value ... }`
+    Mission(Block),
+    /// `faults { entries }`
+    Faults {
+        /// Section-opening span.
+        span: Span,
+        /// Statements in declaration order.
+        stmts: Vec<FaultStmt>,
+    },
+    /// `attack { key = value ... }`
+    Attack(Block),
+}
+
+/// A plain key/value section body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Section-opening span.
+    pub span: Span,
+    /// Assignments in declaration order.
+    pub assigns: Vec<Assign>,
+}
+
+/// `key = expr`
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assign {
+    /// The key name.
+    pub key: String,
+    /// Where the key sits.
+    pub span: Span,
+    /// The assigned expression.
+    pub value: Expr,
+}
+
+/// One entry of the fleet section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetItem {
+    /// `uavs = n` or `shards = policy`
+    Assign(Assign),
+    /// `group n { motors = 6, tolerated = 1, drain = 0.0006 }`
+    Group {
+        /// Where `group` sits.
+        span: Span,
+        /// UAV count expression.
+        count: Expr,
+        /// Profile overrides.
+        assigns: Vec<Assign>,
+    },
+}
+
+/// One statement in the faults section.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultStmt {
+    /// A scheduled entry.
+    Entry(FaultEntryStmt),
+    /// `for VAR in start..end { stmts }`
+    For {
+        /// Loop variable name.
+        var: String,
+        /// Where the variable sits.
+        span: Span,
+        /// Inclusive start expression.
+        start: Expr,
+        /// Exclusive end expression.
+        end: Expr,
+        /// Loop body.
+        body: Vec<FaultStmt>,
+    },
+}
+
+/// Which fault plane an entry schedules on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultPlane {
+    /// `at T uav IDX kind(...)` — a vehicle fault, instantaneous.
+    Vehicle {
+        /// Fleet-index expression.
+        uav: Expr,
+    },
+    /// `at T for D comm kind(...)` — a communication fault window.
+    Comm,
+    /// `at T for D compute kind(...)` — a compute-plane fault window.
+    Compute,
+}
+
+/// One scheduled fault entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEntryStmt {
+    /// Where `at` sits.
+    pub span: Span,
+    /// Activation time expression.
+    pub at: Expr,
+    /// Window duration (`for D`), required for comm/compute, forbidden
+    /// for vehicle faults.
+    pub duration: Option<Expr>,
+    /// The plane.
+    pub plane: FaultPlane,
+    /// The fault constructor call.
+    pub call: FaultCall,
+}
+
+/// `name(key = value, ...)`
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCall {
+    /// Constructor name (`gps_spoof`, `link_blackout`, ...).
+    pub name: String,
+    /// Where the name sits.
+    pub span: Span,
+    /// Named arguments.
+    pub args: Vec<Assign>,
+}
+
+/// A unary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+}
+
+/// A binary operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinOp {
+    /// Source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+
+    fn prec(self) -> u8 {
+        match self {
+            BinOp::Add | BinOp::Sub => 1,
+            BinOp::Mul | BinOp::Div | BinOp::Rem => 2,
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Float literal (always finite).
+    Float(f64, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Duration literal, milliseconds.
+    DurationMs(u64, Span),
+    /// A name reference (param, let, loop variable or builtin constant).
+    Var(String, Span),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        expr: Box<Expr>,
+        /// Operator span.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Operator span.
+        span: Span,
+    },
+    /// `(a, b)` / `(x, y, z)` — a tuple of 2+ expressions.
+    Tuple(Vec<Expr>, Span),
+    /// `name(args...)` — a builtin call (`secs`, `millis`, `fixed`).
+    Call {
+        /// Callee name.
+        name: String,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Callee span.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The expression's source position.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Bool(_, s)
+            | Expr::Str(_, s)
+            | Expr::DurationMs(_, s)
+            | Expr::Var(_, s)
+            | Expr::Unary { span: s, .. }
+            | Expr::Binary { span: s, .. }
+            | Expr::Tuple(_, s)
+            | Expr::Call { span: s, .. } => *s,
+        }
+    }
+
+    fn prec(&self) -> u8 {
+        match self {
+            Expr::Binary { op, .. } => op.prec(),
+            Expr::Unary { .. } => 3,
+            _ => 4,
+        }
+    }
+}
+
+/// Renders a duration in canonical form: whole seconds as `Ns`,
+/// everything else as `Nms`.
+pub fn fmt_duration_ms(ms: u64) -> String {
+    if ms.is_multiple_of(1000) {
+        format!("{}s", ms / 1000)
+    } else {
+        format!("{ms}ms")
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    let needs_parens = e.prec() < parent_prec;
+    if needs_parens {
+        out.push('(');
+    }
+    match e {
+        Expr::Int(n, _) => out.push_str(&n.to_string()),
+        Expr::Float(x, _) => out.push_str(&format!("{x:?}")),
+        Expr::Bool(b, _) => out.push_str(if *b { "true" } else { "false" }),
+        Expr::Str(s, _) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Expr::DurationMs(ms, _) => out.push_str(&fmt_duration_ms(*ms)),
+        Expr::Var(name, _) => out.push_str(name),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+            ..
+        } => {
+            out.push('-');
+            write_expr(out, expr, 4);
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            write_expr(out, lhs, op.prec());
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            write_expr(out, rhs, op.prec() + 1);
+        }
+        Expr::Tuple(items, _) => {
+            out.push('(');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, item, 0);
+            }
+            out.push(')');
+        }
+        Expr::Call { name, args, .. } => {
+            out.push_str(name);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+    if needs_parens {
+        out.push(')');
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_expr(&mut s, self, 0);
+        f.write_str(&s)
+    }
+}
+
+fn write_assigns(out: &mut String, assigns: &[Assign], indent: usize) {
+    for a in assigns {
+        out.push_str(&"    ".repeat(indent));
+        out.push_str(&a.key);
+        out.push_str(" = ");
+        write_expr(out, &a.value, 0);
+        out.push('\n');
+    }
+}
+
+fn write_call(out: &mut String, call: &FaultCall) {
+    out.push_str(&call.name);
+    out.push('(');
+    for (i, a) in call.args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&a.key);
+        out.push_str(" = ");
+        write_expr(out, &a.value, 0);
+    }
+    out.push(')');
+}
+
+fn write_fault_stmts(out: &mut String, stmts: &[FaultStmt], indent: usize) {
+    for stmt in stmts {
+        out.push_str(&"    ".repeat(indent));
+        match stmt {
+            FaultStmt::Entry(e) => {
+                out.push_str("at ");
+                write_expr(out, &e.at, 0);
+                if let Some(d) = &e.duration {
+                    out.push_str(" for ");
+                    write_expr(out, d, 0);
+                }
+                match &e.plane {
+                    FaultPlane::Vehicle { uav } => {
+                        out.push_str(" uav ");
+                        write_expr(out, uav, 3);
+                    }
+                    FaultPlane::Comm => out.push_str(" comm"),
+                    FaultPlane::Compute => out.push_str(" compute"),
+                }
+                out.push(' ');
+                write_call(out, &e.call);
+                out.push('\n');
+            }
+            FaultStmt::For {
+                var,
+                start,
+                end,
+                body,
+                ..
+            } => {
+                out.push_str("for ");
+                out.push_str(var);
+                out.push_str(" in ");
+                write_expr(out, start, 3);
+                out.push_str("..");
+                write_expr(out, end, 3);
+                out.push_str(" {\n");
+                write_fault_stmts(out, body, indent + 1);
+                out.push_str(&"    ".repeat(indent));
+                out.push_str("}\n");
+            }
+        }
+    }
+}
+
+fn write_section(out: &mut String, section: &Section) {
+    match section {
+        Section::World(b) => {
+            out.push_str("    world {\n");
+            write_assigns(out, &b.assigns, 2);
+            out.push_str("    }\n");
+        }
+        Section::Fleet { items, .. } => {
+            out.push_str("    fleet {\n");
+            for item in items {
+                match item {
+                    FleetItem::Assign(a) => write_assigns(out, std::slice::from_ref(a), 2),
+                    FleetItem::Group { count, assigns, .. } => {
+                        out.push_str("        group ");
+                        write_expr(out, count, 3);
+                        out.push_str(" {\n");
+                        write_assigns(out, assigns, 3);
+                        out.push_str("        }\n");
+                    }
+                }
+            }
+            out.push_str("    }\n");
+        }
+        Section::Mission(b) => {
+            out.push_str("    mission {\n");
+            write_assigns(out, &b.assigns, 2);
+            out.push_str("    }\n");
+        }
+        Section::Faults { stmts, .. } => {
+            out.push_str("    faults {\n");
+            write_fault_stmts(out, stmts, 2);
+            out.push_str("    }\n");
+        }
+        Section::Attack(b) => {
+            out.push_str("    attack {\n");
+            write_assigns(out, &b.assigns, 2);
+            out.push_str("    }\n");
+        }
+    }
+}
+
+impl fmt::Display for SourceFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                Item::Param { name, default, .. } => {
+                    out.push_str("param ");
+                    out.push_str(name);
+                    out.push_str(" = ");
+                    write_expr(&mut out, default, 0);
+                    out.push('\n');
+                }
+                Item::Let { name, value, .. } => {
+                    out.push_str("let ");
+                    out.push_str(name);
+                    out.push_str(" = ");
+                    write_expr(&mut out, value, 0);
+                    out.push('\n');
+                }
+                Item::Include { path, .. } => {
+                    out.push_str("include \"");
+                    out.push_str(&escape(path));
+                    out.push_str("\"\n");
+                }
+                Item::Scenario(decl) => {
+                    out.push_str("scenario \"");
+                    out.push_str(&escape(&decl.name));
+                    out.push_str("\" {\n");
+                    for section in &decl.sections {
+                        write_section(&mut out, section);
+                    }
+                    out.push_str("}\n");
+                }
+            }
+        }
+        f.write_str(&out)
+    }
+}

@@ -1,0 +1,1491 @@
+//! The compiler: AST → [`CompiledScenario`].
+//!
+//! Compilation happens exactly once per source; the output is a frozen
+//! [`ScenarioBuilder`] prototype that instantiates per-seed builders
+//! field-for-field identical to hand-written Rust ones (both start from
+//! [`ScenarioBuilder::base_config`] and apply the same public builder
+//! calls), which is what the differential conformance suite pins.
+//! Evaluation is total: integer arithmetic is checked, float results
+//! must stay finite, loops and schedules are size-capped, and every
+//! failure is a spanned [`DslError`] — never a panic.
+
+use crate::ast::*;
+use crate::error::{DslError, ErrorKind, Span};
+use crate::key::{self, CommFn, ComputeFn, Key, VehicleFn};
+use crate::parser::parse;
+use crate::value::Value;
+use sesame_core::containment::ComputeFaultKind;
+use sesame_core::fleet::{FleetGroup, FleetSpec, ShardPolicy, UavProfile};
+use sesame_core::scenario::{ScenarioBuilder, ScenarioTemplate, SpoofAttack};
+use sesame_middleware::chaos::{CommFaultKind, LinkDirection};
+use sesame_types::geo::Vec3;
+use sesame_types::ids::UavId;
+use sesame_types::time::{SimDuration, SimTime};
+use sesame_uav_sim::faults::FaultKind;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Maximum scheduled entries (vehicle + comm + compute) per scenario.
+pub const MAX_ENTRIES: usize = 65_536;
+
+/// Maximum loop iterations executed per scenario, counted across all
+/// (possibly nested) `for` statements — bounds spin time even when the
+/// bodies schedule nothing.
+pub const MAX_ITERATIONS: u64 = 1_000_000;
+
+/// Maximum `include` nesting depth.
+pub const MAX_INCLUDE_DEPTH: usize = 16;
+
+// ---------------------------------------------------------------------
+// Environment
+// ---------------------------------------------------------------------
+
+struct Env {
+    scopes: Vec<BTreeMap<String, Value>>,
+}
+
+impl Env {
+    fn new() -> Self {
+        let mut globals = BTreeMap::new();
+        globals.insert("auto".into(), Value::Shard(ShardPolicy::Auto));
+        globals.insert("serial".into(), Value::Shard(ShardPolicy::Serial));
+        globals.insert("uplink".into(), Value::Direction(LinkDirection::Uplink));
+        globals.insert("downlink".into(), Value::Direction(LinkDirection::Downlink));
+        Env {
+            scopes: vec![globals, BTreeMap::new()],
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    fn bind(&mut self, name: &str, value: Value) {
+        self.scopes
+            .last_mut()
+            .expect("env always has a scope")
+            .insert(name.to_string(), value);
+    }
+
+    fn push(&mut self) {
+        self.scopes.push(BTreeMap::new());
+    }
+
+    fn pop(&mut self) {
+        self.scopes.pop();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Expression evaluation
+// ---------------------------------------------------------------------
+
+fn err_eval(msg: impl Into<String>, span: Span) -> DslError {
+    DslError::new(ErrorKind::Eval, msg, span)
+}
+
+fn err_sem(msg: impl Into<String>, span: Span) -> DslError {
+    DslError::new(ErrorKind::Semantic, msg, span)
+}
+
+fn eval(expr: &Expr, env: &Env) -> Result<Value, DslError> {
+    match expr {
+        Expr::Int(n, _) => Ok(Value::Int(*n)),
+        Expr::Float(x, _) => Ok(Value::Float(*x)),
+        Expr::Bool(b, _) => Ok(Value::Bool(*b)),
+        Expr::Str(s, _) => Ok(Value::Str(Arc::from(s.as_str()))),
+        Expr::DurationMs(ms, _) => Ok(Value::Duration(SimDuration::from_millis(*ms))),
+        Expr::Var(name, span) => env
+            .lookup(name)
+            .cloned()
+            .ok_or_else(|| err_eval(format!("undefined name `{name}`"), *span)),
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr,
+            span,
+        } => match eval(expr, env)? {
+            Value::Int(n) => n
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or_else(|| err_eval("integer negation overflows i64", *span)),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            v => Err(err_eval(
+                format!("cannot negate a {}", v.type_name()),
+                *span,
+            )),
+        },
+        Expr::Binary { op, lhs, rhs, span } => {
+            let l = eval(lhs, env)?;
+            let r = eval(rhs, env)?;
+            binary(*op, l, r, *span)
+        }
+        Expr::Tuple(items, _) => {
+            let vals: Result<Vec<Value>, DslError> = items.iter().map(|e| eval(e, env)).collect();
+            Ok(Value::Tuple(Arc::from(vals?)))
+        }
+        Expr::Call { name, args, span } => call(name, args, env, *span),
+    }
+}
+
+fn binary(op: BinOp, l: Value, r: Value, span: Span) -> Result<Value, DslError> {
+    use Value::*;
+    let type_err = |l: &Value, r: &Value| {
+        err_eval(
+            format!(
+                "cannot apply `{}` to {} and {}",
+                op.symbol(),
+                l.type_name(),
+                r.type_name()
+            ),
+            span,
+        )
+    };
+    match (&l, &r) {
+        (Int(a), Int(b)) => {
+            let out = match op {
+                BinOp::Add => a.checked_add(*b),
+                BinOp::Sub => a.checked_sub(*b),
+                BinOp::Mul => a.checked_mul(*b),
+                BinOp::Div => {
+                    if *b == 0 {
+                        return Err(err_eval("division by zero", span));
+                    }
+                    a.checked_div(*b)
+                }
+                BinOp::Rem => {
+                    if *b == 0 {
+                        return Err(err_eval("remainder by zero", span));
+                    }
+                    a.checked_rem(*b)
+                }
+            };
+            out.map(Value::Int)
+                .ok_or_else(|| err_eval("integer arithmetic overflows i64", span))
+        }
+        (Int(_) | Float(_), Int(_) | Float(_)) => {
+            let (a, b) = (l.as_f64().unwrap(), r.as_f64().unwrap());
+            let out = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => a / b,
+                BinOp::Rem => a % b,
+            };
+            if out.is_finite() {
+                Ok(Value::Float(out))
+            } else {
+                Err(err_eval(
+                    "float arithmetic produced a non-finite value",
+                    span,
+                ))
+            }
+        }
+        (Duration(a), Duration(b)) => match op {
+            BinOp::Add => a
+                .as_millis()
+                .checked_add(b.as_millis())
+                .map(|ms| Value::Duration(SimDuration::from_millis(ms)))
+                .ok_or_else(|| err_eval("duration addition overflows", span)),
+            BinOp::Sub => a
+                .as_millis()
+                .checked_sub(b.as_millis())
+                .map(|ms| Value::Duration(SimDuration::from_millis(ms)))
+                .ok_or_else(|| err_eval("duration subtraction goes negative", span)),
+            _ => Err(type_err(&l, &r)),
+        },
+        (Duration(d), Int(n)) | (Int(n), Duration(d)) if op == BinOp::Mul => {
+            if *n < 0 {
+                return Err(err_eval(
+                    "cannot scale a duration by a negative amount",
+                    span,
+                ));
+            }
+            d.as_millis()
+                .checked_mul(*n as u64)
+                .map(|ms| Value::Duration(SimDuration::from_millis(ms)))
+                .ok_or_else(|| err_eval("duration multiplication overflows", span))
+        }
+        (Duration(d), Float(x)) | (Float(x), Duration(d)) if op == BinOp::Mul => {
+            let ms = d.as_millis() as f64 * x;
+            if !ms.is_finite() || ms < 0.0 || ms > u64::MAX as f64 {
+                return Err(err_eval("duration multiplication is out of range", span));
+            }
+            Ok(Value::Duration(SimDuration::from_millis(ms.round() as u64)))
+        }
+        _ => Err(type_err(&l, &r)),
+    }
+}
+
+fn call(name: &str, args: &[Expr], env: &Env, span: Span) -> Result<Value, DslError> {
+    let eval_one = |what: &str| -> Result<Value, DslError> {
+        if args.len() != 1 {
+            return Err(err_eval(
+                format!("`{name}` takes exactly one argument ({what})"),
+                span,
+            ));
+        }
+        eval(&args[0], env)
+    };
+    match name {
+        "secs" => match eval_one("seconds")? {
+            Value::Int(n) if n >= 0 => Ok(Value::Duration(SimDuration::from_secs(n as u64))),
+            Value::Float(x) if x >= 0.0 => Ok(Value::Duration(SimDuration::from_secs_f64(x))),
+            v => Err(err_eval(
+                format!("`secs` expects a non-negative number, found {v}"),
+                span,
+            )),
+        },
+        "millis" => match eval_one("milliseconds")? {
+            Value::Int(n) if n >= 0 => Ok(Value::Duration(SimDuration::from_millis(n as u64))),
+            v => Err(err_eval(
+                format!("`millis` expects a non-negative integer, found {v}"),
+                span,
+            )),
+        },
+        "fixed" => match eval_one("shard count")? {
+            Value::Int(n) if n >= 1 => Ok(Value::Shard(ShardPolicy::Fixed { shards: n as usize })),
+            v => Err(err_eval(
+                format!("`fixed` expects a positive shard count, found {v}"),
+                span,
+            )),
+        },
+        other => Err(err_eval(
+            format!("unknown function `{other}` (functions: secs, millis, fixed)"),
+            span,
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed key/value extraction
+// ---------------------------------------------------------------------
+
+/// Assignments of one section, interned and evaluated, with duplicate
+/// detection. Extraction methods take the interned [`Key`] and produce
+/// typed values or spanned errors.
+struct Fields {
+    section: &'static str,
+    vocab: &'static str,
+    entries: BTreeMap<&'static str, (Value, Span)>,
+}
+
+impl Fields {
+    fn collect(
+        section: &'static str,
+        vocab: &'static str,
+        allowed: &[Key],
+        assigns: &[Assign],
+        env: &Env,
+    ) -> Result<Self, DslError> {
+        let mut entries = BTreeMap::new();
+        for a in assigns {
+            let key = key::intern(&a.key)
+                .filter(|k| allowed.contains(k))
+                .ok_or_else(|| {
+                    err_sem(
+                        format!(
+                            "unknown key `{}` in the {section} section (keys: {vocab})",
+                            a.key
+                        ),
+                        a.span,
+                    )
+                })?;
+            let value = eval(&a.value, env)?;
+            if entries.insert(key.name(), (value, a.span)).is_some() {
+                return Err(err_sem(
+                    format!("duplicate key `{}` in the {section} section", a.key),
+                    a.span,
+                ));
+            }
+        }
+        Ok(Fields {
+            section,
+            vocab,
+            entries,
+        })
+    }
+
+    fn take(&mut self, key: Key) -> Option<(Value, Span)> {
+        self.entries.remove(key.name())
+    }
+
+    fn type_err(&self, key: Key, want: &str, found: &Value, span: Span) -> DslError {
+        err_sem(
+            format!(
+                "the `{}` key in the {} section expects {want}, found {} ({found})",
+                key.name(),
+                self.section,
+                found.type_name()
+            ),
+            span,
+        )
+    }
+
+    fn f64(&mut self, key: Key) -> Result<Option<f64>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((v, span)) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| self.type_err(key, "a number", &v, span)),
+        }
+    }
+
+    fn usize(&mut self, key: Key) -> Result<Option<usize>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((v, span)) => v
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| self.type_err(key, "a non-negative integer", &v, span)),
+        }
+    }
+
+    fn bool(&mut self, key: Key) -> Result<Option<bool>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((v, span)) => v
+                .as_bool()
+                .map(Some)
+                .ok_or_else(|| self.type_err(key, "a boolean", &v, span)),
+        }
+    }
+
+    fn duration(&mut self, key: Key) -> Result<Option<SimDuration>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((v, span)) => v
+                .as_duration()
+                .map(Some)
+                .ok_or_else(|| self.type_err(key, "a duration (e.g. `120s`, `500ms`)", &v, span)),
+        }
+    }
+
+    fn pair_f64(&mut self, key: Key) -> Result<Option<(f64, f64)>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Tuple(items), span)) if items.len() == 2 => {
+                let (Some(a), Some(b)) = (items[0].as_f64(), items[1].as_f64()) else {
+                    return Err(self.type_err(
+                        key,
+                        "a (width, height) tuple of numbers",
+                        &Value::Tuple(items.clone()),
+                        span,
+                    ));
+                };
+                Ok(Some((a, b)))
+            }
+            Some((v, span)) => {
+                Err(self.type_err(key, "a (width, height) tuple of numbers", &v, span))
+            }
+        }
+    }
+
+    fn vec3(&mut self, key: Key) -> Result<Option<Vec3>, DslError> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((Value::Tuple(items), span)) if items.len() == 3 => {
+                let (Some(x), Some(y), Some(z)) =
+                    (items[0].as_f64(), items[1].as_f64(), items[2].as_f64())
+                else {
+                    return Err(self.type_err(
+                        key,
+                        "an (east, north, up) tuple of numbers",
+                        &Value::Tuple(items.clone()),
+                        span,
+                    ));
+                };
+                Ok(Some(Vec3::new(x, y, z)))
+            }
+            Some((v, span)) => {
+                Err(self.type_err(key, "an (east, north, up) tuple of numbers", &v, span))
+            }
+        }
+    }
+
+    fn require<T>(&self, got: Option<T>, key: Key, section_span: Span) -> Result<T, DslError> {
+        got.ok_or_else(|| {
+            err_sem(
+                format!(
+                    "the {} section requires the `{}` key (keys: {})",
+                    self.section,
+                    key.name(),
+                    self.vocab
+                ),
+                section_span,
+            )
+        })
+    }
+
+    fn finish(self) -> Result<(), DslError> {
+        // Defensive: `collect` only admits allowed keys, and every
+        // allowed key is taken by the caller; anything left is a
+        // compiler bug surfaced as an error instead of silence.
+        if let Some((name, (_, span))) = self.entries.into_iter().next() {
+            return Err(err_sem(
+                format!(
+                    "key `{name}` is not consumed by the {} section",
+                    self.section
+                ),
+                span,
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scenario assembly
+// ---------------------------------------------------------------------
+
+struct Assembler<'e> {
+    env: &'e mut Env,
+    builder: ScenarioBuilder,
+    entries: usize,
+    iterations: u64,
+    seen_sections: Vec<&'static str>,
+}
+
+impl Assembler<'_> {
+    fn section_once(&mut self, name: &'static str, span: Span) -> Result<(), DslError> {
+        if self.seen_sections.contains(&name) {
+            return Err(err_sem(format!("duplicate {name} section"), span));
+        }
+        self.seen_sections.push(name);
+        Ok(())
+    }
+
+    fn world(&mut self, block: &Block) -> Result<(), DslError> {
+        self.section_once("world", block.span)?;
+        let mut f = Fields::collect(
+            "world",
+            "area, persons, visibility",
+            &[Key::Area, Key::Persons, Key::Visibility],
+            &block.assigns,
+            self.env,
+        )?;
+        if let Some((w, h)) = f.pair_f64(Key::Area)? {
+            self.builder.config_mut().area_width_m = w;
+            self.builder.config_mut().area_height_m = h;
+        }
+        if let Some(n) = f.usize(Key::Persons)? {
+            self.builder.config_mut().person_count = n;
+        }
+        if let Some(v) = f.f64(Key::Visibility)? {
+            self.builder.config_mut().visibility = v;
+        }
+        f.finish()
+    }
+
+    fn fleet(&mut self, span: Span, items: &[FleetItem]) -> Result<(), DslError> {
+        self.section_once("fleet", span)?;
+        let mut groups: Vec<FleetGroup> = Vec::new();
+        let mut policy: Option<(ShardPolicy, Span)> = None;
+        for item in items {
+            match item {
+                FleetItem::Assign(a) => match key::intern(&a.key) {
+                    Some(Key::Uavs) => {
+                        let v = eval(&a.value, self.env)?;
+                        let count = v.as_usize().ok_or_else(|| {
+                            err_sem(
+                                format!(
+                                    "`uavs` expects a non-negative integer, found {} ({v})",
+                                    v.type_name()
+                                ),
+                                a.span,
+                            )
+                        })?;
+                        groups.push(FleetGroup {
+                            count,
+                            profile: UavProfile::default(),
+                        });
+                    }
+                    Some(Key::Shards) => {
+                        let v = eval(&a.value, self.env)?;
+                        let Value::Shard(p) = v else {
+                            return Err(err_sem(
+                                format!(
+                                    "`shards` expects `auto`, `serial` or `fixed(n)`, \
+                                     found {} ({v})",
+                                    v.type_name()
+                                ),
+                                a.span,
+                            ));
+                        };
+                        if policy.is_some() {
+                            return Err(err_sem("duplicate `shards` key", a.span));
+                        }
+                        policy = Some((p, a.span));
+                    }
+                    _ => {
+                        return Err(err_sem(
+                            format!(
+                                "unknown key `{}` in the fleet section (keys: uavs, shards, \
+                                 group n {{ motors, tolerated, drain }})",
+                                a.key
+                            ),
+                            a.span,
+                        ))
+                    }
+                },
+                FleetItem::Group {
+                    span,
+                    count,
+                    assigns,
+                } => {
+                    let v = eval(count, self.env)?;
+                    let count = v.as_usize().ok_or_else(|| {
+                        err_sem(
+                            format!(
+                                "`group` expects a non-negative UAV count, found {} ({v})",
+                                v.type_name()
+                            ),
+                            *span,
+                        )
+                    })?;
+                    let mut f = Fields::collect(
+                        "fleet group",
+                        "motors, tolerated, drain",
+                        &[Key::Motors, Key::Tolerated, Key::Drain],
+                        assigns,
+                        self.env,
+                    )?;
+                    let profile = UavProfile {
+                        motor_count: f.usize(Key::Motors)?,
+                        tolerated_motor_failures: f.usize(Key::Tolerated)?,
+                        battery_hover_drain: f.f64(Key::Drain)?,
+                    };
+                    f.finish()?;
+                    groups.push(FleetGroup { count, profile });
+                }
+            }
+        }
+        let current = &self.builder.config().fleet;
+        let groups = if groups.is_empty() {
+            current.groups().to_vec()
+        } else {
+            groups
+        };
+        let policy = policy
+            .map(|(p, _)| p)
+            .unwrap_or_else(|| current.shard_policy());
+        let mut spec = FleetSpec::builder();
+        for g in groups {
+            spec = spec.group(g.count, g.profile);
+        }
+        self.builder.config_mut().fleet = spec.shard_policy(policy).build();
+        Ok(())
+    }
+
+    fn mission(&mut self, block: &Block) -> Result<(), DslError> {
+        self.section_once("mission", block.span)?;
+        let mut f = Fields::collect(
+            "mission",
+            "sesame, altitude, altitude_adaptation, deadline, battery_swap, \
+             battery_hover_drain",
+            &[
+                Key::Sesame,
+                Key::Altitude,
+                Key::AltitudeAdaptation,
+                Key::Deadline,
+                Key::BatterySwap,
+                Key::BatteryHoverDrain,
+            ],
+            &block.assigns,
+            self.env,
+        )?;
+        if let Some(on) = f.bool(Key::Sesame)? {
+            self.builder.config_mut().sesame_enabled = on;
+        }
+        if let Some(alt) = f.f64(Key::Altitude)? {
+            self.builder.config_mut().scan_altitude_m = alt;
+        }
+        if let Some(on) = f.bool(Key::AltitudeAdaptation)? {
+            self.builder.config_mut().altitude_adaptation = on;
+        }
+        if let Some(d) = f.duration(Key::Deadline)? {
+            let deadline = SimTime::from_millis(d.as_millis());
+            self.builder =
+                std::mem::replace(&mut self.builder, ScenarioBuilder::new(0)).deadline(deadline);
+        }
+        if let Some(d) = f.duration(Key::BatterySwap)? {
+            self.builder.config_mut().battery_swap = d;
+        }
+        if let Some(drain) = f.f64(Key::BatteryHoverDrain)? {
+            self.builder.config_mut().battery_hover_drain = drain;
+        }
+        f.finish()
+    }
+
+    fn faults(&mut self, span: Span, stmts: &[FaultStmt]) -> Result<(), DslError> {
+        self.section_once("faults", span)?;
+        self.fault_stmts(stmts)
+    }
+
+    fn fault_stmts(&mut self, stmts: &[FaultStmt]) -> Result<(), DslError> {
+        for stmt in stmts {
+            match stmt {
+                FaultStmt::Entry(e) => self.fault_entry(e)?,
+                FaultStmt::For {
+                    var,
+                    span,
+                    start,
+                    end,
+                    body,
+                } => {
+                    let s = eval(start, self.env)?;
+                    let e = eval(end, self.env)?;
+                    let (Some(s), Some(e)) = (s.as_i64(), e.as_i64()) else {
+                        return Err(err_sem(
+                            format!(
+                                "loop bounds must be integers, found {}..{}",
+                                s.type_name(),
+                                e.type_name()
+                            ),
+                            *span,
+                        ));
+                    };
+                    for i in s..e.max(s) {
+                        self.iterations += 1;
+                        if self.iterations > MAX_ITERATIONS {
+                            return Err(DslError::new(
+                                ErrorKind::Limit,
+                                format!("loops exceed {MAX_ITERATIONS} total iterations"),
+                                *span,
+                            ));
+                        }
+                        self.env.push();
+                        self.env.bind(var, Value::Int(i));
+                        let result = self.fault_stmts(body);
+                        self.env.pop();
+                        result?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn fault_entry(&mut self, e: &FaultEntryStmt) -> Result<(), DslError> {
+        self.entries += 1;
+        if self.entries > MAX_ENTRIES {
+            return Err(DslError::new(
+                ErrorKind::Limit,
+                format!("the schedule exceeds {MAX_ENTRIES} entries"),
+                e.span,
+            ));
+        }
+        let at = match eval(&e.at, self.env)? {
+            Value::Duration(d) => SimTime::from_millis(d.as_millis()),
+            v => {
+                return Err(err_sem(
+                    format!(
+                        "`at` expects a duration from mission start (e.g. `120s`), found {} \
+                         ({v})",
+                        v.type_name()
+                    ),
+                    e.at.span(),
+                ))
+            }
+        };
+        let duration = match &e.duration {
+            None => None,
+            Some(d) => match eval(d, self.env)? {
+                Value::Duration(dur) => Some(dur),
+                v => {
+                    return Err(err_sem(
+                        format!(
+                            "`for` expects a window duration (e.g. `30s`), found {} ({v})",
+                            v.type_name()
+                        ),
+                        d.span(),
+                    ))
+                }
+            },
+        };
+        match &e.plane {
+            FaultPlane::Vehicle { uav } => {
+                if e.duration.is_some() {
+                    return Err(err_sem(
+                        "vehicle faults fire instantaneously; remove the `for <duration>` \
+                         window (schedule the matching restore explicitly)",
+                        e.span,
+                    ));
+                }
+                let v = eval(uav, self.env)?;
+                let index = v.as_usize().ok_or_else(|| {
+                    err_sem(
+                        format!(
+                            "`uav` expects a non-negative fleet index, found {} ({v})",
+                            v.type_name()
+                        ),
+                        uav.span(),
+                    )
+                })?;
+                let kind = self.vehicle_kind(&e.call)?;
+                self.builder = std::mem::replace(&mut self.builder, ScenarioBuilder::new(0))
+                    .fault(at, index, kind);
+            }
+            FaultPlane::Comm => {
+                let duration = duration.ok_or_else(|| {
+                    err_sem(
+                        "comm faults need a window: `at <time> for <duration> comm ...`",
+                        e.span,
+                    )
+                })?;
+                let kind = self.comm_kind(&e.call)?;
+                self.builder = std::mem::replace(&mut self.builder, ScenarioBuilder::new(0))
+                    .comm_fault(at, duration, kind);
+            }
+            FaultPlane::Compute => {
+                let duration = duration.ok_or_else(|| {
+                    err_sem(
+                        "compute faults need a window: `at <time> for <duration> compute ...`",
+                        e.span,
+                    )
+                })?;
+                let kind = self.compute_kind(&e.call)?;
+                self.builder = std::mem::replace(&mut self.builder, ScenarioBuilder::new(0))
+                    .compute_fault(at, duration, kind);
+            }
+        }
+        Ok(())
+    }
+
+    fn call_fields(
+        &mut self,
+        call: &FaultCall,
+        vocab: &'static str,
+        allowed: &[Key],
+    ) -> Result<Fields, DslError> {
+        Fields::collect("fault argument", vocab, allowed, &call.args, self.env).map_err(|e| {
+            // Re-point "unknown key in the fault argument section" style
+            // messages at the constructor for readability.
+            if e.message.starts_with("unknown key") {
+                err_sem(
+                    format!(
+                        "{} (arguments of `{}`: {vocab})",
+                        e.message.split(" in the ").next().unwrap_or(&e.message),
+                        call.name
+                    ),
+                    e.span,
+                )
+            } else {
+                e
+            }
+        })
+    }
+
+    fn uav_id(&mut self, f: &mut Fields, call: &FaultCall) -> Result<UavId, DslError> {
+        let got = f.usize(Key::Uav)?;
+        let index = f.require(got, Key::Uav, call.span)?;
+        let raw = u32::try_from(index)
+            .ok()
+            .and_then(|i| i.checked_add(1))
+            .ok_or_else(|| err_sem(format!("uav index {index} is out of range"), call.span))?;
+        Ok(UavId::new(raw))
+    }
+
+    fn vehicle_kind(&mut self, call: &FaultCall) -> Result<FaultKind, DslError> {
+        let Some(which) = key::vehicle_fn(&call.name) else {
+            return Err(err_sem(
+                format!(
+                    "unknown vehicle fault `{}` (vehicle faults: {})",
+                    call.name,
+                    key::VEHICLE_FNS
+                ),
+                call.span,
+            ));
+        };
+        let kind = match which {
+            VehicleFn::BatteryOverTemp => {
+                let mut f = self.call_fields(call, "soc_drop", &[Key::SocDrop])?;
+                let got = f.f64(Key::SocDrop)?;
+                let soc_drop = f.require(got, Key::SocDrop, call.span)?;
+                f.finish()?;
+                FaultKind::BatteryOverTemp { soc_drop }
+            }
+            VehicleFn::MotorFailure | VehicleFn::MotorRestore => {
+                let mut f = self.call_fields(call, "motor", &[Key::Motor])?;
+                let got = f.usize(Key::Motor)?;
+                let motor = f.require(got, Key::Motor, call.span)?;
+                f.finish()?;
+                if which == VehicleFn::MotorFailure {
+                    FaultKind::MotorFailure { motor }
+                } else {
+                    FaultKind::MotorRestore { motor }
+                }
+            }
+            VehicleFn::GpsLoss => {
+                self.call_fields(call, "(none)", &[])?.finish()?;
+                FaultKind::GpsLoss
+            }
+            VehicleFn::GpsRestore => {
+                self.call_fields(call, "(none)", &[])?.finish()?;
+                FaultKind::GpsRestore
+            }
+            VehicleFn::VisionRestore => {
+                self.call_fields(call, "(none)", &[])?.finish()?;
+                FaultKind::VisionRestore
+            }
+            VehicleFn::GpsSpoof => {
+                let mut f = self.call_fields(call, "drift", &[Key::Drift])?;
+                let got = f.vec3(Key::Drift)?;
+                let drift = f.require(got, Key::Drift, call.span)?;
+                f.finish()?;
+                FaultKind::GpsSpoof { drift }
+            }
+            VehicleFn::VisionDegraded => {
+                let mut f = self.call_fields(call, "health", &[Key::Health])?;
+                let got = f.f64(Key::Health)?;
+                let health = f.require(got, Key::Health, call.span)?;
+                f.finish()?;
+                FaultKind::VisionDegraded { health }
+            }
+        };
+        Ok(kind)
+    }
+
+    fn comm_kind(&mut self, call: &FaultCall) -> Result<CommFaultKind, DslError> {
+        let Some(which) = key::comm_fn(&call.name) else {
+            return Err(err_sem(
+                format!(
+                    "unknown comm fault `{}` (comm faults: {})",
+                    call.name,
+                    key::COMM_FNS
+                ),
+                call.span,
+            ));
+        };
+        let kind = match which {
+            CommFn::LinkBlackout => {
+                let mut f = self.call_fields(call, "uav", &[Key::Uav])?;
+                let uav = self.uav_id(&mut f, call)?;
+                f.finish()?;
+                CommFaultKind::LinkBlackout { uav }
+            }
+            CommFn::Partition => {
+                let mut f =
+                    self.call_fields(call, "uav, direction", &[Key::Uav, Key::Direction])?;
+                let uav = self.uav_id(&mut f, call)?;
+                let direction = match f.take(Key::Direction) {
+                    Some((Value::Direction(d), _)) => d,
+                    Some((v, span)) => {
+                        return Err(err_sem(
+                            format!(
+                                "`direction` expects `uplink` or `downlink`, found {} ({v})",
+                                v.type_name()
+                            ),
+                            span,
+                        ))
+                    }
+                    None => {
+                        return Err(err_sem(
+                            "`partition` requires a `direction` argument (uplink or downlink)",
+                            call.span,
+                        ))
+                    }
+                };
+                f.finish()?;
+                CommFaultKind::AsymmetricPartition { uav, direction }
+            }
+            CommFn::BrokerOutage => {
+                self.call_fields(call, "(none)", &[])?.finish()?;
+                CommFaultKind::BrokerOutage
+            }
+            CommFn::Staleness => {
+                let mut f = self.call_fields(call, "uav, delay", &[Key::Uav, Key::Delay])?;
+                let uav = self.uav_id(&mut f, call)?;
+                let got = f.duration(Key::Delay)?;
+                let delay = f.require(got, Key::Delay, call.span)?;
+                f.finish()?;
+                CommFaultKind::TelemetryStaleness { uav, delay }
+            }
+        };
+        Ok(kind)
+    }
+
+    fn compute_kind(&mut self, call: &FaultCall) -> Result<ComputeFaultKind, DslError> {
+        let Some(which) = key::compute_fn(&call.name) else {
+            return Err(err_sem(
+                format!(
+                    "unknown compute fault `{}` (compute faults: {})",
+                    call.name,
+                    key::COMPUTE_FNS
+                ),
+                call.span,
+            ));
+        };
+        let mut f = self.call_fields(call, "uav", &[Key::Uav])?;
+        let got = f.usize(Key::Uav)?;
+        let uav = f.require(got, Key::Uav, call.span)?;
+        f.finish()?;
+        Ok(match which {
+            ComputeFn::EddiPanic => ComputeFaultKind::EddiPanic { uav },
+            ComputeFn::TelemetryNan => ComputeFaultKind::TelemetryNan { uav },
+            ComputeFn::TelemetryInf => ComputeFaultKind::TelemetryInf { uav },
+            ComputeFn::SolverStall => ComputeFaultKind::SolverStall { uav },
+        })
+    }
+
+    fn attack(&mut self, block: &Block) -> Result<(), DslError> {
+        self.section_once("attack", block.span)?;
+        let mut f = Fields::collect(
+            "attack",
+            "enabled, start, uav, drift, forge_waypoints",
+            &[
+                Key::Enabled,
+                Key::Start,
+                Key::Uav,
+                Key::Drift,
+                Key::ForgeWaypoints,
+            ],
+            &block.assigns,
+            self.env,
+        )?;
+        let enabled = f.bool(Key::Enabled)?.unwrap_or(true);
+        let start = f.duration(Key::Start)?;
+        let uav = f.usize(Key::Uav)?;
+        let drift = f.vec3(Key::Drift)?;
+        let forge = f.bool(Key::ForgeWaypoints)?.unwrap_or(true);
+        if !enabled {
+            return f.finish();
+        }
+        let start = f.require(start, Key::Start, block.span)?;
+        let uav_index = f.require(uav, Key::Uav, block.span)?;
+        let gps_drift = f.require(drift, Key::Drift, block.span)?;
+        f.finish()?;
+        self.builder = std::mem::replace(&mut self.builder, ScenarioBuilder::new(0)).spoof_attack(
+            SpoofAttack {
+                start: SimTime::from_millis(start.as_millis()),
+                uav_index,
+                gps_drift,
+                forge_waypoints: forge,
+            },
+        );
+        Ok(())
+    }
+}
+
+fn assemble(decl: &ScenarioDecl, env: &mut Env) -> Result<CompiledScenario, DslError> {
+    let mut asm = Assembler {
+        env,
+        builder: ScenarioBuilder::new(0),
+        entries: 0,
+        iterations: 0,
+        seen_sections: Vec::new(),
+    };
+    for section in &decl.sections {
+        match section {
+            Section::World(b) => asm.world(b)?,
+            Section::Fleet { span, items } => asm.fleet(*span, items)?,
+            Section::Mission(b) => asm.mission(b)?,
+            Section::Faults { span, stmts } => asm.faults(*span, stmts)?,
+            Section::Attack(b) => asm.attack(b)?,
+        }
+    }
+    let builder = asm.builder;
+    builder.validate().map_err(|e| {
+        err_sem(
+            format!("scenario \"{}\" is unbuildable: {e}", decl.name),
+            decl.span,
+        )
+    })?;
+    Ok(CompiledScenario {
+        name: Arc::from(decl.name.as_str()),
+        proto: builder,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Compiled output
+// ---------------------------------------------------------------------
+
+/// A compiled scenario: a frozen prototype with its source name.
+///
+/// Instantiating with [`CompiledScenario::builder`] yields a
+/// [`ScenarioBuilder`] field-for-field identical to a hand-written one
+/// (same [`ScenarioBuilder::base_config`] baseline, same public builder
+/// calls), so every determinism property of the Rust API carries over
+/// to DSL-compiled scenarios unchanged.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    name: Arc<str>,
+    proto: ScenarioBuilder,
+}
+
+impl CompiledScenario {
+    /// The scenario's declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// A per-seed builder, identical to the prototype apart from the
+    /// master seed.
+    pub fn builder(&self, seed: u64) -> ScenarioBuilder {
+        let mut b = self.proto.clone();
+        b.config_mut().seed = seed;
+        b
+    }
+
+    /// The prototype frozen as a [`ScenarioTemplate`] for seed sweeps
+    /// and chaos campaigns.
+    pub fn template(&self) -> ScenarioTemplate {
+        ScenarioTemplate::new(self.proto.clone())
+    }
+
+    /// The compiled run deadline.
+    pub fn deadline(&self) -> SimTime {
+        self.proto.run_deadline()
+    }
+
+    /// A copy with the deadline clamped to at most `max` — the smoke
+    /// runner's lever for bounding wall-clock without editing sources.
+    pub fn with_deadline_clamped(&self, max: SimTime) -> CompiledScenario {
+        let mut out = self.clone();
+        if out.proto.run_deadline() > max {
+            out.proto = std::mem::replace(&mut out.proto, ScenarioBuilder::new(0)).deadline(max);
+        }
+        out
+    }
+
+    /// A stable, line-oriented rendering of the compiled form — what the
+    /// golden snapshots pin. Everything here is derived from the
+    /// compiled prototype, so a byte of drift means the compiler's
+    /// output changed for this source.
+    pub fn describe(&self) -> String {
+        let cfg = self.proto.config();
+        let mut out = format!("scenario \"{}\"\n", self.name);
+        out.push_str(&format!(
+            "  world: area = {:?} x {:?} m, persons = {}, visibility = {:?}\n",
+            cfg.area_width_m, cfg.area_height_m, cfg.person_count, cfg.visibility
+        ));
+        let defaults = cfg.fleet_defaults();
+        out.push_str(&format!("  fleet: {} uavs", cfg.fleet.total()));
+        for g in cfg.fleet.groups() {
+            let p = g.profile.resolve(&defaults);
+            out.push_str(&format!(
+                " [{} x motors = {}, tolerated = {}, drain = {:?}]",
+                g.count, p.motor_count, p.tolerated_motor_failures, p.battery_hover_drain
+            ));
+        }
+        out.push_str(&format!(", shards = {:?}\n", cfg.fleet.shard_policy()));
+        out.push_str(&format!(
+            "  mission: sesame = {}, altitude = {:?} m, altitude_adaptation = {}, \
+             deadline = {}, battery_swap = {}\n",
+            cfg.sesame_enabled,
+            cfg.scan_altitude_m,
+            cfg.altitude_adaptation,
+            crate::ast::fmt_duration_ms(self.proto.run_deadline().as_millis()),
+            crate::ast::fmt_duration_ms(cfg.battery_swap.as_millis()),
+        ));
+        let faults = self.proto.fault_entries();
+        let comm = self.proto.comm_fault_entries();
+        let compute = self.proto.compute_fault_entries();
+        out.push_str(&format!(
+            "  schedule: {} vehicle, {} comm, {} compute\n",
+            faults.len(),
+            comm.len(),
+            compute.len()
+        ));
+        for f in faults {
+            out.push_str(&format!(
+                "    at {} uav {} {:?}\n",
+                crate::ast::fmt_duration_ms(f.at.as_millis()),
+                f.uav_index,
+                f.kind
+            ));
+        }
+        for f in comm {
+            out.push_str(&format!(
+                "    at {} for {} comm {:?}\n",
+                crate::ast::fmt_duration_ms(f.at.as_millis()),
+                crate::ast::fmt_duration_ms(f.duration.as_millis()),
+                f.kind
+            ));
+        }
+        for f in compute {
+            out.push_str(&format!(
+                "    at {} for {} compute {:?}\n",
+                crate::ast::fmt_duration_ms(f.at.as_millis()),
+                crate::ast::fmt_duration_ms(f.duration.as_millis()),
+                f.kind
+            ));
+        }
+        match self.proto.attack_entry() {
+            Some(a) => out.push_str(&format!(
+                "  attack: start = {}, uav = {}, drift = ({:?}, {:?}, {:?}), \
+                 forge_waypoints = {}\n",
+                crate::ast::fmt_duration_ms(a.start.as_millis()),
+                a.uav_index,
+                a.gps_drift.x,
+                a.gps_drift.y,
+                a.gps_drift.z,
+                a.forge_waypoints
+            )),
+            None => out.push_str("  attack: none\n"),
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// The compiler driver: params, includes, file/string entry points
+// ---------------------------------------------------------------------
+
+/// The configurable compiler: set parameter overrides, then compile
+/// files or strings. Reusable across compiles.
+#[derive(Debug, Clone, Default)]
+pub struct Compiler {
+    params: BTreeMap<String, Value>,
+}
+
+struct Driver<'c> {
+    compiler: &'c Compiler,
+    env: Env,
+    scenarios: Vec<CompiledScenario>,
+    declared_params: Vec<String>,
+    include_stack: Vec<PathBuf>,
+}
+
+impl Driver<'_> {
+    /// Processes one parsed unit, attributing errors to (`name`, `src`).
+    fn unit(
+        &mut self,
+        name: &str,
+        src: &str,
+        file: &SourceFile,
+        dir: Option<&Path>,
+    ) -> Result<(), DslError> {
+        let attribute = |e: DslError| e.with_source(name, src);
+        for item in &file.items {
+            match item {
+                Item::Param {
+                    name: pname,
+                    span,
+                    default,
+                } => {
+                    if self.declared_params.iter().any(|p| p == pname) {
+                        return Err(attribute(err_sem(
+                            format!("duplicate param `{pname}`"),
+                            *span,
+                        )));
+                    }
+                    self.declared_params.push(pname.clone());
+                    // The default is always evaluated (so it stays
+                    // well-typed), then an override wins.
+                    let value = eval(default, &self.env).map_err(attribute)?;
+                    let value = self.compiler.params.get(pname).cloned().unwrap_or(value);
+                    self.env.bind(pname, value);
+                }
+                Item::Let {
+                    name: lname, value, ..
+                } => {
+                    let value = eval(value, &self.env).map_err(attribute)?;
+                    self.env.bind(lname, value);
+                }
+                Item::Include { path, span } => {
+                    self.include(path, *span, dir).map_err(attribute)?;
+                }
+                Item::Scenario(decl) => {
+                    let compiled = assemble(decl, &mut self.env).map_err(attribute)?;
+                    self.scenarios.push(compiled);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn include(&mut self, rel: &str, span: Span, dir: Option<&Path>) -> Result<(), DslError> {
+        let Some(dir) = dir else {
+            return Err(DslError::new(
+                ErrorKind::Include,
+                "`include` needs a file-based compile (compile_str has no directory to \
+                 resolve against)",
+                span,
+            ));
+        };
+        if self.include_stack.len() >= MAX_INCLUDE_DEPTH {
+            return Err(DslError::new(
+                ErrorKind::Include,
+                format!("includes nest deeper than {MAX_INCLUDE_DEPTH}"),
+                span,
+            ));
+        }
+        let path = dir.join(rel);
+        let canonical = path.canonicalize().map_err(|e| {
+            DslError::new(
+                ErrorKind::Include,
+                format!("cannot include `{rel}`: {e}"),
+                span,
+            )
+        })?;
+        if self.include_stack.contains(&canonical) {
+            return Err(DslError::new(
+                ErrorKind::Include,
+                format!("include cycle through `{rel}`"),
+                span,
+            ));
+        }
+        let src = std::fs::read_to_string(&canonical).map_err(|e| {
+            DslError::new(
+                ErrorKind::Include,
+                format!("cannot include `{rel}`: {e}"),
+                span,
+            )
+        })?;
+        let name = file_label(&path);
+        let parsed = parse(&src).map_err(|e| e.with_source(&name, &src))?;
+        self.include_stack.push(canonical);
+        let result = self.unit(&name, &src, &parsed, path.parent());
+        self.include_stack.pop();
+        result
+    }
+}
+
+/// The displayed name of a source file: its final path component, so
+/// error renderings (and their golden snapshots) are machine-portable.
+fn file_label(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+impl Compiler {
+    /// A compiler with no parameter overrides.
+    pub fn new() -> Self {
+        Compiler::default()
+    }
+
+    /// Overrides a `param`'s default value.
+    pub fn param(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.params.insert(name.into(), value.into());
+        self
+    }
+
+    /// Compiles every scenario declared in `path` (and its includes),
+    /// in declaration order.
+    pub fn compile_file(&self, path: impl AsRef<Path>) -> Result<Vec<CompiledScenario>, DslError> {
+        let path = path.as_ref();
+        let name = file_label(path);
+        let src = std::fs::read_to_string(path).map_err(|e| {
+            DslError::new(
+                ErrorKind::Include,
+                format!("cannot read `{}`: {e}", path.display()),
+                Span::new(1, 1, 1),
+            )
+            .with_source(&name, "")
+        })?;
+        let parsed = parse(&src).map_err(|e| e.with_source(&name, &src))?;
+        let mut driver = Driver {
+            compiler: self,
+            env: Env::new(),
+            scenarios: Vec::new(),
+            declared_params: Vec::new(),
+            include_stack: Vec::new(),
+        };
+        if let Ok(canonical) = path.canonicalize() {
+            driver.include_stack.push(canonical);
+        }
+        driver.unit(&name, &src, &parsed, path.parent())?;
+        Ok(driver.scenarios)
+    }
+
+    /// Compiles every scenario declared in `src`. `name` labels error
+    /// messages. `include` items are rejected — strings have no
+    /// directory to resolve includes against.
+    pub fn compile_str(&self, name: &str, src: &str) -> Result<Vec<CompiledScenario>, DslError> {
+        let parsed = parse(src).map_err(|e| e.with_source(name, src))?;
+        let mut driver = Driver {
+            compiler: self,
+            env: Env::new(),
+            scenarios: Vec::new(),
+            declared_params: Vec::new(),
+            include_stack: Vec::new(),
+        };
+        driver.unit(name, src, &parsed, None)?;
+        Ok(driver.scenarios)
+    }
+}
+
+/// Compiles the first scenario of `path` with default parameters.
+pub fn compile_file(path: impl AsRef<Path>) -> Result<CompiledScenario, DslError> {
+    let path = path.as_ref();
+    let scenarios = Compiler::new().compile_file(path)?;
+    scenarios.into_iter().next().ok_or_else(|| {
+        DslError::new(
+            ErrorKind::Semantic,
+            "the source declares no scenario",
+            Span::new(1, 1, 1),
+        )
+        .with_source(&file_label(path), "")
+    })
+}
+
+/// Compiles the first scenario of `src` with default parameters.
+pub fn compile_str(name: &str, src: &str) -> Result<CompiledScenario, DslError> {
+    let scenarios = Compiler::new().compile_str(name, src)?;
+    scenarios.into_iter().next().ok_or_else(|| {
+        DslError::new(
+            ErrorKind::Semantic,
+            "the source declares no scenario",
+            Span::new(1, 1, 1),
+        )
+        .with_source(name, src)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG6: &str = r#"
+param sesame = true
+param attack = true
+
+scenario "fig6_spoofing" {
+    world { area = (420.0, 300.0), persons = 5 }
+    mission {
+        sesame = sesame
+        deadline = 700s
+    }
+    attack {
+        enabled = attack
+        start = 120s
+        uav = 0
+        drift = (0.0, 4.0, 0.0)
+        forge_waypoints = true
+    }
+}
+"#;
+
+    #[test]
+    fn fig6_compiles_field_identical_to_hand_written() {
+        let compiled = compile_str("fig6.sesame", FIG6).unwrap();
+        let hand = sesame_core::experiments::fig6_scenario(7, true, true);
+        let dsl = compiled.builder(7);
+        assert_eq!(format!("{hand:?}"), format!("{dsl:?}"));
+    }
+
+    #[test]
+    fn params_override() {
+        let scenarios = Compiler::new()
+            .param("sesame", false)
+            .param("attack", false)
+            .compile_str("fig6.sesame", FIG6)
+            .unwrap();
+        let compiled = &scenarios[0];
+        let hand = sesame_core::experiments::fig6_scenario(3, false, false);
+        let dsl = compiled.builder(3);
+        assert_eq!(format!("{hand:?}"), format!("{dsl:?}"));
+    }
+
+    #[test]
+    fn loops_unroll_deterministically() {
+        let src = r#"
+scenario "loops" {
+    faults {
+        for i in 0..3 {
+            at secs(100 + i * 50) uav i gps_loss()
+        }
+    }
+}
+"#;
+        let compiled = compile_str("loops.sesame", src).unwrap();
+        let faults = compiled.builder(0);
+        let entries = faults.fault_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[1].at, SimTime::from_secs(150));
+        assert_eq!(entries[2].uav_index, 2);
+    }
+
+    #[test]
+    fn out_of_range_fault_is_a_spanned_error_not_a_panic() {
+        let src = r#"
+scenario "broken" {
+    faults {
+        at 10s uav 7 gps_loss()
+    }
+}
+"#;
+        let err = compile_str("broken.sesame", src).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Semantic);
+        assert!(err.message.contains("unbuildable"), "{}", err.message);
+        assert!(err.span.line >= 1 && err.span.col >= 1);
+    }
+
+    #[test]
+    fn unknown_key_lists_vocabulary() {
+        let err = compile_str("x.sesame", "scenario \"x\" { world { personz = 5 } }").unwrap_err();
+        assert!(err.message.contains("personz"), "{}", err.message);
+        assert!(
+            err.message.contains("area, persons, visibility"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let err = compile_str("x.sesame", "param x = 1 / 0").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Eval);
+    }
+
+    #[test]
+    fn fleet_groups_compile() {
+        let src = r#"
+scenario "mixed" {
+    fleet {
+        uavs = 2
+        group 4 { motors = 6, tolerated = 1, drain = 0.0006 }
+        shards = fixed(2)
+    }
+}
+"#;
+        let compiled = compile_str("mixed.sesame", src).unwrap();
+        let cfg = compiled.builder(0);
+        assert_eq!(cfg.config().fleet.total(), 6);
+        assert_eq!(
+            cfg.config().fleet.shard_policy(),
+            ShardPolicy::Fixed { shards: 2 }
+        );
+    }
+
+    #[test]
+    fn comm_uav_argument_is_zero_based() {
+        let src = r#"
+scenario "comm" {
+    faults {
+        at 10s for 30s comm link_blackout(uav = 1)
+    }
+}
+"#;
+        let compiled = compile_str("comm.sesame", src).unwrap();
+        let b = compiled.builder(0);
+        assert_eq!(
+            b.comm_fault_entries()[0].kind,
+            CommFaultKind::LinkBlackout { uav: UavId::new(2) }
+        );
+    }
+
+    #[test]
+    fn compile_str_rejects_includes() {
+        let err = compile_str("x.sesame", "include \"other.sesame\"").unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Include);
+    }
+
+    #[test]
+    fn iteration_limit_trips() {
+        let src = r#"
+scenario "spin" {
+    faults {
+        for i in 0..2000000 {
+        }
+    }
+}
+"#;
+        let err = compile_str("spin.sesame", src).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Limit);
+    }
+}

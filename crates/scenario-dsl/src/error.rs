@@ -1,0 +1,190 @@
+//! The DSL's error model: every failure — lexing, parsing, evaluation,
+//! semantic checks, includes — carries a [`Span`] pointing at the
+//! offending source position and renders rustc-style with the source
+//! line and a caret. The golden error-message snapshots pin exactly the
+//! [`DslError::render`] bytes, so the rendering must stay deterministic:
+//! no wall-clock, no absolute paths (the source *name* is whatever the
+//! caller passed in), no hash-ordered iteration.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A source position: 1-based line and column of the first offending
+/// character, plus the length of the offending token (for the caret
+/// run; zero-length spans render a single caret).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters, not bytes).
+    pub col: u32,
+    /// Caret run length in characters (minimum 1 when rendered).
+    pub len: u32,
+}
+
+impl Span {
+    /// A span of `len` characters at `line:col`.
+    pub fn new(line: u32, col: u32, len: u32) -> Self {
+        Span { line, col, len }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Which compiler stage rejected the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The lexer hit a malformed token (bad number, unterminated string,
+    /// stray byte).
+    Lex,
+    /// The parser hit an unexpected token or structure.
+    Parse,
+    /// Expression evaluation failed (undefined name, type mismatch,
+    /// overflow, division by zero).
+    Eval,
+    /// The description is well-formed but not a valid scenario (unknown
+    /// key, missing required key, out-of-range fault target).
+    Semantic,
+    /// An `include` could not be resolved (missing file, cycle, depth).
+    Include,
+    /// The resource limits tripped (entry count, loop size, nesting).
+    Limit,
+}
+
+impl ErrorKind {
+    fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Lex => "lex error",
+            ErrorKind::Parse => "parse error",
+            ErrorKind::Eval => "eval error",
+            ErrorKind::Semantic => "error",
+            ErrorKind::Include => "include error",
+            ErrorKind::Limit => "limit error",
+        }
+    }
+}
+
+/// A compile error with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DslError {
+    /// Which stage failed.
+    pub kind: ErrorKind,
+    /// What went wrong, one sentence, lowercase start, no period.
+    pub message: String,
+    /// Where (1-based; see [`Span`]).
+    pub span: Span,
+    /// The source name the compiler was given (file name or pseudo-name
+    /// like `<string>`).
+    pub source_name: Arc<str>,
+    /// The text of `span.line`, when the source was available.
+    pub source_line: Option<String>,
+}
+
+impl DslError {
+    /// Builds an error; the compiler attaches `source_name` and
+    /// `source_line` before surfacing it.
+    pub fn new(kind: ErrorKind, message: impl Into<String>, span: Span) -> Self {
+        DslError {
+            kind,
+            message: message.into(),
+            span,
+            source_name: Arc::from("<unknown>"),
+            source_line: None,
+        }
+    }
+
+    /// Attaches the source name and extracts the offending line.
+    pub fn with_source(mut self, name: &str, src: &str) -> Self {
+        self.source_name = Arc::from(name);
+        if self.span.line >= 1 {
+            self.source_line = src
+                .lines()
+                .nth(self.span.line as usize - 1)
+                .map(str::to_string);
+        }
+        self
+    }
+
+    /// The rustc-style multi-line rendering the golden error snapshots
+    /// pin:
+    ///
+    /// ```text
+    /// error: unknown key `personz` in the world section
+    ///   --> maritime_sar.sesame:4:9
+    ///    |
+    ///  4 |         personz = 5
+    ///    |         ^^^^^^^
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {}\n  --> {}:{}\n",
+            self.kind.label(),
+            self.message,
+            self.source_name,
+            self.span
+        );
+        if let Some(line) = &self.source_line {
+            let n = self.span.line.to_string();
+            let pad = " ".repeat(n.len());
+            out.push_str(&format!("{pad} |\n"));
+            out.push_str(&format!("{n} | {line}\n"));
+            let indent: String = line
+                .chars()
+                .take(self.span.col.saturating_sub(1) as usize)
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            let carets = "^".repeat(self.span.len.max(1) as usize);
+            out.push_str(&format!("{pad} | {indent}{carets}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} at {}:{}",
+            self.kind.label(),
+            self.message,
+            self.source_name,
+            self.span
+        )
+    }
+}
+
+impl std::error::Error for DslError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_includes_caret_line() {
+        let src = "world {\n    personz = 5\n}\n";
+        let err = DslError::new(
+            ErrorKind::Semantic,
+            "unknown key `personz` in the world section",
+            Span::new(2, 5, 7),
+        )
+        .with_source("test.sesame", src);
+        let rendered = err.render();
+        assert!(rendered.contains("--> test.sesame:2:5"), "{rendered}");
+        assert!(rendered.contains("2 |     personz = 5"), "{rendered}");
+        assert!(rendered.contains("|     ^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn render_without_source_line_is_two_lines() {
+        let err = DslError::new(
+            ErrorKind::Parse,
+            "unexpected end of input",
+            Span::new(9, 1, 1),
+        );
+        assert_eq!(err.render().lines().count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Interned keys: every key name the DSL understands is resolved to a
+//! small enum exactly once, at compile time, so section assembly
+//! dispatches on a `Copy` token instead of re-comparing strings — the
+//! minijinja-style "intern at compile, match at run" split. Unknown
+//! keys fail interning and surface as spanned semantic errors that list
+//! the section's vocabulary.
+
+/// A known assignment key, across every section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Key {
+    /// `area` (world): `(width_m, height_m)` tuple.
+    Area,
+    /// `persons` (world): ground-truth person count.
+    Persons,
+    /// `visibility` (world): `[0, 1]`.
+    Visibility,
+    /// `uavs` (fleet): a group of default-profile UAVs.
+    Uavs,
+    /// `shards` (fleet): `auto`, `serial` or `fixed(n)`.
+    Shards,
+    /// `motors` (fleet group): motors per airframe.
+    Motors,
+    /// `tolerated` (fleet group): tolerated motor failures.
+    Tolerated,
+    /// `drain` (fleet group): battery hover drain per second.
+    Drain,
+    /// `sesame` (mission): SESAME stack on/off.
+    Sesame,
+    /// `altitude` (mission): initial scan altitude, metres.
+    Altitude,
+    /// `altitude_adaptation` (mission): §V-B policy on/off.
+    AltitudeAdaptation,
+    /// `deadline` (mission): run deadline.
+    Deadline,
+    /// `battery_swap` (mission): swap duration at base.
+    BatterySwap,
+    /// `battery_hover_drain` (mission): platform-wide default drain.
+    BatteryHoverDrain,
+    /// `enabled` (attack): arms or disarms the section.
+    Enabled,
+    /// `start` (attack): attack start time.
+    Start,
+    /// `uav` (attack, fault args): target fleet index.
+    Uav,
+    /// `drift` (attack, `gps_spoof`): ENU drag velocity tuple.
+    Drift,
+    /// `forge_waypoints` (attack): forged-waypoint injection on/off.
+    ForgeWaypoints,
+    /// `soc_drop` (`battery_over_temp`): instant charge loss fraction.
+    SocDrop,
+    /// `motor` (`motor_failure` / `motor_restore`): motor index.
+    Motor,
+    /// `health` (`vision_degraded`): remaining health `[0, 1]`.
+    Health,
+    /// `direction` (`partition`): `uplink` or `downlink`.
+    Direction,
+    /// `delay` (`staleness`): extra one-way telemetry delay.
+    Delay,
+}
+
+impl Key {
+    /// The key's source spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Key::Area => "area",
+            Key::Persons => "persons",
+            Key::Visibility => "visibility",
+            Key::Uavs => "uavs",
+            Key::Shards => "shards",
+            Key::Motors => "motors",
+            Key::Tolerated => "tolerated",
+            Key::Drain => "drain",
+            Key::Sesame => "sesame",
+            Key::Altitude => "altitude",
+            Key::AltitudeAdaptation => "altitude_adaptation",
+            Key::Deadline => "deadline",
+            Key::BatterySwap => "battery_swap",
+            Key::BatteryHoverDrain => "battery_hover_drain",
+            Key::Enabled => "enabled",
+            Key::Start => "start",
+            Key::Uav => "uav",
+            Key::Drift => "drift",
+            Key::ForgeWaypoints => "forge_waypoints",
+            Key::SocDrop => "soc_drop",
+            Key::Motor => "motor",
+            Key::Health => "health",
+            Key::Direction => "direction",
+            Key::Delay => "delay",
+        }
+    }
+}
+
+/// Resolves a source key name to its interned token, or `None` when the
+/// name is not part of the DSL vocabulary at all.
+pub fn intern(name: &str) -> Option<Key> {
+    Some(match name {
+        "area" => Key::Area,
+        "persons" => Key::Persons,
+        "visibility" => Key::Visibility,
+        "uavs" => Key::Uavs,
+        "shards" => Key::Shards,
+        "motors" => Key::Motors,
+        "tolerated" => Key::Tolerated,
+        "drain" => Key::Drain,
+        "sesame" => Key::Sesame,
+        "altitude" => Key::Altitude,
+        "altitude_adaptation" => Key::AltitudeAdaptation,
+        "deadline" => Key::Deadline,
+        "battery_swap" => Key::BatterySwap,
+        "battery_hover_drain" => Key::BatteryHoverDrain,
+        "enabled" => Key::Enabled,
+        "start" => Key::Start,
+        "uav" => Key::Uav,
+        "drift" => Key::Drift,
+        "forge_waypoints" => Key::ForgeWaypoints,
+        "soc_drop" => Key::SocDrop,
+        "motor" => Key::Motor,
+        "health" => Key::Health,
+        "direction" => Key::Direction,
+        "delay" => Key::Delay,
+        _ => return None,
+    })
+}
+
+/// A vehicle-fault constructor name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VehicleFn {
+    /// `battery_over_temp(soc_drop = f)`
+    BatteryOverTemp,
+    /// `motor_failure(motor = i)`
+    MotorFailure,
+    /// `motor_restore(motor = i)`
+    MotorRestore,
+    /// `gps_loss()`
+    GpsLoss,
+    /// `gps_spoof(drift = (x, y, z))`
+    GpsSpoof,
+    /// `gps_restore()`
+    GpsRestore,
+    /// `vision_degraded(health = f)`
+    VisionDegraded,
+    /// `vision_restore()`
+    VisionRestore,
+}
+
+/// A communication-fault constructor name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommFn {
+    /// `link_blackout(uav = i)`
+    LinkBlackout,
+    /// `partition(uav = i, direction = uplink|downlink)`
+    Partition,
+    /// `broker_outage()`
+    BrokerOutage,
+    /// `staleness(uav = i, delay = d)`
+    Staleness,
+}
+
+/// A compute-fault constructor name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComputeFn {
+    /// `eddi_panic(uav = i)`
+    EddiPanic,
+    /// `telemetry_nan(uav = i)`
+    TelemetryNan,
+    /// `telemetry_inf(uav = i)`
+    TelemetryInf,
+    /// `solver_stall(uav = i)`
+    SolverStall,
+}
+
+/// Resolves a vehicle-fault constructor name.
+pub fn vehicle_fn(name: &str) -> Option<VehicleFn> {
+    Some(match name {
+        "battery_over_temp" => VehicleFn::BatteryOverTemp,
+        "motor_failure" => VehicleFn::MotorFailure,
+        "motor_restore" => VehicleFn::MotorRestore,
+        "gps_loss" => VehicleFn::GpsLoss,
+        "gps_spoof" => VehicleFn::GpsSpoof,
+        "gps_restore" => VehicleFn::GpsRestore,
+        "vision_degraded" => VehicleFn::VisionDegraded,
+        "vision_restore" => VehicleFn::VisionRestore,
+        _ => return None,
+    })
+}
+
+/// Resolves a communication-fault constructor name.
+pub fn comm_fn(name: &str) -> Option<CommFn> {
+    Some(match name {
+        "link_blackout" => CommFn::LinkBlackout,
+        "partition" => CommFn::Partition,
+        "broker_outage" => CommFn::BrokerOutage,
+        "staleness" => CommFn::Staleness,
+        _ => return None,
+    })
+}
+
+/// Resolves a compute-fault constructor name.
+pub fn compute_fn(name: &str) -> Option<ComputeFn> {
+    Some(match name {
+        "eddi_panic" => ComputeFn::EddiPanic,
+        "telemetry_nan" => ComputeFn::TelemetryNan,
+        "telemetry_inf" => ComputeFn::TelemetryInf,
+        "solver_stall" => ComputeFn::SolverStall,
+        _ => return None,
+    })
+}
+
+/// The vehicle-fault vocabulary, for "did you mean" error listings.
+pub const VEHICLE_FNS: &str =
+    "battery_over_temp, motor_failure, motor_restore, gps_loss, gps_spoof, gps_restore, \
+     vision_degraded, vision_restore";
+
+/// The comm-fault vocabulary.
+pub const COMM_FNS: &str = "link_blackout, partition, broker_outage, staleness";
+
+/// The compute-fault vocabulary.
+pub const COMPUTE_FNS: &str = "eddi_panic, telemetry_nan, telemetry_inf, solver_stall";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_round_trips_every_key() {
+        for key in [
+            Key::Area,
+            Key::Persons,
+            Key::Visibility,
+            Key::Uavs,
+            Key::Shards,
+            Key::Motors,
+            Key::Tolerated,
+            Key::Drain,
+            Key::Sesame,
+            Key::Altitude,
+            Key::AltitudeAdaptation,
+            Key::Deadline,
+            Key::BatterySwap,
+            Key::BatteryHoverDrain,
+            Key::Enabled,
+            Key::Start,
+            Key::Uav,
+            Key::Drift,
+            Key::ForgeWaypoints,
+            Key::SocDrop,
+            Key::Motor,
+            Key::Health,
+            Key::Direction,
+            Key::Delay,
+        ] {
+            assert_eq!(intern(key.name()), Some(key));
+        }
+        assert_eq!(intern("personz"), None);
+    }
+}

@@ -1,0 +1,468 @@
+//! The lexer: source text → a flat token stream with spans.
+//!
+//! Whitespace and `#`-to-end-of-line comments are insignificant;
+//! newlines do not terminate anything (items are self-delimiting, and
+//! commas between block entries are optional). Duration literals are a
+//! number immediately followed by `s` or `ms` (`120s`, `500ms`, `1.5s`)
+//! and normalize to whole milliseconds — the simulation clock's
+//! resolution — at lex time.
+//!
+//! Only `scenario`, `param`, `let`, `include`, `for`, `in`, `group`,
+//! `true` and `false` are reserved words; contextual words like `at`,
+//! `uav`, `comm` and `compute` lex as plain identifiers so they remain
+//! usable as argument keys (`link_blackout(uav = 1)`).
+
+use crate::error::{DslError, ErrorKind, Span};
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or contextual keyword.
+    Ident(String),
+    /// An integer literal (i64-checked at lex time).
+    Int(i64),
+    /// A float literal (finite-checked at lex time).
+    Float(f64),
+    /// A double-quoted string literal, unescaped.
+    Str(String),
+    /// A duration literal, normalized to milliseconds.
+    DurationMs(u64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `..`
+    DotDot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `scenario`
+    KwScenario,
+    /// `param`
+    KwParam,
+    /// `let`
+    KwLet,
+    /// `include`
+    KwInclude,
+    /// `for`
+    KwFor,
+    /// `in`
+    KwIn,
+    /// `group`
+    KwGroup,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+}
+
+impl Tok {
+    /// Short human label for "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(n) => format!("integer `{n}`"),
+            Tok::Float(x) => format!("float `{x:?}`"),
+            Tok::Str(_) => "string literal".into(),
+            Tok::DurationMs(_) => "duration literal".into(),
+            Tok::LBrace => "`{`".into(),
+            Tok::RBrace => "`}`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Comma => "`,`".into(),
+            Tok::Eq => "`=`".into(),
+            Tok::DotDot => "`..`".into(),
+            Tok::Plus => "`+`".into(),
+            Tok::Minus => "`-`".into(),
+            Tok::Star => "`*`".into(),
+            Tok::Slash => "`/`".into(),
+            Tok::Percent => "`%`".into(),
+            Tok::KwScenario => "`scenario`".into(),
+            Tok::KwParam => "`param`".into(),
+            Tok::KwLet => "`let`".into(),
+            Tok::KwInclude => "`include`".into(),
+            Tok::KwFor => "`for`".into(),
+            Tok::KwIn => "`in`".into(),
+            Tok::KwGroup => "`group`".into(),
+            Tok::KwTrue => "`true`".into(),
+            Tok::KwFalse => "`false`".into(),
+        }
+    }
+}
+
+/// A token plus where it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Its source location.
+    pub span: Span,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    Some(match word {
+        "scenario" => Tok::KwScenario,
+        "param" => Tok::KwParam,
+        "let" => Tok::KwLet,
+        "include" => Tok::KwInclude,
+        "for" => Tok::KwFor,
+        "in" => Tok::KwIn,
+        "group" => Tok::KwGroup,
+        "true" => Tok::KwTrue,
+        "false" => Tok::KwFalse,
+        _ => return None,
+    })
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn here(&self, len: u32) -> Span {
+        Span::new(self.line, self.col, len)
+    }
+
+    fn err(&self, msg: impl Into<String>, span: Span) -> DslError {
+        DslError::new(ErrorKind::Lex, msg, span)
+    }
+
+    fn number(&mut self, start: Span) -> Result<Tok, DslError> {
+        let mut text = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            text.push(self.bump().unwrap());
+        }
+        let mut is_float = false;
+        // A fractional part — but `..` after a number is a range, not a
+        // malformed float, so look two characters ahead through a clone.
+        if self.peek() == Some('.') {
+            let mut ahead = self.chars.clone();
+            ahead.next();
+            if matches!(ahead.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap());
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    text.push(self.bump().unwrap());
+                }
+            }
+        }
+        // An exponent. `{:?}`-rendered floats (the pretty-printer's
+        // format) can carry one, so round-tripping requires it.
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let mut ahead = self.chars.clone();
+            ahead.next();
+            let sign = matches!(ahead.peek(), Some('+' | '-'));
+            if sign {
+                ahead.next();
+            }
+            if matches!(ahead.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                text.push(self.bump().unwrap());
+                if sign {
+                    text.push(self.bump().unwrap());
+                }
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    text.push(self.bump().unwrap());
+                }
+            }
+        }
+        let span = Span::new(start.line, start.col, text.chars().count() as u32);
+        // A duration suffix immediately after the digits: `s` or `ms`.
+        if self.peek() == Some('s') || self.peek() == Some('m') {
+            let unit_ms = if self.peek() == Some('s') {
+                self.bump();
+                1000u64
+            } else {
+                let mut ahead = self.chars.clone();
+                ahead.next();
+                if ahead.peek() == Some(&'s') {
+                    self.bump();
+                    self.bump();
+                    1u64
+                } else {
+                    // `120m` is not a duration; let the `m` start the
+                    // next identifier (e.g. `5 motors` typo'd together
+                    // still errors at parse, not here).
+                    0u64
+                }
+            };
+            if unit_ms > 0 {
+                let ms = if is_float {
+                    let secs: f64 = text
+                        .parse()
+                        .map_err(|_| self.err(format!("malformed number `{text}`"), span))?;
+                    if !secs.is_finite() {
+                        return Err(
+                            self.err(format!("duration literal `{text}` overflows f64"), span)
+                        );
+                    }
+                    let ms = secs * unit_ms as f64;
+                    if ms < 0.0 || ms > u64::MAX as f64 {
+                        return Err(
+                            self.err(format!("duration literal `{text}` is out of range"), span)
+                        );
+                    }
+                    ms.round() as u64
+                } else {
+                    let n: u64 = text.parse().map_err(|_| {
+                        self.err(format!("duration literal `{text}` overflows"), span)
+                    })?;
+                    n.checked_mul(unit_ms).ok_or_else(|| {
+                        self.err(format!("duration literal `{text}` overflows"), span)
+                    })?
+                };
+                return Ok(Tok::DurationMs(ms));
+            }
+        }
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("malformed number `{text}`"), span))?;
+            if !x.is_finite() {
+                return Err(self.err(format!("float literal `{text}` overflows f64"), span));
+            }
+            Ok(Tok::Float(x))
+        } else {
+            let n: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal `{text}` overflows i64"), span))?;
+            Ok(Tok::Int(n))
+        }
+    }
+
+    fn string(&mut self, start: Span) -> Result<Tok, DslError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(self.err("unterminated string literal", start));
+                }
+                Some('"') => return Ok(Tok::Str(out)),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    other => {
+                        return Err(self.err(
+                            format!(
+                                "unknown escape `\\{}`",
+                                other.map(String::from).unwrap_or_default()
+                            ),
+                            start,
+                        ))
+                    }
+                },
+                Some(c) => out.push(c),
+            }
+        }
+    }
+}
+
+/// Lexes `src` to completion. The token stream has no trivia; spans are
+/// 1-based line/column of each token's first character.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, DslError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+    loop {
+        // Skip whitespace and comments.
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_whitespace() => {
+                    lx.bump();
+                }
+                Some('#') => {
+                    while !matches!(lx.peek(), None | Some('\n')) {
+                        lx.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(c) = lx.peek() else { break };
+        let start = lx.here(1);
+        let tok = match c {
+            '{' => {
+                lx.bump();
+                Tok::LBrace
+            }
+            '}' => {
+                lx.bump();
+                Tok::RBrace
+            }
+            '(' => {
+                lx.bump();
+                Tok::LParen
+            }
+            ')' => {
+                lx.bump();
+                Tok::RParen
+            }
+            ',' => {
+                lx.bump();
+                Tok::Comma
+            }
+            '=' => {
+                lx.bump();
+                Tok::Eq
+            }
+            '+' => {
+                lx.bump();
+                Tok::Plus
+            }
+            '-' => {
+                lx.bump();
+                Tok::Minus
+            }
+            '*' => {
+                lx.bump();
+                Tok::Star
+            }
+            '/' => {
+                lx.bump();
+                Tok::Slash
+            }
+            '%' => {
+                lx.bump();
+                Tok::Percent
+            }
+            '.' => {
+                lx.bump();
+                if lx.peek() == Some('.') {
+                    lx.bump();
+                    Tok::DotDot
+                } else {
+                    return Err(lx.err("stray `.` (ranges use `..`)", start));
+                }
+            }
+            '"' => lx.string(start)?,
+            c if c.is_ascii_digit() => lx.number(start)?,
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while matches!(lx.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+                    word.push(lx.bump().unwrap());
+                }
+                keyword(&word).unwrap_or(Tok::Ident(word))
+            }
+            other => {
+                return Err(lx.err(format!("unexpected character `{other}`"), start));
+            }
+        };
+        let len = match &tok {
+            Tok::Ident(s) => s.chars().count() as u32,
+            Tok::DotDot => 2,
+            _ => start.len,
+        };
+        out.push(Spanned {
+            tok,
+            span: Span::new(start.line, start.col, len),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn durations_normalize_to_millis() {
+        assert_eq!(
+            toks("120s 500ms 1.5s"),
+            vec![
+                Tok::DurationMs(120_000),
+                Tok::DurationMs(500),
+                Tok::DurationMs(1500)
+            ]
+        );
+    }
+
+    #[test]
+    fn range_after_int_is_not_a_float() {
+        assert_eq!(toks("0..3"), vec![Tok::Int(0), Tok::DotDot, Tok::Int(3)]);
+    }
+
+    #[test]
+    fn exponent_floats_lex() {
+        assert_eq!(toks("6e-4"), vec![Tok::Float(6e-4)]);
+        assert_eq!(toks("1.5e3"), vec![Tok::Float(1500.0)]);
+    }
+
+    #[test]
+    fn comments_and_commas_skip() {
+        assert_eq!(
+            toks("a = 1, # trailing\nb"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Eq,
+                Tok::Int(1),
+                Tok::Comma,
+                Tok::Ident("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn overflow_int_errors_with_span() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.col, 1);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("include \"x").is_err());
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let ts = lex("a\n  bb").unwrap();
+        assert_eq!(ts[0].span, Span::new(1, 1, 1));
+        assert_eq!(ts[1].span, Span::new(2, 3, 2));
+    }
+}

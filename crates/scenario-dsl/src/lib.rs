@@ -1,0 +1,73 @@
+//! `sesame-scenario-dsl` — a compiled, text-based scenario language for
+//! the SESAME SAR platform.
+//!
+//! The paper's evaluation rests on hand-coded Rust scenarios; this crate
+//! makes the same descriptions declarative so campaigns can cover an
+//! order of magnitude more worlds, missions and fault/attack schedules
+//! without touching Rust. A `.sesame` source describes a scenario —
+//! world, fleet, mission, fault schedule, spoofing attack — with
+//! parameters, arithmetic, loops and includes, and compiles **once**
+//! into the existing [`sesame_core::scenario`] types.
+//!
+//! # Pipeline
+//!
+//! Following minijinja's architecture:
+//!
+//! 1. **Lexer** ([`lexer`]) — source → spanned tokens; durations
+//!    normalize to milliseconds at lex time.
+//! 2. **Parser** ([`parser`]) — tokens → [`ast::SourceFile`]; nesting is
+//!    depth-capped so hostile input errors instead of overflowing.
+//! 3. **Compiler** ([`compiler`]) — AST → [`CompiledScenario`]: keys are
+//!    interned ([`key`]) once, expressions evaluate to an [`Arc`]-based
+//!    value model ([`value::Value`]), and the result is a frozen
+//!    [`sesame_core::scenario::ScenarioBuilder`] prototype.
+//!
+//! # Determinism
+//!
+//! A compiled scenario instantiates builders **field-for-field
+//! identical** to hand-written ones: both start from
+//! [`sesame_core::scenario::ScenarioBuilder::base_config`] and apply the
+//! same public builder calls. The differential conformance suite
+//! (`tests/scenario_dsl_conformance.rs` at the workspace root) pins
+//! digest equality across seeds, serial and sharded. Compilation itself
+//! is pure — no wall clock, no ambient randomness, no hash-ordered
+//! iteration — so the same source bytes always compile to the same
+//! prototype.
+//!
+//! # Quickstart
+//!
+//! ```
+//! let src = r#"
+//! scenario "two_blackouts" {
+//!     world { area = (200.0, 120.0), persons = 4 }
+//!     mission { deadline = 300s }
+//!     faults {
+//!         for i in 0..2 {
+//!             at secs(60 + i * 30) for 20s comm link_blackout(uav = i)
+//!         }
+//!     }
+//! }
+//! "#;
+//! let compiled = sesame_scenario_dsl::compile_str("doc.sesame", src).unwrap();
+//! assert_eq!(compiled.builder(1).comm_fault_entries().len(), 2);
+//! ```
+//!
+//! [`Arc`]: std::sync::Arc
+
+pub mod ast;
+pub mod compiler;
+pub mod error;
+pub mod key;
+pub mod lexer;
+pub mod parser;
+pub mod value;
+
+pub use compiler::{compile_file, compile_str, CompiledScenario, Compiler};
+pub use error::{DslError, ErrorKind, Span};
+pub use parser::parse;
+pub use value::Value;
+
+// Compiled scenarios ship across campaign worker threads exactly like
+// hand-written templates; losing `Send + Sync` must fail at compile
+// time.
+sesame_types::assert_send_sync!(CompiledScenario, Compiler, DslError, Value);

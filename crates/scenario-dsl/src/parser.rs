@@ -1,0 +1,620 @@
+//! The recursive-descent parser: token stream → [`SourceFile`].
+//!
+//! Entries are self-delimiting (assignments, fault entries and sections
+//! all end unambiguously), so neither newlines nor commas are required
+//! separators — commas are accepted and skipped anywhere between block
+//! entries. Expression nesting is capped ([`MAX_DEPTH`]) so adversarial
+//! input degrades into a spanned error, never a stack overflow; the
+//! fuzz suite drives exactly this property.
+
+use crate::ast::*;
+use crate::error::{DslError, ErrorKind, Span};
+use crate::lexer::{lex, Spanned, Tok};
+
+/// Maximum expression/statement nesting before the parser bails.
+pub const MAX_DEPTH: usize = 64;
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .map(|s| s.span)
+            .or_else(|| self.toks.last().map(|s| s.span))
+            .unwrap_or(Span::new(1, 1, 1))
+    }
+
+    fn bump(&mut self) -> Option<Spanned> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DslError {
+        DslError::new(ErrorKind::Parse, msg, self.span())
+    }
+
+    fn found(&self) -> String {
+        match self.peek() {
+            Some(t) => t.describe(),
+            None => "end of input".into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Span, DslError> {
+        if self.peek() == Some(want) {
+            Ok(self.bump().unwrap().span)
+        } else {
+            Err(self.err(format!("expected {what}, found {}", self.found())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, Span), DslError> {
+        match self.peek() {
+            Some(Tok::Ident(_)) => {
+                let s = self.bump().unwrap();
+                let Tok::Ident(name) = s.tok else {
+                    unreachable!()
+                };
+                Ok((name, s.span))
+            }
+            _ => Err(self.err(format!("expected {what}, found {}", self.found()))),
+        }
+    }
+
+    fn expect_str(&mut self, what: &str) -> Result<(String, Span), DslError> {
+        match self.peek() {
+            Some(Tok::Str(_)) => {
+                let s = self.bump().unwrap();
+                let Tok::Str(text) = s.tok else {
+                    unreachable!()
+                };
+                Ok((text, s.span))
+            }
+            _ => Err(self.err(format!("expected {what}, found {}", self.found()))),
+        }
+    }
+
+    fn skip_commas(&mut self) {
+        while self.peek() == Some(&Tok::Comma) {
+            self.bump();
+        }
+    }
+
+    fn enter(&mut self) -> Result<DepthGuard<'_>, DslError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(DslError::new(
+                ErrorKind::Limit,
+                format!("nesting exceeds the maximum depth of {MAX_DEPTH}"),
+                self.span(),
+            ));
+        }
+        self.depth += 1;
+        Ok(DepthGuard { parser: self })
+    }
+
+    // ---- expressions -------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, DslError> {
+        self.additive()
+    }
+
+    fn additive(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.bump().unwrap().span;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, DslError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            let span = self.bump().unwrap().span;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, DslError> {
+        if self.peek() == Some(&Tok::Minus) {
+            let span = self.bump().unwrap().span;
+            let guard = self.enter()?;
+            let expr = guard.parser.unary()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(expr),
+                span,
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, DslError> {
+        let span = self.span();
+        match self.peek() {
+            Some(Tok::Int(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Int(n),
+                    span,
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Int(n, span))
+            }
+            Some(Tok::Float(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Float(x),
+                    span,
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Float(x, span))
+            }
+            Some(Tok::DurationMs(_)) => {
+                let Some(Spanned {
+                    tok: Tok::DurationMs(ms),
+                    span,
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::DurationMs(ms, span))
+            }
+            Some(Tok::Str(_)) => {
+                let Some(Spanned {
+                    tok: Tok::Str(s),
+                    span,
+                }) = self.bump()
+                else {
+                    unreachable!()
+                };
+                Ok(Expr::Str(s, span))
+            }
+            Some(Tok::KwTrue) => {
+                self.bump();
+                Ok(Expr::Bool(true, span))
+            }
+            Some(Tok::KwFalse) => {
+                self.bump();
+                Ok(Expr::Bool(false, span))
+            }
+            Some(Tok::Ident(_)) => {
+                let (name, span) = self.expect_ident("a name")?;
+                if self.peek() == Some(&Tok::LParen) {
+                    self.bump();
+                    let guard = self.enter()?;
+                    let mut args = Vec::new();
+                    if guard.parser.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(guard.parser.expr()?);
+                            if guard.parser.peek() == Some(&Tok::Comma) {
+                                guard.parser.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    guard.parser.expect(&Tok::RParen, "`)`")?;
+                    drop(guard);
+                    Ok(Expr::Call { name, args, span })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            Some(Tok::LParen) => {
+                let span = self.bump().unwrap().span;
+                let guard = self.enter()?;
+                let first = guard.parser.expr()?;
+                if guard.parser.peek() == Some(&Tok::Comma) {
+                    let mut items = vec![first];
+                    while guard.parser.peek() == Some(&Tok::Comma) {
+                        guard.parser.bump();
+                        if guard.parser.peek() == Some(&Tok::RParen) {
+                            break;
+                        }
+                        items.push(guard.parser.expr()?);
+                    }
+                    guard.parser.expect(&Tok::RParen, "`)`")?;
+                    Ok(Expr::Tuple(items, span))
+                } else {
+                    guard.parser.expect(&Tok::RParen, "`)`")?;
+                    Ok(first)
+                }
+            }
+            _ => Err(self.err(format!("expected an expression, found {}", self.found()))),
+        }
+    }
+
+    // ---- items -------------------------------------------------------
+
+    fn assign(&mut self) -> Result<Assign, DslError> {
+        let (key, span) = self.expect_ident("a key name")?;
+        self.expect(&Tok::Eq, "`=`")?;
+        let value = self.expr()?;
+        Ok(Assign { key, span, value })
+    }
+
+    fn block(&mut self) -> Result<(Span, Vec<Assign>), DslError> {
+        let span = self.expect(&Tok::LBrace, "`{`")?;
+        let mut assigns = Vec::new();
+        loop {
+            self.skip_commas();
+            if self.peek() == Some(&Tok::RBrace) {
+                self.bump();
+                return Ok((span, assigns));
+            }
+            if self.peek().is_none() {
+                return Err(self.err("expected `}`, found end of input"));
+            }
+            assigns.push(self.assign()?);
+        }
+    }
+
+    fn fleet_section(&mut self) -> Result<Section, DslError> {
+        let span = self.expect(&Tok::LBrace, "`{`")?;
+        let mut items = Vec::new();
+        loop {
+            self.skip_commas();
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    return Ok(Section::Fleet { span, items });
+                }
+                Some(Tok::KwGroup) => {
+                    let gspan = self.bump().unwrap().span;
+                    let count = self.expr()?;
+                    let (_, assigns) = self.block()?;
+                    items.push(FleetItem::Group {
+                        span: gspan,
+                        count,
+                        assigns,
+                    });
+                }
+                Some(Tok::Ident(_)) => items.push(FleetItem::Assign(self.assign()?)),
+                _ => {
+                    return Err(self.err(format!(
+                        "expected a fleet entry (`uavs = n`, `group n {{ ... }}`, \
+                         `shards = ...`) or `}}`, found {}",
+                        self.found()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn fault_call(&mut self) -> Result<FaultCall, DslError> {
+        let (name, span) = self.expect_ident("a fault constructor name")?;
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut args = Vec::new();
+        loop {
+            self.skip_commas();
+            if self.peek() == Some(&Tok::RParen) {
+                self.bump();
+                return Ok(FaultCall { name, span, args });
+            }
+            if self.peek().is_none() {
+                return Err(self.err("expected `)`, found end of input"));
+            }
+            args.push(self.assign()?);
+        }
+    }
+
+    fn fault_stmts(&mut self) -> Result<Vec<FaultStmt>, DslError> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_commas();
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    return Ok(stmts);
+                }
+                Some(Tok::KwFor) => {
+                    self.bump();
+                    let (var, span) = self.expect_ident("a loop variable name")?;
+                    self.expect(&Tok::KwIn, "`in`")?;
+                    let start = self.expr()?;
+                    self.expect(&Tok::DotDot, "`..`")?;
+                    let end = self.expr()?;
+                    self.expect(&Tok::LBrace, "`{`")?;
+                    let guard = self.enter()?;
+                    let body = guard.parser.fault_stmts()?;
+                    drop(guard);
+                    stmts.push(FaultStmt::For {
+                        var,
+                        span,
+                        start,
+                        end,
+                        body,
+                    });
+                }
+                Some(Tok::Ident(word)) if word == "at" => {
+                    let span = self.bump().unwrap().span;
+                    let at = self.expr()?;
+                    let mut duration = None;
+                    // `for <duration>` — here `for` is the window
+                    // length, only lexed as the loop keyword.
+                    if self.peek() == Some(&Tok::KwFor) {
+                        self.bump();
+                        duration = Some(self.expr()?);
+                    }
+                    let plane = match self.peek() {
+                        Some(Tok::Ident(w)) if w == "uav" => {
+                            self.bump();
+                            FaultPlane::Vehicle { uav: self.expr()? }
+                        }
+                        Some(Tok::Ident(w)) if w == "comm" => {
+                            self.bump();
+                            FaultPlane::Comm
+                        }
+                        Some(Tok::Ident(w)) if w == "compute" => {
+                            self.bump();
+                            FaultPlane::Compute
+                        }
+                        _ => {
+                            return Err(self.err(format!(
+                                "expected `uav <index>`, `comm` or `compute`, found {}",
+                                self.found()
+                            )))
+                        }
+                    };
+                    let call = self.fault_call()?;
+                    stmts.push(FaultStmt::Entry(FaultEntryStmt {
+                        span,
+                        at,
+                        duration,
+                        plane,
+                        call,
+                    }));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected a fault entry (`at ...`), a `for` loop or `}}`, found {}",
+                        self.found()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn scenario(&mut self) -> Result<ScenarioDecl, DslError> {
+        let (name, span) = self.expect_str("a scenario name string")?;
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut sections = Vec::new();
+        loop {
+            self.skip_commas();
+            match self.peek() {
+                Some(Tok::RBrace) => {
+                    self.bump();
+                    return Ok(ScenarioDecl {
+                        name,
+                        span,
+                        sections,
+                    });
+                }
+                Some(Tok::Ident(word)) => {
+                    let word = word.clone();
+                    match word.as_str() {
+                        "world" => {
+                            self.bump();
+                            let (span, assigns) = self.block()?;
+                            sections.push(Section::World(Block { span, assigns }));
+                        }
+                        "fleet" => {
+                            self.bump();
+                            sections.push(self.fleet_section()?);
+                        }
+                        "mission" => {
+                            self.bump();
+                            let (span, assigns) = self.block()?;
+                            sections.push(Section::Mission(Block { span, assigns }));
+                        }
+                        "faults" => {
+                            let span = self.bump().unwrap().span;
+                            self.expect(&Tok::LBrace, "`{`")?;
+                            let stmts = self.fault_stmts()?;
+                            sections.push(Section::Faults { span, stmts });
+                        }
+                        "attack" => {
+                            self.bump();
+                            let (span, assigns) = self.block()?;
+                            sections.push(Section::Attack(Block { span, assigns }));
+                        }
+                        other => {
+                            return Err(self.err(format!(
+                                "unknown section `{other}` (sections: world, fleet, mission, \
+                                 faults, attack)"
+                            )))
+                        }
+                    }
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected a section or `}}`, found {}",
+                        self.found()
+                    )))
+                }
+            }
+        }
+    }
+
+    fn source_file(&mut self) -> Result<SourceFile, DslError> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_commas();
+            match self.peek() {
+                None => return Ok(SourceFile { items }),
+                Some(Tok::KwParam) => {
+                    self.bump();
+                    let (name, span) = self.expect_ident("a parameter name")?;
+                    self.expect(&Tok::Eq, "`=`")?;
+                    let default = self.expr()?;
+                    items.push(Item::Param {
+                        name,
+                        span,
+                        default,
+                    });
+                }
+                Some(Tok::KwLet) => {
+                    self.bump();
+                    let (name, span) = self.expect_ident("a binding name")?;
+                    self.expect(&Tok::Eq, "`=`")?;
+                    let value = self.expr()?;
+                    items.push(Item::Let { name, span, value });
+                }
+                Some(Tok::KwInclude) => {
+                    self.bump();
+                    let (path, span) = self.expect_str("an include path string")?;
+                    items.push(Item::Include { path, span });
+                }
+                Some(Tok::KwScenario) => {
+                    self.bump();
+                    items.push(Item::Scenario(self.scenario()?));
+                }
+                _ => {
+                    return Err(self.err(format!(
+                        "expected `param`, `let`, `include` or `scenario`, found {}",
+                        self.found()
+                    )))
+                }
+            }
+        }
+    }
+}
+
+struct DepthGuard<'a> {
+    parser: &'a mut Parser,
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.parser.depth -= 1;
+    }
+}
+
+/// Parses a complete source file.
+pub fn parse(src: &str) -> Result<SourceFile, DslError> {
+    let toks = lex(src)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    parser.source_file()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scenario_parses_and_prints_canonically() {
+        let src = r#"
+param attack = true
+scenario "fig6" {
+    world { area = (420.0, 300.0), persons = 5 }
+    mission {
+        sesame = true
+        deadline = 700s
+    }
+    faults {
+        at 250s uav 0 battery_over_temp(soc_drop = 0.4)
+        at 200s for 30s comm link_blackout(uav = 1)
+        for i in 0..3 {
+            at secs(100 + i * 50) uav i gps_loss()
+        }
+    }
+    attack {
+        enabled = attack
+        start = 120s
+        uav = 0
+        drift = (0.0, 4.0, 0.0)
+        forge_waypoints = true
+    }
+}
+"#;
+        let file = parse(src).unwrap();
+        let printed = file.to_string();
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(printed, reparsed.to_string(), "printing is a fixed point");
+    }
+
+    #[test]
+    fn fleet_groups_parse() {
+        let src = r#"
+scenario "mixed" {
+    fleet {
+        uavs = 2
+        group 4 { motors = 6, tolerated = 1, drain = 0.0006 }
+        shards = fixed(2)
+    }
+}
+"#;
+        let file = parse(src).unwrap();
+        let Item::Scenario(decl) = &file.items[0] else {
+            panic!()
+        };
+        let Section::Fleet { items, .. } = &decl.sections[0] else {
+            panic!()
+        };
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn errors_carry_spans() {
+        let err = parse("scenario \"x\" {\n    weird {}\n}").unwrap_err();
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.col, 5);
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut src = String::from("param x = ");
+        src.push_str(&"-".repeat(5000));
+        src.push('1');
+        let err = parse(&src).unwrap_err();
+        assert_eq!(err.kind, crate::error::ErrorKind::Limit);
+    }
+
+    #[test]
+    fn vehicle_entry_rejects_missing_call_parens() {
+        assert!(parse("scenario \"x\" { faults { at 1s uav 0 gps_loss } }").is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! The evaluated value model.
+//!
+//! Every expression evaluates to a [`Value`]. Aggregates hang off
+//! [`Arc`] so environments clone cheaply across loop iterations and
+//! included files, mirroring minijinja's value design. The only numeric
+//! coercion is `Int → Float` where an f64 is expected; everything else
+//! is a typed, spanned error — a scenario description is a safety
+//! artifact, so silent truncation is off the table.
+
+use sesame_core::fleet::ShardPolicy;
+use sesame_middleware::chaos::LinkDirection;
+use sesame_types::time::SimDuration;
+use std::fmt;
+use std::sync::Arc;
+
+/// An evaluated value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A finite f64.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A simulated duration (millisecond resolution).
+    Duration(SimDuration),
+    /// A fixed-arity tuple, e.g. an area extent or an ENU vector.
+    Tuple(Arc<[Value]>),
+    /// A fleet shard policy (`auto`, `serial`, `fixed(n)`).
+    Shard(ShardPolicy),
+    /// A link direction (`uplink`, `downlink`).
+    Direction(LinkDirection),
+}
+
+impl Value {
+    /// The value's type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "string",
+            Value::Duration(_) => "duration",
+            Value::Tuple(_) => "tuple",
+            Value::Shard(_) => "shard policy",
+            Value::Direction(_) => "link direction",
+        }
+    }
+
+    /// As an f64, coercing from `Int`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// As an i64 (no coercion).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// As a non-negative index.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Int(n) if *n >= 0 => usize::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// As a boolean (no coercion).
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a duration (no coercion; use `secs(x)` in source to convert).
+    pub fn as_duration(&self) -> Option<SimDuration> {
+        match self {
+            Value::Duration(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+impl From<SimDuration> for Value {
+    fn from(d: SimDuration) -> Self {
+        Value::Duration(d)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Float(x) => write!(f, "{x:?}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Duration(d) => write!(f, "{}", crate::ast::fmt_duration_ms(d.as_millis())),
+            Value::Tuple(items) => {
+                write!(f, "(")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Shard(ShardPolicy::Auto) => write!(f, "auto"),
+            Value::Shard(ShardPolicy::Serial) => write!(f, "serial"),
+            Value::Shard(ShardPolicy::Fixed { shards }) => write!(f, "fixed({shards})"),
+            Value::Direction(LinkDirection::Uplink) => write!(f, "uplink"),
+            Value::Direction(LinkDirection::Downlink) => write!(f, "downlink"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_coerces_to_f64_but_not_back() {
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Float(3.0).as_i64(), None);
+    }
+
+    #[test]
+    fn display_is_source_shaped() {
+        assert_eq!(
+            Value::Duration(SimDuration::from_secs(120)).to_string(),
+            "120s"
+        );
+        assert_eq!(
+            Value::Duration(SimDuration::from_millis(500)).to_string(),
+            "500ms"
+        );
+        assert_eq!(
+            Value::Tuple(Arc::from([Value::Float(0.0), Value::Int(4)])).to_string(),
+            "(0.0, 4)"
+        );
+        assert_eq!(
+            Value::Shard(ShardPolicy::Fixed { shards: 2 }).to_string(),
+            "fixed(2)"
+        );
+    }
+}

@@ -1,0 +1,330 @@
+//! Property-based fuzzing of the DSL front end.
+//!
+//! Three properties, in rising order of strength:
+//!
+//! 1. **Never panic** — arbitrary printable soup and near-miss token
+//!    soup through `lex`/`parse`/`compile_str` return `Ok` or a spanned
+//!    `Err`; they never unwind. The whole front end is panic-free on
+//!    hostile input.
+//! 2. **Spans are real** — every error out of generated source carries
+//!    a 1-based line/column lying inside the source, so `render()` can
+//!    always draw its caret.
+//! 3. **Print is a fixed point** — for generated well-formed source,
+//!    `print(parse(print(parse(s)))) == print(parse(s))`: one trip
+//!    through the canonical printer reaches a form the parser/printer
+//!    pair maps to itself. (ASTs carry spans, so the fixed point is
+//!    stated on the canonical text, which is span-free.)
+//!
+//! The case budget defaults to proptest's 64 per property and can be
+//! raised in CI via `SESAME_FUZZ_CASES` (see `scripts/check.sh`).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sesame_scenario_dsl::{compile_str, lexer, parser};
+
+fn cases() -> u32 {
+    std::env::var("SESAME_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn config() -> ProptestConfig {
+    ProptestConfig::with_cases(cases())
+}
+
+/// `Option`-valued strategy: `None` half the time. (The vendored
+/// proptest has no `proptest::option::of`.)
+fn maybe<S>(s: S) -> impl Strategy<Value = Option<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Clone + 'static,
+{
+    prop_oneof![Just(None), s.prop_map(Some).boxed()]
+}
+
+// ---------------------------------------------------------------------
+// Source generators
+// ---------------------------------------------------------------------
+
+/// Fragments the lexer and parser actually care about: keywords,
+/// punctuation, numbers, durations, strings (some unterminated),
+/// comments, and junk. Concatenating these hits far deeper paths than
+/// uniform random characters.
+fn token_soup() -> impl Strategy<Value = String> {
+    let word = prop_oneof![
+        Just("scenario"),
+        Just("param"),
+        Just("let"),
+        Just("include"),
+        Just("for"),
+        Just("in"),
+        Just("group"),
+        Just("at"),
+        Just("uav"),
+        Just("comm"),
+        Just("compute"),
+        Just("world"),
+        Just("fleet"),
+        Just("mission"),
+        Just("faults"),
+        Just("attack"),
+        Just("true"),
+        Just("false"),
+        Just("auto"),
+        Just("serial"),
+        Just("{"),
+        Just("}"),
+        Just("("),
+        Just(")"),
+        Just("="),
+        Just(","),
+        Just(".."),
+        Just("+"),
+        Just("-"),
+        Just("*"),
+        Just("/"),
+        Just("%"),
+        Just("\"str\""),
+        Just("\"unterminated"),
+        Just("# comment"),
+        Just("\n"),
+    ];
+    let fragment = prop_oneof![
+        word.prop_map(str::to_string).boxed(),
+        (i64::MIN..i64::MAX).prop_map(|n| n.to_string()).boxed(),
+        (-1.0e9..1.0e9f64).prop_map(|f| format!("{f:?}")).boxed(),
+        (0u64..10_000_000).prop_map(|n| format!("{n}s")).boxed(),
+        (0u64..10_000_000).prop_map(|n| format!("{n}ms")).boxed(),
+        "[a-z_][a-z0-9_]{0,8}".boxed(),
+    ];
+    vec(fragment, 0..48).prop_map(|frags| frags.join(" "))
+}
+
+/// An identifier that can never collide with a keyword or contextual
+/// keyword: every DSL keyword starts with another letter, so a leading
+/// `v`/`q`/`z` is always safe.
+fn ident() -> impl Strategy<Value = String> {
+    "[vqz][a-z0-9_]{0,6}"
+}
+
+/// A literal with a canonical spelling: its printed form is exactly its
+/// source form, so it cannot break the text fixed point.
+fn literal_expr() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0i64..100_000).prop_map(|n| n.to_string()).boxed(),
+        (0u32..1_600_000)
+            .prop_map(|n| format!("{:?}", f64::from(n) / 16.0))
+            .boxed(),
+        Just("true".to_string()).boxed(),
+        Just("false".to_string()).boxed(),
+        (0u64..5_000).prop_map(|n| format!("{n}s")).boxed(),
+        (1u64..1_000)
+            .prop_map(|n| format!("{}ms", n * 2 + 1)) // odd: never a whole second
+            .boxed(),
+    ]
+}
+
+/// Nested integer arithmetic over bound names; fully parenthesised so
+/// the generator never has to reason about precedence.
+fn arith_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (0i64..1_000).prop_map(|n| n.to_string()).boxed(),
+        Just("i".to_string()).boxed(),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (
+            inner.clone(),
+            prop_oneof![Just("+"), Just("-"), Just("*"), Just("/"), Just("%")],
+            inner,
+        )
+            .prop_map(|(a, op, b)| format!("({a} {op} {b})"))
+    })
+}
+
+fn world_section() -> impl Strategy<Value = String> {
+    ((1u32..2_000, 1u32..2_000), 0u32..20, maybe(0u32..17u32)).prop_map(|((w, h), persons, vis)| {
+        let mut s = String::from("    world {\n");
+        s.push_str(&format!(
+            "        area = ({:?}, {:?})\n",
+            f64::from(w),
+            f64::from(h)
+        ));
+        s.push_str(&format!("        persons = {persons}\n"));
+        if let Some(v) = vis {
+            s.push_str(&format!("        visibility = {:?}\n", f64::from(v) / 16.0));
+        }
+        s.push_str("    }\n");
+        s
+    })
+}
+
+fn fleet_section() -> impl Strategy<Value = String> {
+    (
+        maybe(1u32..12u32),
+        maybe((1u32..6u32, prop_oneof![Just(4u32), Just(6), Just(8)])),
+        maybe(prop_oneof![
+            Just("auto".to_string()).boxed(),
+            Just("serial".to_string()).boxed(),
+            (1u32..8).prop_map(|n| format!("fixed({n})")).boxed(),
+        ]),
+    )
+        .prop_map(|(uavs, grp, shards)| {
+            let mut s = String::from("    fleet {\n");
+            if let Some(n) = uavs {
+                s.push_str(&format!("        uavs = {n}\n"));
+            }
+            if let Some((count, motors)) = grp {
+                s.push_str(&format!(
+                    "        group {count} {{\n            motors = {motors}\n            tolerated = 1\n        }}\n"
+                ));
+            }
+            if let Some(p) = shards {
+                s.push_str(&format!("        shards = {p}\n"));
+            }
+            s.push_str("    }\n");
+            s
+        })
+}
+
+fn faults_section() -> impl Strategy<Value = String> {
+    let entry = prop_oneof![
+        (0u64..2_000u64, 0u32..8u32)
+            .prop_map(|(t, u)| format!("        at {t}s uav {u} gps_loss()\n"))
+            .boxed(),
+        (0u64..2_000u64, 0u32..8u32, 1u64..120u64)
+            .prop_map(|(t, u, w)| {
+                format!("        at {t}s for {w}s comm link_blackout(uav = {u})\n")
+            })
+            .boxed(),
+        (0u64..2_000u64, 0u32..8u32, 1u64..120u64)
+            .prop_map(|(t, u, w)| {
+                format!("        at {t}s for {w}s compute eddi_panic(uav = {u})\n")
+            })
+            .boxed(),
+        (1u32..6u32, arith_expr())
+            .prop_map(|(n, e)| {
+                format!(
+                    "        for i in 0..{n} {{\n            at secs(100 + i * 7) \
+                     uav {e} % 3 gps_restore()\n        }}\n"
+                )
+            })
+            .boxed(),
+    ];
+    vec(entry, 0..5).prop_map(|entries| {
+        let mut s = String::from("    faults {\n");
+        for e in &entries {
+            s.push_str(e);
+        }
+        s.push_str("    }\n");
+        s
+    })
+}
+
+/// A well-formed (grammatically valid) scenario source. It may still be
+/// semantically rejected — an out-of-range visibility, a zero division
+/// deep in a loop bound — which is exactly the mix the compiler
+/// properties want.
+fn scenario_source() -> impl Strategy<Value = String> {
+    (
+        ident(),
+        maybe(world_section()),
+        maybe(fleet_section()),
+        maybe(faults_section()),
+        vec((ident(), literal_expr()), 0..3),
+    )
+        .prop_map(|(name, world, fleet, faults, lets)| {
+            let mut src = String::new();
+            for (i, (n, v)) in lets.iter().enumerate() {
+                src.push_str(&format!("let {n}_{i} = {v}\n"));
+            }
+            src.push_str(&format!("scenario \"{name}\" {{\n"));
+            if let Some(w) = world {
+                src.push_str(&w);
+            }
+            if let Some(f) = fleet {
+                src.push_str(&f);
+            }
+            if let Some(f) = faults {
+                src.push_str(&f);
+            }
+            src.push_str("}\n");
+            src
+        })
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(config())]
+
+    /// Arbitrary printable soup never panics any front-end stage.
+    #[test]
+    fn arbitrary_source_never_panics(src in "[ -~\n\t]{0,256}") {
+        let _ = lexer::lex(&src);
+        let _ = parser::parse(&src);
+        let _ = compile_str("fuzz", &src);
+    }
+
+    /// Near-miss token soup (real keywords and literals in random
+    /// order) never panics, and any error carries an in-range span.
+    #[test]
+    fn token_soup_never_panics_and_spans_are_in_range(src in token_soup()) {
+        for span in [
+            lexer::lex(&src).err().map(|e| e.span),
+            parser::parse(&src).err().map(|e| e.span),
+            compile_str("fuzz", &src).err().map(|e| e.span),
+        ].into_iter().flatten() {
+            prop_assert!(span.line >= 1, "span line {} < 1", span.line);
+            prop_assert!(span.col >= 1, "span col {} < 1", span.col);
+            let lines = src.lines().count().max(1) as u32;
+            prop_assert!(
+                span.line <= lines + 1,
+                "span line {} beyond {} source lines",
+                span.line,
+                lines
+            );
+        }
+    }
+
+    /// Generated well-formed source parses, and one round through the
+    /// canonical printer reaches a fixed point of parse∘print.
+    #[test]
+    fn pretty_print_is_a_parse_fixed_point(src in scenario_source()) {
+        let ast = parser::parse(&src).map_err(|e| TestCaseError::fail(format!(
+            "generator emitted unparsable source: {}\n{src}",
+            e.render()
+        )))?;
+        let printed = ast.to_string();
+        let reparsed = parser::parse(&printed).map_err(|e| TestCaseError::fail(format!(
+            "printer emitted unparsable source: {}\n{printed}",
+            e.render()
+        )))?;
+        prop_assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "print(parse(print)) diverged for source:\n{}",
+            src
+        );
+    }
+
+    /// Compiling generated source never panics; success and spanned
+    /// failure (e.g. a generated fleet the validator rejects, or a
+    /// division by zero in a loop bound) are both acceptable outcomes.
+    #[test]
+    fn generated_scenarios_compile_or_fail_cleanly(src in scenario_source()) {
+        match compile_str("fuzz", &src) {
+            Ok(compiled) => {
+                // Compilation ran validate, so the builder it hands out
+                // must also validate for any seed.
+                prop_assert!(compiled.builder(7).validate().is_ok());
+            }
+            Err(e) => {
+                prop_assert!(e.span.line >= 1);
+                prop_assert!(!e.message.is_empty());
+            }
+        }
+    }
+}

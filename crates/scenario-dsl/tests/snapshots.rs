@@ -1,0 +1,151 @@
+//! Golden-snapshot tests for the scenario DSL.
+//!
+//! Two fixture families, both under `tests/golden/`:
+//!
+//! - **Library snapshots** — every `.sesame` file in the workspace's
+//!   `scenarios/` library compiles (default parameters) and its
+//!   [`CompiledScenario::describe`] rendering is pinned byte-for-byte.
+//!   A byte of drift means the compiler's output changed for that
+//!   source: a changed default, a reordered schedule, a renamed field.
+//! - **Error snapshots** — every `tests/inputs/err_*.sesame` fails to
+//!   compile and its rendered error (message, file:line:col, source
+//!   line, caret) is pinned, so error quality is a tested property, not
+//!   an accident.
+//!
+//! Regenerate intentionally changed fixtures with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sesame-scenario-dsl --test snapshots
+//! ```
+
+use sesame_scenario_dsl::compiler::Compiler;
+use sesame_scenario_dsl::CompiledScenario;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("UPDATE_GOLDEN").as_deref() == Ok("1") {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test -p sesame-scenario-dsl --test snapshots",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "output drifted from {}; if intentional, regenerate with \
+         UPDATE_GOLDEN=1 cargo test -p sesame-scenario-dsl --test snapshots and commit",
+        path.display()
+    );
+}
+
+/// The workspace scenario library: every top-level `scenarios/*.sesame`,
+/// sorted by file name so the walk order is machine-independent.
+fn library_files() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing scenario library {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            (path.extension().and_then(|e| e.to_str()) == Some("sesame")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+fn error_inputs() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/inputs");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("missing error inputs {}: {e}", dir.display()))
+        .filter_map(|entry| {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            (name.starts_with("err_") && name.ends_with(".sesame")).then_some(path)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn every_library_scenario_compiles_and_matches_its_snapshot() {
+    let files = library_files();
+    assert!(
+        files.len() >= 12,
+        "the scenario library shrank to {} files",
+        files.len()
+    );
+    for path in files {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let scenarios = Compiler::new()
+            .compile_file(&path)
+            .unwrap_or_else(|e| panic!("{stem}: {}", e.render()));
+        assert!(
+            !scenarios.is_empty(),
+            "{stem}: the file declares no scenario"
+        );
+        let rendered: String = scenarios
+            .iter()
+            .map(CompiledScenario::describe)
+            .collect::<Vec<_>>()
+            .join("\n");
+        check_golden(&format!("{stem}.txt"), &rendered);
+    }
+}
+
+#[test]
+fn every_library_scenario_validates_and_freezes_as_a_template() {
+    for path in library_files() {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        for compiled in Compiler::new().compile_file(&path).unwrap() {
+            // builder() must produce a buildable description for any
+            // seed (validate is seed-independent, but exercise two).
+            for seed in [0u64, 42] {
+                compiled
+                    .builder(seed)
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{stem} seed {seed}: {e}"));
+            }
+            // Freezing as a template must preserve the deadline.
+            assert_eq!(
+                compiled.template().deadline(),
+                compiled.deadline(),
+                "{stem}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_malformed_input_fails_with_its_pinned_rendering() {
+    let files = error_inputs();
+    assert!(
+        files.len() >= 8,
+        "the malformed-input corpus shrank to {} files",
+        files.len()
+    );
+    for path in files {
+        let stem = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let err = Compiler::new()
+            .compile_file(&path)
+            .expect_err(&format!("{stem} compiled but must fail"));
+        assert!(err.span.line >= 1, "{stem}: error has no line");
+        assert!(err.span.col >= 1, "{stem}: error has no column");
+        check_golden(&format!("{stem}.txt"), &err.render());
+    }
+}

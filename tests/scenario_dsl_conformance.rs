@@ -1,0 +1,202 @@
+//! Differential conformance gate for the scenario DSL: every `.sesame`
+//! port of a hand-written Rust scenario must be **bit-identical** to the
+//! original, not merely similar.
+//!
+//! Three layers of identity, each strictly stronger:
+//!
+//! 1. **Description identity** — the compiled builder's full `Debug`
+//!    rendering equals the hand-written builder's, across 50 seeds and
+//!    every experiment leg. This pins config, fault schedules, attack
+//!    blocks and deadlines field-for-field.
+//! 2. **Run identity** — full simulated runs from both builders produce
+//!    the same [`digest_platform`] value (series, trajectories, event
+//!    log, trace and metrics all folded into one FNV digest), serial and
+//!    sharded, at a shortened deadline that still crosses the Fig. 6
+//!    attack onset.
+//! 3. **Campaign identity** — a chaos campaign seeded from the DSL
+//!    template renders byte-for-byte the same full report as one built
+//!    by `ChaosCampaign::new`, across 50 seeded runs: the DSL template
+//!    is a drop-in for the campaign's own base scenario.
+
+use sesame::core::chaos::{CampaignConfig, ChaosCampaign};
+use sesame::core::checkpoint::digest_platform;
+use sesame::core::experiments::{fig6_scenario, FIG6_LEGS};
+use sesame::core::fleet::{FleetSpec, ShardPolicy};
+use sesame::core::scenario::{ScenarioBuilder, SpoofAttack};
+use sesame::scenario_dsl::{CompiledScenario, Compiler};
+use sesame::types::geo::Vec3;
+use sesame::types::time::{SimDuration, SimTime};
+use std::path::PathBuf;
+
+fn scenario_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("scenarios")
+        .join(name)
+}
+
+fn compile_fig6(sesame: bool, attack: bool) -> CompiledScenario {
+    let mut scenarios = Compiler::new()
+        .param("sesame", sesame)
+        .param("attack", attack)
+        .compile_file(scenario_path("fig6_spoofing.sesame"))
+        .unwrap_or_else(|e| panic!("{}", e.render()));
+    assert_eq!(scenarios.len(), 1);
+    scenarios.remove(0)
+}
+
+/// Runs a scenario description to its deadline and digests the full
+/// observable platform state.
+fn run_digest(builder: ScenarioBuilder) -> u64 {
+    let mut scenario = builder.build();
+    scenario.launch();
+    let mut now = scenario.platform().now();
+    while !scenario.should_stop(now) {
+        now = scenario.step_once();
+    }
+    digest_platform(scenario.platform())
+}
+
+// ---------------------------------------------------------------------
+// Layer 1: description identity, 50 seeds per leg
+// ---------------------------------------------------------------------
+
+#[test]
+fn fig6_dsl_builders_are_field_identical_across_50_seeds() {
+    for (sesame, attack) in FIG6_LEGS {
+        let compiled = compile_fig6(sesame, attack);
+        for seed in 0..50u64 {
+            let dsl = compiled.builder(seed);
+            let hand = fig6_scenario(seed, sesame, attack);
+            assert_eq!(
+                format!("{dsl:?}"),
+                format!("{hand:?}"),
+                "leg (sesame={sesame}, attack={attack}), seed {seed}"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 2: run identity (serial and sharded)
+// ---------------------------------------------------------------------
+
+/// Shortened deadline for the run-identity layer: past the Fig. 6 attack
+/// onset (120 s) so the spoofing dynamics are in the digest, short
+/// enough to keep nine full debug-build runs affordable in tier 1.
+fn run_deadline() -> SimTime {
+    SimTime::from_secs(150)
+}
+
+#[test]
+fn fig6_dsl_runs_are_digest_identical_to_hand_written_runs() {
+    for (sesame, attack) in FIG6_LEGS {
+        let compiled = compile_fig6(sesame, attack).with_deadline_clamped(run_deadline());
+        for seed in [3u64, 19, 41] {
+            let dsl = run_digest(compiled.builder(seed));
+            let hand = run_digest(fig6_scenario(seed, sesame, attack).deadline(run_deadline()));
+            assert_eq!(
+                dsl, hand,
+                "run digests diverged: leg (sesame={sesame}, attack={attack}), seed {seed}"
+            );
+        }
+    }
+}
+
+/// The sharded twin of the Fig. 6 protected leg: a four-UAV fleet split
+/// over two shards, written once in DSL text and once against the Rust
+/// builder API.
+const SHARDED_FIG6: &str = r#"
+scenario "sharded_fig6" {
+    world {
+        area = (420.0, 300.0)
+        persons = 5
+    }
+    fleet {
+        uavs = 4
+        shards = fixed(2)
+    }
+    mission {
+        sesame = true
+        deadline = 150s
+    }
+    attack {
+        start = 120s
+        uav = 0
+        drift = (0.0, 4.0, 0.0)
+        forge_waypoints = true
+    }
+}
+"#;
+
+fn sharded_fig6_hand(seed: u64) -> ScenarioBuilder {
+    let mut b = ScenarioBuilder::new(seed)
+        .sesame(true)
+        .deadline(run_deadline())
+        .spoof_attack(SpoofAttack {
+            start: SimTime::from_secs(120),
+            uav_index: 0,
+            gps_drift: Vec3::new(0.0, 4.0, 0.0),
+            forge_waypoints: true,
+        });
+    b.config_mut().area_width_m = 420.0;
+    b.config_mut().area_height_m = 300.0;
+    b.config_mut().person_count = 5;
+    b.config_mut().fleet = FleetSpec::builder()
+        .uavs(4)
+        .shard_policy(ShardPolicy::Fixed { shards: 2 })
+        .build();
+    b
+}
+
+#[test]
+fn sharded_dsl_scenario_matches_hand_written_builder_and_run() {
+    let compiled = sesame::scenario_dsl::compile_str("sharded_fig6", SHARDED_FIG6)
+        .unwrap_or_else(|e| panic!("{}", e.render()));
+    for seed in 0..50u64 {
+        assert_eq!(
+            format!("{:?}", compiled.builder(seed)),
+            format!("{:?}", sharded_fig6_hand(seed)),
+            "sharded builder diverged at seed {seed}"
+        );
+    }
+    for seed in [5u64, 29] {
+        assert_eq!(
+            run_digest(compiled.builder(seed)),
+            run_digest(sharded_fig6_hand(seed)),
+            "sharded run digest diverged at seed {seed}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layer 3: campaign identity, 50 seeded runs
+// ---------------------------------------------------------------------
+
+#[test]
+fn chaos_campaign_from_dsl_template_renders_byte_identical() {
+    let config = CampaignConfig {
+        runs: 50,
+        base_seed: 4000,
+        deadline: SimTime::from_secs(45),
+        ..CampaignConfig::default()
+    };
+
+    let mut scenarios = Compiler::new()
+        .param("sesame", config.sesame)
+        .param(
+            "deadline",
+            SimDuration::from_millis(config.deadline.as_millis()),
+        )
+        .compile_file(scenario_path("chaos_base.sesame"))
+        .unwrap_or_else(|e| panic!("{}", e.render()));
+    let template = scenarios.remove(0).template();
+
+    let from_dsl = ChaosCampaign::with_template(config.clone(), template)
+        .run()
+        .render_full();
+    let from_new = ChaosCampaign::new(config).run().render_full();
+    assert_eq!(
+        from_dsl, from_new,
+        "campaign reports diverged between DSL template and ChaosCampaign::new"
+    );
+}
