@@ -20,30 +20,13 @@
 //! the delivery count — the run aborts if they diverge, so the speedup is
 //! never measured against a bus doing different work.
 
+use sesame_bench::alloc::{allocations, CountingAllocator};
 use sesame_bench::cli::{BenchArgs, JsonReport};
 use sesame_middleware::bus::MessageBus;
 use sesame_middleware::message::Payload;
 use sesame_middleware::reference::ReferenceBus;
 use sesame_types::time::{SimDuration, SimTime};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
-
-/// Counts every heap allocation made by the process — the allocs-proxy.
-struct CountingAllocator;
-
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAllocator {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        unsafe { System.alloc(layout) }
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        unsafe { System.dealloc(ptr, layout) }
-    }
-}
 
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
@@ -119,7 +102,7 @@ fn run_optimized(rounds: u64) -> RunResult {
     let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
     let mut published = 0u64;
     let mut deliveries = 0u64;
-    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let allocs_before = allocations();
     let start = Instant::now();
     for r in 0..rounds {
         let now = SimTime::from_millis(r * 100);
@@ -133,7 +116,7 @@ fn run_optimized(rounds: u64) -> RunResult {
         }
     }
     let elapsed_ns = start.elapsed().as_nanos();
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = allocations() - allocs_before;
     assert_eq!(deliveries, 0, "every delivery must be drained");
     RunResult {
         published,
@@ -155,7 +138,7 @@ fn run_reference(rounds: u64) -> RunResult {
     let subs: Vec<_> = patterns().into_iter().map(|p| bus.subscribe(p)).collect();
     let mut published = 0u64;
     let mut deliveries = 0u64;
-    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let allocs_before = allocations();
     let start = Instant::now();
     for r in 0..rounds {
         let now = SimTime::from_millis(r * 100);
@@ -169,7 +152,7 @@ fn run_reference(rounds: u64) -> RunResult {
         }
     }
     let elapsed_ns = start.elapsed().as_nanos();
-    let allocs = ALLOCATIONS.load(Ordering::Relaxed) - allocs_before;
+    let allocs = allocations() - allocs_before;
     assert_eq!(deliveries, 0, "every delivery must be drained");
     RunResult {
         published,

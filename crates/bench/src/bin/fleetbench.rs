@@ -16,12 +16,15 @@
 //! carries whole-platform ticks per second, the per-UAV normalization
 //! (`uav_ticks_per_sec` — flat means linear scaling of the per-UAV
 //! phases; the O(n²) airspace scan bends it at the top end), the shard
-//! count the policy picked, and the sharded-over-serial speedup. The
+//! count actually used, the sharded-over-serial speedup, and the heap
+//! allocations per tick inside the timed span (counting allocator). The
 //! summary keys are the largest fleet's numbers and come first, which is
 //! what `scripts/bench_gate.sh` gates on.
 //!
-//! `--jobs N` forces `ShardPolicy::Fixed { shards: N }`; the default is
-//! the shipping `ShardPolicy::Auto`. Whatever the partition, the sharded
+//! `--jobs N` forces `ShardPolicy::Fixed { shards: N }`; the size
+//! sweep's default is one shard per 32 UAVs (see [`sweep_policy`] for
+//! why it deliberately sidesteps `ShardPolicy::Auto`'s core-count
+//! clamp). Whatever the partition, the sharded
 //! run must agree with the serial oracle — every pair of runs is
 //! compared on the wall-clock-free metrics projection, event count and
 //! PoF series bits before its numbers are reported, so the speedup is
@@ -37,6 +40,7 @@
 //! and the watchdog demotion cost; `scripts/bench_gate.sh` gates its
 //! floor.
 
+use sesame_bench::alloc::{allocations, CountingAllocator};
 use sesame_bench::cli::{BenchArgs, JsonReport};
 use sesame_core::containment::ComputeFaultKind;
 use sesame_core::fleet::{FleetSpec, ShardPolicy};
@@ -44,9 +48,29 @@ use sesame_core::orchestrator::{Platform, PlatformConfig};
 use sesame_types::time::{SimDuration, SimTime};
 use std::time::Instant;
 
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
 /// Fleet sizes for the full curve and the CI smoke subset.
 const FULL_SIZES: [usize; 5] = [3, 10, 50, 200, 500];
 const SMOKE_SIZES: [usize; 3] = [3, 50, 200];
+
+/// The size sweep's sharding policy: `--jobs N` forces `Fixed { N }`;
+/// otherwise one shard per 32 UAVs, *uncapped by the core count*.
+/// `ShardPolicy::Auto` clamps to `available_parallelism`, which on a
+/// single-core CI box resolves every size to serial — the sweep would
+/// then measure the serial path twice and report `shards: 1` for every
+/// row. Forcing the partition keeps the sharded runtime (worker pool,
+/// chunk merge, excision bookkeeping) in the measurement and makes the
+/// recorded shard count the one actually used.
+fn sweep_policy(jobs: Option<usize>, uavs: usize) -> ShardPolicy {
+    match jobs {
+        Some(n) => ShardPolicy::Fixed { shards: n },
+        None => ShardPolicy::Fixed {
+            shards: uavs.div_ceil(32),
+        },
+    }
+}
 
 fn config(uavs: usize, policy: ShardPolicy) -> PlatformConfig {
     PlatformConfig {
@@ -69,6 +93,8 @@ struct RunResult {
     shards: usize,
     elapsed_ns: u128,
     ticks: u64,
+    /// Heap allocations inside the timed span (counting allocator).
+    allocs: u64,
     /// `uav.quarantine.entered` at the end of the run.
     quarantines: u64,
     // Conformance digest: wall-clock-free metrics + events + PoF bits.
@@ -94,11 +120,13 @@ fn run_platform(cfg: PlatformConfig, ticks: u64, faults: &[Fault]) -> RunResult 
     for _ in 0..10 {
         p.step();
     }
+    let allocs_before = allocations();
     let start = Instant::now();
     for _ in 0..ticks {
         p.step();
     }
     let elapsed_ns = start.elapsed().as_nanos();
+    let allocs = allocations() - allocs_before;
     let snapshot = p.metrics_snapshot();
     let digest = (
         snapshot.without_wall_clock().render_table(),
@@ -109,6 +137,7 @@ fn run_platform(cfg: PlatformConfig, ticks: u64, faults: &[Fault]) -> RunResult 
         shards: p.shard_count(),
         elapsed_ns,
         ticks,
+        allocs,
         quarantines: snapshot.counter("uav.quarantine.entered"),
         digest,
     }
@@ -274,12 +303,13 @@ fn main() {
         FULL_SIZES.to_vec()
     };
     let ticks = if args.smoke { 30 } else { 60 };
-    let policy = match args.jobs {
-        Some(n) => ShardPolicy::Fixed { shards: n },
-        None => ShardPolicy::Auto,
-    };
     eprintln!(
-        "fleetbench: sizes {sizes:?}, {ticks} timed ticks each, policy {policy:?}{}",
+        "fleetbench: sizes {sizes:?}, {ticks} timed ticks each, one shard \
+         per 32 UAVs{}{}",
+        match args.jobs {
+            Some(n) => format!(" (overridden: --jobs {n})"),
+            None => String::new(),
+        },
         if args.smoke { " (smoke)" } else { "" }
     );
 
@@ -287,7 +317,7 @@ fn main() {
     let mut last = None;
     for &n in &sizes {
         let serial = run(n, ShardPolicy::Serial, ticks);
-        let sharded = run(n, policy, ticks);
+        let sharded = run(n, sweep_policy(args.jobs, n), ticks);
         assert_eq!(
             serial.digest, sharded.digest,
             "sharded {n}-UAV run diverged from the serial oracle — \
@@ -296,29 +326,36 @@ fn main() {
         let tps = ticks_per_sec(&sharded);
         let per_uav = tps * n as f64;
         let speedup = ticks_per_sec(&sharded) / ticks_per_sec(&serial);
+        let allocs_per_tick = sharded.allocs as f64 / sharded.ticks as f64;
         eprintln!(
             "fleetbench: {n:>4} UAVs, {:>2} shard(s): {tps:>8.1} ticks/s \
-             ({per_uav:>9.0} UAV-ticks/s), speedup {speedup:.2}x",
+             ({per_uav:>9.0} UAV-ticks/s), speedup {speedup:.2}x, \
+             {allocs_per_tick:.0} allocs/tick",
             sharded.shards
         );
         rows.push(format!(
             "{{\"uavs\": {n}, \"shards\": {}, \"ticks_per_sec\": {tps:.1}, \
              \"uav_ticks_per_sec\": {per_uav:.0}, \"serial_ticks_per_sec\": {:.1}, \
-             \"speedup\": {speedup:.2}}}",
+             \"speedup\": {speedup:.2}, \"allocs_per_tick\": {allocs_per_tick:.0}}}",
             sharded.shards,
             ticks_per_sec(&serial)
         ));
-        last = Some((n, per_uav, speedup, sharded.shards));
+        last = Some((n, per_uav, speedup, sharded));
     }
-    let (largest, per_uav, speedup, shards) = last.expect("at least one size");
+    let (largest, per_uav, speedup, sharded) = last.expect("at least one size");
 
     // Summary keys (the largest fleet's numbers) precede the curve, so
     // first-occurrence key extraction reads the headline values.
     JsonReport::new("fleet_scale_sharded_tick")
         .int("largest_fleet", largest as u64)
-        .int("shards", shards as u64)
+        .int("shards", sharded.shards as u64)
         .num("uav_ticks_per_sec", per_uav, 0)
         .num("speedup", speedup, 2)
+        .num(
+            "allocs_per_tick",
+            sharded.allocs as f64 / sharded.ticks as f64,
+            0,
+        )
         .int("ticks", ticks)
         .raw("sizes", &format!("[\n    {}\n  ]", rows.join(",\n    ")))
         .emit(args.json_path.as_deref());

@@ -4,9 +4,12 @@
 //! regenerate every §V figure/row of the paper and the perf scorecards),
 //! in [`parallel`] (the work-stealing deterministic seed-sweep executor
 //! the binaries use for `--jobs N`), in [`cli`] (the shared flag
-//! conventions and JSON report schema), and in `benches/` (one Criterion
-//! bench per figure plus the ablations listed in DESIGN.md).
+//! conventions and JSON report schema), in [`alloc`] (the counting
+//! global allocator behind every `allocs_per_*` number), and in
+//! `benches/` (one Criterion bench per figure plus the ablations listed
+//! in DESIGN.md).
 
+pub mod alloc;
 pub mod cli;
 pub mod parallel;
 

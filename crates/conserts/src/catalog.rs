@@ -153,6 +153,28 @@ impl UavEvidence {
             | u16::from(self.rel_low) << 9
     }
 
+    /// The fingerprint bit position of an evidence id, or `None` for ids
+    /// outside the UAV vocabulary (which [`Self::to_evidence`] never
+    /// emits, so they evaluate false). Must stay in lockstep with
+    /// [`Self::fingerprint`] and [`Self::to_evidence`] — the compiled
+    /// evaluator in `incremental` reads evidence straight off the
+    /// fingerprint through this mapping.
+    pub(crate) fn evidence_bit(id: &str) -> Option<u8> {
+        Some(match id {
+            "gps_usable" => 0,
+            "no_attack" => 1,
+            "vision_healthy" => 2,
+            "safeml_ok" => 3,
+            "comm_ok" => 4,
+            "neighbors_available" => 5,
+            "assistant_available" => 6,
+            "rel_high" => 7,
+            "rel_med" => 8,
+            "rel_low" => 9,
+            _ => return None,
+        })
+    }
+
     /// Converts to the engine's evidence set.
     pub fn to_evidence(self) -> Evidence {
         let mut ids: Vec<&str> = Vec::new();

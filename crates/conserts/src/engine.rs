@@ -145,6 +145,13 @@ impl ConsertNetwork {
         &self.conserts
     }
 
+    /// The validated evaluation order (indices into [`Self::conserts`],
+    /// providers first) — what [`Self::evaluate`] walks; the compiled
+    /// evaluator in `incremental` walks the same order.
+    pub(crate) fn order(&self) -> &[usize] {
+        &self.order
+    }
+
     /// Evaluates the whole network under `evidence`, returning per-
     /// certificate results keyed by certificate name.
     pub fn evaluate(&self, evidence: &Evidence) -> HashMap<String, EvalResult> {

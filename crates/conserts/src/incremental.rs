@@ -16,10 +16,20 @@
 //! correct), while the steady-state common case costs one `u16` compare.
 //! [`ConsertNetwork::evaluate`] is a pure function of the evidence set,
 //! so replaying a stored decision for equal evidence is exact.
+//!
+//! Cache **misses** are allocation-free too: at construction the gate
+//! trees are compiled to an index-based form ([`CompiledTree`]) — evidence
+//! leaves become fingerprint bit tests, demands become
+//! `(certificate, guarantee)` indices into a per-certificate fulfilled
+//! bitset — so a re-evaluation walks the same trees in the same order as
+//! [`ConsertNetwork::evaluate`] without touching a `String` or a
+//! `HashMap` (see DESIGN.md § "Hot-loop memory discipline"). The
+//! all-1024-masks conformance test locksteps the compiled evaluator
+//! against the naive path.
 
 use crate::catalog::{self, UavAction, UavEvidence};
 use crate::engine::ConsertNetwork;
-use crate::model::Dimension;
+use crate::model::{Dimension, Tree};
 
 /// The per-tick ConSert outcome for one UAV: what the naive path computes
 /// with two network evaluations.
@@ -40,24 +50,136 @@ pub struct ConsertCacheStats {
     pub misses: u64,
 }
 
+/// A gate tree compiled to indices: evidence leaves test fingerprint
+/// bits, demand leaves test the fulfilled bitset of an already-evaluated
+/// certificate. Shape and child order mirror the source [`Tree`] exactly,
+/// so evaluation visits the same leaves in the same order.
+#[derive(Debug, Clone)]
+enum CompiledTree {
+    Always,
+    /// Fingerprint bit of the evidence id; `None` for an id outside the
+    /// UAV vocabulary, which the evidence set never contains.
+    Evidence(Option<u8>),
+    /// (certificate index, guarantee index) of the demanded guarantee.
+    Demand(usize, usize),
+    And(Vec<CompiledTree>),
+    Or(Vec<CompiledTree>),
+}
+
+fn compile(tree: &Tree, conserts: &[crate::model::Consert]) -> CompiledTree {
+    match tree {
+        Tree::Always => CompiledTree::Always,
+        Tree::Evidence(id) => CompiledTree::Evidence(UavEvidence::evidence_bit(id.as_str())),
+        Tree::Demand(d) => {
+            let ci = conserts
+                .iter()
+                .position(|c| c.name == d.consert)
+                .expect("network construction validated the demand");
+            let gi = conserts[ci]
+                .guarantees
+                .iter()
+                .position(|g| g.name == d.guarantee)
+                .expect("network construction validated the guarantee");
+            CompiledTree::Demand(ci, gi)
+        }
+        Tree::And(children) => {
+            CompiledTree::And(children.iter().map(|c| compile(c, conserts)).collect())
+        }
+        Tree::Or(children) => {
+            CompiledTree::Or(children.iter().map(|c| compile(c, conserts)).collect())
+        }
+    }
+}
+
+/// Evaluates a compiled tree. `fulfilled[ci]` holds one bit per guarantee
+/// of certificate `ci`; a demand on a not-yet-evaluated guarantee reads a
+/// zero bit — the same "absent means false" the naive evaluator's
+/// `unwrap_or(false)` implements.
+fn eval_compiled(tree: &CompiledTree, fp: u16, fulfilled: &[u64]) -> bool {
+    match tree {
+        CompiledTree::Always => true,
+        CompiledTree::Evidence(Some(bit)) => fp & (1 << bit) != 0,
+        CompiledTree::Evidence(None) => false,
+        CompiledTree::Demand(ci, gi) => fulfilled[*ci] & (1 << gi) != 0,
+        CompiledTree::And(children) => children.iter().all(|c| eval_compiled(c, fp, fulfilled)),
+        CompiledTree::Or(children) => children.iter().any(|c| eval_compiled(c, fp, fulfilled)),
+    }
+}
+
 /// A per-UAV certificate network with the previous-tick decision cached
-/// under its evidence fingerprint.
+/// under its evidence fingerprint and the gate trees pre-compiled for
+/// allocation-free misses.
 #[derive(Debug, Clone)]
 pub struct IncrementalConsertNetwork {
     network: ConsertNetwork,
     uav: String,
     last: Option<(u16, ConsertDecision)>,
+    /// Compiled guarantee trees, indexed `[certificate][guarantee]` in
+    /// `network.conserts()` order.
+    compiled: Vec<Vec<CompiledTree>>,
+    /// Per-guarantee action of the UAV certificate, by guarantee index.
+    actions: Vec<Option<UavAction>>,
+    /// Per-guarantee accuracy bound of the navigation certificate.
+    nav_dims: Vec<Option<f64>>,
+    uav_idx: usize,
+    nav_idx: usize,
+    /// Scratch: fulfilled bitset per certificate, reused across misses.
+    fulfilled: Vec<u64>,
     stats: ConsertCacheStats,
 }
 
 impl IncrementalConsertNetwork {
-    /// Builds the Fig. 1 catalog network for `uav` and wraps it.
+    /// Builds the Fig. 1 catalog network for `uav` and wraps it,
+    /// compiling the gate trees for allocation-free evaluation.
     pub fn new(uav: impl Into<String>) -> Self {
         let uav = uav.into();
+        let network = catalog::uav_consert_network(&uav);
+        let conserts = network.conserts();
+        let compiled: Vec<Vec<CompiledTree>> = conserts
+            .iter()
+            .map(|c| {
+                assert!(
+                    c.guarantees.len() <= 64,
+                    "fulfilled bitset is one u64 per certificate"
+                );
+                c.guarantees
+                    .iter()
+                    .map(|g| compile(&g.tree, conserts))
+                    .collect()
+            })
+            .collect();
+        let uav_idx = conserts
+            .iter()
+            .position(|c| c.name == catalog::scoped(&uav, "uav"))
+            .expect("catalog network has the UAV certificate");
+        let nav_idx = conserts
+            .iter()
+            .position(|c| c.name == catalog::scoped(&uav, "navigation"))
+            .expect("catalog network has the navigation certificate");
+        let actions = conserts[uav_idx]
+            .guarantees
+            .iter()
+            .map(|g| UavAction::from_guarantee(&g.name))
+            .collect();
+        let nav_dims = conserts[nav_idx]
+            .guarantees
+            .iter()
+            .map(|g| match g.dimension {
+                Some(Dimension::NavigationAccuracyM(m)) => Some(m),
+                _ => None,
+            })
+            .collect();
+        let fulfilled = vec![0u64; conserts.len()];
         IncrementalConsertNetwork {
-            network: catalog::uav_consert_network(&uav),
+            network,
             uav,
             last: None,
+            compiled,
+            actions,
+            nav_dims,
+            uav_idx,
+            nav_idx,
+            fulfilled,
             stats: ConsertCacheStats::default(),
         }
     }
@@ -79,7 +201,9 @@ impl IncrementalConsertNetwork {
 
     /// Evaluates the network for the current evidence — or replays the
     /// previous tick's decision when the fingerprint is unchanged. One
-    /// evaluation serves both the action and the navigation accuracy.
+    /// evaluation serves both the action and the navigation accuracy, and
+    /// a miss runs entirely on the compiled trees: no allocation either
+    /// way.
     pub fn decide(&mut self, evidence: &UavEvidence) -> ConsertDecision {
         let fp = evidence.fingerprint();
         if let Some((last_fp, decision)) = &self.last {
@@ -89,29 +213,31 @@ impl IncrementalConsertNetwork {
             }
         }
         self.stats.misses += 1;
-        let results = self.network.evaluate(&evidence.to_evidence());
-        let action = results
-            .get(&catalog::scoped(&self.uav, "uav"))
-            .and_then(|r| r.top.as_deref())
-            .and_then(UavAction::from_guarantee);
-        let nav_name = catalog::scoped(&self.uav, "navigation");
-        let nav_accuracy_m = results
-            .get(&nav_name)
-            .and_then(|r| r.top.as_deref())
-            .and_then(|top| {
-                self.network
-                    .conserts()
-                    .iter()
-                    .find(|c| c.name == nav_name)?
-                    .guarantee(top)
-                    .and_then(|g| match g.dimension {
-                        Some(Dimension::NavigationAccuracyM(m)) => Some(m),
-                        _ => None,
-                    })
-            });
+        // Walk certificates providers-first (the engine's validated
+        // order), guarantees in declaration order — exactly what
+        // `ConsertNetwork::evaluate` does, so tops agree.
+        self.fulfilled.iter_mut().for_each(|b| *b = 0);
+        let mut uav_top = None;
+        let mut nav_top = None;
+        for &ci in self.network.order() {
+            let mut first = None;
+            for (gi, tree) in self.compiled[ci].iter().enumerate() {
+                if eval_compiled(tree, fp, &self.fulfilled) {
+                    self.fulfilled[ci] |= 1 << gi;
+                    if first.is_none() {
+                        first = Some(gi);
+                    }
+                }
+            }
+            if ci == self.uav_idx {
+                uav_top = first;
+            } else if ci == self.nav_idx {
+                nav_top = first;
+            }
+        }
         let decision = ConsertDecision {
-            action,
-            nav_accuracy_m,
+            action: uav_top.and_then(|gi| self.actions[gi]),
+            nav_accuracy_m: nav_top.and_then(|gi| self.nav_dims[gi]),
         };
         self.last = Some((fp, decision));
         decision

@@ -97,6 +97,9 @@ pub struct UavEddiRuntime {
     sinadra: CachedSarRiskModel,
     spoof: SpoofDetector,
     features: FeatureExtractor,
+    /// Reused frame buffer for [`FeatureExtractor::extract_into`], so
+    /// steady-state ticks draw the camera frame without heap traffic.
+    frame: Vec<f64>,
     last_time: Option<SimTime>,
     last_outputs: Option<EddiOutputs>,
 }
@@ -145,6 +148,7 @@ impl UavEddiRuntime {
             sinadra: CachedSarRiskModel::new(SarRiskModel::new()),
             spoof: SpoofDetector::new(home, 20.0),
             features,
+            frame: Vec::new(),
             last_time: None,
             last_outputs: None,
         }
@@ -210,16 +214,16 @@ impl UavEddiRuntime {
         // Perception monitors share one frame. `assessment()` computes the
         // dissimilarity once over presorted reference columns and derives
         // the verdict from it — bit-identical to the naive accessor pair.
-        let frame = self.features.extract(scene);
+        self.features.extract_into(scene, &mut self.frame);
         // Invariant: the monitor was constructed over this extractor's
         // reference set, so widths agree by construction. A violation
         // unwinds into the orchestrator's per-UAV catch and quarantines
         // this engine rather than aborting the fleet tick.
         self.safeml
-            .push_sample(&frame)
+            .push_sample(&self.frame)
             .expect("extractor and monitor share the feature width");
         let (safeml_uncertainty, safeml_verdict) = self.safeml.assessment();
-        let dk_uncertainty = self.dk.assess(&self.dk_model, &frame);
+        let dk_uncertainty = self.dk.assess(&self.dk_model, &self.frame);
         let combined_uncertainty = safeml_uncertainty.max(dk_uncertainty);
 
         // SINADRA folds the uncertainties into risk.

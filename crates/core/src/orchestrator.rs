@@ -40,6 +40,7 @@ use sesame_middleware::chaos::CommFaultPlane;
 use sesame_middleware::message::{Message, Payload};
 use sesame_obs::span::phase;
 use sesame_obs::{MetricsRegistry, MetricsSnapshot, TickSpan, TraceEvent, TraceLog};
+use sesame_safedrones::markov::{BatchSolveScratch, ProfileKey};
 use sesame_safedrones::monitor::SafeDronesConfig;
 use sesame_safedrones::monitor::SafeDronesMonitor;
 use sesame_safedrones::{SolveKey, MARKOV_SLOTS};
@@ -48,9 +49,11 @@ use sesame_security::catalog as attack_catalog;
 use sesame_security::eddi::SecurityEddi;
 use sesame_security::ids::{Ids, IdsConfig};
 use sesame_sinadra::risk::{SeparationInputs, SeparationRiskModel};
+use sesame_types::arena::ScratchArena;
 use sesame_types::events::{EventLog, Severity, SystemEvent};
 use sesame_types::geo::GeoPoint;
 use sesame_types::ids::UavId;
+use sesame_types::inline::InlineVec;
 use sesame_types::telemetry::{FlightMode, UavTelemetry};
 use sesame_types::time::{SimDuration, SimTime};
 use sesame_uav_sim::autopilot::FlightCommand;
@@ -408,13 +411,6 @@ impl EddiEngine {
         }
     }
 
-    fn solve_dist(&self, slot: usize, dt: SimDuration) -> Vec<f64> {
-        match self {
-            EddiEngine::Fast(rt) => rt.solve_dist(slot, dt),
-            EddiEngine::Reference(_) => unreachable!("sharded ticks require the fast path"),
-        }
-    }
-
     fn finish_tick(
         &mut self,
         telemetry: &UavTelemetry,
@@ -599,6 +595,57 @@ impl SeriesView<'_> {
     }
 }
 
+/// Reusable per-tick working storage. Every container here is cleared
+/// and refilled each tick, so after the first (warm-up) tick the
+/// steady-state pipeline runs without heap traffic from these
+/// collections. See DESIGN.md § "Hot-loop memory discipline" for the
+/// lifetime rules (lease at phase entry, return before the tick ends;
+/// nothing in here carries semantic state across ticks).
+///
+/// The struct is `mem::take`n at the top of the tick passes and restored
+/// at their ends, which sidesteps borrow conflicts between the scratch
+/// buffers and the rest of the platform. A panic mid-tick loses the
+/// warm buffers (the next tick starts from `Default`) but never loses
+/// state — that is the point of keeping scratch and state separate.
+#[derive(Debug, Default)]
+struct TickScratch {
+    /// This tick's fleet telemetry snapshot.
+    telemetries: Vec<UavTelemetry>,
+    /// Serial path: detection events buffered by the pre-pass.
+    det_events: Vec<SystemEvent>,
+    /// Sharded path: per-UAV detection-event buffers.
+    det_events_per_uav: Vec<Vec<SystemEvent>>,
+    /// Sharded classify: per-UAV, per-slot solve-class membership.
+    class_of: Vec<[Option<usize>; MARKOV_SLOTS]>,
+    /// Sharded classify: one `(representative, slot, dt)` per class.
+    classes: Vec<(usize, usize, SimDuration)>,
+    /// Sharded classify: solve-class lookup by exact solve identity.
+    class_index: HashMap<(usize, SolveKey), usize>,
+    /// Sharded solve: batch-group lookup by `(slot, ProfileKey)`.
+    group_index: HashMap<(usize, ProfileKey), usize>,
+    /// Sharded solve: member classes of each batch group. Groups are
+    /// tiny (distinct current distributions within one profile), so the
+    /// member lists live inline.
+    group_members: Vec<InlineVec<usize, 8>>,
+    /// Sharded solve: the `(slot, dt)` shared by each batch group.
+    group_meta: Vec<(usize, SimDuration)>,
+    /// Sharded solve: per-class result — a `(start, len)` span into the
+    /// arena-leased `solved` buffer, or the panic message that excises
+    /// the class's members.
+    class_span: Vec<Result<(usize, usize), String>>,
+    /// Batched-uniformization working buffers.
+    batch: BatchSolveScratch,
+    /// Bump-style pool for the per-tick f64 buffers (`solved`,
+    /// `batch_out`) leased inside the sharded solve.
+    arena: ScratchArena,
+    /// Airspace passes: quarantine excision mask.
+    quarantined: Vec<bool>,
+    /// ConSert passes: this tick's per-UAV actions.
+    actions: Vec<UavAction>,
+    /// Sharded ConSert pass: supervision fallback mask.
+    fallback: Vec<bool>,
+}
+
 /// The platform. Construct with [`Platform::new`], drive with
 /// [`Platform::step`] or [`Platform::run_until_complete`].
 pub struct Platform {
@@ -657,6 +704,17 @@ pub struct Platform {
     /// The shard plan as resolved at construction — what `shards` is
     /// restored to when a watchdog demotion cools down.
     base_shards: Vec<Range<usize>>,
+    /// Reusable per-tick working storage (see [`TickScratch`]).
+    scratch: TickScratch,
+    /// Cached metric keys, indexed by UAV: `eddi.evals.uav{i}`. The
+    /// fleet size is fixed at construction, so formatting these once
+    /// keeps the hot tick free of `format!` allocations.
+    eddi_eval_keys: Vec<String>,
+    /// Cached metric keys, indexed by UAV: `supervision.state.uav{i}`.
+    supervision_state_keys: Vec<String>,
+    /// Cached `UavId` display names, indexed by UAV (the reference
+    /// ConSert catalog selects networks by name every tick).
+    uav_names: Vec<String>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -801,6 +859,11 @@ impl Platform {
         };
         let shards = shard_ranges(n, shard_count);
         let watchdog = TickWatchdog::new(n, config.supervision.watchdog_trip_after);
+        let eddi_eval_keys = (0..n).map(|i| format!("eddi.evals.uav{i}")).collect();
+        let supervision_state_keys = (0..n)
+            .map(|i| format!("supervision.state.uav{i}"))
+            .collect();
+        let uav_names = uavs.iter().map(|u| u.handle.id().to_string()).collect();
         Platform {
             config,
             sim,
@@ -845,6 +908,10 @@ impl Platform {
             next_heartbeat_at: SimTime::ZERO,
             base_shards: shards.clone(),
             shards,
+            scratch: TickScratch::default(),
+            eddi_eval_keys,
+            supervision_state_keys,
+            uav_names,
         }
     }
 
@@ -1003,11 +1070,15 @@ impl Platform {
     }
 
     fn publish(&mut self, sender: &str, topic: String, payload: Payload) -> u64 {
-        let seq = {
-            let c = self.seq.entry(sender.to_string()).or_insert(0);
+        // Lookup before entry: `entry` would clone `sender` into a key
+        // on every call, but a sender only needs that once.
+        let seq = if let Some(c) = self.seq.get_mut(sender) {
             let s = *c;
             *c += 1;
             s
+        } else {
+            self.seq.insert(sender.to_string(), 1);
+            0
         };
         let mut msg = Message::new(topic, sender, seq, self.sim.now(), payload);
         if let Some(auth) = &self.auth {
@@ -1134,18 +1205,28 @@ impl Platform {
         // ---- Per-UAV sensing, mission logic and EDDI ticks ----
         span.enter(phase::SENSE_PUBLISH);
         let n = self.uavs.len();
-        let mut telemetries: Vec<UavTelemetry> = Vec::with_capacity(n);
+        // Leased from the tick scratch: after the first tick the buffer
+        // holds last tick's fleet snapshot and refreshes in place
+        // (including the per-UAV `motors_ok` heap buffers).
+        let mut telemetries = std::mem::take(&mut self.scratch.telemetries);
+        telemetries.truncate(n);
         for i in 0..n {
             let handle = self.uavs[i].handle;
-            let mut tel = self.sim.telemetry(handle);
+            if let Some(slot) = telemetries.get_mut(i) {
+                self.sim.telemetry_into(handle, slot);
+            } else {
+                telemetries.push(self.sim.telemetry(handle));
+            }
             // An active telemetry-corruption fault poisons the sensor
             // readings *before* anything consumes them, so both
             // execution plans see the same corrupt inputs (the EDDI
             // input guard rejects them instead of solving on NaN).
-            if self.compute_faults.corrupt_telemetry(i, &mut tel) {
+            if self
+                .compute_faults
+                .corrupt_telemetry(i, &mut telemetries[i])
+            {
                 self.metrics.inc("uav.fault.telemetry_corrupted");
             }
-            telemetries.push(tel);
         }
         // A multi-shard plan runs the data-parallel tick (serial
         // pre-pass, fleet-wide batched Markov solve, per-shard finish,
@@ -1413,6 +1494,7 @@ impl Platform {
             let snap = self.snapshot(&telemetries, now);
             self.gcs.record(snap);
         }
+        self.scratch.telemetries = telemetries;
         span.finish(&mut self.metrics);
         now
     }
@@ -1688,11 +1770,14 @@ impl Platform {
         span: &mut TickSpan,
     ) {
         let n = self.uavs.len();
-        let mut det_events = Vec::new();
+        let mut det_events = std::mem::take(&mut self.scratch.det_events);
         for i in 0..n {
-            let tel = telemetries[i].clone();
+            // `telemetries` is the tick's local snapshot, not a `self`
+            // field, so borrowing it alongside `&mut self` is fine — no
+            // per-UAV clone needed.
+            let tel = &telemetries[i];
             let id = tel.uav;
-            self.uav_pre_pass(i, &tel, now, visibility, &mut det_events);
+            self.uav_pre_pass(i, tel, now, visibility, &mut det_events);
             for ev in det_events.drain(..) {
                 self.events.push(now, ev);
             }
@@ -1701,10 +1786,10 @@ impl Platform {
             // frozen — the revival probe, not the tick, exercises it).
             if self.uavs[i].eddi.is_some() && self.uavs[i].quarantine.is_none() {
                 span.enter(phase::EDDI_EVAL);
-                if let Some(fault) = self.eval_guard(i, &tel, now) {
+                if let Some(fault) = self.eval_guard(i, tel, now) {
                     self.pending_faults.push(fault);
                 } else {
-                    self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                    self.metrics.inc(&self.eddi_eval_keys[i]);
                     let scene = SceneCondition {
                         altitude_m: tel.true_position.alt_m,
                         visibility,
@@ -1718,13 +1803,13 @@ impl Platform {
                     // state is suspect, so the containment layer
                     // quarantines the UAV and never ticks this engine
                     // again (a release promotes a fresh probe engine).
-                    match crate::shard::quiet_catch_unwind(|| eddi.tick(&tel, &scene)) {
+                    match crate::shard::quiet_catch_unwind(|| eddi.tick(tel, &scene)) {
                         Ok(out) => {
                             if let Some(fault) = Self::output_guard(i, id, &out, now) {
                                 self.pending_faults.push(fault);
                             } else {
                                 self.uavs[i].last_good_outputs = Some(out.clone());
-                                self.apply_eddi_outputs(i, &tel, &out, now, second_boundary);
+                                self.apply_eddi_outputs(i, tel, &out, now, second_boundary);
                             }
                         }
                         Err(payload) => self.pending_faults.push(UavFault {
@@ -1744,6 +1829,7 @@ impl Platform {
                 self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
             }
         }
+        self.scratch.det_events = det_events;
     }
 
     /// The sharded per-UAV tick. Five sub-phases:
@@ -1773,20 +1859,24 @@ impl Platform {
         span: &mut TickSpan,
     ) {
         let n = self.uavs.len();
-        let mut det_events: Vec<Vec<SystemEvent>> = (0..n).map(|_| Vec::new()).collect();
+        // The tick scratch is taken wholesale for the duration of the
+        // pass: every container below is warm from the previous tick.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut det_events = std::mem::take(&mut scratch.det_events_per_uav);
+        det_events.resize_with(n, Vec::new);
         let mut plans: Vec<Option<TickPlan>> = Vec::with_capacity(n);
         for i in 0..n {
-            let tel = telemetries[i].clone();
-            self.uav_pre_pass(i, &tel, now, visibility, &mut det_events[i]);
+            let tel = &telemetries[i];
+            self.uav_pre_pass(i, tel, now, visibility, &mut det_events[i]);
             // Same gating and guard as the serial oracle, at the same
             // position — so injected and guard faults are bit-identical
             // across shard policies.
             let plan = if self.uavs[i].eddi.is_some() && self.uavs[i].quarantine.is_none() {
-                if let Some(fault) = self.eval_guard(i, &tel, now) {
+                if let Some(fault) = self.eval_guard(i, tel, now) {
                     self.pending_faults.push(fault);
                     None
                 } else {
-                    self.metrics.inc(&format!("eddi.evals.uav{i}"));
+                    self.metrics.inc(&self.eddi_eval_keys[i]);
                     let remaining = self.estimated_remaining_mission(tel.uav);
                     // Invariant: `eddi.is_some()` holds — checked by the
                     // enclosing condition.
@@ -1794,7 +1884,7 @@ impl Platform {
                     eddi.set_remaining_mission(remaining);
                     // Unwind safety: a panicking engine is quarantined
                     // and never ticked again (see the serial path).
-                    match crate::shard::quiet_catch_unwind(|| eddi.begin_tick(&tel)) {
+                    match crate::shard::quiet_catch_unwind(|| eddi.begin_tick(tel)) {
                         Ok(plan) => Some(plan),
                         Err(payload) => {
                             self.pending_faults.push(UavFault {
@@ -1815,9 +1905,13 @@ impl Platform {
         }
 
         span.enter(phase::EDDI_EVAL);
-        let mut class_of: Vec<[Option<usize>; MARKOV_SLOTS]> = vec![[None; MARKOV_SLOTS]; n];
-        let mut classes: Vec<(usize, usize, SimDuration)> = Vec::new();
-        let mut class_index: HashMap<(usize, SolveKey), usize> = HashMap::new();
+        let mut class_of = std::mem::take(&mut scratch.class_of);
+        class_of.clear();
+        class_of.resize(n, [None; MARKOV_SLOTS]);
+        let mut classes = std::mem::take(&mut scratch.classes);
+        classes.clear();
+        let mut class_index = std::mem::take(&mut scratch.class_index);
+        class_index.clear();
         for i in 0..n {
             let Some(plan) = &plans[i] else { continue };
             let Some(keys) = plan.solve_keys() else {
@@ -1834,50 +1928,124 @@ impl Platform {
             }
         }
 
-        // One pure solve per class; the representative's process state
-        // is exactly what its `advance` would solve from, and every
-        // member of the class shares it bit for bit (that is what equal
-        // solve keys mean). A solve that panics faults every member of
-        // its class — they would all have hit the same panic serially.
+        // Group the classes by batching identity: classes whose
+        // representatives share a (slot, [`ProfileKey`]) differ only in
+        // their current distribution, so one SoA uniformization pass
+        // ([`CtmcProcess::solve_dists_batch`]) advances all of them with
+        // bit-identical results — the Poisson weights depend only on the
+        // rates and dt. Groups are solved serially: a fleet has a
+        // handful of profiles, and the vectorization lives *inside* the
+        // batch kernel, not across groups.
+        let mut group_index = std::mem::take(&mut scratch.group_index);
+        group_index.clear();
+        let mut group_members = std::mem::take(&mut scratch.group_members);
+        group_members.clear();
+        let mut group_meta = std::mem::take(&mut scratch.group_meta);
+        group_meta.clear();
+        for (cid, &(rep, slot, dt)) in classes.iter().enumerate() {
+            let key = self.uavs[rep]
+                .eddi
+                .as_ref()
+                .expect("class representative has an EDDI")
+                .safedrones()
+                .markov_process(slot)
+                .profile_key(dt.as_secs_f64());
+            let gid = *group_index.entry((slot, key)).or_insert_with(|| {
+                group_members.push(InlineVec::new());
+                group_meta.push((slot, dt));
+                group_members.len() - 1
+            });
+            group_members[gid].push(cid);
+        }
+
+        // One batched pure solve per group, results packed into the
+        // arena-leased `solved` buffer (`class_span[cid]` is each
+        // class's span). A solve that panics faults every member of
+        // *every class in its group* — the members would all have hit
+        // the same kernel assertion serially, since they share the rate
+        // matrix and dt that drive it.
         let jobs = self.shards.len();
-        let dists: Vec<Result<Vec<f64>, crate::shard::TaskPanic>> = {
+        let mut class_span = std::mem::take(&mut scratch.class_span);
+        class_span.clear();
+        class_span.resize(classes.len(), Err(String::new()));
+        let mut solved = scratch.arena.take_f64(classes.len() * 8);
+        let mut batch_out = scratch.arena.take_f64(0);
+        {
             let uavs = &self.uavs;
-            crate::shard::try_run_indexed(jobs, classes.len(), |c| {
-                let (rep, slot, dt) = classes[c];
+            for (members, &(slot, dt)) in group_members.iter().zip(&group_meta) {
+                let rep0 = classes[members[0]].0;
                 // Invariant: `classes` was built from UAVs that passed
                 // the eddi.is_some() gate this tick. If it ever breaks,
-                // try_run_indexed catches the unwind and the excision
-                // loop below faults the class's members instead of
+                // the catch below faults the group's members instead of
                 // aborting the tick.
-                uavs[rep]
+                let rep_proc = uavs[rep0]
                     .eddi
                     .as_ref()
                     .expect("class representative has an EDDI")
-                    .solve_dist(slot, dt)
-            })
-        };
+                    .safedrones()
+                    .markov_process(slot);
+                let state_len = rep_proc.distribution().len();
+                let batch = &mut scratch.batch;
+                let out = &mut batch_out;
+                let solve = crate::shard::quiet_catch_unwind(|| {
+                    // The ref list borrows the member processes, so it
+                    // cannot outlive the tick — a small per-group alloc
+                    // the arena cannot absorb.
+                    let dist_refs: Vec<&[f64]> = members
+                        .iter()
+                        .map(|&cid| {
+                            let (rep, s, _) = classes[cid];
+                            uavs[rep]
+                                .eddi
+                                .as_ref()
+                                .expect("class representative has an EDDI")
+                                .safedrones()
+                                .markov_process(s)
+                                .distribution()
+                        })
+                        .collect();
+                    rep_proc.solve_dists_batch(&dist_refs, dt.as_secs_f64(), out, batch);
+                });
+                match solve {
+                    Ok(()) => {
+                        for (d, &cid) in members.iter().enumerate() {
+                            let start = solved.len();
+                            solved.extend_from_slice(&batch_out[d * state_len..][..state_len]);
+                            class_span[cid] = Ok((start, state_len));
+                        }
+                    }
+                    Err(payload) => {
+                        let message = panic_message(payload.as_ref());
+                        for &cid in members.iter() {
+                            class_span[cid] = Err(message.clone());
+                        }
+                    }
+                }
+            }
+        }
         for i in 0..n {
             let failed = (0..MARKOV_SLOTS)
-                .find_map(|slot| class_of[i][slot].and_then(|cid| dists[cid].as_ref().err()));
-            if let Some(panic) = failed {
+                .find_map(|slot| class_of[i][slot].and_then(|cid| class_span[cid].as_ref().err()));
+            if let Some(message) = failed {
                 plans[i] = None; // skip the finish; the fault quarantines it
+                let message = message.clone();
                 self.pending_faults.push(UavFault {
                     uav: i,
                     id: telemetries[i].uav,
                     at: now,
                     phase: FaultPhase::EddiSolve,
-                    message: panic.message.clone(),
+                    message,
                 });
             }
         }
 
         // Finish each shard's UAVs in parallel: the shard slices are
         // disjoint `&mut` windows of the fleet, so no state is shared.
-        let shards = self.shards.clone();
+        let shards = &self.shards;
         let mut plan_chunks: Vec<Vec<Option<TickPlan>>> = Vec::with_capacity(shards.len());
         {
             let mut it = plans.into_iter();
-            for r in &shards {
+            for r in shards {
                 plan_chunks.push(it.by_ref().take(r.len()).collect());
             }
         }
@@ -1910,7 +2078,9 @@ impl Platform {
                             if let Some(cid) = class_of[i][slot] {
                                 // Invariant: a failed class excised its
                                 // members above, so the lookup hits Ok.
-                                primes[slot] = dists[cid].as_deref().ok();
+                                if let Ok(&(start, len)) = class_span[cid].as_ref() {
+                                    primes[slot] = Some(&solved[start..start + len]);
+                                }
                             }
                         }
                         // Unwind safety: a panicking engine is
@@ -1961,6 +2131,18 @@ impl Platform {
                 self.trajectories[i].push((now.as_secs_f64(), tel.true_position));
             }
         }
+        // Return the leases and the scratch so next tick starts warm.
+        scratch.arena.give_f64(batch_out);
+        scratch.arena.give_f64(solved);
+        scratch.det_events_per_uav = det_events;
+        scratch.class_of = class_of;
+        scratch.classes = classes;
+        scratch.class_index = class_index;
+        scratch.group_index = group_index;
+        scratch.group_members = group_members;
+        scratch.group_meta = group_meta;
+        scratch.class_span = class_span;
+        self.scratch = scratch;
         span.enter(phase::SENSE_PUBLISH);
     }
 
@@ -1972,7 +2154,9 @@ impl Platform {
         // A quarantined UAV is excised from the separation scan (its
         // telemetry may be the corrupt readings that faulted it); the
         // geofence — which watches true position — keeps running.
-        let quarantined: Vec<bool> = self.uavs.iter().map(|u| u.quarantine.is_some()).collect();
+        let mut quarantined = std::mem::take(&mut self.scratch.quarantined);
+        quarantined.clear();
+        quarantined.extend(self.uavs.iter().map(|u| u.quarantine.is_some()));
         for i in 0..n {
             let tel = &telemetries[i];
             if let Some(status) = self.geofences[i].update(&tel.true_position) {
@@ -2016,6 +2200,7 @@ impl Platform {
                 }
             }
         }
+        self.scratch.quarantined = quarantined;
     }
 
     /// The sharded airspace pass: the O(n²) proximity scan is a pure
@@ -2025,11 +2210,13 @@ impl Platform {
     fn step_airspace_sharded(&mut self, telemetries: &[UavTelemetry], now: SimTime) {
         let n = telemetries.len();
         let jobs = self.shards.len();
-        let shards = self.shards.clone();
+        let shards = &self.shards;
         let sesame = self.config.sesame_enabled;
         // Same excision as the serial oracle: quarantined UAVs are
         // neither subjects nor teammates of the separation scan.
-        let quarantined: Vec<bool> = self.uavs.iter().map(|u| u.quarantine.is_some()).collect();
+        let mut quarantined = std::mem::take(&mut self.scratch.quarantined);
+        quarantined.clear();
+        quarantined.extend(self.uavs.iter().map(|u| u.quarantine.is_some()));
         let prox: Vec<Option<(f64, bool)>> = crate::shard::run_indexed(jobs, shards.len(), |s| {
             shards[s]
                 .clone()
@@ -2086,6 +2273,7 @@ impl Platform {
                 self.assess_separation(i, tel, nearest, converging, now);
             }
         }
+        self.scratch.quarantined = quarantined;
     }
 
     /// Runs the SINADRA separation assessment for one UAV against its
@@ -2142,7 +2330,7 @@ impl Platform {
                 }
             }
             self.metrics.set_gauge(
-                &format!("supervision.state.uav{i}"),
+                &self.supervision_state_keys[i],
                 self.supervisors[i].state().as_gauge(),
             );
         }
@@ -2557,7 +2745,8 @@ impl Platform {
     fn step_conserts(&mut self, telemetries: &[UavTelemetry], now: SimTime, span: &mut TickSpan) {
         let n = self.uavs.len();
         let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
-        let mut actions = Vec::with_capacity(n);
+        let mut actions = std::mem::take(&mut self.scratch.actions);
+        actions.clear();
         for i in 0..n {
             let tel = &telemetries[i];
             let id = tel.uav;
@@ -2593,7 +2782,9 @@ impl Platform {
             };
             // One call answers both the action and the accuracy bound —
             // the fast path evaluates the network at most once per tick.
-            let decision = conserts.decide(&id.to_string(), &evidence);
+            // The UAV name is cached at construction; the reference
+            // catalog keys its network lookup on it every tick.
+            let decision = conserts.decide(&self.uav_names[i], &evidence);
             let action = decision.action.unwrap_or(UavAction::EmergencyLand);
             self.uavs[i].last_nav_accuracy = decision.nav_accuracy_m;
             actions.push(action);
@@ -2648,6 +2839,7 @@ impl Platform {
                 }
             }
         }
+        self.scratch.actions = actions;
     }
 
     /// The sharded ConSert pass. Each UAV's decision depends only on its
@@ -2664,21 +2856,23 @@ impl Platform {
     ) {
         let n = self.uavs.len();
         let airborne: usize = telemetries.iter().filter(|t| t.mode.is_airborne()).count();
-        let fallback: Vec<bool> = (0..n)
-            .map(|i| {
-                self.config.supervision.enabled
-                    && self.supervisors[i].state() == HealthState::SafeFallback
-            })
-            .collect();
-        // `Some(action)` iff the serial path would have evaluated this
-        // UAV's ConSert; the merge distinguishes that from the static
-        // CL-landing / fallback / no-runtime actions below.
+        let mut fallback = std::mem::take(&mut self.scratch.fallback);
+        fallback.clear();
+        fallback.extend((0..n).map(|i| {
+            self.config.supervision.enabled
+                && self.supervisors[i].state() == HealthState::SafeFallback
+        }));
+        let fallback = fallback; // shared by the worker closures below
+                                 // `Some(action)` iff the serial path would have evaluated this
+                                 // UAV's ConSert; the merge distinguishes that from the static
+                                 // CL-landing / fallback / no-runtime actions below.
         let jobs = self.shards.len();
-        let shards = self.shards.clone();
+        let shards = &self.shards;
+        let uav_names = &self.uav_names;
         let mut works: Vec<(usize, &mut [UavRt])> = Vec::with_capacity(shards.len());
         {
             let mut rest = self.uavs.as_mut_slice();
-            for r in &shards {
+            for r in shards {
                 let (head, tail) = rest.split_at_mut(r.len());
                 works.push((r.start, head));
                 rest = tail;
@@ -2706,7 +2900,7 @@ impl Platform {
                 };
                 // One call answers both the action and the accuracy
                 // bound — evaluated at most once per tick.
-                let decision = conserts.decide(&tel.uav.to_string(), &evidence);
+                let decision = conserts.decide(&uav_names[i], &evidence);
                 rt.last_nav_accuracy = decision.nav_accuracy_m;
                 shard_actions.push(Some(decision.action.unwrap_or(UavAction::EmergencyLand)));
             }
@@ -2715,7 +2909,8 @@ impl Platform {
         .into_iter()
         .flatten()
         .collect();
-        let mut actions = Vec::with_capacity(n);
+        let mut actions = std::mem::take(&mut self.scratch.actions);
+        actions.clear();
         for i in 0..n {
             let tel = &telemetries[i];
             let id = tel.uav;
@@ -2788,6 +2983,8 @@ impl Platform {
                 }
             }
         }
+        self.scratch.actions = actions;
+        self.scratch.fallback = fallback;
     }
 
     /// The baseline policy of §V-A: at the first battery symptom (sharp

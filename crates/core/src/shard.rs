@@ -5,9 +5,18 @@
 //! The contract is the one the whole reproduction stands on: results
 //! are **merged in item order, never completion order**, so any worker
 //! count produces byte-identical output. Each item's result is written
-//! into its own pre-allocated slot by a `std::thread::scope` pool that
-//! pulls indices from a shared atomic cursor (work stealing with a
-//! one-item grain), and reduction happens after the scope joins.
+//! into its own pre-allocated slot by workers that pull indices from a
+//! shared atomic cursor (work stealing with a one-item grain), and
+//! reduction happens after every participant has drained the cursor.
+//!
+//! Workers are **persistent**: the first parallel call spawns a
+//! process-wide pool of daemon threads, and every later call hands its
+//! fan-out to the same threads (see [`pool`]). A 100 ms platform tick
+//! makes three fan-out calls; spawning and joining OS threads for each
+//! (the previous `std::thread::scope` design) cost more than the work
+//! being parallelized and made the sharded tick *slower* than serial on
+//! small fleets. The pool replaces the per-call spawn/join with one
+//! condvar wake and one completion wait.
 //!
 //! Two entry points, each in an infallible and a panic-catching flavor:
 //!
@@ -59,6 +68,199 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, Once};
+
+/// The persistent worker pool behind [`try_run_indexed`] and
+/// [`try_run_tasks`].
+///
+/// One process-wide set of daemon threads executes every fan-out. A
+/// call *submits* a job — a borrowed `&(dyn Fn() + Sync)` worker body
+/// that each participant runs exactly once (the body is the atomic
+/// cursor drain, so any number of participants is correct) — then runs
+/// the body itself and blocks until every helper that entered the job
+/// has left it.
+///
+/// # Safety architecture
+///
+/// The worker body borrows the caller's stack (the result slots, the
+/// user closure, the work items), but a persistent thread needs a
+/// `'static` reference — so submission erases the lifetime with one
+/// `transmute`. The erasure is sound because the borrow is bounded by a
+/// completion barrier on *every* exit path:
+///
+/// * [`Pool::run`] only returns once `running == 0` and the job is
+///   retired, so no helper can still be inside (or about to enter) the
+///   body when the caller's frame unwinds or returns.
+/// * The barrier wait lives in a drop guard, so a panic escaping the
+///   caller's own body run still waits for the helpers before the
+///   frame dies.
+/// * Helpers only enter a job while it is installed (`entries > 0`,
+///   checked under the state lock), and the job is uninstalled before
+///   the barrier opens.
+///
+/// A nested fan-out from inside a worker (the body of one job calling
+/// [`run_indexed`] again) runs inline on that worker instead of
+/// submitting — the pool is draining the outer job, and waiting on it
+/// from one of its own workers would deadlock.
+mod pool {
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::{Condvar, Mutex, OnceLock};
+
+    /// One submitted fan-out: the lifetime-erased worker body, how many
+    /// helper entries remain, and which submission it belongs to.
+    #[derive(Clone, Copy)]
+    struct Job {
+        /// The worker body. Points into the submitting call's stack;
+        /// valid until that call's completion barrier opens (see the
+        /// module docs).
+        body: &'static (dyn Fn() + Sync),
+        /// Helper entries not yet claimed. Each helper decrements once
+        /// per job; at zero the job stops admitting.
+        entries: usize,
+        /// Submission number, used by the barrier wait.
+        epoch: u64,
+    }
+
+    #[derive(Default)]
+    struct State {
+        job: Option<Job>,
+        /// Helpers currently inside `job.body`.
+        running: usize,
+        /// Persistent worker threads spawned so far.
+        threads: usize,
+        /// Submission counter.
+        epoch: u64,
+        /// Highest epoch whose job has fully retired (all entries
+        /// claimed or withdrawn, no helper still inside).
+        completed: u64,
+    }
+
+    struct Pool {
+        state: Mutex<State>,
+        /// Signalled when a job is installed.
+        work: Condvar,
+        /// Signalled when a job retires.
+        done: Condvar,
+    }
+
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        })
+    }
+
+    thread_local! {
+        /// Whether this thread is a pool worker (nested fan-outs run
+        /// inline, see the module docs).
+        static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Waits for `epoch` to retire when dropped — the completion
+    /// barrier, panic-proof by living in `Drop`.
+    struct Barrier {
+        epoch: u64,
+    }
+
+    impl Drop for Barrier {
+        fn drop(&mut self) {
+            let pool = global();
+            let mut st = pool.state.lock().expect("pool state never poisoned");
+            while st.completed < self.epoch {
+                st = pool.done.wait(st).expect("pool state never poisoned");
+            }
+        }
+    }
+
+    /// The persistent helper thread: claim an entry of the installed
+    /// job, run its body once, retire the job when the last entry
+    /// leaves, sleep until the next installation.
+    fn worker_loop() {
+        IS_WORKER.with(|w| w.set(true));
+        let pool = global();
+        let mut st = pool.state.lock().expect("pool state never poisoned");
+        loop {
+            match st.job {
+                Some(job) if job.entries > 0 => {
+                    st.job.as_mut().expect("matched Some above").entries -= 1;
+                    st.running += 1;
+                    drop(st);
+                    // A panic escaping the body would mean the per-item
+                    // catch inside it failed; the caller's slot-invariant
+                    // checks will surface that. The worker itself must
+                    // survive to keep the pool alive — and must reach the
+                    // bookkeeping below, or the barrier never opens.
+                    let _ = catch_unwind(AssertUnwindSafe(job.body));
+                    st = pool.state.lock().expect("pool state never poisoned");
+                    st.running -= 1;
+                    if st.running == 0
+                        && st
+                            .job
+                            .is_some_and(|j| j.entries == 0 && j.epoch == job.epoch)
+                    {
+                        st.job = None;
+                        st.completed = job.epoch;
+                        pool.done.notify_all();
+                    }
+                }
+                _ => {
+                    st = pool.work.wait(st).expect("pool state never poisoned");
+                }
+            }
+        }
+    }
+
+    /// Runs `body` once on the calling thread and once on each of
+    /// `helpers` pool workers, returning only after every participant
+    /// has finished. `body` must be idempotent under extra runs (the
+    /// cursor-drain bodies are: a drained cursor returns immediately).
+    pub(super) fn run(helpers: usize, body: &(dyn Fn() + Sync)) {
+        if helpers == 0 || IS_WORKER.with(Cell::get) {
+            // Serial, or a nested fan-out inside a worker: inline.
+            body();
+            return;
+        }
+        let pool = global();
+        let epoch;
+        {
+            let mut st = pool.state.lock().expect("pool state never poisoned");
+            // One job at a time: a second platform submitting from
+            // another thread waits for the current job to retire.
+            while st.job.is_some() || st.running > 0 {
+                st = pool.done.wait(st).expect("pool state never poisoned");
+            }
+            while st.threads < helpers {
+                st.threads += 1;
+                std::thread::Builder::new()
+                    .name("sesame-shard".into())
+                    .spawn(worker_loop)
+                    .expect("spawn shard worker");
+            }
+            st.epoch += 1;
+            epoch = st.epoch;
+            // SAFETY: the borrow is bounded by the completion barrier —
+            // `Barrier::drop` below blocks until this epoch retires, on
+            // both the return and the unwind path, so no worker holds
+            // `body` past this call (see the module docs).
+            let body: &'static (dyn Fn() + Sync) = unsafe {
+                std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body)
+            };
+            st.job = Some(Job {
+                body,
+                entries: helpers,
+                epoch,
+            });
+        }
+        pool.work.notify_all();
+        let _barrier = Barrier { epoch };
+        // Participate: the caller's run is what guarantees progress even
+        // if every helper is still waking up.
+        body();
+        // `_barrier` drops here, waiting for the helpers.
+    }
+}
 
 /// A worker panic captured at the task that raised it: the item index
 /// plus the stringified panic payload. Produced by [`try_run_indexed`] /
@@ -196,29 +398,26 @@ where
     let slots: Vec<Mutex<Option<Result<T, TaskPanic>>>> =
         (0..count).map(|_| Mutex::new(None)).collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    break;
-                }
-                let result = catch(idx, || f(idx));
-                // Invariant: each slot is locked once by the single
-                // worker that claimed its index, and `f` cannot unwind
-                // while it is held — the lock cannot be poisoned.
-                *slots[idx].lock().expect("slot mutex never poisoned") = Some(result);
-            });
+    pool::run(jobs - 1, &|| loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= count {
+            break;
         }
+        let result = catch(idx, || f(idx));
+        // Invariant: each slot is locked once by the single
+        // worker that claimed its index, and `f` cannot unwind
+        // while it is held — the lock cannot be poisoned.
+        *slots[idx].lock().expect("slot mutex never poisoned") = Some(result);
     });
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
                 .expect("slot mutex never poisoned")
-                // Invariant: the scope joined, so every index below
-                // `count` was claimed and its slot filled.
-                .expect("scope joined, so every claimed slot was filled")
+                // Invariant: the pool's completion barrier opened, so
+                // every index below `count` was claimed and its slot
+                // filled.
+                .expect("barrier opened, so every claimed slot was filled")
         })
         .collect()
 }
@@ -269,29 +468,25 @@ where
         .map(|w| Mutex::new((Some(w), None)))
         .collect();
     let cursor = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= count {
-                    break;
-                }
-                // Invariant: the work item is taken and the result
-                // stored under two *separate* lock acquisitions, and the
-                // closure runs between them with no lock held — a panic
-                // in `f` cannot poison the slot.
-                let mut w = slots[idx]
-                    .lock()
-                    .expect("slot mutex never poisoned")
-                    .0
-                    .take()
-                    // Invariant: the atomic cursor hands each index to
-                    // exactly one worker.
-                    .expect("each task is claimed by exactly one worker");
-                let result = catch(idx, || f(idx, &mut w));
-                slots[idx].lock().expect("slot mutex never poisoned").1 = Some(result);
-            });
+    pool::run(jobs - 1, &|| loop {
+        let idx = cursor.fetch_add(1, Ordering::Relaxed);
+        if idx >= count {
+            break;
         }
+        // Invariant: the work item is taken and the result
+        // stored under two *separate* lock acquisitions, and the
+        // closure runs between them with no lock held — a panic
+        // in `f` cannot poison the slot.
+        let mut w = slots[idx]
+            .lock()
+            .expect("slot mutex never poisoned")
+            .0
+            .take()
+            // Invariant: the atomic cursor hands each index to
+            // exactly one worker.
+            .expect("each task is claimed by exactly one worker");
+        let result = catch(idx, || f(idx, &mut w));
+        slots[idx].lock().expect("slot mutex never poisoned").1 = Some(result);
     });
     slots
         .into_iter()
@@ -299,9 +494,10 @@ where
             slot.into_inner()
                 .expect("slot mutex never poisoned")
                 .1
-                // Invariant: the scope joined, so every index below
-                // `count` was claimed and its slot filled.
-                .expect("scope joined, so every claimed slot was filled")
+                // Invariant: the pool's completion barrier opened, so
+                // every index below `count` was claimed and its slot
+                // filled.
+                .expect("barrier opened, so every claimed slot was filled")
         })
         .collect()
 }

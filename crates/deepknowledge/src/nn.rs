@@ -113,27 +113,56 @@ impl Mlp {
     /// trace is the concatenation of every hidden layer's activations —
     /// the raw material of DeepKnowledge analysis.
     pub fn forward_traced(&self, input: &[f64]) -> (Vec<f64>, Vec<f64>) {
-        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        let mut output = Vec::new();
         let mut trace = Vec::with_capacity(self.hidden_neuron_count());
-        let mut x = input.to_vec();
+        let mut scratch = Vec::new();
+        self.forward_traced_into(input, &mut output, &mut trace, &mut scratch);
+        (output, trace)
+    }
+
+    /// [`Mlp::forward_traced`] into caller-provided buffers — the tick
+    /// loop's zero-alloc path. `output` receives the network output,
+    /// `trace` the concatenated hidden activations, and `scratch` is the
+    /// layer ping-pong buffer; all three are cleared first. The weighted
+    /// sums run in the same order as the allocating pass, so the results
+    /// are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` length differs from the input layer size.
+    pub fn forward_traced_into(
+        &self,
+        input: &[f64],
+        output: &mut Vec<f64>,
+        trace: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) {
+        assert_eq!(input.len(), self.sizes[0], "input size mismatch");
+        trace.clear();
+        output.clear();
+        output.extend_from_slice(input);
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
-            let mut next = Vec::with_capacity(layer.biases.len());
+            scratch.clear();
             for (row, b) in layer.weights.iter().zip(layer.biases.iter()) {
-                let z: f64 = row.iter().zip(x.iter()).map(|(w, xi)| w * xi).sum::<f64>() + b;
+                let z: f64 = row
+                    .iter()
+                    .zip(output.iter())
+                    .map(|(w, xi)| w * xi)
+                    .sum::<f64>()
+                    + b;
                 let y = if li == last {
                     sigmoid(z)
                 } else {
                     self.hidden_activation.apply(z)
                 };
-                next.push(y);
+                scratch.push(y);
             }
             if li != last {
-                trace.extend_from_slice(&next);
+                trace.extend_from_slice(scratch);
             }
-            x = next;
+            std::mem::swap(output, scratch);
         }
-        (x, trace)
     }
 
     /// One SGD step on squared error toward `target`. Returns the loss

@@ -32,6 +32,12 @@ pub struct UncertaintyMonitor {
     analyzer: TransferAnalyzer,
     window: VecDeque<f64>,
     window_len: usize,
+    /// Forward-pass working buffers (output, trace, ping-pong), reused
+    /// across ticks so steady-state assessments allocate nothing. Pure
+    /// accelerator state.
+    fwd_out: Vec<f64>,
+    fwd_trace: Vec<f64>,
+    fwd_scratch: Vec<f64>,
 }
 
 impl UncertaintyMonitor {
@@ -46,13 +52,24 @@ impl UncertaintyMonitor {
             analyzer,
             window: VecDeque::new(),
             window_len,
+            fwd_out: Vec::new(),
+            fwd_trace: Vec::new(),
+            fwd_scratch: Vec::new(),
         }
     }
 
     /// Scores one input and folds it into the window; returns the smoothed
-    /// uncertainty in `[0, 1]`.
+    /// uncertainty in `[0, 1]`. Reuses the monitor's forward-pass buffers:
+    /// with a warm monitor this performs zero heap allocations and is
+    /// bit-identical to scoring via [`UncertaintyMonitor::raw_uncertainty`].
     pub fn assess(&mut self, model: &Mlp, input: &[f64]) -> f64 {
-        let raw = self.raw_uncertainty(model, input);
+        model.forward_traced_into(
+            input,
+            &mut self.fwd_out,
+            &mut self.fwd_trace,
+            &mut self.fwd_scratch,
+        );
+        let raw = Self::score_trace(&self.analyzer, &self.fwd_trace);
         if self.window.len() == self.window_len {
             self.window.pop_front();
         }
@@ -65,8 +82,12 @@ impl UncertaintyMonitor {
     /// with a soft margin of 10 % of the interval width.
     pub fn raw_uncertainty(&self, model: &Mlp, input: &[f64]) -> f64 {
         let (_, trace) = model.forward_traced(input);
-        let tk = self.analyzer.tk_neurons();
-        let intervals = self.analyzer.reference_intervals();
+        Self::score_trace(&self.analyzer, &trace)
+    }
+
+    fn score_trace(analyzer: &TransferAnalyzer, trace: &[f64]) -> f64 {
+        let tk = analyzer.tk_neurons();
+        let intervals = analyzer.reference_intervals();
         let mut outside = 0.0;
         for (id, (lo, hi)) in tk.iter().zip(intervals.iter()) {
             let a = trace[id.0];

@@ -250,38 +250,90 @@ impl MetricsRegistry {
         self.add(name, 1);
     }
 
-    /// Adds `delta` to a counter, creating it at zero if absent.
+    /// Adds `delta` to a counter, creating it at zero if absent. The
+    /// name key is only allocated on first touch; steady-state updates
+    /// hit the existing entry and allocate nothing.
     pub fn add(&mut self, name: &str, delta: u64) {
-        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot += delta;
+        } else {
+            self.counters.insert(name.to_string(), delta);
+        }
     }
 
-    /// Overwrites a counter with an externally tracked total.
+    /// Overwrites a counter with an externally tracked total. Like
+    /// [`Self::add`], allocation-free once the counter exists.
     pub fn set_counter(&mut self, name: &str, value: u64) {
-        self.counters.insert(name.to_string(), value);
+        if let Some(slot) = self.counters.get_mut(name) {
+            *slot = value;
+        } else {
+            self.counters.insert(name.to_string(), value);
+        }
     }
 
     /// Mirrors a cache's cumulative hit/miss counters as `{prefix}.hit`
     /// and `{prefix}.miss` — the convention the EDDI fast path uses
     /// (`eddi.cache.hit` / `eddi.cache.miss`). Values are absolute
     /// (set, not added), so callers can re-publish aggregated cache
-    /// statistics every tick without double counting.
+    /// statistics every tick without double counting. The two key
+    /// strings are built only the first time a prefix is published;
+    /// afterwards the existing entries are found by an allocation-free
+    /// range walk, keeping per-tick republication off the heap.
     pub fn set_cache_counters(&mut self, prefix: &str, hits: u64, misses: u64) {
-        self.counters.insert(format!("{prefix}.hit"), hits);
-        self.counters.insert(format!("{prefix}.miss"), misses);
+        use std::ops::Bound;
+        let mut hit_done = false;
+        let mut miss_done = false;
+        for (name, slot) in self
+            .counters
+            .range_mut::<str, _>((Bound::Included(prefix), Bound::Unbounded))
+        {
+            let Some(rest) = name.strip_prefix(prefix) else {
+                break;
+            };
+            match rest {
+                ".hit" => {
+                    *slot = hits;
+                    hit_done = true;
+                }
+                ".miss" => {
+                    *slot = misses;
+                    miss_done = true;
+                }
+                _ => {}
+            }
+            if hit_done && miss_done {
+                break;
+            }
+        }
+        if !hit_done {
+            self.counters.insert(format!("{prefix}.hit"), hits);
+        }
+        if !miss_done {
+            self.counters.insert(format!("{prefix}.miss"), misses);
+        }
     }
 
-    /// Sets a gauge to the latest value.
+    /// Sets a gauge to the latest value. Allocation-free once the gauge
+    /// exists.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_string(), value);
+        if let Some(slot) = self.gauges.get_mut(name) {
+            *slot = value;
+        } else {
+            self.gauges.insert(name.to_string(), value);
+        }
     }
 
     /// Records an observation into the named histogram, creating it
-    /// with [`DEFAULT_BUCKETS`] if absent.
+    /// with [`DEFAULT_BUCKETS`] if absent. Once the histogram exists,
+    /// observations allocate nothing.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms
-            .entry(name.to_string())
-            .or_default()
-            .observe(value);
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(value);
+            self.histograms.insert(name.to_string(), h);
+        }
     }
 
     /// Pre-registers a histogram with custom bucket edges; later

@@ -108,6 +108,15 @@ impl BatteryModel {
     }
 
     fn build_chain(p: &BatteryParams, temp_c: f64, soc: f64) -> Ctmc {
+        let mut chain = Ctmc::new(4);
+        Self::write_rates(p, temp_c, soc, &mut chain);
+        chain
+    }
+
+    /// Writes the temperature/SoC-dependent rates into `chain` in place —
+    /// bit-identical to a fresh [`BatteryModel::build_chain`] but without
+    /// allocating, so the per-telemetry refresh stays off the heap.
+    fn write_rates(p: &BatteryParams, temp_c: f64, soc: f64, chain: &mut Ctmc) {
         let af = arrhenius_factor(temp_c, p.ref_temp_c, p.activation_energy_ev);
         // Depth-of-discharge stress: 1 at full charge, ramping up sharply
         // below `low_soc`.
@@ -117,13 +126,12 @@ impl BatteryModel {
             2.0 + 20.0 * (p.low_soc - soc) / p.low_soc
         };
         let l = p.lambda_base * af * soc_stress;
-        let mut chain = Ctmc::new(4);
+        chain.clear_rates();
         chain.set_rate(state::HEALTHY, state::STRESSED, l);
         chain.set_rate(state::STRESSED, state::CRITICAL, l * p.escalate_factor);
         chain.set_rate(state::CRITICAL, state::FAILED, l * p.fail_factor);
         // Mild self-recovery while not failed (cooling down, load shed).
         chain.set_rate(state::STRESSED, state::HEALTHY, p.lambda_base);
-        chain
     }
 
     /// Feeds the latest telemetry. A *sharp* state-of-charge drop (more
@@ -150,7 +158,7 @@ impl BatteryModel {
         }
         self.temp_c = temp_c;
         self.soc = soc;
-        *self.process.chain_mut() = Self::build_chain(&self.params, temp_c, soc);
+        Self::write_rates(&self.params, temp_c, soc, self.process.chain_mut());
     }
 
     /// Advances the degradation chain by `dt_secs`.
@@ -188,6 +196,13 @@ impl BatteryModel {
     /// (see [`crate::markov::CtmcProcess::advance_primed`]).
     pub fn advance_primed(&mut self, dt_secs: f64, primed: Option<&[f64]>) {
         self.process.advance_primed(dt_secs, primed);
+    }
+
+    /// Read-only access to the underlying Markov process, for fleet-level
+    /// batched solve scheduling (see
+    /// [`crate::markov::CtmcProcess::solve_dists_batch`]).
+    pub fn process(&self) -> &CtmcProcess {
+        &self.process
     }
 
     /// Probability the battery has failed chemically by now.

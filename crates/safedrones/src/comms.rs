@@ -62,13 +62,18 @@ impl CommsModel {
         m
     }
 
+    /// Rewrites the link-quality-dependent rates into the existing chain
+    /// in place (no allocation; see DESIGN.md, "Hot-loop memory
+    /// discipline").
     fn rebuild(&mut self) {
         let q = self.link_quality.clamp(0.01, 1.0);
+        let lambda = self.lambda_drop / (q * q);
+        let mu = self.mu_recover * q;
         // Weak link: drop rate grows as 1/q², recovery shrinks with q.
-        let mut chain = Ctmc::new(2);
-        chain.set_rate(state::UP, state::DOWN, self.lambda_drop / (q * q));
-        chain.set_rate(state::DOWN, state::UP, self.mu_recover * q);
-        *self.process.chain_mut() = chain;
+        let chain = self.process.chain_mut();
+        chain.clear_rates();
+        chain.set_rate(state::UP, state::DOWN, lambda);
+        chain.set_rate(state::DOWN, state::UP, mu);
     }
 
     /// Feeds the latest link quality in `[0, 1]`.
@@ -109,6 +114,12 @@ impl CommsModel {
     /// (see [`CtmcProcess::advance_primed`]).
     pub fn advance_primed(&mut self, dt_secs: f64, primed: Option<&[f64]>) {
         self.process.advance_primed(dt_secs, primed);
+    }
+
+    /// Read-only access to the underlying Markov process, for fleet-level
+    /// batched solve scheduling (see [`CtmcProcess::solve_dists_batch`]).
+    pub fn process(&self) -> &CtmcProcess {
+        &self.process
     }
 
     /// Probability the link is down right now.

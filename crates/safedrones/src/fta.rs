@@ -11,6 +11,7 @@
 //! Evaluation assumes statistically independent leaves (the standard FTA
 //! assumption, stated in DESIGN.md).
 
+use sesame_types::InlineVec;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -223,30 +224,66 @@ impl FaultTree {
     /// Returns [`FtaError::MissingProbability`] if a leaf has no entry and
     /// [`FtaError::InvalidProbability`] if an entry is outside `[0, 1]`.
     pub fn evaluate(&self, probs: &HashMap<BasicEventId, f64>) -> Result<f64, FtaError> {
-        Self::eval_node(&self.top, probs)
+        self.evaluate_with(&mut |id| probs.get(id).copied())
     }
 
-    fn eval_node(node: &Node, probs: &HashMap<BasicEventId, f64>) -> Result<f64, FtaError> {
+    /// [`FaultTree::evaluate`] with leaf probabilities supplied by a
+    /// callback instead of a map. This is the tick-loop entry point: with
+    /// a non-allocating lookup (e.g. a match over known leaf names) the
+    /// whole evaluation performs zero heap allocations for AND/OR trees
+    /// and for voter gates up to 8 children. Bit-identical to
+    /// [`FaultTree::evaluate`]: gates fold their children in the same
+    /// order the map-based path multiplied them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtaError::MissingProbability`] if `lookup` returns `None`
+    /// for a leaf and [`FtaError::InvalidProbability`] if a returned
+    /// probability is outside `[0, 1]`.
+    pub fn evaluate_with(
+        &self,
+        lookup: &mut dyn FnMut(&BasicEventId) -> Option<f64>,
+    ) -> Result<f64, FtaError> {
+        Self::eval_node_with(&self.top, lookup)
+    }
+
+    fn eval_node_with(
+        node: &Node,
+        lookup: &mut dyn FnMut(&BasicEventId) -> Option<f64>,
+    ) -> Result<f64, FtaError> {
         match node {
             Node::Basic(id) => {
-                let p = *probs
-                    .get(id)
-                    .ok_or_else(|| FtaError::MissingProbability(id.clone()))?;
+                let p = lookup(id).ok_or_else(|| FtaError::MissingProbability(id.clone()))?;
                 if !(0.0..=1.0).contains(&p) || !p.is_finite() {
                     return Err(FtaError::InvalidProbability(id.clone(), p));
                 }
                 Ok(p)
             }
-            Node::Gate { kind, children } => {
-                let ps: Result<Vec<f64>, FtaError> =
-                    children.iter().map(|c| Self::eval_node(c, probs)).collect();
-                let ps = ps?;
-                Ok(match kind {
-                    Gate::And => ps.iter().product(),
-                    Gate::Or => 1.0 - ps.iter().map(|p| 1.0 - p).product::<f64>(),
-                    Gate::AtLeast(k) => at_least_k(&ps, *k),
-                })
-            }
+            Node::Gate { kind, children } => match kind {
+                // `iter().product()` folds from 1.0 in child order; these
+                // running folds are the same operation sequence.
+                Gate::And => {
+                    let mut p = 1.0;
+                    for c in children {
+                        p *= Self::eval_node_with(c, lookup)?;
+                    }
+                    Ok(p)
+                }
+                Gate::Or => {
+                    let mut q = 1.0;
+                    for c in children {
+                        q *= 1.0 - Self::eval_node_with(c, lookup)?;
+                    }
+                    Ok(1.0 - q)
+                }
+                Gate::AtLeast(k) => {
+                    let mut ps: InlineVec<f64, 8> = InlineVec::new();
+                    for c in children {
+                        ps.push(Self::eval_node_with(c, lookup)?);
+                    }
+                    Ok(at_least_k(&ps, *k))
+                }
+            },
         }
     }
 }
@@ -255,7 +292,10 @@ impl FaultTree {
 /// probabilities `ps` occur, by the standard Poisson-binomial DP.
 fn at_least_k(ps: &[f64], k: usize) -> f64 {
     // dp[j] = P(exactly j occurred) over the prefix processed so far.
-    let mut dp = vec![0.0; ps.len() + 1];
+    let mut dp: InlineVec<f64, 9> = InlineVec::new();
+    for _ in 0..=ps.len() {
+        dp.push(0.0);
+    }
     dp[0] = 1.0;
     for (i, &p) in ps.iter().enumerate() {
         for j in (0..=i + 1).rev() {
@@ -365,6 +405,58 @@ mod tests {
         };
         let expect = 1.0 - (1.0 - 0.05) * (1.0 - 0.06) * (1.0 - p_vote);
         assert!((t.evaluate(&p).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_with_is_bit_identical_to_map_evaluation() {
+        let t = FaultTree::new(Node::or(vec![
+            Node::basic("battery"),
+            Node::and(vec![Node::basic("link_a"), Node::basic("link_b")]),
+            Node::at_least(
+                2,
+                vec![
+                    Node::basic("m1"),
+                    Node::basic("m2"),
+                    Node::basic("m3"),
+                    Node::basic("m4"),
+                ],
+            ),
+        ]))
+        .unwrap();
+        let p = probs(&[
+            ("battery", 0.017),
+            ("link_a", 0.21),
+            ("link_b", 0.33),
+            ("m1", 0.09),
+            ("m2", 0.11),
+            ("m3", 0.05),
+            ("m4", 0.2),
+        ]);
+        let via_map = t.evaluate(&p).unwrap();
+        let via_lookup = t.evaluate_with(&mut |id| p.get(id).copied()).unwrap();
+        assert_eq!(via_map.to_bits(), via_lookup.to_bits());
+    }
+
+    #[test]
+    fn evaluate_with_reports_missing_and_invalid_leaves() {
+        let t = FaultTree::new(Node::or(vec![Node::basic("a"), Node::basic("b")])).unwrap();
+        let err = t
+            .evaluate_with(&mut |id| (id.as_str() == "a").then_some(0.5))
+            .unwrap_err();
+        assert_eq!(err, FtaError::MissingProbability(BasicEventId::new("b")));
+        let err = t.evaluate_with(&mut |_| Some(f64::NAN)).unwrap_err();
+        assert!(matches!(err, FtaError::InvalidProbability(_, _)));
+    }
+
+    #[test]
+    fn voter_gate_beyond_inline_capacity_still_evaluates() {
+        // 12 children spill the InlineVec buffers; results must not change.
+        let leaves: Vec<Node> = (0..12).map(|i| Node::basic(format!("e{i}"))).collect();
+        let t = FaultTree::new(Node::at_least(3, leaves)).unwrap();
+        let got = t.evaluate_with(&mut |_| Some(0.5)).unwrap();
+        // P(X >= 3), X ~ Binomial(12, 0.5) = 1 - (C(12,0)+C(12,1)+C(12,2))/4096.
+        let expect = 1.0 - (1.0 + 12.0 + 66.0) / 4096.0;
+        assert!((got - expect).abs() < 1e-12, "got {got} want {expect}");
     }
 
     #[test]

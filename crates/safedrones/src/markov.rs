@@ -14,6 +14,38 @@
 //! truncated when the accumulated Poisson mass exceeds `1 − tol`. Rates may
 //! change between ticks (temperature jumps, motor failures); the monitor
 //! simply advances the distribution piecewise with the current generator.
+//!
+//! # Step-count bound
+//!
+//! The truncation point grows with `Λt`; extreme rate inputs (surfaced by
+//! the scenario-DSL fuzz corpus) can push `Λt` past 10¹⁴, which would turn
+//! one solve into an effective hang. The iteration count is therefore
+//! clamped to [`MAX_UNIFORMIZATION_STEPS`]. When the Poisson window lies
+//! entirely beyond the clamp the solver returns the DTMC power iterate at
+//! the clamp, `p(0)·Pᵏ` with `k = MAX_UNIFORMIZATION_STEPS` — for the
+//! absorbing-failure chains SafeDrones uses, the iterate has converged to
+//! the long-run distribution well before that many steps, so the answer
+//! is the correct `t → ∞` limit rather than a truncation artifact.
+//!
+//! # Memory discipline
+//!
+//! All solver entry points funnel into one in-place kernel that works on
+//! caller-provided [`UniformizationScratch`] buffers; with a warm scratch
+//! (and a warm solver cache) a steady-state solve performs zero heap
+//! allocations. The batched entry points ([`CtmcProcess::solve_dists_batch`])
+//! advance every distribution that shares a solve profile in a single
+//! state-major SoA pass: the Poisson weights and the truncation point
+//! depend only on `Λt`, so they are computed once for the whole batch,
+//! and the per-distribution accumulation order is exactly the scalar
+//! order — batched results are bit-identical to one-at-a-time solves.
+
+use sesame_types::inline::InlineVec;
+
+/// Inline capacity of a [`SolveKey`]: rate-matrix words (`n²`, `n ≤ 6`
+/// for every SafeDrones chain) plus distribution words plus the step —
+/// built fresh every tick by [`CtmcProcess::solve_key`], so it must not
+/// touch the heap (see DESIGN.md § "Hot-loop memory discipline").
+const SOLVE_KEY_INLINE: usize = 48;
 
 /// A continuous-time Markov chain over states `0..n`.
 ///
@@ -74,6 +106,18 @@ impl Ctmc {
         self.rates[from * self.n + to] = rate;
     }
 
+    /// Resets every transition rate to zero without reallocating.
+    ///
+    /// Per-tick model refreshes (battery temperature/SoC, comms link
+    /// quality) rebuild their rate matrix from scratch; clearing the
+    /// existing buffer and re-issuing [`Ctmc::set_rate`] calls produces a
+    /// chain bit-identical to a fresh [`Ctmc::new`] + `set_rate` sequence
+    /// while keeping the steady-state tick allocation-free (see
+    /// DESIGN.md, "Hot-loop memory discipline").
+    pub fn clear_rates(&mut self) {
+        self.rates.fill(0.0);
+    }
+
     /// The transition rate `from → to`.
     pub fn rate(&self, from: usize, to: usize) -> f64 {
         if from == to {
@@ -107,155 +151,190 @@ impl Ctmc {
 
     /// [`Ctmc::transient`] with an explicit truncation tolerance.
     pub fn transient_with_tol(&self, p0: &[f64], t: f64, tol: f64) -> Vec<f64> {
-        assert_eq!(p0.len(), self.n, "initial distribution size mismatch");
+        // The profile is the exact same exit-rate sums and Λ the naive
+        // solver used to recompute inline, so the result is bit-identical.
+        let profile = SolveProfile::build(self);
+        let mut out = Vec::new();
+        let mut scratch = UniformizationScratch::default();
+        self.uniformize_into(p0, 1, t, tol, &profile, &mut out, &mut scratch);
+        out
+    }
+
+    /// [`Ctmc::transient_with_tol`] with the rate-matrix-dependent
+    /// quantities supplied from a memoized [`SolveProfile`]. Bit-identical
+    /// to the naive solver (same sums, same operation order).
+    fn transient_cached(&self, p0: &[f64], t: f64, tol: f64, profile: &SolveProfile) -> Vec<f64> {
+        let mut out = Vec::new();
+        let mut scratch = UniformizationScratch::default();
+        self.uniformize_into(p0, 1, t, tol, profile, &mut out, &mut scratch);
+        out
+    }
+
+    /// The shared in-place uniformization kernel: advances `m` stacked
+    /// distributions (`p0s[d*n..][..n]` is distribution `d`) by `t`
+    /// seconds in one state-major SoA pass, writing the results to `out`
+    /// in the same dist-major layout. All work happens in `scratch`; with
+    /// warm buffers the kernel performs zero heap allocations.
+    ///
+    /// Bit-identity: the Poisson weights and the truncation point depend
+    /// only on `Λt`, so they are shared by the whole batch, and each
+    /// distribution's accumulation sequence (diagonal term first, then
+    /// off-diagonal targets in ascending order, sources in ascending
+    /// order, weighted sum in state order) is exactly the scalar solver's
+    /// order — a batch of `m` is bit-identical to `m` scalar solves.
+    #[allow(clippy::too_many_arguments)]
+    fn uniformize_into(
+        &self,
+        p0s: &[f64],
+        m: usize,
+        t: f64,
+        tol: f64,
+        profile: &SolveProfile,
+        out: &mut Vec<f64>,
+        scratch: &mut UniformizationScratch,
+    ) {
+        let n = self.n;
+        assert_eq!(p0s.len(), n * m, "initial distribution size mismatch");
         assert!(t.is_finite() && t >= 0.0, "time must be ≥ 0");
-        let sum: f64 = p0.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6 && p0.iter().all(|p| *p >= -1e-12),
-            "p0 must be a probability vector (sums to {sum})"
-        );
-        if t == 0.0 {
-            return p0.to_vec();
+        for d in 0..m {
+            let p0 = &p0s[d * n..(d + 1) * n];
+            let sum: f64 = p0.iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 1e-6 && p0.iter().all(|p| *p >= -1e-12),
+                "p0 must be a probability vector (sums to {sum})"
+            );
         }
-        let lambda = (0..self.n)
-            .map(|i| self.exit_rate(i))
-            .fold(0.0_f64, f64::max);
-        if lambda == 0.0 {
-            return p0.to_vec(); // no transitions anywhere
+        if t == 0.0 || profile.lambda_raw == 0.0 {
+            // Nothing moves (zero step, or no transitions anywhere).
+            out.clear();
+            out.extend_from_slice(p0s);
+            return;
         }
         // Slight inflation improves numerical behaviour.
-        let lambda = lambda * 1.02;
-        let lt = lambda * t;
-
-        // DTMC P = I + Q/Λ applied iteratively: v_{k+1} = v_k P.
-        let step = |v: &[f64]| -> Vec<f64> {
-            let mut out = vec![0.0; self.n];
-            for i in 0..self.n {
-                let vi = v[i];
-                if vi == 0.0 {
-                    continue;
-                }
-                let exit = self.exit_rate(i);
-                out[i] += vi * (1.0 - exit / lambda);
-                for (j, slot) in out.iter_mut().enumerate() {
-                    if i != j {
-                        let r = self.rate(i, j);
-                        if r > 0.0 {
-                            *slot += vi * r / lambda;
-                        }
-                    }
-                }
-            }
-            out
-        };
-
-        // Poisson weights e^{-lt} lt^k / k!, computed iteratively in log
-        // space via scaling to avoid under/overflow for large lt.
-        let mut result = vec![0.0; self.n];
-        let mut v = p0.to_vec();
-        let mut log_w = -lt; // log weight of k = 0
-        let mut acc = 0.0;
-        let k_max = ((lt + 8.0 * lt.sqrt() + 20.0).ceil()) as usize;
-        for k in 0..=k_max {
-            if k > 0 {
-                log_w += (lt).ln() - (k as f64).ln();
-                v = step(&v);
-            }
-            let w = log_w.exp();
-            if w > 0.0 {
-                for i in 0..self.n {
-                    result[i] += w * v[i];
-                }
-                acc += w;
-            }
-            if 1.0 - acc < tol {
-                break;
-            }
-        }
-        // Renormalize the tiny truncation remainder.
-        let s: f64 = result.iter().sum();
-        if s > 0.0 {
-            for r in result.iter_mut() {
-                *r /= s;
-            }
-        }
-        result
-    }
-}
-
-/// [`Ctmc::transient_with_tol`] with the rate-matrix-dependent quantities
-/// (per-state exit rates and the uniformization rate) supplied from a
-/// memoized [`SolveProfile`]. Produces bit-identical results to the naive
-/// solver: the cached values are the exact same sums the naive path
-/// recomputes, and every downstream operation runs in the same order.
-impl Ctmc {
-    fn transient_cached(&self, p0: &[f64], t: f64, tol: f64, profile: &SolveProfile) -> Vec<f64> {
-        assert_eq!(p0.len(), self.n, "initial distribution size mismatch");
-        assert!(t.is_finite() && t >= 0.0, "time must be ≥ 0");
-        let sum: f64 = p0.iter().sum();
-        assert!(
-            (sum - 1.0).abs() < 1e-6 && p0.iter().all(|p| *p >= -1e-12),
-            "p0 must be a probability vector (sums to {sum})"
-        );
-        if t == 0.0 {
-            return p0.to_vec();
-        }
-        if profile.lambda_raw == 0.0 {
-            return p0.to_vec(); // no transitions anywhere
-        }
         let lambda = profile.lambda_raw * 1.02;
         let lt = lambda * t;
 
-        let step = |v: &[f64]| -> Vec<f64> {
-            let mut out = vec![0.0; self.n];
-            for i in 0..self.n {
-                let vi = v[i];
-                if vi == 0.0 {
-                    continue;
-                }
-                let exit = profile.exits[i];
-                out[i] += vi * (1.0 - exit / lambda);
-                for (j, slot) in out.iter_mut().enumerate() {
-                    if i != j {
-                        let r = self.rate(i, j);
-                        if r > 0.0 {
-                            *slot += vi * r / lambda;
-                        }
-                    }
-                }
+        // State-major working set: v[i*m + d] is state i of distribution
+        // d, so the innermost per-distribution loops run over contiguous
+        // memory and vectorize.
+        let v = &mut scratch.v;
+        v.clear();
+        v.resize(n * m, 0.0);
+        for d in 0..m {
+            for i in 0..n {
+                v[i * m + d] = p0s[d * n + i];
             }
-            out
-        };
+        }
+        scratch.next.clear();
+        scratch.next.resize(n * m, 0.0);
+        scratch.acc.clear();
+        scratch.acc.resize(n * m, 0.0);
 
-        let mut result = vec![0.0; self.n];
-        let mut v = p0.to_vec();
-        let mut log_w = -lt;
-        let mut acc = 0.0;
-        let k_max = ((lt + 8.0 * lt.sqrt() + 20.0).ceil()) as usize;
+        // Poisson weights e^{-lt} lt^k / k!, computed iteratively in log
+        // space via scaling to avoid under/overflow for large lt. The
+        // truncation point is clamped (see the module docs): beyond the
+        // clamp the weighted sum may capture no mass at all, in which
+        // case the power iterate at the clamp is the answer.
+        let mut log_w = -lt; // log weight of k = 0
+        let mut mass = 0.0;
+        let k_max = (((lt + 8.0 * lt.sqrt() + 20.0).ceil()) as usize).min(MAX_UNIFORMIZATION_STEPS);
         for k in 0..=k_max {
             if k > 0 {
                 log_w += (lt).ln() - (k as f64).ln();
-                v = step(&v);
+                // One DTMC step, next = v·P with P = I + Q/Λ, preserving
+                // the scalar accumulation order per distribution.
+                for x in scratch.next.iter_mut() {
+                    *x = 0.0;
+                }
+                for i in 0..n {
+                    let exit = profile.exits[i];
+                    let diag = 1.0 - exit / lambda;
+                    let row = i * m;
+                    for d in 0..m {
+                        let vi = scratch.v[row + d];
+                        if vi != 0.0 {
+                            scratch.next[row + d] += vi * diag;
+                        }
+                    }
+                    for j in 0..n {
+                        if i == j {
+                            continue;
+                        }
+                        let r = self.rates[i * n + j];
+                        if r > 0.0 {
+                            let dst = j * m;
+                            for d in 0..m {
+                                let vi = scratch.v[row + d];
+                                if vi != 0.0 {
+                                    scratch.next[dst + d] += vi * r / lambda;
+                                }
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(&mut scratch.v, &mut scratch.next);
             }
             let w = log_w.exp();
             if w > 0.0 {
-                for i in 0..self.n {
-                    result[i] += w * v[i];
+                for (a, vi) in scratch.acc.iter_mut().zip(scratch.v.iter()) {
+                    *a += w * vi;
                 }
-                acc += w;
+                mass += w;
             }
-            if 1.0 - acc < tol {
+            if 1.0 - mass < tol {
                 break;
             }
         }
-        let s: f64 = result.iter().sum();
-        if s > 0.0 {
-            for r in result.iter_mut() {
-                *r /= s;
+        out.clear();
+        out.resize(n * m, 0.0);
+        for d in 0..m {
+            // Renormalize the tiny truncation remainder, per distribution.
+            let mut s = 0.0;
+            for i in 0..n {
+                s += scratch.acc[i * m + d];
+            }
+            if s > 0.0 {
+                for i in 0..n {
+                    out[d * n + i] = scratch.acc[i * m + d] / s;
+                }
+            } else {
+                // The whole Poisson window sat beyond the step clamp: the
+                // weighted sum captured no mass. Return the power iterate
+                // at the clamp — the t → ∞ limit for chains that have
+                // converged by then (see the module docs).
+                for i in 0..n {
+                    out[d * n + i] = scratch.v[i * m + d];
+                }
             }
         }
-        result
     }
+}
+
+/// Upper bound on uniformization steps per solve. `Λt` beyond ~10⁵ would
+/// otherwise iterate once per expected Poisson event — extreme (but
+/// finite) rate inputs from the scenario-DSL fuzz corpus produced `Λt`
+/// past 10¹⁴, an effective hang. See the module docs for the semantics of
+/// a clamped solve.
+pub const MAX_UNIFORMIZATION_STEPS: usize = 100_000;
+
+/// Reusable working buffers for the in-place uniformization kernel. Keep
+/// one per solver call site and reuse it across ticks: after the first
+/// (warm-up) solve the buffers hold their high-water capacity and
+/// steady-state solves allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct UniformizationScratch {
+    v: Vec<f64>,
+    next: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+/// Working buffers for [`CtmcProcess::solve_dists_batch`]: the stacked
+/// input distributions plus the kernel scratch. Reuse across ticks for
+/// allocation-free batched solves.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSolveScratch {
+    stacked: Vec<f64>,
+    uniform: UniformizationScratch,
 }
 
 /// A value-identity key for one transient solve: the exact bit patterns
@@ -265,10 +344,31 @@ impl Ctmc {
 /// (see [`CtmcProcess::advance_primed`]). The key is pure data — hashable,
 /// comparable, and decoupled from the process it was derived from.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SolveKey(Vec<u64>);
+pub struct SolveKey(InlineVec<u64, SOLVE_KEY_INLINE>);
 
 impl SolveKey {
     /// Number of packed words (rates + distribution + dt).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// The batching identity of one transient solve: the exact bit patterns
+/// of the rate matrix and the time step — everything a [`SolveProfile`]
+/// and the shared Poisson weights depend on, but *not* the distribution.
+/// Processes sharing a profile key can be advanced together in one SoA
+/// pass ([`CtmcProcess::solve_dists_batch`]) with bit-identical results,
+/// even when their distributions differ.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProfileKey(Vec<u64>);
+
+impl ProfileKey {
+    /// Number of packed words (rates + dt).
     pub fn len(&self) -> usize {
         self.0.len()
     }
@@ -337,6 +437,12 @@ pub struct CtmcProcess {
     cache: Option<Box<SolveProfile>>,
     cache_enabled: bool,
     stats: SolverCacheStats,
+    /// In-place solver working set, reused across ticks so steady-state
+    /// advances allocate nothing. Pure accelerator state: excluded from
+    /// `PartialEq` along with the cache.
+    scratch: UniformizationScratch,
+    /// Solve output buffer, swapped with `dist` after each advance.
+    solve_out: Vec<f64>,
 }
 
 impl PartialEq for CtmcProcess {
@@ -363,6 +469,8 @@ impl CtmcProcess {
             cache: None,
             cache_enabled: false,
             stats: SolverCacheStats::default(),
+            scratch: UniformizationScratch::default(),
+            solve_out: Vec::new(),
         }
     }
 
@@ -411,20 +519,95 @@ impl CtmcProcess {
             self.stats.hits += 1;
         }
         let profile = self.cache.as_ref().expect("profile just ensured");
-        self.dist = self
-            .chain
-            .transient_cached(&self.dist, dt_secs, 1e-12, profile);
+        // Solve in place through the persistent scratch: with a warm
+        // cache and warm buffers this path performs zero heap
+        // allocations. Bit-identical to the allocating path (same kernel).
+        self.chain.uniformize_into(
+            &self.dist,
+            1,
+            dt_secs,
+            1e-12,
+            profile,
+            &mut self.solve_out,
+            &mut self.scratch,
+        );
+        std::mem::swap(&mut self.dist, &mut self.solve_out);
     }
 
     /// The solve identity of the *next* [`CtmcProcess::advance`] call with
     /// step `dt_secs`: rate-matrix bits, distribution bits, and the step's
     /// bits. Processes sharing a key compute bit-identical solves.
     pub fn solve_key(&self, dt_secs: f64) -> SolveKey {
-        let mut bits = Vec::with_capacity(self.chain.rates.len() + self.dist.len() + 1);
+        let mut bits: InlineVec<u64, SOLVE_KEY_INLINE> = InlineVec::new();
         bits.extend(self.chain.rates.iter().map(|r| r.to_bits()));
         bits.extend(self.dist.iter().map(|p| p.to_bits()));
         bits.push(dt_secs.to_bits());
         SolveKey(bits)
+    }
+
+    /// The batching identity of the *next* advance with step `dt_secs`:
+    /// rate-matrix bits plus the step's bits, *without* the distribution.
+    /// Processes sharing a profile key share the solve profile and the
+    /// Poisson weights, so they can be advanced together with
+    /// [`CtmcProcess::solve_dists_batch`].
+    pub fn profile_key(&self, dt_secs: f64) -> ProfileKey {
+        let mut bits = Vec::with_capacity(self.chain.rates.len() + 1);
+        bits.extend(self.chain.rates.iter().map(|r| r.to_bits()));
+        bits.push(dt_secs.to_bits());
+        ProfileKey(bits)
+    }
+
+    /// Solves `dists` — distributions over *this process's chain*, e.g.
+    /// the beliefs of other UAVs whose [`CtmcProcess::profile_key`] equals
+    /// this one's — for one shared step in a single SoA uniformization
+    /// pass. Results land in `out`, dist-major (`out[d*n..][..n]` is the
+    /// advanced `dists[d]`), and are bit-identical to calling
+    /// [`CtmcProcess::solve_dist`] once per distribution. Does not mutate
+    /// the process; with warm buffers the pass allocates nothing beyond a
+    /// cold profile rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any distribution has the wrong length or is not a
+    /// probability vector.
+    pub fn solve_dists_batch(
+        &self,
+        dists: &[&[f64]],
+        dt_secs: f64,
+        out: &mut Vec<f64>,
+        scratch: &mut BatchSolveScratch,
+    ) {
+        let n = self.chain.len();
+        scratch.stacked.clear();
+        for d in dists {
+            assert_eq!(d.len(), n, "batched distribution size mismatch");
+            scratch.stacked.extend_from_slice(d);
+        }
+        match &self.cache {
+            Some(profile) if self.cache_enabled && profile.matches(&self.chain) => {
+                self.chain.uniformize_into(
+                    &scratch.stacked,
+                    dists.len(),
+                    dt_secs,
+                    1e-12,
+                    profile,
+                    out,
+                    &mut scratch.uniform,
+                );
+            }
+            _ => {
+                let profile = SolveProfile::build(&self.chain);
+                self.chain.uniformize_into(
+                    &scratch.stacked,
+                    dists.len(),
+                    dt_secs,
+                    1e-12,
+                    &profile,
+                    out,
+                    &mut scratch.uniform,
+                );
+            }
+        }
     }
 
     /// Computes the distribution [`CtmcProcess::advance`] would assign for
@@ -473,7 +656,9 @@ impl CtmcProcess {
                 self.stats.hits += 1;
             }
         }
-        self.dist = dist.to_vec();
+        // Copy in place; adopting a primed distribution allocates nothing.
+        self.dist.clear();
+        self.dist.extend_from_slice(dist);
     }
 
     /// Probability mass currently in the given states (e.g. the absorbing
@@ -518,6 +703,120 @@ mod tests {
             );
             assert!((p[0] + p[1] - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn extreme_rates_hit_the_step_clamp_and_still_absorb() {
+        // Λt ≈ 1.02e15 here; unclamped uniformization would iterate once
+        // per expected Poisson event — an effective hang surfaced by the
+        // scenario-DSL fuzz corpus. The clamp must keep the solve prompt
+        // and return the converged (fully absorbed) distribution.
+        let c = two_state(1e12);
+        let p = c.transient(&[1.0, 0.0], 1000.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9, "stochastic");
+        assert!(p[1] > 1.0 - 1e-9, "mass must be absorbed in the limit");
+
+        // A clamped repairable chain lands on its steady state
+        // p_fail = λ/(λ+μ) instead of a truncation artifact.
+        let mut c = Ctmc::new(2);
+        c.set_rate(0, 1, 2e11);
+        c.set_rate(1, 0, 8e11);
+        let p = c.transient(&[1.0, 0.0], 1e6);
+        assert!((p[1] - 0.2).abs() < 1e-6, "steady state, got {}", p[1]);
+    }
+
+    #[test]
+    fn moderate_solves_stay_below_the_clamp() {
+        // The monitor's realistic Λt values truncate after tens of steps,
+        // far below the clamp, so clamping changes nothing there.
+        let lt_max = 10.0_f64; // rates ≤ ~0.1/s, dt ≤ ~100 s
+        let k = (lt_max + 8.0 * lt_max.sqrt() + 20.0).ceil() as usize;
+        assert!(k < MAX_UNIFORMIZATION_STEPS / 100);
+    }
+
+    #[test]
+    fn batched_solve_is_bit_identical_to_scalar_solves() {
+        let mut c = Ctmc::new(4);
+        c.set_rate(0, 1, 0.3);
+        c.set_rate(0, 2, 0.05);
+        c.set_rate(1, 0, 0.4);
+        c.set_rate(1, 3, 0.2);
+        c.set_rate(2, 3, 0.6);
+        let mut rep = CtmcProcess::new(c, 0);
+        rep.enable_solver_cache();
+        rep.advance(1.0); // warm the cache
+
+        // Distinct distributions sharing the chain and the step.
+        let dists: Vec<Vec<f64>> = vec![
+            vec![1.0, 0.0, 0.0, 0.0],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.0, 0.7, 0.3, 0.0],
+            rep.distribution().to_vec(),
+        ];
+        let refs: Vec<&[f64]> = dists.iter().map(|d| d.as_slice()).collect();
+        let mut out = Vec::new();
+        let mut scratch = BatchSolveScratch::default();
+        rep.solve_dists_batch(&refs, 2.5, &mut out, &mut scratch);
+
+        for (d, dist) in dists.iter().enumerate() {
+            let mut one = CtmcProcess::new(rep.chain().clone(), 0);
+            one.enable_solver_cache();
+            let scalar = {
+                // Adopt the batched input as the live belief, then solve.
+                one.observe_state(0);
+                one.advance_primed(0.0, Some(dist));
+                one.solve_dist(2.5)
+            };
+            let batched = &out[d * 4..(d + 1) * 4];
+            for i in 0..4 {
+                assert_eq!(
+                    scalar[i].to_bits(),
+                    batched[i].to_bits(),
+                    "dist {d} state {i}: batched must be bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_key_ignores_the_distribution() {
+        let mut a = CtmcProcess::new(two_state(0.1), 0);
+        let b = CtmcProcess::new(two_state(0.1), 1);
+        assert_ne!(a.solve_key(1.0), b.solve_key(1.0), "beliefs differ");
+        assert_eq!(a.profile_key(1.0), b.profile_key(1.0), "same chain + dt");
+        assert_ne!(a.profile_key(1.0), a.profile_key(2.0), "dt matters");
+        a.chain_mut().set_rate(0, 1, 0.2);
+        assert_ne!(a.profile_key(1.0), b.profile_key(1.0), "rates matter");
+    }
+
+    #[test]
+    fn steady_state_advance_allocates_nothing_after_warmup() {
+        // Indirect check: the scratch high-water marks stop growing after
+        // the first cached solve (the allocation-regression test in
+        // sesame-bench pins the stronger global-allocator property).
+        let mut p = CtmcProcess::new(two_state(0.05), 0);
+        p.enable_solver_cache();
+        p.advance(1.0);
+        let caps = (
+            p.scratch.v.capacity(),
+            p.scratch.next.capacity(),
+            p.scratch.acc.capacity(),
+            p.solve_out.capacity(),
+        );
+        for _ in 0..100 {
+            p.advance(1.0);
+        }
+        assert_eq!(
+            caps,
+            (
+                p.scratch.v.capacity(),
+                p.scratch.next.capacity(),
+                p.scratch.acc.capacity(),
+                p.solve_out.capacity(),
+            ),
+            "warm buffers must not regrow"
+        );
+        assert_eq!(p.solver_cache_stats().misses, 1);
     }
 
     #[test]

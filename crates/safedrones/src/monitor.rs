@@ -10,13 +10,12 @@
 use crate::battery::{BatteryModel, BatteryParams};
 use crate::comms::CommsModel;
 use crate::fta::{BasicEventId, FaultTree, Node};
-use crate::markov::{SolveKey, SolverCacheStats};
+use crate::markov::{CtmcProcess, ProfileKey, SolveKey, SolverCacheStats};
 use crate::processor::ProcessorModel;
 use crate::propulsion::{MotorLayout, PropulsionModel};
 use crate::ReliabilityLevel;
 use sesame_types::telemetry::UavTelemetry;
 use sesame_types::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Configuration of a [`SafeDronesMonitor`].
 #[derive(Debug, Clone)]
@@ -185,15 +184,19 @@ impl SafeDronesMonitor {
             .energy_exhaustion_risk(self.remaining_mission_secs);
         let pof_processor = self.processor.probability_of_failure();
         let pof_comms = self.comms.probability_of_failure();
-        let mut probs = HashMap::new();
-        probs.insert(BasicEventId::new("propulsion"), pof_propulsion);
-        probs.insert(BasicEventId::new("battery"), pof_battery);
-        probs.insert(BasicEventId::new("energy"), pof_energy);
-        probs.insert(BasicEventId::new("processor"), pof_processor);
-        probs.insert(BasicEventId::new("comms"), pof_comms);
+        // Leaf lookup by name match instead of a freshly built HashMap:
+        // bit-identical tree evaluation with zero heap allocations per
+        // tick (see DESIGN.md "Hot-loop memory discipline").
         let pof = self
             .tree
-            .evaluate(&probs)
+            .evaluate_with(&mut |id: &BasicEventId| match id.as_str() {
+                "propulsion" => Some(pof_propulsion),
+                "battery" => Some(pof_battery),
+                "energy" => Some(pof_energy),
+                "processor" => Some(pof_processor),
+                "comms" => Some(pof_comms),
+                _ => None,
+            })
             .expect("all leaves supplied with valid probabilities");
         let level = ReliabilityLevel::from_pof(pof, self.config.high_max, self.config.medium_max);
         let action = if pof >= self.config.pof_threshold {
@@ -274,6 +277,38 @@ impl SafeDronesMonitor {
             0 => self.propulsion.solve_dist(s),
             1 => self.battery.solve_dist(s),
             2 => self.comms.solve_dist(s),
+            _ => panic!("markov slot {slot} out of range"),
+        }
+    }
+
+    /// The batching identities of the next advance with step `dt` — one
+    /// [`ProfileKey`] per CTMC-backed subsystem, slot order as in
+    /// [`SafeDronesMonitor::solve_keys`]. Unlike solve keys, profile keys
+    /// ignore the live belief: monitors sharing a slot's profile key can
+    /// have that slot advanced together in one SoA pass via
+    /// [`CtmcProcess::solve_dists_batch`] on any member's
+    /// [`SafeDronesMonitor::markov_process`], with bit-identical results.
+    pub fn profile_keys(&self, dt: SimDuration) -> [ProfileKey; MARKOV_SLOTS] {
+        let s = dt.as_secs_f64();
+        [
+            self.propulsion.process().profile_key(s),
+            self.battery.process().profile_key(s),
+            self.comms.process().profile_key(s),
+        ]
+    }
+
+    /// Read-only access to the CTMC process behind the given Markov slot
+    /// (indexed as in [`SafeDronesMonitor::solve_keys`]): the live belief
+    /// for gathering batch inputs, and the batched solver entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= MARKOV_SLOTS`.
+    pub fn markov_process(&self, slot: usize) -> &CtmcProcess {
+        match slot {
+            0 => self.propulsion.process(),
+            1 => self.battery.process(),
+            2 => self.comms.process(),
             _ => panic!("markov slot {slot} out of range"),
         }
     }

@@ -159,6 +159,12 @@ impl PropulsionModel {
         self.process.advance_primed(dt_secs, primed);
     }
 
+    /// Read-only access to the underlying Markov process, for fleet-level
+    /// batched solve scheduling (see [`CtmcProcess::solve_dists_batch`]).
+    pub fn process(&self) -> &CtmcProcess {
+        &self.process
+    }
+
     /// Probability that controllability has been lost by now.
     pub fn probability_of_failure(&self) -> f64 {
         let fail_state = self.layout.tolerated_failures() + 1;

@@ -87,6 +87,11 @@ pub struct SafeMlMonitor {
     /// finite columns always yields the same arrays, so results are
     /// bit-identical with or without it.
     sorted_reference: Option<Vec<Vec<f64>>>,
+    /// Column-gather scratch for the fast path; reused every tick so a
+    /// steady-state assessment performs zero heap allocations.
+    col_scratch: Vec<f64>,
+    /// Sort scratch handed to the streaming KS kernel.
+    sort_scratch: Vec<f64>,
 }
 
 /// Errors from monitor construction and feeding.
@@ -162,6 +167,8 @@ impl SafeMlMonitor {
             window: VecDeque::new(),
             samples_seen: 0,
             sorted_reference: None,
+            col_scratch: Vec::new(),
+            sort_scratch: Vec::new(),
         })
     }
 
@@ -186,10 +193,16 @@ impl SafeMlMonitor {
         if features.iter().any(|v| !v.is_finite()) {
             return Err(SafeMlError::NonFinite);
         }
-        if self.window.len() == self.config.window {
-            self.window.pop_front();
-        }
-        self.window.push_back(features.to_vec());
+        // Recycle the evicted row's buffer: once the window is full the
+        // ring steady-states with zero heap allocations per sample.
+        let mut slot = if self.window.len() == self.config.window {
+            self.window.pop_front().expect("full window is non-empty")
+        } else {
+            Vec::with_capacity(features.len())
+        };
+        slot.clear();
+        slot.extend_from_slice(features);
+        self.window.push_back(slot);
         self.samples_seen += 1;
         Ok(())
     }
@@ -266,8 +279,17 @@ impl SafeMlMonitor {
         });
         let mut acc = 0.0;
         for (c, ref_col) in sorted.iter().enumerate() {
-            let col: Vec<f64> = self.window.iter().map(|row| row[c]).collect();
-            let d = crate::distance::kolmogorov_smirnov_presorted(ref_col, &col);
+            // Gather the window column into reusable scratch and run the
+            // streaming KS kernel: zero allocations per tick once warm,
+            // bit-identical to the collecting path.
+            self.col_scratch.clear();
+            self.col_scratch
+                .extend(self.window.iter().map(|row| row[c]));
+            let d = crate::distance::kolmogorov_smirnov_presorted_scratch(
+                ref_col,
+                &self.col_scratch,
+                &mut self.sort_scratch,
+            );
             acc += d; // squash() is the identity for KS
         }
         acc / self.reference.len() as f64

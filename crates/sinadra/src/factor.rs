@@ -4,8 +4,39 @@
 //! variables (identified by `usize` ids with known cardinalities). Variable
 //! elimination is just repeated [`Factor::product`] and
 //! [`Factor::marginalize`].
+//!
+//! Storage is inline ([`InlineVec`]): scopes up to four variables and
+//! value tables up to sixteen entries live on the stack, so the factor
+//! algebra — products, reductions, marginalizations — performs **zero
+//! heap allocations** for the SAR/separation risk networks (whose
+//! post-evidence scopes never exceed three binary variables). Wider
+//! factors spill to the heap transparently; results are identical either
+//! way, and the arithmetic (value order, operation order) is exactly the
+//! historical `Vec` implementation's, so posteriors are bit-identical
+//! (see DESIGN.md § "Hot-loop memory discipline").
 
+use sesame_types::inline::InlineVec;
 use std::collections::BTreeMap;
+
+/// Inline capacity for a factor's variable scope.
+const VARS_INLINE: usize = 4;
+/// Inline capacity for a factor's value table (2^`VARS_INLINE` for an
+/// all-binary scope).
+const VALUES_INLINE: usize = 16;
+
+type Vars = InlineVec<(usize, usize), VARS_INLINE>;
+type Values = InlineVec<f64, VALUES_INLINE>;
+type Strides = InlineVec<usize, VARS_INLINE>;
+
+/// Row-major strides (last variable fastest) for a sorted scope.
+fn strides_of(vars: &[(usize, usize)]) -> Strides {
+    let n = vars.len();
+    let mut s: Strides = std::iter::repeat_n(1usize, n).collect();
+    for i in (0..n.saturating_sub(1)).rev() {
+        s[i] = s[i + 1] * vars[i + 1].1;
+    }
+    s
+}
 
 /// A factor φ(X₁, …, Xₖ) over discrete variables.
 ///
@@ -29,9 +60,9 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Factor {
     /// Sorted (variable id, cardinality) pairs.
-    vars: Vec<(usize, usize)>,
+    vars: Vars,
     /// Row-major values, last variable fastest.
-    values: Vec<f64>,
+    values: Values,
 }
 
 /// Errors from factor construction.
@@ -102,8 +133,8 @@ impl Factor {
         let sorted: Vec<(usize, usize)> = seen.into_iter().collect();
         if sorted == vars {
             return Ok(Factor {
-                vars: sorted,
-                values,
+                vars: sorted.into_iter().collect(),
+                values: values.into_iter().collect(),
             });
         }
         let mut out = vec![0.0; values.len()];
@@ -131,16 +162,32 @@ impl Factor {
             out[out_idx] = val;
         }
         Ok(Factor {
-            vars: sorted,
-            values: out,
+            vars: sorted.into_iter().collect(),
+            values: out.into_iter().collect(),
         })
+    }
+
+    /// A single-variable factor carrying `weights` verbatim — the
+    /// allocation-free constructor the inference hot path uses for
+    /// virtual-evidence likelihoods. The caller guarantees
+    /// `weights.len() == card` and non-negative finite entries (both
+    /// query paths validate before constructing).
+    pub(crate) fn single(var: usize, card: usize, weights: &[f64]) -> Self {
+        debug_assert_eq!(weights.len(), card);
+        let mut vars = Vars::new();
+        vars.push((var, card));
+        let mut values = Values::new();
+        values.extend_from_slice(weights);
+        Factor { vars, values }
     }
 
     /// A factor of 1 over no variables (the product identity).
     pub fn identity() -> Self {
+        let mut values = Values::new();
+        values.push(1.0);
         Factor {
-            vars: Vec::new(),
-            values: vec![1.0],
+            vars: Vars::new(),
+            values,
         }
     }
 
@@ -159,19 +206,15 @@ impl Factor {
         self.vars.iter().any(|(v, _)| *v == var)
     }
 
-    fn strides(&self) -> Vec<usize> {
-        let n = self.vars.len();
-        let mut s = vec![1usize; n];
-        for i in (0..n.saturating_sub(1)).rev() {
-            s[i] = s[i + 1] * self.vars[i + 1].1;
-        }
-        s
+    fn strides(&self) -> Strides {
+        strides_of(&self.vars)
     }
 
     /// Pointwise product φ·ψ over the union of variables.
     pub fn product(&self, other: &Factor) -> Factor {
         // Union of vars (both sorted).
-        let mut union: Vec<(usize, usize)> = self.vars.clone();
+        let mut union: Vars = Vars::new();
+        union.extend_from_slice(&self.vars);
         for (v, c) in &other.vars {
             if !union.iter().any(|(uv, _)| uv == v) {
                 union.push((*v, *c));
@@ -179,16 +222,12 @@ impl Factor {
         }
         union.sort_unstable();
         let total: usize = union.iter().map(|(_, c)| c).product();
-        let u_strides = {
-            let n = union.len();
-            let mut s = vec![1usize; n];
-            for i in (0..n.saturating_sub(1)).rev() {
-                s[i] = s[i + 1] * union[i + 1].1;
-            }
-            s
-        };
-        let map_index = |f: &Factor, assignment: &[usize]| -> usize {
-            let fs = f.strides();
+        let u_strides = strides_of(&union);
+        // Strides hoisted out of the flat loop (the historical closure
+        // recomputed them per index; pure indexing, same products).
+        let self_strides = self.strides();
+        let other_strides = other.strides();
+        let map_index = |f: &Factor, fs: &Strides, assignment: &[usize]| -> usize {
             let mut idx = 0;
             for (i, (v, _)) in f.vars.iter().enumerate() {
                 let pos = union.iter().position(|(uv, _)| uv == v).expect("in union");
@@ -196,15 +235,16 @@ impl Factor {
             }
             idx
         };
-        let mut values = Vec::with_capacity(total);
-        let mut assignment = vec![0usize; union.len()];
+        let mut values = Values::new();
+        let mut assignment: InlineVec<usize, VARS_INLINE> =
+            std::iter::repeat_n(0usize, union.len()).collect();
         for flat in 0..total {
             for (i, st) in u_strides.iter().enumerate() {
                 assignment[i] = (flat / st) % union[i].1;
             }
             values.push(
-                self.values[map_index(self, &assignment)]
-                    * other.values[map_index(other, &assignment)],
+                self.values[map_index(self, &self_strides, &assignment)]
+                    * other.values[map_index(other, &other_strides, &assignment)],
             );
         }
         Factor {
@@ -222,14 +262,14 @@ impl Factor {
         let card = self.vars[pos].1;
         let strides = self.strides();
         let stride = strides[pos];
-        let new_vars: Vec<(usize, usize)> = self
+        let new_vars: Vars = self
             .vars
             .iter()
             .copied()
             .filter(|(v, _)| *v != var)
             .collect();
         let total: usize = new_vars.iter().map(|(_, c)| c).product::<usize>().max(1);
-        let mut values = vec![0.0; total];
+        let mut values: Values = std::iter::repeat_n(0.0, total).collect();
         // Walk the original table; project each index.
         let block = stride * card;
         for (idx, &val) in self.values.iter().enumerate() {
@@ -258,14 +298,13 @@ impl Factor {
         let strides = self.strides();
         let stride = strides[pos];
         let block = stride * card;
-        let new_vars: Vec<(usize, usize)> = self
+        let new_vars: Vars = self
             .vars
             .iter()
             .copied()
             .filter(|(v, _)| *v != var)
             .collect();
-        let total: usize = new_vars.iter().map(|(_, c)| c).product::<usize>().max(1);
-        let mut values = Vec::with_capacity(total);
+        let mut values = Values::new();
         for outer in 0..self.values.len() / block {
             let base = outer * block + state * stride;
             values.extend_from_slice(&self.values[base..base + stride]);

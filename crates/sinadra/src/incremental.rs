@@ -19,7 +19,7 @@
 //! memo mostly documents the steady-state; the reduced-base cache is the
 //! layer that earns its keep per tick.
 
-use crate::inference::{query_with_reduced, reduce_base_factors, Evidence};
+use crate::inference::{query_with_reduced_in, reduce_base_factors, Evidence, VeScratch};
 use crate::risk::{RiskAssessment, SarRiskModel, SituationInputs};
 use crate::Factor;
 use std::collections::HashMap;
@@ -68,6 +68,7 @@ pub struct CachedSarRiskModel {
     model: SarRiskModel,
     reduced: Option<ReducedBase>,
     memo: HashMap<(u64, u8), RiskAssessment>,
+    scratch: VeScratch,
     stats: BnCacheStats,
 }
 
@@ -77,7 +78,12 @@ impl CachedSarRiskModel {
         CachedSarRiskModel {
             model,
             reduced: None,
-            memo: HashMap::new(),
+            // Pre-sized to MEMO_CAP so steady-state inserts never rehash:
+            // the memo holds at most MEMO_CAP entries (it is cleared at the
+            // cap, which keeps the buckets), so with the capacity reserved
+            // up front the memo performs zero allocations after this point.
+            memo: HashMap::with_capacity(MEMO_CAP),
+            scratch: VeScratch::default(),
             stats: BnCacheStats::default(),
         }
     }
@@ -115,7 +121,7 @@ impl CachedSarRiskModel {
             .observe(id("presence"), usize::from(inputs.person_likely))
             .observe(id("pressure"), usize::from(inputs.time_pressure_high));
         if u > 0.0 {
-            ev = ev.likelihood(id("uncertainty"), vec![1.0 - u, u]);
+            ev = ev.likelihood_slice(id("uncertainty"), &[1.0 - u, u]);
         }
 
         let stale = !matches!(&self.reduced, Some(r) if r.flags == flags);
@@ -130,13 +136,17 @@ impl CachedSarRiskModel {
         }
         let base = &self.reduced.as_ref().expect("just ensured").factors;
 
-        let missed = query_with_reduced(bn, id("missed"), &ev, base).expect("valid query");
+        let missed = query_with_reduced_in(bn, id("missed"), &ev, base, &mut self.scratch)
+            .expect("valid query");
+        let missed = missed.values()[1];
         let criticality =
-            query_with_reduced(bn, id("criticality"), &ev, base).expect("valid query");
+            query_with_reduced_in(bn, id("criticality"), &ev, base, &mut self.scratch)
+                .expect("valid query");
+        let criticality = criticality.values()[1];
         let out = RiskAssessment {
-            missed_person_prob: missed[1],
-            criticality_high_prob: criticality[1],
-            rescan_advised: criticality[1] >= self.model.rescan_threshold(),
+            missed_person_prob: missed,
+            criticality_high_prob: criticality,
+            rescan_advised: criticality >= self.model.rescan_threshold(),
         };
         if self.memo.len() >= MEMO_CAP {
             self.memo.clear();

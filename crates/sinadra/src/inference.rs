@@ -5,15 +5,34 @@
 //! which is how SINADRA feeds continuous monitor outputs — a SafeML
 //! dissimilarity of 0.93 becomes the likelihood `[0.07, 0.93]` on the
 //! detection-uncertainty variable instead of a brittle threshold.
+//!
+//! Evidence and the elimination loop use inline storage
+//! ([`InlineVec`], see DESIGN.md § "Hot-loop memory discipline"): with a
+//! warm [`VeScratch`], [`query_with_reduced_in`] performs zero heap
+//! allocations for the SAR/separation risk networks. The naive [`query`]
+//! keeps its allocating `Vec<f64>` interface and is the bit-identity
+//! oracle for the scratch path.
 
 use crate::bn::BayesianNetwork;
 use crate::factor::Factor;
+use sesame_types::inline::InlineVec;
+
+/// Inline capacity for hard observations in one query's evidence.
+const HARD_INLINE: usize = 8;
+/// Inline capacity for virtual-evidence likelihood vectors (the SAR and
+/// separation networks attach at most one each per query).
+const VIRTUAL_INLINE: usize = 2;
+/// Inline capacity for one likelihood vector's weights.
+const WEIGHTS_INLINE: usize = 4;
+
+/// A virtual-evidence weight vector, inline up to four states.
+pub type LikelihoodWeights = InlineVec<f64, WEIGHTS_INLINE>;
 
 /// Evidence accumulated for a query.
 #[derive(Debug, Clone, Default)]
 pub struct Evidence {
-    hard: Vec<(usize, usize)>,
-    virtual_likelihoods: Vec<(usize, Vec<f64>)>,
+    hard: InlineVec<(usize, usize), HARD_INLINE>,
+    virtual_likelihoods: InlineVec<(usize, LikelihoodWeights), VIRTUAL_INLINE>,
 }
 
 impl Evidence {
@@ -30,8 +49,16 @@ impl Evidence {
 
     /// Adds virtual evidence: a non-negative likelihood over the states of
     /// `var` (need not be normalized).
-    pub fn likelihood(mut self, var: usize, weights: Vec<f64>) -> Self {
-        self.virtual_likelihoods.push((var, weights));
+    pub fn likelihood(self, var: usize, weights: Vec<f64>) -> Self {
+        self.likelihood_slice(var, &weights)
+    }
+
+    /// [`Self::likelihood`] from a borrowed slice — the allocation-free
+    /// form the per-tick risk models use.
+    pub fn likelihood_slice(mut self, var: usize, weights: &[f64]) -> Self {
+        let mut w = LikelihoodWeights::new();
+        w.extend_from_slice(weights);
+        self.virtual_likelihoods.push((var, w));
         self
     }
 
@@ -46,7 +73,7 @@ impl Evidence {
     }
 
     /// The virtual-evidence likelihoods, in insertion order.
-    pub fn virtual_likelihoods(&self) -> &[(usize, Vec<f64>)] {
+    pub fn virtual_likelihoods(&self) -> &[(usize, LikelihoodWeights)] {
         &self.virtual_likelihoods
     }
 }
@@ -150,8 +177,9 @@ pub fn query(
         if weights.len() != card || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(InferenceError::BadLikelihood(*var));
         }
-        factors
-            .push(Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above"));
+        // `single` carries the weights verbatim — same values as the
+        // historical `Factor::new(vec![(var, card)], weights.clone())`.
+        factors.push(Factor::single(*var, card, weights));
     }
 
     // Apply hard evidence by reduction.
@@ -175,37 +203,40 @@ pub fn query(
     // Eliminate every variable except the query (evidence vars are already
     // reduced out of scopes; eliminating them is a no-op).
     let hard_vars: Vec<usize> = evidence.hard.iter().map(|(v, _)| *v).collect();
-    eliminate_and_normalize(n, query_var, &hard_vars, factors)
+    eliminate_to_posterior(n, query_var, &hard_vars, &mut factors).map(|p| p.values().to_vec())
 }
 
 /// The elimination-and-normalization tail shared by [`query`] and
-/// [`query_with_reduced`]. Keeping one body guarantees the cached path
+/// [`query_with_reduced_in`]. Keeping one body guarantees the cached path
 /// performs the same floating-point operations in the same order as the
 /// naive one — bit-identical posteriors by construction.
-fn eliminate_and_normalize(
+///
+/// `factors` is consumed in place (this is the scratch buffer on the hot
+/// path): multiplying-out then `retain` + `push` reproduces the historical
+/// `partition` + push ordering exactly — `retain` is stable, so the
+/// surviving factors keep their relative order and the summed factor lands
+/// at the back, as before.
+fn eliminate_to_posterior(
     n: usize,
     query_var: usize,
     hard_vars: &[usize],
-    mut factors: Vec<Factor>,
-) -> Result<Vec<f64>, InferenceError> {
+    factors: &mut Vec<Factor>,
+) -> Result<Factor, InferenceError> {
     for var in 0..n {
         if var == query_var || hard_vars.contains(&var) {
             continue;
         }
         // Multiply all factors mentioning `var`, then sum it out.
-        let (mentioning, rest): (Vec<Factor>, Vec<Factor>) =
-            factors.into_iter().partition(|f| f.contains(var));
         let mut combined = Factor::identity();
-        for f in &mentioning {
+        for f in factors.iter().filter(|f| f.contains(var)) {
             combined = combined.product(f);
         }
-        let summed = combined.marginalize(var);
-        factors = rest;
-        factors.push(summed);
+        factors.retain(|f| !f.contains(var));
+        factors.push(combined.marginalize(var));
     }
 
     let mut joint = Factor::identity();
-    for f in &factors {
+    for f in factors.iter() {
         joint = joint.product(f);
     }
     if joint.sum() <= 0.0 {
@@ -215,7 +246,16 @@ fn eliminate_and_normalize(
     // The posterior must be exactly over the query variable.
     debug_assert_eq!(posterior.vars().len(), 1);
     debug_assert_eq!(posterior.vars()[0].0, query_var);
-    Ok(posterior.values().to_vec())
+    Ok(posterior)
+}
+
+/// Reusable factor workspace for [`query_with_reduced_in`]. The inner
+/// `Vec` holds inline-storage [`Factor`]s, so once its capacity has grown
+/// to the network's factor count (first call), subsequent queries allocate
+/// nothing.
+#[derive(Debug, Clone, Default)]
+pub struct VeScratch {
+    factors: Vec<Factor>,
 }
 
 /// [`query`] with the hard-evidence reduction of the network's base
@@ -235,6 +275,28 @@ pub fn query_with_reduced(
     evidence: &Evidence,
     reduced_base: &[Factor],
 ) -> Result<Vec<f64>, InferenceError> {
+    let mut scratch = VeScratch::default();
+    query_with_reduced_in(bn, query_var, evidence, reduced_base, &mut scratch)
+        .map(|p| p.values().to_vec())
+}
+
+/// [`query_with_reduced`] into a caller-owned [`VeScratch`], returning
+/// the posterior as an (inline-storage) [`Factor`] over the query
+/// variable. This is the per-tick entry point: with a warm scratch it
+/// performs zero heap allocations end to end, and it computes exactly the
+/// same floating-point operations in the same order as [`query`], so
+/// posteriors are bit-identical.
+///
+/// # Errors
+///
+/// See [`InferenceError`].
+pub fn query_with_reduced_in(
+    bn: &BayesianNetwork,
+    query_var: usize,
+    evidence: &Evidence,
+    reduced_base: &[Factor],
+    scratch: &mut VeScratch,
+) -> Result<Factor, InferenceError> {
     if !bn.is_validated() {
         return Err(InferenceError::NotValidated);
     }
@@ -243,17 +305,20 @@ pub fn query_with_reduced(
         return Err(InferenceError::UnknownVariable(query_var));
     }
     if let Some((_, state)) = evidence.hard.iter().find(|(v, _)| *v == query_var) {
-        if *state >= bn.cardinality(query_var) {
+        let card = bn.cardinality(query_var);
+        if *state >= card {
             return Err(InferenceError::BadState {
                 var: query_var,
                 state: *state,
             });
         }
-        let mut p = vec![0.0; bn.cardinality(query_var)];
+        let mut p: LikelihoodWeights = std::iter::repeat_n(0.0, card).collect();
         p[*state] = 1.0;
-        return Ok(p);
+        return Ok(Factor::single(query_var, card, &p));
     }
-    let mut factors = reduced_base.to_vec();
+    let factors = &mut scratch.factors;
+    factors.clear();
+    factors.extend_from_slice(reduced_base);
     for (var, weights) in &evidence.virtual_likelihoods {
         if *var >= n {
             return Err(InferenceError::UnknownVariable(*var));
@@ -262,7 +327,7 @@ pub fn query_with_reduced(
         if weights.len() != card || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(InferenceError::BadLikelihood(*var));
         }
-        let mut f = Factor::new(vec![(*var, card)], weights.clone()).expect("shape checked above");
+        let mut f = Factor::single(*var, card, weights);
         // The naive path reduces virtual factors alongside the base ones.
         for (hvar, state) in &evidence.hard {
             if f.contains(*hvar) {
@@ -271,8 +336,8 @@ pub fn query_with_reduced(
         }
         factors.push(f);
     }
-    let hard_vars: Vec<usize> = evidence.hard.iter().map(|(v, _)| *v).collect();
-    eliminate_and_normalize(n, query_var, &hard_vars, factors)
+    let hard_vars: InlineVec<usize, HARD_INLINE> = evidence.hard.iter().map(|(v, _)| *v).collect();
+    eliminate_to_posterior(n, query_var, &hard_vars, factors)
 }
 
 /// Builds the hard-evidence-reduced base factor list [`query_with_reduced`]

@@ -152,7 +152,7 @@ impl SarRiskModel {
             .observe(id("presence"), usize::from(inputs.person_likely))
             .observe(id("pressure"), usize::from(inputs.time_pressure_high));
         if u > 0.0 {
-            ev = ev.likelihood(id("uncertainty"), vec![1.0 - u, u]);
+            ev = ev.likelihood_slice(id("uncertainty"), &[1.0 - u, u]);
         }
         let missed = query(&self.bn, id("missed"), &ev).expect("valid query");
         let criticality = query(&self.bn, id("criticality"), &ev).expect("valid query");
@@ -258,7 +258,7 @@ impl SeparationRiskModel {
             .observe(id("proximity"), usize::from(inputs.nearest_range_m < 50.0))
             .observe(id("converging"), usize::from(inputs.converging));
         if conf > 0.0 {
-            ev = ev.likelihood(id("intruder"), vec![1.0 - conf, conf]);
+            ev = ev.likelihood_slice(id("intruder"), &[1.0 - conf, conf]);
         }
         let conflict = query(&self.bn, id("conflict"), &ev).expect("valid query");
         SeparationAssessment {

@@ -1,0 +1,178 @@
+//! A reusable per-tick scratch arena.
+//!
+//! The orchestrator's tick pipeline used to allocate fresh `Vec`s for its
+//! per-tick temporaries — solved Markov distributions, telemetry staging,
+//! per-phase index lists — on every single tick. [`ScratchArena`] is a
+//! bump-style pool: buffers are *leased* with [`ScratchArena::take_f64`],
+//! used for the duration of one tick phase, and *returned* with
+//! [`ScratchArena::give_f64`]. The arena keeps returned buffers (capacity
+//! intact) and hands them back on the next lease, so after a warm-up tick
+//! the steady state performs **zero heap allocations**: the arena grows
+//! monotonically to its high-water mark and then only recycles.
+//!
+//! Lifetime rules (also documented in DESIGN.md "Hot-loop memory
+//! discipline"):
+//!
+//! 1. A leased buffer is owned by exactly one tick phase and must be
+//!    returned before the tick ends (the orchestrator returns its leases
+//!    at the end of the solve/finish phases).
+//! 2. Leased buffers arrive **empty** (`len == 0`) but with whatever
+//!    capacity history left behind; callers must not assume contents.
+//! 3. Losing a buffer (dropping instead of returning) is safe but
+//!    regresses the zero-alloc property — [`ScratchArena::stats`] exposes
+//!    lease/recycle counters so benches can assert recycling works.
+//!
+//! The arena is deliberately type-narrow (`f64` and `usize` pools cover
+//! the tick pipeline's hot temporaries) instead of a raw byte bump
+//! allocator: leases stay ordinary `Vec`s, no `unsafe`, and the borrow
+//! checker keeps phase ownership honest.
+//!
+//! # Examples
+//!
+//! ```
+//! use sesame_types::arena::ScratchArena;
+//!
+//! let mut arena = ScratchArena::new();
+//! let mut buf = arena.take_f64(4); // warm-up: allocates once
+//! buf.extend_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+//! arena.give_f64(buf);
+//! let again = arena.take_f64(4); // steady state: recycled, no allocation
+//! assert!(again.capacity() >= 4);
+//! assert!(again.is_empty());
+//! assert_eq!(arena.stats().recycled, 1);
+//! ```
+
+/// Lease/recycle counters of a [`ScratchArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Total buffer leases served.
+    pub leases: u64,
+    /// Leases served from the pool (no allocation).
+    pub recycled: u64,
+    /// Buffers currently held by the pool, across both type pools.
+    pub pooled: usize,
+}
+
+/// A bump-style pool of reusable scratch buffers. See the module docs for
+/// the ownership contract.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f64_pool: Vec<Vec<f64>>,
+    usize_pool: Vec<Vec<usize>>,
+    leases: u64,
+    recycled: u64,
+}
+
+impl ScratchArena {
+    /// An empty arena; pools fill as buffers are returned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases an empty `f64` buffer with capacity at least `capacity`.
+    /// Recycles a pooled buffer when one exists (growing it in place if
+    /// its capacity is short), otherwise allocates a fresh one.
+    pub fn take_f64(&mut self, capacity: usize) -> Vec<f64> {
+        self.leases += 1;
+        match self.f64_pool.pop() {
+            Some(mut buf) => {
+                self.recycled += 1;
+                buf.clear();
+                if buf.capacity() < capacity {
+                    buf.reserve(capacity - buf.len());
+                }
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns a leased `f64` buffer to the pool.
+    pub fn give_f64(&mut self, buf: Vec<f64>) {
+        self.f64_pool.push(buf);
+    }
+
+    /// Leases an empty `usize` buffer with capacity at least `capacity`.
+    pub fn take_usize(&mut self, capacity: usize) -> Vec<usize> {
+        self.leases += 1;
+        match self.usize_pool.pop() {
+            Some(mut buf) => {
+                self.recycled += 1;
+                buf.clear();
+                if buf.capacity() < capacity {
+                    buf.reserve(capacity - buf.len());
+                }
+                buf
+            }
+            None => Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns a leased `usize` buffer to the pool.
+    pub fn give_usize(&mut self, buf: Vec<usize>) {
+        self.usize_pool.push(buf);
+    }
+
+    /// Lease/recycle counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            leases: self.leases,
+            recycled: self.recycled,
+            pooled: self.f64_pool.len() + self.usize_pool.len(),
+        }
+    }
+
+    /// Releases every pooled buffer (the arena stays usable; the next
+    /// leases re-warm it).
+    pub fn shrink(&mut self) {
+        self.f64_pool.clear();
+        self.usize_pool.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_returned_buffers_with_capacity() {
+        let mut arena = ScratchArena::new();
+        let mut a = arena.take_f64(16);
+        a.resize(16, 1.0);
+        let cap = a.capacity();
+        arena.give_f64(a);
+        let b = arena.take_f64(8);
+        assert!(b.is_empty(), "recycled buffers arrive empty");
+        assert_eq!(b.capacity(), cap, "capacity survives the round trip");
+        let s = arena.stats();
+        assert_eq!((s.leases, s.recycled), (2, 1));
+    }
+
+    #[test]
+    fn grows_short_recycled_buffers_in_place() {
+        let mut arena = ScratchArena::new();
+        arena.give_f64(Vec::with_capacity(2));
+        let buf = arena.take_f64(64);
+        assert!(buf.capacity() >= 64);
+    }
+
+    #[test]
+    fn usize_pool_is_independent() {
+        let mut arena = ScratchArena::new();
+        arena.give_usize(vec![1, 2, 3]);
+        let b = arena.take_usize(1);
+        assert!(b.is_empty());
+        assert_eq!(arena.stats().recycled, 1);
+        assert_eq!(arena.stats().pooled, 0);
+    }
+
+    #[test]
+    fn shrink_empties_pools() {
+        let mut arena = ScratchArena::new();
+        arena.give_f64(vec![0.0; 8]);
+        arena.give_usize(vec![0; 8]);
+        assert_eq!(arena.stats().pooled, 2);
+        arena.shrink();
+        assert_eq!(arena.stats().pooled, 0);
+    }
+}

@@ -22,9 +22,11 @@
 //! assert!((60_000.0..70_000.0).contains(&d));
 //! ```
 
+pub mod arena;
 pub mod events;
 pub mod geo;
 pub mod ids;
+pub mod inline;
 pub mod telemetry;
 pub mod time;
 
@@ -47,14 +49,18 @@ macro_rules! assert_send_sync {
     };
 }
 
+pub use arena::ScratchArena;
 pub use events::{EventLog, Severity, SystemEvent, TimedEvent};
 pub use geo::{Enu, GeoPoint, Vec3};
 pub use ids::{MissionId, TaskId, TopicName, UavId};
+pub use inline::InlineVec;
 pub use telemetry::{FlightMode, GpsFix, UavTelemetry};
 pub use time::{SimClock, SimDuration, SimTime};
 
 // The vocabulary types cross worker threads in parallel sweeps.
 assert_send_sync!(
+    ScratchArena,
+    InlineVec<u64, 4>,
     EventLog,
     TimedEvent,
     GeoPoint,

@@ -249,6 +249,31 @@ impl Simulator {
         }
     }
 
+    /// [`Simulator::telemetry`] into a caller-owned snapshot, reusing its
+    /// `motors_ok` buffer — the orchestrator refreshes a fleet-sized
+    /// telemetry scratch every tick without per-UAV heap traffic. Field
+    /// for field identical to [`Simulator::telemetry`].
+    pub fn telemetry_into(&mut self, uav: UavHandle, out: &mut UavTelemetry) {
+        let now = self.clock.now();
+        let u = &mut self.uavs[uav.0];
+        let link_quality = {
+            let d = u.position.haversine_distance_m(&self.world.base());
+            (1.0 / (1.0 + (d / 1500.0).powi(2))).clamp(0.0, 1.0)
+        };
+        out.uav = uav.id();
+        out.time = now;
+        out.true_position = u.position;
+        out.velocity = u.velocity;
+        out.battery_soc = u.battery.soc();
+        out.battery_temp_c = u.battery.temperature_c();
+        out.motors_ok.clear();
+        out.motors_ok.extend_from_slice(u.propulsion.motors_ok());
+        out.gps = u.last_fix;
+        out.vision_health = u.camera.health;
+        out.link_quality = link_quality;
+        out.mode = u.autopilot.mode();
+    }
+
     /// Ground-truth position (for scoring; the platform should use GPS).
     pub fn true_position(&self, uav: UavHandle) -> GeoPoint {
         self.uavs[uav.0].position

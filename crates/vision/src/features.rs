@@ -91,8 +91,21 @@ impl FeatureExtractor {
     /// Draws one frame's feature vector under `condition`: unit-variance
     /// Gaussians centred at the condition's drift.
     pub fn extract(&mut self, condition: &SceneCondition) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.dims);
+        self.extract_into(condition, &mut out);
+        out
+    }
+
+    /// [`FeatureExtractor::extract`] into a caller-provided buffer — the
+    /// tick loop's zero-alloc path. The buffer is cleared and refilled;
+    /// the same RNG draws happen in the same order, so the values are
+    /// identical to [`FeatureExtractor::extract`]'s.
+    pub fn extract_into(&mut self, condition: &SceneCondition, out: &mut Vec<f64>) {
         let mu = self.drift(condition);
-        (0..self.dims).map(|_| mu + self.gaussian()).collect()
+        out.clear();
+        for _ in 0..self.dims {
+            out.push(mu + self.gaussian());
+        }
     }
 
     /// Draws a reference set of `n` frames at the training condition.

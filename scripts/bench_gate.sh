@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Throughput regression gate: compares the freshly generated
-# BENCH_bus.json / BENCH_eddi.json / BENCH_fleet.json (written by
-# scripts/check.sh smoke runs) against the committed baselines in
-# scripts/baselines/.
+# BENCH_bus.json / BENCH_eddi.json / BENCH_fleet.json / BENCH_tick.json
+# (written by scripts/check.sh smoke runs) against the committed
+# baselines in scripts/baselines/.
 #
 #   scripts/bench_gate.sh                    # gate against the baselines
 #   UPDATE_BASELINE=1 scripts/bench_gate.sh  # accept the fresh numbers
@@ -69,6 +69,7 @@ if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
     update BENCH_eddi.json
     update BENCH_fleet.json
     update BENCH_recovery.json
+    update BENCH_tick.json
     exit 0
 fi
 
@@ -85,3 +86,8 @@ gate BENCH_fleet.json uav_ticks_per_sec 0.5 fleetbench
 # probes, watchdog demotion). Floors only — the faulted/clean ratio
 # wobbles because quarantined UAVs skip EDDI work.
 gate BENCH_recovery.json uav_ticks_per_sec 0.5 fleetbench-recovery
+# tickbench's headline is the whole-platform speedup on the 3-UAV steady
+# state (fast vs reference engines inside the same process) plus an
+# absolute ticks/sec floor.
+gate BENCH_tick.json speedup       0.8 tickbench
+gate BENCH_tick.json ticks_per_sec 0.5 tickbench

@@ -55,6 +55,10 @@ echo "==> fleetbench recovery: supervised tick under injected panics must stay p
 cargo run -q --release -p sesame-bench --bin fleetbench -- smoke --inject-panics --jobs 4 > BENCH_recovery.json
 cat BENCH_recovery.json
 
+echo "==> tickbench smoke: end-to-end platform ticks/sec must hold the 3x margin over the reference path with bit-identical digests"
+cargo run -q --release -p sesame-bench --bin tickbench -- smoke > BENCH_tick.json
+cat BENCH_tick.json
+
 echo "==> scenario library: every .sesame file must compile, validate and smoke-run"
 cargo run -q --release -p sesame-bench --bin scenario -- check scenarios/*.sesame
 cargo run -q --release -p sesame-bench --bin scenario -- smoke scenarios/*.sesame
@@ -65,4 +69,4 @@ SESAME_FUZZ_CASES=2048 cargo test -q -p sesame-scenario-dsl --test fuzz
 echo "==> bench gate: fresh numbers vs committed baselines (>20% regression fails)"
 scripts/bench_gate.sh
 
-echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, panic-injection soak, busbench, eddibench, fleetbench, the recovery bench, the scenario library smoke, the DSL fuzz suite and the bench gate all green"
+echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, panic-injection soak, busbench, eddibench, fleetbench, the recovery bench, tickbench, the scenario library smoke, the DSL fuzz suite and the bench gate all green"

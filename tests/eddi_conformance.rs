@@ -216,6 +216,60 @@ fn toggling_evidence_defeats_the_cache_but_not_correctness() {
     assert_eq!(inc.stats().misses, 24);
 }
 
+/// The arena-build gate: a slow battery drain walks the reliability tier
+/// ladder (high → medium → low), which stresses exactly the machinery the
+/// zero-alloc work rewrote — the in-place CTMC rate rewrite on every
+/// telemetry tick, the inline `SolveKey` cache lookups, and the compiled
+/// ConSert evaluator's miss path (each tier flip changes the evidence
+/// fingerprint and forces a fresh decide). Every tick must stay bit-
+/// identical to the naive reference, and the decision must match the
+/// naive tree walk.
+#[test]
+fn battery_drain_tier_ladder_stays_in_lockstep() {
+    let mut fast = UavEddiRuntime::new(4242, SafeDronesConfig::default(), home());
+    let mut reference = ReferenceEddiRuntime::new(4242, SafeDronesConfig::default(), home());
+    let mut inc = IncrementalConsertNetwork::new("uav1");
+    let naive_net = uav_consert_network("uav1");
+    fast.set_remaining_mission(SimDuration::from_secs(900));
+    reference.set_remaining_mission(SimDuration::from_secs(900));
+    let scene = SceneCondition {
+        altitude_m: 30.0,
+        visibility: 1.0,
+    };
+    let mut decisions = std::collections::HashSet::new();
+    for tick in 0u64..120 {
+        let pos = home().with_alt(30.0);
+        let mut tel = UavTelemetry::nominal(UavId::new(1), SimTime::from_millis(tick * 100), pos);
+        tel.gps.position = pos;
+        // Drain from full charge to 5% while heating up: the SoC-stress
+        // and Arrhenius terms sweep the whole rate ladder, and the
+        // reliability tier crosses both thresholds.
+        tel.battery_soc = (1.0 - tick as f64 / 126.0).max(0.05);
+        tel.battery_temp_c = 25.0 + tick as f64 * 0.25;
+        let f = fast.tick(&tel, &scene);
+        let r = reference.tick(&tel, &scene);
+        assert_outputs_bit_equal(&f, &r, &format!("drain tick {tick}"));
+        let ev = fast.evidence(&tel, false, true);
+        assert_eq!(ev, reference.evidence(&tel, false, true), "tick {tick}");
+        let fast_decision = inc.decide(&ev);
+        let naive_decision = ConsertDecision {
+            action: evaluate_uav(&naive_net, "uav1", &ev),
+            nav_accuracy_m: certified_navigation_accuracy_m(&naive_net, "uav1", &ev),
+        };
+        assert_eq!(fast_decision, naive_decision, "drain tick {tick}");
+        decisions.insert(format!("{fast_decision:?}"));
+    }
+    assert!(
+        decisions.len() >= 2,
+        "the drain must actually flip the decision at least once \
+         (saw {decisions:?})"
+    );
+    assert!(
+        inc.stats().misses >= 2,
+        "tier flips must force compiled-evaluator misses"
+    );
+}
+
 fn platform_config(seed: u64, fast: bool) -> PlatformConfig {
     PlatformConfig {
         area_width_m: 150.0,

@@ -273,6 +273,20 @@ fn watchdog_demotion_expires_and_restores_the_plan() {
     assert_runs_bit_identical(&serial, &sharded, "watchdog demotion, 8 UAVs");
 }
 
+/// The arena-build gate at fleet scale: a 96-UAV run pushes the inline
+/// small-vector collections (solve-class member lists, route tables,
+/// detection buffers) past their spill boundaries and keeps every
+/// solve-class batch full, so any divergence between the inline/spilled
+/// representations or the in-place CTMC rate rewrites would surface as a
+/// bit difference against the serial oracle.
+#[test]
+fn large_fleet_spilled_collections_match_serial_bit_for_bit() {
+    let serial = run(config(53, 96, ShardPolicy::Serial), 25);
+    let sharded = run(config(53, 96, ShardPolicy::Fixed { shards: 6 }), 25);
+    assert_eq!(sharded.shard_count(), 6);
+    assert_runs_bit_identical(&serial, &sharded, "96 UAVs, 6 shards");
+}
+
 /// The Auto policy stays serial for small fleets (the paper's 3-UAV demo
 /// pays no sharding overhead) and engages for large ones.
 #[test]
