@@ -1,0 +1,319 @@
+//! Campaign-service soak bench: N concurrent TCP clients × M campaigns
+//! over a live `sesame-server`, with a kill-and-restart in the middle
+//! and a full replay audit at the end.
+//!
+//! ```text
+//! cargo run -p sesame-bench --release --bin serverbench           # full soak
+//! cargo run -p sesame-bench --release --bin serverbench -- smoke  # CI soak
+//! ```
+//!
+//! The soak runs four phases against one run log:
+//!
+//! 1. **Load** — 8 client threads each submit campaigns over TCP and
+//!    block on `WAIT`; submit→complete latency is recorded per campaign.
+//! 2. **Kill** — two larger "victim" campaigns are submitted, and once
+//!    at least one of their runs is in the log the runtime is shut down
+//!    with work still queued — exactly what a process death looks like
+//!    to the log.
+//! 3. **Restart** — a second runtime opens the same log (verifying the
+//!    whole digest chain), recovers the victims' completed runs,
+//!    re-enqueues the missing seeds, and serves a second full client
+//!    wave concurrently with the victims finishing. A streaming
+//!    subscriber tails one campaign to keep the fanout path hot.
+//! 4. **Audit** — every completed seed of every campaign is replayed
+//!    from the log's own submission record and must be digest-identical
+//!    to the live run. Any mismatch, failed job, or unfinished campaign
+//!    exits nonzero.
+//!
+//! The JSON report goes to stdout (`serverbench > BENCH_server.json` in
+//! `scripts/check.sh`); `scripts/bench_gate.sh` gates `runs_per_sec`
+//! and `campaigns_per_sec` as floors and `latency_p99_ms` as a ceiling.
+
+use sesame_bench::cli::{BenchArgs, JsonReport};
+use sesame_server::{Client, JobId, JobSpec, Server, ServerConfig, ServerRuntime, StreamEvent};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One small campaign's scenario: a fleet of 3 over a compact area,
+/// clamped tight so a run is milliseconds and the soak exercises
+/// scheduling, not simulation length.
+const CAMPAIGN_SRC: &str = r#"
+scenario "soak_campaign" {
+    world { area = (80.0, 60.0), persons = 2 }
+    mission { deadline = 120s }
+}
+"#;
+
+const CLIENTS: usize = 8;
+const CLAMP_MS: u64 = 10_000;
+
+struct SoakConfig {
+    campaigns_per_client: usize,
+    seeds_per_campaign: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One client wave: `CLIENTS` threads, each its own TCP connection,
+/// each submitting `campaigns_per_client` campaigns sequentially and
+/// blocking on completion. Returns per-campaign latencies (ms) and the
+/// campaign count; increments `aborts` on anything unexpected.
+fn client_wave(
+    addr: std::net::SocketAddr,
+    soak: &SoakConfig,
+    seed_base: u64,
+    aborts: &Arc<AtomicU64>,
+) -> Vec<f64> {
+    let mut threads = Vec::new();
+    for client_idx in 0..CLIENTS {
+        let aborts = Arc::clone(aborts);
+        let campaigns = soak.campaigns_per_client;
+        let seeds = soak.seeds_per_campaign;
+        threads.push(std::thread::spawn(move || {
+            let mut latencies = Vec::new();
+            let mut client = match Client::connect(addr) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("serverbench: client {client_idx} connect: {e}");
+                    aborts.fetch_add(1, Ordering::Relaxed);
+                    return latencies;
+                }
+            };
+            for campaign_idx in 0..campaigns {
+                let seed_start = seed_base + (client_idx * campaigns + campaign_idx) as u64 * seeds;
+                let spec = JobSpec::new("soak_campaign", CAMPAIGN_SRC, seed_start, seeds)
+                    .clamp_ms(CLAMP_MS);
+                let started = Instant::now();
+                let outcome = client.submit(&spec).and_then(|id| client.wait(id));
+                match outcome {
+                    Ok(status) if status.is_completed() => {
+                        latencies.push(started.elapsed().as_secs_f64() * 1e3);
+                    }
+                    Ok(status) => {
+                        eprintln!("serverbench: campaign did not complete: {}", status.line);
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        eprintln!("serverbench: client {client_idx} campaign failed: {e}");
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            latencies
+        }));
+    }
+    threads
+        .into_iter()
+        .flat_map(|t| t.join().unwrap_or_default())
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let soak = if args.smoke {
+        SoakConfig {
+            campaigns_per_client: 2,
+            seeds_per_campaign: 2,
+        }
+    } else {
+        SoakConfig {
+            campaigns_per_client: 4,
+            seeds_per_campaign: args.seeds.unwrap_or(3),
+        }
+    };
+    let workers = args.effective_jobs();
+    let mut log_path = std::env::temp_dir();
+    log_path.push(format!("serverbench-{}.runlog", std::process::id()));
+    std::fs::remove_file(&log_path).ok();
+    let aborts = Arc::new(AtomicU64::new(0));
+    let wall = Instant::now();
+
+    eprintln!(
+        "serverbench: {CLIENTS} clients x {} campaigns x {} seeds, {workers} workers, log {}",
+        soak.campaigns_per_client,
+        soak.seeds_per_campaign,
+        log_path.display()
+    );
+
+    // Phase 1: first client wave against a fresh service.
+    let config = ServerConfig {
+        workers,
+        snapshot_every_ticks: 10,
+    };
+    let rt = ServerRuntime::start(&log_path, config.clone()).expect("start runtime");
+    let mut server = Server::bind(rt.clone(), "127.0.0.1:0").expect("bind");
+    let mut latencies = client_wave(server.addr(), &soak, 0, &aborts);
+    eprintln!(
+        "serverbench: wave 1 complete ({} campaigns)",
+        latencies.len()
+    );
+
+    // Phase 2: victims — larger campaigns killed mid-flight. Sized so
+    // more units exist than worker slots, which guarantees queued work
+    // is abandoned by the kill. Submit, wait for at least one victim
+    // run to be durably logged, then kill.
+    let victim_seeds = (2 * workers as u64).max(6);
+    let victims: Vec<JobId> = (0..2)
+        .map(|v| {
+            rt.submit(
+                JobSpec::new(
+                    "soak_campaign",
+                    CAMPAIGN_SRC,
+                    1_000_000 + v * 100,
+                    victim_seeds,
+                )
+                .clamp_ms(CLAMP_MS),
+            )
+            .expect("submit victim")
+        })
+        .collect();
+    let rx = rt.subscribe(None);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut victim_runs_before_kill = 0u64;
+    while victim_runs_before_kill == 0 && Instant::now() < deadline {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(ev) => {
+                if let StreamEvent::RunCompleted { job, .. } = &*ev {
+                    if victims.contains(job) {
+                        victim_runs_before_kill += 1;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    drop(rx);
+    server.stop();
+    rt.shutdown();
+    let killed_incomplete = victims
+        .iter()
+        .filter(|id| {
+            rt.status(**id)
+                .map(|s| s.completed_runs < s.seed_count)
+                .unwrap_or(true)
+        })
+        .count();
+    eprintln!(
+        "serverbench: killed runtime with {victim_runs_before_kill} victim runs logged, \
+         {killed_incomplete}/2 victims incomplete"
+    );
+
+    // Phase 3: restart on the same log; second wave runs concurrently
+    // with the recovered victims finishing.
+    let rt2 = ServerRuntime::start(&log_path, config).expect("restart runtime");
+    let mut server2 = Server::bind(rt2.clone(), "127.0.0.1:0").expect("rebind");
+    let recovered_runs: u64 = rt2.jobs().iter().map(|s| s.recovered_runs).sum();
+    let stream_events = Arc::new(AtomicU64::new(0));
+    let streamer = {
+        let addr = server2.addr();
+        let victim = victims[0];
+        let events = Arc::clone(&stream_events);
+        std::thread::spawn(move || {
+            if let Ok(mut c) = Client::connect(addr) {
+                let _ = c.stream(Some(victim), |_| {
+                    events.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+    };
+    latencies.extend(client_wave(server2.addr(), &soak, 2_000_000, &aborts));
+    for id in &victims {
+        match rt2.wait(*id) {
+            Ok(status) if status.state == sesame_server::JobState::Completed => {}
+            Ok(status) => {
+                eprintln!(
+                    "serverbench: victim did not recover: {}",
+                    status.render_line()
+                );
+                aborts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => {
+                eprintln!("serverbench: victim wait failed: {e}");
+                aborts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    let _ = streamer.join();
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    // Phase 4: replay audit — every completed seed of every campaign,
+    // including runs logged before the kill, must replay bit-identically.
+    let mut replay_checked = 0u64;
+    let mut replay_mismatches = 0u64;
+    let jobs = rt2.jobs();
+    for status in &jobs {
+        for seed in status.digests.keys() {
+            replay_checked += 1;
+            match rt2.replay(status.id, *seed) {
+                Ok(report) if report.matches() => {}
+                Ok(report) => {
+                    eprintln!(
+                        "serverbench: REPLAY DIVERGED {} seed {seed}: live {:#018x} vs replay {:#018x}",
+                        status.id, report.logged.digest, report.digest
+                    );
+                    replay_mismatches += 1;
+                }
+                Err(e) => {
+                    eprintln!("serverbench: replay {} seed {seed}: {e}", status.id);
+                    replay_mismatches += 1;
+                }
+            }
+        }
+    }
+    let chain = rt2.chain();
+    server2.stop();
+    rt2.shutdown();
+
+    let campaigns = jobs.len() as u64;
+    let completed_campaigns = jobs
+        .iter()
+        .filter(|s| s.state == sesame_server::JobState::Completed)
+        .count() as u64;
+    let runs: u64 = jobs.iter().map(|s| s.completed_runs).sum();
+    let aborts = aborts.load(Ordering::Relaxed)
+        + (campaigns - completed_campaigns)
+        + u64::from(victim_runs_before_kill == 0);
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let expected_campaigns = (2 * CLIENTS * soak.campaigns_per_client) as u64 + 2;
+
+    let report = JsonReport::new(if args.smoke { "smoke" } else { "full" })
+        .int("clients", CLIENTS as u64)
+        .int("campaigns", campaigns)
+        .int("completed_campaigns", completed_campaigns)
+        .int("runs", runs)
+        .num("runs_per_sec", runs as f64 / elapsed, 2)
+        .num("campaigns_per_sec", campaigns as f64 / elapsed, 3)
+        .num("latency_p50_ms", percentile(&latencies, 0.50), 2)
+        .num("latency_p99_ms", percentile(&latencies, 0.99), 2)
+        .num("elapsed_sec", elapsed, 2)
+        .int("workers", workers as u64)
+        .int("victim_runs_before_kill", victim_runs_before_kill)
+        .int("recovered_runs", recovered_runs)
+        .int("replay_checked", replay_checked)
+        .int("replay_mismatches", replay_mismatches)
+        .int("stream_events", stream_events.load(Ordering::Relaxed))
+        .int("aborts", aborts)
+        .str("chain", &format!("{chain:#018x}"));
+    report.emit(args.json_path.as_deref());
+
+    std::fs::remove_file(&log_path).ok();
+    if aborts > 0 || replay_mismatches > 0 || campaigns < expected_campaigns {
+        eprintln!(
+            "serverbench: FAILED (aborts={aborts} mismatches={replay_mismatches} \
+             campaigns={campaigns}/{expected_campaigns})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!(
+        "serverbench: ok — {campaigns} campaigns, {runs} runs, {replay_checked} replays verified, \
+         {recovered_runs} recovered across restart"
+    );
+}

@@ -1,0 +1,238 @@
+//! The campaign-service CLI: serve, submit, watch, and audit campaigns
+//! over the `sesame-server` line protocol.
+//!
+//! ```text
+//! sesame-server serve  [--log PATH] [--addr HOST:PORT] [--jobs N]
+//! sesame-server submit <file.sesame> [--addr A] [--seed-start S] [--seeds N] [--clamp-ms M]
+//! sesame-server status <job>        [--addr A]
+//! sesame-server wait   <job>        [--addr A]
+//! sesame-server jobs                [--addr A]
+//! sesame-server stream <job|all>    [--addr A]
+//! sesame-server replay <job> <seed> [--addr A | --log PATH]
+//! sesame-server chain               [--addr A]
+//! sesame-server shutdown            [--addr A]
+//! ```
+//!
+//! Shared flags come from `sesame_bench::cli::BenchArgs` (`--jobs`,
+//! `--seeds`, `--json`); the server-specific ones are parsed off the
+//! remainder here. `--addr` defaults to `127.0.0.1:7788`, `--log` to
+//! `sesame-server.runlog` in the working directory. `replay --log`
+//! audits a log offline — no server needed, which is how an operator
+//! proves after the fact what a dead deployment computed.
+
+use sesame_bench::cli::{BenchArgs, JsonReport};
+use sesame_server::{replay_offline, Client, JobId, JobSpec, Server, ServerConfig, ServerRuntime};
+use std::time::Duration;
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7788";
+
+fn take_str(rest: &mut Vec<String>, flag: &str) -> Option<String> {
+    let mut value = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == flag {
+            if i + 1 < rest.len() {
+                value = Some(rest.remove(i + 1));
+            }
+            rest.remove(i);
+            continue;
+        }
+        if let Some(v) = rest[i].strip_prefix(&format!("{flag}=")) {
+            value = Some(v.to_string());
+            rest.remove(i);
+            continue;
+        }
+        i += 1;
+    }
+    value
+}
+
+fn parse_job(token: &str) -> Option<JobId> {
+    token
+        .strip_prefix("job-")
+        .unwrap_or(token)
+        .parse()
+        .ok()
+        .map(JobId)
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sesame-server: {msg}");
+    std::process::exit(1);
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")))
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sesame-server <serve|submit|status|wait|jobs|stream|replay|chain|shutdown> ..."
+    );
+    eprintln!("  serve  [--log PATH] [--addr HOST:PORT] [--jobs N]");
+    eprintln!("  submit <file.sesame> [--addr A] [--seed-start S] [--seeds N] [--clamp-ms M]");
+    eprintln!("  status <job> [--addr A]        wait <job> [--addr A]");
+    eprintln!("  jobs [--addr A]                stream <job|all> [--addr A]");
+    eprintln!("  replay <job> <seed> [--addr A | --log PATH]");
+    eprintln!("  chain [--addr A]               shutdown [--addr A]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let mut rest = args.rest.clone();
+    let addr = take_str(&mut rest, "--addr").unwrap_or_else(|| DEFAULT_ADDR.to_string());
+    let log = take_str(&mut rest, "--log");
+    let seed_start: u64 = take_str(&mut rest, "--seed-start")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let clamp_ms: u64 = take_str(&mut rest, "--clamp-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let mut positionals = rest.into_iter();
+    let Some(command) = positionals.next() else {
+        usage()
+    };
+
+    match command.as_str() {
+        "serve" => {
+            let log = log.unwrap_or_else(|| "sesame-server.runlog".to_string());
+            let config = ServerConfig {
+                workers: args.effective_jobs(),
+                ..ServerConfig::default()
+            };
+            let runtime = ServerRuntime::start(&log, config)
+                .unwrap_or_else(|e| fail(&format!("start on {log}: {e}")));
+            let mut server = Server::bind(runtime.clone(), &addr)
+                .unwrap_or_else(|e| fail(&format!("bind {addr}: {e}")));
+            println!("sesame-server: serving on {} (log {log})", server.addr());
+            for status in runtime.jobs() {
+                println!("recovered {}", status.render_line());
+            }
+            while !server.is_stopped() {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            server.stop();
+            println!("sesame-server: stopped");
+        }
+        "submit" => {
+            let Some(path) = positionals.next() else {
+                usage()
+            };
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+            let name = std::path::Path::new(&path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("campaign")
+                .to_string();
+            let spec =
+                JobSpec::new(name, source, seed_start, args.seeds.unwrap_or(1)).clamp_ms(clamp_ms);
+            let mut client = connect(&addr);
+            match client.submit(&spec) {
+                Ok(id) => println!("{id} submitted ({} seeds)", spec.seed_count),
+                Err(e) => fail(&e),
+            }
+        }
+        "status" | "wait" => {
+            let Some(job) = positionals.next().as_deref().and_then(parse_job) else {
+                usage()
+            };
+            let mut client = connect(&addr);
+            let result = if command == "wait" {
+                client.wait(job)
+            } else {
+                client.status(job)
+            };
+            match result {
+                Ok(status) => {
+                    println!("{}", status.line);
+                    if status.state == "failed" {
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "jobs" => {
+            let mut client = connect(&addr);
+            match client.jobs() {
+                Ok(lines) => {
+                    for line in lines {
+                        println!("{line}");
+                    }
+                }
+                Err(e) => fail(&e),
+            }
+        }
+        "stream" => {
+            let target = match positionals.next().as_deref() {
+                Some("all") | None => None,
+                Some(token) => match parse_job(token) {
+                    Some(id) => Some(id),
+                    None => usage(),
+                },
+            };
+            let mut client = connect(&addr);
+            match client.stream(target, |line| println!("{line}")) {
+                Ok(events) => eprintln!("stream closed after {events} events"),
+                Err(e) => fail(&e),
+            }
+        }
+        "replay" => {
+            let job = positionals.next().as_deref().and_then(parse_job);
+            let seed = positionals.next().and_then(|t| t.parse::<u64>().ok());
+            let (Some(job), Some(seed)) = (job, seed) else {
+                usage()
+            };
+            let report = if let Some(log) = log {
+                // Offline audit straight from the log file.
+                match replay_offline(&log, job, seed) {
+                    Ok(r) => r,
+                    Err(e) => fail(&format!("offline replay: {e}")),
+                }
+            } else {
+                let mut client = connect(&addr);
+                match client.replay(job, seed) {
+                    Ok(matches) => {
+                        println!(
+                            "{job} seed {seed}: {}",
+                            if matches { "match" } else { "MISMATCH" }
+                        );
+                        std::process::exit(i32::from(!matches));
+                    }
+                    Err(e) => fail(&e),
+                }
+            };
+            let verdict = if report.matches() {
+                "match"
+            } else {
+                "MISMATCH"
+            };
+            JsonReport::new("replay")
+                .str("job", &job.to_string())
+                .int("seed", seed)
+                .int("ticks", report.ticks)
+                .str("digest", &format!("{:#018x}", report.digest))
+                .str("logged_digest", &format!("{:#018x}", report.logged.digest))
+                .str("verdict", verdict)
+                .emit(args.json_path.as_deref());
+            std::process::exit(i32::from(!report.matches()));
+        }
+        "chain" => {
+            let mut client = connect(&addr);
+            match client.chain() {
+                Ok(chain) => println!("chain={chain:#018x}"),
+                Err(e) => fail(&e),
+            }
+        }
+        "shutdown" => {
+            let mut client = connect(&addr);
+            match client.shutdown() {
+                Ok(()) => println!("server shutting down"),
+                Err(e) => fail(&e),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -156,34 +156,59 @@ pub fn digest_platform(platform: &Platform) -> u64 {
 
 /// Minimal FNV-1a. `std`'s hashers are not guaranteed stable across
 /// releases; a checkpoint digest must be.
-struct Fnv(u64);
+///
+/// Public because every digest in the reproduction shares this one
+/// discipline: the checkpoint digest here, the conformance digests the
+/// bench binaries assert, and the `sesame-server` run log's
+/// record-chain digest all hash the same way, so a digest logged by one
+/// layer is directly comparable to one recomputed by another.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl Fnv {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
 
-    fn new() -> Self {
+    /// A fresh hasher at the standard FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv(Self::OFFSET)
     }
 
-    fn bytes(&mut self, bytes: &[u8]) {
+    /// Resumes hashing from a previous [`Fnv::finish`] value — the
+    /// chaining primitive the event-sourced run log uses: each record's
+    /// digest seeds the next record's hash, so flipping any byte
+    /// anywhere invalidates every digest after it.
+    pub fn resume(state: u64) -> Self {
+        Fnv(state)
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
         for b in bytes {
             self.0 ^= u64::from(*b);
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn u64(&mut self, v: u64) {
+    /// Feeds a `u64` as its little-endian bytes.
+    pub fn u64(&mut self, v: u64) {
         self.bytes(&v.to_le_bytes());
     }
 
     /// Hashes the exact bit pattern — digest equality is bit-identity,
     /// not approximate float equality.
-    fn f64(&mut self, v: f64) {
+    pub fn f64(&mut self, v: f64) {
         self.u64(v.to_bits());
     }
 
-    fn finish(&self) -> u64 {
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
         self.0
     }
 }

@@ -48,6 +48,6 @@ pub mod metrics;
 pub mod span;
 pub mod trace;
 
-pub use metrics::{Histogram, HistogramSummary, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{Histogram, HistogramSummary, MetricsDelta, MetricsRegistry, MetricsSnapshot};
 pub use span::TickSpan;
 pub use trace::{TraceEvent, TraceLog, TraceRecord};

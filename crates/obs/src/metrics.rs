@@ -562,6 +562,71 @@ impl MetricsSnapshot {
         }
         out
     }
+
+    /// The change since `prev`: counters report the *increment*,
+    /// gauges report their new value when it changed bit-for-bit.
+    /// Histograms are deliberately excluded — they condense to summaries
+    /// that do not subtract meaningfully.
+    ///
+    /// This is the streaming projection of the registry: a subscriber
+    /// that applies every delta in order reconstructs the counters and
+    /// gauges of the final snapshot, and quiet intervals produce an
+    /// [`MetricsDelta::is_empty`] delta the sender can skip entirely.
+    pub fn delta_since(&self, prev: &MetricsSnapshot) -> MetricsDelta {
+        let mut delta = MetricsDelta::default();
+        for (name, &v) in &self.counters {
+            let before = prev.counter(name);
+            if v > before {
+                delta.counters.insert(name.clone(), v - before);
+            } else if v < before {
+                // A counter moved backwards (a reset, which the live
+                // registry never does): resynchronize on the absolute
+                // value rather than invent a negative increment.
+                delta.counters.insert(name.clone(), v);
+            }
+        }
+        for (name, &v) in &self.gauges {
+            if prev.gauge(name).map(f64::to_bits) != Some(v.to_bits()) {
+                delta.gauges.insert(name.clone(), v);
+            }
+        }
+        delta
+    }
+
+    /// Applies a delta produced by [`MetricsSnapshot::delta_since`]:
+    /// counters accumulate, gauges overwrite.
+    pub fn apply_delta(&mut self, delta: &MetricsDelta) {
+        for (name, &v) in &delta.counters {
+            let slot = self.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(v);
+        }
+        for (name, &v) in &delta.gauges {
+            self.gauges.insert(name.clone(), v);
+        }
+    }
+}
+
+/// The changed counters (as increments) and gauges (as new values)
+/// between two [`MetricsSnapshot`]s — the unit the campaign service
+/// streams to subscribers instead of re-sending whole snapshots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsDelta {
+    /// Counter increments since the previous snapshot.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges whose value changed, with their new value.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsDelta {
+    /// True when nothing changed over the interval.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    /// Total number of changed entries.
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len()
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +643,40 @@ mod tests {
         m.set_cache_counters("eddi.cache", 8, 3);
         assert_eq!(m.counter("eddi.cache.hit"), 8);
         assert_eq!(m.counter("eddi.cache.miss"), 3);
+    }
+
+    #[test]
+    fn delta_reports_only_changes_and_replays_to_the_final_state() {
+        let mut m = MetricsRegistry::new();
+        m.inc("runs.completed");
+        m.set_gauge("queue.depth", 3.0);
+        let first = m.snapshot();
+        // Quiet interval: empty delta.
+        assert!(m.snapshot().delta_since(&first).is_empty());
+        m.add("runs.completed", 4);
+        m.inc("runs.failed");
+        m.set_gauge("queue.depth", 1.0);
+        let second = m.snapshot();
+        let delta = second.delta_since(&first);
+        assert_eq!(delta.counters.get("runs.completed"), Some(&4));
+        assert_eq!(delta.counters.get("runs.failed"), Some(&1));
+        assert_eq!(delta.gauges.get("queue.depth"), Some(&1.0));
+        assert_eq!(delta.len(), 3);
+        // Applying the delta stream reconstructs the final counters/gauges.
+        let mut replayed = MetricsSnapshot::default();
+        replayed.apply_delta(&first.delta_since(&MetricsSnapshot::default()));
+        replayed.apply_delta(&delta);
+        assert_eq!(replayed.counters, second.counters);
+        assert_eq!(replayed.gauges, second.gauges);
+    }
+
+    #[test]
+    fn delta_distinguishes_gauge_bit_patterns() {
+        let mut a = MetricsSnapshot::default();
+        a.gauges.insert("g".into(), 0.0);
+        let mut b = MetricsSnapshot::default();
+        b.gauges.insert("g".into(), -0.0);
+        assert_eq!(b.delta_since(&a).gauges.get("g"), Some(&-0.0));
     }
 
     #[test]

@@ -995,6 +995,7 @@ fn assemble(decl: &ScenarioDecl, env: &mut Env) -> Result<CompiledScenario, DslE
     Ok(CompiledScenario {
         name: Arc::from(decl.name.as_str()),
         proto: builder,
+        source: Arc::from(""),
     })
 }
 
@@ -1013,12 +1014,29 @@ fn assemble(decl: &ScenarioDecl, env: &mut Env) -> Result<CompiledScenario, DslE
 pub struct CompiledScenario {
     name: Arc<str>,
     proto: ScenarioBuilder,
+    source: Arc<str>,
 }
 
 impl CompiledScenario {
     /// The scenario's declared name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The text of the compilation unit this scenario came from — the
+    /// submission surface of the campaign service. The server logs this
+    /// text verbatim in its event-sourced run log, and replay recompiles
+    /// it with [`compile_str`], so a submission is replayable after a
+    /// process restart without any reference to the submitting host's
+    /// filesystem. Post-compile adjustments
+    /// ([`CompiledScenario::with_deadline_clamped`]) do not rewrite the
+    /// source: it always reads as submitted.
+    ///
+    /// Scenarios assembled by hand in tests (not through
+    /// [`Compiler::compile_file`] / [`Compiler::compile_str`]) carry an
+    /// empty source.
+    pub fn source(&self) -> &str {
+        &self.source
     }
 
     /// A per-seed builder, identical to the prototype apart from the
@@ -1289,7 +1307,9 @@ impl Compiler {
             driver.include_stack.push(canonical);
         }
         driver.unit(&name, &src, &parsed, path.parent())?;
-        Ok(driver.scenarios)
+        let mut scenarios = driver.scenarios;
+        attach_source(&mut scenarios, &src);
+        Ok(scenarios)
     }
 
     /// Compiles every scenario declared in `src`. `name` labels error
@@ -1305,7 +1325,21 @@ impl Compiler {
             include_stack: Vec::new(),
         };
         driver.unit(name, src, &parsed, None)?;
-        Ok(driver.scenarios)
+        let mut scenarios = driver.scenarios;
+        attach_source(&mut scenarios, src);
+        Ok(scenarios)
+    }
+}
+
+/// Stamps the top-level compilation unit's text onto every scenario it
+/// produced (one shared allocation). Scenarios pulled in through
+/// `include` get the *including* unit's source — recompiling that text
+/// in the same directory reproduces the whole set, which is the
+/// contract [`CompiledScenario::source`] documents.
+fn attach_source(scenarios: &mut [CompiledScenario], src: &str) {
+    let shared: Arc<str> = Arc::from(src);
+    for s in scenarios {
+        s.source = Arc::clone(&shared);
     }
 }
 

@@ -1,0 +1,73 @@
+//! # sesame-server — campaign-as-a-service for the SESAME platform
+//!
+//! Turns the batch simulation stack into a long-lived service: clients
+//! submit *campaigns* (a scenario-DSL source plus a seed range) over a
+//! std-only TCP line protocol, a thread pool multiplexes many campaigns
+//! over the same executors the batch binaries use, subscribers stream
+//! zero-copy progress events, and every completed run is journaled to
+//! an event-sourced, digest-chained log from which any seed is
+//! replayable bit-identically — even after the process is killed and
+//! restarted.
+//!
+//! The crate stacks four layers, each usable without the ones above:
+//!
+//! | layer | module | what it owns |
+//! |---|---|---|
+//! | run log | [`log`] | append-only records, FNV digest chain, corruption detection |
+//! | jobs | [`job`] | the submission unit, compilation, lifecycle, status |
+//! | runtime | [`runtime`] | worker pool, recovery, replay, shutdown |
+//! | wire | [`net`] + [`stream`] | TCP protocol, event fanout |
+//!
+//! ## Why event-sourced
+//!
+//! The service keeps **no state file**: the append-only log of
+//! submissions and completions *is* the state, and startup is a replay
+//! of that log. Because every record is chained through the same FNV
+//! construction the checkpoint digests use
+//! ([`sesame_core::checkpoint::Fnv`]), a flipped byte or a torn tail
+//! anywhere in history is detected before the service accepts new work
+//! — the log is trustworthy evidence, in the spirit of the paper's
+//! dependability case for multi-UAV operations: what the fleet did must
+//! be provable after the fact, not just observable while it runs.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use sesame_server::{JobSpec, ServerConfig, ServerRuntime};
+//!
+//! let dir = std::env::temp_dir().join(format!("sesame-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let log = dir.join("tour.runlog");
+//!
+//! let rt = ServerRuntime::start(&log, ServerConfig { workers: 2, ..Default::default() }).unwrap();
+//! let src = r#"
+//! scenario "tour" {
+//!     world { area = (60.0, 40.0), persons = 1 }
+//!     mission { deadline = 30s }
+//! }
+//! "#;
+//! let id = rt.submit(JobSpec::new("tour", src, 0, 2).clamp_ms(5_000)).unwrap();
+//! let status = rt.wait(id).unwrap();
+//! assert_eq!(status.completed_runs, 2);
+//! // Any completed seed replays bit-identically from the log alone.
+//! assert!(rt.replay(id, 1).unwrap().matches());
+//! rt.shutdown();
+//! # std::fs::remove_file(&log).ok();
+//! ```
+//!
+//! The TCP front end ([`net::Server`] / [`net::Client`]) exposes the
+//! same operations as single-line commands; `serverbench` (in
+//! `sesame-bench`) soaks the whole stack — concurrent clients, a
+//! mid-campaign kill, recovery, and a full replay audit.
+
+pub mod job;
+pub mod log;
+pub mod net;
+pub mod runtime;
+pub mod stream;
+
+pub use job::{JobId, JobSpec, JobState, JobStatus, RunFact};
+pub use log::{LogError, Record, RunLog};
+pub use net::{Client, Server, WireStatus};
+pub use runtime::{replay_offline, ReplayReport, ServerConfig, ServerError, ServerRuntime};
+pub use stream::{Fanout, StreamEvent};

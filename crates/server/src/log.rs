@@ -1,0 +1,545 @@
+//! The event-sourced run log — the campaign service's persistent,
+//! auditable record and its replay store.
+//!
+//! Every state change the service must survive a restart with is an
+//! appended [`Record`]: a submission (with the full `.sesame` source
+//! text, so replay needs nothing but the log), a completed seed run
+//! (with its conformance digest), or a finished job. The log is
+//! **append-only**: nothing is ever rewritten, and recovery is a single
+//! forward scan.
+//!
+//! # Framing and the digest chain
+//!
+//! Each record is framed as
+//!
+//! ```text
+//! [u32 len (LE)] [len payload bytes] [u64 chain digest (LE)]
+//! ```
+//!
+//! where the chain digest is FNV-1a (the same
+//! [`sesame_core::checkpoint::Fnv`] discipline every conformance digest
+//! in the workspace uses) over the payload bytes, **seeded with the
+//! previous record's chain digest**. The chain makes the log
+//! tamper-evident end to end: flipping any byte of any payload breaks
+//! that record's digest *and* every digest after it, and truncating at
+//! a non-record boundary is detected by the framing. The final chain
+//! value is therefore a digest of the entire history, cheap to compare
+//! across replicas or audits.
+//!
+//! # Reading
+//!
+//! [`RunLog::open`] verifies the whole chain and returns the records
+//! alongside a writer positioned for append; [`read_all`] is the
+//! read-only flavor. Both fail with a typed [`LogError`] on the first
+//! corrupt byte — a torn log never yields partial silently-wrong
+//! history, which is what lets replay "fail cleanly" on corruption.
+
+use sesame_core::checkpoint::Fnv;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Upper bound on a single record's payload, guarding the reader from
+/// allocating gigabytes when a corrupt length field is read.
+pub const MAX_RECORD_LEN: u32 = 1 << 24;
+
+/// The chain seed before any record exists (the FNV-1a offset basis).
+pub fn genesis_chain() -> u64 {
+    Fnv::new().finish()
+}
+
+/// One persisted event. The log stores everything needed to rebuild the
+/// service's job table and to replay any completed run bit-identically:
+/// sources travel in the submission record, digests in the completion
+/// records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// A campaign was accepted: the scenario source text (compiled and
+    /// validated before this record was written), the seed range, and
+    /// the optional deadline clamp in milliseconds (0 = none) that the
+    /// service applies before running — replay re-applies it, so the
+    /// clamp is part of the persisted description, not ambient config.
+    JobSubmitted {
+        /// The service-assigned job id.
+        job: u64,
+        /// The scenario's declared name.
+        name: String,
+        /// The full `.sesame` submission text.
+        source: String,
+        /// First seed of the campaign's range.
+        seed_start: u64,
+        /// Number of seeds in the range.
+        seed_count: u64,
+        /// Deadline clamp in milliseconds; 0 means "as declared".
+        clamp_ms: u64,
+    },
+    /// One seed of a campaign ran to completion with this conformance
+    /// digest ([`sesame_core::checkpoint::digest_platform`]).
+    RunCompleted {
+        /// The owning job.
+        job: u64,
+        /// The seed that ran.
+        seed: u64,
+        /// Closed-loop ticks the run took.
+        ticks: u64,
+        /// The end-of-run platform digest replay must reproduce.
+        digest: u64,
+    },
+    /// Every seed of the job has a [`Record::RunCompleted`] entry.
+    JobFinished {
+        /// The finished job.
+        job: u64,
+    },
+}
+
+impl Record {
+    /// Serializes the record payload (no framing, no chain).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Record::JobSubmitted {
+                job,
+                name,
+                source,
+                seed_start,
+                seed_count,
+                clamp_ms,
+            } => {
+                out.push(1u8);
+                put_u64(&mut out, *job);
+                put_str(&mut out, name);
+                put_str(&mut out, source);
+                put_u64(&mut out, *seed_start);
+                put_u64(&mut out, *seed_count);
+                put_u64(&mut out, *clamp_ms);
+            }
+            Record::RunCompleted {
+                job,
+                seed,
+                ticks,
+                digest,
+            } => {
+                out.push(2u8);
+                put_u64(&mut out, *job);
+                put_u64(&mut out, *seed);
+                put_u64(&mut out, *ticks);
+                put_u64(&mut out, *digest);
+            }
+            Record::JobFinished { job } => {
+                out.push(3u8);
+                put_u64(&mut out, *job);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a payload produced by [`Record::encode`]. `seq` only
+    /// labels the error.
+    pub fn decode(payload: &[u8], seq: u64) -> Result<Record, LogError> {
+        let mut c = Cursor { buf: payload, seq };
+        let record = match c.u8()? {
+            1 => Record::JobSubmitted {
+                job: c.u64()?,
+                name: c.string()?,
+                source: c.string()?,
+                seed_start: c.u64()?,
+                seed_count: c.u64()?,
+                clamp_ms: c.u64()?,
+            },
+            2 => Record::RunCompleted {
+                job: c.u64()?,
+                seed: c.u64()?,
+                ticks: c.u64()?,
+                digest: c.u64()?,
+            },
+            3 => Record::JobFinished { job: c.u64()? },
+            tag => {
+                return Err(LogError::Malformed {
+                    seq,
+                    reason: format!("unknown record tag {tag}"),
+                })
+            }
+        };
+        if !c.buf.is_empty() {
+            return Err(LogError::Malformed {
+                seq,
+                reason: format!("{} trailing payload byte(s)", c.buf.len()),
+            });
+        }
+        Ok(record)
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked payload reader.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    seq: u64,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], LogError> {
+        if self.buf.len() < n {
+            return Err(LogError::Malformed {
+                seq: self.seq,
+                reason: format!("payload needs {n} more byte(s), has {}", self.buf.len()),
+            });
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, LogError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, LogError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, LogError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, LogError> {
+        let len = self.u32()? as usize;
+        let seq = self.seq;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| LogError::Malformed {
+            seq,
+            reason: "string field is not UTF-8".into(),
+        })
+    }
+}
+
+/// Why a log could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// An underlying filesystem error.
+    Io(String),
+    /// The file ends inside a record frame — a torn tail. `records`
+    /// whole records were read before the tear at byte `offset`.
+    Truncated {
+        /// Count of intact records before the tear.
+        records: u64,
+        /// Byte offset where the torn frame starts.
+        offset: u64,
+    },
+    /// A record's chain digest does not match the recomputation — some
+    /// byte of this record (or an earlier digest) was altered.
+    ChainMismatch {
+        /// Zero-based index of the corrupt record.
+        seq: u64,
+        /// The digest stored in the file.
+        stored: u64,
+        /// The digest recomputed over the payload.
+        computed: u64,
+    },
+    /// A payload failed structural decoding.
+    Malformed {
+        /// Zero-based index of the corrupt record.
+        seq: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A length field exceeded [`MAX_RECORD_LEN`].
+    Oversized {
+        /// Zero-based index of the corrupt record.
+        seq: u64,
+        /// The claimed payload length.
+        len: u32,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::Io(e) => write!(f, "run log I/O error: {e}"),
+            LogError::Truncated { records, offset } => write!(
+                f,
+                "run log torn at byte {offset}: {records} intact record(s), then a partial frame"
+            ),
+            LogError::ChainMismatch {
+                seq,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "run log record {seq} fails the digest chain: stored {stored:#018x}, \
+                 recomputed {computed:#018x}"
+            ),
+            LogError::Malformed { seq, reason } => {
+                write!(f, "run log record {seq} is malformed: {reason}")
+            }
+            LogError::Oversized { seq, len } => write!(
+                f,
+                "run log record {seq} claims a {len}-byte payload (limit {MAX_RECORD_LEN})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+impl From<std::io::Error> for LogError {
+    fn from(e: std::io::Error) -> Self {
+        LogError::Io(e.to_string())
+    }
+}
+
+/// The append-side handle: an open file positioned at the verified end
+/// of the log, carrying the running chain digest.
+#[derive(Debug)]
+pub struct RunLog {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    chain: u64,
+    records: u64,
+}
+
+impl RunLog {
+    /// Creates an empty log at `path`, truncating anything there.
+    pub fn create(path: impl AsRef<Path>) -> Result<RunLog, LogError> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(RunLog {
+            writer: BufWriter::new(file),
+            path,
+            chain: genesis_chain(),
+            records: 0,
+        })
+    }
+
+    /// Opens an existing log, verifying the full digest chain, and
+    /// returns the records plus a writer positioned for append. Any
+    /// corruption — torn tail, flipped byte, bad structure — fails the
+    /// open; an event-sourced store must never resume on top of history
+    /// it cannot vouch for.
+    pub fn open(path: impl AsRef<Path>) -> Result<(RunLog, Vec<Record>), LogError> {
+        let path = path.as_ref().to_path_buf();
+        let records = read_all(&path)?;
+        let mut chain = genesis_chain();
+        for r in &records {
+            chain = chain_digest(chain, &r.encode());
+        }
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok((
+            RunLog {
+                writer: BufWriter::new(file),
+                path,
+                chain,
+                records: records.len() as u64,
+            },
+            records,
+        ))
+    }
+
+    /// Appends one record and flushes it to the OS, returning the new
+    /// chain digest (a digest of the entire history so far).
+    pub fn append(&mut self, record: &Record) -> Result<u64, LogError> {
+        let payload = record.encode();
+        debug_assert!(payload.len() as u32 <= MAX_RECORD_LEN);
+        self.chain = chain_digest(self.chain, &payload);
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer.write_all(&payload)?;
+        self.writer.write_all(&self.chain.to_le_bytes())?;
+        self.writer.flush()?;
+        self.records += 1;
+        Ok(self.chain)
+    }
+
+    /// The digest over the entire appended history.
+    pub fn chain(&self) -> u64 {
+        self.chain
+    }
+
+    /// How many records the log holds.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The file backing this log.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The chaining step: FNV-1a over `payload`, seeded with the previous
+/// chain digest.
+pub fn chain_digest(prev: u64, payload: &[u8]) -> u64 {
+    let mut h = Fnv::resume(prev);
+    h.bytes(payload);
+    h.finish()
+}
+
+/// Reads and verifies every record of the log at `path` without opening
+/// it for append — the read side used by recovery scans and replay.
+pub fn read_all(path: impl AsRef<Path>) -> Result<Vec<Record>, LogError> {
+    let mut bytes = Vec::new();
+    File::open(path.as_ref())?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut chain = genesis_chain();
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let seq = records.len() as u64;
+        let frame_start = offset as u64;
+        let torn = |records: &Vec<Record>| LogError::Truncated {
+            records: records.len() as u64,
+            offset: frame_start,
+        };
+        if bytes.len() - offset < 4 {
+            return Err(torn(&records));
+        }
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            return Err(LogError::Oversized { seq, len });
+        }
+        offset += 4;
+        let len = len as usize;
+        if bytes.len() - offset < len + 8 {
+            return Err(torn(&records));
+        }
+        let payload = &bytes[offset..offset + len];
+        offset += len;
+        let stored = u64::from_le_bytes(bytes[offset..offset + 8].try_into().unwrap());
+        offset += 8;
+        let computed = chain_digest(chain, payload);
+        if stored != computed {
+            return Err(LogError::ChainMismatch {
+                seq,
+                stored,
+                computed,
+            });
+        }
+        records.push(Record::decode(payload, seq)?);
+        chain = computed;
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sesame-runlog-{}-{name}.log", std::process::id()));
+        p
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::JobSubmitted {
+                job: 1,
+                name: "demo".into(),
+                source: "scenario \"demo\" { mission { deadline = 10s } }\n".into(),
+                seed_start: 0,
+                seed_count: 2,
+                clamp_ms: 5_000,
+            },
+            Record::RunCompleted {
+                job: 1,
+                seed: 0,
+                ticks: 100,
+                digest: 0xdead_beef,
+            },
+            Record::RunCompleted {
+                job: 1,
+                seed: 1,
+                ticks: 100,
+                digest: 0xfeed_face,
+            },
+            Record::JobFinished { job: 1 },
+        ]
+    }
+
+    #[test]
+    fn append_reopen_round_trips() {
+        let path = tmp("roundtrip");
+        let mut log = RunLog::create(&path).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        let final_chain = log.chain();
+        drop(log);
+        let (reopened, records) = RunLog::open(&path).unwrap();
+        assert_eq!(records, sample_records());
+        assert_eq!(reopened.chain(), final_chain);
+        assert_eq!(reopened.records(), 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn append_after_reopen_continues_the_chain() {
+        let path = tmp("continue");
+        let mut log = RunLog::create(&path).unwrap();
+        log.append(&sample_records()[0]).unwrap();
+        drop(log);
+        let (mut log, _) = RunLog::open(&path).unwrap();
+        log.append(&sample_records()[1]).unwrap();
+        let (_, records) = RunLog::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flipped_byte_breaks_the_chain() {
+        let path = tmp("flip");
+        let mut log = RunLog::create(&path).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        drop(log);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        match read_all(&path) {
+            Err(LogError::ChainMismatch { .. })
+            | Err(LogError::Malformed { .. })
+            | Err(LogError::Oversized { .. })
+            | Err(LogError::Truncated { .. }) => {}
+            other => panic!("corruption not detected: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_detected() {
+        let path = tmp("tear");
+        let mut log = RunLog::create(&path).unwrap();
+        for r in sample_records() {
+            log.append(&r).unwrap();
+        }
+        drop(log);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        match read_all(&path) {
+            Err(LogError::Truncated { records, .. }) => assert_eq!(records, 3),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chain_digest_is_order_sensitive() {
+        let a = chain_digest(chain_digest(genesis_chain(), b"one"), b"two");
+        let b = chain_digest(chain_digest(genesis_chain(), b"two"), b"one");
+        assert_ne!(a, b);
+    }
+}

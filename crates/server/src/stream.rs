@@ -1,0 +1,323 @@
+//! Zero-copy event streaming to any number of subscribers.
+//!
+//! The delivery substrate follows the bus fast path from
+//! `sesame-middleware` (PR 4): an event is allocated **once** behind an
+//! [`Arc`], and fanout hands each subscriber a refcount bump, never a
+//! copy. Subscribers that lag get events dropped (bounded per-subscriber
+//! queues, drop counters kept) rather than back-pressuring the workers —
+//! the live run is authoritative and fully reconstructable from the run
+//! log, so a stream is a best-effort tail, not a second source of truth.
+
+use crate::job::JobId;
+use sesame_obs::MetricsDelta;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// Queue depth per subscriber before events are dropped.
+pub const SUBSCRIBER_QUEUE: usize = 1024;
+
+/// What the service streams: job lifecycle transitions, periodic
+/// platform snapshots, and obs-metrics deltas
+/// ([`sesame_obs::MetricsSnapshot::delta_since`]) instead of whole
+/// snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// A submission was accepted.
+    JobQueued {
+        /// The new job.
+        job: JobId,
+        /// Its declared scenario name.
+        name: String,
+        /// Seeds it will sweep.
+        seed_count: u64,
+    },
+    /// A worker picked up one seed.
+    RunStarted {
+        /// The owning job.
+        job: JobId,
+        /// The seed now running.
+        seed: u64,
+    },
+    /// A periodic snapshot of the running platform (compact projection
+    /// of `Platform` state at the streaming cadence).
+    Snapshot {
+        /// The owning job.
+        job: JobId,
+        /// The seed being run.
+        seed: u64,
+        /// Closed-loop ticks so far.
+        tick: u64,
+        /// Simulation time, milliseconds.
+        time_ms: u64,
+        /// Mission completion fraction.
+        completion: f64,
+        /// De-duplicated persons found so far.
+        persons_found: usize,
+    },
+    /// The obs metrics that changed since the previous snapshot.
+    Metrics {
+        /// The owning job.
+        job: JobId,
+        /// The seed being run.
+        seed: u64,
+        /// Closed-loop ticks so far.
+        tick: u64,
+        /// Changed counters (increments) and gauges (new values).
+        delta: MetricsDelta,
+    },
+    /// One seed finished; `chain` is the run log's whole-history digest
+    /// after this run was appended.
+    RunCompleted {
+        /// The owning job.
+        job: JobId,
+        /// The finished seed.
+        seed: u64,
+        /// Ticks the run took.
+        ticks: u64,
+        /// The end-of-run conformance digest.
+        digest: u64,
+        /// The log's chain digest after appending this run.
+        chain: u64,
+    },
+    /// Every seed of the job completed.
+    JobCompleted {
+        /// The finished job.
+        job: JobId,
+        /// Total completed runs (including recovered ones).
+        runs: u64,
+    },
+    /// The job failed; completed runs stay replayable.
+    JobFailed {
+        /// The failed job.
+        job: JobId,
+        /// Why, single line.
+        error: String,
+    },
+}
+
+impl StreamEvent {
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            StreamEvent::JobQueued { job, .. }
+            | StreamEvent::RunStarted { job, .. }
+            | StreamEvent::Snapshot { job, .. }
+            | StreamEvent::Metrics { job, .. }
+            | StreamEvent::RunCompleted { job, .. }
+            | StreamEvent::JobCompleted { job, .. }
+            | StreamEvent::JobFailed { job, .. } => *job,
+        }
+    }
+
+    /// Whether this event terminates a per-job stream.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            StreamEvent::JobCompleted { .. } | StreamEvent::JobFailed { .. }
+        )
+    }
+
+    /// The single-line wire rendering (`key=value` pairs; metric deltas
+    /// inline as `name:+inc` / `name:=value`).
+    pub fn render_line(&self) -> String {
+        match self {
+            StreamEvent::JobQueued {
+                job,
+                name,
+                seed_count,
+            } => format!("event=job_queued job={job} name={name} seeds={seed_count}"),
+            StreamEvent::RunStarted { job, seed } => {
+                format!("event=run_started job={job} seed={seed}")
+            }
+            StreamEvent::Snapshot {
+                job,
+                seed,
+                tick,
+                time_ms,
+                completion,
+                persons_found,
+            } => format!(
+                "event=snapshot job={job} seed={seed} tick={tick} t_ms={time_ms} \
+                 completion={completion:.4} persons={persons_found}"
+            ),
+            StreamEvent::Metrics {
+                job,
+                seed,
+                tick,
+                delta,
+            } => {
+                let mut line = format!(
+                    "event=metrics job={job} seed={seed} tick={tick} changed={}",
+                    delta.len()
+                );
+                for (k, v) in &delta.counters {
+                    let _ = write!(line, " {k}:+{v}");
+                }
+                for (k, v) in &delta.gauges {
+                    let _ = write!(line, " {k}:={v}");
+                }
+                line
+            }
+            StreamEvent::RunCompleted {
+                job,
+                seed,
+                ticks,
+                digest,
+                chain,
+            } => format!(
+                "event=run_completed job={job} seed={seed} ticks={ticks} \
+                 digest={digest:#018x} chain={chain:#018x}"
+            ),
+            StreamEvent::JobCompleted { job, runs } => {
+                format!("event=job_completed job={job} runs={runs}")
+            }
+            StreamEvent::JobFailed { job, error } => {
+                format!(
+                    "event=job_failed job={job} error={}",
+                    error.replace('\n', " | ")
+                )
+            }
+        }
+    }
+}
+
+struct Subscriber {
+    /// `None` subscribes to every job.
+    job: Option<JobId>,
+    tx: SyncSender<Arc<StreamEvent>>,
+}
+
+/// The multi-subscriber fanout. Publishing takes one allocation (the
+/// `Arc`) regardless of subscriber count; a subscriber is a bounded
+/// queue that is dropped from the registry when its receiver goes away.
+#[derive(Default)]
+pub struct Fanout {
+    subs: Mutex<Vec<Subscriber>>,
+    dropped: AtomicU64,
+    delivered: AtomicU64,
+}
+
+impl Fanout {
+    /// A fanout with no subscribers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a subscriber for one job (or all jobs with `None`) and
+    /// returns the receiving end of its queue.
+    pub fn subscribe(&self, job: Option<JobId>) -> Receiver<Arc<StreamEvent>> {
+        let (tx, rx) = sync_channel(SUBSCRIBER_QUEUE);
+        self.subs.lock().unwrap().push(Subscriber { job, tx });
+        rx
+    }
+
+    /// Whether anyone is listening to `job` right now — workers skip
+    /// building snapshot/delta events entirely when nobody is.
+    pub fn has_subscribers(&self, job: JobId) -> bool {
+        self.subs
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|s| s.job.is_none() || s.job == Some(job))
+    }
+
+    /// Delivers `event` to every matching subscriber: one `Arc` clone
+    /// each, drop-on-full, unsubscribe-on-disconnect.
+    pub fn publish(&self, event: StreamEvent) {
+        let event = Arc::new(event);
+        let job = event.job();
+        let mut subs = self.subs.lock().unwrap();
+        subs.retain(|s| {
+            if s.job.is_some() && s.job != Some(job) {
+                return true;
+            }
+            match s.tx.try_send(Arc::clone(&event)) {
+                Ok(()) => {
+                    self.delivered.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                Err(TrySendError::Disconnected(_)) => false,
+            }
+        });
+    }
+
+    /// Events delivered across all subscribers so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped on full subscriber queues so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(job: u64, seed: u64) -> StreamEvent {
+        StreamEvent::RunStarted {
+            job: JobId(job),
+            seed,
+        }
+    }
+
+    #[test]
+    fn fanout_delivers_one_arc_to_each_matching_subscriber() {
+        let fanout = Fanout::new();
+        let all = fanout.subscribe(None);
+        let only_two = fanout.subscribe(Some(JobId(2)));
+        fanout.publish(ev(1, 0));
+        fanout.publish(ev(2, 0));
+        let first = all.try_recv().unwrap();
+        let second = all.try_recv().unwrap();
+        assert_eq!(first.job(), JobId(1));
+        assert_eq!(second.job(), JobId(2));
+        let filtered = only_two.try_recv().unwrap();
+        assert_eq!(filtered.job(), JobId(2));
+        assert!(only_two.try_recv().is_err());
+        // The filtered subscriber shares the very allocation the
+        // unfiltered one got — fanout never deep-copies.
+        assert!(Arc::ptr_eq(&second, &filtered));
+        assert_eq!(fanout.delivered(), 3);
+    }
+
+    #[test]
+    fn disconnected_subscribers_are_pruned_and_full_queues_drop() {
+        let fanout = Fanout::new();
+        let rx = fanout.subscribe(None);
+        drop(rx);
+        fanout.publish(ev(1, 0));
+        assert!(!fanout.has_subscribers(JobId(1)));
+        let _rx = fanout.subscribe(Some(JobId(1)));
+        for seed in 0..(SUBSCRIBER_QUEUE as u64 + 5) {
+            fanout.publish(ev(1, seed));
+        }
+        assert_eq!(fanout.dropped(), 5);
+    }
+
+    #[test]
+    fn wire_lines_are_single_line_and_carry_deltas() {
+        let mut delta = MetricsDelta::default();
+        delta.counters.insert("bus.published".into(), 12);
+        delta.gauges.insert("queue.depth".into(), 2.0);
+        let line = StreamEvent::Metrics {
+            job: JobId(3),
+            seed: 7,
+            tick: 40,
+            delta,
+        }
+        .render_line();
+        assert!(line.contains("changed=2"));
+        assert!(line.contains("bus.published:+12"));
+        assert!(line.contains("queue.depth:=2"));
+        assert!(!line.contains('\n'));
+    }
+}

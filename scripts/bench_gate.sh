@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Throughput regression gate: compares the freshly generated
 # BENCH_bus.json / BENCH_eddi.json / BENCH_fleet.json / BENCH_tick.json
-# (written by scripts/check.sh smoke runs) against the committed
-# baselines in scripts/baselines/.
+# / BENCH_server.json (written by scripts/check.sh smoke runs) against
+# the committed baselines in scripts/baselines/.
 #
 #   scripts/bench_gate.sh                    # gate against the baselines
 #   UPDATE_BASELINE=1 scripts/bench_gate.sh  # accept the fresh numbers
@@ -53,6 +53,34 @@ gate() {
     echo "bench_gate: $label $key $fresh vs baseline $baseline — ok"
 }
 
+# gate_max <fresh_file> <key> <max_multiple> <label> — inverted gate for
+# latency-style metrics where *higher* is worse: fail when the fresh
+# value exceeds max_multiple x baseline.
+gate_max() {
+    local fresh_file="$1" key="$2" max_multiple="$3" label="$4"
+    local baseline_file="$BASELINE_DIR/$(basename "$fresh_file")"
+    if [[ ! -f "$fresh_file" ]]; then
+        echo "bench_gate: $fresh_file missing — run scripts/check.sh first" >&2
+        exit 1
+    fi
+    if [[ ! -f "$baseline_file" ]]; then
+        echo "bench_gate: no baseline $baseline_file — run UPDATE_BASELINE=1 scripts/bench_gate.sh" >&2
+        exit 1
+    fi
+    local fresh baseline
+    fresh="$(extract "$fresh_file" "$key")"
+    baseline="$(extract "$baseline_file" "$key")"
+    if [[ -z "$fresh" || -z "$baseline" ]]; then
+        echo "bench_gate: could not extract $key from $fresh_file / $baseline_file" >&2
+        exit 1
+    fi
+    if awk -v f="$fresh" -v b="$baseline" -v m="$max_multiple" 'BEGIN { exit !(f > m * b) }'; then
+        echo "bench_gate: FAIL — $label $key regressed above ${max_multiple}x baseline: $fresh vs $baseline" >&2
+        exit 1
+    fi
+    echo "bench_gate: $label $key $fresh vs baseline $baseline — ok"
+}
+
 update() {
     local fresh_file="$1"
     if [[ ! -f "$fresh_file" ]]; then
@@ -70,6 +98,7 @@ if [[ "${UPDATE_BASELINE:-0}" == "1" ]]; then
     update BENCH_fleet.json
     update BENCH_recovery.json
     update BENCH_tick.json
+    update BENCH_server.json
     exit 0
 fi
 
@@ -91,3 +120,10 @@ gate BENCH_recovery.json uav_ticks_per_sec 0.5 fleetbench-recovery
 # absolute ticks/sec floor.
 gate BENCH_tick.json speedup       0.8 tickbench
 gate BENCH_tick.json ticks_per_sec 0.5 tickbench
+# Campaign-service soak: absolute throughput floors (loose, wall-clock
+# bound) plus a tail-latency ceiling — submit→complete p99 more than 4x
+# the baseline means the scheduler or the log path got slow, even if
+# throughput survived.
+gate BENCH_server.json runs_per_sec      0.5 serverbench
+gate BENCH_server.json campaigns_per_sec 0.5 serverbench
+gate_max BENCH_server.json latency_p99_ms 4.0 serverbench

@@ -59,6 +59,13 @@ echo "==> tickbench smoke: end-to-end platform ticks/sec must hold the 3x margin
 cargo run -q --release -p sesame-bench --bin tickbench -- smoke > BENCH_tick.json
 cat BENCH_tick.json
 
+echo "==> serverbench soak: 8 clients x 34 campaigns with a mid-campaign kill-and-restart; every run must replay digest-identically from the log — zero aborts"
+cargo run -q --release -p sesame-bench --bin serverbench -- smoke --jobs 4 > BENCH_server.json
+cat BENCH_server.json
+
+echo "==> run-log corruption properties: torn tails, flipped bits and torn replays must all be refused with typed errors"
+SESAME_FUZZ_CASES=512 cargo test -q -p sesame-server
+
 echo "==> scenario library: every .sesame file must compile, validate and smoke-run"
 cargo run -q --release -p sesame-bench --bin scenario -- check scenarios/*.sesame
 cargo run -q --release -p sesame-bench --bin scenario -- smoke scenarios/*.sesame
@@ -69,4 +76,4 @@ SESAME_FUZZ_CASES=2048 cargo test -q -p sesame-scenario-dsl --test fuzz
 echo "==> bench gate: fresh numbers vs committed baselines (>20% regression fails)"
 scripts/bench_gate.sh
 
-echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, panic-injection soak, busbench, eddibench, fleetbench, the recovery bench, tickbench, the scenario library smoke, the DSL fuzz suite and the bench gate all green"
+echo "OK: build, tests, clippy, fmt, parallel chaos smoke, determinism diff, panic-injection soak, busbench, eddibench, fleetbench, the recovery bench, tickbench, the server soak, the run-log properties, the scenario library smoke, the DSL fuzz suite and the bench gate all green"

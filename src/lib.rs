@@ -28,6 +28,7 @@ pub use sesame_safeml as safeml;
 pub use sesame_sar as sar;
 pub use sesame_scenario_dsl as scenario_dsl;
 pub use sesame_security as security;
+pub use sesame_server as server;
 pub use sesame_sinadra as sinadra;
 pub use sesame_types as types;
 pub use sesame_uav_sim as uav_sim;
